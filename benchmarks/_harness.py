@@ -1,0 +1,69 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one column of the paper's Table 1 or Fig. 7
+table at reduced scale, prints the same row layout the paper reports, and
+asserts the qualitative shape (who finds counterexamples, roughly by what
+factor).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale knobs: set ``REPRO_BENCH_PROGRAMS`` / ``REPRO_BENCH_TESTS`` in the
+environment to change the number of generated programs and of test cases
+per program (defaults 12 and 16).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.pipeline import ScamV, format_table
+
+BENCH_PROGRAMS = int(os.environ.get("REPRO_BENCH_PROGRAMS", "12"))
+BENCH_TESTS = int(os.environ.get("REPRO_BENCH_TESTS", "16"))
+
+
+class CampaignRunner:
+    """Runs campaigns inside a benchmark and reports paper-style rows."""
+
+    def __init__(self, benchmark):
+        self.benchmark = benchmark
+        self.stats = []
+
+    def run(self, config):
+        result_holder = {}
+
+        def once():
+            result_holder["result"] = ScamV(config).run()
+
+        # One round: a campaign is the unit of measurement, as in the paper
+        # (total wall time ~ generation + execution of every experiment).
+        self.benchmark.pedantic(once, rounds=1, iterations=1)
+        stats = result_holder["result"].stats
+        self.stats.append(stats)
+        self._record(stats)
+        return stats
+
+    def run_unmeasured(self, config):
+        """Run a comparison column without timing it."""
+        stats = ScamV(config).run().stats
+        self.stats.append(stats)
+        self._record(stats)
+        return stats
+
+    def _record(self, stats):
+        prefix = stats.name
+        info = self.benchmark.extra_info
+        info[f"{prefix} :: experiments"] = stats.experiments
+        info[f"{prefix} :: counterexamples"] = stats.counterexamples
+        info[f"{prefix} :: inconclusive"] = stats.inconclusive
+        info[f"{prefix} :: programs_with_cex"] = (
+            stats.programs_with_counterexamples
+        )
+        if stats.time_to_counterexample is not None:
+            info[f"{prefix} :: ttc_s"] = round(stats.time_to_counterexample, 3)
+
+    def report(self, title):
+        print()
+        print(format_table(self.stats, title=title))
+
+

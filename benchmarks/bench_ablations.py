@@ -1,0 +1,148 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **Forwarding**: allowing speculative-result forwarding (an out-of-order
+  core instead of the A53) must create Mspec1/Template C counterexamples —
+  the dependent transient load then issues.
+* **Page-boundary stop**: disabling the prefetcher's page-boundary stop
+  must break the page-aligned cache-coloring defence of §6.2.
+* **Per-path-pair relation split (§5.4)**: solving one small conjunction
+  per path pair versus the monolithic Eq. 1 formula.
+* **Projection optimisation (§5.1)**: one symbolic execution of a
+  tagged-observation program versus two runs (one per model).
+"""
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+from repro.core.probes import add_address_probes
+from repro.core.relation import RelationSynthesizer
+from repro.exps import mpart_campaign, mspec1_campaign
+from repro.gen.templates import TemplateB
+from repro.hw.core import CoreConfig
+from repro.hw.prefetcher import PrefetcherConfig
+from repro.isa.lifter import lift
+from repro.obs.models import MctModel, MspecModel
+from repro.smt.solver import ModelFinder, SolverConfig
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+
+def bench_ablation_forwarding(campaigns):
+    """Mspec1/C finds counterexamples once transient results forward."""
+    forwarding_core = CoreConfig(forward_speculative_results=True)
+    baseline = campaigns.run_unmeasured(
+        mspec1_campaign(
+            "C",
+            num_programs=max(4, BENCH_PROGRAMS // 2),
+            tests_per_program=BENCH_TESTS,
+            seed=108,
+        )
+    )
+    forwarding = campaigns.run(
+        mspec1_campaign(
+            "C",
+            num_programs=max(4, BENCH_PROGRAMS // 2),
+            tests_per_program=BENCH_TESTS,
+            seed=108,
+            core=forwarding_core,
+        )
+    )
+    campaigns.report("Ablation: speculative-result forwarding (Mspec1 / C)")
+    assert baseline.counterexamples == 0
+    assert forwarding.counterexamples > 0
+
+
+def bench_ablation_page_boundary(campaigns):
+    """Page-aligned coloring falls once the prefetcher crosses pages."""
+    crossing_core = CoreConfig(prefetcher=PrefetcherConfig(page_size=0))
+    baseline = campaigns.run_unmeasured(
+        mpart_campaign(
+            refined=True,
+            page_aligned=True,
+            num_programs=max(4, BENCH_PROGRAMS // 2),
+            tests_per_program=BENCH_TESTS,
+            seed=109,
+            noise_rate=0.0,
+        )
+    )
+    crossing = campaigns.run(
+        mpart_campaign(
+            refined=True,
+            page_aligned=True,
+            num_programs=max(4, BENCH_PROGRAMS // 2),
+            tests_per_program=BENCH_TESTS,
+            seed=109,
+            noise_rate=0.0,
+            core=crossing_core,
+        )
+    )
+    campaigns.report("Ablation: prefetcher page-boundary stop (Mpart aligned)")
+    assert baseline.counterexamples == 0
+    assert crossing.counterexamples > 0
+
+
+def _template_b_result(seed=42):
+    asm = TemplateB().generate(SplittableRandom(seed)).asm
+    program = add_address_probes(MctModel().augment(lift(asm)))
+    return execute(program)
+
+
+def bench_ablation_path_split_per_pair(benchmark):
+    """§5.4 split: solve one small conjunction per path pair."""
+    result = _template_b_result()
+    synthesizer = RelationSynthesizer(result, refinement=False)
+    pairs = synthesizer.feasible_pairs()
+
+    def solve_pairs():
+        models = 0
+        for index in range(12):
+            pair = pairs[index % len(pairs)]
+            finder = ModelFinder(SolverConfig(), SplittableRandom(index))
+            if finder.solve(list(pair.equivalence_constraints())) is not None:
+                models += 1
+        return models
+
+    models = benchmark(solve_pairs)
+    benchmark.extra_info["models_found"] = models
+    assert models > 0
+
+
+def bench_ablation_path_split_monolithic(benchmark):
+    """The naive alternative: solve the whole Eq. 1 relation at once."""
+    result = _template_b_result()
+    synthesizer = RelationSynthesizer(result, refinement=False)
+    relation = synthesizer.synthesize_full()
+
+    def solve_monolithic():
+        models = 0
+        for index in range(12):
+            finder = ModelFinder(SolverConfig(), SplittableRandom(index))
+            if finder.solve([relation]) is not None:
+                models += 1
+        return models
+
+    models = benchmark(solve_monolithic)
+    benchmark.extra_info["models_found"] = models
+
+
+def bench_ablation_projection_combined(benchmark):
+    """§5.1: one symbolic execution of the tagged combined program."""
+    asm = TemplateB().generate(SplittableRandom(43)).asm
+
+    def run_combined():
+        return execute(MspecModel().augment(lift(asm)))
+
+    result = benchmark(run_combined)
+    assert len(result) >= 1
+
+
+def bench_ablation_projection_two_runs(benchmark):
+    """The naive alternative: symbolically execute each model separately."""
+    asm = TemplateB().generate(SplittableRandom(43)).asm
+
+    def run_twice():
+        base = execute(MctModel().augment(lift(asm)))
+        refined = execute(MspecModel().augment(lift(asm)))
+        return base, refined
+
+    base, refined = benchmark(run_twice)
+    assert len(base) == len(refined)

@@ -1,0 +1,57 @@
+"""Extension benchmarks: the §2.3 new-channel campaigns.
+
+Not a paper table — these exercise the extension API the paper describes
+("to analyze a new channel ... implement a new module for augmenting input
+programs ... and extend the test case executor"): the TLB channel and the
+variable-time-arithmetic timing channel, each with and without refinement.
+"""
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+from repro.exps import timing_campaign, tlb_campaign
+
+
+def bench_ext_tlb_channel(campaigns):
+    unref = campaigns.run_unmeasured(
+        tlb_campaign(
+            refined=False,
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=110,
+        )
+    )
+    refined = campaigns.run(
+        tlb_campaign(
+            refined=True,
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=110,
+        )
+    )
+    campaigns.report("Extension: set-index model vs. the TLB channel")
+    assert refined.counterexample_rate > 0.5
+    assert unref.counterexample_rate < 0.1
+
+
+def bench_ext_timing_channel(campaigns):
+    unref = campaigns.run_unmeasured(
+        timing_campaign(
+            refined=False,
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=111,
+        )
+    )
+    refined = campaigns.run(
+        timing_campaign(
+            refined=True,
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=111,
+        )
+    )
+    campaigns.report(
+        "Extension: pc-security model vs. variable-time multiply"
+    )
+    assert refined.counterexample_rate > 0.5
+    assert unref.counterexample_rate < 0.1

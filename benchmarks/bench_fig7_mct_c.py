@@ -1,0 +1,42 @@
+"""Fig. 7 table, Mct / Template C columns (§6.5).
+
+Paper numbers (8 programs, 1000 tests each): unguided finds 0/8000;
+with Mspec refinement 3423/8000 (~42%) are counterexamples, T.T.C. 21 s.
+"These are leaking programs that cannot be detected without refinement":
+Mct places no constraints on the branch-body registers when the branch is
+not taken.
+
+Expected shape: 0 unguided; a large fraction with refinement.
+"""
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+from repro.exps import mct_campaign
+
+
+def bench_fig7_mct_template_c(campaigns):
+    unref = campaigns.run_unmeasured(
+        mct_campaign(
+            "C",
+            refined=False,
+            num_programs=max(4, BENCH_PROGRAMS // 2),
+            tests_per_program=BENCH_TESTS,
+            seed=105,
+        )
+    )
+    refined = campaigns.run(
+        mct_campaign(
+            "C",
+            refined=True,
+            num_programs=max(4, BENCH_PROGRAMS // 2),
+            tests_per_program=BENCH_TESTS,
+            seed=105,
+        )
+    )
+    campaigns.report("Fig. 7 / Mct Template C (Spectre-PHT shape)")
+
+    # Paper: 0/8000 unguided; allow a sub-5% residue from the solver's
+    # exploration phase on the dependent-load well-formedness constraints.
+    assert unref.counterexample_rate < 0.05
+    assert refined.counterexample_rate > 0.25
+    assert refined.counterexamples > 10 * max(unref.counterexamples, 1)

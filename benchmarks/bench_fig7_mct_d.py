@@ -1,0 +1,26 @@
+"""Fig. 7 table, Mct / Template D with Mspec' (§6.5).
+
+Paper numbers (478 programs): 0/47800 counterexamples — Cortex-A53 does
+not perform straight-line speculation past unconditional *direct*
+branches, supporting ARM's claim.
+
+Expected shape: experiments run (the refinement produces test pairs that
+differ in the dead code behind the branch) but none distinguish.
+"""
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+from repro.exps import straightline_campaign
+
+
+def bench_fig7_mct_template_d(campaigns):
+    stats = campaigns.run(
+        straightline_campaign(
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=107,
+        )
+    )
+    campaigns.report("Fig. 7 / Mct Template D with Mspec' (straight-line)")
+    assert stats.counterexamples == 0
+    assert stats.experiments > 0

@@ -1,0 +1,31 @@
+"""Extension benchmark: the §8 model-repair loop.
+
+Measures the full validate -> promote -> re-validate loop that restores
+the soundness of Mct against Cortex-A53 speculation, and asserts it
+converges in one promotion.
+"""
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+from repro.core.repair import ModelRepairer
+from repro.exps import mct_campaign
+
+
+def bench_model_repair_mct(benchmark):
+    campaign = mct_campaign(
+        "A",
+        refined=True,
+        num_programs=max(3, BENCH_PROGRAMS // 3),
+        tests_per_program=max(6, BENCH_TESTS // 2),
+        seed=112,
+    )
+
+    def repair_once():
+        return ModelRepairer(campaign).repair()
+
+    report = benchmark.pedantic(repair_once, rounds=1, iterations=1)
+    print()
+    print(report.describe())
+    benchmark.extra_info["promotions"] = report.promotions
+    assert report.succeeded
+    assert report.promotions == 1

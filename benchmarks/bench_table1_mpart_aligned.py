@@ -1,0 +1,37 @@
+"""Table 1, Mpart page-aligned columns (§6.2).
+
+Paper: with the attacker region page aligned (sets 64..127), neither
+unguided testing (0/12860) nor refinement (0/17000) finds a counterexample
+— the prefetcher stops at the 4 KiB page boundary.  Expected shape: zero
+counterexamples in both columns.
+"""
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+from repro.exps import mpart_campaign
+
+
+def bench_table1_mpart_page_aligned(campaigns):
+    unref = campaigns.run_unmeasured(
+        mpart_campaign(
+            refined=False,
+            page_aligned=True,
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=102,
+        )
+    )
+    refined = campaigns.run(
+        mpart_campaign(
+            refined=True,
+            page_aligned=True,
+            num_programs=BENCH_PROGRAMS,
+            tests_per_program=BENCH_TESTS,
+            seed=102,
+        )
+    )
+    campaigns.report("Table 1 / Mpart page-aligned (prefetch stops at page)")
+
+    assert unref.counterexamples == 0
+    assert refined.counterexamples == 0
+    assert refined.experiments > 0

@@ -1,0 +1,10 @@
+"""Benchmark fixtures (see _harness for the shared runner)."""
+
+import pytest
+
+from _harness import CampaignRunner
+
+
+@pytest.fixture
+def campaigns(benchmark):
+    return CampaignRunner(benchmark)

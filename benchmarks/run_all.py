@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Run every reproduction campaign at a chosen scale and print the tables.
+
+This is the convenience driver behind EXPERIMENTS.md: it regenerates both
+paper tables and the extension campaigns in one go, with per-column wall
+times.  (The pytest-benchmark harness in this directory measures the same
+campaigns one file per table column.)
+
+Usage:  python benchmarks/run_all.py [programs] [tests] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.exps import (
+    mct_campaign,
+    mpart_campaign,
+    mspec1_campaign,
+    straightline_campaign,
+    timing_campaign,
+    tlb_campaign,
+)
+from repro.pipeline import ScamV, format_table
+
+
+def run_group(title, configs):
+    stats = []
+    for config in configs:
+        started = time.monotonic()
+        stats.append(ScamV(config).run().stats)
+        elapsed = time.monotonic() - started
+        print(f"  {config.name}: {elapsed:.1f}s", file=sys.stderr)
+    print()
+    print(format_table(stats, title=title))
+    return stats
+
+
+def main() -> None:
+    programs = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    tests = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    n = dict(num_programs=programs, tests_per_program=tests)
+
+    run_group(
+        "Table 1 (scaled reproduction)",
+        [
+            mpart_campaign(refined=False, seed=seed + 1, **n),
+            mpart_campaign(refined=True, seed=seed + 1, **n),
+            mpart_campaign(refined=False, page_aligned=True, seed=seed + 2, **n),
+            mpart_campaign(refined=True, page_aligned=True, seed=seed + 2, **n),
+            mct_campaign("A", refined=False, seed=seed + 3, **n),
+            mct_campaign("A", refined=True, seed=seed + 3, **n),
+            mct_campaign("B", refined=False, seed=seed + 4, **n),
+            mct_campaign("B", refined=True, seed=seed + 4, **n),
+        ],
+    )
+    run_group(
+        "Fig. 7 table (scaled reproduction)",
+        [
+            mct_campaign("C", refined=False, seed=seed + 5, **n),
+            mct_campaign("C", refined=True, seed=seed + 5, **n),
+            mspec1_campaign("C", seed=seed + 6, **n),
+            mspec1_campaign(
+                "B",
+                seed=seed + 6,
+                num_programs=2 * programs,
+                tests_per_program=tests,
+            ),
+            straightline_campaign(seed=seed + 7, **n),
+        ],
+    )
+    run_group(
+        "New-channel extensions (§2.3)",
+        [
+            tlb_campaign(refined=False, seed=seed + 8, **n),
+            tlb_campaign(refined=True, seed=seed + 8, **n),
+            timing_campaign(refined=False, seed=seed + 9, **n),
+            timing_campaign(refined=True, seed=seed + 9, **n),
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

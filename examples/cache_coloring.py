@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cache-coloring validation campaign (paper §6.2, Table 1 Mpart columns).
+
+Runs three scaled-down Scam-V campaigns over the Stride template:
+
+1. Mpart without refinement (path coverage only),
+2. Mpart refined by Mpart' with Mline coverage — prefetching breaks the
+   partitioning model, and refinement finds counterexamples far faster,
+3. the page-aligned attacker region — the prefetcher stops at the 4 KiB
+   page boundary, so no counterexamples appear, supporting the paper's
+   conclusion that page-aligned cache coloring survives prefetching.
+
+Run:  python examples/cache_coloring.py
+"""
+
+from repro.exps import mpart_campaign
+from repro.pipeline import ScamV, format_table
+
+
+def main() -> None:
+    programs, tests = 8, 20
+    campaigns = [
+        mpart_campaign(
+            refined=False, num_programs=programs, tests_per_program=tests, seed=11
+        ),
+        mpart_campaign(
+            refined=True, num_programs=programs, tests_per_program=tests, seed=11
+        ),
+        mpart_campaign(
+            refined=True,
+            page_aligned=True,
+            num_programs=programs,
+            tests_per_program=tests,
+            seed=11,
+        ),
+    ]
+    stats = []
+    for config in campaigns:
+        print(f"running {config.name} ...")
+        stats.append(ScamV(config).run().stats)
+    print()
+    print(format_table(stats, title="Cache coloring vs. prefetching (cf. Table 1)"))
+    print()
+    unref, ref, aligned = stats
+    if ref.counterexample_rate > unref.counterexample_rate:
+        factor = (
+            ref.counterexample_rate / unref.counterexample_rate
+            if unref.counterexample_rate
+            else float("inf")
+        )
+        print(
+            f"Refinement raises the counterexample rate by ~{factor:.0f}x "
+            "(the paper reports ~20x more counterexamples)."
+        )
+    print(
+        f"Page-aligned region: {aligned.counterexamples} counterexamples "
+        "(the paper also finds none: prefetching stops at the page boundary)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Extending Scam-V to new side channels (paper §2.3, §3).
+
+The paper notes that analysing a new channel only needs (1) a new
+observation-augmentation module and (2) a new channel measurement in the
+test executor.  This example exercises both worked extensions:
+
+* **TLB channel** — validates a set-index-only observational model (the
+  attacker resolves cache sets, not addresses) against the simulated data
+  micro-TLB.  The model is unsound: same-set/different-page accesses leave
+  different TLB states.  The ``Mpage`` refinement drives generation right
+  at those pairs.
+
+* **Timing channel** — validates the program-counter security model
+  ("execution time depends only on control flow", Molnar et al., cited in
+  §7) against the cycle counter on a core with an early-termination
+  multiplier.  The ``Mtime`` refinement observes multiplier operands, and
+  the §3 running-example coverage enumerates operand-magnitude classes.
+
+Run:  python examples/new_channels.py
+"""
+
+from repro.exps import timing_campaign, tlb_campaign
+from repro.pipeline import ScamV, format_table
+
+
+def main() -> None:
+    programs, tests = 8, 15
+    campaigns = [
+        tlb_campaign(refined=False, num_programs=programs, tests_per_program=tests, seed=61),
+        tlb_campaign(refined=True, num_programs=programs, tests_per_program=tests, seed=61),
+        timing_campaign(refined=False, num_programs=programs, tests_per_program=tests, seed=62),
+        timing_campaign(refined=True, num_programs=programs, tests_per_program=tests, seed=62),
+    ]
+    stats = []
+    for config in campaigns:
+        print(f"running {config.name} ...")
+        stats.append(ScamV(config).run().stats)
+    print()
+    print(format_table(stats, title="New channels: TLB and variable-time arithmetic"))
+    print()
+    print("Both models are unsound for their channel; in both cases the")
+    print("refined observations (pages / multiplier operands) steer the")
+    print("search straight to counterexamples, while unguided relational")
+    print("testing generates state pairs too similar to differ.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-architecture support: validating models on RISC-V programs.
+
+Scam-V handles multiple architectures by translating binaries into its
+intermediate language (paper §2.3: "Currently ARMv8, CortexM0, and
+RISC-V").  This example assembles a Spectre-shaped RV64 victim with the
+RISC-V front-end and runs the identical validation pipeline — lifting,
+Mct+Mspec augmentation, refinement-guided generation, and execution on the
+simulated core.
+
+Run:  python examples/riscv_validation.py
+"""
+
+from repro.core import TestCaseGenerator
+from repro.hw import ExperimentPlatform, PlatformConfig
+from repro.hw.profiles import cortex_a53_no_speculation
+from repro.isa import assemble_riscv, lift
+from repro.obs import MspecModel
+from repro.symbolic import execute
+from repro.utils.rng import SplittableRandom
+
+VICTIM = """
+    ld   a2, 0(a0)       # load the attacker-indexed element
+    bge  a1, a4, done    # bounds-style check
+    add  a3, a5, a2      # compute the dependent address
+    ld   a6, 0(a3)       # use the loaded value
+done:
+    ret
+"""
+
+
+def main() -> None:
+    asm = assemble_riscv(VICTIM, name="rv_victim")
+    model = MspecModel()
+
+    print("=== Symbolic execution of the lifted RISC-V program ===")
+    result = execute(model.augment(lift(asm)))
+    print(result.describe())
+
+    print("\n=== Refinement-guided validation ===")
+    generator = TestCaseGenerator(asm, model, rng=SplittableRandom(13))
+    platform = ExperimentPlatform(PlatformConfig())
+    fenced = ExperimentPlatform(
+        PlatformConfig(core=cortex_a53_no_speculation())
+    )
+    found = fenced_found = 0
+    total = 8
+    for _ in range(total):
+        test = generator.generate()
+        if test is None:
+            continue
+        found += platform.run_experiment(
+            asm, test.state1, test.state2, test.train
+        ).distinguishable
+        fenced_found += fenced.run_experiment(
+            asm, test.state1, test.state2, test.train
+        ).distinguishable
+    print(f"speculative core:     {found}/{total} counterexamples")
+    print(f"speculation disabled: {fenced_found}/{total} counterexamples")
+    print(
+        "\nThe same IL-level models and refinement machinery validate the\n"
+        "RISC-V victim unchanged; the leak disappears once speculation is\n"
+        "fenced off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""SiSCLoak end-to-end attack demo (paper §6.4, Fig. 6).
+
+Mounts both Fig. 6 counterexamples against the simulated Cortex-A53 and
+recovers the secret with Flush+Reload and the PMC cycle counter:
+
+* **v1** — Spectre-PHT with the array load anticipated above the bounds
+  check: an out-of-bounds index leaks the out-of-bounds value through a
+  single speculative load.
+* **classification bit** — array elements carry a confidentiality flag in
+  their top bit; a mispredicted flag check leaks a confidential element.
+
+Run:  python examples/siscloak_attack.py
+"""
+
+from repro.attacks import (
+    SiSCloakAttack,
+    siscloak_classification_program,
+    siscloak_v1_program,
+)
+from repro.attacks.siscloak import A_BASE, LINE, SECRET_FLAG
+from repro.isa.assembler import disassemble
+
+
+def attack_v1() -> None:
+    print("=== SiSCLoak v1: anticipated-load Spectre-PHT ===")
+    program = siscloak_v1_program()
+    print(disassemble(program))
+    # Array A holds 4 public elements (valid line-granular indices into B);
+    # the secret sits just past the bound, at A[size].
+    size = 4 * 8
+    secret = 37 * LINE
+    memory = {A_BASE + i * 8: (i % 4) * LINE for i in range(4)}
+    memory[A_BASE + size] = secret
+
+    attack = SiSCloakAttack(program, memory)
+    outcome = attack.recover(
+        benign_regs={"x0": 8, "x1": size},  # in bounds: trains "not taken"
+        malicious_regs={"x0": size, "x1": size},  # out of bounds
+        secret=secret,
+    )
+    print(
+        f"secret byte index {secret // LINE}: recovered="
+        f"{outcome.recovered // LINE if outcome.recovered is not None else '?'}"
+        f" -> {'SUCCESS' if outcome.success else 'FAILED'} "
+        f"({outcome.probes} Flush+Reload probes)\n"
+    )
+
+
+def attack_classification() -> None:
+    print("=== SiSCLoak: classification bit in the element ===")
+    program = siscloak_classification_program()
+    print(disassemble(program))
+    # Public elements have a clear top bit; the confidential element at
+    # A[4] is flagged.  The attacker knows the flag convention and probes
+    # the flagged range of B.
+    secret = SECRET_FLAG | (29 * LINE)
+    memory = {A_BASE + i * 8: (i % 4) * LINE for i in range(4)}
+    memory[A_BASE + 4 * 8] = secret
+
+    attack = SiSCloakAttack(
+        program,
+        memory,
+        candidate_offsets=[SECRET_FLAG | (i * LINE) for i in range(64)],
+    )
+    outcome = attack.recover(
+        benign_regs={"x0": 8},  # public element: trains "not taken"
+        malicious_regs={"x0": 4 * 8},  # the confidential element
+        secret=secret,
+    )
+    print(
+        f"confidential element: recovered="
+        f"{hex(outcome.recovered) if outcome.recovered is not None else '?'}"
+        f" (expected {hex(secret)}) -> "
+        f"{'SUCCESS' if outcome.success else 'FAILED'}\n"
+    )
+
+
+def main() -> None:
+    attack_v1()
+    attack_classification()
+    print(
+        "Both leaks require only a single speculative load whose address\n"
+        "was computed before the branch: the simulated A53 never forwards\n"
+        "speculative results, matching ARM's design, yet still leaks."
+    )
+
+
+if __name__ == "__main__":
+    main()

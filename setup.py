@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine lacks ``wheel`` (offline), so the
+PEP 660 editable route fails; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) work with the legacy code path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

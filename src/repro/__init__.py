@@ -1,0 +1,35 @@
+"""repro — a Python reproduction of "Validation of Side-Channel Models via
+Observation Refinement" (MICRO 2021).
+
+The library rebuilds the Scam-V pipeline end to end: a mini-AArch64 ISA and
+assembler (:mod:`repro.isa`), a BIR-style intermediate language
+(:mod:`repro.bir`), a symbolic executor with observation collection
+(:mod:`repro.symbolic`), the observational models of the paper
+(:mod:`repro.obs`), relation synthesis with observation refinement
+(:mod:`repro.core`), a model finder standing in for Z3 (:mod:`repro.smt`),
+QuickCheck-style template generators (:mod:`repro.gen`), a simulated
+Cortex-A53 evaluation platform (:mod:`repro.hw`), attack proofs of concept
+(:mod:`repro.attacks`), and the campaign driver with metrics and an
+experiment database (:mod:`repro.pipeline`, :mod:`repro.exps`).
+
+Quickstart::
+
+    from repro.isa import assemble
+    from repro.obs import MspecModel
+    from repro.core import TestCaseGenerator
+    from repro.hw import ExperimentPlatform
+
+    asm = assemble(...)
+    generator = TestCaseGenerator(asm, MspecModel())
+    test = generator.generate()
+    result = ExperimentPlatform().run_experiment(
+        asm, test.state1, test.state2, test.train
+    )
+    print(result.outcome)
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

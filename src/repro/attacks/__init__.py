@@ -1,0 +1,25 @@
+"""End-to-end attack proofs of concept (§2.1, §6.4).
+
+``flushreload`` implements the Flush+Reload probe on the simulated core
+using the PMC cycle counter; ``siscloak`` mounts the two SiSCLoak
+counterexamples of Fig. 6 — recovering a secret value through a *single
+speculative load* on the simulated Cortex-A53 — plus the anticipated-load
+variation of Spectre-PHT.
+"""
+
+from repro.attacks.flushreload import FlushReload, ProbeResult
+from repro.attacks.siscloak import (
+    AttackOutcome,
+    SiSCloakAttack,
+    siscloak_classification_program,
+    siscloak_v1_program,
+)
+
+__all__ = [
+    "FlushReload",
+    "ProbeResult",
+    "AttackOutcome",
+    "SiSCloakAttack",
+    "siscloak_classification_program",
+    "siscloak_v1_program",
+]

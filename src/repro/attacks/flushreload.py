@@ -1,0 +1,62 @@
+"""Flush+Reload (§2.1) on the simulated core.
+
+The attacker (1) flushes the monitored lines, (2) lets the victim run,
+(3) times a reload of each line with the PMC cycle counter: a fast reload
+means the victim (or its transient execution) touched the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.hw.core import Core
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Timing of one reload probe."""
+
+    addr: int
+    latency: int
+    hit: bool
+
+
+class FlushReload:
+    """Flush+Reload primitive bound to one core.
+
+    The threshold between hit and miss comes from the core's configured
+    latencies; a real attacker calibrates it the same way with the cycle
+    counter.
+    """
+
+    def __init__(self, core: Core):
+        self.core = core
+        self.threshold = (
+            core.config.hit_latency + core.config.miss_latency
+        ) // 2
+
+    def flush(self, addresses: Iterable[int]) -> None:
+        """Step (1): evict the monitored lines.
+
+        Translations for the probe array are warmed first (a real attacker
+        touches its own pages before flushing the lines), so reload timings
+        measure the cache, not the TLB.
+        """
+        for addr in addresses:
+            self.core.tlb.access(addr)
+            self.core.flush_line(addr)
+
+    def reload(self, addresses: Sequence[int]) -> List[ProbeResult]:
+        """Step (3): time a reload of each monitored line."""
+        results = []
+        for addr in addresses:
+            latency = self.core.timed_access(addr)
+            results.append(
+                ProbeResult(addr=addr, latency=latency, hit=latency < self.threshold)
+            )
+        return results
+
+    def hot_addresses(self, addresses: Sequence[int]) -> List[int]:
+        """The monitored addresses the victim touched."""
+        return [probe.addr for probe in self.reload(addresses) if probe.hit]

@@ -1,0 +1,165 @@
+"""SiSCLoak: SIngle SpeCulative LOad AttacK (§6.4, Fig. 6).
+
+Cortex-A53 issues a *single* speculative load whose address was computed
+architecturally before the mispredicted branch, even though it never
+forwards speculative results.  Both Fig. 6 victims exploit that:
+
+* **v1** (anticipated Spectre-PHT): the array access ``A[x0]`` is hoisted
+  above the bounds check; after branch training, an out-of-bounds ``x0``
+  makes the transiently-executed ``B[x2]`` access leak the out-of-bounds
+  value through the cache.
+* **classification-bit**: elements of ``A`` carry a "public" flag in their
+  top bit; a mispredicted flag check transiently accesses ``B[x2]`` for a
+  *confidential* element.
+
+The attack recovers ``x2`` with Flush+Reload over ``B`` using the PMC
+cycle counter — the "real attack" the paper mounts after the TrustZone
+evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks.flushreload import FlushReload
+from repro.errors import HardwareError
+from repro.hw.core import Core, CoreConfig
+from repro.hw.state import MachineState, Memory
+from repro.isa.assembler import assemble
+from repro.isa.program import AsmProgram
+
+#: Default victim memory layout: two arrays in the experiment region.
+A_BASE = 0x90000
+B_BASE = 0xA0000
+LINE = 64
+
+SECRET_FLAG = 0x80000000
+
+
+def siscloak_v1_program(a_base: int = A_BASE, b_base: int = B_BASE) -> AsmProgram:
+    """Fig. 6, second column: Spectre-PHT with the load anticipated.
+
+    ``x0`` — attacker-controlled index; ``x1`` — size of A (the bound).
+    The load of ``A[x0]`` happens *before* the bounds check.
+    """
+    return assemble(
+        f"""
+            mov x5, #{a_base:#x}
+            ldr x2, [x5, x0]       // x2 = A[x0], anticipated
+            cmp x0, x1
+            b.hs end               // bounds check: taken when x0 >= size
+            mov x6, #{b_base:#x}
+            ldr x3, [x6, x2]       // uses the (possibly out-of-bounds) value
+        end:
+            ret
+        """,
+        name="siscloak_v1",
+    )
+
+
+def siscloak_classification_program(
+    a_base: int = A_BASE, b_base: int = B_BASE
+) -> AsmProgram:
+    """Fig. 6, third column: classification stored in a bit of the element.
+
+    Every element of ``A`` is a valid index into ``B``; its top bit marks it
+    confidential.  The check never passes for confidential elements, but a
+    trained mispredict transiently accesses ``B[x2]`` anyway.
+    """
+    return assemble(
+        f"""
+            mov x5, #{a_base:#x}
+            ldr x2, [x5, x0]       // x2 = A[x0]
+            tst x2, #{SECRET_FLAG:#x}
+            b.ne end               // confidential: skip the use
+            mov x6, #{b_base:#x}
+            ldr x3, [x6, x2]
+        end:
+            ret
+        """,
+        name="siscloak_classify",
+    )
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one secret-recovery attempt."""
+
+    recovered: Optional[int]
+    secret: int
+    probes: int
+
+    @property
+    def success(self) -> bool:
+        return self.recovered == self.secret
+
+
+class SiSCloakAttack:
+    """Mount a SiSCLoak attack against a victim on the simulated core.
+
+    The victim's memory holds array ``A`` (attacker-readable indices into
+    ``B``) and the attacker probes ``B``'s cache lines.  Secrets are
+    line-granular (multiples of 64) as in cache-timing practice.
+    """
+
+    def __init__(
+        self,
+        program: AsmProgram,
+        memory: Dict[int, int],
+        core_config: Optional[CoreConfig] = None,
+        b_base: int = B_BASE,
+        candidate_lines: int = 64,
+        candidate_offsets: Optional[Sequence[int]] = None,
+        training_rounds: int = 8,
+    ):
+        self.program = program
+        self.memory = dict(memory)
+        self.core = Core(core_config or CoreConfig())
+        self.probe = FlushReload(self.core)
+        self.b_base = b_base
+        # The attacker probes B at these offsets.  For the classification
+        # variant the candidate secrets carry the flag bit (the attacker
+        # knows the victim's data convention), so offsets are configurable.
+        if candidate_offsets is None:
+            candidate_offsets = [i * LINE for i in range(candidate_lines)]
+        self.candidates = [b_base + offset for offset in candidate_offsets]
+        self.training_rounds = training_rounds
+
+    def _run_victim(self, regs: Dict[str, int]) -> None:
+        state = MachineState(regs=regs, memory=Memory(self.memory))
+        self.core.execute(self.program, state)
+
+    def train(self, benign_regs: Dict[str, int]) -> None:
+        """Teach the predictor the not-taken (use-the-value) direction."""
+        for _ in range(self.training_rounds):
+            self._run_victim(benign_regs)
+
+    def leak_once(self, malicious_regs: Dict[str, int]) -> List[int]:
+        """One Flush+Reload round: returns the hot B lines."""
+        self.probe.flush(self.candidates)
+        # Flushing B must not leave the stride prefetcher primed.
+        self.core.prefetcher.reset()
+        self._run_victim(malicious_regs)
+        return self.probe.hot_addresses(self.candidates)
+
+    def recover(
+        self,
+        benign_regs: Dict[str, int],
+        malicious_regs: Dict[str, int],
+        secret: int,
+    ) -> AttackOutcome:
+        """Full attack: train, leak, decode the secret line index."""
+        self.train(benign_regs)
+        hot = self.leak_once(malicious_regs)
+        # Exclude lines the victim touches architecturally on the benign
+        # path (the attacker can calibrate those the same way).
+        self.train(benign_regs)
+        baseline = set(self.leak_once(benign_regs))
+        signal = [addr for addr in hot if addr not in baseline]
+        recovered = None
+        if len(signal) == 1:
+            recovered = signal[0] - self.b_base
+        return AttackOutcome(
+            recovered=recovered, secret=secret, probes=len(self.candidates)
+        )

@@ -1,0 +1,79 @@
+"""BIR: the binary intermediate representation used for analysis.
+
+Mirrors the role of HolBA's BIR in Scam-V: ISA programs are lifted to this
+explicit, architecture-independent language, observation-augmentation passes
+insert :class:`~repro.bir.stmt.Observe` statements, and the symbolic executor
+runs over it.
+"""
+
+from repro.bir.expr import (
+    BinOp,
+    BinOpKind,
+    Cmp,
+    CmpKind,
+    Const,
+    Expr,
+    Ite,
+    Load,
+    MemExpr,
+    MemStore,
+    MemVar,
+    UnOp,
+    UnOpKind,
+    Var,
+    FALSE,
+    TRUE,
+    bool_and,
+    bool_not,
+    bool_or,
+    const,
+    var,
+)
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Statement, Store
+from repro.bir.program import Block, Program
+from repro.bir.cfg import ControlFlowGraph
+from repro.bir.printer import format_expr, format_program, format_stmt
+from repro.bir.parser import parse_expr, parse_program, parse_stmt
+from repro.bir.tags import ObsKind, ObsTag
+
+__all__ = [
+    "BinOp",
+    "BinOpKind",
+    "Cmp",
+    "CmpKind",
+    "Const",
+    "Expr",
+    "Ite",
+    "Load",
+    "MemExpr",
+    "MemStore",
+    "MemVar",
+    "UnOp",
+    "UnOpKind",
+    "Var",
+    "FALSE",
+    "TRUE",
+    "bool_and",
+    "bool_not",
+    "bool_or",
+    "const",
+    "var",
+    "Assign",
+    "CJmp",
+    "Halt",
+    "Jmp",
+    "Observe",
+    "Statement",
+    "Store",
+    "Block",
+    "Program",
+    "ControlFlowGraph",
+    "format_expr",
+    "format_program",
+    "format_stmt",
+    "parse_expr",
+    "parse_program",
+    "parse_stmt",
+    "ObsKind",
+    "ObsTag",
+]

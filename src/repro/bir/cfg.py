@@ -1,0 +1,109 @@
+"""Control-flow graph over BIR programs.
+
+Used by the speculative instrumentation pass (§4.2.2 of the paper) to find
+pairs of mutually exclusive branches, and by the symbolic executor to reject
+programs with loops (the templates are loop-free; symbolic execution here is
+exhaustive path enumeration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.bir.program import Program
+from repro.bir.stmt import CJmp
+from repro.errors import BirError
+
+
+class ControlFlowGraph:
+    """Successor/predecessor maps plus a few standard graph queries."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.successors: Dict[str, Tuple[str, ...]] = {}
+        self.predecessors: Dict[str, List[str]] = {lbl: [] for lbl in program.labels}
+        for block in program:
+            succs = block.successors()
+            self.successors[block.label] = succs
+            for s in succs:
+                self.predecessors[s].append(block.label)
+
+    def reachable(self) -> Set[str]:
+        """Labels reachable from the entry block."""
+        seen: Set[str] = set()
+        stack = [self.program.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.successors[label])
+        return seen
+
+    def is_acyclic(self) -> bool:
+        """True iff the reachable portion of the graph has no cycles."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {lbl: WHITE for lbl in self.program.labels}
+
+        def visit(label: str) -> bool:
+            color[label] = GRAY
+            for succ in self.successors[label]:
+                if color[succ] == GRAY:
+                    return False
+                if color[succ] == WHITE and not visit(succ):
+                    return False
+            color[label] = BLACK
+            return True
+
+        return visit(self.program.entry)
+
+    def topological_order(self) -> List[str]:
+        """Reverse-postorder of the reachable blocks; raises on cycles."""
+        if not self.is_acyclic():
+            raise BirError(f"program {self.program.name!r} has a control-flow cycle")
+        order: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(label: str) -> None:
+            if label in seen:
+                return
+            seen.add(label)
+            for succ in self.successors[label]:
+                visit(succ)
+            order.append(label)
+
+        visit(self.program.entry)
+        order.reverse()
+        return order
+
+    def branch_points(self) -> List[Tuple[str, CJmp]]:
+        """All conditional branches as ``(block_label, terminator)`` pairs."""
+        out = []
+        for block in self.program:
+            if isinstance(block.terminator, CJmp):
+                out.append((block.label, block.terminator))
+        return out
+
+    def blocks_on_path_from(self, start: str) -> Set[str]:
+        """All labels reachable from ``start`` (inclusive)."""
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.successors[label])
+        return seen
+
+    def mutually_exclusive_arms(self) -> List[Tuple[str, str, str]]:
+        """For every conditional branch, the pair of arm entry labels.
+
+        Returns ``(branch_block, true_arm, false_arm)`` triples.  The
+        speculative instrumentation pass prepends shadow copies of one arm's
+        statements to the other arm (§4.2.2).
+        """
+        return [
+            (label, t.target_true, t.target_false)
+            for label, t in self.branch_points()
+        ]

@@ -1,0 +1,517 @@
+"""BIR expression language: fixed-width bit-vector terms with memory selects.
+
+Expressions are immutable and hash-consed-free (plain value objects).  Booleans
+are one-bit bit-vectors, as in HolBA's BIR; :data:`TRUE` and :data:`FALSE` are
+the canonical constants.
+
+The language is deliberately small: constants, variables, unary and binary
+bit-vector operators, comparisons, if-then-else, and memory ``Load`` over a
+memory expression that is either the initial memory (:class:`MemVar`) or a
+store chain (:class:`MemStore`).  This is exactly the fragment the templates
+of the paper produce, and it keeps the symbolic executor, evaluator and the
+model finder complete.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, Tuple
+
+from repro.errors import BirTypeError
+from repro.utils import bitvec
+
+BOOL_WIDTH = 1
+WORD_WIDTH = 64
+
+
+class UnOpKind(enum.Enum):
+    """Unary bit-vector operators."""
+
+    NOT = "not"  # bitwise complement
+    NEG = "neg"  # two's-complement negation
+
+
+class BinOpKind(enum.Enum):
+    """Binary bit-vector operators (operands and result share a width)."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+
+
+class CmpKind(enum.Enum):
+    """Comparison operators; result is a one-bit bit-vector."""
+
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    SLT = "slt"
+    SLE = "sle"
+
+
+class Expr:
+    """Base class for all value expressions."""
+
+    width: int
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Direct value-expression children (memory children excluded)."""
+        return ()
+
+    def variables(self) -> FrozenSet["Var"]:
+        """All register/input variables occurring in the expression."""
+        out = set()
+        for node in walk(self):
+            if isinstance(node, Var):
+                out.add(node)
+        return frozenset(out)
+
+    def memories(self) -> FrozenSet["MemVar"]:
+        """All base memory variables occurring in the expression."""
+        out = set()
+        for node in walk(self):
+            if isinstance(node, Load):
+                out.update(node.mem.base_memories())
+        return frozenset(out)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal ``width``-bit constant; stored in canonical unsigned form."""
+
+    value: int
+    width: int = WORD_WIDTH
+
+    def __post_init__(self):
+        canonical = bitvec.truncate(self.value, self.width)
+        object.__setattr__(self, "value", canonical)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value:#x}, {self.width})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named register or symbolic input variable."""
+
+    name: str
+    width: int = WORD_WIDTH
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operator application."""
+
+    op: UnOpKind
+    operand: Expr
+    width: int = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "width", self.operand.width)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator application; operand widths must agree."""
+
+    op: BinOpKind
+    lhs: Expr
+    rhs: Expr
+    width: int = field(init=False)
+
+    def __post_init__(self):
+        if self.lhs.width != self.rhs.width:
+            raise BirTypeError(
+                f"{self.op.value}: operand widths differ "
+                f"({self.lhs.width} vs {self.rhs.width})"
+            )
+        object.__setattr__(self, "width", self.lhs.width)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Comparison; yields a one-bit result."""
+
+    op: CmpKind
+    lhs: Expr
+    rhs: Expr
+    width: int = field(init=False, default=BOOL_WIDTH)
+
+    def __post_init__(self):
+        if self.lhs.width != self.rhs.width:
+            raise BirTypeError(
+                f"{self.op.value}: operand widths differ "
+                f"({self.lhs.width} vs {self.rhs.width})"
+            )
+        object.__setattr__(self, "width", BOOL_WIDTH)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else over a one-bit condition."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+    width: int = field(init=False)
+
+    def __post_init__(self):
+        if self.cond.width != BOOL_WIDTH:
+            raise BirTypeError("ite condition must be one bit wide")
+        if self.then.width != self.orelse.width:
+            raise BirTypeError(
+                f"ite arms have different widths "
+                f"({self.then.width} vs {self.orelse.width})"
+            )
+        object.__setattr__(self, "width", self.then.width)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then, self.orelse)
+
+
+class MemExpr:
+    """Base class for memory-typed expressions (maps of address -> word)."""
+
+    def base_memories(self) -> FrozenSet["MemVar"]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MemVar(MemExpr):
+    """A base memory variable (the initial memory of an execution)."""
+
+    name: str = "MEM"
+
+    def base_memories(self) -> FrozenSet["MemVar"]:
+        return frozenset({self})
+
+    def __repr__(self) -> str:
+        return f"MemVar({self.name!r})"
+
+
+@dataclass(frozen=True)
+class MemStore(MemExpr):
+    """A memory with one word overwritten: ``store(mem, addr, value)``."""
+
+    mem: MemExpr
+    addr: Expr
+    value: Expr
+
+    def base_memories(self) -> FrozenSet[MemVar]:
+        return self.mem.base_memories()
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """A word read from memory: ``select(mem, addr)``."""
+
+    mem: MemExpr
+    addr: Expr
+    width: int = WORD_WIDTH
+
+    def children(self) -> Tuple[Expr, ...]:
+        # The store-chain's addresses/values are reachable via walk(), which
+        # special-cases Load.
+        return (self.addr,)
+
+
+TRUE = Const(1, BOOL_WIDTH)
+FALSE = Const(0, BOOL_WIDTH)
+
+
+def const(value: int, width: int = WORD_WIDTH) -> Const:
+    """Convenience constructor for :class:`Const`."""
+    return Const(value, width)
+
+
+def var(name: str, width: int = WORD_WIDTH) -> Var:
+    """Convenience constructor for :class:`Var`."""
+    return Var(name, width)
+
+
+def bool_not(e: Expr) -> Expr:
+    """Boolean negation with light constant folding."""
+    if e == TRUE:
+        return FALSE
+    if e == FALSE:
+        return TRUE
+    if isinstance(e, UnOp) and e.op is UnOpKind.NOT and e.width == BOOL_WIDTH:
+        return e.operand
+    if e.width != BOOL_WIDTH:
+        raise BirTypeError("bool_not applied to a non-boolean expression")
+    return UnOp(UnOpKind.NOT, e)
+
+
+def bool_and(*es: Expr) -> Expr:
+    """N-ary boolean conjunction with light constant folding."""
+    acc = TRUE
+    for e in es:
+        if e.width != BOOL_WIDTH:
+            raise BirTypeError("bool_and applied to a non-boolean expression")
+        if e == FALSE:
+            return FALSE
+        if e == TRUE:
+            continue
+        acc = e if acc == TRUE else BinOp(BinOpKind.AND, acc, e)
+    return acc
+
+
+def bool_or(*es: Expr) -> Expr:
+    """N-ary boolean disjunction with light constant folding."""
+    acc = FALSE
+    for e in es:
+        if e.width != BOOL_WIDTH:
+            raise BirTypeError("bool_or applied to a non-boolean expression")
+        if e == TRUE:
+            return TRUE
+        if e == FALSE:
+            continue
+        acc = e if acc == FALSE else BinOp(BinOpKind.OR, acc, e)
+    return acc
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every value-expression beneath it, including the
+    address/value expressions inside memory store chains."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Load):
+            stack.append(node.addr)
+            mem = node.mem
+            while isinstance(mem, MemStore):
+                stack.append(mem.addr)
+                stack.append(mem.value)
+                mem = mem.mem
+        else:
+            stack.extend(node.children())
+
+
+def substitute(expr: Expr, mapping: Dict[Var, Expr]) -> Expr:
+    """Return ``expr`` with every variable replaced per ``mapping``.
+
+    Memory store chains are rewritten too (their address/value expressions may
+    mention variables).  Base memories are left untouched; use
+    :func:`substitute_memory` to rename those.
+    """
+
+    def go(e: Expr) -> Expr:
+        if isinstance(e, Var):
+            return mapping.get(e, e)
+        if isinstance(e, Const):
+            return e
+        if isinstance(e, UnOp):
+            return UnOp(e.op, go(e.operand))
+        if isinstance(e, BinOp):
+            return BinOp(e.op, go(e.lhs), go(e.rhs))
+        if isinstance(e, Cmp):
+            return Cmp(e.op, go(e.lhs), go(e.rhs))
+        if isinstance(e, Ite):
+            return Ite(go(e.cond), go(e.then), go(e.orelse))
+        if isinstance(e, Load):
+            return Load(go_mem(e.mem), go(e.addr), e.width)
+        raise BirTypeError(f"substitute: unknown expression {e!r}")
+
+    def go_mem(m: MemExpr) -> MemExpr:
+        if isinstance(m, MemVar):
+            return m
+        if isinstance(m, MemStore):
+            return MemStore(go_mem(m.mem), go(m.addr), go(m.value))
+        raise BirTypeError(f"substitute: unknown memory expression {m!r}")
+
+    return go(expr)
+
+
+def substitute_memory(expr: Expr, mapping: Dict[MemVar, MemVar]) -> Expr:
+    """Return ``expr`` with base memory variables renamed per ``mapping``."""
+
+    def go(e: Expr) -> Expr:
+        if isinstance(e, (Var, Const)):
+            return e
+        if isinstance(e, UnOp):
+            return UnOp(e.op, go(e.operand))
+        if isinstance(e, BinOp):
+            return BinOp(e.op, go(e.lhs), go(e.rhs))
+        if isinstance(e, Cmp):
+            return Cmp(e.op, go(e.lhs), go(e.rhs))
+        if isinstance(e, Ite):
+            return Ite(go(e.cond), go(e.then), go(e.orelse))
+        if isinstance(e, Load):
+            return Load(go_mem(e.mem), go(e.addr), e.width)
+        raise BirTypeError(f"substitute_memory: unknown expression {e!r}")
+
+    def go_mem(m: MemExpr) -> MemExpr:
+        if isinstance(m, MemVar):
+            return mapping.get(m, m)
+        if isinstance(m, MemStore):
+            return MemStore(go_mem(m.mem), go(m.addr), go(m.value))
+        raise BirTypeError(f"substitute_memory: unknown memory {m!r}")
+
+    return go(expr)
+
+
+_UNOP_FUNCS: Dict[UnOpKind, Callable[[int, int], int]] = {
+    UnOpKind.NOT: bitvec.bv_not,
+    UnOpKind.NEG: lambda a, w: bitvec.bv_sub(0, a, w),
+}
+
+_BINOP_FUNCS: Dict[BinOpKind, Callable[[int, int, int], int]] = {
+    BinOpKind.ADD: bitvec.bv_add,
+    BinOpKind.SUB: bitvec.bv_sub,
+    BinOpKind.MUL: bitvec.bv_mul,
+    BinOpKind.AND: bitvec.bv_and,
+    BinOpKind.OR: bitvec.bv_or,
+    BinOpKind.XOR: bitvec.bv_xor,
+    BinOpKind.SHL: lambda a, b, w: bitvec.bv_shl(a, min(b, w), w),
+    BinOpKind.LSHR: lambda a, b, w: bitvec.bv_lshr(a, min(b, w), w),
+    BinOpKind.ASHR: lambda a, b, w: bitvec.bv_ashr(a, min(b, w), w),
+}
+
+
+def _cmp_value(op: CmpKind, a: int, b: int, width: int) -> int:
+    if op is CmpKind.EQ:
+        return int(a == b)
+    if op is CmpKind.NE:
+        return int(a != b)
+    if op is CmpKind.ULT:
+        return int(a < b)
+    if op is CmpKind.ULE:
+        return int(a <= b)
+    sa = bitvec.to_signed(a, width)
+    sb = bitvec.to_signed(b, width)
+    if op is CmpKind.SLT:
+        return int(sa < sb)
+    if op is CmpKind.SLE:
+        return int(sa <= sb)
+    raise BirTypeError(f"unknown comparison {op!r}")
+
+
+class Valuation:
+    """A concrete assignment of variables and memories, used by ``evaluate``.
+
+    ``regs`` maps variable names to unsigned integers; ``mems`` maps base
+    memory names to ``{address: value}`` dictionaries.  Addresses absent from
+    a memory evaluate to ``default_mem_value`` — the library convention for
+    "uninitialised memory reads as zero", matching the experiment platform,
+    which zeroes experiment memory before each run.
+    """
+
+    def __init__(self, regs=None, mems=None, default_mem_value: int = 0):
+        self.regs: Dict[str, int] = dict(regs or {})
+        self.mems: Dict[str, Dict[int, int]] = {
+            name: dict(content) for name, content in (mems or {}).items()
+        }
+        self.default_mem_value = default_mem_value
+
+    def read_mem(self, mem_name: str, addr: int) -> int:
+        return self.mems.get(mem_name, {}).get(addr, self.default_mem_value)
+
+
+def evaluate(expr: Expr, valuation: Valuation) -> int:
+    """Evaluate ``expr`` under a concrete valuation; returns an unsigned int."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return bitvec.truncate(valuation.regs[expr.name], expr.width)
+        except KeyError:
+            raise BirTypeError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, UnOp):
+        return _UNOP_FUNCS[expr.op](evaluate(expr.operand, valuation), expr.width)
+    if isinstance(expr, BinOp):
+        return _BINOP_FUNCS[expr.op](
+            evaluate(expr.lhs, valuation), evaluate(expr.rhs, valuation), expr.width
+        )
+    if isinstance(expr, Cmp):
+        return _cmp_value(
+            expr.op,
+            evaluate(expr.lhs, valuation),
+            evaluate(expr.rhs, valuation),
+            expr.lhs.width,
+        )
+    if isinstance(expr, Ite):
+        if evaluate(expr.cond, valuation):
+            return evaluate(expr.then, valuation)
+        return evaluate(expr.orelse, valuation)
+    if isinstance(expr, Load):
+        return _evaluate_load(expr, valuation)
+    raise BirTypeError(f"evaluate: unknown expression {expr!r}")
+
+
+def _evaluate_load(load: Load, valuation: Valuation) -> int:
+    addr = evaluate(load.addr, valuation)
+    mem = load.mem
+    while isinstance(mem, MemStore):
+        if evaluate(mem.addr, valuation) == addr:
+            return bitvec.truncate(evaluate(mem.value, valuation), load.width)
+        mem = mem.mem
+    assert isinstance(mem, MemVar)
+    return bitvec.truncate(valuation.read_mem(mem.name, addr), load.width)
+
+
+# Small comparison helpers used throughout the library.
+
+
+def eq(lhs: Expr, rhs: Expr) -> Expr:
+    if lhs == rhs:
+        return TRUE
+    return Cmp(CmpKind.EQ, lhs, rhs)
+
+
+def ne(lhs: Expr, rhs: Expr) -> Expr:
+    if lhs == rhs:
+        return FALSE
+    return Cmp(CmpKind.NE, lhs, rhs)
+
+
+def ult(lhs: Expr, rhs: Expr) -> Expr:
+    return Cmp(CmpKind.ULT, lhs, rhs)
+
+
+def ule(lhs: Expr, rhs: Expr) -> Expr:
+    return Cmp(CmpKind.ULE, lhs, rhs)
+
+
+def slt(lhs: Expr, rhs: Expr) -> Expr:
+    return Cmp(CmpKind.SLT, lhs, rhs)
+
+
+def sle(lhs: Expr, rhs: Expr) -> Expr:
+    return Cmp(CmpKind.SLE, lhs, rhs)
+
+
+def add(lhs: Expr, rhs: Expr) -> Expr:
+    return BinOp(BinOpKind.ADD, lhs, rhs)
+
+
+def sub(lhs: Expr, rhs: Expr) -> Expr:
+    return BinOp(BinOpKind.SUB, lhs, rhs)
+
+
+def band(lhs: Expr, rhs: Expr) -> Expr:
+    return BinOp(BinOpKind.AND, lhs, rhs)
+
+
+def lshr(lhs: Expr, rhs: Expr) -> Expr:
+    return BinOp(BinOpKind.LSHR, lhs, rhs)

@@ -1,0 +1,320 @@
+"""Parser for the BIR text format produced by :mod:`repro.bir.printer`.
+
+Round-trips programs through their textual form, which makes augmented
+programs storable/diffable artifacts (the experiment database keeps
+disassembled ISA programs; this covers the IL level) and lets tests write
+BIR snippets directly.
+
+Width inference: variables default to 64 bits; one-bit expressions arise
+structurally (comparisons, boolean connectives over them), which covers
+every program the lifter and the augmentation passes produce.  A
+``widths`` mapping can pin specific variable names.
+
+Lossy bits of the text format: the ``transient`` markers on shadow
+statements and the ``explicit`` flag on jumps are not rendered, so a
+parsed program is execution-equivalent to the original but should not be
+fed back into the augmentation passes that consume those flags.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Statement, Store
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import BirError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_#]*)
+  | (?P<op>:=|>>u|>>s|<<|==|!=|<=u|<=s|<u|<s|[()\[\]{}~,?:+\-*&|^])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_BINOPS = {
+    "+": E.BinOpKind.ADD,
+    "-": E.BinOpKind.SUB,
+    "*": E.BinOpKind.MUL,
+    "&": E.BinOpKind.AND,
+    "|": E.BinOpKind.OR,
+    "^": E.BinOpKind.XOR,
+    "<<": E.BinOpKind.SHL,
+    ">>u": E.BinOpKind.LSHR,
+    ">>s": E.BinOpKind.ASHR,
+}
+
+_CMPS = {
+    "==": E.CmpKind.EQ,
+    "!=": E.CmpKind.NE,
+    "<u": E.CmpKind.ULT,
+    "<=u": E.CmpKind.ULE,
+    "<s": E.CmpKind.SLT,
+    "<=s": E.CmpKind.SLE,
+}
+
+_KEYWORDS = {"if", "then", "else"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise BirError(f"cannot tokenize at: {text[position:position+20]!r}")
+        position = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser for fully-parenthesised printer output."""
+
+    def __init__(self, tokens: List[str], widths: Dict[str, int]):
+        self.tokens = tokens
+        self.position = 0
+        self.widths = widths
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise BirError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise BirError(f"expected {token!r}, got {got!r}")
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_expr(self) -> E.Expr:
+        token = self.peek()
+        if token == "(":
+            return self._parse_parenthesised()
+        if token == "~":
+            self.next()
+            operand = self.parse_expr()
+            return E.UnOp(E.UnOpKind.NOT, operand)
+        if token == "-":
+            self.next()
+            operand = self.parse_expr()
+            return E.UnOp(E.UnOpKind.NEG, operand)
+        return self._parse_atom_or_load()
+
+    def _parse_parenthesised(self) -> E.Expr:
+        self.expect("(")
+        if self.peek() == "if":
+            self.next()
+            cond = self.parse_expr()
+            self.expect("then")
+            then = self.parse_expr()
+            self.expect("else")
+            orelse = self.parse_expr()
+            self.expect(")")
+            return E.Ite(cond, then, orelse)
+        lhs = self.parse_expr()
+        op = self.next()
+        rhs = self.parse_expr()
+        self.expect(")")
+        if op in _BINOPS:
+            return E.BinOp(_BINOPS[op], lhs, rhs)
+        if op in _CMPS:
+            return E.Cmp(_CMPS[op], lhs, rhs)
+        raise BirError(f"unknown operator {op!r}")
+
+    def _parse_atom_or_load(self) -> E.Expr:
+        token = self.next()
+        if re.fullmatch(r"0x[0-9a-fA-F]+|\d+", token):
+            return E.Const(int(token, 0), 64)
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_#]*", token) or token in _KEYWORDS:
+            raise BirError(f"unexpected token {token!r}")
+        # A name followed by '{' or '[' is a memory expression.
+        if self.peek() in ("{", "["):
+            mem: E.MemExpr = E.MemVar(token)
+            while self.peek() == "{":
+                self.next()
+                addr = self.parse_expr()
+                self.expect(":=")
+                value = self.parse_expr()
+                self.expect("}")
+                mem = E.MemStore(mem, addr, value)
+            self.expect("[")
+            addr = self.parse_expr()
+            self.expect("]")
+            return E.Load(mem, addr, 64)
+        return E.Var(token, self.widths.get(token, 64))
+
+
+def parse_expr(text: str, widths: Optional[Dict[str, int]] = None) -> E.Expr:
+    """Parse one expression in the printer's format."""
+    parser = _ExprParser(_tokenize(text), widths or {})
+    expr = parser.parse_expr()
+    if not parser.at_end():
+        raise BirError(f"trailing tokens in expression: {text!r}")
+    return expr
+
+
+_OBSERVE_RE = re.compile(
+    r"^observe<(?P<tag>[A-Z]+)>\[(?P<exprs>.*?)\]"
+    r"(?:\s+when\s+(?P<guard>.*?))?(?:\s+\((?P<label>[^)]*)\))?$"
+)
+_ASSIGN_RE = re.compile(r"^(?P<target>[A-Za-z_][A-Za-z0-9_#]*)\s*:=\s*(?P<value>.+)$")
+_STORE_RE = re.compile(
+    r"^(?P<mem>[A-Za-z_][A-Za-z0-9_#]*)\[(?P<addr>.+)\]\s*:=\s*(?P<value>.+)$"
+)
+_CJMP_RE = re.compile(r"^cjmp\s+(?P<cond>.+?)\s*\?\s*(?P<t>\S+)\s*:\s*(?P<f>\S+)$")
+_HALT_RE = re.compile(r"^halt(?:\s*\((?P<reason>[^)]*)\))?$")
+
+_KIND_BY_LABEL_PREFIX = {kind.value: kind for kind in ObsKind}
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas not nested in any bracket."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_stmt(
+    line: str, widths: Optional[Dict[str, int]] = None
+) -> Statement:
+    """Parse one statement line in the printer's format."""
+    text = line.strip()
+    widths = widths or {}
+    if text.startswith("observe<"):
+        match = _OBSERVE_RE.match(text)
+        if not match:
+            raise BirError(f"bad observe statement: {line!r}")
+        tag = ObsTag[match.group("tag")]
+        exprs = tuple(
+            parse_expr(part, widths)
+            for part in _split_top_level(match.group("exprs"))
+        )
+        guard = (
+            parse_expr(match.group("guard"), widths)
+            if match.group("guard")
+            else E.TRUE
+        )
+        label = match.group("label") or ""
+        kind = _kind_from_label(label)
+        return Observe(tag=tag, kind=kind, exprs=exprs, guard=guard, label=label)
+    if text.startswith("jmp "):
+        return Jmp(text[4:].strip())
+    cjmp = _CJMP_RE.match(text)
+    if cjmp:
+        return CJmp(
+            parse_expr(cjmp.group("cond"), widths),
+            cjmp.group("t"),
+            cjmp.group("f"),
+        )
+    halt = _HALT_RE.match(text)
+    if halt:
+        return Halt(reason=halt.group("reason") or "end")
+    store = _STORE_RE.match(text)
+    if store and "[" not in store.group("mem"):
+        return Store(
+            E.MemVar(store.group("mem")),
+            parse_expr(store.group("addr"), widths),
+            parse_expr(store.group("value"), widths),
+        )
+    assign = _ASSIGN_RE.match(text)
+    if assign:
+        value = parse_expr(assign.group("value"), widths)
+        target = E.Var(
+            assign.group("target"),
+            widths.get(assign.group("target"), value.width),
+        )
+        return Assign(target, value)
+    raise BirError(f"cannot parse statement: {line!r}")
+
+
+def _kind_from_label(label: str) -> ObsKind:
+    # Printer output loses the kind enum; augmentation labels start with a
+    # recognisable word ("pc:0", "load", "spec-load", "line", "page", ...).
+    head = label.split(":")[0].strip()
+    aliases = {
+        "pc": ObsKind.PC,
+        "load": ObsKind.LOAD_ADDR,
+        "ar-addr": ObsKind.LOAD_ADDR,
+        "non-ar-addr": ObsKind.LOAD_ADDR,
+        "store": ObsKind.STORE_ADDR,
+        "spec-load": ObsKind.SPEC_LOAD_ADDR,
+        "line": ObsKind.CACHE_LINE,
+        "page": ObsKind.PAGE,
+        "mul-operand": ObsKind.OPERAND,
+        "probe": ObsKind.LOAD_ADDR,
+    }
+    if head in aliases:
+        return aliases[head]
+    if head in _KIND_BY_LABEL_PREFIX:
+        return _KIND_BY_LABEL_PREFIX[head]
+    return ObsKind.LOAD_ADDR
+
+
+def parse_program(
+    text: str, widths: Optional[Dict[str, int]] = None
+) -> Program:
+    """Parse a whole program in the printer's format."""
+    name = "program"
+    blocks: List[Block] = []
+    label: Optional[str] = None
+    body: List[Statement] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("program ") and line.endswith(":"):
+            name = line[len("program ") : -1]
+            continue
+        if line.endswith(":") and re.fullmatch(
+            r"[A-Za-z_][A-Za-z0-9_]*:", line
+        ):
+            if label is not None:
+                blocks.append(_finish_block(label, body))
+            label = line[:-1]
+            body = []
+            continue
+        if label is None:
+            raise BirError(f"statement before first label: {line!r}")
+        body.append(parse_stmt(line, widths))
+    if label is not None:
+        blocks.append(_finish_block(label, body))
+    return Program(blocks, name=name)
+
+
+def _finish_block(label: str, body: List[Statement]) -> Block:
+    if not body:
+        raise BirError(f"block {label!r} has no terminator")
+    *stmts, terminator = body
+    return Block(label, tuple(stmts), terminator)

@@ -1,0 +1,126 @@
+"""Human-readable formatting of BIR expressions, statements and programs."""
+
+from __future__ import annotations
+
+from repro.bir.expr import (
+    BinOp,
+    BinOpKind,
+    Cmp,
+    CmpKind,
+    Const,
+    Expr,
+    Ite,
+    Load,
+    MemExpr,
+    MemStore,
+    MemVar,
+    UnOp,
+    UnOpKind,
+    Var,
+)
+from repro.bir.program import Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Statement, Store
+
+_BINOP_SYMBOLS = {
+    BinOpKind.ADD: "+",
+    BinOpKind.SUB: "-",
+    BinOpKind.MUL: "*",
+    BinOpKind.AND: "&",
+    BinOpKind.OR: "|",
+    BinOpKind.XOR: "^",
+    BinOpKind.SHL: "<<",
+    BinOpKind.LSHR: ">>u",
+    BinOpKind.ASHR: ">>s",
+}
+
+_CMP_SYMBOLS = {
+    CmpKind.EQ: "==",
+    CmpKind.NE: "!=",
+    CmpKind.ULT: "<u",
+    CmpKind.ULE: "<=u",
+    CmpKind.SLT: "<s",
+    CmpKind.SLE: "<=s",
+}
+
+_UNOP_SYMBOLS = {UnOpKind.NOT: "~", UnOpKind.NEG: "-"}
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression as compact infix text."""
+    if isinstance(expr, Const):
+        return hex(expr.value) if expr.value >= 10 else str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnOp):
+        return f"{_UNOP_SYMBOLS[expr.op]}{format_expr(expr.operand)}"
+    if isinstance(expr, BinOp):
+        return (
+            f"({format_expr(expr.lhs)} {_BINOP_SYMBOLS[expr.op]} "
+            f"{format_expr(expr.rhs)})"
+        )
+    if isinstance(expr, Cmp):
+        return (
+            f"({format_expr(expr.lhs)} {_CMP_SYMBOLS[expr.op]} "
+            f"{format_expr(expr.rhs)})"
+        )
+    if isinstance(expr, Ite):
+        return (
+            f"(if {format_expr(expr.cond)} then {format_expr(expr.then)} "
+            f"else {format_expr(expr.orelse)})"
+        )
+    if isinstance(expr, Load):
+        return f"{_format_mem(expr.mem)}[{format_expr(expr.addr)}]"
+    return repr(expr)
+
+
+def _format_mem(mem: MemExpr) -> str:
+    if isinstance(mem, MemVar):
+        return mem.name
+    if isinstance(mem, MemStore):
+        return (
+            f"{_format_mem(mem.mem)}"
+            f"{{{format_expr(mem.addr)} := {format_expr(mem.value)}}}"
+        )
+    return repr(mem)
+
+
+def format_stmt(stmt: Statement) -> str:
+    """Render a statement on one line."""
+    if isinstance(stmt, Assign):
+        return f"{stmt.target.name} := {format_expr(stmt.value)}"
+    if isinstance(stmt, Store):
+        return (
+            f"{stmt.mem.name}[{format_expr(stmt.addr)}] := "
+            f"{format_expr(stmt.value)}"
+        )
+    if isinstance(stmt, Observe):
+        exprs = ", ".join(format_expr(e) for e in stmt.exprs)
+        guard = ""
+        from repro.bir.expr import TRUE
+
+        if stmt.guard != TRUE:
+            guard = f" when {format_expr(stmt.guard)}"
+        tag = getattr(stmt.tag, "name", str(stmt.tag))
+        label = f" ({stmt.label})" if stmt.label else ""
+        return f"observe<{tag}>[{exprs}]{guard}{label}"
+    if isinstance(stmt, Jmp):
+        return f"jmp {stmt.target}"
+    if isinstance(stmt, CJmp):
+        return (
+            f"cjmp {format_expr(stmt.cond)} ? {stmt.target_true} "
+            f": {stmt.target_false}"
+        )
+    if isinstance(stmt, Halt):
+        return f"halt ({stmt.reason})"
+    return repr(stmt)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program, one block per paragraph."""
+    lines = [f"program {program.name}:"]
+    for block in program:
+        lines.append(f"{block.label}:")
+        for stmt in block.body:
+            lines.append(f"  {format_stmt(stmt)}")
+        lines.append(f"  {format_stmt(block.terminator)}")
+    return "\n".join(lines)

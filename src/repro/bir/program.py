@@ -1,0 +1,120 @@
+"""BIR programs: labelled blocks of straight-line statements.
+
+A :class:`Program` is an ordered mapping of labels to :class:`Block` objects.
+The first block is the entry point.  Programs are immutable once validated;
+transformation passes build new programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Statement, Store
+from repro.errors import BirError
+
+_BODY_TYPES = (Assign, Store, Observe)
+_TERMINATOR_TYPES = (Jmp, CJmp, Halt)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A basic block: a label, body statements, and one terminator."""
+
+    label: str
+    body: Tuple[Statement, ...]
+    terminator: Statement
+
+    def __post_init__(self):
+        for stmt in self.body:
+            if not isinstance(stmt, _BODY_TYPES):
+                raise BirError(
+                    f"block {self.label!r}: {type(stmt).__name__} cannot appear "
+                    "in a block body"
+                )
+        if not isinstance(self.terminator, _TERMINATOR_TYPES):
+            raise BirError(
+                f"block {self.label!r}: terminator must be Jmp/CJmp/Halt, got "
+                f"{type(self.terminator).__name__}"
+            )
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def successors(self) -> Tuple[str, ...]:
+        """Labels this block can transfer control to."""
+        t = self.terminator
+        if isinstance(t, Jmp):
+            return (t.target,)
+        if isinstance(t, CJmp):
+            return (t.target_true, t.target_false)
+        return ()
+
+    def with_body(self, body: Iterable[Statement]) -> "Block":
+        """A copy of this block with a replaced body."""
+        return Block(self.label, tuple(body), self.terminator)
+
+
+class Program:
+    """An immutable, validated BIR program."""
+
+    def __init__(self, blocks: Iterable[Block], name: str = "program"):
+        block_list = list(blocks)
+        if not block_list:
+            raise BirError("a program needs at least one block")
+        self.name = name
+        self._blocks: Dict[str, Block] = {}
+        self._order: List[str] = []
+        for block in block_list:
+            if block.label in self._blocks:
+                raise BirError(f"duplicate block label {block.label!r}")
+            self._blocks[block.label] = block
+            self._order.append(block.label)
+        self.entry = block_list[0].label
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        for block in self:
+            for target in block.successors():
+                if target not in self._blocks:
+                    raise BirError(
+                        f"block {block.label!r} jumps to undefined label "
+                        f"{target!r}"
+                    )
+
+    def __iter__(self) -> Iterator[Block]:
+        return (self._blocks[label] for label in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._blocks
+
+    def block(self, label: str) -> Block:
+        """Look up a block by label."""
+        try:
+            return self._blocks[label]
+        except KeyError:
+            raise BirError(f"no block labelled {label!r}") from None
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    def entry_block(self) -> Block:
+        return self._blocks[self.entry]
+
+    def map_blocks(self, fn) -> "Program":
+        """A new program with ``fn`` applied to every block (same order)."""
+        return Program([fn(b) for b in self], name=self.name)
+
+    def statements(self) -> Iterator[Tuple[str, Statement]]:
+        """Yield ``(label, statement)`` for every statement, including
+        terminators, in block order."""
+        for block in self:
+            for stmt in block.body:
+                yield block.label, stmt
+            yield block.label, block.terminator
+
+    def count_observations(self) -> int:
+        """Number of Observe statements in the program."""
+        return sum(1 for _lbl, s in self.statements() if isinstance(s, Observe))

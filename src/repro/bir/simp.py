@@ -1,0 +1,167 @@
+"""Light algebraic simplification of BIR expressions.
+
+Keeps symbolic terms small during symbolic execution and normalises
+constraints before they reach the model finder.  Only rules that are cheap
+and always sound are applied: constant folding, identity/zero elements, and
+select-over-store resolution when addresses are syntactically decidable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bir import expr as E
+from repro.utils import bitvec
+
+
+def simplify(expr: E.Expr) -> E.Expr:
+    """Return an equivalent, usually smaller, expression."""
+    if isinstance(expr, (E.Const, E.Var)):
+        return expr
+    if isinstance(expr, E.UnOp):
+        return _simplify_unop(expr)
+    if isinstance(expr, E.BinOp):
+        return _simplify_binop(expr)
+    if isinstance(expr, E.Cmp):
+        return _simplify_cmp(expr)
+    if isinstance(expr, E.Ite):
+        return _simplify_ite(expr)
+    if isinstance(expr, E.Load):
+        return _simplify_load(expr)
+    return expr
+
+
+def _simplify_unop(expr: E.UnOp) -> E.Expr:
+    operand = simplify(expr.operand)
+    if isinstance(operand, E.Const):
+        value = E._UNOP_FUNCS[expr.op](operand.value, expr.width)
+        return E.Const(value, expr.width)
+    if isinstance(operand, E.UnOp) and operand.op is expr.op:
+        # ~~x == x and -(-x) == x
+        return operand.operand
+    return E.UnOp(expr.op, operand)
+
+
+def _simplify_binop(expr: E.BinOp) -> E.Expr:
+    lhs = simplify(expr.lhs)
+    rhs = simplify(expr.rhs)
+    width = expr.width
+    if isinstance(lhs, E.Const) and isinstance(rhs, E.Const):
+        value = E._BINOP_FUNCS[expr.op](lhs.value, rhs.value, width)
+        return E.Const(value, width)
+    zero = E.Const(0, width)
+    op = expr.op
+    if op is E.BinOpKind.ADD:
+        if lhs == zero:
+            return rhs
+        if rhs == zero:
+            return lhs
+        # Reassociate (x + c1) + c2 into x + (c1 + c2): template address
+        # arithmetic produces these chains constantly.
+        if (
+            isinstance(rhs, E.Const)
+            and isinstance(lhs, E.BinOp)
+            and lhs.op is E.BinOpKind.ADD
+            and isinstance(lhs.rhs, E.Const)
+        ):
+            folded = bitvec.bv_add(lhs.rhs.value, rhs.value, width)
+            return _simplify_binop(
+                E.BinOp(E.BinOpKind.ADD, lhs.lhs, E.Const(folded, width))
+            )
+    elif op is E.BinOpKind.SUB:
+        if rhs == zero:
+            return lhs
+        if lhs == rhs:
+            return zero
+    elif op is E.BinOpKind.MUL:
+        one = E.Const(1, width)
+        if lhs == zero or rhs == zero:
+            return zero
+        if lhs == one:
+            return rhs
+        if rhs == one:
+            return lhs
+    elif op is E.BinOpKind.AND:
+        ones = E.Const(bitvec.mask(width), width)
+        if lhs == zero or rhs == zero:
+            return zero
+        if lhs == ones:
+            return rhs
+        if rhs == ones:
+            return lhs
+        if lhs == rhs:
+            return lhs
+    elif op is E.BinOpKind.OR:
+        ones = E.Const(bitvec.mask(width), width)
+        if lhs == ones or rhs == ones:
+            return ones
+        if lhs == zero:
+            return rhs
+        if rhs == zero:
+            return lhs
+        if lhs == rhs:
+            return lhs
+    elif op is E.BinOpKind.XOR:
+        if lhs == rhs:
+            return zero
+        if lhs == zero:
+            return rhs
+        if rhs == zero:
+            return lhs
+    elif op in (E.BinOpKind.SHL, E.BinOpKind.LSHR, E.BinOpKind.ASHR):
+        if rhs == zero:
+            return lhs
+    return E.BinOp(op, lhs, rhs)
+
+
+def _simplify_cmp(expr: E.Cmp) -> E.Expr:
+    lhs = simplify(expr.lhs)
+    rhs = simplify(expr.rhs)
+    if isinstance(lhs, E.Const) and isinstance(rhs, E.Const):
+        value = E._cmp_value(expr.op, lhs.value, rhs.value, lhs.width)
+        return E.TRUE if value else E.FALSE
+    if lhs == rhs:
+        if expr.op in (E.CmpKind.EQ, E.CmpKind.ULE, E.CmpKind.SLE):
+            return E.TRUE
+        if expr.op in (E.CmpKind.NE, E.CmpKind.ULT, E.CmpKind.SLT):
+            return E.FALSE
+    return E.Cmp(expr.op, lhs, rhs)
+
+
+def _simplify_ite(expr: E.Ite) -> E.Expr:
+    cond = simplify(expr.cond)
+    if cond == E.TRUE:
+        return simplify(expr.then)
+    if cond == E.FALSE:
+        return simplify(expr.orelse)
+    then = simplify(expr.then)
+    orelse = simplify(expr.orelse)
+    if then == orelse:
+        return then
+    return E.Ite(cond, then, orelse)
+
+
+def _simplify_load(expr: E.Load) -> E.Expr:
+    addr = simplify(expr.addr)
+    mem = _simplify_mem(expr.mem)
+    # Resolve select-over-store when the comparison is syntactically decidable.
+    while isinstance(mem, E.MemStore):
+        store_addr = mem.addr
+        if store_addr == addr:
+            return simplify(mem.value)
+        if isinstance(store_addr, E.Const) and isinstance(addr, E.Const):
+            # Distinct constants: skip this store.
+            mem = mem.mem
+            continue
+        break
+    return E.Load(mem, addr, expr.width)
+
+
+def _simplify_mem(mem: E.MemExpr) -> E.MemExpr:
+    if isinstance(mem, E.MemVar):
+        return mem
+    if isinstance(mem, E.MemStore):
+        return E.MemStore(
+            _simplify_mem(mem.mem), simplify(mem.addr), simplify(mem.value)
+        )
+    return mem

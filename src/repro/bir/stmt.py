@@ -1,0 +1,116 @@
+"""BIR statements.
+
+A block body is a sequence of :class:`Assign`, :class:`Store` and
+:class:`Observe` statements, terminated by exactly one of :class:`Jmp`,
+:class:`CJmp`, or :class:`Halt`.
+
+``Observe`` is the Scam-V-style observation statement: it carries a *tag*
+(see :class:`~repro.obs.tags.ObsTag`) so one augmented program can encode both
+the model under validation and the refined model (the projection optimisation
+of §5.1 of the paper), a guard condition, and the observed expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bir.expr import BOOL_WIDTH, Expr, MemVar, TRUE, Var
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import BirError
+
+
+class Statement:
+    """Base class for BIR statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``var := expr``; widths must match.
+
+    ``transient`` marks shadow statements inserted by the speculative
+    instrumentation pass (§4.2.2): they model wrongly-speculated execution
+    and operate on shadow (starred) variables.
+    """
+
+    target: Var
+    value: Expr
+    transient: bool = False
+
+    def __post_init__(self):
+        if self.target.width != self.value.width:
+            raise BirError(
+                f"assignment width mismatch: {self.target.name} is "
+                f"{self.target.width} bits, value is {self.value.width}"
+            )
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """``mem[addr] := value`` on the named base memory."""
+
+    mem: MemVar
+    addr: Expr
+    value: Expr
+    transient: bool = False
+
+
+@dataclass(frozen=True)
+class Observe(Statement):
+    """Emit an observation when ``guard`` holds.
+
+    ``tag``   — which observational model(s) the observation belongs to.
+    ``kind``  — what the observation records (pc, load address, ...).
+    ``guard`` — a one-bit expression; the observation is produced only on
+                executions where it evaluates to true (used for the
+                conditional observations of Mpart: ``if AR(x) then x``).
+    ``exprs`` — the observed expressions.
+    ``label`` — a human-readable description for debugging and reports.
+    """
+
+    tag: ObsTag
+    kind: ObsKind
+    exprs: Tuple[Expr, ...]
+    guard: Expr = TRUE
+    label: str = ""
+
+    def __post_init__(self):
+        if self.guard.width != BOOL_WIDTH:
+            raise BirError("observation guard must be one bit wide")
+        object.__setattr__(self, "exprs", tuple(self.exprs))
+
+
+@dataclass(frozen=True)
+class Jmp(Statement):
+    """Unconditional jump to a block label.
+
+    ``explicit`` distinguishes a lifted unconditional branch instruction from
+    a mere fall-through edge; the straight-line-speculation model Mspec'
+    (§6.5) rewrites only explicit jumps into tautological conditionals.
+    """
+
+    target: str
+    explicit: bool = False
+
+
+@dataclass(frozen=True)
+class CJmp(Statement):
+    """Conditional jump: to ``target_true`` if ``cond`` holds, else to
+    ``target_false``."""
+
+    cond: Expr
+    target_true: str
+    target_false: str
+
+    def __post_init__(self):
+        if self.cond.width != BOOL_WIDTH:
+            raise BirError("conditional jump condition must be one bit wide")
+
+
+@dataclass(frozen=True)
+class Halt(Statement):
+    """Terminate execution."""
+
+    # Distinguishes the normal program exit from lifted RET instructions,
+    # purely for diagnostics.
+    reason: str = "end"

@@ -1,0 +1,41 @@
+"""Observation tags and kinds attached to BIR ``Observe`` statements.
+
+These are defined at the IL layer (as in HolBA, where observation channels
+are part of BIR) so that the IL, the symbolic executor, and the observation
+models can all refer to them without import cycles.  The observation-model
+API re-exports them as :mod:`repro.obs.tags`.
+
+``ObsTag`` implements the projection optimisation of §5.1: a single augmented
+program carries the observations of both models, and the model under
+validation is recovered by dropping every ``REFINED`` observation.
+
+``ObsKind`` is a descriptive label for what an observation captures; relation
+synthesis requires kinds to match positionally, which encodes the paper's
+"observation lists that do not agree are trivially unequal" condition.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ObsTag(enum.Enum):
+    """Which model an observation belongs to."""
+
+    BASE = "base"  # the model under validation (M1)
+    REFINED = "refined"  # only in the refined model (M2)
+    PROBE = "probe"  # pipeline-internal: well-formedness & coverage probes;
+    # ignored by relation synthesis equality/difference
+
+
+class ObsKind(enum.Enum):
+    """What an observation records."""
+
+    PC = "pc"  # program counter of an executed instruction
+    LOAD_ADDR = "load_addr"  # address of a memory load
+    STORE_ADDR = "store_addr"  # address of a memory store
+    BRANCH_COND = "branch_cond"  # boolean outcome of a branch
+    CACHE_LINE = "cache_line"  # cache set index bits of an address
+    SPEC_LOAD_ADDR = "spec_load_addr"  # address of a transient (shadow) load
+    PAGE = "page"  # page number of an accessed address (TLB channel)
+    OPERAND = "operand"  # operand of a variable-latency instruction (timing)

@@ -1,0 +1,240 @@
+"""Command-line interface: run validation campaigns from a shell.
+
+Mirrors the paper artifact's scripted workflow (A.5): premade
+configurations for every experiment in the evaluation, an experiment
+database, and console result tables.
+
+Examples::
+
+    repro-scamv validate --experiment mct-a --refined --programs 20
+    repro-scamv table1 --programs 12 --tests 16
+    repro-scamv fig7 --programs 8
+    repro-scamv attack v1
+    repro-scamv repair --experiment mct-a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.repair import ModelRepairer
+from repro.exps import (
+    mct_campaign,
+    mpart_campaign,
+    mspec1_campaign,
+    straightline_campaign,
+    timing_campaign,
+    tlb_campaign,
+)
+from repro.pipeline import ExperimentDatabase, ScamV, format_table
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "mpart": lambda refined, **kw: mpart_campaign(refined=refined, **kw),
+    "mpart-aligned": lambda refined, **kw: mpart_campaign(
+        refined=refined, page_aligned=True, **kw
+    ),
+    "mct-a": lambda refined, **kw: mct_campaign("A", refined=refined, **kw),
+    "mct-b": lambda refined, **kw: mct_campaign("B", refined=refined, **kw),
+    "mct-c": lambda refined, **kw: mct_campaign("C", refined=refined, **kw),
+    "mspec1-b": lambda refined, **kw: mspec1_campaign("B", **kw),
+    "mspec1-c": lambda refined, **kw: mspec1_campaign("C", **kw),
+    "straightline": lambda refined, **kw: straightline_campaign(**kw),
+    "tlb": lambda refined, **kw: tlb_campaign(refined=refined, **kw),
+    "timing": lambda refined, **kw: timing_campaign(refined=refined, **kw),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scamv",
+        description=(
+            "Scam-V with observation refinement (MICRO'21 reproduction): "
+            "validate side-channel models on a simulated Cortex-A53."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser(
+        "validate", help="run one validation campaign"
+    )
+    validate.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(_EXPERIMENTS),
+        help="which evaluation setting to run",
+    )
+    validate.add_argument(
+        "--refined",
+        action="store_true",
+        help="enable observation refinement (where the setting supports both)",
+    )
+    _add_scale_args(validate)
+    validate.add_argument(
+        "--db", default=None, help="sqlite file for experiment records"
+    )
+
+    table1 = sub.add_parser(
+        "table1", help="regenerate every Table 1 column (scaled down)"
+    )
+    _add_scale_args(table1)
+
+    fig7 = sub.add_parser(
+        "fig7", help="regenerate the Fig. 7 table (scaled down)"
+    )
+    _add_scale_args(fig7)
+
+    attack = sub.add_parser("attack", help="run a SiSCLoak attack PoC")
+    attack.add_argument(
+        "variant", choices=["v1", "classify"], help="which Fig. 6 victim"
+    )
+
+    repair = sub.add_parser(
+        "repair", help="auto-repair an unsound model (§8 future work)"
+    )
+    repair.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(_EXPERIMENTS),
+    )
+    _add_scale_args(repair)
+    return parser
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--programs", type=int, default=10)
+    parser.add_argument("--tests", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _campaign(args, name: str, refined: bool):
+    return _EXPERIMENTS[name](
+        refined,
+        num_programs=args.programs,
+        tests_per_program=args.tests,
+        seed=args.seed,
+    )
+
+
+def _cmd_validate(args) -> int:
+    config = _campaign(args, args.experiment, args.refined)
+    database = ExperimentDatabase(args.db) if args.db else None
+    print(config.describe())
+    result = ScamV(config, database=database).run(progress=print)
+    print()
+    print(format_table([result.stats]))
+    if database is not None:
+        database.close()
+        print(f"\nexperiment records written to {args.db}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    stats = []
+    for name, refined in [
+        ("mpart", False),
+        ("mpart", True),
+        ("mpart-aligned", False),
+        ("mpart-aligned", True),
+        ("mct-a", False),
+        ("mct-a", True),
+        ("mct-b", False),
+        ("mct-b", True),
+    ]:
+        config = _campaign(args, name, refined)
+        print(f"running {config.name} ...", file=sys.stderr)
+        stats.append(ScamV(config).run().stats)
+    print(format_table(stats, title="Table 1 (scaled reproduction)"))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    stats = []
+    for name, refined in [
+        ("mct-c", False),
+        ("mct-c", True),
+        ("mspec1-c", True),
+        ("mspec1-b", True),
+        ("straightline", True),
+    ]:
+        config = _campaign(args, name, refined)
+        print(f"running {config.name} ...", file=sys.stderr)
+        stats.append(ScamV(config).run().stats)
+    print(format_table(stats, title="Fig. 7 table (scaled reproduction)"))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks.siscloak import (
+        A_BASE,
+        LINE,
+        SECRET_FLAG,
+        SiSCloakAttack,
+        siscloak_classification_program,
+        siscloak_v1_program,
+    )
+
+    if args.variant == "v1":
+        size = 4 * 8
+        secret = 37 * LINE
+        memory = {A_BASE + i * 8: (i % 4) * LINE for i in range(4)}
+        memory[A_BASE + size] = secret
+        attack = SiSCloakAttack(siscloak_v1_program(), memory)
+        outcome = attack.recover(
+            benign_regs={"x0": 8, "x1": size},
+            malicious_regs={"x0": size, "x1": size},
+            secret=secret,
+        )
+    else:
+        secret = SECRET_FLAG | (29 * LINE)
+        memory = {A_BASE + i * 8: (i % 4) * LINE for i in range(4)}
+        memory[A_BASE + 4 * 8] = secret
+        attack = SiSCloakAttack(
+            siscloak_classification_program(),
+            memory,
+            candidate_offsets=[SECRET_FLAG | (i * LINE) for i in range(64)],
+        )
+        outcome = attack.recover(
+            benign_regs={"x0": 8},
+            malicious_regs={"x0": 4 * 8},
+            secret=secret,
+        )
+    recovered = (
+        hex(outcome.recovered) if outcome.recovered is not None else "nothing"
+    )
+    print(
+        f"SiSCLoak {args.variant}: recovered {recovered} "
+        f"(expected {hex(outcome.secret)}) -> "
+        f"{'SUCCESS' if outcome.success else 'FAILED'}"
+    )
+    return 0 if outcome.success else 1
+
+
+def _cmd_repair(args) -> int:
+    config = _campaign(args, args.experiment, refined=True)
+    if not config.model.has_refinement:
+        print(
+            f"experiment {args.experiment!r} has no refinement to promote",
+            file=sys.stderr,
+        )
+        return 2
+    report = ModelRepairer(config).repair()
+    print(report.describe())
+    return 0 if report.succeeded else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "validate": _cmd_validate,
+        "table1": _cmd_table1,
+        "fig7": _cmd_fig7,
+        "attack": _cmd_attack,
+        "repair": _cmd_repair,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: relation synthesis with observation
+refinement (§3, §5.2), coverage via supporting models (§4.1), and test-case
+generation.
+
+The flow for one program (Fig. 1):
+
+1. the observation model augments the lifted BIR program (``repro.obs``),
+2. symbolic execution enumerates paths and observation lists
+   (``repro.symbolic``),
+3. :class:`~repro.core.relation.RelationSynthesizer` builds, per pair of
+   paths (§5.4), the constraints "base observations equal" and — under
+   refinement — "refined observations different",
+4. :class:`~repro.core.testgen.TestCaseGenerator` adds well-formedness and
+   coverage constraints and asks the model finder for a pair of input
+   states, plus a branch-predictor training state (§5.3).
+"""
+
+from repro.core.rename import rename_expr, rename_observation
+from repro.core.relation import PairRelation, RelationSynthesizer
+from repro.core.coverage import CoverageSampler, MlineCoverage, NoCoverage
+from repro.core.probes import add_address_probes
+from repro.core.testgen import TestCase, TestCaseGenerator, TestGenConfig
+from repro.core.repair import ModelRepairer, PromotedModel, RepairReport
+
+__all__ = [
+    "rename_expr",
+    "rename_observation",
+    "PairRelation",
+    "RelationSynthesizer",
+    "CoverageSampler",
+    "MlineCoverage",
+    "NoCoverage",
+    "add_address_probes",
+    "TestCase",
+    "TestCaseGenerator",
+    "TestGenConfig",
+    "ModelRepairer",
+    "PromotedModel",
+    "RepairReport",
+]

@@ -1,0 +1,141 @@
+"""Coverage via supporting observational models (§4.1).
+
+Supporting models induce coarse, enumerable partitions of the input space;
+taking successive test cases from different partitions systematically
+explores the space.  Path coverage (Mpc, §4.1.1) is built into the
+per-path-pair round-robin of the test generator; this module adds
+cache-line coverage (Mline, §4.1.2): each test case pins the cache set
+index of an accessed address to an enumerated/sampled class, independently
+for the two states.
+
+With 128 sets and n accesses the class space is 128^(2n); like Scam-V's
+round-robin over a space too large to exhaust, we enumerate classes in a
+pseudo-random order (uniform sampling without bookkeeping), which is what
+matters for search guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bir import expr as E
+from repro.core.probes import architectural_probe_addresses
+from repro.core.rename import rename_expr
+from repro.core.relation import PairRelation
+from repro.obs.base import AttackerRegion
+from repro.symbolic.path import SymbolicExecutionResult
+from repro.utils.rng import SplittableRandom
+
+
+class CoverageSampler:
+    """Interface: extra constraints steering one test case's generation."""
+
+    name: str = "none"
+
+    def constraints(
+        self,
+        pair: PairRelation,
+        result: SymbolicExecutionResult,
+        rng: SplittableRandom,
+    ) -> List[E.Expr]:
+        raise NotImplementedError
+
+
+@dataclass
+class MagnitudeCoverage(CoverageSampler):
+    """Operand-magnitude classes — the §3 running example.
+
+    The paper's example support model "observes the highest two bits of x1
+    ... for checking if time needed for additions depends on the size of
+    the arguments", repartitioning a class into ``2^16*i`` magnitude
+    ranges.  This sampler pins the first variable-latency operand of each
+    state into one of four 16-bit-chunk classes, matching the simulated
+    early-termination multiplier.
+    """
+
+    chunks: int = 4
+    chunk_bits: int = 16
+
+    def __post_init__(self):
+        self.name = "Mpc&Mmagnitude"
+
+    def constraints(
+        self,
+        pair: PairRelation,
+        result: SymbolicExecutionResult,
+        rng: SplittableRandom,
+    ) -> List[E.Expr]:
+        from repro.bir.tags import ObsKind
+
+        out: List[E.Expr] = []
+        for state_index, path_index in (
+            (1, pair.path1_index),
+            (2, pair.path2_index),
+        ):
+            path = result[path_index]
+            operands = [
+                o.exprs[0]
+                for o in path.observations
+                if o.kind is ObsKind.OPERAND
+            ]
+            if not operands:
+                continue
+            operand = rename_expr(operands[0], state_index)
+            klass = rng.randint(0, self.chunks - 1)
+            upper = 1 << (self.chunk_bits * (klass + 1))
+            if klass + 1 < self.chunks:
+                out.append(E.ult(operand, E.const(upper, operand.width)))
+            if klass > 0:
+                lower = 1 << (self.chunk_bits * klass)
+                out.append(E.ule(E.const(lower, operand.width), operand))
+        return out
+
+
+class NoCoverage(CoverageSampler):
+    """Path coverage only (the built-in Mpc round-robin)."""
+
+    name = "Mpc"
+
+    def constraints(self, pair, result, rng) -> List[E.Expr]:
+        return []
+
+
+@dataclass
+class MlineCoverage(CoverageSampler):
+    """Mline (§4.1.2): pin the set index of the anchor access of each state.
+
+    Only the *first* architectural access is pinned: the templates' accesses
+    are base+stride chains, so one anchor determines the rest and pinning
+    several would often be unsatisfiable.
+    """
+
+    region: AttackerRegion
+
+    def __post_init__(self):
+        self.name = "Mpc&Mline"
+
+    def constraints(
+        self,
+        pair: PairRelation,
+        result: SymbolicExecutionResult,
+        rng: SplittableRandom,
+    ) -> List[E.Expr]:
+        out: List[E.Expr] = []
+        for state_index, path_index in (
+            (1, pair.path1_index),
+            (2, pair.path2_index),
+        ):
+            path = result[path_index]
+            addresses = list(architectural_probe_addresses(path))
+            if not addresses:
+                continue
+            anchor = rename_expr(addresses[0], state_index)
+            target_line = rng.randint(0, self.region.set_count - 1)
+            out.append(
+                E.eq(
+                    self.region.line_expr(anchor),
+                    E.const(target_line, anchor.width),
+                )
+            )
+        return out

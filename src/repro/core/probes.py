@@ -1,0 +1,62 @@
+"""Pipeline-internal address probes.
+
+Well-formedness (every accessed address must lie inside the experiment
+memory region, aligned) and cache-line coverage both need the address of
+*every* memory access along a path — including accesses the model under
+validation does not observe (Mpart ignores non-attacker accesses; Mct on a
+transient path observes nothing).  ``add_address_probes`` inserts
+``PROBE``-tagged observations for every load and store, architectural and
+transient; relation synthesis ignores the PROBE tag, and the test generator
+reads the probes off the symbolic paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsKind, ObsTag
+from repro.obs.base import is_transient, load_address, map_block_bodies, store_address
+from repro.symbolic.path import SymbolicObservation, SymbolicPath
+
+
+def add_address_probes(program: Program) -> Program:
+    """Insert a PROBE observation before every load and store."""
+
+    def rewrite(block: Block):
+        for stmt in block.body:
+            addr = load_address(stmt)
+            kind = ObsKind.SPEC_LOAD_ADDR if is_transient(stmt) else ObsKind.LOAD_ADDR
+            if addr is None:
+                addr = store_address(stmt)
+                kind = ObsKind.STORE_ADDR
+            if addr is not None:
+                yield Observe(
+                    tag=ObsTag.PROBE,
+                    kind=kind,
+                    exprs=(addr,),
+                    label="probe",
+                )
+            yield stmt
+
+    return map_block_bodies(program, rewrite)
+
+
+def probe_observations(path: SymbolicPath) -> Tuple[SymbolicObservation, ...]:
+    """All PROBE observations of a path (every accessed address)."""
+    return path.observations_with_tag(ObsTag.PROBE)
+
+
+def probe_addresses(path: SymbolicPath) -> Iterator[E.Expr]:
+    """The address expressions of a path's probes, in program order."""
+    for obs in probe_observations(path):
+        yield obs.exprs[0]
+
+
+def architectural_probe_addresses(path: SymbolicPath) -> Iterator[E.Expr]:
+    """Probe addresses of architectural (non-transient) accesses only."""
+    for obs in probe_observations(path):
+        if obs.kind is not ObsKind.SPEC_LOAD_ADDR:
+            yield obs.exprs[0]

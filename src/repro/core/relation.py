@@ -1,0 +1,202 @@
+"""Observational-equivalence relation synthesis (§2.3, Eq. 1) with the
+per-path-pair split (§5.4) and refinement (§3).
+
+For a chosen pair of symbolic paths (σ1, σ2) a :class:`PairRelation` holds
+
+* the *antecedent* — both path conditions, renamed into the two-state
+  namespace (asserting it selects this conjunct of Eq. 1);
+* the *base equalities* — ``l_σ1(s1) = l_σ2(s2)`` restricted to BASE
+  observations: per position, guards must agree and, when the guard holds,
+  the observed values must agree;
+* the *refined difference* — the negation of refined-observation equality
+  (``s1 !~M2 s2`` given ``s1 ~M1 s2``): some refined position where guards
+  disagree or both guards hold and a value differs.
+
+A pair with mismatching BASE observation shapes (lengths, kinds, or
+constant values such as program counters) is *statically infeasible*: those
+conjuncts of Eq. 1 are the "trivially false" cases of §2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.bir import expr as E
+from repro.bir.simp import simplify
+from repro.bir.tags import ObsTag
+from repro.core.rename import rename_expr, rename_observation
+from repro.symbolic.path import (
+    SymbolicExecutionResult,
+    SymbolicObservation,
+)
+
+
+@dataclass(frozen=True)
+class PairRelation:
+    """The relation restricted to one pair of execution paths."""
+
+    path1_index: int
+    path2_index: int
+    antecedent: Tuple[E.Expr, ...]
+    base_equalities: Tuple[E.Expr, ...]
+    refined_difference: Optional[E.Expr]
+    statically_infeasible: bool = False
+
+    def equivalence_constraints(self) -> Tuple[E.Expr, ...]:
+        """Constraints for ``s1 ~M1 s2`` on this path pair."""
+        return self.antecedent + self.base_equalities
+
+    def refinement_constraints(self) -> Tuple[E.Expr, ...]:
+        """Constraints for ``s1 ~M1 s2  and  s1 !~M2 s2`` (§3 step 4)."""
+        if self.refined_difference is None:
+            return self.equivalence_constraints()
+        return self.equivalence_constraints() + (self.refined_difference,)
+
+    @property
+    def usable_for_refinement(self) -> bool:
+        """False when no refined observation can possibly differ here."""
+        return (
+            not self.statically_infeasible
+            and self.refined_difference is not None
+            and self.refined_difference != E.FALSE
+        )
+
+
+class RelationSynthesizer:
+    """Builds pair relations — and the full Eq. 1 formula — for a symbolic
+    execution result."""
+
+    def __init__(self, result: SymbolicExecutionResult, refinement: bool):
+        self.result = result
+        self.refinement = refinement
+
+    # -- per-pair (§5.4) -----------------------------------------------------
+
+    def pair(self, i: int, j: int) -> PairRelation:
+        path1 = self.result[i]
+        path2 = self.result[j]
+        antecedent = tuple(
+            rename_expr(c, 1) for c in path1.path_condition
+        ) + tuple(rename_expr(c, 2) for c in path2.path_condition)
+
+        base1 = _renamed(path1.base_observations(), 1)
+        base2 = _renamed(path2.base_observations(), 2)
+        base_eqs, feasible = _observation_equalities(base1, base2)
+        if not feasible:
+            return PairRelation(
+                i, j, antecedent, tuple(base_eqs), None, statically_infeasible=True
+            )
+
+        refined_diff: Optional[E.Expr] = None
+        if self.refinement:
+            ref1 = _renamed(path1.refined_only_observations(), 1)
+            ref2 = _renamed(path2.refined_only_observations(), 2)
+            refined_diff = _observation_difference(ref1, ref2)
+
+        return PairRelation(i, j, antecedent, tuple(base_eqs), refined_diff)
+
+    def all_pairs(self) -> Iterator[PairRelation]:
+        """Every (i, j) pair with i <= j, in round-robin-friendly order."""
+        n = len(self.result)
+        for i in range(n):
+            for j in range(i, n):
+                yield self.pair(i, j)
+
+    def feasible_pairs(self) -> List[PairRelation]:
+        return [p for p in self.all_pairs() if not p.statically_infeasible]
+
+    # -- the monolithic Eq. 1 relation (naive form, used by the ablation) ----
+
+    def synthesize_full(self) -> E.Expr:
+        """The whole ``s1 ~M1 s2`` formula of Eq. 1 as one expression."""
+        conjuncts: List[E.Expr] = []
+        for pair in self.all_pairs():
+            antecedent = E.bool_and(*pair.antecedent)
+            if pair.statically_infeasible:
+                consequent: E.Expr = E.FALSE
+            else:
+                consequent = E.bool_and(*pair.base_equalities)
+            conjuncts.append(simplify(E.bool_or(E.bool_not(antecedent), consequent)))
+            if pair.path1_index != pair.path2_index:
+                # Eq. 1 quantifies over ordered pairs; mirror the conjunct.
+                mirrored = self.pair(pair.path2_index, pair.path1_index)
+                antecedent = E.bool_and(*mirrored.antecedent)
+                consequent = (
+                    E.FALSE
+                    if mirrored.statically_infeasible
+                    else E.bool_and(*mirrored.base_equalities)
+                )
+                conjuncts.append(
+                    simplify(E.bool_or(E.bool_not(antecedent), consequent))
+                )
+        return E.bool_and(*conjuncts)
+
+
+def _renamed(
+    observations: Sequence[SymbolicObservation], state_index: int
+) -> List[SymbolicObservation]:
+    return [rename_observation(o, state_index) for o in observations]
+
+
+def _observation_equalities(
+    obs1: Sequence[SymbolicObservation], obs2: Sequence[SymbolicObservation]
+) -> Tuple[List[E.Expr], bool]:
+    """Positional equality of two observation lists.
+
+    Returns ``(constraints, feasible)``; infeasible when lengths or kinds
+    mismatch or an equality simplifies to false (constant observations such
+    as program counters from different paths).
+    """
+    if len(obs1) != len(obs2):
+        return [], False
+    constraints: List[E.Expr] = []
+    for o1, o2 in zip(obs1, obs2):
+        if o1.kind is not o2.kind or len(o1.exprs) != len(o2.exprs):
+            return [], False
+        guard_eq = simplify(E.eq(o1.guard, o2.guard))
+        if guard_eq == E.FALSE:
+            return [], False
+        if guard_eq != E.TRUE:
+            constraints.append(guard_eq)
+        values_eq = E.bool_and(
+            *(E.eq(e1, e2) for e1, e2 in zip(o1.exprs, o2.exprs))
+        )
+        guarded = simplify(_guarded(o1.guard, values_eq))
+        if guarded == E.FALSE:
+            return [], False
+        if guarded != E.TRUE:
+            constraints.append(guarded)
+    return constraints, True
+
+
+def _observation_difference(
+    obs1: Sequence[SymbolicObservation], obs2: Sequence[SymbolicObservation]
+) -> E.Expr:
+    """The negation of refined-observation-list equality.
+
+    Shape mismatch means the lists always differ (TRUE); otherwise a
+    disjunction over positions of "guards disagree or both hold and some
+    value differs".  FALSE when there are no refined observations at all.
+    """
+    if len(obs1) != len(obs2):
+        return E.TRUE
+    for o1, o2 in zip(obs1, obs2):
+        if o1.kind is not o2.kind or len(o1.exprs) != len(o2.exprs):
+            return E.TRUE
+    disjuncts: List[E.Expr] = []
+    for o1, o2 in zip(obs1, obs2):
+        guard_diff = simplify(E.ne(o1.guard, o2.guard))
+        values_diff = E.bool_or(
+            *(E.ne(e1, e2) for e1, e2 in zip(o1.exprs, o2.exprs))
+        )
+        both_hold = E.bool_and(o1.guard, o2.guard, values_diff)
+        disjuncts.append(simplify(E.bool_or(guard_diff, both_hold)))
+    return simplify(E.bool_or(*disjuncts))
+
+
+def _guarded(guard: E.Expr, body: E.Expr) -> E.Expr:
+    """``guard implies body`` (the lists agree where the guard holds)."""
+    if guard == E.TRUE:
+        return body
+    return E.bool_or(E.bool_not(guard), body)

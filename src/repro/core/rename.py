@@ -1,0 +1,41 @@
+"""Renaming single-state expressions into the two-state namespace.
+
+A relational formula constrains two copies of the initial state; copy ``i``
+of variable ``x0`` is ``x0#i`` and of memory ``MEM`` is ``MEM#i`` (see
+:mod:`repro.smt.naming`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bir import expr as E
+from repro.smt.naming import rename_for_state
+from repro.symbolic.path import SymbolicObservation
+
+
+def rename_expr(expr: E.Expr, state_index: int) -> E.Expr:
+    """Rename all variables and base memories of ``expr`` to state ``i``."""
+    var_map: Dict[E.Var, E.Expr] = {
+        v: E.Var(rename_for_state(v.name, state_index), v.width)
+        for v in expr.variables()
+    }
+    renamed = E.substitute(expr, var_map)
+    mem_map: Dict[E.MemVar, E.MemVar] = {
+        m: E.MemVar(rename_for_state(m.name, state_index))
+        for m in renamed.memories()
+    }
+    return E.substitute_memory(renamed, mem_map)
+
+
+def rename_observation(
+    obs: SymbolicObservation, state_index: int
+) -> SymbolicObservation:
+    """Rename an observation's guard and value expressions to state ``i``."""
+    return SymbolicObservation(
+        tag=obs.tag,
+        kind=obs.kind,
+        exprs=tuple(rename_expr(e, state_index) for e in obs.exprs),
+        guard=rename_expr(obs.guard, state_index),
+        label=obs.label,
+    )

@@ -1,0 +1,148 @@
+"""Automatic observation-model repair (§8 future work).
+
+The paper's concluding remarks propose "techniques to refine unsound
+observation models to automatically restore their soundness, e.g., by
+adding state observations".  This module implements that loop for
+refinement-carrying models:
+
+1. validate the model under refinement guidance (a Scam-V campaign);
+2. if counterexamples appear, *promote* the refined observations into the
+   model under validation — the refined observations are precisely the
+   extra state the counterexamples showed to leak;
+3. re-validate the strengthened model; repeat until no counterexamples
+   remain (or the iteration budget runs out).
+
+Promotion is sound by construction — the promoted model is more
+restrictive (``~M2 ⊆ ~M1``, §3) — but possibly coarser than necessary;
+the loop reports how many promotions were needed so a model designer can
+inspect what was missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsTag
+from repro.obs.base import ObservationModel, map_block_bodies
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle with
+    # repro.pipeline, which itself builds on repro.core)
+    from repro.pipeline.config import CampaignConfig
+    from repro.pipeline.metrics import CampaignStats
+
+
+class PromotedModel(ObservationModel):
+    """A model with its refined observations promoted into the base.
+
+    The wrapped model's REFINED observations become BASE: the promoted
+    model *observes* the state that the counterexamples leaked, so the
+    equivalence relation now forces it equal across test pairs.  The
+    promoted model carries no refinement of its own (its refinement was
+    consumed by the promotion).
+    """
+
+    has_refinement = False
+
+    def __init__(self, inner: ObservationModel):
+        self.inner = inner
+        self.name = f"{inner.name} (promoted)"
+
+    def augment(self, program: Program) -> Program:
+        augmented = self.inner.augment(program)
+
+        def rewrite(block: Block):
+            for stmt in block.body:
+                if isinstance(stmt, Observe) and stmt.tag is ObsTag.REFINED:
+                    yield Observe(
+                        ObsTag.BASE, stmt.kind, stmt.exprs, stmt.guard, stmt.label
+                    )
+                else:
+                    yield stmt
+
+        return map_block_bodies(augmented, rewrite)
+
+
+@dataclass
+class RepairStep:
+    """One iteration of the repair loop."""
+
+    model_name: str
+    stats: "CampaignStats"
+
+    @property
+    def sound_so_far(self) -> bool:
+        return self.stats.counterexamples == 0
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a repair loop."""
+
+    steps: List[RepairStep] = field(default_factory=list)
+    repaired_model: Optional[ObservationModel] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return bool(self.steps) and self.steps[-1].sound_so_far
+
+    @property
+    def promotions(self) -> int:
+        return max(0, len(self.steps) - 1)
+
+    def describe(self) -> str:
+        lines = ["model repair:"]
+        for index, step in enumerate(self.steps):
+            verdict = (
+                "no counterexamples"
+                if step.sound_so_far
+                else f"{step.stats.counterexamples} counterexamples"
+            )
+            lines.append(f"  step {index}: {step.model_name} -> {verdict}")
+        lines.append(
+            "  result: "
+            + (
+                f"repaired after {self.promotions} promotion(s)"
+                if self.succeeded
+                else "not repaired within budget"
+            )
+        )
+        return "\n".join(lines)
+
+
+class ModelRepairer:
+    """Runs the validate -> promote -> re-validate loop on a campaign.
+
+    ``campaign`` describes the validation setting (template, sizes,
+    platform); its model must carry a refinement, which supplies both the
+    search guidance and the observations available for promotion.
+    """
+
+    def __init__(self, campaign: "CampaignConfig", max_promotions: int = 2):
+        self.campaign = campaign
+        self.max_promotions = max_promotions
+
+    def repair(self) -> RepairReport:
+        from repro.pipeline.driver import ScamV  # deferred: avoids a cycle
+
+        report = RepairReport()
+        model = self.campaign.model
+        for round_index in range(self.max_promotions + 1):
+            config = replace(
+                self.campaign,
+                model=model,
+                name=f"{self.campaign.name} [repair {round_index}]",
+                seed=self.campaign.seed + round_index,
+            )
+            stats = ScamV(config).run().stats
+            report.steps.append(RepairStep(model.name, stats))
+            if stats.counterexamples == 0:
+                report.repaired_model = model
+                return report
+            if not getattr(model, "has_refinement", False):
+                # Nothing left to promote: repair failed.
+                return report
+            model = PromotedModel(model)
+        return report

@@ -1,0 +1,214 @@
+"""Test-case generation: from a template program to a pair of input states.
+
+Implements steps (2)-(4) of Fig. 1 for one program: symbolic execution runs
+**once** per program (its result is cached on the generator, §5), relation
+synthesis produces per-path-pair constraints (§5.4), and the model finder
+instantiates them into two concrete states — plus a branch-predictor
+training state on a different path (§5.3).
+
+Well-formedness constraints keep every accessed address (architectural and
+transient) inside the platform's experiment memory region and 8-byte
+aligned, mirroring how Scam-V constrains experiments to runnable memory.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bir import expr as E
+from repro.core.coverage import CoverageSampler, NoCoverage
+from repro.core.probes import add_address_probes, probe_addresses
+from repro.core.relation import PairRelation, RelationSynthesizer
+from repro.core.rename import rename_expr
+from repro.errors import GeneratorError
+from repro.hw.platform import StateInputs
+from repro.isa.lifter import lift
+from repro.isa.program import AsmProgram
+from repro.obs.base import ObservationModel
+from repro.smt.naming import rename_for_state
+from repro.smt.solver import Model, ModelFinder, SolverConfig
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+_REGISTER_NAME = re.compile(r"^x\d+$")
+
+
+@dataclass(frozen=True)
+class TestGenConfig:
+    """Test generation parameters (shared with the solver's value domain)."""
+
+    region_base: int = 0x80000
+    region_size: int = 0x40000
+    alignment: int = 8
+    max_pair_attempts: int = 12
+    max_paths: int = 64
+    solver: SolverConfig = field(default_factory=SolverConfig)
+
+    def __post_init__(self):
+        solver = SolverConfig(
+            max_restarts=self.solver.max_restarts,
+            max_repairs=self.solver.max_repairs,
+            divergence=self.solver.divergence,
+            region_base=self.region_base,
+            region_size=self.region_size,
+            region_bias=self.solver.region_bias,
+            alignment=self.alignment,
+        )
+        object.__setattr__(self, "solver", solver)
+
+
+@dataclass
+class TestCase:
+    """A generated experiment: one program, two states, optional training."""
+
+    program: AsmProgram
+    state1: StateInputs
+    state2: StateInputs
+    train: Optional[StateInputs]
+    pair: Tuple[int, int]
+    refined: bool  # generated under the refinement constraint
+
+
+class TestCaseGenerator:
+    """Generates test cases for one program under one observation model."""
+
+    def __init__(
+        self,
+        asm: AsmProgram,
+        model: ObservationModel,
+        config: Optional[TestGenConfig] = None,
+        rng: Optional[SplittableRandom] = None,
+        coverage: Optional[CoverageSampler] = None,
+    ):
+        self.asm = asm
+        self.model = model
+        self.config = config or TestGenConfig()
+        self.rng = rng or SplittableRandom(0)
+        self.coverage = coverage or NoCoverage()
+
+        bir = lift(asm)
+        augmented = add_address_probes(model.augment(bir))
+        #: The augmented BIR program (exposed for certification/analysis).
+        self.augmented = augmented
+        # Symbolic execution runs once per program; later phases reuse it.
+        self.result = execute(augmented, max_paths=self.config.max_paths)
+        self.synthesizer = RelationSynthesizer(self.result, model.has_refinement)
+        feasible = self.synthesizer.feasible_pairs()
+        if model.has_refinement:
+            usable = [p for p in feasible if p.usable_for_refinement]
+            # When no pair has refined observations that can differ, the
+            # refinement adds nothing for this program; fall back to plain
+            # equivalence so experiments still run (they then cannot exceed
+            # what unguided testing would find).
+            self._pairs = usable or feasible
+            self._refined_mode = bool(usable)
+        else:
+            self._pairs = feasible
+            self._refined_mode = False
+        self._round_robin = 0
+        self._train_cache: Dict[int, Optional[StateInputs]] = {}
+        self._wellformed_cache: Dict[Tuple[int, int], List[E.Expr]] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def path_count(self) -> int:
+        return len(self.result)
+
+    def generate(self) -> Optional[TestCase]:
+        """Produce the next test case, or None if generation keeps failing."""
+        if not self._pairs:
+            return None
+        for _ in range(self.config.max_pair_attempts):
+            pair = self._pairs[self._round_robin % len(self._pairs)]
+            self._round_robin += 1
+            test = self._instantiate(pair)
+            if test is not None:
+                return test
+        return None
+
+    # -- internals -----------------------------------------------------------
+
+    def _instantiate(self, pair: PairRelation) -> Optional[TestCase]:
+        if self._refined_mode:
+            constraints = list(pair.refinement_constraints())
+        else:
+            constraints = list(pair.equivalence_constraints())
+        constraints += self._wellformed(pair.path1_index, 1)
+        constraints += self._wellformed(pair.path2_index, 2)
+        constraints += self.coverage.constraints(
+            pair, self.result, self.rng.split("coverage")
+        )
+        finder = ModelFinder(self.config.solver, self.rng.split("solve"))
+        model = finder.solve(constraints)
+        if model is None:
+            return None
+        state1 = self._state_inputs(model, 1)
+        state2 = self._state_inputs(model, 2)
+        train = self._training_state(pair.path1_index)
+        return TestCase(
+            program=self.asm,
+            state1=state1,
+            state2=state2,
+            train=train,
+            pair=(pair.path1_index, pair.path2_index),
+            refined=self._refined_mode,
+        )
+
+    def _wellformed(self, path_index: int, state_index: int) -> List[E.Expr]:
+        key = (path_index, state_index)
+        cached = self._wellformed_cache.get(key)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        lo = E.const(cfg.region_base)
+        hi = E.const(cfg.region_base + cfg.region_size - cfg.alignment)
+        align_mask = E.const(cfg.alignment - 1)
+        out: List[E.Expr] = []
+        for addr in probe_addresses(self.result[path_index]):
+            renamed = rename_expr(addr, state_index)
+            out.append(E.ule(lo, renamed))
+            out.append(E.ule(renamed, hi))
+            out.append(E.eq(E.band(renamed, align_mask), E.const(0)))
+        self._wellformed_cache[key] = out
+        return out
+
+    def _state_inputs(self, model: Model, state_index: int) -> StateInputs:
+        regs: Dict[str, int] = {}
+        for reg in self.asm.input_registers():
+            regs[reg.name] = model.register(
+                rename_for_state(reg.name, state_index)
+            )
+        memory = {
+            addr: value
+            for addr, value in model.memory(
+                rename_for_state("MEM", state_index)
+            ).items()
+        }
+        return StateInputs(regs=regs, memory=memory)
+
+    def _training_state(self, measured_path: int) -> Optional[StateInputs]:
+        """A state driving a path with a different branch history (§5.3)."""
+        target = self._divergent_path(measured_path)
+        if target is None:
+            return None
+        if target in self._train_cache:
+            return self._train_cache[target]
+        constraints = [
+            rename_expr(c, 1) for c in self.result[target].path_condition
+        ]
+        constraints += self._wellformed(target, 1)
+        finder = ModelFinder(self.config.solver, self.rng.split("train"))
+        model = finder.solve(constraints)
+        train = self._state_inputs(model, 1) if model is not None else None
+        self._train_cache[target] = train
+        return train
+
+    def _divergent_path(self, measured_path: int) -> Optional[int]:
+        measured_trace = self.result[measured_path].block_trace
+        for index, path in enumerate(self.result):
+            if path.block_trace != measured_trace:
+                return index
+        return None

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BirError(ReproError):
+    """Malformed BIR program, expression, or statement."""
+
+
+class BirTypeError(BirError):
+    """A BIR expression was built from operands of incompatible widths."""
+
+
+class IsaError(ReproError):
+    """Malformed ISA instruction or assembly input."""
+
+
+class LiftError(ReproError):
+    """An ISA instruction could not be lifted to BIR."""
+
+
+class SymbolicExecutionError(ReproError):
+    """The symbolic executor hit an unsupported construct or a bound."""
+
+
+class PathExplosionError(SymbolicExecutionError):
+    """Path enumeration exceeded the configured limit."""
+
+
+class SolverError(ReproError):
+    """The model finder failed in an unexpected way."""
+
+
+class UnsatError(SolverError):
+    """The constraint set is unsatisfiable (proved, not timed out)."""
+
+
+class SolverTimeoutError(SolverError):
+    """The model finder exhausted its budget without a verdict."""
+
+
+class ObservationModelError(ReproError):
+    """An observation model was misconfigured or misapplied."""
+
+
+class RefinementError(ReproError):
+    """Refinement setup violated the more-restrictive-model assumption."""
+
+
+class GeneratorError(ReproError):
+    """A program generator was given unsatisfiable constraints."""
+
+
+class HardwareError(ReproError):
+    """The microarchitecture simulator was driven into an invalid state."""
+
+
+class PlatformError(HardwareError):
+    """The experiment platform (TrustZone-like runner) failed."""
+
+
+class PipelineError(ReproError):
+    """Scam-V pipeline orchestration failure."""
+
+
+class ExperimentError(PipelineError):
+    """A single experiment could not be generated or executed."""

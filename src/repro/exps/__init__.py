@@ -1,0 +1,28 @@
+"""Preset campaign configurations for every table column in the paper,
+plus the new-channel extension campaigns (TLB, timing)."""
+
+from repro.exps.presets import (
+    ATTACKER_SETS_PAGE_ALIGNED,
+    ATTACKER_SETS_UNALIGNED,
+    REGION_PAGE_ALIGNED,
+    REGION_UNALIGNED,
+    mct_campaign,
+    mpart_campaign,
+    mspec1_campaign,
+    straightline_campaign,
+    timing_campaign,
+    tlb_campaign,
+)
+
+__all__ = [
+    "ATTACKER_SETS_PAGE_ALIGNED",
+    "ATTACKER_SETS_UNALIGNED",
+    "REGION_PAGE_ALIGNED",
+    "REGION_UNALIGNED",
+    "mct_campaign",
+    "mpart_campaign",
+    "mspec1_campaign",
+    "straightline_campaign",
+    "timing_campaign",
+    "tlb_campaign",
+]

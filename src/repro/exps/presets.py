@@ -1,0 +1,243 @@
+"""Campaign presets reproducing the paper's experiment settings (§6).
+
+Each function returns a :class:`~repro.pipeline.config.CampaignConfig` for
+one column of Table 1 or the Fig. 7 table, scaled by ``num_programs`` /
+``tests_per_program`` (the paper uses hundreds of programs and ~40 tests
+per program; the benchmarks run a scaled-down version with the same
+structure).
+
+Calibrated modelling knobs (documented in DESIGN.md):
+
+* ``divergence`` — the completion-policy probability that an unconstrained
+  value differs between the two states.  Mpart campaigns use a higher value
+  (Scam-V's word generators randomise the stride base per test); Mct
+  campaigns use a small value (don't-cares from the SMT solver are almost
+  always identical across the pair).
+* ``noise_rate`` — per-measured-run probability of a perturbed cache
+  snapshot, reproducing the paper's inconclusive rates (~26% for the
+  prefetcher-heavy Mpart runs, ~2% for the speculation runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.coverage import MagnitudeCoverage, MlineCoverage, NoCoverage
+from repro.core.testgen import TestGenConfig
+from repro.gen.templates import (
+    MulTemplate,
+    StrideTemplate,
+    TemplateA,
+    TemplateB,
+    TemplateC,
+    TemplateD,
+    TemplateGenerator,
+)
+from repro.hw.core import CoreConfig
+from repro.hw.platform import Channel, PlatformConfig
+from repro.obs.base import AttackerRegion
+from repro.obs.channels import MpageRefinedModel, MtimeRefinedModel
+from repro.obs.models import (
+    MctModel,
+    MlineModel,
+    MpartModel,
+    MpartRefinedModel,
+    MpcModel,
+    MspecModel,
+    MspecOneLoadModel,
+    MspecStraightLineModel,
+)
+from repro.pipeline.config import CampaignConfig
+from repro.smt.solver import SolverConfig
+
+# §6.2: the data cache has 128 sets; the unaligned attacker region covers
+# the highest 67 set indexes, the page-aligned one the highest 64.
+REGION_UNALIGNED = AttackerRegion(61, 127)
+REGION_PAGE_ALIGNED = AttackerRegion(64, 127)
+ATTACKER_SETS_UNALIGNED: Tuple[int, ...] = tuple(range(61, 128))
+ATTACKER_SETS_PAGE_ALIGNED: Tuple[int, ...] = tuple(range(64, 128))
+
+MPART_DIVERGENCE = 0.02
+MCT_DIVERGENCE = 0.004
+MPART_NOISE = 0.015
+MCT_NOISE = 0.001
+
+
+def _testgen(divergence: float) -> TestGenConfig:
+    return TestGenConfig(solver=SolverConfig(divergence=divergence))
+
+
+def mpart_campaign(
+    refined: bool,
+    page_aligned: bool = False,
+    num_programs: int = 30,
+    tests_per_program: int = 40,
+    seed: int = 0,
+    noise_rate: float = MPART_NOISE,
+    core: Optional[CoreConfig] = None,
+) -> CampaignConfig:
+    """Table 1, Mpart columns: cache partitioning vs. prefetching (§6.2)."""
+    region = REGION_PAGE_ALIGNED if page_aligned else REGION_UNALIGNED
+    attacker = (
+        ATTACKER_SETS_PAGE_ALIGNED if page_aligned else ATTACKER_SETS_UNALIGNED
+    )
+    model = MpartRefinedModel(region) if refined else MpartModel(region)
+    coverage = MlineCoverage(region) if refined else NoCoverage()
+    suffix = " page-aligned" if page_aligned else ""
+    name = f"Mpart{suffix} / {'Mpart-ref' if refined else 'no-ref'}"
+    return CampaignConfig(
+        name=name,
+        template=StrideTemplate(),
+        model=model,
+        coverage=coverage,
+        num_programs=num_programs,
+        tests_per_program=tests_per_program,
+        testgen=_testgen(MPART_DIVERGENCE),
+        platform=PlatformConfig(
+            core=core or CoreConfig(),
+            attacker_sets=attacker,
+            noise_rate=noise_rate,
+        ),
+        seed=seed,
+    )
+
+
+def _template(kind: str) -> TemplateGenerator:
+    return {
+        "A": TemplateA(),
+        "B": TemplateB(),
+        "C": TemplateC(),
+        "D": TemplateD(),
+    }[kind]
+
+
+def mct_campaign(
+    template: str,
+    refined: bool,
+    num_programs: int = 30,
+    tests_per_program: int = 40,
+    seed: int = 0,
+    noise_rate: float = MCT_NOISE,
+    core: Optional[CoreConfig] = None,
+) -> CampaignConfig:
+    """Table 1 Mct columns (Templates A/B) and Fig. 7 Mct/Template C."""
+    model = MspecModel() if refined else MctModel()
+    name = f"Mct T{template} / {'Mspec' if refined else 'no-ref'}"
+    return CampaignConfig(
+        name=name,
+        template=_template(template),
+        model=model,
+        num_programs=num_programs,
+        tests_per_program=tests_per_program,
+        testgen=_testgen(MCT_DIVERGENCE),
+        platform=PlatformConfig(
+            core=core or CoreConfig(), noise_rate=noise_rate
+        ),
+        seed=seed,
+    )
+
+
+def mspec1_campaign(
+    template: str,
+    num_programs: int = 30,
+    tests_per_program: int = 40,
+    seed: int = 0,
+    noise_rate: float = MCT_NOISE,
+    core: Optional[CoreConfig] = None,
+) -> CampaignConfig:
+    """Fig. 7 Mspec1 columns: validate Mspec1 with Mspec refinement (§6.5)."""
+    return CampaignConfig(
+        name=f"Mspec1 T{template} / Mspec",
+        template=_template(template),
+        model=MspecOneLoadModel(),
+        num_programs=num_programs,
+        tests_per_program=tests_per_program,
+        testgen=_testgen(MCT_DIVERGENCE),
+        platform=PlatformConfig(
+            core=core or CoreConfig(), noise_rate=noise_rate
+        ),
+        seed=seed,
+    )
+
+
+def straightline_campaign(
+    num_programs: int = 30,
+    tests_per_program: int = 40,
+    seed: int = 0,
+    core: Optional[CoreConfig] = None,
+) -> CampaignConfig:
+    """Fig. 7 last column: Mct with Mspec' on Template D (§6.5)."""
+    return CampaignConfig(
+        name="Mct TD / Mspec'",
+        template=TemplateD(),
+        model=MspecStraightLineModel(),
+        num_programs=num_programs,
+        tests_per_program=tests_per_program,
+        testgen=_testgen(MCT_DIVERGENCE),
+        platform=PlatformConfig(core=core or CoreConfig(), noise_rate=0.0),
+        seed=seed,
+    )
+
+
+def tlb_campaign(
+    refined: bool,
+    num_programs: int = 20,
+    tests_per_program: int = 20,
+    seed: int = 0,
+    core: Optional[CoreConfig] = None,
+) -> CampaignConfig:
+    """New-channel extension (§2.3): a set-index-only model vs. the TLB.
+
+    Validates Mline — "the attacker resolves cache set indexes" — against
+    the TLB channel.  The model is unsound: two states touching the same
+    sets in different pages leave different TLB states.  The refinement
+    observes page numbers (:class:`~repro.obs.channels.MpageRefinedModel`).
+    """
+    region = REGION_UNALIGNED
+    model = MpageRefinedModel(region) if refined else MlineModel(region)
+    name = f"Mline/TLB / {'Mpage' if refined else 'no-ref'}"
+    return CampaignConfig(
+        name=name,
+        template=StrideTemplate(),
+        model=model,
+        num_programs=num_programs,
+        tests_per_program=tests_per_program,
+        testgen=_testgen(MCT_DIVERGENCE),
+        platform=PlatformConfig(
+            core=core or CoreConfig(), channel=Channel.TLB
+        ),
+        seed=seed,
+    )
+
+
+def timing_campaign(
+    refined: bool,
+    num_programs: int = 20,
+    tests_per_program: int = 20,
+    seed: int = 0,
+    core: Optional[CoreConfig] = None,
+) -> CampaignConfig:
+    """New-channel extension (§2.3, §3 example): pc-security model vs. the
+    cycle-count channel on a core with an early-termination multiplier.
+
+    Validates Mpc — "execution time depends only on control flow" — against
+    the TIME channel.  The refinement observes multiplier operands
+    (:class:`~repro.obs.channels.MtimeRefinedModel`) with the §3
+    magnitude-class coverage.
+    """
+    model = MtimeRefinedModel() if refined else MpcModel()
+    coverage = MagnitudeCoverage() if refined else NoCoverage()
+    name = f"Mpc/time / {'Mtime' if refined else 'no-ref'}"
+    return CampaignConfig(
+        name=name,
+        template=MulTemplate(),
+        model=model,
+        coverage=coverage,
+        num_programs=num_programs,
+        tests_per_program=tests_per_program,
+        testgen=_testgen(MCT_DIVERGENCE),
+        platform=PlatformConfig(
+            core=core or CoreConfig(), channel=Channel.TIME
+        ),
+        seed=seed,
+    )

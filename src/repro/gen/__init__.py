@@ -1,0 +1,37 @@
+"""Grammar-driven random program generation (§5.4).
+
+Mirrors Scam-V's QuickCheck-style monadic generators: small composable
+:class:`~repro.gen.combinators.Gen` values build instruction sequences, and
+:mod:`repro.gen.templates` instantiates the paper's templates (Fig. 5 and
+Fig. 7): the Stride template for Mpart, and Templates A-D for the
+speculation experiments.
+"""
+
+from repro.gen.combinators import Gen, choice, constant, frequency, integer, lists
+from repro.gen.templates import (
+    GeneratedProgram,
+    MulTemplate,
+    StrideTemplate,
+    TemplateA,
+    TemplateB,
+    TemplateC,
+    TemplateD,
+    TemplateGenerator,
+)
+
+__all__ = [
+    "Gen",
+    "choice",
+    "constant",
+    "frequency",
+    "integer",
+    "lists",
+    "GeneratedProgram",
+    "MulTemplate",
+    "StrideTemplate",
+    "TemplateA",
+    "TemplateB",
+    "TemplateC",
+    "TemplateD",
+    "TemplateGenerator",
+]

@@ -1,0 +1,104 @@
+"""QuickCheck-style generator combinators.
+
+A :class:`Gen` wraps a function from an RNG to a value and composes with
+``map``/``bind``; the helpers below cover the shapes the templates need.
+The style follows the SML generators of Scam-V (§5.4), which follow
+QuickCheck [Claessen & Hughes 2000].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Sequence, Tuple, TypeVar
+
+from repro.errors import GeneratorError
+from repro.utils.rng import SplittableRandom
+
+A = TypeVar("A")
+B = TypeVar("B")
+
+
+class Gen(Generic[A]):
+    """A random generator of ``A`` values."""
+
+    def __init__(self, run: Callable[[SplittableRandom], A]):
+        self._run = run
+
+    def sample(self, rng: SplittableRandom) -> A:
+        return self._run(rng)
+
+    def map(self, fn: Callable[[A], B]) -> "Gen[B]":
+        return Gen(lambda rng: fn(self._run(rng)))
+
+    def bind(self, fn: Callable[[A], "Gen[B]"]) -> "Gen[B]":
+        return Gen(lambda rng: fn(self._run(rng)).sample(rng))
+
+    def such_that(self, predicate: Callable[[A], bool], retries: int = 100) -> "Gen[A]":
+        """Retry until the predicate holds (bounded)."""
+
+        def run(rng: SplittableRandom) -> A:
+            for _ in range(retries):
+                value = self._run(rng)
+                if predicate(value):
+                    return value
+            raise GeneratorError("such_that: predicate never satisfied")
+
+        return Gen(run)
+
+
+def constant(value: A) -> Gen[A]:
+    return Gen(lambda rng: value)
+
+
+def integer(low: int, high: int) -> Gen[int]:
+    """Uniform integer in ``[low, high]``."""
+    return Gen(lambda rng: rng.randint(low, high))
+
+
+def choice(values: Sequence[A]) -> Gen[A]:
+    """Uniform choice from a non-empty sequence."""
+    if not values:
+        raise GeneratorError("choice from an empty sequence")
+    return Gen(lambda rng: rng.choice(values))
+
+
+def frequency(weighted: Sequence[Tuple[int, Gen[A]]]) -> Gen[A]:
+    """Weighted choice among generators (QuickCheck's ``frequency``)."""
+    total = sum(w for w, _ in weighted)
+    if total <= 0:
+        raise GeneratorError("frequency: weights must sum to a positive value")
+
+    def run(rng: SplittableRandom) -> A:
+        pick = rng.randint(1, total)
+        acc = 0
+        for weight, gen in weighted:
+            acc += weight
+            if pick <= acc:
+                return gen.sample(rng)
+        raise GeneratorError("frequency: unreachable")
+
+    return Gen(run)
+
+
+def lists(element: Gen[A], min_len: int, max_len: int) -> Gen[List[A]]:
+    """A list of ``element`` samples with random length in the range."""
+
+    def run(rng: SplittableRandom) -> List[A]:
+        length = rng.randint(min_len, max_len)
+        return [element.sample(rng) for _ in range(length)]
+
+    return Gen(run)
+
+
+def distinct_registers(
+    rng: SplittableRandom,
+    count: int,
+    pool_size: int = 28,
+    exclude: Sequence[int] = (),
+) -> List[int]:
+    """``count`` distinct register indices from ``x0..x<pool_size-1>``."""
+    candidates = [i for i in range(pool_size) if i not in set(exclude)]
+    if count > len(candidates):
+        raise GeneratorError(
+            f"cannot pick {count} distinct registers from {len(candidates)}"
+        )
+    return rng.sample(candidates, count)

@@ -1,0 +1,280 @@
+"""The paper's program templates (Fig. 5 and Fig. 7).
+
+* :class:`StrideTemplate` — three to five loads at a constant distance from
+  a base register; may trigger the stride prefetcher (Mpart experiments,
+  §6.2).
+* :class:`TemplateA` — attacker-controlled load, comparison, branch, and a
+  dependent load in the branch body (Mct experiments, §6.3).
+* :class:`TemplateB` — the generalisation: zero to two loads before the
+  branch, one or two loads in the body, a random comparison predicate, and
+  *no* register-allocation constraints (§6.3).
+* :class:`TemplateC` — two causally dependent loads in the body, optionally
+  interleaved with an arithmetic instruction — the Spectre-PHT shape (§6.5).
+* :class:`TemplateD` — loads placed after an unconditional direct branch,
+  for the straight-line-speculation experiments (§6.5).
+
+Each generator instantiates register placeholders randomly under the
+template's side constraints, like Scam-V's SML generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import GeneratorError
+from repro.gen.combinators import distinct_registers
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Cond
+from repro.isa.program import AsmProgram
+from repro.utils.rng import SplittableRandom
+
+_CONDS = (
+    Cond.EQ,
+    Cond.NE,
+    Cond.LO,
+    Cond.HS,
+    Cond.LS,
+    Cond.HI,
+    Cond.LT,
+    Cond.GE,
+    Cond.LE,
+    Cond.GT,
+)
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A generated program plus the template parameters that produced it."""
+
+    asm: AsmProgram
+    template: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+class TemplateGenerator:
+    """Base class: a named source of random programs."""
+
+    name: str = "template"
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        raise NotImplementedError
+
+
+@dataclass
+class StrideTemplate(TemplateGenerator):
+    """Fig. 5 stride template: ``k`` loads at distance ``v`` from ``r0``.
+
+    The distance is a multiple of the cache line size so consecutive loads
+    hit different cache sets (§6.2), and the base register differs from all
+    destination registers.
+    """
+
+    line_size: int = 64
+    min_loads: int = 3
+    max_loads: int = 5
+    max_stride_lines: int = 3
+    name: str = field(default="stride", init=False)
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        loads = rng.randint(self.min_loads, self.max_loads)
+        stride_lines = rng.randint(1, self.max_stride_lines)
+        distance = stride_lines * self.line_size
+        regs = distinct_registers(rng, loads + 1)
+        base = regs[0]
+        dests = regs[1:]
+        lines = []
+        for i, dest in enumerate(dests):
+            offset = i * distance
+            if offset:
+                lines.append(f"ldr x{dest}, [x{base}, #{offset:#x}]")
+            else:
+                lines.append(f"ldr x{dest}, [x{base}]")
+        lines.append("ret")
+        asm = assemble("\n".join(lines), name=f"stride_{loads}x{stride_lines}")
+        return GeneratedProgram(
+            asm,
+            self.name,
+            {"loads": loads, "stride_lines": stride_lines, "base": f"x{base}"},
+        )
+
+
+@dataclass
+class TemplateA(TemplateGenerator):
+    """Fig. 5 Template A.
+
+    ::
+
+        ldr r2, [r0, r1]     ; attacker-indexed load
+        cmp r1, r4
+        b.ge end             ; body runs when r1 < r4
+        ldr r6, [r5, r2]     ; uses the loaded value
+        end: ret
+
+    Side constraints (§6.3): ``r2 != r1`` and ``r4 not in {r1, r2}``; the
+    body's base register ``r5`` may alias ``r0``/``r1`` (the subclass
+    unguided testing occasionally catches).
+    """
+
+    name: str = field(default="A", init=False)
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        r0, r1, r2, r4 = distinct_registers(rng, 4)
+        # r5/r6 unconstrained among themselves but must not clobber inputs
+        # the template reads after the branch.
+        pool = [i for i in range(28) if i not in (r1, r2, r4)]
+        r5 = rng.choice(pool)
+        r6 = rng.choice([i for i in range(28) if i not in (r0, r1, r2, r4, r5)])
+        src = f"""
+            ldr x{r2}, [x{r0}, x{r1}]
+            cmp x{r1}, x{r4}
+            b.ge end
+            ldr x{r6}, [x{r5}, x{r2}]
+        end:
+            ret
+        """
+        asm = assemble(src, name=f"templateA_{r0}_{r1}_{r2}")
+        return GeneratedProgram(
+            asm, self.name, {"r0": r0, "r1": r1, "r2": r2, "r4": r4, "r5": r5}
+        )
+
+
+@dataclass
+class TemplateB(TemplateGenerator):
+    """Fig. 5 Template B: the general shape with free register allocation.
+
+    Zero to two loads, a comparison with a random predicate, a conditional
+    branch, and one or two loads in the body.  Register placeholders may
+    collide — some instantiations alias the same machine register, as in the
+    paper.
+    """
+
+    max_prefix_loads: int = 2
+    max_body_loads: int = 2
+    pool_size: int = 12
+    name: str = field(default="B", init=False)
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        def reg() -> int:
+            return rng.randint(0, self.pool_size - 1)
+
+        lines: List[str] = []
+        prefix_loads = rng.randint(0, self.max_prefix_loads)
+        for _ in range(prefix_loads):
+            lines.append(f"ldr x{reg()}, [x{reg()}, x{reg()}]")
+        cond = rng.choice(_CONDS)
+        lines.append(f"cmp x{reg()}, x{reg()}")
+        lines.append(f"b.{cond.negated().value} end")
+        body_loads = rng.randint(1, self.max_body_loads)
+        for _ in range(body_loads):
+            lines.append(f"ldr x{reg()}, [x{reg()}, x{reg()}]")
+        lines.append("end:")
+        lines.append("ret")
+        asm = assemble(
+            "\n".join(lines), name=f"templateB_p{prefix_loads}_b{body_loads}"
+        )
+        return GeneratedProgram(
+            asm,
+            self.name,
+            {
+                "prefix_loads": prefix_loads,
+                "body_loads": body_loads,
+                "cond": cond.value,
+            },
+        )
+
+
+@dataclass
+class TemplateC(TemplateGenerator):
+    """Fig. 7 Template C: two causally dependent loads in the branch body,
+    optionally interleaved with an arithmetic instruction — the
+    Spectre-PHT shape.
+
+    ::
+
+        cmp r1, r2
+        b.<neg p> end
+        ldr r6, [r5, r3]
+        add r6, r6, #c       ; optional
+        ldr r8, [r7, r6]     ; address depends on the first load
+        end: ret
+    """
+
+    name: str = field(default="C", init=False)
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        r1, r2, r3, r5, r6, r7, r8 = distinct_registers(rng, 7)
+        cond = rng.choice(_CONDS)
+        interleave = rng.chance(0.5)
+        lines = [
+            f"cmp x{r1}, x{r2}",
+            f"b.{cond.negated().value} end",
+            f"ldr x{r6}, [x{r5}, x{r3}]",
+        ]
+        if interleave:
+            lines.append(f"add x{r6}, x{r6}, #{rng.randint(0, 7) * 8:#x}")
+        lines.append(f"ldr x{r8}, [x{r7}, x{r6}]")
+        lines.append("end:")
+        lines.append("ret")
+        asm = assemble("\n".join(lines), name=f"templateC_{cond.value}")
+        return GeneratedProgram(
+            asm,
+            self.name,
+            {"cond": cond.value, "interleave": interleave},
+        )
+
+
+@dataclass
+class MulTemplate(TemplateGenerator):
+    """Straight-line programs around a multiply (the §3 example channel).
+
+    ::
+
+        [ldr rA, [rB]]        ; optional
+        mul rC, rD, rE
+        [add rF, rC, rG]      ; optional dependent use
+        ret
+
+    Under the pc-security model all inputs are equivalent; the
+    early-termination multiplier's latency depends on rE's magnitude.
+    """
+
+    name: str = field(default="mul", init=False)
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        rA, rB, rC, rD, rE, rF, rG = distinct_registers(rng, 7)
+        lines: List[str] = []
+        with_load = rng.chance(0.5)
+        if with_load:
+            lines.append(f"ldr x{rA}, [x{rB}]")
+        lines.append(f"mul x{rC}, x{rD}, x{rE}")
+        if rng.chance(0.5):
+            lines.append(f"add x{rF}, x{rC}, x{rG}")
+        lines.append("ret")
+        asm = assemble("\n".join(lines), name=f"mul_{rD}_{rE}")
+        return GeneratedProgram(asm, self.name, {"with_load": with_load})
+
+
+@dataclass
+class TemplateD(TemplateGenerator):
+    """Fig. 7 Template D: loads behind an unconditional direct branch.
+
+    The code after ``b end`` is architecturally dead; it leaks only if the
+    processor performs straight-line speculation past direct branches.
+    """
+
+    max_dead_loads: int = 2
+    name: str = field(default="D", init=False)
+
+    def generate(self, rng: SplittableRandom) -> GeneratedProgram:
+        dead_loads = rng.randint(1, self.max_dead_loads)
+        regs = distinct_registers(rng, 3 + 3 * dead_loads)
+        live_dst, live_base, live_off = regs[0:3]
+        lines = [f"ldr x{live_dst}, [x{live_base}, x{live_off}]", "b end"]
+        for i in range(dead_loads):
+            dst, base, off = regs[3 + 3 * i : 6 + 3 * i]
+            lines.append(f"ldr x{dst}, [x{base}, x{off}]")
+        lines.append("end:")
+        lines.append("ret")
+        asm = assemble("\n".join(lines), name=f"templateD_{dead_loads}")
+        return GeneratedProgram(asm, self.name, {"dead_loads": dead_loads})

@@ -1,0 +1,70 @@
+"""The simulated Cortex-A53 evaluation platform (§6.1 substitute).
+
+This package replaces the paper's Raspberry Pi 3 testbed with a
+microarchitecture simulator exhibiting the documented/inferred behaviours the
+experiments depend on:
+
+* L1 data cache: 32 KiB, 4-way set associative, 64-byte lines (128 sets),
+  LRU replacement.
+* Stride prefetcher: triggers after three equidistant loads, prefetches the
+  next block(s) of the stride, and **stops at 4 KiB page boundaries**.
+* Branch prediction: per-PC pattern history table of 2-bit counters.
+* Bounded in-order speculation: on a mispredicted conditional branch the
+  core transiently executes a short window of wrong-path instructions;
+  transient loads issue cache fills, but their *results* are not forwarded
+  (no register renaming), so an address depending on a transient load never
+  issues — the behaviour behind SiSCLoak and the Mspec1 findings (§6.4-6.5).
+* A second transient load can issue only when the first one hit in the
+  cache (the single load/store pipe stays busy through a miss until the
+  branch resolves) — reproducing "in some circumstances Cortex-A53 can
+  execute more than one transient load" (§6.5).
+* No straight-line speculation past direct unconditional branches (§6.5).
+"""
+
+from repro.hw.cache import Cache, CacheConfig, CacheSnapshot
+from repro.hw.tlb import Tlb, TlbConfig, TlbSnapshot
+from repro.hw.prefetcher import PrefetcherConfig, StridePrefetcher
+from repro.hw.predictor import BranchPredictor, PredictorConfig
+from repro.hw.state import MachineState, Memory
+from repro.hw.core import Core, CoreConfig, ExecutionTrace
+from repro.hw import profiles
+from repro.hw.hierarchy import CacheHierarchy, HitLevel
+from repro.hw.pmc import PerformanceCounters, PmcEvent, PmcReading
+from repro.hw.platform import (
+    Channel,
+    ExperimentOutcome,
+    ExperimentPlatform,
+    ExperimentResult,
+    PlatformConfig,
+    StateInputs,
+)
+
+__all__ = [
+    "Cache",
+    "Channel",
+    "CacheConfig",
+    "CacheSnapshot",
+    "PrefetcherConfig",
+    "StridePrefetcher",
+    "BranchPredictor",
+    "PredictorConfig",
+    "MachineState",
+    "Memory",
+    "Core",
+    "CoreConfig",
+    "ExecutionTrace",
+    "ExperimentOutcome",
+    "ExperimentPlatform",
+    "ExperimentResult",
+    "PlatformConfig",
+    "StateInputs",
+    "Tlb",
+    "TlbConfig",
+    "TlbSnapshot",
+    "profiles",
+    "CacheHierarchy",
+    "HitLevel",
+    "PerformanceCounters",
+    "PmcEvent",
+    "PmcReading",
+]

@@ -1,0 +1,155 @@
+"""Set-associative data cache with LRU replacement.
+
+Defaults model the Cortex-A53 L1D: 32 KiB, 4 ways, 64-byte lines, 128 sets.
+The TrustZone-style platform inspects the cache via :meth:`Cache.snapshot`,
+which records the set of resident tags per cache set — the same information
+the paper's privileged debug reads provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache."""
+
+    sets: int = 128
+    ways: int = 4
+    line_size: int = 64
+
+    def __post_init__(self):
+        for field_name in ("sets", "ways", "line_size"):
+            value = getattr(self, field_name)
+            if value <= 0 or value & (value - 1):
+                raise HardwareError(f"{field_name} must be a power of two, got {value}")
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    @property
+    def set_mask(self) -> int:
+        return self.sets - 1
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self.line_shift) & self.set_mask
+
+    def tag(self, addr: int) -> int:
+        return addr >> (self.line_shift + self.sets.bit_length() - 1)
+
+    def line_of(self, addr: int) -> int:
+        """The global line number (tag and set combined)."""
+        return addr >> self.line_shift
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Immutable view of cache contents: resident tags per set.
+
+    Only *presence* is recorded (not LRU order), matching what a
+    Flush+Reload or debug-read attacker can resolve.  ``restrict`` projects
+    the snapshot onto an attacker-visible range of sets.
+    """
+
+    tags_per_set: Tuple[FrozenSet[int], ...]
+
+    def restrict(self, set_indices: Iterable[int]) -> "CacheSnapshot":
+        wanted = set(set_indices)
+        return CacheSnapshot(
+            tuple(
+                tags if index in wanted else frozenset()
+                for index, tags in enumerate(self.tags_per_set)
+            )
+        )
+
+    def occupied_sets(self) -> Tuple[int, ...]:
+        return tuple(
+            index for index, tags in enumerate(self.tags_per_set) if tags
+        )
+
+    def __len__(self) -> int:
+        return sum(len(tags) for tags in self.tags_per_set)
+
+
+class Cache:
+    """A set-associative cache tracking only presence and recency of lines."""
+
+    def __init__(self, config: Optional[CacheConfig] = None):
+        self.config = config or CacheConfig()
+        # Per set: list of tags, most recently used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.config.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no side effect on replacement state."""
+        return self.config.tag(addr) in self._sets[self.config.set_index(addr)]
+
+    def access(self, addr: int) -> bool:
+        """Demand access: returns True on hit; fills the line on miss."""
+        set_index = self.config.set_index(addr)
+        tag = self.config.tag(addr)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._fill(set_index, tag)
+        return False
+
+    def prefetch(self, addr: int) -> None:
+        """Fill a line without touching hit/miss counters (prefetcher port)."""
+        set_index = self.config.set_index(addr)
+        tag = self.config.tag(addr)
+        ways = self._sets[set_index]
+        if tag in ways:
+            return
+        self._fill(set_index, tag)
+
+    def _fill(self, set_index: int, tag: int) -> None:
+        ways = self._sets[set_index]
+        if len(ways) >= self.config.ways:
+            ways.pop(0)  # evict LRU
+        ways.append(tag)
+
+    def flush_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    def flush_line(self, addr: int) -> None:
+        set_index = self.config.set_index(addr)
+        tag = self.config.tag(addr)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.remove(tag)
+
+    def evict_set_way(self, set_index: int, position: int = 0) -> None:
+        """Remove one resident line from a set (noise injection hook)."""
+        ways = self._sets[set_index]
+        if ways:
+            ways.pop(position % len(ways))
+
+    def insert_line(self, set_index: int, tag: int) -> None:
+        """Force a line into a set (noise injection hook)."""
+        self._fill(set_index, tag)
+
+    def snapshot(self) -> CacheSnapshot:
+        return CacheSnapshot(tuple(frozenset(ways) for ways in self._sets))
+
+    def resident_lines(self) -> Tuple[Tuple[int, int], ...]:
+        """All resident lines as ``(set_index, tag)`` pairs."""
+        out = []
+        for index, ways in enumerate(self._sets):
+            out.extend((index, tag) for tag in ways)
+        return tuple(out)

@@ -1,0 +1,91 @@
+"""Two-level cache hierarchy.
+
+The Cortex-A53 cluster has a shared, inclusive L2 behind the per-core L1D;
+cross-core Flush+Reload observes it.  The paper's TrustZone module reads
+the L1 data-cache state, so the default experiment configuration runs
+L1-only; enabling the L2 (``CoreConfig(l2=...)`` or
+``profiles.cortex_a53_with_l2()``) adds the second level with inclusive
+back-invalidation and a distinct hit latency.
+
+``access`` reports which level served the request; the core maps levels to
+latencies and the LSU-availability rule (§6.5 modelling) keys on L1 hits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.hw.cache import Cache, CacheConfig
+
+
+class HitLevel(enum.Enum):
+    """Where an access was served."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+class CacheHierarchy:
+    """An L1 data cache with an optional inclusive L2 behind it."""
+
+    def __init__(
+        self,
+        l1_config: Optional[CacheConfig] = None,
+        l2_config: Optional[CacheConfig] = None,
+    ):
+        self.l1 = Cache(l1_config)
+        self.l2: Optional[Cache] = Cache(l2_config) if l2_config else None
+
+    def access(self, addr: int) -> HitLevel:
+        """Demand access; fills the missing levels on the way."""
+        if self.l1.access(addr):
+            # Keep the L2's recency roughly in step with reuse (a hit in L1
+            # does not probe L2 on real hardware; presence is what matters).
+            return HitLevel.L1
+        if self.l2 is None:
+            return HitLevel.MEMORY
+        if self.l2.access(addr):
+            return HitLevel.L2
+        return HitLevel.MEMORY
+
+    def prefetch(self, addr: int) -> None:
+        """Prefetcher fill: allocates in both levels, no counter effect."""
+        self.l1.prefetch(addr)
+        if self.l2 is not None:
+            self.l2.prefetch(addr)
+
+    def contains(self, addr: int) -> bool:
+        if self.l1.contains(addr):
+            return True
+        return self.l2 is not None and self.l2.contains(addr)
+
+    def flush_line(self, addr: int) -> None:
+        """Flush a line from the whole hierarchy (DC CIVAC semantics)."""
+        self.l1.flush_line(addr)
+        if self.l2 is not None:
+            self.l2.flush_line(addr)
+
+    def flush_all(self) -> None:
+        self.l1.flush_all()
+        if self.l2 is not None:
+            self.l2.flush_all()
+
+    def evict_l2_line(self, addr: int) -> None:
+        """Evict from L2 with inclusive back-invalidation of L1.
+
+        This is the primitive a cross-core attacker uses (Prime+Probe on
+        the shared L2 evicts the victim's L1 copies too).
+        """
+        if self.l2 is not None:
+            self.l2.flush_line(addr)
+        self.l1.flush_line(addr)
+
+    def l1_snapshot(self):
+        return self.l1.snapshot()
+
+    def l2_snapshot(self):
+        if self.l2 is None:
+            return None
+        return self.l2.snapshot()

@@ -1,0 +1,76 @@
+"""Performance monitor counters (§6.1).
+
+"The PMC consists of a number of special-purpose registers built into the
+processor which track the counts of specific hardware-related activities
+like the processor cycles and cache hits."  This module exposes that view
+over a :class:`~repro.hw.core.Core`: named event counts, and deltas
+between two readings — what a real attacker samples around a victim run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.core import Core
+
+
+class PmcEvent(enum.Enum):
+    """The tracked events (a subset of the ARMv8 PMU event space)."""
+
+    CPU_CYCLES = "cpu_cycles"
+    L1D_CACHE_HIT = "l1d_cache_hit"
+    L1D_CACHE_MISS = "l1d_cache_miss"
+    L1D_TLB_HIT = "l1d_tlb_hit"
+    L1D_TLB_MISS = "l1d_tlb_miss"
+
+
+@dataclass(frozen=True)
+class PmcReading:
+    """An immutable snapshot of all counters."""
+
+    counts: Dict[str, int]
+
+    def __getitem__(self, event: PmcEvent) -> int:
+        return self.counts[event.value]
+
+    def delta(self, earlier: "PmcReading") -> "PmcReading":
+        """Event counts accumulated since an earlier reading."""
+        return PmcReading(
+            {
+                name: value - earlier.counts.get(name, 0)
+                for name, value in self.counts.items()
+            }
+        )
+
+    def describe(self) -> str:
+        return ", ".join(
+            f"{name}={value}" for name, value in sorted(self.counts.items())
+        )
+
+
+class PerformanceCounters:
+    """The PMC register file of one core."""
+
+    def __init__(self, core: Core):
+        self.core = core
+
+    def read(self) -> PmcReading:
+        """Sample every counter (non-destructively)."""
+        core = self.core
+        return PmcReading(
+            {
+                PmcEvent.CPU_CYCLES.value: core.cycles,
+                PmcEvent.L1D_CACHE_HIT.value: core.cache.hits,
+                PmcEvent.L1D_CACHE_MISS.value: core.cache.misses,
+                PmcEvent.L1D_TLB_HIT.value: core.tlb.hits,
+                PmcEvent.L1D_TLB_MISS.value: core.tlb.misses,
+            }
+        )
+
+    def measure(self, action) -> PmcReading:
+        """Run ``action()`` and return the event deltas it caused."""
+        before = self.read()
+        action()
+        return self.read().delta(before)

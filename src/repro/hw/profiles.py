@@ -1,0 +1,80 @@
+"""Named core profiles.
+
+Scam-V targets multiple platforms (§2.3: ARMv8, CortexM0, RISC-V); the
+microarchitectural knobs that matter for its experiments differ per core.
+These profiles bundle :class:`~repro.hw.core.CoreConfig` settings for the
+cores discussed in the paper and for the ablation points of §6.5:
+
+* :func:`cortex_a53` — the paper's evaluation platform: stride prefetcher
+  with page stop, PHT prediction, bounded non-forwarding speculation.
+* :func:`cortex_a53_no_speculation` — the same core with speculation
+  fenced off (what the paper's countermeasure discussion assumes).
+* :func:`out_of_order` — a speculative out-of-order core: forwarding
+  transient results and deeper windows (the class of core for which Mspec1
+  would also be unsound, §6.5).
+* :func:`cortex_m0_like` — a microcontroller-class core: no cache, no
+  prefetch, no speculation; every observational model over loads is
+  trivially sound for the cache channel, but timing channels remain.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cache import CacheConfig
+from repro.hw.core import CoreConfig
+from repro.hw.predictor import PredictorConfig
+from repro.hw.prefetcher import PrefetcherConfig
+
+
+def cortex_a53() -> CoreConfig:
+    """The paper's Raspberry Pi 3 core (§6.1)."""
+    return CoreConfig()
+
+
+def cortex_a53_no_speculation() -> CoreConfig:
+    """A53 with speculative execution disabled (e.g. fenced binaries)."""
+    return CoreConfig(spec_window=0)
+
+
+def cortex_a53_with_l2() -> CoreConfig:
+    """A53 cluster view: L1D plus a shared inclusive 512 KiB L2.
+
+    The paper's platform inspects the L1 state directly, so the default
+    profile is L1-only; this profile adds the second level for
+    cross-core-style Flush+Reload experiments.
+    """
+    return CoreConfig(l2=CacheConfig(sets=512, ways=16, line_size=64))
+
+
+def cortex_a53_no_prefetch() -> CoreConfig:
+    """A53 with the L1D prefetcher disabled (CPUACTLR-style setting)."""
+    return CoreConfig(prefetcher=PrefetcherConfig(enabled=False))
+
+
+def out_of_order(spec_window: int = 32) -> CoreConfig:
+    """A speculative out-of-order core: transient results forward.
+
+    On this core, Mspec1 is unsound too (dependent transient loads issue),
+    and a sound model must observe arbitrarily deep transient loads — the
+    §6.5 argument for core-specific models.
+    """
+    return CoreConfig(
+        spec_window=spec_window,
+        forward_speculative_results=True,
+        prefetch_on_transient=True,
+    )
+
+
+def cortex_m0_like() -> CoreConfig:
+    """A microcontroller-class core: in-order, no cache state to leak.
+
+    Modelled as a single-set direct-mapped cache holding one line (the
+    closest a set-associative model gets to "no cache"), with prefetch and
+    speculation off and a constant-time multiplier.
+    """
+    return CoreConfig(
+        cache=CacheConfig(sets=1, ways=1, line_size=64),
+        prefetcher=PrefetcherConfig(enabled=False),
+        predictor=PredictorConfig(),
+        spec_window=0,
+        variable_time_multiply=False,
+    )

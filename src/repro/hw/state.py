@@ -1,0 +1,75 @@
+"""Architectural machine state: registers and data memory."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.isa.registers import NUM_REGISTERS, REGISTER_WIDTH, Reg
+from repro.utils import bitvec
+
+
+class Memory:
+    """Word-granular data memory: a sparse map of byte address -> 64-bit word.
+
+    Loads and stores in the mini ISA transfer whole 64-bit words at the
+    exact effective address; overlapping accesses at unaligned offsets are
+    not modelled (the generators emit 8-byte-aligned values), which matches
+    the BIR ``Load``/``Store`` semantics the analysis side uses.  Reads of
+    unwritten addresses return zero — the platform zeroes experiment memory
+    before every run.
+    """
+
+    def __init__(self, contents: Optional[Dict[int, int]] = None):
+        self._words: Dict[int, int] = {
+            addr: bitvec.truncate(value, REGISTER_WIDTH)
+            for addr, value in (contents or {}).items()
+        }
+
+    def read(self, addr: int) -> int:
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._words[addr] = bitvec.truncate(value, REGISTER_WIDTH)
+
+    def copy(self) -> "Memory":
+        return Memory(self._words)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._words.items()
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return self._words == other._words
+
+
+class MachineState:
+    """Registers, comparison state, and memory for one execution."""
+
+    def __init__(
+        self,
+        regs: Optional[Dict[str, int]] = None,
+        memory: Optional[Memory] = None,
+    ):
+        self.regs: Dict[str, int] = {f"x{i}": 0 for i in range(NUM_REGISTERS)}
+        for name, value in (regs or {}).items():
+            self.regs[name] = bitvec.truncate(value, REGISTER_WIDTH)
+        self.memory = memory if memory is not None else Memory()
+        # Comparison state set by CMP/TST, read by B.cond (see repro.isa).
+        self.cmp_lhs = 0
+        self.cmp_rhs = 0
+
+    def read_reg(self, reg: Reg) -> int:
+        return self.regs[reg.name]
+
+    def write_reg(self, reg: Reg, value: int) -> None:
+        self.regs[reg.name] = bitvec.truncate(value, REGISTER_WIDTH)
+
+    def copy(self) -> "MachineState":
+        clone = MachineState(regs=self.regs, memory=self.memory.copy())
+        clone.cmp_lhs = self.cmp_lhs
+        clone.cmp_rhs = self.cmp_rhs
+        return clone

@@ -1,0 +1,77 @@
+"""Data micro-TLB model.
+
+§2.3 lists TLB state among the side channels Scam-V can be extended to:
+"it is necessary to implement a new module for augmenting input programs
+with the relevant observations and to extend the test case executor to
+measure the channel".  This module is the executor side of that extension:
+a small fully-associative, LRU data micro-TLB (the Cortex-A53 has a
+10-entry micro-TLB per side), filled at page granularity by demand *and
+transient* accesses — address translation happens before the access is
+squashed.
+
+The hardware prefetcher operates on physical addresses and therefore never
+touches the TLB; this is also why it stops at page boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Micro-TLB parameters."""
+
+    entries: int = 10
+    page_size: int = 4096
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.page_size
+
+
+@dataclass(frozen=True)
+class TlbSnapshot:
+    """The attacker-visible TLB state: the set of resident page numbers."""
+
+    pages: FrozenSet[int]
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+class Tlb:
+    """Fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, config: Optional[TlbConfig] = None):
+        self.config = config or TlbConfig()
+        self._entries: List[int] = []  # page numbers, most recent last
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate an address: True on TLB hit; fills on miss."""
+        page = self.config.page_of(addr)
+        if page in self._entries:
+            self._entries.remove(page)
+            self._entries.append(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._entries) >= self.config.entries:
+            self._entries.pop(0)
+        self._entries.append(page)
+        return False
+
+    def contains_page(self, page: int) -> bool:
+        return page in self._entries
+
+    def flush_all(self) -> None:
+        self._entries.clear()
+
+    def flush_page(self, page: int) -> None:
+        if page in self._entries:
+            self._entries.remove(page)
+
+    def snapshot(self) -> TlbSnapshot:
+        return TlbSnapshot(frozenset(self._entries))

@@ -1,0 +1,59 @@
+"""A small AArch64-flavoured ISA.
+
+Covers exactly the instruction forms the paper's templates (Figs. 5 and 7)
+need: register/immediate moves and ALU ops, loads and stores with register or
+immediate offsets, compare/test, conditional and unconditional branches, and
+return.  Programs in this ISA are what the simulated Cortex-A53 executes and
+what the lifter translates to BIR for analysis.
+"""
+
+from repro.isa.registers import REGISTER_NAMES, Reg, x
+from repro.isa.instructions import (
+    AluOp,
+    AluImm,
+    AluReg,
+    B,
+    BCond,
+    CmpImm,
+    CmpReg,
+    Cond,
+    Instruction,
+    Ldr,
+    MovImm,
+    MovReg,
+    Nop,
+    Ret,
+    Str,
+    TstImm,
+)
+from repro.isa.program import AsmProgram
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.lifter import lift
+from repro.isa.riscv import assemble_riscv
+
+__all__ = [
+    "REGISTER_NAMES",
+    "Reg",
+    "x",
+    "AluOp",
+    "AluImm",
+    "AluReg",
+    "B",
+    "BCond",
+    "CmpImm",
+    "CmpReg",
+    "Cond",
+    "Instruction",
+    "Ldr",
+    "MovImm",
+    "MovReg",
+    "Nop",
+    "Ret",
+    "Str",
+    "TstImm",
+    "AsmProgram",
+    "assemble",
+    "disassemble",
+    "lift",
+    "assemble_riscv",
+]

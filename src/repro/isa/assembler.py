@@ -1,0 +1,219 @@
+"""A small two-pass assembler and disassembler for the mini ISA.
+
+Accepted syntax (one instruction or label per line, ``//`` and ``;``
+comments)::
+
+    start:
+        mov  x1, #0x40
+        add  x2, x0, x1
+        ldr  x3, [x2, x1]
+        ldr  x4, [x2, #8]
+        cmp  x3, x4
+        b.ge skip
+        ldr  x5, [x6, x3]
+    skip:
+        ret
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    AluImm,
+    AluOp,
+    AluReg,
+    B,
+    BCond,
+    CmpImm,
+    CmpReg,
+    Cond,
+    Instruction,
+    Ldr,
+    MovImm,
+    MovReg,
+    Nop,
+    Ret,
+    Str,
+    TstImm,
+)
+from repro.isa.program import AsmProgram
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_RE = re.compile(r"^\[\s*([^,\]]+)\s*(?:,\s*([^\]]+)\s*)?\]$")
+
+_ALU_MNEMONICS = {op.value: op for op in AluOp}
+
+
+def _parse_imm(text: str) -> int:
+    t = text.strip()
+    if t.startswith("#"):
+        t = t[1:]
+    try:
+        return int(t, 0)
+    except ValueError:
+        raise IsaError(f"bad immediate {text!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    # Split on commas that are not inside brackets.
+    parts, depth, current = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_mem_operand(text: str) -> Tuple:
+    """Parse ``[rn]``, ``[rn, rm]`` or ``[rn, #imm]`` into (rn, rm, imm)."""
+    m = _MEM_RE.match(text.strip())
+    if not m:
+        raise IsaError(f"bad memory operand {text!r}")
+    rn = parse_register(m.group(1))
+    offset = m.group(2)
+    if offset is None:
+        return rn, None, 0
+    offset = offset.strip()
+    if offset.startswith("#") or offset.lstrip("-").isdigit() or offset.startswith("0x"):
+        return rn, None, _parse_imm(offset)
+    return rn, parse_register(offset), 0
+
+
+def _parse_instruction(mnemonic: str, operands: List[str]) -> Instruction:
+    if mnemonic == "nop":
+        _expect(operands, 0, mnemonic)
+        return Nop()
+    if mnemonic == "ret":
+        _expect(operands, 0, mnemonic)
+        return Ret()
+    if mnemonic == "b":
+        _expect(operands, 1, mnemonic)
+        return B(operands[0])
+    if mnemonic.startswith("b."):
+        _expect(operands, 1, mnemonic)
+        try:
+            cond = Cond(mnemonic[2:])
+        except ValueError:
+            raise IsaError(f"unknown condition {mnemonic!r}") from None
+        return BCond(cond, operands[0])
+    if mnemonic == "mov":
+        _expect(operands, 2, mnemonic)
+        rd = parse_register(operands[0])
+        if operands[1].startswith("#"):
+            return MovImm(rd, _parse_imm(operands[1]))
+        return MovReg(rd, parse_register(operands[1]))
+    if mnemonic == "cmp":
+        _expect(operands, 2, mnemonic)
+        rn = parse_register(operands[0])
+        if operands[1].startswith("#"):
+            return CmpImm(rn, _parse_imm(operands[1]))
+        return CmpReg(rn, parse_register(operands[1]))
+    if mnemonic == "tst":
+        _expect(operands, 2, mnemonic)
+        return TstImm(parse_register(operands[0]), _parse_imm(operands[1]))
+    if mnemonic in ("ldr", "str"):
+        _expect(operands, 2, mnemonic)
+        rt = parse_register(operands[0])
+        rn, rm, imm = _parse_mem_operand(operands[1])
+        cls = Ldr if mnemonic == "ldr" else Str
+        return cls(rt, rn, rm, imm)
+    if mnemonic in _ALU_MNEMONICS:
+        _expect(operands, 3, mnemonic)
+        op = _ALU_MNEMONICS[mnemonic]
+        rd = parse_register(operands[0])
+        rn = parse_register(operands[1])
+        if operands[2].startswith("#"):
+            return AluImm(op, rd, rn, _parse_imm(operands[2]))
+        return AluReg(op, rd, rn, parse_register(operands[2]))
+    raise IsaError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _expect(operands: List[str], count: int, mnemonic: str) -> None:
+    if len(operands) != count:
+        raise IsaError(
+            f"{mnemonic} expects {count} operand(s), got {len(operands)}"
+        )
+
+
+def assemble(source: str, name: str = "asm") -> AsmProgram:
+    """Assemble source text into an :class:`AsmProgram`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for raw_line in source.splitlines():
+        line = raw_line.split("//")[0].split(";")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in labels:
+                raise IsaError(f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        instructions.append(_parse_instruction(mnemonic, operands))
+    return AsmProgram(instructions, labels, name=name)
+
+
+def disassemble(program: AsmProgram) -> str:
+    """Render an :class:`AsmProgram` back to assembly text."""
+    by_index: Dict[int, List[str]] = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines: List[str] = []
+    for i, inst in enumerate(program.instructions):
+        for label in sorted(by_index.get(i, [])):
+            lines.append(f"{label}:")
+        lines.append(f"    {format_instruction(inst)}")
+    for label in sorted(by_index.get(len(program.instructions), [])):
+        lines.append(f"{label}:")
+    return "\n".join(lines)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line assembly rendering of an instruction."""
+    if isinstance(inst, Nop):
+        return "nop"
+    if isinstance(inst, Ret):
+        return "ret"
+    if isinstance(inst, B):
+        return f"b {inst.target}"
+    if isinstance(inst, BCond):
+        return f"b.{inst.cond.value} {inst.target}"
+    if isinstance(inst, MovImm):
+        return f"mov {inst.rd}, #{inst.imm:#x}"
+    if isinstance(inst, MovReg):
+        return f"mov {inst.rd}, {inst.rn}"
+    if isinstance(inst, CmpReg):
+        return f"cmp {inst.rn}, {inst.rm}"
+    if isinstance(inst, CmpImm):
+        return f"cmp {inst.rn}, #{inst.imm:#x}"
+    if isinstance(inst, TstImm):
+        return f"tst {inst.rn}, #{inst.imm:#x}"
+    if isinstance(inst, AluReg):
+        return f"{inst.op.value} {inst.rd}, {inst.rn}, {inst.rm}"
+    if isinstance(inst, AluImm):
+        return f"{inst.op.value} {inst.rd}, {inst.rn}, #{inst.imm:#x}"
+    if isinstance(inst, (Ldr, Str)):
+        mnemonic = "ldr" if isinstance(inst, Ldr) else "str"
+        if inst.rm is not None:
+            return f"{mnemonic} {inst.rt}, [{inst.rn}, {inst.rm}]"
+        if inst.imm:
+            return f"{mnemonic} {inst.rt}, [{inst.rn}, #{inst.imm:#x}]"
+        return f"{mnemonic} {inst.rt}, [{inst.rn}]"
+    raise IsaError(f"cannot format {inst!r}")

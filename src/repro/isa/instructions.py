@@ -1,0 +1,259 @@
+"""Instruction forms of the mini ISA.
+
+Condition handling follows the CMP/B.cond idiom: ``CmpReg``/``CmpImm`` record
+the comparison operands in the (architecturally hidden) comparison state, and
+``BCond`` evaluates its condition against that state.  ``TstImm`` sets the
+comparison state to ``(rn & imm, 0)`` so EQ/NE conditions test bit patterns —
+the form the SiSCLoak "classification bit" counterexample uses (Fig. 6).
+This is exact for the flags-from-subtraction conditions the templates use and
+avoids carrying four NZCV bits through the whole toolchain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import IsaError
+from repro.isa.registers import Reg
+
+
+class AluOp(enum.Enum):
+    """ALU operations shared by the register and immediate forms.
+
+    MUL has data-dependent latency on the simulated core (early-termination
+    multiplier), making it the variable-time-arithmetic channel of §2.3.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    ORR = "orr"
+    EOR = "eor"
+    LSL = "lsl"
+    LSR = "lsr"
+    MUL = "mul"
+
+
+class Cond(enum.Enum):
+    """Branch conditions (AArch64 mnemonics)."""
+
+    EQ = "eq"  # equal
+    NE = "ne"  # not equal
+    LO = "lo"  # unsigned lower
+    HS = "hs"  # unsigned higher or same
+    LS = "ls"  # unsigned lower or same
+    HI = "hi"  # unsigned higher
+    LT = "lt"  # signed less than
+    GE = "ge"  # signed greater or equal
+    LE = "le"  # signed less or equal
+    GT = "gt"  # signed greater than
+
+    def negated(self) -> "Cond":
+        """The complementary condition."""
+        return _NEGATIONS[self]
+
+
+_NEGATIONS = {
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LO: Cond.HS,
+    Cond.HS: Cond.LO,
+    Cond.LS: Cond.HI,
+    Cond.HI: Cond.LS,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.LE: Cond.GT,
+    Cond.GT: Cond.LE,
+}
+
+
+class Instruction:
+    """Base class for instructions."""
+
+    def reads(self) -> Tuple[Reg, ...]:
+        """Registers whose values this instruction consumes."""
+        return ()
+
+    def writes(self) -> Tuple[Reg, ...]:
+        """Registers this instruction overwrites."""
+        return ()
+
+    def is_load(self) -> bool:
+        return False
+
+    def is_branch(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class MovImm(Instruction):
+    """``mov rd, #imm``"""
+
+    rd: Reg
+    imm: int
+
+    def writes(self):
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class MovReg(Instruction):
+    """``mov rd, rn``"""
+
+    rd: Reg
+    rn: Reg
+
+    def reads(self):
+        return (self.rn,)
+
+    def writes(self):
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class AluReg(Instruction):
+    """``op rd, rn, rm`` for ALU ops."""
+
+    op: AluOp
+    rd: Reg
+    rn: Reg
+    rm: Reg
+
+    def reads(self):
+        return (self.rn, self.rm)
+
+    def writes(self):
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class AluImm(Instruction):
+    """``op rd, rn, #imm`` for ALU ops."""
+
+    op: AluOp
+    rd: Reg
+    rn: Reg
+    imm: int
+
+    def reads(self):
+        return (self.rn,)
+
+    def writes(self):
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class Ldr(Instruction):
+    """``ldr rt, [rn, rm]`` or ``ldr rt, [rn, #imm]``.
+
+    The effective address is ``rn + rm`` when ``rm`` is given, else
+    ``rn + imm``.
+    """
+
+    rt: Reg
+    rn: Reg
+    rm: Optional[Reg] = None
+    imm: int = 0
+
+    def __post_init__(self):
+        if self.rm is not None and self.imm:
+            raise IsaError("ldr takes a register or an immediate offset, not both")
+
+    def reads(self):
+        if self.rm is not None:
+            return (self.rn, self.rm)
+        return (self.rn,)
+
+    def writes(self):
+        return (self.rt,)
+
+    def is_load(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Str(Instruction):
+    """``str rt, [rn, rm]`` or ``str rt, [rn, #imm]``."""
+
+    rt: Reg
+    rn: Reg
+    rm: Optional[Reg] = None
+    imm: int = 0
+
+    def __post_init__(self):
+        if self.rm is not None and self.imm:
+            raise IsaError("str takes a register or an immediate offset, not both")
+
+    def reads(self):
+        if self.rm is not None:
+            return (self.rt, self.rn, self.rm)
+        return (self.rt, self.rn)
+
+
+@dataclass(frozen=True)
+class CmpReg(Instruction):
+    """``cmp rn, rm``: record comparison state ``(rn, rm)``."""
+
+    rn: Reg
+    rm: Reg
+
+    def reads(self):
+        return (self.rn, self.rm)
+
+
+@dataclass(frozen=True)
+class CmpImm(Instruction):
+    """``cmp rn, #imm``: record comparison state ``(rn, imm)``."""
+
+    rn: Reg
+    imm: int
+
+    def reads(self):
+        return (self.rn,)
+
+
+@dataclass(frozen=True)
+class TstImm(Instruction):
+    """``tst rn, #imm``: record comparison state ``(rn & imm, 0)``."""
+
+    rn: Reg
+    imm: int
+
+    def reads(self):
+        return (self.rn,)
+
+
+@dataclass(frozen=True)
+class BCond(Instruction):
+    """``b.cond label``: conditional direct branch."""
+
+    cond: Cond
+    target: str
+
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class B(Instruction):
+    """``b label``: unconditional direct branch."""
+
+    target: str
+
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """``ret``: end of the experiment program."""
+
+    def is_branch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """``nop``"""

@@ -1,0 +1,182 @@
+"""Lift mini-ISA programs to BIR.
+
+Each instruction becomes its own BIR block labelled ``i<n>`` (plus a final
+``end`` block), which keeps a one-to-one mapping between program counters and
+BIR blocks — the program-counter observation model (Mpc) observes the block's
+instruction index.
+
+The comparison state is lifted as two hidden BIR variables ``_cmp_lhs`` and
+``_cmp_rhs``; conditional branches compare them with the operator matching
+their condition code.  This is exact for the CMP/TST + B.cond idiom the
+templates use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Statement, Store
+from repro.errors import LiftError
+from repro.isa.instructions import (
+    AluImm,
+    AluOp,
+    AluReg,
+    B,
+    BCond,
+    CmpImm,
+    CmpReg,
+    Cond,
+    Instruction,
+    Ldr,
+    MovImm,
+    MovReg,
+    Nop,
+    Ret,
+    Str,
+    TstImm,
+)
+from repro.isa.program import AsmProgram
+from repro.isa.registers import REGISTER_WIDTH, Reg
+
+MEMORY = E.MemVar("MEM")
+CMP_LHS = E.Var("_cmp_lhs", REGISTER_WIDTH)
+CMP_RHS = E.Var("_cmp_rhs", REGISTER_WIDTH)
+
+END_LABEL = "end"
+
+_ALU_TO_BINOP = {
+    AluOp.ADD: E.BinOpKind.ADD,
+    AluOp.SUB: E.BinOpKind.SUB,
+    AluOp.AND: E.BinOpKind.AND,
+    AluOp.ORR: E.BinOpKind.OR,
+    AluOp.EOR: E.BinOpKind.XOR,
+    AluOp.LSL: E.BinOpKind.SHL,
+    AluOp.LSR: E.BinOpKind.LSHR,
+    AluOp.MUL: E.BinOpKind.MUL,
+}
+
+
+def block_label(index: int) -> str:
+    """BIR block label for the instruction at ``index``."""
+    return f"i{index}"
+
+
+def instruction_index(label: str) -> Optional[int]:
+    """Inverse of :func:`block_label`; None for the ``end`` block."""
+    if label == END_LABEL:
+        return None
+    if label.startswith("i") and label[1:].isdigit():
+        return int(label[1:])
+    return None
+
+
+def reg_var(reg: Reg) -> E.Var:
+    """The BIR variable holding a register's value."""
+    return E.Var(reg.name, REGISTER_WIDTH)
+
+
+def condition_expr(cond: Cond) -> E.Expr:
+    """The one-bit BIR expression for a condition over the comparison state."""
+    l, r = CMP_LHS, CMP_RHS
+    if cond is Cond.EQ:
+        return E.eq(l, r)
+    if cond is Cond.NE:
+        return E.ne(l, r)
+    if cond is Cond.LO:
+        return E.ult(l, r)
+    if cond is Cond.HS:
+        return E.bool_not(E.ult(l, r))
+    if cond is Cond.LS:
+        return E.ule(l, r)
+    if cond is Cond.HI:
+        return E.bool_not(E.ule(l, r))
+    if cond is Cond.LT:
+        return E.slt(l, r)
+    if cond is Cond.GE:
+        return E.bool_not(E.slt(l, r))
+    if cond is Cond.LE:
+        return E.sle(l, r)
+    if cond is Cond.GT:
+        return E.bool_not(E.sle(l, r))
+    raise LiftError(f"unknown condition {cond!r}")
+
+
+def effective_address(rn: Reg, rm: Optional[Reg], imm: int) -> E.Expr:
+    """BIR expression for a load/store effective address."""
+    base = reg_var(rn)
+    if rm is not None:
+        return E.add(base, reg_var(rm))
+    if imm:
+        return E.add(base, E.const(imm))
+    return base
+
+
+def _lift_body(inst: Instruction) -> List[Statement]:
+    if isinstance(inst, Nop):
+        return []
+    if isinstance(inst, MovImm):
+        return [Assign(reg_var(inst.rd), E.const(inst.imm))]
+    if isinstance(inst, MovReg):
+        return [Assign(reg_var(inst.rd), reg_var(inst.rn))]
+    if isinstance(inst, AluReg):
+        value = E.BinOp(_ALU_TO_BINOP[inst.op], reg_var(inst.rn), reg_var(inst.rm))
+        return [Assign(reg_var(inst.rd), value)]
+    if isinstance(inst, AluImm):
+        value = E.BinOp(
+            _ALU_TO_BINOP[inst.op], reg_var(inst.rn), E.const(inst.imm)
+        )
+        return [Assign(reg_var(inst.rd), value)]
+    if isinstance(inst, Ldr):
+        addr = effective_address(inst.rn, inst.rm, inst.imm)
+        return [Assign(reg_var(inst.rt), E.Load(MEMORY, addr))]
+    if isinstance(inst, Str):
+        addr = effective_address(inst.rn, inst.rm, inst.imm)
+        return [Store(MEMORY, addr, reg_var(inst.rt))]
+    if isinstance(inst, CmpReg):
+        return [Assign(CMP_LHS, reg_var(inst.rn)), Assign(CMP_RHS, reg_var(inst.rm))]
+    if isinstance(inst, CmpImm):
+        return [Assign(CMP_LHS, reg_var(inst.rn)), Assign(CMP_RHS, E.const(inst.imm))]
+    if isinstance(inst, TstImm):
+        masked = E.band(reg_var(inst.rn), E.const(inst.imm))
+        return [Assign(CMP_LHS, masked), Assign(CMP_RHS, E.const(0))]
+    if isinstance(inst, (B, BCond, Ret)):
+        return []
+    raise LiftError(f"cannot lift {inst!r}")
+
+
+def _terminator(inst: Instruction, index: int, program: AsmProgram) -> Statement:
+    fallthrough = _label_for_index(index + 1, program)
+    if isinstance(inst, B):
+        return Jmp(
+            _label_for_index(program.target_index(inst.target), program),
+            explicit=True,
+        )
+    if isinstance(inst, BCond):
+        taken = _label_for_index(program.target_index(inst.target), program)
+        return CJmp(condition_expr(inst.cond), taken, fallthrough)
+    if isinstance(inst, Ret):
+        return Halt(reason="ret")
+    return Jmp(fallthrough)
+
+
+def _label_for_index(index: int, program: AsmProgram) -> str:
+    if index >= len(program):
+        return END_LABEL
+    return block_label(index)
+
+
+def lift(program: AsmProgram) -> Program:
+    """Lift an assembly program to BIR (one block per instruction)."""
+    blocks = []
+    for index, inst in enumerate(program.instructions):
+        blocks.append(
+            Block(
+                label=block_label(index),
+                body=tuple(_lift_body(inst)),
+                terminator=_terminator(inst, index, program),
+            )
+        )
+    blocks.append(Block(END_LABEL, (), Halt(reason="end")))
+    return Program(blocks, name=program.name)

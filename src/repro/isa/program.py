@@ -1,0 +1,96 @@
+"""Assembly programs: an instruction sequence plus a label table."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import IsaError
+from repro.isa.instructions import B, BCond, Instruction, Ldr
+from repro.isa.registers import Reg
+
+
+class AsmProgram:
+    """An immutable assembly program.
+
+    ``labels`` maps a label name to the index of the instruction it precedes;
+    a label may point one past the last instruction (an "end" label).  All
+    experiment programs must terminate, so the last reachable instruction on
+    every path should be :class:`~repro.isa.instructions.Ret`; falling off the
+    end of the instruction list also terminates (treated as an implicit ret).
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        name: str = "asm",
+    ):
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.name = name
+        for label, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise IsaError(
+                    f"label {label!r} points outside the program ({index})"
+                )
+        self._validate_branch_targets()
+
+    def _validate_branch_targets(self) -> None:
+        for inst in self.instructions:
+            target = getattr(inst, "target", None)
+            if target is not None and target not in self.labels:
+                raise IsaError(f"branch to undefined label {target!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def target_index(self, label: str) -> int:
+        """Instruction index for a label."""
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise IsaError(f"undefined label {label!r}") from None
+
+    def registers_used(self) -> Tuple[Reg, ...]:
+        """All registers read or written anywhere in the program, sorted."""
+        regs = set()
+        for inst in self.instructions:
+            regs.update(inst.reads())
+            regs.update(inst.writes())
+        return tuple(sorted(regs))
+
+    def input_registers(self) -> Tuple[Reg, ...]:
+        """Registers read before being written on a straight scan.
+
+        A conservative (superset) notion of the program's inputs: a register
+        counts as an input unless every textual occurrence of a read is
+        preceded by a write.  For the template programs, which are almost
+        straight-line, this matches the true live-in set.
+        """
+        written = set()
+        inputs = set()
+        for inst in self.instructions:
+            for r in inst.reads():
+                if r not in written:
+                    inputs.add(r)
+            written.update(inst.writes())
+        return tuple(sorted(inputs))
+
+    def loads(self) -> List[Tuple[int, Ldr]]:
+        """All load instructions with their indices."""
+        return [
+            (i, inst)
+            for i, inst in enumerate(self.instructions)
+            if isinstance(inst, Ldr)
+        ]
+
+    def count_branches(self) -> int:
+        return sum(
+            1 for inst in self.instructions if isinstance(inst, (B, BCond))
+        )

@@ -1,0 +1,47 @@
+"""General-purpose registers of the mini ISA: X0..X30, 64 bits each."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+NUM_REGISTERS = 31
+REGISTER_WIDTH = 64
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """A general-purpose register, identified by index."""
+
+    index: int
+
+    def __post_init__(self):
+        if not 0 <= self.index < NUM_REGISTERS:
+            raise IsaError(f"register index out of range: {self.index}")
+
+    @property
+    def name(self) -> str:
+        return f"x{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def x(index: int) -> Reg:
+    """Shorthand constructor: ``x(3)`` is register x3."""
+    return Reg(index)
+
+
+REGISTER_NAMES = tuple(f"x{i}" for i in range(NUM_REGISTERS))
+
+
+def parse_register(text: str) -> Reg:
+    """Parse a register name like ``x12`` (case-insensitive)."""
+    t = text.strip().lower()
+    if not t.startswith("x"):
+        raise IsaError(f"not a register name: {text!r}")
+    try:
+        return Reg(int(t[1:]))
+    except ValueError:
+        raise IsaError(f"not a register name: {text!r}") from None

@@ -1,0 +1,231 @@
+"""RISC-V (RV64) assembly front-end.
+
+Scam-V supports multiple architectures by translating binaries to its
+intermediate language (§2.3: "Currently ARMv8, CortexM0, and RISC-V").
+This module is the RISC-V front-end of this reproduction: it parses an
+RV64 subset into the same :class:`~repro.isa.program.AsmProgram` the rest
+of the toolchain consumes, so lifting, observation models, relation
+synthesis, and the simulated core all work unchanged.
+
+Supported subset::
+
+    li   rd, imm            mv   rd, rs
+    add/sub/and/or/xor/sll/srl/mul  rd, rs1, rs2
+    addi/andi/ori/xori/slli/srli    rd, rs1, imm
+    ld   rd, off(rs)         sd   rs2, off(rs1)
+    beq/bne/blt/bge/bltu/bgeu rs1, rs2, label
+    beqz/bnez rs, label      j label      ret      nop
+
+Registers are ``x1..x30`` or ABI names (``ra``, ``sp``, ``a0``-``a7``,
+``t0``-``t5``, ``s0``-``s11``).  The hardwired-zero register
+(``x0``/``zero``) is handled syntactically: the idioms ``mv rd, zero``,
+``add rd, rs, zero`` and ``beqz``/``bnez`` are rewritten to zero-free
+mini-ISA forms; other uses are rejected.  ``x31``/``t6`` is not available
+(the mini-ISA register file has 31 registers).
+
+Compare-and-branch instructions expand to a ``cmp`` + ``b.cond`` pair, so
+one RISC-V branch occupies two program-counter slots; this is a pure
+front-end expansion and does not affect the analysis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    AluImm,
+    AluOp,
+    AluReg,
+    B,
+    BCond,
+    CmpImm,
+    CmpReg,
+    Cond,
+    Instruction,
+    Ldr,
+    MovImm,
+    MovReg,
+    Nop,
+    Ret,
+    Str,
+)
+from repro.isa.program import AsmProgram
+from repro.isa.registers import Reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_RE = re.compile(r"^(-?(?:0x)?[0-9a-fA-F]*)\(\s*([A-Za-z0-9_]+)\s*\)$")
+
+_ABI_NAMES: Dict[str, int] = {
+    "ra": 1,
+    "sp": 2,
+    "gp": 3,
+    "tp": 4,
+    "t0": 5,
+    "t1": 6,
+    "t2": 7,
+    "s0": 8,
+    "fp": 8,
+    "s1": 9,
+    **{f"a{i}": 10 + i for i in range(8)},
+    **{f"s{i}": 16 + i for i in range(2, 12)},
+    "t3": 28,
+    "t4": 29,
+    "t5": 30,
+}
+
+_ZERO_NAMES = ("x0", "zero")
+
+_ALU_REG = {
+    "add": AluOp.ADD,
+    "sub": AluOp.SUB,
+    "and": AluOp.AND,
+    "or": AluOp.ORR,
+    "xor": AluOp.EOR,
+    "sll": AluOp.LSL,
+    "srl": AluOp.LSR,
+    "mul": AluOp.MUL,
+}
+
+_ALU_IMM = {
+    "addi": AluOp.ADD,
+    "andi": AluOp.AND,
+    "ori": AluOp.ORR,
+    "xori": AluOp.EOR,
+    "slli": AluOp.LSL,
+    "srli": AluOp.LSR,
+}
+
+_BRANCHES = {
+    "beq": Cond.EQ,
+    "bne": Cond.NE,
+    "blt": Cond.LT,
+    "bge": Cond.GE,
+    "bltu": Cond.LO,
+    "bgeu": Cond.HS,
+}
+
+
+def _is_zero(name: str) -> bool:
+    return name.lower() in _ZERO_NAMES
+
+
+def _parse_reg(name: str) -> Reg:
+    n = name.strip().lower()
+    if _is_zero(n):
+        raise IsaError(
+            "the zero register is only supported in 'mv rd, zero', "
+            "'add rd, rs, zero', 'beqz' and 'bnez' forms"
+        )
+    if n in _ABI_NAMES:
+        return Reg(_ABI_NAMES[n])
+    if n.startswith("x") and n[1:].isdigit():
+        index = int(n[1:])
+        if index == 31:
+            raise IsaError("x31/t6 is not available on the 31-register file")
+        if 1 <= index <= 30:
+            return Reg(index)
+    raise IsaError(f"not a RISC-V register: {name!r}")
+
+
+def _parse_imm(text: str) -> int:
+    try:
+        return int(text.strip(), 0)
+    except ValueError:
+        raise IsaError(f"bad immediate {text!r}") from None
+
+
+def _parse_mem(text: str) -> Tuple[Reg, int]:
+    m = _MEM_RE.match(text.strip())
+    if not m:
+        raise IsaError(f"bad memory operand {text!r}")
+    offset = _parse_imm(m.group(1)) if m.group(1) else 0
+    return _parse_reg(m.group(2)), offset
+
+
+def _expand(mnemonic: str, ops: List[str]) -> List[Instruction]:
+    if mnemonic == "nop":
+        return [Nop()]
+    if mnemonic == "ret":
+        return [Ret()]
+    if mnemonic == "j":
+        _expect(ops, 1, mnemonic)
+        return [B(ops[0])]
+    if mnemonic == "li":
+        _expect(ops, 2, mnemonic)
+        return [MovImm(_parse_reg(ops[0]), _parse_imm(ops[1]))]
+    if mnemonic == "mv":
+        _expect(ops, 2, mnemonic)
+        rd = _parse_reg(ops[0])
+        if _is_zero(ops[1]):
+            return [MovImm(rd, 0)]
+        return [MovReg(rd, _parse_reg(ops[1]))]
+    if mnemonic in _ALU_REG:
+        _expect(ops, 3, mnemonic)
+        rd = _parse_reg(ops[0])
+        if mnemonic == "add" and _is_zero(ops[2]):
+            return [MovReg(rd, _parse_reg(ops[1]))]
+        if mnemonic == "add" and _is_zero(ops[1]):
+            return [MovReg(rd, _parse_reg(ops[2]))]
+        return [
+            AluReg(_ALU_REG[mnemonic], rd, _parse_reg(ops[1]), _parse_reg(ops[2]))
+        ]
+    if mnemonic in _ALU_IMM:
+        _expect(ops, 3, mnemonic)
+        return [
+            AluImm(
+                _ALU_IMM[mnemonic],
+                _parse_reg(ops[0]),
+                _parse_reg(ops[1]),
+                _parse_imm(ops[2]),
+            )
+        ]
+    if mnemonic == "ld":
+        _expect(ops, 2, mnemonic)
+        base, offset = _parse_mem(ops[1])
+        return [Ldr(_parse_reg(ops[0]), base, None, offset)]
+    if mnemonic == "sd":
+        _expect(ops, 2, mnemonic)
+        base, offset = _parse_mem(ops[1])
+        return [Str(_parse_reg(ops[0]), base, None, offset)]
+    if mnemonic in _BRANCHES:
+        _expect(ops, 3, mnemonic)
+        return [
+            CmpReg(_parse_reg(ops[0]), _parse_reg(ops[1])),
+            BCond(_BRANCHES[mnemonic], ops[2]),
+        ]
+    if mnemonic in ("beqz", "bnez"):
+        _expect(ops, 2, mnemonic)
+        cond = Cond.EQ if mnemonic == "beqz" else Cond.NE
+        return [CmpImm(_parse_reg(ops[0]), 0), BCond(cond, ops[1])]
+    raise IsaError(f"unknown RISC-V mnemonic {mnemonic!r}")
+
+
+def _expect(ops: List[str], count: int, mnemonic: str) -> None:
+    if len(ops) != count:
+        raise IsaError(f"{mnemonic} expects {count} operand(s), got {len(ops)}")
+
+
+def assemble_riscv(source: str, name: str = "riscv") -> AsmProgram:
+    """Assemble RISC-V source into a mini-ISA :class:`AsmProgram`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for raw_line in source.splitlines():
+        line = raw_line.split("#")[0].split("//")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in labels:
+                raise IsaError(f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        instructions.extend(_expand(mnemonic, operands))
+    return AsmProgram(instructions, labels, name=name)

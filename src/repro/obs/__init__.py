@@ -1,0 +1,39 @@
+"""Observational models (§2.2, §4) and the tags used for refinement (§5.1).
+
+An :class:`~repro.obs.base.ObservationModel` is an augmentation pass that
+inserts :class:`~repro.bir.stmt.Observe` statements into a BIR program.  For
+refinement, a single augmented program carries observations for both the
+model under validation (tag ``BASE``) and the refined model (tag
+``REFINED``); the projection function of §5.1 simply filters by tag.
+"""
+
+from repro.obs.tags import ObsKind, ObsTag
+from repro.obs.base import ObservationModel, RefinedPair
+from repro.obs.channels import MpageRefinedModel, MtimeRefinedModel
+from repro.obs.models import (
+    MctModel,
+    MlineModel,
+    MpartModel,
+    MpartRefinedModel,
+    MpcModel,
+    MspecModel,
+    MspecOneLoadModel,
+    MspecStraightLineModel,
+)
+
+__all__ = [
+    "ObsKind",
+    "ObsTag",
+    "ObservationModel",
+    "RefinedPair",
+    "MctModel",
+    "MlineModel",
+    "MpartModel",
+    "MpartRefinedModel",
+    "MpcModel",
+    "MspecModel",
+    "MspecOneLoadModel",
+    "MspecStraightLineModel",
+    "MpageRefinedModel",
+    "MtimeRefinedModel",
+]

@@ -1,0 +1,116 @@
+"""Observation-model base classes and augmentation helpers.
+
+An observation model is an *augmentation pass*: it inserts
+:class:`~repro.bir.stmt.Observe` statements into a BIR program.  Models that
+support refinement produce a single combined program in which observations of
+the model under validation carry tag ``BASE`` and the extra observations of
+the refined model carry tag ``REFINED`` — the projection optimisation of
+§5.1 (running the pipeline once on M2 and projecting M1 out by tag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, Statement, Store
+from repro.bir.tags import ObsTag
+from repro.errors import ObservationModelError
+
+
+@dataclass(frozen=True)
+class AttackerRegion:
+    """The attacker-accessible cache region for cache-partitioning models.
+
+    ``AR(addr)`` holds when the cache set index of ``addr`` lies in
+    ``[lo_set, hi_set]``.  §6.2 uses ``61 <= line(v) <= 127`` (unaligned) and
+    ``64 <= line(v) <= 127`` (page aligned) on a 128-set cache with 64-byte
+    lines.
+    """
+
+    lo_set: int
+    hi_set: int
+    line_shift: int = 6  # log2(line size in bytes)
+    set_count: int = 128
+
+    def __post_init__(self):
+        if not 0 <= self.lo_set <= self.hi_set < self.set_count:
+            raise ObservationModelError(
+                f"invalid attacker region [{self.lo_set}, {self.hi_set}] "
+                f"for {self.set_count} sets"
+            )
+
+    def line_expr(self, addr: E.Expr) -> E.Expr:
+        """The cache set index of an address, as a BIR expression."""
+        shifted = E.lshr(addr, E.const(self.line_shift, addr.width))
+        return E.band(shifted, E.const(self.set_count - 1, addr.width))
+
+    def contains_expr(self, addr: E.Expr) -> E.Expr:
+        """The predicate ``AR(addr)`` as a one-bit BIR expression."""
+        line = self.line_expr(addr)
+        lo = E.const(self.lo_set, addr.width)
+        hi = E.const(self.hi_set, addr.width)
+        return E.bool_and(E.ule(lo, line), E.ule(line, hi))
+
+    def contains_set(self, set_index: int) -> bool:
+        """Concrete membership check on a cache set index."""
+        return self.lo_set <= set_index <= self.hi_set
+
+
+class ObservationModel:
+    """Base class: a named observation-augmentation pass.
+
+    ``has_refinement`` is True when :meth:`augment` emits ``REFINED``-tagged
+    observations in addition to the ``BASE`` ones, i.e. when the model object
+    encodes a (model under validation, refined model) pair.
+    """
+
+    name: str = "model"
+    has_refinement: bool = False
+
+    def augment(self, program: Program) -> Program:
+        """Return a copy of ``program`` with observation statements added."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass(frozen=True)
+class RefinedPair:
+    """Names the (M1, M2) pair a combined augmentation encodes."""
+
+    base_name: str
+    refined_name: str
+
+    def __str__(self) -> str:
+        return f"{self.base_name} refined by {self.refined_name}"
+
+
+def load_address(stmt: Statement) -> Optional[E.Expr]:
+    """The address expression if ``stmt`` is a load assignment, else None."""
+    if isinstance(stmt, Assign) and isinstance(stmt.value, E.Load):
+        return stmt.value.addr
+    return None
+
+
+def store_address(stmt: Statement) -> Optional[E.Expr]:
+    """The address expression if ``stmt`` is a store, else None."""
+    if isinstance(stmt, Store):
+        return stmt.addr
+    return None
+
+
+def is_transient(stmt: Statement) -> bool:
+    """True for shadow statements inserted by speculative instrumentation."""
+    return bool(getattr(stmt, "transient", False))
+
+
+def map_block_bodies(
+    program: Program,
+    rewrite: Callable[[Block], Iterable[Statement]],
+) -> Program:
+    """Apply a body-rewriting function to every block of a program."""
+    return program.map_blocks(lambda b: b.with_body(tuple(rewrite(b))))

@@ -1,0 +1,124 @@
+"""Observation models for additional side channels (§2.3).
+
+The paper states that analysing a new channel — TLB state, variable-time
+arithmetic, DRAM timing, power — only requires (1) a new observation-
+augmentation module and (2) a channel measurement in the test executor.
+The executor side lives in :class:`repro.hw.platform.Channel`; this module
+is the augmentation side, with two worked channels:
+
+**TLB** — :class:`MpageRefinedModel` validates a *set-index-only* model
+(the attacker resolves cache sets but not full addresses, i.e. Mline used
+as the model under validation) against the TLB channel.  The refined
+observations are the page numbers of all accesses: requiring them to
+differ drives generation toward same-set/different-page pairs, which the
+TLB distinguishes.
+
+**Variable-time arithmetic** — :class:`MtimeRefinedModel` validates the
+program-counter security model (Mpc: execution time depends only on
+control flow [Molnar et al.]) against the cycle-count channel on a core
+with an early-termination multiplier.  The refined observations are the
+multiplier operands — the §3 running example's refinement, "observe the
+highest bits ... for checking if time needed depends on the size of the
+arguments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, Observe
+from repro.bir.tags import ObsKind, ObsTag
+from repro.obs.base import (
+    AttackerRegion,
+    ObservationModel,
+    is_transient,
+    load_address,
+    map_block_bodies,
+    store_address,
+)
+from repro.obs.models import MlineModel, _pc_observation
+
+
+@dataclass
+class MpageRefinedModel(ObservationModel):
+    """Set-index-only model refined by page observations (TLB channel).
+
+    BASE observations: the cache set index of every architectural access
+    (the model under validation claims set indexes are all an attacker can
+    resolve).  REFINED observations: the page number of every access —
+    distinct pages with equal set indexes are exactly what the TLB channel
+    distinguishes and the base model misses.
+    """
+
+    region: AttackerRegion
+    page_shift: int = 12
+    name: str = field(default="Mline+Mpage", init=False)
+    has_refinement = True
+
+    def page_expr(self, addr: E.Expr) -> E.Expr:
+        return E.lshr(addr, E.const(self.page_shift, addr.width))
+
+    def augment(self, program: Program) -> Program:
+        base = MlineModel(self.region).augment(program)
+
+        def rewrite(block: Block):
+            for stmt in block.body:
+                yield stmt
+                if is_transient(stmt):
+                    continue
+                addr = load_address(stmt) or store_address(stmt)
+                if addr is not None:
+                    yield Observe(
+                        tag=ObsTag.REFINED,
+                        kind=ObsKind.PAGE,
+                        exprs=(self.page_expr(addr),),
+                        label="page",
+                    )
+
+        return map_block_bodies(base, rewrite)
+
+
+@dataclass
+class MtimeRefinedModel(ObservationModel):
+    """The pc-security model refined by multiplier-operand observations.
+
+    BASE observations: the program counter of every instruction (execution
+    time depends only on control flow).  REFINED observations: the second
+    operand of every multiply — its magnitude decides the early-termination
+    multiplier's latency, so forcing these to differ surfaces the
+    variable-time arithmetic channel.
+    """
+
+    name: str = field(default="Mpc+Mtime", init=False)
+    has_refinement = True
+
+    def augment(self, program: Program) -> Program:
+        def rewrite(block: Block):
+            pc = _pc_observation(block)
+            if pc is not None:
+                yield pc
+            for stmt in block.body:
+                operand = multiplier_operand(stmt)
+                if operand is not None and not is_transient(stmt):
+                    yield Observe(
+                        tag=ObsTag.REFINED,
+                        kind=ObsKind.OPERAND,
+                        exprs=(operand,),
+                        label="mul-operand",
+                    )
+                yield stmt
+
+        return map_block_bodies(program, rewrite)
+
+
+def multiplier_operand(stmt) -> E.Expr:
+    """The latency-determining operand of a lifted multiply, or None."""
+    if (
+        isinstance(stmt, Assign)
+        and isinstance(stmt.value, E.BinOp)
+        and stmt.value.op is E.BinOpKind.MUL
+    ):
+        return stmt.value.rhs
+    return None

@@ -1,0 +1,301 @@
+"""The observational models of the paper (§4) as augmentation passes.
+
+Models under validation
+-----------------------
+* :class:`MpartModel` — cache partitioning (§4.2.1): observes the address of
+  every memory access **inside the attacker-accessible region**.
+* :class:`MctModel` — constant-time (§4.2.2): observes the program counter of
+  every instruction and every accessed address.
+* :class:`MspecOneLoadModel` — Mspec1 (§6.5): Mct plus the *first* load of
+  each transient branch.
+
+Refinements (combined augmentations, tag ``REFINED`` for the extra
+observations, per the §5.1 projection optimisation)
+----------------------------------------------------
+* :class:`MpartRefinedModel` — Mpart' (§4.2.1): additionally observes
+  addresses outside the attacker region.
+* :class:`MspecModel` — Mspec (§4.2.2): additionally observes every load of
+  the transient (shadow) branch.
+* :class:`MspecStraightLineModel` — Mspec' (§6.5): Mspec after rewriting
+  unconditional direct branches into tautological conditionals.
+
+Supporting models for coverage (§4.1)
+-------------------------------------
+* :class:`MpcModel` — observes the program counter (path enumeration).
+* :class:`MlineModel` — observes the cache set index of accessed addresses
+  (cache line enumeration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsKind, ObsTag
+from repro.isa.lifter import instruction_index
+from repro.obs.base import (
+    AttackerRegion,
+    ObservationModel,
+    is_transient,
+    load_address,
+    map_block_bodies,
+    store_address,
+)
+from repro.symbolic.speculative import (
+    SpeculationBounds,
+    instrument_speculation,
+    unconditional_to_conditional,
+)
+
+
+def _pc_observation(block: Block) -> Optional[Observe]:
+    """A BASE program-counter observation for an instruction block."""
+    index = instruction_index(block.label)
+    if index is None:
+        return None
+    return Observe(
+        tag=ObsTag.BASE,
+        kind=ObsKind.PC,
+        exprs=(E.const(index),),
+        label=f"pc:{index}",
+    )
+
+
+class MpcModel(ObservationModel):
+    """Supporting model: observe the program counter of every instruction.
+
+    Its equivalence classes are pairs of execution paths (§4.1.1); the
+    pipeline's per-path-pair relation split (§5.4) enumerates exactly these
+    classes, so Mpc doubles as the default coverage model.
+    """
+
+    name = "Mpc"
+
+    def augment(self, program: Program) -> Program:
+        def rewrite(block: Block):
+            pc = _pc_observation(block)
+            if pc is not None:
+                yield pc
+            yield from block.body
+
+        return map_block_bodies(program, rewrite)
+
+
+@dataclass
+class MlineModel(ObservationModel):
+    """Supporting model: observe the cache set index of every access (§4.1.2).
+
+    ``region`` supplies the line geometry (shift and set count); the attacker
+    bounds are ignored here.
+    """
+
+    region: AttackerRegion
+    name: str = field(default="Mline", init=False)
+
+    def augment(self, program: Program) -> Program:
+        region = self.region
+
+        def rewrite(block: Block):
+            for stmt in block.body:
+                addr = load_address(stmt) or store_address(stmt)
+                if addr is not None and not is_transient(stmt):
+                    yield Observe(
+                        tag=ObsTag.BASE,
+                        kind=ObsKind.CACHE_LINE,
+                        exprs=(region.line_expr(addr),),
+                        label="line",
+                    )
+                yield stmt
+
+        return map_block_bodies(program, rewrite)
+
+
+@dataclass
+class MpartModel(ObservationModel):
+    """Cache-partitioning model Mpart (§4.2.1).
+
+    Observes ``if AR(addr) then addr`` for every memory access: the address
+    of accesses inside the attacker region, nothing for accesses outside it.
+    """
+
+    region: AttackerRegion
+    name: str = field(default="Mpart", init=False)
+
+    def augment(self, program: Program) -> Program:
+        return _augment_part(program, self.region, refined=False)
+
+
+@dataclass
+class MpartRefinedModel(ObservationModel):
+    """Mpart refined by Mpart' (§4.2.1): one combined augmentation.
+
+    BASE observations are Mpart's; REFINED observations record the address of
+    accesses *outside* the attacker region (guard ``not AR(addr)``), so
+    requiring refined observations to differ forces the two states to touch
+    different non-attacker cache sets — the guidance that surfaces the
+    prefetcher.
+    """
+
+    region: AttackerRegion
+    name: str = field(default="Mpart+Mpart'", init=False)
+    has_refinement = True
+
+    def augment(self, program: Program) -> Program:
+        return _augment_part(program, self.region, refined=True)
+
+
+def _augment_part(program: Program, region: AttackerRegion, refined: bool) -> Program:
+    def rewrite(block: Block):
+        for stmt in block.body:
+            addr = load_address(stmt)
+            kind = ObsKind.LOAD_ADDR
+            if addr is None:
+                addr = store_address(stmt)
+                kind = ObsKind.STORE_ADDR
+            if addr is not None and not is_transient(stmt):
+                inside = region.contains_expr(addr)
+                yield Observe(
+                    tag=ObsTag.BASE,
+                    kind=kind,
+                    exprs=(addr,),
+                    guard=inside,
+                    label="ar-addr",
+                )
+                if refined:
+                    yield Observe(
+                        tag=ObsTag.REFINED,
+                        kind=kind,
+                        exprs=(addr,),
+                        guard=E.bool_not(inside),
+                        label="non-ar-addr",
+                    )
+            yield stmt
+
+    return map_block_bodies(program, rewrite)
+
+
+class MctModel(ObservationModel):
+    """Constant-time model Mct (§4.2.2).
+
+    Observes the program counter of every instruction and the address of
+    every (architectural) memory access.
+    """
+
+    name = "Mct"
+
+    def augment(self, program: Program) -> Program:
+        return _augment_ct(program, spec_first_load_tag=None)
+
+
+@dataclass
+class MspecModel(ObservationModel):
+    """Mct refined by Mspec (§4.2.2): one combined augmentation.
+
+    The program is first instrumented with shadow (transient) statements for
+    every conditional branch; Mct's observations (BASE) cover architectural
+    behaviour, and every transient load's address is observed with tag
+    REFINED.
+    """
+
+    bounds: SpeculationBounds = field(default_factory=SpeculationBounds)
+    name: str = field(default="Mct+Mspec", init=False)
+    has_refinement = True
+
+    def augment(self, program: Program) -> Program:
+        instrumented = instrument_speculation(program, self.bounds)
+        return _augment_ct(instrumented, spec_first_load_tag=ObsTag.REFINED)
+
+
+@dataclass
+class MspecOneLoadModel(ObservationModel):
+    """Mspec1 refined by Mspec (§6.5): one combined augmentation.
+
+    Mspec1 — the model under validation — consists of Mct plus the *first*
+    load of each transient branch, so that first transient load is tagged
+    BASE; the remaining transient loads are REFINED (they are Mspec-only).
+    """
+
+    bounds: SpeculationBounds = field(default_factory=SpeculationBounds)
+    name: str = field(default="Mspec1+Mspec", init=False)
+    has_refinement = True
+
+    def augment(self, program: Program) -> Program:
+        instrumented = instrument_speculation(program, self.bounds)
+        return _augment_ct(instrumented, spec_first_load_tag=ObsTag.BASE)
+
+
+@dataclass
+class MspecStraightLineModel(ObservationModel):
+    """Mct refined by Mspec' (§6.5).
+
+    Unconditional direct branches are rewritten into tautologically-true
+    conditional branches, so the speculative instrumentation also shadows the
+    straight-line successors of ``b label`` — modelling straight-line
+    speculation.
+    """
+
+    bounds: SpeculationBounds = field(default_factory=SpeculationBounds)
+    name: str = field(default="Mct+Mspec'", init=False)
+    has_refinement = True
+
+    def augment(self, program: Program) -> Program:
+        converted = unconditional_to_conditional(program)
+        instrumented = instrument_speculation(converted, self.bounds)
+        return _augment_ct(instrumented, spec_first_load_tag=ObsTag.REFINED)
+
+
+def _augment_ct(program: Program, spec_first_load_tag: Optional[ObsTag]) -> Program:
+    """Insert Mct observations, plus transient-load observations when the
+    program carries shadow statements.
+
+    ``spec_first_load_tag`` is the tag for the first transient load of each
+    shadow block (BASE for Mspec1, REFINED for Mspec); subsequent transient
+    loads are always REFINED.  ``None`` means transient statements are not
+    observed at all (plain Mct on an uninstrumented program).
+    """
+
+    def rewrite(block: Block):
+        pc = _pc_observation(block)
+        if pc is not None:
+            yield pc
+        transient_loads_seen = 0
+        for stmt in block.body:
+            if is_transient(stmt):
+                addr = load_address(stmt)
+                if addr is not None and spec_first_load_tag is not None:
+                    tag = (
+                        spec_first_load_tag
+                        if transient_loads_seen == 0
+                        else ObsTag.REFINED
+                    )
+                    transient_loads_seen += 1
+                    yield Observe(
+                        tag=tag,
+                        kind=ObsKind.SPEC_LOAD_ADDR,
+                        exprs=(addr,),
+                        label="spec-load",
+                    )
+                yield stmt
+                continue
+            addr = load_address(stmt)
+            if addr is not None:
+                yield Observe(
+                    tag=ObsTag.BASE,
+                    kind=ObsKind.LOAD_ADDR,
+                    exprs=(addr,),
+                    label="load",
+                )
+            addr = store_address(stmt)
+            if addr is not None:
+                yield Observe(
+                    tag=ObsTag.BASE,
+                    kind=ObsKind.STORE_ADDR,
+                    exprs=(addr,),
+                    label="store",
+                )
+            yield stmt
+
+    return map_block_bodies(program, rewrite)

@@ -1,0 +1,10 @@
+"""Observation tags and kinds (re-exported from the IL layer).
+
+See :mod:`repro.bir.tags` for the definitions; they live at the IL layer
+because ``Observe`` statements carry them, but conceptually they belong to
+the observation-model API, hence this alias module.
+"""
+
+from repro.bir.tags import ObsKind, ObsTag
+
+__all__ = ["ObsKind", "ObsTag"]

@@ -1,0 +1,33 @@
+"""The Scam-V campaign driver (Fig. 1 / Fig. 8).
+
+A *campaign* runs the full pipeline for a number of generated programs and a
+number of test cases per program: template generation, observation
+augmentation, (cached) symbolic execution, relation synthesis, test-case
+instantiation, and experiment execution on the simulated platform — with
+the metrics the paper's tables report (counterexamples, inconclusive
+experiments, generation/execution times, time-to-first-counterexample).
+"""
+
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.metrics import CampaignStats, format_table
+from repro.pipeline.database import ExperimentDatabase
+from repro.pipeline.driver import CampaignResult, ScamV
+from repro.pipeline.analysis import (
+    CertificationReport,
+    CounterexampleAnalysis,
+    certify_campaign,
+    diff_states,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignStats",
+    "format_table",
+    "ExperimentDatabase",
+    "CampaignResult",
+    "ScamV",
+    "CertificationReport",
+    "CounterexampleAnalysis",
+    "certify_campaign",
+    "diff_states",
+]

@@ -1,0 +1,155 @@
+"""Post-campaign analysis: certification and counterexample breakdowns.
+
+The paper analyses its counterexamples by hand to understand *why* a model
+failed (§6.3-§6.4: which register-allocation subclass leaked, what the
+transient accesses were).  This module automates the first steps:
+
+* :func:`certify_campaign` — re-checks every counterexample against the
+  model semantics (Definition 1 on concrete states): a *certified*
+  counterexample is genuinely observationally equivalent under the model
+  under validation, so the distinguishability really falsifies soundness
+  and is not a solver artefact.
+* :class:`CounterexampleAnalysis` — aggregates counterexamples by program
+  and template parameters and diffs the two states, reporting which
+  registers and memory cells differ (the paper's "these 6 counterexamples
+  cover only a specific subclass" style of observation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.probes import add_address_probes
+from repro.hw.platform import StateInputs
+from repro.isa.lifter import lift
+from repro.isa.program import AsmProgram
+from repro.obs.base import ObservationModel
+from repro.pipeline.driver import CampaignResult
+from repro.symbolic.concrete import certify_equivalence
+
+
+@dataclass
+class CertificationReport:
+    """How many counterexamples survive independent re-checking."""
+
+    total: int = 0
+    certified: int = 0
+    uncertified: List[str] = field(default_factory=list)
+
+    @property
+    def all_certified(self) -> bool:
+        return self.total == self.certified
+
+    def describe(self) -> str:
+        if self.total == 0:
+            return "no counterexamples to certify"
+        status = "all certified" if self.all_certified else (
+            f"{len(self.uncertified)} NOT certified: "
+            + ", ".join(sorted(set(self.uncertified))[:5])
+        )
+        return f"{self.certified}/{self.total} counterexamples certified ({status})"
+
+
+def certify_campaign(
+    result: CampaignResult, model: ObservationModel
+) -> CertificationReport:
+    """Re-check every counterexample of a campaign against the model.
+
+    Re-runs the model's augmentation and a concrete execution per state;
+    the two BASE observation traces must agree (the states are equivalent
+    in the model under validation, Definition 1).
+    """
+    report = CertificationReport()
+    augmented_cache: Dict[str, object] = {}
+    for record in result.counterexamples():
+        report.total += 1
+        program = record.test.program
+        augmented = augmented_cache.get(program.name)
+        if augmented is None:
+            augmented = add_address_probes(model.augment(lift(program)))
+            augmented_cache[program.name] = augmented
+        if certify_equivalence(augmented, record.test.state1, record.test.state2):
+            report.certified += 1
+        else:
+            report.uncertified.append(record.program_name)
+    return report
+
+
+@dataclass(frozen=True)
+class StateDiff:
+    """What differs between the two states of one counterexample."""
+
+    registers: Tuple[str, ...]
+    memory_cells: Tuple[int, ...]
+
+
+def diff_states(state1: StateInputs, state2: StateInputs) -> StateDiff:
+    """Registers and memory cells on which the two states disagree."""
+    reg_names = set(state1.regs) | set(state2.regs)
+    regs = tuple(
+        sorted(
+            name
+            for name in reg_names
+            if state1.regs.get(name, 0) != state2.regs.get(name, 0)
+        )
+    )
+    addresses = set(state1.memory) | set(state2.memory)
+    cells = tuple(
+        sorted(
+            addr
+            for addr in addresses
+            if state1.memory.get(addr, 0) != state2.memory.get(addr, 0)
+        )
+    )
+    return StateDiff(registers=regs, memory_cells=cells)
+
+
+@dataclass
+class CounterexampleAnalysis:
+    """Aggregate view over a campaign's counterexamples."""
+
+    by_program: Counter = field(default_factory=Counter)
+    by_template: Counter = field(default_factory=Counter)
+    differing_registers: Counter = field(default_factory=Counter)
+    memory_only: int = 0
+    total: int = 0
+
+    @classmethod
+    def of(cls, result: CampaignResult) -> "CounterexampleAnalysis":
+        analysis = cls()
+        for record in result.counterexamples():
+            analysis.total += 1
+            analysis.by_program[record.program_name] += 1
+            analysis.by_template[record.template] += 1
+            diff = diff_states(record.test.state1, record.test.state2)
+            for name in diff.registers:
+                analysis.differing_registers[name] += 1
+            if not diff.registers and diff.memory_cells:
+                analysis.memory_only += 1
+        return analysis
+
+    def describe(self) -> str:
+        if self.total == 0:
+            return "no counterexamples"
+        lines = [f"{self.total} counterexamples"]
+        lines.append(
+            "  programs: "
+            + ", ".join(
+                f"{name} x{count}"
+                for name, count in self.by_program.most_common(5)
+            )
+        )
+        top_regs = self.differing_registers.most_common(5)
+        if top_regs:
+            lines.append(
+                "  most-often-differing registers: "
+                + ", ".join(f"{name} ({count})" for name, count in top_regs)
+            )
+        if self.memory_only:
+            lines.append(
+                f"  {self.memory_only} differ only in memory contents "
+                "(the SiSCLoak mem[x0] pattern, §6.3)"
+            )
+        return "\n".join(lines)

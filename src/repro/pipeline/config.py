@@ -1,0 +1,45 @@
+"""Campaign configuration: what to generate, validate, and measure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.coverage import CoverageSampler, NoCoverage
+from repro.core.testgen import TestGenConfig
+from repro.gen.templates import TemplateGenerator
+from repro.hw.platform import PlatformConfig
+from repro.obs.base import ObservationModel
+
+
+@dataclass
+class CampaignConfig:
+    """One column of the paper's result tables.
+
+    ``model`` is the (possibly refinement-carrying) observation model under
+    validation; ``coverage`` the supporting model's constraint sampler (path
+    coverage via the per-path-pair round-robin is always on).
+    """
+
+    name: str
+    template: TemplateGenerator
+    model: ObservationModel
+    num_programs: int
+    tests_per_program: int
+    coverage: CoverageSampler = field(default_factory=NoCoverage)
+    testgen: TestGenConfig = field(default_factory=TestGenConfig)
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    seed: int = 0
+    # Re-check each counterexample against the model semantics with a
+    # concrete run (Definition 1 on concrete states); uncertified ones are
+    # counted separately instead of as counterexamples.
+    certify: bool = False
+
+    def describe(self) -> str:
+        refinement = "yes" if self.model.has_refinement else "no"
+        return (
+            f"{self.name}: template={self.template.name} "
+            f"model={self.model.name} refinement={refinement} "
+            f"coverage={self.coverage.name} programs={self.num_programs} "
+            f"tests/program={self.tests_per_program} seed={self.seed}"
+        )

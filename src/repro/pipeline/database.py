@@ -1,0 +1,154 @@
+"""SQLite experiment database (the EmbExp-Logs substitute).
+
+Stores campaigns, generated programs, and per-experiment records so results
+can be re-analysed after a run, as with the paper's artifact logs.  Uses the
+standard-library ``sqlite3``; in-memory by default.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    description TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS programs (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    name TEXT NOT NULL,
+    template TEXT NOT NULL,
+    asm TEXT NOT NULL,
+    params TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS experiments (
+    id INTEGER PRIMARY KEY,
+    program_id INTEGER NOT NULL REFERENCES programs(id),
+    outcome TEXT NOT NULL,
+    state1 TEXT NOT NULL,
+    state2 TEXT NOT NULL,
+    train TEXT,
+    gen_time REAL NOT NULL,
+    exe_time REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_experiments_program
+    ON experiments(program_id);
+"""
+
+
+def _dump_state(state) -> str:
+    return json.dumps(
+        {"regs": state.regs, "memory": {str(k): v for k, v in state.memory.items()}}
+    )
+
+
+class ExperimentDatabase:
+    """Thin typed wrapper over the sqlite3 store."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExperimentDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- inserts -------------------------------------------------------------
+
+    def add_campaign(self, name: str, description: str = "") -> int:
+        cur = self._conn.execute(
+            "INSERT INTO campaigns (name, description) VALUES (?, ?)",
+            (name, description),
+        )
+        self._conn.commit()
+        return int(cur.lastrowid)
+
+    def add_program(
+        self,
+        campaign_id: int,
+        name: str,
+        template: str,
+        asm_text: str,
+        params: Optional[Dict] = None,
+    ) -> int:
+        cur = self._conn.execute(
+            "INSERT INTO programs (campaign_id, name, template, asm, params)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (campaign_id, name, template, asm_text, json.dumps(params or {})),
+        )
+        self._conn.commit()
+        return int(cur.lastrowid)
+
+    def add_experiment(
+        self,
+        program_id: int,
+        outcome: str,
+        state1,
+        state2,
+        train,
+        gen_time: float,
+        exe_time: float,
+    ) -> int:
+        cur = self._conn.execute(
+            "INSERT INTO experiments"
+            " (program_id, outcome, state1, state2, train, gen_time, exe_time)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                program_id,
+                outcome,
+                _dump_state(state1),
+                _dump_state(state2),
+                _dump_state(train) if train is not None else None,
+                gen_time,
+                exe_time,
+            ),
+        )
+        self._conn.commit()
+        return int(cur.lastrowid)
+
+    # -- queries -------------------------------------------------------------
+
+    def outcome_counts(self, campaign_id: int) -> Dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT e.outcome, COUNT(*) FROM experiments e"
+            " JOIN programs p ON e.program_id = p.id"
+            " WHERE p.campaign_id = ? GROUP BY e.outcome",
+            (campaign_id,),
+        ).fetchall()
+        return {outcome: count for outcome, count in rows}
+
+    def programs_with_outcome(self, campaign_id: int, outcome: str) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(DISTINCT e.program_id) FROM experiments e"
+            " JOIN programs p ON e.program_id = p.id"
+            " WHERE p.campaign_id = ? AND e.outcome = ?",
+            (campaign_id, outcome),
+        ).fetchone()
+        return int(row[0])
+
+    def counterexamples(self, campaign_id: int) -> List[Tuple[str, str, str]]:
+        """``(program_name, state1_json, state2_json)`` of counterexamples."""
+        return self._conn.execute(
+            "SELECT p.name, e.state1, e.state2 FROM experiments e"
+            " JOIN programs p ON e.program_id = p.id"
+            " WHERE p.campaign_id = ? AND e.outcome = 'counterexample'",
+            (campaign_id,),
+        ).fetchall()
+
+    def experiment_count(self, campaign_id: int) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM experiments e"
+            " JOIN programs p ON e.program_id = p.id WHERE p.campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        return int(row[0])

@@ -1,0 +1,92 @@
+"""Campaign statistics: the rows of Table 1 and the Fig. 7 table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class CampaignStats:
+    """Counters and timings for one campaign (one table column)."""
+
+    name: str
+    programs: int = 0
+    programs_with_counterexamples: int = 0
+    experiments: int = 0
+    counterexamples: int = 0
+    inconclusive: int = 0
+    generation_failures: int = 0
+    # Distinguishable pairs that failed the concrete equivalence re-check
+    # (only populated when the campaign runs with certify=True).
+    uncertified: int = 0
+    gen_time_total: float = 0.0
+    exe_time_total: float = 0.0
+    time_to_counterexample: Optional[float] = None
+
+    @property
+    def avg_gen_time(self) -> float:
+        """Mean seconds to generate one test case."""
+        if self.experiments == 0:
+            return 0.0
+        return self.gen_time_total / self.experiments
+
+    @property
+    def avg_exe_time(self) -> float:
+        """Mean seconds to execute one experiment."""
+        if self.experiments == 0:
+            return 0.0
+        return self.exe_time_total / self.experiments
+
+    @property
+    def counterexample_rate(self) -> float:
+        if self.experiments == 0:
+            return 0.0
+        return self.counterexamples / self.experiments
+
+    def as_row(self) -> Dict[str, object]:
+        """The paper's table-row metrics, in Table 1 order."""
+        return {
+            "Programs": self.programs,
+            "Prog. w. Count.": self.programs_with_counterexamples,
+            "Experiments": self.experiments,
+            "- Counterexample": self.counterexamples,
+            "- Inconclusive": self.inconclusive,
+            "- Avg. Gen. time (s)": round(self.avg_gen_time, 4),
+            "- Avg. Exe. time (s)": round(self.avg_exe_time, 4),
+            "- T.T.C. (s)": (
+                round(self.time_to_counterexample, 2)
+                if self.time_to_counterexample is not None
+                else "-"
+            ),
+        }
+
+
+def format_table(columns: Sequence[CampaignStats], title: str = "") -> str:
+    """Render campaigns side by side in the layout of the paper's Table 1."""
+    if not columns:
+        return "(no campaigns)"
+    rows = [c.as_row() for c in columns]
+    metric_names = list(rows[0].keys())
+    header = ["Metric"] + [c.name for c in columns]
+    table: List[List[str]] = [header]
+    for metric in metric_names:
+        table.append([metric] + [str(r[metric]) for r in rows])
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def ratio(a: float, b: float) -> Optional[float]:
+    """``a / b`` with None for a zero denominator (ratio tables in A.6.1)."""
+    if b == 0:
+        return None
+    return a / b

@@ -1,0 +1,37 @@
+"""A purpose-built model finder for relation constraints (the Z3 substitute).
+
+The relations synthesized by this library — after the per-path-pair split of
+§5.4 — are conjunctions of comparisons, (dis)equalities and guarded
+implications over 64-bit registers and memory selects.  The
+:class:`~repro.smt.solver.ModelFinder` solves this fragment with
+
+* top-level propagation (variable-variable and variable-constant equalities),
+* structure-aware inversion of terms (address arithmetic, bit-field
+  extraction like cache set indexes), and
+* stochastic sampling with targeted repair and restarts.
+
+Its *completion policy* is deliberately biased: unconstrained values for the
+two states of a test pair are drawn from a shared stream, so two generated
+states agree everywhere the constraints do not force them apart.  This
+mirrors how an SMT solver's default model assigns don't-cares identically
+for both states — the very behaviour that makes unguided relational testing
+ineffective and refinement valuable (§1, §6).  A small divergence
+probability keeps unguided search from being *completely* blind, matching
+the paper's observation that it still finds a handful of counterexamples.
+"""
+
+from repro.smt.naming import STATE_SEP, base_name, rename_for_state, state_of
+from repro.smt.valuation import LazyValuation, SamplingPolicy
+from repro.smt.solver import Model, ModelFinder, SolverConfig
+
+__all__ = [
+    "STATE_SEP",
+    "base_name",
+    "rename_for_state",
+    "state_of",
+    "LazyValuation",
+    "SamplingPolicy",
+    "Model",
+    "ModelFinder",
+    "SolverConfig",
+]

@@ -1,0 +1,135 @@
+"""Compilation of BIR expressions to Python closures.
+
+The stochastic search evaluates every conjunct hundreds of times; walking
+the expression tree each time dominates solving.  ``compile_expr`` turns an
+expression into a Python lambda over ``(R, M)`` — the register mapping and
+the memory-read function of a valuation — giving a ~two-order-of-magnitude
+speedup with identical semantics (the test suite cross-checks compiled
+results against :func:`repro.bir.expr.evaluate`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.bir import expr as E
+from repro.errors import SolverError
+from repro.utils import bitvec
+
+_UNIQUE = 0
+
+
+def _signed(value: int, width: int) -> int:
+    return bitvec.to_signed(value, width)
+
+
+def _shl(a: int, b: int, w: int) -> int:
+    return bitvec.bv_shl(a, min(b, w), w)
+
+
+def _lshr(a: int, b: int, w: int) -> int:
+    return bitvec.bv_lshr(a, min(b, w), w)
+
+
+def _ashr(a: int, b: int, w: int) -> int:
+    return bitvec.bv_ashr(a, min(b, w), w)
+
+
+_GLOBALS = {
+    "_s": _signed,
+    "_shl": _shl,
+    "_lshr": _lshr,
+    "_ashr": _ashr,
+    "__builtins__": {},
+}
+
+
+def compile_expr(expr: E.Expr) -> Callable[[Dict[str, int], Callable[[str, int], int]], int]:
+    """Compile to ``fn(R, M) -> int`` where ``R`` maps register names to
+    values and ``M(mem_name, addr)`` reads a memory cell."""
+    code = _gen(expr)
+    return eval(f"lambda R, M: {code}", dict(_GLOBALS))
+
+
+def _gen(expr: E.Expr) -> str:
+    w = expr.width
+    m = bitvec.mask(w)
+    if isinstance(expr, E.Const):
+        return str(expr.value)
+    if isinstance(expr, E.Var):
+        return f"R[{expr.name!r}]"
+    if isinstance(expr, E.UnOp):
+        o = _gen(expr.operand)
+        if expr.op is E.UnOpKind.NOT:
+            return f"(({o}) ^ {m})"
+        if expr.op is E.UnOpKind.NEG:
+            return f"((-({o})) & {m})"
+        raise SolverError(f"cannot compile {expr.op!r}")
+    if isinstance(expr, E.BinOp):
+        l, r = _gen(expr.lhs), _gen(expr.rhs)
+        op = expr.op
+        if op is E.BinOpKind.ADD:
+            return f"((({l}) + ({r})) & {m})"
+        if op is E.BinOpKind.SUB:
+            return f"((({l}) - ({r})) & {m})"
+        if op is E.BinOpKind.MUL:
+            return f"((({l}) * ({r})) & {m})"
+        if op is E.BinOpKind.AND:
+            return f"(({l}) & ({r}))"
+        if op is E.BinOpKind.OR:
+            return f"(({l}) | ({r}))"
+        if op is E.BinOpKind.XOR:
+            return f"(({l}) ^ ({r}))"
+        if op is E.BinOpKind.SHL:
+            return f"_shl(({l}), ({r}), {w})"
+        if op is E.BinOpKind.LSHR:
+            return f"_lshr(({l}), ({r}), {w})"
+        if op is E.BinOpKind.ASHR:
+            return f"_ashr(({l}), ({r}), {w})"
+        raise SolverError(f"cannot compile {op!r}")
+    if isinstance(expr, E.Cmp):
+        l, r = _gen(expr.lhs), _gen(expr.rhs)
+        ow = expr.lhs.width
+        op = expr.op
+        if op is E.CmpKind.EQ:
+            return f"(({l}) == ({r}))*1"
+        if op is E.CmpKind.NE:
+            return f"(({l}) != ({r}))*1"
+        if op is E.CmpKind.ULT:
+            return f"(({l}) < ({r}))*1"
+        if op is E.CmpKind.ULE:
+            return f"(({l}) <= ({r}))*1"
+        if op is E.CmpKind.SLT:
+            return f"(_s(({l}), {ow}) < _s(({r}), {ow}))*1"
+        if op is E.CmpKind.SLE:
+            return f"(_s(({l}), {ow}) <= _s(({r}), {ow}))*1"
+        raise SolverError(f"cannot compile {op!r}")
+    if isinstance(expr, E.Ite):
+        return (
+            f"(({_gen(expr.then)}) if ({_gen(expr.cond)}) "
+            f"else ({_gen(expr.orelse)}))"
+        )
+    if isinstance(expr, E.Load):
+        return _gen_load(expr)
+    raise SolverError(f"cannot compile {expr!r}")
+
+
+def _gen_load(expr: E.Load) -> str:
+    addr_code = _gen(expr.addr)
+    mem = expr.mem
+    if isinstance(mem, E.MemVar):
+        return f"M({mem.name!r}, ({addr_code}))"
+    # Store chain: bind the address once, then nested conditionals.
+    body = "_A"
+    chain = []
+    while isinstance(mem, E.MemStore):
+        chain.append((mem.addr, mem.value))
+        mem = mem.mem
+    assert isinstance(mem, E.MemVar)
+    inner = f"M({mem.name!r}, _A)"
+    for store_addr, store_value in reversed(chain):
+        inner = (
+            f"(({_gen(store_value)}) if (({_gen(store_addr)}) == _A) "
+            f"else ({inner}))"
+        )
+    return f"(lambda _A: {inner})({addr_code})"

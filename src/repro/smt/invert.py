@@ -1,0 +1,318 @@
+"""Structure-aware repair: force an expression to a target value.
+
+``try_set(expr, target, valuation, rng)`` mutates the valuation so that
+``expr`` evaluates to ``target``, by inverting the term structure down to an
+assignable atom (a register or a memory cell at a concrete address).  The
+supported shapes cover everything the templates generate: address arithmetic
+(``+``/``-``/``^``), bit-field extraction (``(x >> s) & m`` — cache set
+indexes), shifts, boolean structure, and comparisons.
+
+Returns True when the mutation succeeded, False when the shape is not
+invertible (the caller then falls back to redrawing variables).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bir import expr as E
+from repro.bir.expr import evaluate
+from repro.smt.valuation import LazyValuation
+from repro.utils import bitvec
+from repro.utils.rng import SplittableRandom
+
+WORD = 64
+
+
+def try_set(
+    expr: E.Expr,
+    target: int,
+    val: LazyValuation,
+    rng: SplittableRandom,
+    depth: int = 0,
+) -> bool:
+    """Mutate ``val`` so that ``expr`` evaluates to ``target``."""
+    if depth > 32:
+        return False
+    target = bitvec.truncate(target, expr.width)
+    if isinstance(expr, E.Const):
+        return expr.value == target
+    if isinstance(expr, E.Var):
+        return val.set_register(expr.name, target)
+    if isinstance(expr, E.Load):
+        return _set_load(expr, target, val, rng, depth)
+    if isinstance(expr, E.UnOp):
+        return _set_unop(expr, target, val, rng, depth)
+    if isinstance(expr, E.BinOp):
+        return _set_binop(expr, target, val, rng, depth)
+    if isinstance(expr, E.Cmp):
+        return _set_cmp(expr, bool(target), val, rng, depth)
+    if isinstance(expr, E.Ite):
+        return _set_ite(expr, target, val, rng, depth)
+    return False
+
+
+def _set_load(
+    expr: E.Load, target: int, val: LazyValuation, rng, depth: int
+) -> bool:
+    if not isinstance(expr.mem, E.MemVar):
+        # A select over a store chain: check whether the read resolves to the
+        # base memory under the current assignment; if a store shadows it,
+        # invert the stored value instead.
+        addr = evaluate(expr.addr, val)
+        mem = expr.mem
+        while isinstance(mem, E.MemStore):
+            if evaluate(mem.addr, val) == addr:
+                return try_set(mem.value, target, val, rng, depth + 1)
+            mem = mem.mem
+        return val.set_cell(mem.name, addr, target)
+    addr = evaluate(expr.addr, val)
+    return val.set_cell(expr.mem.name, addr, target)
+
+
+def _set_unop(expr: E.UnOp, target: int, val, rng, depth: int) -> bool:
+    if expr.op is E.UnOpKind.NOT:
+        return try_set(expr.operand, bitvec.bv_not(target, expr.width), val, rng, depth + 1)
+    if expr.op is E.UnOpKind.NEG:
+        return try_set(expr.operand, bitvec.bv_sub(0, target, expr.width), val, rng, depth + 1)
+    return False
+
+
+def _set_binop(expr: E.BinOp, target: int, val, rng, depth: int) -> bool:
+    width = expr.width
+    op = expr.op
+    if width == 1 and op in (E.BinOpKind.AND, E.BinOpKind.OR):
+        return _set_bool_connective(expr, bool(target), val, rng, depth)
+    lhs, rhs = expr.lhs, expr.rhs
+    if lhs == rhs:
+        return _set_binop_aliased(op, lhs, target, val, rng, depth)
+    lv = evaluate(lhs, val)
+    rv = evaluate(rhs, val)
+
+    def attempts():
+        if op is E.BinOpKind.ADD:
+            yield lhs, bitvec.bv_sub(target, rv, width)
+            yield rhs, bitvec.bv_sub(target, lv, width)
+        elif op is E.BinOpKind.SUB:
+            yield lhs, bitvec.bv_add(target, rv, width)
+            yield rhs, bitvec.bv_sub(lv, target, width)
+        elif op is E.BinOpKind.XOR:
+            yield lhs, bitvec.bv_xor(target, rv, width)
+            yield rhs, bitvec.bv_xor(target, lv, width)
+        elif op is E.BinOpKind.AND:
+            # x & m == target requires target within m; keep x's other bits.
+            if target & bitvec.bv_not(rv, width) == 0:
+                yield lhs, (lv & bitvec.bv_not(rv, width)) | target
+            if target & bitvec.bv_not(lv, width) == 0:
+                yield rhs, (rv & bitvec.bv_not(lv, width)) | target
+        elif op is E.BinOpKind.OR:
+            # x | m == target requires m within target.
+            if rv & bitvec.bv_not(target, width) == 0:
+                yield lhs, target
+            if lv & bitvec.bv_not(target, width) == 0:
+                yield rhs, target
+        elif op is E.BinOpKind.SHL:
+            if isinstance(rhs, E.Const) and rhs.value < width:
+                s = rhs.value
+                if s == 0 or bitvec.truncate(target, s) == 0:
+                    keep = (lv & ~bitvec.mask(width - s)) if s else 0
+                    yield lhs, (target >> s) | keep
+        elif op is E.BinOpKind.LSHR:
+            if isinstance(rhs, E.Const) and rhs.value < width:
+                s = rhs.value
+                if target < (1 << (width - s)):
+                    low = lv & bitvec.mask(s) if s else 0
+                    yield lhs, (target << s) | low
+        # MUL/ASHR: not needed by the templates; fall through to failure.
+
+    # Deterministic order per restart: both states of a relational formula
+    # repair their isomorphic constraints identically, so the pair stays
+    # aligned wherever the constraints do not force it apart.  The
+    # valuation's orientation bit reverses the preference across restarts;
+    # exploration mode randomizes it to crack repair cycles.
+    order = list(attempts())
+    if val.explore:
+        rng.shuffle(order)
+    elif val.orientation:
+        order.reverse()
+    for side, value in order:
+        if try_set(side, value, val, rng, depth + 1):
+            return True
+    return False
+
+
+def _set_binop_aliased(
+    op: E.BinOpKind, operand: E.Expr, target: int, val, rng, depth: int
+) -> bool:
+    """Solve ``x <op> x == target`` for a single shared operand term.
+
+    Inverting one side against the other's *current* value oscillates when
+    both sides are the same term, so these need dedicated algebra.
+    """
+    width = operand.width
+    if op is E.BinOpKind.ADD:
+        # x + x == target: solvable iff target is even; two roots.
+        if target & 1:
+            return False
+        half = target >> 1
+        top = 1 << (width - 1)
+        return try_set(operand, half, val, rng, depth + 1) or try_set(
+            operand, half | top, val, rng, depth + 1
+        )
+    if op in (E.BinOpKind.SUB, E.BinOpKind.XOR):
+        # x - x == 0 and x ^ x == 0 for every x.
+        return target == 0
+    if op in (E.BinOpKind.AND, E.BinOpKind.OR):
+        return try_set(operand, target, val, rng, depth + 1)
+    return False
+
+
+def _set_bool_connective(expr: E.BinOp, target: bool, val, rng, depth: int) -> bool:
+    is_and = expr.op is E.BinOpKind.AND
+    sides = [expr.lhs, expr.rhs]
+    if (is_and and target) or (not is_and and not target):
+        # Both sides must equal `target`.
+        ok = True
+        for side in sides:
+            if evaluate(side, val) != int(target):
+                ok = try_set(side, int(target), val, rng, depth + 1) and ok
+        return ok
+    # One side suffices.
+    for side in sides:
+        if try_set(side, int(target), val, rng, depth + 1):
+            return True
+    return False
+
+
+def _set_cmp(expr: E.Cmp, target: bool, val, rng, depth: int) -> bool:
+    op = expr.op
+    if (op is E.CmpKind.EQ and not target) or (op is E.CmpKind.NE and target):
+        return _set_unequal(expr.lhs, expr.rhs, val, rng, depth)
+    if (op is E.CmpKind.EQ and target) or (op is E.CmpKind.NE and not target):
+        return _set_equal(expr.lhs, expr.rhs, val, rng, depth)
+    # Order comparisons: reduce everything to "lhs <= rhs" with strictness
+    # and signedness flags, honouring negation via `target`.
+    strict = op in (E.CmpKind.ULT, E.CmpKind.SLT)
+    signed = op in (E.CmpKind.SLT, E.CmpKind.SLE)
+    if target:
+        return _set_ordered(expr.lhs, expr.rhs, strict, signed, val, rng, depth)
+    # not (a < b)  <=>  b <= a ; not (a <= b)  <=>  b < a
+    return _set_ordered(expr.rhs, expr.lhs, not strict, signed, val, rng, depth)
+
+
+def _set_equal(lhs: E.Expr, rhs: E.Expr, val, rng, depth: int) -> bool:
+    lv = evaluate(lhs, val)
+    rv = evaluate(rhs, val)
+    if lv == rv:
+        return True
+    # Deterministic per restart: copy one side into the other, the side
+    # chosen by the restart's orientation (random in exploration mode).
+    flip = rng.chance(0.5) if val.explore else val.orientation
+    if flip:
+        return try_set(rhs, lv, val, rng, depth + 1) or try_set(
+            lhs, rv, val, rng, depth + 1
+        )
+    return try_set(lhs, rv, val, rng, depth + 1) or try_set(
+        rhs, lv, val, rng, depth + 1
+    )
+
+
+def _set_unequal(lhs: E.Expr, rhs: E.Expr, val, rng, depth: int) -> bool:
+    width = lhs.width
+    lv = evaluate(lhs, val)
+    rv = evaluate(rhs, val)
+    if lv != rv:
+        return True
+    # Forced difference is the one place randomness belongs: refinement
+    # demands the states diverge here, so a fresh draw goes into one side.
+    fresh = bitvec.truncate(val.policy.fresh_value(), width)
+    if fresh == rv:
+        fresh = bitvec.bv_add(rv, 1, width)
+    bumped = bitvec.bv_add(rv, max(1, val.policy.alignment) if width > 3 else 1, width)
+    if rng.chance(0.5):
+        return try_set(lhs, fresh, val, rng, depth + 1) or try_set(
+            rhs, bumped, val, rng, depth + 1
+        )
+    return try_set(rhs, fresh, val, rng, depth + 1) or try_set(
+        lhs, bumped, val, rng, depth + 1
+    )
+
+
+def _set_ordered(
+    lo: E.Expr, hi: E.Expr, strict: bool, signed: bool, val, rng, depth: int
+) -> bool:
+    """Make ``lo < hi`` (strict) or ``lo <= hi`` hold."""
+    width = lo.width
+    lo_v = evaluate(lo, val)
+    hi_v = evaluate(hi, val)
+
+    def as_key(v: int) -> int:
+        return bitvec.to_signed(v, width) if signed else v
+
+    def holds(a: int, b: int) -> bool:
+        return as_key(a) < as_key(b) or (not strict and as_key(a) == as_key(b))
+
+    if holds(lo_v, hi_v):
+        return True
+    # Prefer the twin state's witness: when the other state already repaired
+    # the isomorphic predicate, landing on the same values keeps the pair
+    # aligned, as an SMT solver would (see LazyValuation.twin_register).
+    for side, other_value, check in ((lo, hi_v, True), (hi, lo_v, False)):
+        twin = _twin_target(side, val)
+        if twin is None:
+            continue
+        satisfied = holds(twin, other_value) if check else holds(other_value, twin)
+        if satisfied and try_set(side, twin, val, rng, depth + 1):
+            return True
+    min_key = -(1 << (width - 1)) if signed else 0
+    max_key = (1 << (width - 1)) - 1 if signed else bitvec.mask(width)
+    offset = 1 if strict else 0
+    # Deterministic minimal-change targets (boundary witnesses, the way an
+    # SMT solver's arithmetic decisions land): lower `lo` to just below hi,
+    # else raise `hi` to just above lo.  Exploration mode samples random
+    # in-range targets and a random side order instead.
+    choices = []
+    if as_key(hi_v) - offset >= min_key:
+        lo_target = (
+            rng.randint(min_key, as_key(hi_v) - offset)
+            if val.explore
+            else as_key(hi_v) - offset
+        )
+        choices.append((lo, bitvec.to_unsigned(lo_target, width)))
+    if as_key(lo_v) + offset <= max_key:
+        hi_target = (
+            rng.randint(as_key(lo_v) + offset, max_key)
+            if val.explore
+            else as_key(lo_v) + offset
+        )
+        choices.append((hi, bitvec.to_unsigned(hi_target, width)))
+    if val.explore:
+        rng.shuffle(choices)
+    elif val.orientation:
+        choices.reverse()
+    for side, value in choices:
+        if try_set(side, value, val, rng, depth + 1):
+            return True
+    return False
+
+
+def _twin_target(expr: E.Expr, val: LazyValuation) -> Optional[int]:
+    """The other state's value for a plain variable operand, if any."""
+    if isinstance(expr, E.Var):
+        return val.twin_register(expr.name)
+    return None
+
+
+def _set_ite(expr: E.Ite, target: int, val, rng, depth: int) -> bool:
+    if evaluate(expr.cond, val):
+        arm = expr.then
+    else:
+        arm = expr.orelse
+    if try_set(arm, target, val, rng, depth + 1):
+        return True
+    # Steer the condition to the other arm if that arm already matches.
+    other = expr.orelse if arm is expr.then else expr.then
+    if evaluate(other, val) == bitvec.truncate(target, expr.width):
+        flip = 0 if evaluate(expr.cond, val) else 1
+        return try_set(expr.cond, flip, val, rng, depth + 1)
+    return False

@@ -1,0 +1,40 @@
+"""Naming convention for two-state (relational) constraints.
+
+A relational formula talks about two copies of the program state.  Copy
+``i`` of variable ``x0`` is named ``x0#i``; copy ``i`` of memory ``MEM`` is
+``MEM#i``.  The model finder's completion policy uses :func:`base_name` to
+pair the copies so unconstrained values agree across the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+STATE_SEP = "#"
+
+
+def rename_for_state(name: str, state_index: int) -> str:
+    """Name of copy ``state_index`` (1 or 2) of ``name``."""
+    return f"{name}{STATE_SEP}{state_index}"
+
+
+def base_name(name: str) -> str:
+    """Strip the state suffix: ``x0#2`` -> ``x0``; plain names pass through."""
+    sep = name.rfind(STATE_SEP)
+    if sep == -1:
+        return name
+    return name[:sep]
+
+
+def state_of(name: str) -> Optional[int]:
+    """The state index of a renamed name, or None for plain names."""
+    sep = name.rfind(STATE_SEP)
+    if sep == -1:
+        return None
+    suffix = name[sep + 1 :]
+    return int(suffix) if suffix.isdigit() else None
+
+
+def split(name: str) -> Tuple[str, Optional[int]]:
+    """``(base, state_index)`` of a possibly-renamed name."""
+    return base_name(name), state_of(name)

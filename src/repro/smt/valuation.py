@@ -1,0 +1,185 @@
+"""Lazily-sampled valuations with a paired completion policy.
+
+The model finder evaluates candidate assignments with a
+:class:`LazyValuation`: any register or memory cell read that is not yet
+materialised is sampled on demand by a :class:`SamplingPolicy` and then
+cached, so the search only ever touches values the constraints mention.
+
+The policy pairs the two state copies of a relational formula (``x0#1`` /
+``x0#2``): by default both copies of a name — and both copies of a memory
+cell at the same address — receive the *same* sampled value.  With
+probability ``divergence`` a copy gets an independent draw.  See
+:mod:`repro.smt` for why this bias is the realistic substitute for an SMT
+solver's don't-care behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.bir.expr import Valuation
+from repro.smt.naming import base_name, rename_for_state, split
+from repro.utils import bitvec
+from repro.utils.rng import SplittableRandom
+
+WORD_WIDTH = 64
+
+
+@dataclass
+class SamplingPolicy:
+    """How fresh values are drawn and how state copies are paired.
+
+    ``region_base``/``region_size`` describe the experiment memory region of
+    the evaluation platform; sampled values are addresses into that region
+    with probability ``region_bias`` (aligned to ``alignment``), otherwise
+    small integers.  Registers double as addresses and comparison operands in
+    the templates, so this mixture keeps most raw samples *plausible* inputs,
+    with constraint repair doing the precise placement.
+    """
+
+    rng: SplittableRandom
+    divergence: float = 0.08
+    region_base: int = 0x80000
+    region_size: int = 0x40000
+    region_bias: float = 0.5
+    alignment: int = 8
+    small_max: int = 255
+
+    def fresh_value(self) -> int:
+        """An unconstrained sample: region address or small integer."""
+        if self.rng.chance(self.region_bias):
+            slots = self.region_size // self.alignment
+            offset = self.rng.randint(0, slots - 1) * self.alignment
+            return self.region_base + offset
+        return self.rng.randint(0, self.small_max)
+
+    def diverges(self) -> bool:
+        """Whether a paired draw should be replaced by an independent one."""
+        return self.rng.chance(self.divergence)
+
+
+class LazyValuation(Valuation):
+    """A concrete valuation that samples unknown values on first read.
+
+    ``pins`` fixes names to constant values (from equality propagation);
+    ``resolve`` maps a variable name to its equivalence-class key (from
+    union-find over top-level equalities) — class members share one value.
+    """
+
+    def __init__(
+        self,
+        policy: SamplingPolicy,
+        pins: Optional[Dict[str, int]] = None,
+        resolve: Optional[Callable[[str], str]] = None,
+    ):
+        super().__init__()
+        self.policy = policy
+        self.pins = dict(pins or {})
+        self.resolve = resolve or (lambda name: name)
+        # Shared draws per pairing key (base name / (mem, addr)).
+        self._paired_regs: Dict[str, int] = {}
+        self._paired_cells: Dict[Tuple[str, int], int] = {}
+        # Names mutated by repair since the last drain (register class keys
+        # and memory names); the solver uses this for incremental
+        # re-evaluation of dependent constraints.
+        self.mutation_log: list = []
+        # Repair side-preference for this restart.  Deterministic within a
+        # restart (both states repair isomorphic constraints identically)
+        # but flipped across restarts so deterministic repair cycles can be
+        # escaped.
+        self.orientation = False
+        # Exploration phase: when deterministic repair stalls, the solver
+        # switches to randomized repair choices to crack constraint cycles
+        # (twin preference still keeps reparable symmetry where possible).
+        self.explore = False
+        self.regs = _SamplingRegs(self)
+
+    # -- registers ---------------------------------------------------------
+
+    def _sample_register(self, key: str) -> int:
+        if key in self.pins:
+            return self.pins[key]
+        pair_key = base_name(key)
+        shared = self._paired_regs.get(pair_key)
+        if shared is None:
+            shared = self.policy.fresh_value()
+            self._paired_regs[pair_key] = shared
+        if self.policy.diverges():
+            return self.policy.fresh_value()
+        return shared
+
+    def set_register(self, name: str, value: int) -> bool:
+        """Assign a register (repair); refuses pinned names."""
+        key = self.resolve(name)
+        if key in self.pins:
+            return self.pins[key] == bitvec.truncate(value, WORD_WIDTH)
+        dict.__setitem__(self.regs, key, bitvec.truncate(value, WORD_WIDTH))
+        self.mutation_log.append(key)
+        return True
+
+    def register(self, name: str) -> int:
+        """Read (and materialise) a register value."""
+        return self.regs[name]
+
+    def twin_register(self, name: str) -> Optional[int]:
+        """The other state's value of this variable, or None.
+
+        Repair prefers the twin's value whenever it satisfies the predicate
+        being fixed: an SMT solver given the isomorphic sub-problems of the
+        two state copies assigns them identical witnesses, and this is what
+        keeps unguided test pairs "too similar" (§1).
+        """
+        base, state = split(name)
+        if state not in (1, 2):
+            return None
+        return self.regs[rename_for_state(base, 3 - state)]
+
+    # -- memory ------------------------------------------------------------
+
+    def read_mem(self, mem_name: str, addr: int) -> int:
+        cells = self.mems.setdefault(mem_name, {})
+        if addr not in cells:
+            cells[addr] = self._sample_cell(mem_name, addr)
+        return cells[addr]
+
+    def _sample_cell(self, mem_name: str, addr: int) -> int:
+        pair_key = (base_name(mem_name), addr)
+        shared = self._paired_cells.get(pair_key)
+        if shared is None:
+            shared = self.policy.fresh_value()
+            self._paired_cells[pair_key] = shared
+        if self.policy.diverges():
+            return self.policy.fresh_value()
+        return shared
+
+    def set_cell(self, mem_name: str, addr: int, value: int) -> bool:
+        """Assign a memory cell (repair)."""
+        self.mems.setdefault(mem_name, {})[addr] = bitvec.truncate(
+            value, WORD_WIDTH
+        )
+        self.mutation_log.append(mem_name)
+        return True
+
+    # -- snapshot ----------------------------------------------------------
+
+    def materialised(self) -> Tuple[Dict[str, int], Dict[str, Dict[int, int]]]:
+        """Copies of everything sampled or assigned so far."""
+        regs = dict(self.regs)
+        mems = {name: dict(cells) for name, cells in self.mems.items()}
+        return regs, mems
+
+
+class _SamplingRegs(dict):
+    """Register store that resolves names to class representatives and
+    samples missing entries through the owning valuation."""
+
+    def __init__(self, owner: LazyValuation):
+        super().__init__()
+        self._owner = owner
+
+    def __getitem__(self, name: str) -> int:
+        key = self._owner.resolve(name)
+        if not dict.__contains__(self, key):
+            dict.__setitem__(self, key, self._owner._sample_register(key))
+        return dict.__getitem__(self, key)

@@ -1,0 +1,40 @@
+"""Symbolic execution of BIR programs with observation collection.
+
+The executor enumerates all paths of a loop-free program, tracking a symbolic
+register environment, a symbolic memory (store chain over the initial
+memory), the path condition, and the list of symbolic observations produced
+by ``Observe`` statements — the data relation synthesis (§2.3) consumes.
+"""
+
+from repro.symbolic.path import SymbolicObservation, SymbolicPath, SymbolicExecutionResult
+from repro.symbolic.state import SymbolicState
+from repro.symbolic.executor import SymbolicExecutor, execute
+from repro.symbolic.concrete import (
+    ConcreteObservation,
+    ConcreteTrace,
+    certify_equivalence,
+    refined_difference_holds,
+    run_concrete,
+)
+from repro.symbolic.speculative import (
+    SpeculationBounds,
+    instrument_speculation,
+    unconditional_to_conditional,
+)
+
+__all__ = [
+    "SymbolicObservation",
+    "SymbolicPath",
+    "SymbolicExecutionResult",
+    "SymbolicState",
+    "SymbolicExecutor",
+    "execute",
+    "ConcreteObservation",
+    "ConcreteTrace",
+    "certify_equivalence",
+    "refined_difference_holds",
+    "run_concrete",
+    "SpeculationBounds",
+    "instrument_speculation",
+    "unconditional_to_conditional",
+]

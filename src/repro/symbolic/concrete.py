@@ -1,0 +1,158 @@
+"""Concrete execution of BIR programs with observation traces.
+
+Runs an (augmented) BIR program on concrete register/memory values and
+records the observations it emits — the concrete counterpart of symbolic
+execution.  Two uses:
+
+* **Counterexample certification**: a hardware-distinguishable test pair is
+  a genuine counterexample only if the two states produce *identical* BASE
+  observation traces (they are observationally equivalent in the model
+  under validation).  :func:`certify_equivalence` re-checks that on the
+  concrete states, independently of the solver.
+* **Debugging models**: inspect exactly what a model observes on a given
+  input (``trace.describe()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bir import expr as E
+from repro.bir.program import Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Store
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import SymbolicExecutionError
+from repro.hw.platform import StateInputs
+
+MAX_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class ConcreteObservation:
+    """One observation emitted during a concrete run."""
+
+    tag: ObsTag
+    kind: ObsKind
+    values: Tuple[int, ...]
+    label: str = ""
+
+    def describe(self) -> str:
+        values = ", ".join(hex(v) for v in self.values)
+        return f"{self.kind.value}<{self.tag.value}>[{values}]"
+
+
+@dataclass
+class ConcreteTrace:
+    """The result of a concrete BIR run."""
+
+    observations: Tuple[ConcreteObservation, ...]
+    block_trace: Tuple[str, ...]
+    final_regs: Dict[str, int]
+
+    def with_tag(self, tag: ObsTag) -> Tuple[ConcreteObservation, ...]:
+        return tuple(o for o in self.observations if o.tag is tag)
+
+    def base_observations(self) -> Tuple[ConcreteObservation, ...]:
+        return self.with_tag(ObsTag.BASE)
+
+    def describe(self) -> str:
+        lines = [f"trace {' -> '.join(self.block_trace)}"]
+        lines.extend(f"  {o.describe()}" for o in self.observations)
+        return "\n".join(lines)
+
+
+def run_concrete(program: Program, inputs: StateInputs) -> ConcreteTrace:
+    """Execute a BIR program concretely, collecting observations.
+
+    Transient (shadow) statements execute like any other statement: their
+    shadow variables are disjoint from the architectural ones, so they
+    cannot perturb the architectural result — exactly as in the symbolic
+    semantics.
+    """
+    # Like the hardware platform, registers default to zero.
+    regs = {f"x{i}": 0 for i in range(31)}
+    regs.update(inputs.regs)
+    valuation = E.Valuation(regs=regs, mems={"MEM": dict(inputs.memory)})
+    observations: List[ConcreteObservation] = []
+    block_trace: List[str] = []
+    label: Optional[str] = program.entry
+    steps = 0
+    while label is not None:
+        steps += 1
+        if steps > MAX_STEPS:
+            raise SymbolicExecutionError(
+                f"concrete run of {program.name!r} exceeded {MAX_STEPS} blocks"
+            )
+        block_trace.append(label)
+        block = program.block(label)
+        for stmt in block.body:
+            _step(stmt, valuation, observations)
+        label = _next_label(block.terminator, valuation)
+    return ConcreteTrace(
+        observations=tuple(observations),
+        block_trace=tuple(block_trace),
+        final_regs=dict(valuation.regs),
+    )
+
+
+def _step(stmt, valuation: E.Valuation, observations) -> None:
+    if isinstance(stmt, Assign):
+        valuation.regs[stmt.target.name] = E.evaluate(stmt.value, valuation)
+        return
+    if isinstance(stmt, Store):
+        addr = E.evaluate(stmt.addr, valuation)
+        value = E.evaluate(stmt.value, valuation)
+        valuation.mems.setdefault(stmt.mem.name, {})[addr] = value
+        return
+    if isinstance(stmt, Observe):
+        if E.evaluate(stmt.guard, valuation):
+            observations.append(
+                ConcreteObservation(
+                    tag=stmt.tag,
+                    kind=stmt.kind,
+                    values=tuple(
+                        E.evaluate(e, valuation) for e in stmt.exprs
+                    ),
+                    label=stmt.label,
+                )
+            )
+        return
+    raise SymbolicExecutionError(f"cannot execute {stmt!r}")
+
+
+def _next_label(terminator, valuation: E.Valuation) -> Optional[str]:
+    if isinstance(terminator, Halt):
+        return None
+    if isinstance(terminator, Jmp):
+        return terminator.target
+    if isinstance(terminator, CJmp):
+        if E.evaluate(terminator.cond, valuation):
+            return terminator.target_true
+        return terminator.target_false
+    raise SymbolicExecutionError(f"unknown terminator {terminator!r}")
+
+
+def certify_equivalence(
+    program: Program, state1: StateInputs, state2: StateInputs
+) -> bool:
+    """Re-check that two states are observationally equivalent (BASE tags).
+
+    Runs the augmented program concretely from both states and compares the
+    BASE observation traces — Definition 1, evaluated on concrete inputs.
+    A counterexample is only meaningful when this holds, so the pipeline
+    can use it to certify solver output independently.
+    """
+    trace1 = run_concrete(program, state1)
+    trace2 = run_concrete(program, state2)
+    return trace1.base_observations() == trace2.base_observations()
+
+
+def refined_difference_holds(
+    program: Program, state1: StateInputs, state2: StateInputs
+) -> bool:
+    """Check the refinement requirement on concrete states: the REFINED
+    observation traces differ (``s1 !~M2 s2``, §3 step 4)."""
+    trace1 = run_concrete(program, state1)
+    trace2 = run_concrete(program, state2)
+    return trace1.with_tag(ObsTag.REFINED) != trace2.with_tag(ObsTag.REFINED)

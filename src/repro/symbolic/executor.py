@@ -1,0 +1,116 @@
+"""Path-enumerating symbolic executor for loop-free BIR programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bir import expr as E
+from repro.bir.cfg import ControlFlowGraph
+from repro.bir.program import Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Store
+from repro.errors import PathExplosionError, SymbolicExecutionError
+from repro.symbolic.path import (
+    SymbolicExecutionResult,
+    SymbolicObservation,
+    SymbolicPath,
+)
+from repro.symbolic.state import SymbolicState
+
+DEFAULT_MAX_PATHS = 256
+
+
+class SymbolicExecutor:
+    """Executes a program symbolically, exploring every feasible path.
+
+    Feasibility here is *syntactic*: a branch is pruned only when its
+    condition simplifies to a constant.  Semantically infeasible paths are
+    eliminated later by the model finder (an unsatisfiable path pair simply
+    yields no test case), exactly as in Scam-V where Z3 plays that role.
+    """
+
+    def __init__(self, max_paths: int = DEFAULT_MAX_PATHS):
+        self.max_paths = max_paths
+
+    def run(self, program: Program) -> SymbolicExecutionResult:
+        cfg = ControlFlowGraph(program)
+        if not cfg.is_acyclic():
+            raise SymbolicExecutionError(
+                f"program {program.name!r} has loops; the executor only "
+                "supports loop-free programs (the templates are loop-free)"
+            )
+        paths: List[SymbolicPath] = []
+        # Depth-first exploration; each work item is (label, state).
+        stack = [(program.entry, SymbolicState())]
+        while stack:
+            label, state = stack.pop()
+            state.block_trace.append(label)
+            block = program.block(label)
+            for stmt in block.body:
+                self._step(stmt, state)
+            term = block.terminator
+            if isinstance(term, Halt):
+                paths.append(self._finish(state))
+                if len(paths) > self.max_paths:
+                    raise PathExplosionError(
+                        f"program {program.name!r} exceeded "
+                        f"{self.max_paths} paths"
+                    )
+                continue
+            if isinstance(term, Jmp):
+                stack.append((term.target, state))
+                continue
+            if isinstance(term, CJmp):
+                cond = state.eval(term.cond)
+                if cond == E.TRUE:
+                    stack.append((term.target_true, state))
+                elif cond == E.FALSE:
+                    stack.append((term.target_false, state))
+                else:
+                    false_state = state.clone()
+                    false_state.assume(E.bool_not(cond))
+                    stack.append((term.target_false, false_state))
+                    state.assume(cond)
+                    stack.append((term.target_true, state))
+                continue
+            raise SymbolicExecutionError(f"unknown terminator {term!r}")
+        # DFS visits the false arm first at each fork (it is pushed first);
+        # reverse to report paths in true-first order, which keeps path
+        # indices stable and readable in reports.
+        paths.reverse()
+        return SymbolicExecutionResult(program.name, paths)
+
+    def _step(self, stmt, state: SymbolicState) -> None:
+        if isinstance(stmt, Assign):
+            state.assign(stmt.target.name, state.eval(stmt.value))
+            return
+        if isinstance(stmt, Store):
+            state.store(stmt.mem.name, state.eval(stmt.addr), state.eval(stmt.value))
+            return
+        if isinstance(stmt, Observe):
+            guard = state.eval(stmt.guard)
+            if guard == E.FALSE:
+                return
+            state.observe(
+                SymbolicObservation(
+                    tag=stmt.tag,
+                    kind=stmt.kind,
+                    exprs=tuple(state.eval(e) for e in stmt.exprs),
+                    guard=guard,
+                    label=stmt.label,
+                )
+            )
+            return
+        raise SymbolicExecutionError(f"unknown statement {stmt!r}")
+
+    def _finish(self, state: SymbolicState) -> SymbolicPath:
+        return SymbolicPath(
+            path_condition=tuple(state.path_condition),
+            observations=tuple(state.observations),
+            block_trace=tuple(state.block_trace),
+            final_env=dict(state.env),
+        )
+
+
+def execute(program: Program, max_paths: int = DEFAULT_MAX_PATHS) -> SymbolicExecutionResult:
+    """Convenience wrapper around :class:`SymbolicExecutor`."""
+    return SymbolicExecutor(max_paths=max_paths).run(program)

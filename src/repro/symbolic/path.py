@@ -1,0 +1,98 @@
+"""Result structures of symbolic execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.bir import expr as E
+from repro.bir.printer import format_expr
+from repro.bir.tags import ObsKind, ObsTag
+
+
+@dataclass(frozen=True)
+class SymbolicObservation:
+    """One observation produced along a path.
+
+    ``guard`` is a one-bit expression over the *initial* state: the
+    observation is emitted only on executions where it holds (used by Mpart's
+    attacker-region-conditional observations).  ``exprs`` are the observed
+    values, also over the initial state.
+    """
+
+    tag: ObsTag
+    kind: ObsKind
+    exprs: Tuple[E.Expr, ...]
+    guard: E.Expr = E.TRUE
+    label: str = ""
+
+    def is_base(self) -> bool:
+        return self.tag is ObsTag.BASE
+
+    def describe(self) -> str:
+        guard = "" if self.guard == E.TRUE else f" when {format_expr(self.guard)}"
+        exprs = ", ".join(format_expr(e) for e in self.exprs)
+        return f"{self.kind.value}<{self.tag.value}>[{exprs}]{guard}"
+
+
+@dataclass(frozen=True)
+class SymbolicPath:
+    """One terminating path: condition, observations, trace, final state."""
+
+    path_condition: Tuple[E.Expr, ...]
+    observations: Tuple[SymbolicObservation, ...]
+    block_trace: Tuple[str, ...]
+    final_env: Dict[str, E.Expr] = field(default_factory=dict, compare=False, hash=False)
+
+    def condition_expr(self) -> E.Expr:
+        """The path condition as a single conjunction."""
+        return E.bool_and(*self.path_condition)
+
+    def observations_with_tag(self, tag: ObsTag) -> Tuple[SymbolicObservation, ...]:
+        return tuple(o for o in self.observations if o.tag is tag)
+
+    def base_observations(self) -> Tuple[SymbolicObservation, ...]:
+        """The projection pi of §5.1: drop refined observations."""
+        return self.observations_with_tag(ObsTag.BASE)
+
+    def refined_only_observations(self) -> Tuple[SymbolicObservation, ...]:
+        return self.observations_with_tag(ObsTag.REFINED)
+
+    def describe(self) -> str:
+        cond = format_expr(self.condition_expr())
+        obs = "; ".join(o.describe() for o in self.observations)
+        return f"path {' -> '.join(self.block_trace)}\n  cond: {cond}\n  obs:  [{obs}]"
+
+
+class SymbolicExecutionResult:
+    """All terminating paths of a program, in exploration order."""
+
+    def __init__(self, program_name: str, paths: List[SymbolicPath]):
+        self.program_name = program_name
+        self.paths: Tuple[SymbolicPath, ...] = tuple(paths)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[SymbolicPath]:
+        return iter(self.paths)
+
+    def __getitem__(self, index: int) -> SymbolicPath:
+        return self.paths[index]
+
+    def input_variables(self) -> FrozenSet[E.Var]:
+        """All initial-state variables mentioned anywhere in the result."""
+        out = set()
+        for path in self.paths:
+            for cond in path.path_condition:
+                out.update(cond.variables())
+            for obs in path.observations:
+                out.update(obs.guard.variables())
+                for e in obs.exprs:
+                    out.update(e.variables())
+        return frozenset(out)
+
+    def describe(self) -> str:
+        lines = [f"symbolic execution of {self.program_name}: {len(self)} path(s)"]
+        lines.extend(p.describe() for p in self.paths)
+        return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Speculative (shadow-state) program instrumentation — §4.2.2 and Fig. 4.
+
+For every conditional branch with arms A and B, the pass creates a fresh
+*edge block* per arm and fills it with shadow copies of the **other** arm's
+statements.  Shadow statements operate on starred variables (``x3`` becomes
+``x3_spec``), which are initialised from the real state at the branch — the
+transient CPU state at misprediction time.  Shadow loads read the real
+memory, which at that point equals the memory the mispredicted execution
+would see.
+
+The pass marks shadow statements ``transient=True`` so the observation
+models can attach refined observations to them (all transient loads for
+Mspec, only the first for Mspec1).
+
+``unconditional_to_conditional`` implements the Mspec' trick of §6.5:
+explicit unconditional jumps become tautologically-true conditional jumps so
+the same instrumentation covers straight-line speculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.bir import expr as E
+from repro.bir.cfg import ControlFlowGraph
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, CJmp, Jmp, Observe, Statement, Store
+from repro.errors import RefinementError
+
+SHADOW_SUFFIX = "_spec"
+
+
+@dataclass(frozen=True)
+class SpeculationBounds:
+    """Limits on how much of a mispredicted arm is modelled as transient.
+
+    ``max_instructions`` bounds the number of shadow statements per arm;
+    ``max_loads`` bounds the number of shadow loads.  ``None`` means
+    unbounded.  Mspec uses unbounded; Mspec1's augmentation restricts
+    *observations* rather than these bounds, but the bounds are exposed so a
+    user can model shallower pipelines (§5.1: "bound the number and type of
+    instructions that can be speculated").
+    """
+
+    max_instructions: Optional[int] = None
+    max_loads: Optional[int] = None
+
+
+def shadow_name(name: str) -> str:
+    """The starred (shadow) counterpart of a variable name."""
+    return name + SHADOW_SUFFIX
+
+
+def is_shadow_name(name: str) -> bool:
+    return name.endswith(SHADOW_SUFFIX)
+
+
+def _shadow_expr(expr: E.Expr) -> E.Expr:
+    """Rename every variable in ``expr`` to its shadow counterpart."""
+    mapping = {v: E.Var(shadow_name(v.name), v.width) for v in expr.variables()}
+    return E.substitute(expr, mapping)
+
+
+def collect_arm_statements(
+    cfg: ControlFlowGraph,
+    arm_entry: str,
+    stop_labels: Set[str],
+    bounds: SpeculationBounds,
+) -> List[Statement]:
+    """Statements along the straight-line chain starting at ``arm_entry``.
+
+    Stops at any label in ``stop_labels`` (the join with the other arm), at a
+    nested conditional branch, at a halt, or when the bounds are exhausted.
+    """
+    statements: List[Statement] = []
+    loads = 0
+    label = arm_entry
+    while label not in stop_labels:
+        block = cfg.program.block(label)
+        for stmt in block.body:
+            if isinstance(stmt, (Assign, Store)) and getattr(stmt, "transient", False):
+                # Already-instrumented programs must not be instrumented again.
+                raise RefinementError(
+                    "speculative instrumentation applied twice "
+                    f"(transient statement found in block {label!r})"
+                )
+            if bounds.max_instructions is not None and len(statements) >= bounds.max_instructions:
+                return statements
+            if isinstance(stmt, Assign) and isinstance(stmt.value, E.Load):
+                if bounds.max_loads is not None and loads >= bounds.max_loads:
+                    return statements
+                loads += 1
+            statements.append(stmt)
+        term = block.terminator
+        if isinstance(term, Jmp):
+            label = term.target
+            continue
+        # Nested branch or halt: transient modelling stops here.
+        break
+    return statements
+
+
+def _shadow_statements(statements: List[Statement]) -> List[Statement]:
+    """Shadow copies of ``statements``: starred targets, starred reads,
+    prefixed with copies of the live-in registers from the real state."""
+    shadow: List[Statement] = []
+    written: Set[str] = set()
+    live_in: List[str] = []
+    live_seen: Set[str] = set()
+
+    def note_reads(expr: E.Expr) -> None:
+        for v in expr.variables():
+            if v.name not in written and v.name not in live_seen:
+                live_seen.add(v.name)
+                live_in.append(v.name)
+
+    body: List[Statement] = []
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            note_reads(stmt.value)
+            written.add(stmt.target.name)
+            body.append(
+                Assign(
+                    E.Var(shadow_name(stmt.target.name), stmt.target.width),
+                    _shadow_expr(stmt.value),
+                    transient=True,
+                )
+            )
+        elif isinstance(stmt, Store):
+            raise RefinementError(
+                "store in a speculated arm: Cortex-A53 does not speculatively "
+                "retire stores, and shadow stores are not modelled"
+            )
+        elif isinstance(stmt, Observe):
+            # Observations from earlier augmentation passes do not belong in
+            # the transient copy; models add their own transient observations.
+            continue
+        else:
+            raise RefinementError(f"cannot shadow statement {stmt!r}")
+
+    # Initialise the shadow (transient) state as a copy of the real state at
+    # the branch: one copy per live-in register of the shadow code.
+    for name in live_in:
+        shadow.append(
+            Assign(
+                E.Var(shadow_name(name), E.WORD_WIDTH),
+                E.Var(name, E.WORD_WIDTH),
+                transient=True,
+            )
+        )
+    shadow.extend(body)
+    return shadow
+
+
+def instrument_speculation(
+    program: Program,
+    bounds: SpeculationBounds = SpeculationBounds(),
+) -> Program:
+    """Insert shadow edge-blocks for every conditional branch.
+
+    Returns a new program where each ``CJmp(c, T, F)`` is rewritten to
+    ``CJmp(c, T', F')`` with ``T'`` containing the shadow copy of the F-arm's
+    statements (what a misprediction toward F would transiently execute when
+    the real outcome is T) followed by ``Jmp T`` — and symmetrically for
+    ``F'``.
+    """
+    cfg = ControlFlowGraph(program)
+    new_blocks: List[Block] = []
+    extra_blocks: List[Block] = []
+    for block in program:
+        term = block.terminator
+        if not isinstance(term, CJmp):
+            new_blocks.append(block)
+            continue
+        reach_true = cfg.blocks_on_path_from(term.target_true)
+        reach_false = cfg.blocks_on_path_from(term.target_false)
+        joins = reach_true & reach_false
+        arm_true = collect_arm_statements(cfg, term.target_true, joins, bounds)
+        arm_false = collect_arm_statements(cfg, term.target_false, joins, bounds)
+        label_true = f"{block.label}_spec_t"
+        label_false = f"{block.label}_spec_f"
+        extra_blocks.append(
+            Block(
+                label_true,
+                tuple(_shadow_statements(arm_false)),
+                Jmp(term.target_true),
+            )
+        )
+        extra_blocks.append(
+            Block(
+                label_false,
+                tuple(_shadow_statements(arm_true)),
+                Jmp(term.target_false),
+            )
+        )
+        new_blocks.append(
+            Block(block.label, block.body, CJmp(term.cond, label_true, label_false))
+        )
+    return Program(new_blocks + extra_blocks, name=program.name)
+
+
+def unconditional_to_conditional(program: Program) -> Program:
+    """Rewrite explicit unconditional jumps into tautological conditionals.
+
+    This is the Mspec' transformation of §6.5: after it, the speculative
+    instrumentation treats the straight-line successor of a ``b label`` as a
+    mispredictable arm, so transient observations cover straight-line
+    speculation.  The condition is the constant TRUE: the symbolic executor
+    then follows only the (real) taken edge — which, after instrumentation,
+    carries the shadow copy of the straight-line code — and never explores
+    the architecturally unreachable fall-through path.
+    """
+    labels = list(program.labels)
+    new_blocks: List[Block] = []
+    for position, block in enumerate(program):
+        term = block.terminator
+        if isinstance(term, Jmp) and term.explicit:
+            if position + 1 < len(labels):
+                fallthrough = labels[position + 1]
+                new_blocks.append(
+                    Block(
+                        block.label,
+                        block.body,
+                        CJmp(E.TRUE, term.target, fallthrough),
+                    )
+                )
+                continue
+        new_blocks.append(block)
+    return Program(new_blocks, name=program.name)

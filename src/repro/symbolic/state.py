@@ -1,0 +1,103 @@
+"""Symbolic machine state: register environment + memory store chains."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bir import expr as E
+from repro.bir.simp import simplify
+from repro.errors import SymbolicExecutionError
+from repro.symbolic.path import SymbolicObservation
+
+
+class SymbolicState:
+    """Mutable state threaded through one path of symbolic execution.
+
+    * ``env`` maps variable names to expressions over the initial state;
+      an unbound variable denotes its own initial (symbolic) value.
+    * ``mems`` maps base-memory names to memory expressions (store chains
+      over the initial memory of that name).
+    * ``path_condition`` and ``observations`` accumulate along the path.
+    """
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, E.Expr]] = None,
+        mems: Optional[Dict[str, E.MemExpr]] = None,
+        path_condition: Optional[List[E.Expr]] = None,
+        observations: Optional[List[SymbolicObservation]] = None,
+        block_trace: Optional[List[str]] = None,
+    ):
+        self.env: Dict[str, E.Expr] = dict(env or {})
+        self.mems: Dict[str, E.MemExpr] = dict(mems or {})
+        self.path_condition: List[E.Expr] = list(path_condition or [])
+        self.observations: List[SymbolicObservation] = list(observations or [])
+        self.block_trace: List[str] = list(block_trace or [])
+
+    def clone(self) -> "SymbolicState":
+        return SymbolicState(
+            env=self.env,
+            mems=self.mems,
+            path_condition=self.path_condition,
+            observations=self.observations,
+            block_trace=self.block_trace,
+        )
+
+    def memory(self, name: str) -> E.MemExpr:
+        """Current memory expression for a base memory (lazily initial)."""
+        return self.mems.get(name, E.MemVar(name))
+
+    def eval(self, expr: E.Expr) -> E.Expr:
+        """Rewrite ``expr`` into an expression over the *initial* state.
+
+        Variables are replaced by their current symbolic values and loads are
+        rebound to the current memory expression, then the result is
+        simplified.
+        """
+        return simplify(self._eval(expr))
+
+    def _eval(self, expr: E.Expr) -> E.Expr:
+        if isinstance(expr, E.Const):
+            return expr
+        if isinstance(expr, E.Var):
+            return self.env.get(expr.name, expr)
+        if isinstance(expr, E.UnOp):
+            return E.UnOp(expr.op, self._eval(expr.operand))
+        if isinstance(expr, E.BinOp):
+            return E.BinOp(expr.op, self._eval(expr.lhs), self._eval(expr.rhs))
+        if isinstance(expr, E.Cmp):
+            return E.Cmp(expr.op, self._eval(expr.lhs), self._eval(expr.rhs))
+        if isinstance(expr, E.Ite):
+            return E.Ite(
+                self._eval(expr.cond),
+                self._eval(expr.then),
+                self._eval(expr.orelse),
+            )
+        if isinstance(expr, E.Load):
+            return E.Load(self._eval_mem(expr.mem), self._eval(expr.addr), expr.width)
+        raise SymbolicExecutionError(f"cannot evaluate {expr!r}")
+
+    def _eval_mem(self, mem: E.MemExpr) -> E.MemExpr:
+        if isinstance(mem, E.MemVar):
+            return self.memory(mem.name)
+        if isinstance(mem, E.MemStore):
+            return E.MemStore(
+                self._eval_mem(mem.mem), self._eval(mem.addr), self._eval(mem.value)
+            )
+        raise SymbolicExecutionError(f"cannot evaluate memory {mem!r}")
+
+    def assign(self, name: str, value: E.Expr) -> None:
+        """Bind a variable to an already-evaluated expression."""
+        self.env[name] = value
+
+    def store(self, mem_name: str, addr: E.Expr, value: E.Expr) -> None:
+        """Extend a memory's store chain (operands already evaluated)."""
+        self.mems[mem_name] = E.MemStore(self.memory(mem_name), addr, value)
+
+    def assume(self, cond: E.Expr) -> None:
+        """Add an (already-evaluated) conjunct to the path condition."""
+        if cond != E.TRUE:
+            self.path_condition.append(cond)
+
+    def observe(self, obs: SymbolicObservation) -> None:
+        self.observations.append(obs)

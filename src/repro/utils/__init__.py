@@ -1,0 +1,45 @@
+"""Shared low-level helpers: bit-vector arithmetic, RNG, timing."""
+
+from repro.utils.bitvec import (
+    mask,
+    truncate,
+    to_signed,
+    to_unsigned,
+    sign_extend,
+    zero_extend,
+    bv_add,
+    bv_sub,
+    bv_mul,
+    bv_and,
+    bv_or,
+    bv_xor,
+    bv_not,
+    bv_shl,
+    bv_lshr,
+    bv_ashr,
+    bit_slice,
+)
+from repro.utils.rng import SplittableRandom
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "mask",
+    "truncate",
+    "to_signed",
+    "to_unsigned",
+    "sign_extend",
+    "zero_extend",
+    "bv_add",
+    "bv_sub",
+    "bv_mul",
+    "bv_and",
+    "bv_or",
+    "bv_xor",
+    "bv_not",
+    "bv_shl",
+    "bv_lshr",
+    "bv_ashr",
+    "bit_slice",
+    "SplittableRandom",
+    "Stopwatch",
+]

@@ -1,0 +1,110 @@
+"""Fixed-width bit-vector arithmetic on plain Python integers.
+
+All values are kept as unsigned integers in ``[0, 2**width)``.  Every helper
+takes and returns unsigned representations; signed interpretations are
+explicit via :func:`to_signed` / :func:`to_unsigned`.
+"""
+
+from __future__ import annotations
+
+_MASK_CACHE: dict = {}
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits."""
+    cached = _MASK_CACHE.get(width)
+    if cached is None:
+        if width <= 0:
+            raise ValueError(f"bit-vector width must be positive, got {width}")
+        cached = (1 << width) - 1
+        _MASK_CACHE[width] = cached
+    return cached
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (unsigned result)."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as two's-complement."""
+    value = truncate(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Convert a possibly-negative integer to its unsigned ``width``-bit form."""
+    return value & mask(width)
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(f"cannot sign-extend {from_width} bits down to {to_width}")
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def zero_extend(value: int, from_width: int, to_width: int) -> int:
+    """Zero-extend a ``from_width``-bit value to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(f"cannot zero-extend {from_width} bits down to {to_width}")
+    return truncate(value, from_width)
+
+
+def bv_add(a: int, b: int, width: int) -> int:
+    return (a + b) & mask(width)
+
+
+def bv_sub(a: int, b: int, width: int) -> int:
+    return (a - b) & mask(width)
+
+
+def bv_mul(a: int, b: int, width: int) -> int:
+    return (a * b) & mask(width)
+
+
+def bv_and(a: int, b: int, width: int) -> int:
+    return (a & b) & mask(width)
+
+
+def bv_or(a: int, b: int, width: int) -> int:
+    return (a | b) & mask(width)
+
+
+def bv_xor(a: int, b: int, width: int) -> int:
+    return (a ^ b) & mask(width)
+
+
+def bv_not(a: int, width: int) -> int:
+    return (~a) & mask(width)
+
+
+def bv_shl(a: int, shift: int, width: int) -> int:
+    """Logical shift left; shifts >= width yield zero (BIR semantics)."""
+    if shift >= width:
+        return 0
+    return (a << shift) & mask(width)
+
+
+def bv_lshr(a: int, shift: int, width: int) -> int:
+    """Logical shift right; shifts >= width yield zero."""
+    if shift >= width:
+        return 0
+    return (truncate(a, width)) >> shift
+
+
+def bv_ashr(a: int, shift: int, width: int) -> int:
+    """Arithmetic shift right on the two's-complement interpretation."""
+    signed = to_signed(a, width)
+    if shift >= width:
+        shift = width - 1
+    return to_unsigned(signed >> shift, width)
+
+
+def bit_slice(value: int, high: int, low: int) -> int:
+    """Extract bits ``high..low`` inclusive (ARM-style slice notation)."""
+    if high < low:
+        raise ValueError(f"invalid bit slice [{high}:{low}]")
+    return (value >> low) & mask(high - low + 1)

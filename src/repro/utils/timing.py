@@ -1,0 +1,38 @@
+"""Wall-clock measurement helper used by the pipeline metrics."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch; measures monotonic wall-clock seconds.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.total)
+    """
+
+    def __init__(self):
+        self.total = 0.0
+        self.laps = 0
+        self._started_at = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started_at = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.total += time.monotonic() - self._started_at
+        self.laps += 1
+        self._started_at = None
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 before the first lap)."""
+        if self.laps == 0:
+            return 0.0
+        return self.total / self.laps

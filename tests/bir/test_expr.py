@@ -1,0 +1,152 @@
+"""Unit tests for the BIR expression language."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.errors import BirTypeError
+
+
+class TestConstruction:
+    def test_const_canonicalises(self):
+        assert E.Const(-1, 8).value == 0xFF
+        assert E.Const(0x1FF, 8).value == 0xFF
+
+    def test_binop_width_mismatch_rejected(self):
+        with pytest.raises(BirTypeError):
+            E.BinOp(E.BinOpKind.ADD, E.const(1, 8), E.const(1, 16))
+
+    def test_cmp_width_mismatch_rejected(self):
+        with pytest.raises(BirTypeError):
+            E.Cmp(E.CmpKind.EQ, E.const(1, 8), E.const(1, 16))
+
+    def test_cmp_yields_bool_width(self):
+        assert E.eq(E.var("a"), E.var("b")).width == 1
+
+    def test_ite_requires_bool_condition(self):
+        with pytest.raises(BirTypeError):
+            E.Ite(E.const(1, 8), E.const(0), E.const(1))
+
+    def test_ite_arm_width_mismatch_rejected(self):
+        with pytest.raises(BirTypeError):
+            E.Ite(E.TRUE, E.const(0, 8), E.const(0, 16))
+
+    def test_unop_inherits_width(self):
+        assert E.UnOp(E.UnOpKind.NOT, E.const(0, 8)).width == 8
+
+
+class TestBoolHelpers:
+    def test_bool_not_folds_constants(self):
+        assert E.bool_not(E.TRUE) == E.FALSE
+        assert E.bool_not(E.FALSE) == E.TRUE
+
+    def test_double_negation_cancels(self):
+        v = E.var("c", 1)
+        assert E.bool_not(E.bool_not(v)) == v
+
+    def test_bool_and_identity_and_absorber(self):
+        v = E.var("c", 1)
+        assert E.bool_and(E.TRUE, v) == v
+        assert E.bool_and(E.FALSE, v) == E.FALSE
+        assert E.bool_and() == E.TRUE
+
+    def test_bool_or_identity_and_absorber(self):
+        v = E.var("c", 1)
+        assert E.bool_or(E.FALSE, v) == v
+        assert E.bool_or(E.TRUE, v) == E.TRUE
+        assert E.bool_or() == E.FALSE
+
+    def test_bool_ops_reject_wide_operands(self):
+        with pytest.raises(BirTypeError):
+            E.bool_and(E.const(1, 8))
+        with pytest.raises(BirTypeError):
+            E.bool_not(E.const(1, 8))
+
+    def test_eq_of_identical_terms_is_true(self):
+        v = E.var("a")
+        assert E.eq(v, v) == E.TRUE
+        assert E.ne(v, v) == E.FALSE
+
+
+class TestTraversal:
+    def test_variables_collects_all(self):
+        e = E.add(E.var("a"), E.Load(E.MemVar(), E.var("b")))
+        assert {v.name for v in e.variables()} == {"a", "b"}
+
+    def test_variables_inside_store_chain(self):
+        mem = E.MemStore(E.MemVar(), E.var("p"), E.var("q"))
+        e = E.Load(mem, E.var("a"))
+        assert {v.name for v in e.variables()} == {"a", "p", "q"}
+
+    def test_memories_collects_bases(self):
+        e = E.Load(E.MemVar("M1"), E.Load(E.MemVar("M2"), E.var("a")))
+        assert {m.name for m in e.memories()} == {"M1", "M2"}
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        e = E.add(E.var("a"), E.var("b"))
+        out = E.substitute(e, {E.var("a"): E.const(5)})
+        assert out == E.add(E.const(5), E.var("b"))
+
+    def test_substitute_inside_load_and_store_chain(self):
+        mem = E.MemStore(E.MemVar(), E.var("p"), E.var("q"))
+        e = E.Load(mem, E.var("a"))
+        out = E.substitute(e, {E.var("p"): E.const(8)})
+        assert isinstance(out, E.Load)
+        assert out.mem.addr == E.const(8)
+
+    def test_substitute_memory_renames_base(self):
+        e = E.Load(E.MemVar("MEM"), E.var("a"))
+        out = E.substitute_memory(e, {E.MemVar("MEM"): E.MemVar("MEM#1")})
+        assert out.mem == E.MemVar("MEM#1")
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        val = E.Valuation(regs={"a": 3, "b": 4})
+        assert E.evaluate(E.add(E.var("a"), E.var("b")), val) == 7
+        assert E.evaluate(E.sub(E.var("a"), E.var("b")), val) == 2**64 - 1
+
+    def test_comparisons_signed_vs_unsigned(self):
+        val = E.Valuation(regs={"a": 2**64 - 1, "b": 1})
+        assert E.evaluate(E.ult(E.var("b"), E.var("a")), val) == 1
+        assert E.evaluate(E.slt(E.var("a"), E.var("b")), val) == 1  # -1 < 1
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(BirTypeError):
+            E.evaluate(E.var("missing"), E.Valuation())
+
+    def test_load_from_base_memory(self):
+        val = E.Valuation(regs={"a": 0x40}, mems={"MEM": {0x40: 99}})
+        assert E.evaluate(E.Load(E.MemVar(), E.var("a")), val) == 99
+
+    def test_load_unwritten_defaults_to_zero(self):
+        val = E.Valuation(regs={"a": 0x40})
+        assert E.evaluate(E.Load(E.MemVar(), E.var("a")), val) == 0
+
+    def test_load_through_store_chain(self):
+        mem = E.MemStore(E.MemVar(), E.const(0x40), E.const(7))
+        val = E.Valuation(mems={"MEM": {0x40: 99, 0x48: 1}})
+        assert E.evaluate(E.Load(mem, E.const(0x40)), val) == 7
+        assert E.evaluate(E.Load(mem, E.const(0x48)), val) == 1
+
+    def test_store_chain_shadowing_order(self):
+        # Later stores shadow earlier ones at the same address.
+        mem = E.MemStore(
+            E.MemStore(E.MemVar(), E.const(8), E.const(1)),
+            E.const(8),
+            E.const(2),
+        )
+        assert E.evaluate(E.Load(mem, E.const(8)), E.Valuation()) == 2
+
+    def test_ite(self):
+        val = E.Valuation(regs={"c": 1})
+        e = E.Ite(E.var("c", 1), E.const(10), E.const(20))
+        assert E.evaluate(e, val) == 10
+        val.regs["c"] = 0
+        assert E.evaluate(e, val) == 20
+
+    def test_shift_semantics(self):
+        val = E.Valuation(regs={"a": 0x80})
+        e = E.BinOp(E.BinOpKind.LSHR, E.var("a"), E.const(4))
+        assert E.evaluate(e, val) == 8

@@ -1,0 +1,157 @@
+"""Unit tests for the BIR text parser."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.parser import parse_expr, parse_program, parse_stmt
+from repro.bir.printer import format_expr, format_program, format_stmt
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Store
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import BirError
+from repro.isa import assemble, lift
+from repro.obs.base import AttackerRegion
+from repro.obs.models import MctModel, MpartRefinedModel, MspecModel
+from tests.conftest import RUNNING_EXAMPLE, TEMPLATE_A, TEMPLATE_C
+
+
+class TestParseExpr:
+    def test_atoms(self):
+        assert parse_expr("x0") == E.var("x0")
+        assert parse_expr("42") == E.const(42)
+        assert parse_expr("0xff") == E.const(0xFF)
+
+    def test_binops(self):
+        assert parse_expr("(a + b)") == E.add(E.var("a"), E.var("b"))
+        assert parse_expr("(a >>u 6)") == E.lshr(E.var("a"), E.const(6))
+
+    def test_comparisons(self):
+        assert parse_expr("(a <u b)") == E.ult(E.var("a"), E.var("b"))
+        assert parse_expr("(a <s b)") == E.slt(E.var("a"), E.var("b"))
+        assert parse_expr("(a == b)") == E.Cmp(E.CmpKind.EQ, E.var("a"), E.var("b"))
+
+    def test_unops(self):
+        inner = E.ult(E.var("a"), E.var("b"))
+        assert parse_expr("~(a <u b)") == E.UnOp(E.UnOpKind.NOT, inner)
+        assert parse_expr("-a") == E.UnOp(E.UnOpKind.NEG, E.var("a"))
+
+    def test_load_and_store_chain(self):
+        assert parse_expr("MEM[a]") == E.Load(E.MemVar(), E.var("a"))
+        chained = parse_expr("MEM{p := 1}[a]")
+        assert chained == E.Load(
+            E.MemStore(E.MemVar(), E.var("p"), E.const(1)), E.var("a")
+        )
+
+    def test_ite(self):
+        expr = parse_expr("(if (a <u b) then a else b)")
+        assert isinstance(expr, E.Ite)
+
+    def test_widths_mapping(self):
+        assert parse_expr("g", widths={"g": 1}).width == 1
+
+    def test_errors(self):
+        with pytest.raises(BirError):
+            parse_expr("(a ?? b)")
+        with pytest.raises(BirError):
+            parse_expr("a b")
+        with pytest.raises(BirError):
+            parse_expr("(a + b")
+
+    def test_expr_roundtrip_samples(self):
+        samples = [
+            E.add(E.var("x0"), E.const(0x40)),
+            E.band(E.lshr(E.var("a"), E.const(6)), E.const(127)),
+            E.Ite(E.ult(E.var("a"), E.var("b")), E.var("a"), E.var("b")),
+            E.Load(E.MemStore(E.MemVar(), E.var("p"), E.var("q")), E.var("a")),
+            E.bool_not(E.slt(E.var("a"), E.var("b"))),
+        ]
+        for expr in samples:
+            assert parse_expr(format_expr(expr)) == expr
+
+
+class TestParseStmt:
+    def test_assign(self):
+        assert parse_stmt("a := (b + 1)") == Assign(
+            E.var("a"), E.add(E.var("b"), E.const(1))
+        )
+
+    def test_store(self):
+        stmt = parse_stmt("MEM[(a + 8)] := b")
+        assert isinstance(stmt, Store)
+        assert stmt.mem == E.MemVar()
+
+    def test_observe_with_guard(self):
+        stmt = parse_stmt("observe<BASE>[x0] when (x0 <u 8) (load)")
+        assert isinstance(stmt, Observe)
+        assert stmt.tag is ObsTag.BASE
+        assert stmt.kind is ObsKind.LOAD_ADDR
+        assert stmt.guard != E.TRUE
+
+    def test_observe_pc_kind_from_label(self):
+        stmt = parse_stmt("observe<BASE>[3] (pc:3)")
+        assert stmt.kind is ObsKind.PC
+
+    def test_terminators(self):
+        assert parse_stmt("jmp next") == Jmp("next")
+        cjmp = parse_stmt("cjmp (a <u b) ? t : f")
+        assert isinstance(cjmp, CJmp)
+        assert parse_stmt("halt (ret)") == Halt(reason="ret")
+
+    def test_stmt_roundtrip(self):
+        statements = [
+            Assign(E.var("a"), E.add(E.var("b"), E.const(2))),
+            Store(E.MemVar(), E.var("a"), E.var("b")),
+            Jmp("x"),
+            Halt(reason="end"),
+        ]
+        for stmt in statements:
+            assert parse_stmt(format_stmt(stmt)) == stmt
+
+    def test_unparseable(self):
+        with pytest.raises(BirError):
+            parse_stmt("frobnicate the thing")
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("source", [RUNNING_EXAMPLE, TEMPLATE_A, TEMPLATE_C])
+    def test_lifted_program(self, source):
+        program = lift(assemble(source))
+        text = format_program(program)
+        assert format_program(parse_program(text)) == text
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            MctModel(),
+            MspecModel(),
+            MpartRefinedModel(AttackerRegion(61, 127)),
+        ],
+    )
+    def test_augmented_program(self, model):
+        program = model.augment(lift(assemble(TEMPLATE_A)))
+        text = format_program(program)
+        assert format_program(parse_program(text)) == text
+
+    def test_parsed_program_executes_identically(self):
+        from repro.hw.platform import StateInputs
+        from repro.symbolic.concrete import run_concrete
+
+        program = MspecModel().augment(lift(assemble(TEMPLATE_A)))
+        parsed = parse_program(format_program(program))
+        inputs = StateInputs(
+            regs={"x0": 0x80000, "x1": 8, "x4": 2, "x5": 0x90000},
+            memory={0x80008: 0x40},
+        )
+        original = run_concrete(program, inputs)
+        reparsed = run_concrete(parsed, inputs)
+        assert original.observations == reparsed.observations
+        assert original.block_trace == reparsed.block_trace
+
+    def test_program_name_preserved(self):
+        program = lift(assemble("ret", name="tiny"))
+        assert parse_program(format_program(program)).name == "tiny"
+
+    def test_errors(self):
+        with pytest.raises(BirError):
+            parse_program("a := 1")  # statement before any label
+        with pytest.raises(BirError):
+            parse_program("lbl:")  # no terminator

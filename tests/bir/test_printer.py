@@ -1,0 +1,72 @@
+"""Unit tests for the BIR pretty printer."""
+
+from repro.bir import expr as E
+from repro.bir.printer import format_expr, format_program, format_stmt
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Store
+from repro.bir.tags import ObsKind, ObsTag
+
+
+class TestFormatExpr:
+    def test_atoms(self):
+        assert format_expr(E.var("x0")) == "x0"
+        assert format_expr(E.const(5)) == "5"
+        assert format_expr(E.const(255)) == "0xff"
+
+    def test_operators(self):
+        assert format_expr(E.add(E.var("a"), E.var("b"))) == "(a + b)"
+        assert format_expr(E.ult(E.var("a"), E.var("b"))) == "(a <u b)"
+        assert format_expr(E.slt(E.var("a"), E.var("b"))) == "(a <s b)"
+
+    def test_load_and_store_chain(self):
+        load = E.Load(E.MemVar(), E.var("a"))
+        assert format_expr(load) == "MEM[a]"
+        chained = E.Load(
+            E.MemStore(E.MemVar(), E.var("p"), E.const(1)), E.var("a")
+        )
+        assert format_expr(chained) == "MEM{p := 1}[a]"
+
+    def test_ite(self):
+        e = E.Ite(E.var("c", 1), E.const(1), E.const(2))
+        assert format_expr(e) == "(if c then 1 else 2)"
+
+
+class TestFormatStmt:
+    def test_assign(self):
+        assert format_stmt(Assign(E.var("a"), E.const(1))) == "a := 1"
+
+    def test_store(self):
+        s = Store(E.MemVar(), E.var("a"), E.var("b"))
+        assert format_stmt(s) == "MEM[a] := b"
+
+    def test_observe_with_guard_and_label(self):
+        obs = Observe(
+            ObsTag.REFINED,
+            ObsKind.LOAD_ADDR,
+            (E.var("a"),),
+            guard=E.var("g", 1),
+            label="probe",
+        )
+        text = format_stmt(obs)
+        assert "observe<REFINED>" in text
+        assert "when g" in text
+        assert "(probe)" in text
+
+    def test_terminators(self):
+        assert format_stmt(Jmp("x")) == "jmp x"
+        assert "cjmp" in format_stmt(CJmp(E.var("c", 1), "t", "f"))
+        assert "halt" in format_stmt(Halt())
+
+
+def test_format_program_contains_all_blocks():
+    p = Program(
+        [
+            Block("a", (Assign(E.var("v"), E.const(1)),), Jmp("b")),
+            Block("b", (), Halt()),
+        ],
+        name="demo",
+    )
+    text = format_program(p)
+    assert "program demo:" in text
+    assert "a:" in text and "b:" in text
+    assert "v := 1" in text

@@ -1,0 +1,122 @@
+"""Unit tests for the expression simplifier."""
+
+from repro.bir import expr as E
+from repro.bir.simp import simplify
+
+
+class TestConstantFolding:
+    def test_binop_folds(self):
+        assert simplify(E.add(E.const(2), E.const(3))) == E.const(5)
+        assert simplify(E.sub(E.const(2), E.const(3))) == E.const(2**64 - 1)
+
+    def test_cmp_folds(self):
+        assert simplify(E.ult(E.const(1), E.const(2))) == E.TRUE
+        assert simplify(E.eq(E.const(1), E.const(2))) == E.FALSE
+
+    def test_signed_cmp_folds(self):
+        minus_one = E.const(-1)
+        assert simplify(E.slt(minus_one, E.const(0))) == E.TRUE
+
+    def test_unop_folds(self):
+        assert simplify(E.UnOp(E.UnOpKind.NEG, E.const(1, 8))) == E.const(0xFF, 8)
+
+    def test_double_negation(self):
+        v = E.var("a")
+        e = E.UnOp(E.UnOpKind.NOT, E.UnOp(E.UnOpKind.NOT, v))
+        assert simplify(e) == v
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        v = E.var("a")
+        assert simplify(E.add(v, E.const(0))) == v
+        assert simplify(E.add(E.const(0), v)) == v
+
+    def test_add_reassociates_constants(self):
+        v = E.var("a")
+        e = E.add(E.add(v, E.const(3)), E.const(4))
+        assert simplify(e) == E.add(v, E.const(7))
+
+    def test_sub_self_is_zero(self):
+        v = E.var("a")
+        assert simplify(E.sub(v, v)) == E.const(0)
+
+    def test_and_with_zero_and_ones(self):
+        v = E.var("a")
+        assert simplify(E.band(v, E.const(0))) == E.const(0)
+        ones = E.const((1 << 64) - 1)
+        assert simplify(E.band(v, ones)) == v
+        assert simplify(E.band(v, v)) == v
+
+    def test_or_identities(self):
+        v = E.var("a")
+        zero = E.const(0)
+        assert simplify(E.BinOp(E.BinOpKind.OR, v, zero)) == v
+        ones = E.const((1 << 64) - 1)
+        assert simplify(E.BinOp(E.BinOpKind.OR, v, ones)) == ones
+
+    def test_xor_self_is_zero(self):
+        v = E.var("a")
+        assert simplify(E.BinOp(E.BinOpKind.XOR, v, v)) == E.const(0)
+
+    def test_mul_identities(self):
+        v = E.var("a")
+        assert simplify(E.BinOp(E.BinOpKind.MUL, v, E.const(1))) == v
+        assert simplify(E.BinOp(E.BinOpKind.MUL, v, E.const(0))) == E.const(0)
+
+    def test_shift_by_zero(self):
+        v = E.var("a")
+        assert simplify(E.lshr(v, E.const(0))) == v
+
+    def test_cmp_of_identical_terms(self):
+        v = E.add(E.var("a"), E.var("b"))
+        assert simplify(E.Cmp(E.CmpKind.ULE, v, v)) == E.TRUE
+        assert simplify(E.Cmp(E.CmpKind.ULT, v, v)) == E.FALSE
+
+
+class TestIte:
+    def test_constant_condition(self):
+        e = E.Ite(E.TRUE, E.var("a"), E.var("b"))
+        assert simplify(e) == E.var("a")
+        e = E.Ite(E.FALSE, E.var("a"), E.var("b"))
+        assert simplify(e) == E.var("b")
+
+    def test_equal_arms_collapse(self):
+        e = E.Ite(E.var("c", 1), E.var("a"), E.var("a"))
+        assert simplify(e) == E.var("a")
+
+
+class TestLoads:
+    def test_select_over_matching_store(self):
+        mem = E.MemStore(E.MemVar(), E.var("a"), E.const(7))
+        e = E.Load(mem, E.var("a"))
+        assert simplify(e) == E.const(7)
+
+    def test_select_skips_distinct_constant_store(self):
+        mem = E.MemStore(E.MemVar(), E.const(8), E.const(7))
+        e = E.Load(mem, E.const(16))
+        assert simplify(e) == E.Load(E.MemVar(), E.const(16))
+
+    def test_select_keeps_undecidable_store(self):
+        mem = E.MemStore(E.MemVar(), E.var("p"), E.const(7))
+        e = E.Load(mem, E.var("a"))
+        out = simplify(e)
+        assert isinstance(out, E.Load)
+        assert isinstance(out.mem, E.MemStore)
+
+
+class TestSoundness:
+    def test_simplify_preserves_semantics_on_samples(self):
+        val = E.Valuation(
+            regs={"a": 0x123, "b": 0xFFFF, "c": 1},
+            mems={"MEM": {0x123: 5}},
+        )
+        samples = [
+            E.add(E.add(E.var("a"), E.const(1)), E.const(2)),
+            E.band(E.lshr(E.var("b"), E.const(6)), E.const(127)),
+            E.Ite(E.var("c", 1), E.var("a"), E.var("b")),
+            E.Load(E.MemStore(E.MemVar(), E.var("a"), E.const(9)), E.var("a")),
+            E.bool_and(E.ult(E.var("a"), E.var("b")), E.TRUE),
+        ]
+        for e in samples:
+            assert E.evaluate(e, val) == E.evaluate(simplify(e), val)

@@ -1,0 +1,151 @@
+"""Unit tests for BIR statements, blocks, programs and the CFG."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.cfg import ControlFlowGraph
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Store
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import BirError
+
+
+def _assign(name="a", value=0):
+    return Assign(E.var(name), E.const(value))
+
+
+class TestStatements:
+    def test_assign_width_mismatch_rejected(self):
+        with pytest.raises(BirError):
+            Assign(E.var("a", 8), E.const(0, 16))
+
+    def test_observe_guard_must_be_bool(self):
+        with pytest.raises(BirError):
+            Observe(ObsTag.BASE, ObsKind.PC, (E.const(0),), guard=E.const(0, 8))
+
+    def test_cjmp_condition_must_be_bool(self):
+        with pytest.raises(BirError):
+            CJmp(E.const(0, 8), "a", "b")
+
+    def test_observe_defaults(self):
+        obs = Observe(ObsTag.BASE, ObsKind.PC, (E.const(0),))
+        assert obs.guard == E.TRUE
+        assert obs.exprs == (E.const(0),)
+
+
+class TestBlocks:
+    def test_terminator_must_terminate(self):
+        with pytest.raises(BirError):
+            Block("b", (), _assign())
+
+    def test_body_cannot_contain_terminators(self):
+        with pytest.raises(BirError):
+            Block("b", (Jmp("x"),), Halt())
+
+    def test_successors(self):
+        assert Block("b", (), Jmp("t")).successors() == ("t",)
+        cjmp = Block("b", (), CJmp(E.var("c", 1), "t", "f"))
+        assert cjmp.successors() == ("t", "f")
+        assert Block("b", (), Halt()).successors() == ()
+
+    def test_with_body_replaces(self):
+        block = Block("b", (), Halt())
+        updated = block.with_body([_assign()])
+        assert len(updated.body) == 1
+        assert updated.label == "b"
+
+
+class TestPrograms:
+    def test_empty_program_rejected(self):
+        with pytest.raises(BirError):
+            Program([])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(BirError):
+            Program([Block("a", (), Halt()), Block("a", (), Halt())])
+
+    def test_undefined_jump_target_rejected(self):
+        with pytest.raises(BirError):
+            Program([Block("a", (), Jmp("missing"))])
+
+    def test_entry_is_first_block(self):
+        p = Program([Block("x", (), Jmp("y")), Block("y", (), Halt())])
+        assert p.entry == "x"
+        assert p.entry_block().label == "x"
+
+    def test_block_lookup_and_errors(self):
+        p = Program([Block("x", (), Halt())])
+        assert p.block("x").label == "x"
+        with pytest.raises(BirError):
+            p.block("nope")
+
+    def test_statements_iterates_in_order(self):
+        p = Program(
+            [
+                Block("x", (_assign("a"),), Jmp("y")),
+                Block("y", (_assign("b"),), Halt()),
+            ]
+        )
+        labels = [label for label, _stmt in p.statements()]
+        assert labels == ["x", "x", "y", "y"]
+
+    def test_count_observations(self):
+        obs = Observe(ObsTag.BASE, ObsKind.PC, (E.const(0),))
+        p = Program([Block("x", (obs, _assign()), Halt())])
+        assert p.count_observations() == 1
+
+    def test_map_blocks_preserves_order(self):
+        p = Program([Block("x", (), Jmp("y")), Block("y", (), Halt())])
+        mapped = p.map_blocks(lambda b: b.with_body([_assign()]))
+        assert mapped.labels == ("x", "y")
+        assert all(len(b.body) == 1 for b in mapped)
+
+
+class TestCfg:
+    def _diamond(self):
+        cond = E.var("c", 1)
+        return Program(
+            [
+                Block("top", (), CJmp(cond, "left", "right")),
+                Block("left", (), Jmp("join")),
+                Block("right", (), Jmp("join")),
+                Block("join", (), Halt()),
+            ]
+        )
+
+    def test_successors_and_predecessors(self):
+        cfg = ControlFlowGraph(self._diamond())
+        assert cfg.successors["top"] == ("left", "right")
+        assert sorted(cfg.predecessors["join"]) == ["left", "right"]
+
+    def test_reachability(self):
+        p = Program(
+            [
+                Block("a", (), Halt()),
+                Block("orphan", (), Halt()),
+            ]
+        )
+        assert ControlFlowGraph(p).reachable() == {"a"}
+
+    def test_acyclic_detection(self):
+        assert ControlFlowGraph(self._diamond()).is_acyclic()
+        loop = Program([Block("a", (), Jmp("a"))])
+        assert not ControlFlowGraph(loop).is_acyclic()
+
+    def test_topological_order(self):
+        order = ControlFlowGraph(self._diamond()).topological_order()
+        assert order[0] == "top"
+        assert order[-1] == "join"
+
+    def test_topological_order_rejects_cycles(self):
+        loop = Program([Block("a", (), Jmp("a"))])
+        with pytest.raises(BirError):
+            ControlFlowGraph(loop).topological_order()
+
+    def test_mutually_exclusive_arms(self):
+        cfg = ControlFlowGraph(self._diamond())
+        assert cfg.mutually_exclusive_arms() == [("top", "left", "right")]
+
+    def test_blocks_on_path_from(self):
+        cfg = ControlFlowGraph(self._diamond())
+        assert cfg.blocks_on_path_from("left") == {"left", "join"}

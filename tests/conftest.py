@@ -1,0 +1,87 @@
+"""Shared fixtures: deterministic RNGs and canonical sample programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.utils.rng import SplittableRandom
+
+
+@pytest.fixture
+def rng() -> SplittableRandom:
+    return SplittableRandom(1234)
+
+
+#: The paper's Fig. 2 running example, in mini-ISA form.
+RUNNING_EXAMPLE = """
+    ldr x2, [x0]
+    add x1, x1, #1
+    cmp x0, x1
+    b.ge end
+    ldr x3, [x2]
+end:
+    ret
+"""
+
+#: Fig. 5 Template A shape with fixed registers.
+TEMPLATE_A = """
+    ldr x2, [x0, x1]
+    cmp x1, x4
+    b.ge end
+    ldr x6, [x5, x2]
+end:
+    ret
+"""
+
+#: Fig. 7 Template C shape (two causally dependent loads in the body).
+TEMPLATE_C = """
+    cmp x1, x2
+    b.ge end
+    ldr x6, [x5, x3]
+    ldr x8, [x7, x6]
+end:
+    ret
+"""
+
+#: Straight-line stride of loads (Fig. 5 stride template).
+STRIDE = """
+    ldr x1, [x0]
+    ldr x2, [x0, #0x40]
+    ldr x3, [x0, #0x80]
+    ret
+"""
+
+#: Template D shape: a load behind an unconditional branch.
+TEMPLATE_D = """
+    ldr x1, [x2, x3]
+    b end
+    ldr x4, [x5, x6]
+end:
+    ret
+"""
+
+
+@pytest.fixture
+def running_example():
+    return assemble(RUNNING_EXAMPLE, name="fig2")
+
+
+@pytest.fixture
+def template_a():
+    return assemble(TEMPLATE_A, name="templateA")
+
+
+@pytest.fixture
+def template_c():
+    return assemble(TEMPLATE_C, name="templateC")
+
+
+@pytest.fixture
+def stride_program():
+    return assemble(STRIDE, name="stride")
+
+
+@pytest.fixture
+def template_d():
+    return assemble(TEMPLATE_D, name="templateD")

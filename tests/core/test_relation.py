@@ -1,0 +1,213 @@
+"""Unit tests for relation synthesis (Eq. 1, §5.4) and refinement (§3)."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.core.relation import PairRelation, RelationSynthesizer
+from repro.core.rename import rename_expr, rename_observation
+from repro.isa.lifter import lift
+from repro.obs.base import AttackerRegion
+from repro.obs.models import (
+    MctModel,
+    MpartModel,
+    MpartRefinedModel,
+    MspecModel,
+)
+from repro.symbolic.executor import execute
+from repro.symbolic.path import SymbolicObservation
+from repro.bir.tags import ObsKind, ObsTag
+
+REGION = AttackerRegion(61, 127)
+
+
+def synth(asm, model, refinement):
+    result = execute(model.augment(lift(asm)))
+    return RelationSynthesizer(result, refinement=refinement), result
+
+
+class TestRename:
+    def test_rename_expr_suffixes_vars_and_memories(self):
+        e = E.Load(E.MemVar("MEM"), E.add(E.var("x0"), E.var("x1")))
+        out = rename_expr(e, 2)
+        assert {v.name for v in out.variables()} == {"x0#2", "x1#2"}
+        assert {m.name for m in out.memories()} == {"MEM#2"}
+
+    def test_rename_observation(self):
+        obs = SymbolicObservation(
+            ObsTag.BASE, ObsKind.LOAD_ADDR, (E.var("a"),), guard=E.var("g", 1)
+        )
+        out = rename_observation(obs, 1)
+        assert out.exprs[0] == E.var("a#1")
+        assert out.guard == E.var("g#1", 1)
+        assert out.tag is obs.tag and out.kind is obs.kind
+
+
+class TestSamePathPairs:
+    def test_mct_same_path_equalities(self, template_a):
+        synthesizer, result = synth(template_a, MctModel(), refinement=False)
+        pair = synthesizer.pair(0, 0)
+        assert not pair.statically_infeasible
+        # PC observations are equal constants and simplify away; the load
+        # addresses stay as equalities.
+        assert len(pair.base_equalities) == 2
+        assert pair.refined_difference is None
+
+    def test_antecedent_contains_both_conditions(self, template_a):
+        synthesizer, result = synth(template_a, MctModel(), refinement=False)
+        pair = synthesizer.pair(1, 1)
+        names = set()
+        for c in pair.antecedent:
+            names.update(v.name for v in c.variables())
+        assert any(n.endswith("#1") for n in names)
+        assert any(n.endswith("#2") for n in names)
+
+    def test_equivalence_constraints_hold_on_equal_states(self, template_a):
+        synthesizer, _ = synth(template_a, MctModel(), refinement=False)
+        pair = synthesizer.pair(1, 1)
+        regs = {"x0": 3, "x1": 9, "x4": 2, "x5": 0x100, "x2": 0}
+        val = E.Valuation(
+            regs={
+                **{f"{k}#1": v for k, v in regs.items()},
+                **{f"{k}#2": v for k, v in regs.items()},
+            }
+        )
+        for c in pair.equivalence_constraints():
+            assert E.evaluate(c, val) == 1
+
+
+class TestCrossPathPairs:
+    def test_mct_cross_path_infeasible(self, template_a):
+        # Mct observes the pc: paths of different lengths can never be
+        # observationally equivalent ("trivially false", §2.3).
+        synthesizer, _ = synth(template_a, MctModel(), refinement=False)
+        pair = synthesizer.pair(0, 1)
+        assert pair.statically_infeasible
+
+    def test_feasible_pairs_only_diagonal_for_mct(self, template_a):
+        synthesizer, result = synth(template_a, MctModel(), refinement=False)
+        pairs = synthesizer.feasible_pairs()
+        assert [(p.path1_index, p.path2_index) for p in pairs] == [(0, 0), (1, 1)]
+
+    def test_mpart_unequal_load_counts_infeasible(self, template_a):
+        # Template A's body path has two loads, the skip path one: the
+        # observation lists cannot match, even though Mpart has no pc
+        # observations.
+        synthesizer, _ = synth(
+            template_a, MpartModel(REGION), refinement=False
+        )
+        assert synthesizer.pair(0, 1).statically_infeasible
+
+    def test_mpart_cross_path_can_be_feasible(self):
+        # With one (guarded) load on each arm, Mpart does not observe the
+        # pc, so the cross-path pair is not statically ruled out.
+        from repro.isa.assembler import assemble
+
+        src = """
+            cmp x0, x1
+            b.ge other
+            ldr x2, [x3]
+            b end
+        other:
+            ldr x2, [x4]
+        end:
+            ret
+        """
+        synthesizer, _ = synth(
+            assemble(src), MpartModel(REGION), refinement=False
+        )
+        pair = synthesizer.pair(0, 1)
+        assert not pair.statically_infeasible
+
+
+class TestRefinement:
+    def test_refined_difference_present(self, template_a):
+        synthesizer, _ = synth(template_a, MspecModel(), refinement=True)
+        taken = synthesizer.pair(1, 1)
+        assert taken.usable_for_refinement
+        body = synthesizer.pair(0, 0)
+        assert not body.usable_for_refinement  # no transient obs there
+
+    def test_refinement_constraints_satisfied_by_differing_spec_state(
+        self, template_a
+    ):
+        synthesizer, _ = synth(template_a, MspecModel(), refinement=True)
+        pair = synthesizer.pair(1, 1)
+        base = {"x0": 3, "x1": 9, "x4": 2, "x2": 0}
+        val = E.Valuation(
+            regs={
+                **{f"{k}#1": v for k, v in base.items()},
+                **{f"{k}#2": v for k, v in base.items()},
+                "x5#1": 0x100,
+                "x5#2": 0x900,  # the transient load base differs
+            }
+        )
+        for c in pair.refinement_constraints():
+            assert E.evaluate(c, val) == 1
+
+    def test_refinement_rejects_identical_states(self, template_a):
+        synthesizer, _ = synth(template_a, MspecModel(), refinement=True)
+        pair = synthesizer.pair(1, 1)
+        regs = {"x0": 3, "x1": 9, "x4": 2, "x5": 0x100, "x2": 0}
+        val = E.Valuation(
+            regs={
+                **{f"{k}#1": v for k, v in regs.items()},
+                **{f"{k}#2": v for k, v in regs.items()},
+            }
+        )
+        assert E.evaluate(pair.refined_difference, val) == 0
+
+    def test_mpart_refined_difference_requires_non_ar_difference(
+        self, stride_program
+    ):
+        synthesizer, _ = synth(
+            stride_program, MpartRefinedModel(REGION), refinement=True
+        )
+        pair = synthesizer.pair(0, 0)
+        # Equal non-AR strides: no refined difference.
+        val = E.Valuation(regs={"x0#1": 0x80, "x0#2": 0x80})
+        assert E.evaluate(pair.refined_difference, val) == 0
+        # Different non-AR strides: refined difference holds.
+        val = E.Valuation(regs={"x0#1": 0x80, "x0#2": 0x400})
+        assert E.evaluate(pair.refined_difference, val) == 1
+
+
+class TestFullRelation:
+    def test_full_relation_on_running_example(self, running_example):
+        synthesizer, _ = synth(running_example, MctModel(), refinement=False)
+        relation = synthesizer.synthesize_full()
+        # Two equal states on the same path are related.
+        regs = {"x0": 0x100, "x1": 5, "x2": 0, "x3": 0}
+        equal = E.Valuation(
+            regs={
+                **{f"{k}#1": v for k, v in regs.items()},
+                **{f"{k}#2": v for k, v in regs.items()},
+            }
+        )
+        assert E.evaluate(relation, equal) == 1
+        # States on different paths are not related under Mct.
+        cross = E.Valuation(
+            regs={
+                "x0#1": 0,
+                "x1#1": 100,  # takes the body
+                "x0#2": 100,
+                "x1#2": 0,  # skips the body
+                "x2#1": 0,
+                "x3#1": 0,
+                "x2#2": 0,
+                "x3#2": 0,
+            }
+        )
+        assert E.evaluate(relation, cross) == 0
+
+    def test_full_relation_detects_observable_difference(self, running_example):
+        synthesizer, _ = synth(running_example, MctModel(), refinement=False)
+        relation = synthesizer.synthesize_full()
+        val = E.Valuation(
+            regs={
+                "x0#1": 0x100,
+                "x1#1": 5,
+                "x0#2": 0x200,  # different first load address
+                "x1#2": 5,
+            }
+        )
+        assert E.evaluate(relation, val) == 0

@@ -1,0 +1,91 @@
+"""Unit tests for automatic model repair (§8 future work)."""
+
+import pytest
+
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsTag
+from repro.core.repair import ModelRepairer, PromotedModel, RepairReport, RepairStep
+from repro.exps import mct_campaign, timing_campaign, tlb_campaign
+from repro.isa.lifter import lift
+from repro.obs.models import MspecModel
+from repro.pipeline.metrics import CampaignStats
+
+
+def _observations(program):
+    return [
+        stmt
+        for _lbl, stmt in program.statements()
+        if isinstance(stmt, Observe)
+    ]
+
+
+class TestPromotedModel:
+    def test_promotion_retags_refined_to_base(self, template_a):
+        promoted = PromotedModel(MspecModel())
+        augmented = promoted.augment(lift(template_a))
+        assert all(o.tag is ObsTag.BASE for o in _observations(augmented))
+
+    def test_promoted_model_has_no_refinement(self):
+        assert not PromotedModel(MspecModel()).has_refinement
+
+    def test_name_reflects_promotion(self):
+        assert "promoted" in PromotedModel(MspecModel()).name
+
+
+class TestRepairReport:
+    def _step(self, name, counterexamples):
+        stats = CampaignStats(name=name, counterexamples=counterexamples)
+        return RepairStep(model_name=name, stats=stats)
+
+    def test_success_detection(self):
+        report = RepairReport(steps=[self._step("m", 5), self._step("m'", 0)])
+        assert report.succeeded
+        assert report.promotions == 1
+
+    def test_failure_detection(self):
+        report = RepairReport(steps=[self._step("m", 5), self._step("m'", 2)])
+        assert not report.succeeded
+
+    def test_describe(self):
+        report = RepairReport(steps=[self._step("m", 5), self._step("m'", 0)])
+        text = report.describe()
+        assert "5 counterexamples" in text
+        assert "repaired after 1 promotion(s)" in text
+
+
+class TestRepairLoop:
+    def test_repairs_mct_against_speculation(self):
+        campaign = mct_campaign(
+            "A", refined=True, num_programs=3, tests_per_program=8, seed=41
+        )
+        report = ModelRepairer(campaign).repair()
+        assert report.succeeded
+        assert report.promotions == 1
+        assert report.repaired_model is not None
+        assert not report.repaired_model.has_refinement
+
+    def test_repairs_line_model_against_tlb(self):
+        campaign = tlb_campaign(
+            refined=True, num_programs=3, tests_per_program=8, seed=42
+        )
+        report = ModelRepairer(campaign).repair()
+        assert report.succeeded
+
+    def test_repairs_pc_model_against_timing(self):
+        campaign = timing_campaign(
+            refined=True, num_programs=3, tests_per_program=8, seed=43
+        )
+        report = ModelRepairer(campaign).repair()
+        assert report.succeeded
+
+    def test_sound_model_needs_no_promotion(self):
+        # Template D: the model is already consistent with the hardware
+        # (no straight-line speculation), so step 0 finds nothing.
+        from repro.exps import straightline_campaign
+
+        campaign = straightline_campaign(
+            num_programs=3, tests_per_program=8, seed=44
+        )
+        report = ModelRepairer(campaign).repair()
+        assert report.succeeded
+        assert report.promotions == 0

@@ -1,0 +1,177 @@
+"""Unit tests for test-case generation (well-formedness, training, caching)."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.core.coverage import MlineCoverage, NoCoverage
+from repro.core.probes import (
+    add_address_probes,
+    architectural_probe_addresses,
+    probe_addresses,
+)
+from repro.core.testgen import TestCaseGenerator, TestGenConfig
+from repro.isa.lifter import lift
+from repro.obs.base import AttackerRegion
+from repro.obs.models import MctModel, MpartRefinedModel, MspecModel
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+REGION = AttackerRegion(61, 127)
+
+
+class TestProbes:
+    def test_every_access_probed(self, template_a):
+        probed = add_address_probes(MspecModel().augment(lift(template_a)))
+        result = execute(probed)
+        body_path = result[0]
+        assert len(list(probe_addresses(body_path))) == 2
+        skip_path = result[1]
+        # One architectural load plus the transient one.
+        assert len(list(probe_addresses(skip_path))) == 2
+        assert len(list(architectural_probe_addresses(skip_path))) == 1
+
+    def test_probes_invisible_to_relation(self, template_a):
+        from repro.core.relation import RelationSynthesizer
+
+        plain = execute(MctModel().augment(lift(template_a)))
+        probed = execute(add_address_probes(MctModel().augment(lift(template_a))))
+        for i in range(2):
+            a = RelationSynthesizer(plain, False).pair(i, i)
+            b = RelationSynthesizer(probed, False).pair(i, i)
+            assert a.base_equalities == b.base_equalities
+
+
+class TestGeneration:
+    def test_generates_valid_states(self, template_a):
+        gen = TestCaseGenerator(
+            template_a, MspecModel(), rng=SplittableRandom(1)
+        )
+        test = gen.generate()
+        assert test is not None
+        assert set(test.state1.regs) == {
+            r.name for r in template_a.input_registers()
+        }
+        assert test.refined
+
+    def test_states_satisfy_path_conditions(self, template_a):
+        gen = TestCaseGenerator(
+            template_a, MspecModel(), rng=SplittableRandom(2)
+        )
+        test = gen.generate()
+        path = gen.result[test.pair[0]]
+        val = E.Valuation(
+            regs=dict(test.state1.regs), mems={"MEM": dict(test.state1.memory)}
+        )
+        for cond in path.path_condition:
+            assert E.evaluate(cond, val) == 1
+
+    def test_wellformed_addresses_in_region(self, template_a):
+        config = TestGenConfig()
+        gen = TestCaseGenerator(
+            template_a, MspecModel(), config=config, rng=SplittableRandom(3)
+        )
+        for _ in range(5):
+            test = gen.generate()
+            assert test is not None
+            for state in (test.state1, test.state2):
+                val = E.Valuation(
+                    regs=dict(state.regs), mems={"MEM": dict(state.memory)}
+                )
+                path = gen.result[test.pair[0]]
+                for addr in probe_addresses(path):
+                    concrete = E.evaluate(addr, val)
+                    assert config.region_base <= concrete < (
+                        config.region_base + config.region_size
+                    )
+                    assert concrete % config.alignment == 0
+
+    def test_training_state_takes_other_path(self, template_a):
+        gen = TestCaseGenerator(
+            template_a, MspecModel(), rng=SplittableRandom(4)
+        )
+        test = gen.generate()
+        assert test.train is not None
+        measured = gen.result[test.pair[0]]
+        train_val = E.Valuation(
+            regs=dict(test.train.regs), mems={"MEM": dict(test.train.memory)}
+        )
+        assert E.evaluate(measured.condition_expr(), train_val) == 0
+
+    def test_single_path_program_has_no_training(self, stride_program):
+        gen = TestCaseGenerator(
+            stride_program,
+            MpartRefinedModel(REGION),
+            rng=SplittableRandom(5),
+        )
+        test = gen.generate()
+        assert test is not None
+        assert test.train is None
+
+    def test_round_robin_covers_pairs(self, template_a):
+        gen = TestCaseGenerator(template_a, MctModel(), rng=SplittableRandom(6))
+        pairs = {gen.generate().pair for _ in range(6)}
+        assert pairs == {(0, 0), (1, 1)}
+
+    def test_refinement_fallback_when_no_refined_obs(self, stride_program):
+        # Mspec on a branch-free program has no transient observations;
+        # generation falls back to plain equivalence.
+        gen = TestCaseGenerator(
+            stride_program, MspecModel(), rng=SplittableRandom(7)
+        )
+        test = gen.generate()
+        assert test is not None
+        assert not test.refined
+
+    def test_symbolic_execution_cached(self, template_a):
+        gen = TestCaseGenerator(template_a, MspecModel(), rng=SplittableRandom(8))
+        first = gen.result
+        gen.generate()
+        gen.generate()
+        assert gen.result is first
+
+    def test_refined_states_differ_in_transient_address(self, template_a):
+        gen = TestCaseGenerator(
+            template_a, MspecModel(), rng=SplittableRandom(9)
+        )
+        found_difference = False
+        for _ in range(5):
+            test = gen.generate()
+            # Transient load address is x5 + mem[x0 + x1].
+            def spec_addr(state):
+                base = state.regs["x5"]
+                a = (state.regs["x0"] + state.regs["x1"]) % 2**64
+                return (base + state.memory.get(a, 0)) % 2**64
+
+            if spec_addr(test.state1) != spec_addr(test.state2):
+                found_difference = True
+        assert found_difference
+
+
+class TestCoverage:
+    def test_mline_coverage_pins_lines(self, stride_program):
+        region = REGION
+        gen = TestCaseGenerator(
+            stride_program,
+            MpartRefinedModel(region),
+            rng=SplittableRandom(10),
+            coverage=MlineCoverage(region),
+        )
+        lines = set()
+        for _ in range(12):
+            test = gen.generate()
+            if test is None:
+                continue
+            lines.add((test.state1.regs["x0"] >> 6) & 127)
+            lines.add((test.state2.regs["x0"] >> 6) & 127)
+        # Uniform line sampling must spread the anchors around.
+        assert len(lines) >= 6
+
+    def test_no_coverage_returns_no_constraints(self, stride_program):
+        from repro.core.relation import RelationSynthesizer
+
+        result = execute(
+            add_address_probes(MctModel().augment(lift(stride_program)))
+        )
+        pair = RelationSynthesizer(result, False).pair(0, 0)
+        sampler = NoCoverage()
+        assert sampler.constraints(pair, result, SplittableRandom(0)) == []

@@ -1,0 +1,99 @@
+"""Unit tests for the variable-time-arithmetic template and its coverage."""
+
+from repro.bir import expr as E
+from repro.bir.tags import ObsKind
+from repro.core.coverage import MagnitudeCoverage
+from repro.core.probes import add_address_probes
+from repro.core.relation import RelationSynthesizer
+from repro.core.testgen import TestCaseGenerator
+from repro.gen.templates import MulTemplate
+from repro.isa.instructions import AluOp, AluReg
+from repro.isa.lifter import lift
+from repro.obs.channels import MtimeRefinedModel
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+
+class TestMulTemplate:
+    def test_always_contains_one_multiply(self, rng):
+        for _ in range(20):
+            prog = MulTemplate().generate(rng)
+            muls = [
+                inst
+                for inst in prog.asm
+                if isinstance(inst, AluReg) and inst.op is AluOp.MUL
+            ]
+            assert len(muls) == 1
+
+    def test_straight_line(self, rng):
+        for _ in range(10):
+            prog = MulTemplate().generate(rng)
+            assert prog.asm.count_branches() == 0
+            assert len(execute(lift(prog.asm))) == 1
+
+    def test_distinct_registers(self, rng):
+        prog = MulTemplate().generate(rng)
+        mul = next(
+            inst
+            for inst in prog.asm
+            if isinstance(inst, AluReg) and inst.op is AluOp.MUL
+        )
+        assert len({mul.rd, mul.rn, mul.rm}) == 3
+
+
+class TestMagnitudeCoverage:
+    def _result(self, seed=3):
+        asm = MulTemplate().generate(SplittableRandom(seed)).asm
+        program = add_address_probes(MtimeRefinedModel().augment(lift(asm)))
+        return asm, execute(program)
+
+    def test_constraints_pin_magnitude_class(self):
+        asm, result = self._result()
+        pair = RelationSynthesizer(result, True).pair(0, 0)
+        sampler = MagnitudeCoverage()
+        seen_classes = set()
+        for seed in range(20):
+            constraints = sampler.constraints(
+                pair, result, SplittableRandom(seed)
+            )
+            # 0, 1, or 2 constraints per state depending on the class.
+            assert len(constraints) <= 4
+            for c in constraints:
+                assert c.width == 1
+            seen_classes.add(len(constraints))
+        assert len(seen_classes) > 1  # different classes get sampled
+
+    def test_generated_operands_span_magnitudes(self):
+        asm, _result = self._result()
+        gen = TestCaseGenerator(
+            asm,
+            MtimeRefinedModel(),
+            rng=SplittableRandom(5),
+            coverage=MagnitudeCoverage(),
+        )
+        mul = next(
+            inst
+            for inst in asm
+            if isinstance(inst, AluReg) and inst.op is AluOp.MUL
+        )
+        chunk_counts = set()
+        for _ in range(20):
+            test = gen.generate()
+            if test is None:
+                continue
+            operand = test.state1.regs.get(mul.rm.name, 0)
+            chunk_counts.add(max(1, (operand.bit_length() + 15) // 16))
+        assert len(chunk_counts) >= 2
+
+    def test_no_operand_obs_no_constraints(self, stride_program):
+        from repro.obs.models import MctModel
+
+        program = add_address_probes(
+            MctModel().augment(lift(stride_program))
+        )
+        result = execute(program)
+        pair = RelationSynthesizer(result, False).pair(0, 0)
+        assert (
+            MagnitudeCoverage().constraints(pair, result, SplittableRandom(0))
+            == []
+        )

@@ -1,0 +1,189 @@
+"""Unit tests for generator combinators and the paper's templates."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.gen.combinators import (
+    Gen,
+    choice,
+    constant,
+    distinct_registers,
+    frequency,
+    integer,
+    lists,
+)
+from repro.gen.templates import (
+    StrideTemplate,
+    TemplateA,
+    TemplateB,
+    TemplateC,
+    TemplateD,
+)
+from repro.isa.instructions import B, BCond, Ldr
+from repro.isa.lifter import lift
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+
+class TestCombinators:
+    def test_constant(self, rng):
+        assert constant(7).sample(rng) == 7
+
+    def test_integer_in_range(self, rng):
+        for _ in range(50):
+            assert 3 <= integer(3, 9).sample(rng) <= 9
+
+    def test_choice(self, rng):
+        assert choice([1, 2, 3]).sample(rng) in (1, 2, 3)
+        with pytest.raises(GeneratorError):
+            choice([])
+
+    def test_map_and_bind(self, rng):
+        doubled = integer(1, 3).map(lambda v: v * 2)
+        assert doubled.sample(rng) in (2, 4, 6)
+        dependent = integer(1, 3).bind(lambda v: constant(v + 10))
+        assert 11 <= dependent.sample(rng) <= 13
+
+    def test_such_that(self, rng):
+        even = integer(0, 100).such_that(lambda v: v % 2 == 0)
+        assert even.sample(rng) % 2 == 0
+
+    def test_such_that_gives_up(self, rng):
+        never = integer(0, 1).such_that(lambda v: v > 5, retries=10)
+        with pytest.raises(GeneratorError):
+            never.sample(rng)
+
+    def test_frequency(self, rng):
+        gen = frequency([(1, constant("a")), (0, constant("b"))])
+        assert all(gen.sample(rng) == "a" for _ in range(10))
+        with pytest.raises(GeneratorError):
+            frequency([(0, constant("a"))])
+
+    def test_lists(self, rng):
+        out = lists(constant(1), 2, 5).sample(rng)
+        assert 2 <= len(out) <= 5
+
+    def test_distinct_registers(self, rng):
+        regs = distinct_registers(rng, 10, exclude=(0, 1))
+        assert len(set(regs)) == 10
+        assert not {0, 1} & set(regs)
+        with pytest.raises(GeneratorError):
+            distinct_registers(rng, 29, pool_size=28)
+
+
+def _loads(asm):
+    return [inst for inst in asm if isinstance(inst, Ldr)]
+
+
+class TestStrideTemplate:
+    def test_shape(self, rng):
+        for _ in range(20):
+            prog = StrideTemplate().generate(rng)
+            loads = _loads(prog.asm)
+            assert 3 <= len(loads) <= 5
+            # All loads share the base register; offsets are equidistant
+            # multiples of the line size.
+            bases = {l.rn for l in loads}
+            assert len(bases) == 1
+            offsets = [l.imm for l in loads]
+            stride = prog.params["stride_lines"] * 64
+            assert offsets == [i * stride for i in range(len(loads))]
+
+    def test_destinations_distinct_from_base(self, rng):
+        for _ in range(20):
+            prog = StrideTemplate().generate(rng)
+            loads = _loads(prog.asm)
+            dests = {l.rt for l in loads}
+            assert len(dests) == len(loads)
+            assert loads[0].rn not in dests
+
+    def test_single_path(self, rng):
+        prog = StrideTemplate().generate(rng)
+        assert len(execute(lift(prog.asm))) == 1
+
+
+class TestTemplateA:
+    def test_shape(self, rng):
+        for _ in range(20):
+            prog = TemplateA().generate(rng)
+            loads = _loads(prog.asm)
+            assert len(loads) == 2
+            assert prog.asm.count_branches() == 1
+            assert len(execute(lift(prog.asm))) == 2
+
+    def test_side_constraints(self, rng):
+        for _ in range(30):
+            params = TemplateA().generate(rng).params
+            assert params["r2"] != params["r1"]
+            assert params["r4"] not in (params["r1"], params["r2"])
+
+    def test_body_load_uses_loaded_value(self, rng):
+        prog = TemplateA().generate(rng)
+        loads = _loads(prog.asm)
+        assert loads[1].rm == loads[0].rt
+
+
+class TestTemplateB:
+    def test_shape_ranges(self, rng):
+        for _ in range(30):
+            prog = TemplateB().generate(rng)
+            loads = len(_loads(prog.asm))
+            assert 1 <= loads <= 4
+            assert prog.asm.count_branches() == 1
+
+    def test_register_aliasing_allowed(self, rng):
+        # With a small pool, some instance must reuse a register.
+        aliased = False
+        for _ in range(40):
+            prog = TemplateB().generate(rng)
+            regs = prog.asm.registers_used()
+            reads = sum(
+                len(inst.reads()) + len(inst.writes())
+                for inst in prog.asm
+            )
+            if len(regs) < reads:
+                aliased = True
+                break
+        assert aliased
+
+    def test_programs_analysable(self, rng):
+        for _ in range(10):
+            prog = TemplateB().generate(rng)
+            assert 1 <= len(execute(lift(prog.asm))) <= 2
+
+
+class TestTemplateC:
+    def test_causally_dependent_loads(self, rng):
+        for _ in range(20):
+            prog = TemplateC().generate(rng)
+            loads = _loads(prog.asm)
+            assert len(loads) == 2
+            first, second = loads
+            assert second.rm == first.rt  # dependency chain
+
+    def test_interleaving_sometimes_present(self, rng):
+        seen = {True: False, False: False}
+        for _ in range(40):
+            prog = TemplateC().generate(rng)
+            seen[prog.params["interleave"]] = True
+        assert seen[True] and seen[False]
+
+
+class TestTemplateD:
+    def test_dead_code_after_unconditional_branch(self, rng):
+        for _ in range(20):
+            prog = TemplateD().generate(rng)
+            instructions = list(prog.asm)
+            jump_at = next(
+                i for i, inst in enumerate(instructions) if isinstance(inst, B)
+            )
+            dead = instructions[jump_at + 1 : prog.asm.target_index("end")]
+            assert all(isinstance(inst, Ldr) for inst in dead)
+            assert 1 <= len(dead) <= 2
+
+    def test_single_architectural_path(self, rng):
+        prog = TemplateD().generate(rng)
+        result = execute(lift(prog.asm))
+        assert len(result) == 1
+        # The dead loads never appear on the architectural path.
+        assert "i2" not in result[0].block_trace

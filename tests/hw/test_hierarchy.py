@@ -1,0 +1,138 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.hw.cache import CacheConfig
+from repro.hw.core import Core, CoreConfig
+from repro.hw.hierarchy import CacheHierarchy, HitLevel
+from repro.hw.profiles import cortex_a53_with_l2
+from repro.hw.state import MachineState
+from repro.isa.assembler import assemble
+
+L2 = CacheConfig(sets=512, ways=16, line_size=64)
+
+
+def hierarchy():
+    return CacheHierarchy(CacheConfig(), L2)
+
+
+class TestHierarchy:
+    def test_cold_access_misses_everywhere(self):
+        h = hierarchy()
+        assert h.access(0x1000) is HitLevel.MEMORY
+        assert h.l1.contains(0x1000)
+        assert h.l2.contains(0x1000)
+
+    def test_l1_hit(self):
+        h = hierarchy()
+        h.access(0x1000)
+        assert h.access(0x1000) is HitLevel.L1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(CacheConfig(sets=1, ways=1, line_size=64), L2)
+        h.access(0x1000)
+        h.access(0x2000)  # evicts 0x1000 from the 1-entry L1, not from L2
+        assert h.access(0x1000) is HitLevel.L2
+
+    def test_l1_only_mode(self):
+        h = CacheHierarchy(CacheConfig(), None)
+        assert h.access(0x1000) is HitLevel.MEMORY
+        assert h.access(0x1000) is HitLevel.L1
+        assert h.l2_snapshot() is None
+
+    def test_flush_line_clears_both_levels(self):
+        h = hierarchy()
+        h.access(0x1000)
+        h.flush_line(0x1000)
+        assert not h.l1.contains(0x1000)
+        assert not h.l2.contains(0x1000)
+        assert h.access(0x1000) is HitLevel.MEMORY
+
+    def test_flush_all(self):
+        h = hierarchy()
+        h.access(0x1000)
+        h.flush_all()
+        assert len(h.l1_snapshot()) == 0
+        assert len(h.l2_snapshot()) == 0
+
+    def test_prefetch_fills_both_levels(self):
+        h = hierarchy()
+        h.prefetch(0x3000)
+        assert h.l1.contains(0x3000)
+        assert h.l2.contains(0x3000)
+        assert h.l1.misses == 0
+
+    def test_contains_checks_both_levels(self):
+        h = CacheHierarchy(CacheConfig(sets=1, ways=1, line_size=64), L2)
+        h.access(0x1000)
+        h.access(0x2000)
+        assert h.contains(0x1000)  # resident only in L2
+
+    def test_cross_core_eviction_back_invalidates(self):
+        h = hierarchy()
+        h.access(0x1000)
+        h.evict_l2_line(0x1000)
+        assert not h.l1.contains(0x1000)  # inclusive back-invalidation
+        assert h.access(0x1000) is HitLevel.MEMORY
+
+
+class TestCoreWithL2:
+    def test_latency_ordering(self):
+        core = Core(cortex_a53_with_l2())
+        miss = core.timed_access(0x5000)
+        core.hierarchy.l1.flush_line(0x5000)  # keep the L2 copy
+        l2_hit = core.timed_access(0x5000)
+        l1_hit = core.timed_access(0x5000)
+        assert l1_hit < l2_hit < miss
+
+    def test_default_profile_has_no_l2(self):
+        core = Core(CoreConfig())
+        assert core.hierarchy.l2 is None
+
+    def test_architectural_results_independent_of_l2(self):
+        program = assemble("ldr x1, [x0]\nadd x2, x1, #1\nret")
+        with_l2 = MachineState(regs={"x0": 0x2000})
+        without = MachineState(regs={"x0": 0x2000})
+        with_l2.memory.write(0x2000, 41)
+        without.memory.write(0x2000, 41)
+        Core(cortex_a53_with_l2()).execute(program, with_l2)
+        Core(CoreConfig()).execute(program, without)
+        assert with_l2.regs["x2"] == without.regs["x2"] == 42
+
+    def test_transient_lsu_rule_keys_on_l1(self):
+        # A transient load hitting only in L2 still occupies the LSU long
+        # enough to block a second transient load.
+        src = """
+            cmp x0, x1
+            b.ge end
+            ldr x6, [x5, x3]
+            ldr x8, [x7, x4]
+        end:
+            ret
+        """
+        core = Core(
+            CoreConfig(
+                cache=CacheConfig(sets=1, ways=1, line_size=64), l2=L2
+            )
+        )
+        for _ in range(4):
+            core.predictor.update(1, False)
+        # Warm 0x2000 into L2 but evict it from the tiny L1.
+        core.hierarchy.access(0x2000)
+        core.hierarchy.access(0x9000)
+        regs = {"x0": 9, "x1": 1, "x5": 0x2000, "x3": 0, "x7": 0x3000, "x4": 0}
+        trace = core.execute(assemble(src), MachineState(regs=regs))
+        assert trace.transient_loads == [0x2000]
+
+    def test_flush_reload_still_works_with_l2(self):
+        from repro.attacks.flushreload import FlushReload
+
+        core = Core(cortex_a53_with_l2())
+        fr = FlushReload(core)
+        monitored = [0x5000, 0x5040]
+        fr.flush(monitored)
+        core.execute(
+            assemble("ldr x1, [x0]\nret"),
+            MachineState(regs={"x0": 0x5040}),
+        )
+        assert fr.hot_addresses(monitored) == [0x5040]

@@ -1,0 +1,121 @@
+"""Unit tests for the experiment platform (measurement protocol)."""
+
+from repro.hw.core import CoreConfig
+from repro.hw.platform import (
+    ExperimentOutcome,
+    ExperimentPlatform,
+    PlatformConfig,
+    StateInputs,
+)
+from repro.isa.assembler import assemble
+from repro.utils.rng import SplittableRandom
+
+LOAD_PROGRAM = assemble("ldr x1, [x0]\nret", name="one_load")
+
+SPEC_PROGRAM = assemble(
+    """
+        cmp x0, x1
+        b.ge end
+        ldr x6, [x5, x2]
+    end:
+        ret
+    """,
+    name="spec",
+)
+
+
+def platform(**kwargs):
+    return ExperimentPlatform(PlatformConfig(**kwargs), SplittableRandom(7))
+
+
+class TestOutcomes:
+    def test_identical_states_pass(self):
+        s = StateInputs(regs={"x0": 0x1000})
+        result = platform().run_experiment(LOAD_PROGRAM, s, s)
+        assert result.outcome is ExperimentOutcome.PASS
+
+    def test_different_lines_distinguishable(self):
+        s1 = StateInputs(regs={"x0": 0x1000})
+        s2 = StateInputs(regs={"x0": 0x2000})
+        result = platform().run_experiment(LOAD_PROGRAM, s1, s2)
+        assert result.outcome is ExperimentOutcome.COUNTEREXAMPLE
+        assert result.distinguishable
+
+    def test_same_line_different_offset_pass(self):
+        s1 = StateInputs(regs={"x0": 0x1000})
+        s2 = StateInputs(regs={"x0": 0x1008})
+        result = platform().run_experiment(LOAD_PROGRAM, s1, s2)
+        assert result.outcome is ExperimentOutcome.PASS
+
+    def test_memory_inputs_applied(self):
+        program = assemble("ldr x1, [x0]\nldr x2, [x1]\nret")
+        s1 = StateInputs(regs={"x0": 0x1000}, memory={0x1000: 0x4000})
+        s2 = StateInputs(regs={"x0": 0x1000}, memory={0x1000: 0x8000})
+        result = platform().run_experiment(program, s1, s2)
+        assert result.distinguishable
+
+
+class TestAttackerView:
+    def test_restricted_view_hides_difference(self):
+        # Loads land in set 3 — outside an attacker view of sets 64..127 —
+        # with different tags; the restricted attacker cannot see them.
+        s1 = StateInputs(regs={"x0": 3 * 64})
+        s2 = StateInputs(regs={"x0": 3 * 64 + 128 * 64})
+        restricted = platform(attacker_sets=tuple(range(64, 128)))
+        assert (
+            restricted.run_experiment(LOAD_PROGRAM, s1, s2).outcome
+            is ExperimentOutcome.PASS
+        )
+        full = platform()
+        assert full.run_experiment(LOAD_PROGRAM, s1, s2).distinguishable
+
+
+class TestTraining:
+    def test_training_controls_speculative_distinction(self):
+        # Equivalent architecturally (branch taken, body skipped), but the
+        # transient body load differs.  Training toward the wrong direction
+        # forces the misprediction; training toward the right direction
+        # suppresses it.
+        s1 = StateInputs(regs={"x0": 9, "x1": 1, "x5": 0x2000, "x2": 0})
+        s2 = StateInputs(regs={"x0": 9, "x1": 1, "x5": 0x6000, "x2": 0})
+        mistrain = StateInputs(regs={"x0": 0, "x1": 5, "x5": 0x2000, "x2": 0})
+        mistrained = platform().run_experiment(
+            SPEC_PROGRAM, s1, s2, train=mistrain
+        )
+        assert mistrained.distinguishable
+        well_trained = platform().run_experiment(
+            SPEC_PROGRAM, s1, s2, train=s1
+        )
+        assert well_trained.outcome is ExperimentOutcome.PASS
+
+
+class TestNoise:
+    def test_noise_free_runs_are_conclusive(self):
+        s = StateInputs(regs={"x0": 0x1000})
+        result = platform(noise_rate=0.0).run_experiment(LOAD_PROGRAM, s, s)
+        assert result.outcome is not ExperimentOutcome.INCONCLUSIVE
+
+    def test_heavy_noise_yields_inconclusive(self):
+        s = StateInputs(regs={"x0": 0x1000})
+        result = platform(noise_rate=1.0).run_experiment(LOAD_PROGRAM, s, s)
+        assert result.outcome is ExperimentOutcome.INCONCLUSIVE
+
+    def test_noise_rate_statistics(self):
+        # With p per measured run and 10 repetitions x 2 states, the
+        # inconclusive rate should be roughly 1 - (1-p)^20.
+        p = ExperimentPlatform(
+            PlatformConfig(noise_rate=0.02), SplittableRandom(1)
+        )
+        s = StateInputs(regs={"x0": 0x1000})
+        outcomes = [
+            p.run_experiment(LOAD_PROGRAM, s, s).outcome for _ in range(150)
+        ]
+        rate = outcomes.count(ExperimentOutcome.INCONCLUSIVE) / len(outcomes)
+        assert 0.15 < rate < 0.55  # expectation ~0.33
+
+    def test_experiments_counter(self):
+        p = platform()
+        s = StateInputs(regs={"x0": 0x1000})
+        p.run_experiment(LOAD_PROGRAM, s, s)
+        p.run_experiment(LOAD_PROGRAM, s, s)
+        assert p.experiments_run == 2

@@ -1,0 +1,65 @@
+"""Unit tests for the performance monitor counters."""
+
+from repro.hw.core import Core
+from repro.hw.pmc import PerformanceCounters, PmcEvent, PmcReading
+from repro.hw.state import MachineState
+from repro.isa.assembler import assemble
+
+
+def test_reading_tracks_core_counters():
+    core = Core()
+    pmc = PerformanceCounters(core)
+    core.execute(
+        assemble("ldr x1, [x0]\nldr x2, [x0]\nret"),
+        MachineState(regs={"x0": 0x1000}),
+    )
+    reading = pmc.read()
+    assert reading[PmcEvent.L1D_CACHE_MISS] == 1
+    assert reading[PmcEvent.L1D_CACHE_HIT] == 1
+    assert reading[PmcEvent.L1D_TLB_MISS] == 1
+    assert reading[PmcEvent.CPU_CYCLES] == core.cycles
+
+
+def test_delta_between_readings():
+    core = Core()
+    pmc = PerformanceCounters(core)
+    before = pmc.read()
+    core.timed_access(0x2000)
+    delta = pmc.read().delta(before)
+    assert delta[PmcEvent.L1D_CACHE_MISS] == 1
+    assert delta[PmcEvent.CPU_CYCLES] > 0
+
+
+def test_measure_wraps_an_action():
+    core = Core()
+    pmc = PerformanceCounters(core)
+    delta = pmc.measure(lambda: core.timed_access(0x3000))
+    assert delta[PmcEvent.L1D_CACHE_MISS] == 1
+    # A second, hitting access costs fewer cycles.
+    delta_hit = pmc.measure(lambda: core.timed_access(0x3000))
+    assert delta_hit[PmcEvent.CPU_CYCLES] < delta[PmcEvent.CPU_CYCLES]
+
+
+def test_timing_side_channel_visible_through_pmc():
+    # The attacker's actual measurement: victim cycle counts differ with
+    # the secret multiplier magnitude.
+    program = assemble("mul x2, x0, x1\nret")
+    pmc_small = PerformanceCounters(Core())
+    small = pmc_small.measure(
+        lambda: pmc_small.core.execute(
+            program, MachineState(regs={"x0": 3, "x1": 5})
+        )
+    )
+    pmc_large = PerformanceCounters(Core())
+    large = pmc_large.measure(
+        lambda: pmc_large.core.execute(
+            program, MachineState(regs={"x0": 3, "x1": 1 << 60})
+        )
+    )
+    assert large[PmcEvent.CPU_CYCLES] > small[PmcEvent.CPU_CYCLES]
+
+
+def test_describe_lists_all_events():
+    text = PerformanceCounters(Core()).read().describe()
+    for event in PmcEvent:
+        assert event.value in text

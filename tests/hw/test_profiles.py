@@ -1,0 +1,99 @@
+"""Unit tests for the named core profiles."""
+
+from repro.exps import mct_campaign, mspec1_campaign, timing_campaign
+from repro.hw.core import Core
+from repro.hw.profiles import (
+    cortex_a53,
+    cortex_a53_no_prefetch,
+    cortex_a53_no_speculation,
+    cortex_m0_like,
+    out_of_order,
+)
+from repro.hw.state import MachineState
+from repro.isa.assembler import assemble
+from repro.pipeline import ScamV
+
+
+class TestProfiles:
+    def test_a53_defaults(self):
+        config = cortex_a53()
+        assert config.spec_window > 0
+        assert not config.forward_speculative_results
+        assert config.prefetcher.enabled
+        assert config.prefetcher.page_size == 4096
+
+    def test_no_speculation_profile_kills_transient_loads(self):
+        core = Core(cortex_a53_no_speculation())
+        for _ in range(4):
+            core.predictor.update(1, False)
+        src = "cmp x0, x1\nb.ge end\nldr x6, [x5]\nend:\nret"
+        trace = core.execute(
+            assemble(src), MachineState(regs={"x0": 9, "x1": 1, "x5": 0x2000})
+        )
+        assert trace.transient_loads == []
+
+    def test_no_prefetch_profile(self):
+        core = Core(cortex_a53_no_prefetch())
+        src = "ldr x1, [x0]\nldr x2, [x0, #0x40]\nldr x3, [x0, #0x80]\nret"
+        trace = core.execute(assemble(src), MachineState(regs={"x0": 0x1000}))
+        assert trace.prefetches == []
+
+    def test_out_of_order_forwards_transient_results(self):
+        core = Core(out_of_order())
+        for _ in range(4):
+            core.predictor.update(1, False)
+        src = (
+            "cmp x0, x1\nb.ge end\nldr x6, [x5]\nldr x8, [x7, x6]\nend:\nret"
+        )
+        state = MachineState(regs={"x0": 9, "x1": 1, "x5": 0x2000, "x7": 0x3000})
+        state.memory.write(0x2000, 0x40)
+        trace = core.execute(assemble(src), state)
+        assert trace.transient_loads == [0x2000, 0x3040]
+
+    def test_m0_profile_is_timing_quiet(self):
+        config = cortex_m0_like()
+        program = assemble("mul x2, x0, x1\nret")
+        a = Core(config)
+        a.execute(program, MachineState(regs={"x0": 3, "x1": 5}))
+        b = Core(config)
+        b.execute(program, MachineState(regs={"x0": 3, "x1": 1 << 60}))
+        assert a.cycles == b.cycles
+
+
+class TestProfilesInCampaigns:
+    def test_mspec1_unsound_on_out_of_order_core(self):
+        stats = ScamV(
+            mspec1_campaign(
+                "C",
+                num_programs=4,
+                tests_per_program=8,
+                seed=91,
+                core=out_of_order(),
+            )
+        ).run().stats
+        assert stats.counterexamples > 0
+
+    def test_mct_sound_without_speculation(self):
+        stats = ScamV(
+            mct_campaign(
+                "A",
+                refined=True,
+                num_programs=4,
+                tests_per_program=8,
+                seed=92,
+                core=cortex_a53_no_speculation(),
+            )
+        ).run().stats
+        assert stats.counterexamples == 0
+
+    def test_timing_model_sound_on_m0(self):
+        stats = ScamV(
+            timing_campaign(
+                refined=True,
+                num_programs=4,
+                tests_per_program=8,
+                seed=93,
+                core=cortex_m0_like(),
+            )
+        ).run().stats
+        assert stats.counterexamples == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the data micro-TLB and its core integration."""
+
+from repro.hw.core import Core, CoreConfig
+from repro.hw.state import MachineState
+from repro.hw.tlb import Tlb, TlbConfig, TlbSnapshot
+from repro.isa.assembler import assemble
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb()
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1FFF)  # same 4 KiB page
+        assert not tlb.access(0x2000)  # next page
+        assert tlb.hits == 1 and tlb.misses == 2
+
+    def test_lru_eviction(self):
+        tlb = Tlb(TlbConfig(entries=2))
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)  # refresh page 0
+        tlb.access(0x2000)  # evicts page 1
+        assert tlb.contains_page(0)
+        assert not tlb.contains_page(1)
+        assert tlb.contains_page(2)
+
+    def test_snapshot_is_page_set(self):
+        tlb = Tlb()
+        tlb.access(0x3000)
+        tlb.access(0x5000)
+        assert tlb.snapshot() == TlbSnapshot(frozenset({3, 5}))
+
+    def test_flush(self):
+        tlb = Tlb()
+        tlb.access(0x3000)
+        tlb.flush_page(3)
+        assert not tlb.contains_page(3)
+        tlb.access(0x3000)
+        tlb.flush_all()
+        assert len(tlb.snapshot()) == 0
+
+
+class TestCoreTlbIntegration:
+    def test_demand_loads_fill_tlb(self):
+        core = Core()
+        core.execute(
+            assemble("ldr x1, [x0]\nret"), MachineState(regs={"x0": 0x5000})
+        )
+        assert core.tlb.contains_page(5)
+
+    def test_tlb_miss_costs_cycles(self):
+        warm = Core()
+        warm.tlb.access(0x5000)
+        cold = Core()
+        program = assemble("ldr x1, [x0]\nret")
+        warm.execute(program, MachineState(regs={"x0": 0x5000}))
+        cold.execute(program, MachineState(regs={"x0": 0x5000}))
+        assert cold.cycles == warm.cycles + cold.config.tlb_miss_latency
+
+    def test_transient_loads_fill_tlb(self):
+        core = Core()
+        for _ in range(4):
+            core.predictor.update(1, False)
+        src = "cmp x0, x1\nb.ge end\nldr x6, [x5]\nend:\nret"
+        core.execute(
+            assemble(src), MachineState(regs={"x0": 9, "x1": 1, "x5": 0x7000})
+        )
+        assert core.tlb.contains_page(7)  # translation before the squash
+
+    def test_prefetch_does_not_touch_tlb(self):
+        core = Core()
+        src = (
+            "ldr x1, [x0]\nldr x2, [x0, #0x40]\nldr x3, [x0, #0x80]\nret"
+        )
+        # Stride within one page triggers a prefetch of the next line.
+        core.execute(assemble(src), MachineState(regs={"x0": 0x5000}))
+        assert core.tlb.snapshot().pages == frozenset({5})
+
+    def test_flush_all_clears_tlb(self):
+        core = Core()
+        core.timed_access(0x5000)
+        core.flush_all()
+        assert len(core.tlb.snapshot()) == 0
+
+
+class TestVariableTimeMultiply:
+    def test_latency_grows_with_magnitude(self):
+        program = assemble("mul x2, x0, x1\nret")
+        small = Core()
+        small.execute(program, MachineState(regs={"x0": 3, "x1": 5}))
+        large = Core()
+        large.execute(
+            program, MachineState(regs={"x0": 3, "x1": 1 << 60})
+        )
+        assert large.cycles == small.cycles + 3  # 4 chunks vs 1 chunk
+
+    def test_first_operand_magnitude_irrelevant(self):
+        program = assemble("mul x2, x0, x1\nret")
+        a = Core()
+        a.execute(program, MachineState(regs={"x0": 1 << 60, "x1": 5}))
+        b = Core()
+        b.execute(program, MachineState(regs={"x0": 3, "x1": 5}))
+        assert a.cycles == b.cycles
+
+    def test_constant_time_ablation(self):
+        from repro.hw.core import CoreConfig
+
+        program = assemble("mul x2, x0, x1\nret")
+        config = CoreConfig(variable_time_multiply=False)
+        a = Core(config)
+        a.execute(program, MachineState(regs={"x0": 3, "x1": 5}))
+        b = Core(config)
+        b.execute(program, MachineState(regs={"x0": 3, "x1": 1 << 60}))
+        assert a.cycles == b.cycles
+
+    def test_mul_result_correct(self):
+        core = Core()
+        state = MachineState(regs={"x0": 7, "x1": 6})
+        core.execute(assemble("mul x2, x0, x1\nret"), state)
+        assert state.regs["x2"] == 42
+
+    def test_mul_immediate_latency(self):
+        program = assemble("mul x2, x0, #0x10000\nret")
+        core = Core()
+        core.execute(program, MachineState(regs={"x0": 3}))
+        baseline = Core()
+        baseline.execute(
+            assemble("mul x2, x0, #2\nret"), MachineState(regs={"x0": 3})
+        )
+        assert core.cycles == baseline.cycles + 1

@@ -1,0 +1,142 @@
+"""End-to-end integration tests: the full Fig. 1 pipeline on one program."""
+
+import pytest
+
+from repro.core.testgen import TestCaseGenerator
+from repro.hw.platform import (
+    ExperimentOutcome,
+    ExperimentPlatform,
+    PlatformConfig,
+)
+from repro.obs.base import AttackerRegion
+from repro.obs.models import MctModel, MpartRefinedModel, MspecModel
+from repro.core.coverage import MlineCoverage
+from repro.core.testgen import TestGenConfig
+from repro.smt.solver import SolverConfig
+from repro.utils.rng import SplittableRandom
+
+
+def _run_tests(asm, model, platform, n=12, coverage=None, config=None):
+    gen = TestCaseGenerator(
+        asm, model, config=config, rng=SplittableRandom(99), coverage=coverage
+    )
+    outcomes = []
+    for _ in range(n):
+        test = gen.generate()
+        if test is None:
+            continue
+        outcomes.append(
+            platform.run_experiment(
+                asm, test.state1, test.state2, test.train
+            ).outcome
+        )
+    return outcomes
+
+
+class TestSpeculativeLeakDetection:
+    def test_mspec_refinement_finds_counterexamples(self, template_a):
+        outcomes = _run_tests(
+            template_a, MspecModel(), ExperimentPlatform(PlatformConfig())
+        )
+        assert ExperimentOutcome.COUNTEREXAMPLE in outcomes
+
+    def test_counterexamples_vanish_without_speculation(self, template_a):
+        from repro.hw.core import CoreConfig
+
+        platform = ExperimentPlatform(
+            PlatformConfig(core=CoreConfig(spec_window=0))
+        )
+        outcomes = _run_tests(template_a, MspecModel(), platform)
+        assert outcomes
+        assert ExperimentOutcome.COUNTEREXAMPLE not in outcomes
+
+    def test_unguided_mct_mostly_passes(self, template_a):
+        outcomes = _run_tests(
+            template_a, MctModel(), ExperimentPlatform(PlatformConfig())
+        )
+        passes = outcomes.count(ExperimentOutcome.PASS)
+        assert passes >= len(outcomes) - 1
+
+
+class TestPrefetchLeakDetection:
+    REGION = AttackerRegion(61, 127)
+
+    def test_mpart_refinement_finds_prefetch_leak(self, stride_program):
+        platform = ExperimentPlatform(
+            PlatformConfig(attacker_sets=tuple(range(61, 128)))
+        )
+        config = TestGenConfig(solver=SolverConfig(divergence=0.02))
+        outcomes = _run_tests(
+            stride_program,
+            MpartRefinedModel(self.REGION),
+            platform,
+            n=150,
+            coverage=MlineCoverage(self.REGION),
+            config=config,
+        )
+        assert ExperimentOutcome.COUNTEREXAMPLE in outcomes
+
+    def test_prefetcher_off_kills_the_leak(self, stride_program):
+        from repro.hw.core import CoreConfig
+        from repro.hw.prefetcher import PrefetcherConfig
+
+        platform = ExperimentPlatform(
+            PlatformConfig(
+                core=CoreConfig(
+                    prefetcher=PrefetcherConfig(enabled=False)
+                ),
+                attacker_sets=tuple(range(61, 128)),
+            )
+        )
+        config = TestGenConfig(solver=SolverConfig(divergence=0.02))
+        outcomes = _run_tests(
+            stride_program,
+            MpartRefinedModel(self.REGION),
+            platform,
+            n=40,
+            coverage=MlineCoverage(self.REGION),
+            config=config,
+        )
+        assert outcomes
+        assert ExperimentOutcome.COUNTEREXAMPLE not in outcomes
+
+
+class TestSoundModelHasNoCounterexamples:
+    def test_identity_like_model_never_distinguishes(self, template_a):
+        # A model observing everything relevant (Mspec with its refined
+        # observations *included in the base*) only admits pairs that agree
+        # on all observations -- using equivalence-only generation, such
+        # pairs must be indistinguishable on this hardware.
+        from repro.bir.tags import ObsTag
+        from repro.obs.models import MspecModel
+        from repro.bir.stmt import Observe
+        from repro.obs.base import map_block_bodies
+
+        class MspecAsBase(MspecModel):
+            """Mspec observations all tagged BASE (a sound model)."""
+
+            has_refinement = False
+
+            def augment(self, program):
+                augmented = super().augment(program)
+
+                def rebase(block):
+                    for stmt in block.body:
+                        if isinstance(stmt, Observe):
+                            yield Observe(
+                                ObsTag.BASE,
+                                stmt.kind,
+                                stmt.exprs,
+                                stmt.guard,
+                                stmt.label,
+                            )
+                        else:
+                            yield stmt
+
+                return map_block_bodies(augmented, rebase)
+
+        outcomes = _run_tests(
+            template_a, MspecAsBase(), ExperimentPlatform(PlatformConfig())
+        )
+        assert outcomes
+        assert ExperimentOutcome.COUNTEREXAMPLE not in outcomes

@@ -1,0 +1,55 @@
+"""Smoke tests: the runnable examples must run and report success."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "counterexample" in out
+    assert "Symbolic execution" in out
+
+
+def test_siscloak_attack(capsys):
+    out = run_example("siscloak_attack.py", capsys)
+    assert out.count("SUCCESS") == 2
+
+
+def test_riscv_validation(capsys):
+    out = run_example("riscv_validation.py", capsys)
+    assert "speculative core" in out
+    assert "speculation disabled: 0/" in out
+
+
+@pytest.mark.slow
+def test_new_channels(capsys):
+    out = run_example("new_channels.py", capsys)
+    assert "New channels" in out
+
+
+@pytest.mark.slow
+def test_model_repair(capsys):
+    out = run_example("model_repair.py", capsys)
+    assert out.count("repaired after 1 promotion(s)") == 3
+
+
+@pytest.mark.slow
+def test_cache_coloring(capsys):
+    out = run_example("cache_coloring.py", capsys)
+    assert "Page-aligned region: 0 counterexamples" in out
+
+
+@pytest.mark.slow
+def test_spectre_validation(capsys):
+    out = run_example("spectre_validation.py", capsys)
+    assert "Expected shape" in out

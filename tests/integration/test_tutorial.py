@@ -1,0 +1,114 @@
+"""The docs/TUTORIAL.md walkthrough, executed end to end.
+
+Keeps the tutorial honest: the toy page-only model must be unsound for
+the cache channel, sound for the TLB channel, and repairable by one
+promotion.
+"""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsKind, ObsTag
+from repro.core import ModelRepairer
+from repro.gen import StrideTemplate
+from repro.hw import Channel, PlatformConfig
+from repro.obs.base import (
+    ObservationModel,
+    is_transient,
+    load_address,
+    map_block_bodies,
+    store_address,
+)
+from repro.pipeline import CampaignConfig, CounterexampleAnalysis, ScamV
+
+
+@dataclass
+class PageOnlyModel(ObservationModel):
+    name = "Mpageonly"
+
+    def augment(self, program):
+        def rewrite(block):
+            for stmt in block.body:
+                addr = load_address(stmt) or store_address(stmt)
+                if addr is not None and not is_transient(stmt):
+                    yield Observe(
+                        tag=ObsTag.BASE,
+                        kind=ObsKind.PAGE,
+                        exprs=(E.lshr(addr, E.const(12)),),
+                        label="page",
+                    )
+                yield stmt
+
+        return map_block_bodies(program, rewrite)
+
+
+@dataclass
+class PageOnlyRefined(PageOnlyModel):
+    name = "Mpageonly+line"
+    has_refinement = True
+
+    def augment(self, program):
+        base = super().augment(program)
+
+        def rewrite(block):
+            for stmt in block.body:
+                yield stmt
+                addr = load_address(stmt) or store_address(stmt)
+                if addr is not None and not is_transient(stmt):
+                    yield Observe(
+                        tag=ObsTag.REFINED,
+                        kind=ObsKind.CACHE_LINE,
+                        exprs=(
+                            E.band(
+                                E.lshr(addr, E.const(6)), E.const(127)
+                            ),
+                        ),
+                        label="line",
+                    )
+
+        return map_block_bodies(base, rewrite)
+
+
+def _campaign(**kwargs):
+    defaults = dict(
+        name="tutorial",
+        template=StrideTemplate(),
+        model=PageOnlyRefined(),
+        num_programs=6,
+        tests_per_program=12,
+        seed=123,
+        certify=True,
+    )
+    defaults.update(kwargs)
+    return CampaignConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def cache_result():
+    return ScamV(_campaign()).run()
+
+
+class TestTutorial:
+    def test_page_only_model_unsound_for_cache(self, cache_result):
+        assert cache_result.stats.counterexamples > 0
+        assert cache_result.stats.uncertified == 0
+
+    def test_analysis_runs(self, cache_result):
+        analysis = CounterexampleAnalysis.of(cache_result)
+        assert analysis.total == cache_result.stats.counterexamples
+
+    def test_page_only_model_sound_for_tlb(self):
+        config = _campaign(
+            platform=PlatformConfig(channel=Channel.TLB), certify=False
+        )
+        stats = ScamV(config).run().stats
+        assert stats.experiments > 0
+        assert stats.counterexamples == 0
+
+    def test_repairable_with_one_promotion(self):
+        report = ModelRepairer(_campaign(certify=False)).repair()
+        assert report.succeeded
+        assert report.promotions == 1

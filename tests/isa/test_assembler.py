@@ -1,0 +1,177 @@
+"""Unit tests for the assembler/disassembler and AsmProgram."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.assembler import assemble, disassemble, format_instruction
+from repro.isa.instructions import (
+    AluImm,
+    AluOp,
+    AluReg,
+    B,
+    BCond,
+    CmpImm,
+    CmpReg,
+    Cond,
+    Ldr,
+    MovImm,
+    MovReg,
+    Nop,
+    Ret,
+    Str,
+    TstImm,
+)
+from repro.isa.program import AsmProgram
+from repro.isa.registers import Reg, x
+
+
+class TestParsing:
+    def test_mov_forms(self):
+        p = assemble("mov x1, #0x40\nmov x2, x1")
+        assert p[0] == MovImm(x(1), 0x40)
+        assert p[1] == MovReg(x(2), x(1))
+
+    def test_alu_forms(self):
+        p = assemble("add x1, x2, x3\nsub x1, x2, #8\nlsl x4, x5, #6")
+        assert p[0] == AluReg(AluOp.ADD, x(1), x(2), x(3))
+        assert p[1] == AluImm(AluOp.SUB, x(1), x(2), 8)
+        assert p[2] == AluImm(AluOp.LSL, x(4), x(5), 6)
+
+    def test_memory_forms(self):
+        p = assemble(
+            "ldr x1, [x2]\nldr x1, [x2, x3]\nldr x1, [x2, #0x40]\n"
+            "str x1, [x2, x3]"
+        )
+        assert p[0] == Ldr(x(1), x(2))
+        assert p[1] == Ldr(x(1), x(2), x(3))
+        assert p[2] == Ldr(x(1), x(2), None, 0x40)
+        assert p[3] == Str(x(1), x(2), x(3))
+
+    def test_compare_and_branch(self):
+        p = assemble(
+            "cmp x1, x2\ncmp x1, #5\ntst x1, #0x80\nb.ge out\nb out\nout:\nret"
+        )
+        assert p[0] == CmpReg(x(1), x(2))
+        assert p[1] == CmpImm(x(1), 5)
+        assert p[2] == TstImm(x(1), 0x80)
+        assert p[3] == BCond(Cond.GE, "out")
+        assert p[4] == B("out")
+        assert p[5] == Ret()
+
+    def test_labels_and_comments(self):
+        p = assemble(
+            """
+            start:              // entry
+                nop             ; a comment
+                b start
+            """
+        )
+        assert p.labels == {"start": 0}
+        assert p[0] == Nop()
+
+    def test_end_label(self):
+        p = assemble("b end\nend:")
+        assert p.labels["end"] == 1
+
+    def test_negative_immediate(self):
+        p = assemble("mov x1, #-8")
+        assert p[0] == MovImm(x(1), -8)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            assemble("frobnicate x1, x2")
+
+    def test_undefined_label(self):
+        with pytest.raises(IsaError):
+            assemble("b nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(IsaError):
+            assemble("a:\nnop\na:\nret")
+
+    def test_bad_register(self):
+        with pytest.raises(IsaError):
+            assemble("mov y1, #0")
+        with pytest.raises(IsaError):
+            assemble("mov x99, #0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(IsaError):
+            assemble("mov x1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(IsaError):
+            assemble("ldr x1, x2")
+
+    def test_ldr_register_and_immediate_offset_conflict(self):
+        with pytest.raises(IsaError):
+            Ldr(x(1), x(2), x(3), 8)
+
+    def test_unknown_condition(self):
+        with pytest.raises(IsaError):
+            assemble("b.zz end\nend:")
+
+
+class TestRoundTrip:
+    SOURCE = """
+        mov x1, #0x40
+        add x2, x0, x1
+        ldr x3, [x2, x1]
+        ldr x4, [x2, #8]
+        str x3, [x2]
+        cmp x3, x4
+        tst x3, #0x80
+        b.ge skip
+        ldr x5, [x6, x3]
+    skip:
+        b done
+        nop
+    done:
+        ret
+    """
+
+    def test_disassemble_reassembles_identically(self):
+        p = assemble(self.SOURCE)
+        q = assemble(disassemble(p))
+        assert list(p) == list(q)
+        assert p.labels == q.labels
+
+    def test_format_every_instruction(self):
+        for inst in assemble(self.SOURCE):
+            assert format_instruction(inst)
+
+
+class TestAsmProgram:
+    def test_input_registers(self, template_a):
+        names = {r.name for r in template_a.input_registers()}
+        assert names == {"x0", "x1", "x4", "x5"}
+
+    def test_registers_used(self, template_a):
+        names = {r.name for r in template_a.registers_used()}
+        assert {"x0", "x1", "x2", "x4", "x5", "x6"} == names
+
+    def test_loads(self, template_a):
+        assert [i for i, _ in template_a.loads()] == [0, 3]
+
+    def test_count_branches(self, template_a):
+        assert template_a.count_branches() == 1
+
+    def test_target_index(self, template_a):
+        assert template_a.target_index("end") == 4
+        with pytest.raises(IsaError):
+            template_a.target_index("nope")
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(IsaError):
+            AsmProgram([Nop()], {"far": 5})
+
+    def test_reads_and_writes(self):
+        inst = Ldr(x(1), x(2), x(3))
+        assert inst.reads() == (x(2), x(3))
+        assert inst.writes() == (x(1),)
+        assert inst.is_load()
+        store = Str(x(1), x(2))
+        assert x(1) in store.reads()
+        assert store.writes() == ()

@@ -1,0 +1,125 @@
+"""Unit tests for the ISA -> BIR lifter."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.cfg import ControlFlowGraph
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Store
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Cond
+from repro.isa.lifter import (
+    CMP_LHS,
+    CMP_RHS,
+    END_LABEL,
+    block_label,
+    condition_expr,
+    instruction_index,
+    lift,
+)
+
+
+class TestStructure:
+    def test_one_block_per_instruction_plus_end(self, template_a):
+        bir = lift(template_a)
+        assert len(bir) == len(template_a) + 1
+        assert END_LABEL in bir
+
+    def test_block_labels_roundtrip(self):
+        assert instruction_index(block_label(7)) == 7
+        assert instruction_index(END_LABEL) is None
+        assert instruction_index("i3_spec_t") is None
+
+    def test_fallthrough_chains(self, stride_program):
+        bir = lift(stride_program)
+        assert bir.block("i0").terminator == Jmp("i1")
+
+    def test_conditional_branch_targets(self, template_a):
+        bir = lift(template_a)
+        term = bir.block("i2").terminator
+        assert isinstance(term, CJmp)
+        assert term.target_true == "i4"  # 'end' label points at ret
+        assert term.target_false == "i3"
+
+    def test_ret_halts(self, template_a):
+        assert isinstance(lift(template_a).block("i4").terminator, Halt)
+
+    def test_explicit_jump_flagged(self, template_d):
+        bir = lift(template_d)
+        term = bir.block("i1").terminator
+        assert isinstance(term, Jmp) and term.explicit
+
+    def test_fallthrough_jump_not_flagged(self, stride_program):
+        assert not lift(stride_program).block("i0").terminator.explicit
+
+    def test_lifted_program_is_acyclic(self, template_a):
+        assert ControlFlowGraph(lift(template_a)).is_acyclic()
+
+
+class TestSemantics:
+    def test_mov_and_alu(self):
+        bir = lift(assemble("mov x1, #5\nadd x2, x1, #3\nret"))
+        assign = bir.block("i0").body[0]
+        assert assign == Assign(E.var("x1"), E.const(5))
+        add = bir.block("i1").body[0]
+        assert add.target == E.var("x2")
+
+    def test_load_effective_address_register_offset(self):
+        bir = lift(assemble("ldr x1, [x2, x3]\nret"))
+        assign = bir.block("i0").body[0]
+        assert isinstance(assign.value, E.Load)
+        assert assign.value.addr == E.add(E.var("x2"), E.var("x3"))
+
+    def test_load_effective_address_immediate(self):
+        bir = lift(assemble("ldr x1, [x2, #0x40]\nret"))
+        assign = bir.block("i0").body[0]
+        assert assign.value.addr == E.add(E.var("x2"), E.const(0x40))
+
+    def test_load_no_offset(self):
+        bir = lift(assemble("ldr x1, [x2]\nret"))
+        assert bir.block("i0").body[0].value.addr == E.var("x2")
+
+    def test_store_becomes_store_stmt(self):
+        bir = lift(assemble("str x1, [x2]\nret"))
+        assert isinstance(bir.block("i0").body[0], Store)
+
+    def test_cmp_sets_comparison_state(self):
+        bir = lift(assemble("cmp x1, x2\nret"))
+        body = bir.block("i0").body
+        assert body[0] == Assign(CMP_LHS, E.var("x1"))
+        assert body[1] == Assign(CMP_RHS, E.var("x2"))
+
+    def test_tst_masks(self):
+        bir = lift(assemble("tst x1, #0x80\nret"))
+        body = bir.block("i0").body
+        assert body[0].value == E.band(E.var("x1"), E.const(0x80))
+        assert body[1] == Assign(CMP_RHS, E.const(0))
+
+
+class TestConditions:
+    @pytest.mark.parametrize(
+        "cond,lhs,rhs,expected",
+        [
+            (Cond.EQ, 5, 5, 1),
+            (Cond.EQ, 5, 6, 0),
+            (Cond.NE, 5, 6, 1),
+            (Cond.LO, 1, 2, 1),
+            (Cond.LO, 2, 1, 0),
+            (Cond.HS, 2, 2, 1),
+            (Cond.LS, 2, 2, 1),
+            (Cond.HI, 3, 2, 1),
+            (Cond.LT, 2**64 - 1, 0, 1),  # -1 < 0 signed
+            (Cond.GE, 0, 2**64 - 1, 1),  # 0 >= -1 signed
+            (Cond.LE, 5, 5, 1),
+            (Cond.GT, 6, 5, 1),
+        ],
+    )
+    def test_condition_semantics(self, cond, lhs, rhs, expected):
+        val = E.Valuation(regs={CMP_LHS.name: lhs, CMP_RHS.name: rhs})
+        assert E.evaluate(condition_expr(cond), val) == expected
+
+    def test_negated_condition_is_complement(self):
+        val = E.Valuation(regs={CMP_LHS.name: 3, CMP_RHS.name: 9})
+        for cond in Cond:
+            a = E.evaluate(condition_expr(cond), val)
+            b = E.evaluate(condition_expr(cond.negated()), val)
+            assert a != b

@@ -1,0 +1,188 @@
+"""Unit tests for the RISC-V front-end."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.hw.core import Core
+from repro.hw.state import MachineState, Memory
+from repro.isa.instructions import (
+    AluImm,
+    AluOp,
+    AluReg,
+    B,
+    BCond,
+    CmpImm,
+    CmpReg,
+    Cond,
+    Ldr,
+    MovImm,
+    MovReg,
+    Nop,
+    Ret,
+    Str,
+)
+from repro.isa.lifter import lift
+from repro.isa.registers import x
+from repro.isa.riscv import assemble_riscv
+from repro.symbolic.executor import execute
+
+
+class TestParsing:
+    def test_li_and_mv(self):
+        p = assemble_riscv("li a0, 0x40\nmv a1, a0\nmv a2, zero")
+        assert p[0] == MovImm(x(10), 0x40)
+        assert p[1] == MovReg(x(11), x(10))
+        assert p[2] == MovImm(x(12), 0)
+
+    def test_alu_register_and_immediate(self):
+        p = assemble_riscv(
+            "add a0, a1, a2\nsub t0, t1, t2\nxor s2, s3, s4\n"
+            "addi a0, a1, -8\nslli a3, a4, 6\nmul a5, a6, a7"
+        )
+        assert p[0] == AluReg(AluOp.ADD, x(10), x(11), x(12))
+        assert p[1] == AluReg(AluOp.SUB, x(5), x(6), x(7))
+        assert p[2] == AluReg(AluOp.EOR, x(18), x(19), x(20))
+        assert p[3] == AluImm(AluOp.ADD, x(10), x(11), -8)
+        assert p[4] == AluImm(AluOp.LSL, x(13), x(14), 6)
+        assert p[5] == AluReg(AluOp.MUL, x(15), x(16), x(17))
+
+    def test_loads_and_stores(self):
+        p = assemble_riscv("ld a0, 8(a1)\nld a2, 0(a3)\nsd a0, 16(sp)")
+        assert p[0] == Ldr(x(10), x(11), None, 8)
+        assert p[1] == Ldr(x(12), x(13), None, 0)
+        assert p[2] == Str(x(10), x(2), None, 16)
+
+    def test_branches_expand_to_cmp_pairs(self):
+        p = assemble_riscv("blt a0, a1, out\nnop\nout:\nret")
+        assert p[0] == CmpReg(x(10), x(11))
+        assert p[1] == BCond(Cond.LT, "out")
+        assert p.labels["out"] == 3
+
+    def test_zero_branches(self):
+        p = assemble_riscv("beqz a0, out\nbnez a1, out\nout:\nret")
+        assert p[0] == CmpImm(x(10), 0)
+        assert p[1] == BCond(Cond.EQ, "out")
+        assert p[2] == CmpImm(x(11), 0)
+        assert p[3] == BCond(Cond.NE, "out")
+
+    def test_add_with_zero_becomes_move(self):
+        p = assemble_riscv("add a0, a1, zero\nadd a2, x0, a3")
+        assert p[0] == MovReg(x(10), x(11))
+        assert p[1] == MovReg(x(12), x(13))
+
+    def test_unconditional_jump_and_misc(self):
+        p = assemble_riscv("j out\nnop\nout:\nret")
+        assert p[0] == B("out")
+        assert p[1] == Nop()
+        assert p[2] == Ret()
+
+    def test_all_branch_conditions(self):
+        for mnemonic, cond in [
+            ("beq", Cond.EQ),
+            ("bne", Cond.NE),
+            ("blt", Cond.LT),
+            ("bge", Cond.GE),
+            ("bltu", Cond.LO),
+            ("bgeu", Cond.HS),
+        ]:
+            p = assemble_riscv(f"{mnemonic} a0, a1, out\nout:\nret")
+            assert p[1] == BCond(cond, "out")
+
+    def test_comments(self):
+        p = assemble_riscv("nop  # hash comment\nnop // slash comment")
+        assert len(p) == 2
+
+
+class TestRejections:
+    def test_general_zero_use_rejected(self):
+        with pytest.raises(IsaError):
+            assemble_riscv("sub a0, zero, a1")
+        with pytest.raises(IsaError):
+            assemble_riscv("ld a0, 0(zero)")
+
+    def test_x31_rejected(self):
+        with pytest.raises(IsaError):
+            assemble_riscv("mv x31, a0")
+        with pytest.raises(IsaError):
+            assemble_riscv("add t6, a0, a1")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            assemble_riscv("vadd.vv v0, v1, v2")
+
+    def test_bad_register(self):
+        with pytest.raises(IsaError):
+            assemble_riscv("mv q7, a0")
+
+
+class TestSemantics:
+    def test_executes_on_the_core(self):
+        src = """
+            li  a0, 6
+            li  a1, 7
+            mul a2, a0, a1
+            sd  a2, 0(sp)
+            ld  a3, 0(sp)
+            ret
+        """
+        program = assemble_riscv(src)
+        state = MachineState(regs={"x2": 0x1000})
+        Core().execute(program, state)
+        assert state.regs["x12"] == 42
+        assert state.regs["x13"] == 42
+
+    def test_branch_semantics(self):
+        src = """
+            bltu a0, a1, small
+            li a2, 1
+            ret
+        small:
+            li a2, 2
+            ret
+        """
+        program = assemble_riscv(src)
+        lo = MachineState(regs={"x10": 1, "x11": 5})
+        Core().execute(program, lo)
+        assert lo.regs["x12"] == 2
+        hi = MachineState(regs={"x10": 9, "x11": 5})
+        Core().execute(program, hi)
+        assert hi.regs["x12"] == 1
+
+    def test_lifts_and_symbolically_executes(self):
+        src = """
+            ld  a2, 0(a0)
+            bge a1, a4, end
+            add a3, a5, a2
+            ld  a6, 0(a3)
+        end:
+            ret
+        """
+        result = execute(lift(assemble_riscv(src)))
+        assert len(result) == 2
+
+    def test_full_pipeline_finds_speculative_leak(self):
+        from repro.core import TestCaseGenerator
+        from repro.hw import ExperimentPlatform
+        from repro.obs import MspecModel
+        from repro.utils.rng import SplittableRandom
+
+        src = """
+            ld  a2, 0(a0)
+            bge a1, a4, end
+            add a3, a5, a2
+            ld  a6, 0(a3)
+        end:
+            ret
+        """
+        asm = assemble_riscv(src, name="rv")
+        gen = TestCaseGenerator(asm, MspecModel(), rng=SplittableRandom(3))
+        platform = ExperimentPlatform()
+        hits = 0
+        for _ in range(6):
+            tc = gen.generate()
+            if tc is None:
+                continue
+            hits += platform.run_experiment(
+                asm, tc.state1, tc.state2, tc.train
+            ).distinguishable
+        assert hits > 0

@@ -1,0 +1,147 @@
+"""Unit tests for the new-channel observation models and campaigns."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsKind, ObsTag
+from repro.hw.platform import Channel, ExperimentPlatform, PlatformConfig
+from repro.isa.assembler import assemble
+from repro.isa.lifter import lift
+from repro.obs.base import AttackerRegion
+from repro.obs.channels import MpageRefinedModel, MtimeRefinedModel
+from repro.symbolic.executor import execute
+
+REGION = AttackerRegion(61, 127)
+
+
+def observations(program):
+    return [
+        stmt
+        for _lbl, stmt in program.statements()
+        if isinstance(stmt, Observe)
+    ]
+
+
+class TestMpageRefined:
+    def test_base_line_refined_page(self, stride_program):
+        augmented = MpageRefinedModel(REGION).augment(lift(stride_program))
+        obs = observations(augmented)
+        base = [o for o in obs if o.tag is ObsTag.BASE]
+        refined = [o for o in obs if o.tag is ObsTag.REFINED]
+        assert all(o.kind is ObsKind.CACHE_LINE for o in base)
+        assert all(o.kind is ObsKind.PAGE for o in refined)
+        assert len(base) == len(refined) == 3
+
+    def test_page_expr_semantics(self):
+        model = MpageRefinedModel(REGION)
+        e = model.page_expr(E.var("a"))
+        assert E.evaluate(e, E.Valuation(regs={"a": 0x5FFF})) == 5
+
+    def test_has_refinement(self):
+        assert MpageRefinedModel(REGION).has_refinement
+
+
+class TestMtimeRefined:
+    def test_observes_multiplier_operand(self):
+        augmented = MtimeRefinedModel().augment(
+            lift(assemble("mul x2, x0, x1\nret"))
+        )
+        refined = [
+            o for o in observations(augmented) if o.tag is ObsTag.REFINED
+        ]
+        assert len(refined) == 1
+        assert refined[0].kind is ObsKind.OPERAND
+        assert refined[0].exprs[0] == E.var("x1")
+
+    def test_pc_base_observations(self):
+        augmented = MtimeRefinedModel().augment(
+            lift(assemble("mul x2, x0, x1\nadd x3, x2, x0\nret"))
+        )
+        base = [o for o in observations(augmented) if o.tag is ObsTag.BASE]
+        assert all(o.kind is ObsKind.PC for o in base)
+        assert len(base) == 3
+
+    def test_non_mul_arithmetic_unobserved(self):
+        augmented = MtimeRefinedModel().augment(
+            lift(assemble("add x2, x0, x1\nret"))
+        )
+        assert all(
+            o.tag is not ObsTag.REFINED for o in observations(augmented)
+        )
+
+
+class TestChannelsEndToEnd:
+    def test_tlb_channel_distinguishes_pages_not_lines(self):
+        program = assemble("ldr x1, [x0]\nret")
+        platform = ExperimentPlatform(PlatformConfig(channel=Channel.TLB))
+        from repro.hw.platform import StateInputs
+
+        same_line_other_page = platform.run_experiment(
+            program,
+            StateInputs(regs={"x0": 0x2040}),
+            StateInputs(regs={"x0": 0x2040 + 0x2000}),  # same set, new page
+        )
+        assert same_line_other_page.distinguishable
+        same_page = platform.run_experiment(
+            program,
+            StateInputs(regs={"x0": 0x2040}),
+            StateInputs(regs={"x0": 0x2080}),  # same page, different line
+        )
+        assert not same_page.distinguishable
+
+    def test_time_channel_distinguishes_mul_magnitude(self):
+        program = assemble("mul x2, x0, x1\nret")
+        platform = ExperimentPlatform(PlatformConfig(channel=Channel.TIME))
+        from repro.hw.platform import StateInputs
+
+        result = platform.run_experiment(
+            program,
+            StateInputs(regs={"x0": 3, "x1": 5}),
+            StateInputs(regs={"x0": 3, "x1": 1 << 60}),
+        )
+        assert result.distinguishable
+        result = platform.run_experiment(
+            program,
+            StateInputs(regs={"x0": 3, "x1": 5}),
+            StateInputs(regs={"x0": 4, "x1": 9}),  # same chunk count
+        )
+        assert not result.distinguishable
+
+    def test_tlb_campaign_shapes(self):
+        from repro.exps import tlb_campaign
+        from repro.pipeline import ScamV
+
+        unref = ScamV(
+            tlb_campaign(refined=False, num_programs=4, tests_per_program=8, seed=9)
+        ).run().stats
+        refined = ScamV(
+            tlb_campaign(refined=True, num_programs=4, tests_per_program=8, seed=9)
+        ).run().stats
+        assert refined.counterexamples > 0
+        assert refined.counterexample_rate > unref.counterexample_rate
+
+    def test_timing_campaign_shapes(self):
+        from repro.exps import timing_campaign
+        from repro.pipeline import ScamV
+
+        refined = ScamV(
+            timing_campaign(refined=True, num_programs=4, tests_per_program=8, seed=9)
+        ).run().stats
+        assert refined.counterexamples > 0
+
+    def test_timing_sound_on_constant_time_core(self):
+        from repro.exps import timing_campaign
+        from repro.hw.core import CoreConfig
+        from repro.pipeline import ScamV
+
+        stats = ScamV(
+            timing_campaign(
+                refined=True,
+                num_programs=4,
+                tests_per_program=8,
+                seed=9,
+                core=CoreConfig(variable_time_multiply=False),
+            )
+        ).run().stats
+        assert stats.counterexamples == 0

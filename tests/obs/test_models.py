@@ -1,0 +1,173 @@
+"""Unit tests for the observational models (augmentation passes)."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.stmt import Observe
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import ObservationModelError
+from repro.isa.lifter import lift
+from repro.obs.base import AttackerRegion
+from repro.obs.models import (
+    MctModel,
+    MlineModel,
+    MpartModel,
+    MpartRefinedModel,
+    MpcModel,
+    MspecModel,
+    MspecOneLoadModel,
+    MspecStraightLineModel,
+)
+from repro.symbolic.executor import execute
+
+REGION = AttackerRegion(61, 127)
+
+
+def observations(program):
+    return [
+        stmt
+        for _label, stmt in program.statements()
+        if isinstance(stmt, Observe)
+    ]
+
+
+class TestAttackerRegion:
+    def test_bounds_validated(self):
+        with pytest.raises(ObservationModelError):
+            AttackerRegion(100, 50)
+        with pytest.raises(ObservationModelError):
+            AttackerRegion(0, 128)
+
+    def test_contains_set(self):
+        assert REGION.contains_set(61)
+        assert REGION.contains_set(127)
+        assert not REGION.contains_set(60)
+
+    def test_line_expr_semantics(self):
+        val = E.Valuation(regs={"a": 93 * 64 + 5})
+        assert E.evaluate(REGION.line_expr(E.var("a")), val) == 93
+
+    def test_contains_expr_semantics(self):
+        e = REGION.contains_expr(E.var("a"))
+        assert E.evaluate(e, E.Valuation(regs={"a": 61 * 64})) == 1
+        assert E.evaluate(e, E.Valuation(regs={"a": 60 * 64})) == 0
+        # Set indexes wrap modulo the cache size.
+        assert E.evaluate(e, E.Valuation(regs={"a": (128 + 61) * 64})) == 1
+
+
+class TestMpc:
+    def test_one_pc_observation_per_instruction(self, template_a):
+        augmented = MpcModel().augment(lift(template_a))
+        obs = observations(augmented)
+        assert all(o.kind is ObsKind.PC for o in obs)
+        assert len(obs) == len(template_a)
+
+    def test_pc_values_are_instruction_indices(self, stride_program):
+        augmented = MpcModel().augment(lift(stride_program))
+        values = [o.exprs[0].value for o in observations(augmented)]
+        assert values == list(range(len(stride_program)))
+
+
+class TestMline:
+    def test_observes_line_of_each_access(self, stride_program):
+        augmented = MlineModel(REGION).augment(lift(stride_program))
+        obs = observations(augmented)
+        assert len(obs) == 3
+        assert all(o.kind is ObsKind.CACHE_LINE for o in obs)
+
+
+class TestMpart:
+    def test_guarded_observation_per_access(self, stride_program):
+        augmented = MpartModel(REGION).augment(lift(stride_program))
+        obs = observations(augmented)
+        assert len(obs) == 3
+        assert all(o.tag is ObsTag.BASE for o in obs)
+        assert all(o.guard != E.TRUE for o in obs)
+
+    def test_no_refinement_flag(self):
+        assert not MpartModel(REGION).has_refinement
+        assert MpartRefinedModel(REGION).has_refinement
+
+    def test_refined_adds_complement_guard(self, stride_program):
+        augmented = MpartRefinedModel(REGION).augment(lift(stride_program))
+        obs = observations(augmented)
+        assert len(obs) == 6
+        refined = [o for o in obs if o.tag is ObsTag.REFINED]
+        assert len(refined) == 3
+
+    def test_symbolic_guards_partition(self, stride_program):
+        # At any concrete address exactly one of (BASE, REFINED) guard holds.
+        augmented = MpartRefinedModel(REGION).augment(lift(stride_program))
+        result = execute(augmented)
+        path = result[0]
+        base = path.base_observations()
+        refined = path.refined_only_observations()
+        val = E.Valuation(regs={"x0": 62 * 64})
+        for b, r in zip(base, refined):
+            assert E.evaluate(b.guard, val) != E.evaluate(r.guard, val)
+
+
+class TestMct:
+    def test_pc_and_addresses_observed(self, template_a):
+        augmented = MctModel().augment(lift(template_a))
+        kinds = [o.kind for o in observations(augmented)]
+        assert kinds.count(ObsKind.PC) == len(template_a)
+        assert kinds.count(ObsKind.LOAD_ADDR) == 2
+
+    def test_store_observed(self):
+        from repro.isa.assembler import assemble
+
+        augmented = MctModel().augment(lift(assemble("str x1, [x2]\nret")))
+        kinds = [o.kind for o in observations(augmented)]
+        assert ObsKind.STORE_ADDR in kinds
+
+    def test_no_refined_observations(self, template_a):
+        augmented = MctModel().augment(lift(template_a))
+        assert all(o.tag is ObsTag.BASE for o in observations(augmented))
+
+
+class TestMspec:
+    def test_transient_loads_refined(self, template_a):
+        augmented = MspecModel().augment(lift(template_a))
+        refined = [
+            o for o in observations(augmented) if o.tag is ObsTag.REFINED
+        ]
+        assert len(refined) == 1
+        assert refined[0].kind is ObsKind.SPEC_LOAD_ADDR
+
+    def test_both_transient_loads_observed(self, template_c):
+        augmented = MspecModel().augment(lift(template_c))
+        refined = [
+            o for o in observations(augmented) if o.tag is ObsTag.REFINED
+        ]
+        assert len(refined) == 2
+
+    def test_mspec1_first_load_is_base(self, template_c):
+        augmented = MspecOneLoadModel().augment(lift(template_c))
+        spec = [
+            o
+            for o in observations(augmented)
+            if o.kind is ObsKind.SPEC_LOAD_ADDR
+        ]
+        assert [o.tag for o in spec] == [ObsTag.BASE, ObsTag.REFINED]
+
+    def test_mspec1_on_single_load_arm_has_no_refined(self, template_a):
+        augmented = MspecOneLoadModel().augment(lift(template_a))
+        assert all(
+            o.tag is not ObsTag.REFINED for o in observations(augmented)
+        )
+
+
+class TestMspecStraightLine:
+    def test_dead_loads_observed(self, template_d):
+        augmented = MspecStraightLineModel().augment(lift(template_d))
+        refined = [
+            o for o in observations(augmented) if o.tag is ObsTag.REFINED
+        ]
+        assert len(refined) == 1
+
+    def test_architectural_path_carries_refined_obs(self, template_d):
+        augmented = MspecStraightLineModel().augment(lift(template_d))
+        result = execute(augmented)
+        assert len(result) == 1
+        assert len(result[0].refined_only_observations()) == 1

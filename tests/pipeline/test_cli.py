@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAttack:
+    def test_v1(self, capsys):
+        assert main(["attack", "v1"]) == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+
+    def test_classify(self, capsys):
+        assert main(["attack", "classify"]) == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_runs_and_prints_table(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--experiment",
+                "mct-a",
+                "--refined",
+                "--programs",
+                "2",
+                "--tests",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Experiments" in out
+        assert "Counterexample" in out
+
+    def test_database_output(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        code = main(
+            [
+                "validate",
+                "--experiment",
+                "timing",
+                "--refined",
+                "--programs",
+                "2",
+                "--tests",
+                "4",
+                "--db",
+                str(db),
+            ]
+        )
+        assert code == 0
+        assert db.exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--experiment", "nonsense"])
+
+
+class TestRepair:
+    def test_repair_succeeds(self, capsys):
+        code = main(
+            [
+                "repair",
+                "--experiment",
+                "timing",
+                "--programs",
+                "2",
+                "--tests",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "repaired after" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_fig7_small(self, capsys):
+        code = main(["fig7", "--programs", "1", "--tests", "2"])
+        assert code == 0
+        assert "Fig. 7 table" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Unit tests for campaign metrics, the database, and the driver."""
+
+import pytest
+
+from repro.core.testgen import TestGenConfig
+from repro.exps import mct_campaign
+from repro.gen.templates import StrideTemplate, TemplateA
+from repro.hw.platform import PlatformConfig, StateInputs
+from repro.obs.base import AttackerRegion
+from repro.obs.models import MctModel, MpartRefinedModel, MspecModel
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.database import ExperimentDatabase
+from repro.pipeline.driver import ScamV
+from repro.pipeline.metrics import CampaignStats, format_table, ratio
+
+
+class TestMetrics:
+    def test_averages(self):
+        stats = CampaignStats(
+            name="x", experiments=4, gen_time_total=2.0, exe_time_total=8.0
+        )
+        assert stats.avg_gen_time == 0.5
+        assert stats.avg_exe_time == 2.0
+
+    def test_zero_experiments_safe(self):
+        stats = CampaignStats(name="x")
+        assert stats.avg_gen_time == 0.0
+        assert stats.counterexample_rate == 0.0
+
+    def test_row_layout_matches_table1(self):
+        row = CampaignStats(name="x").as_row()
+        assert list(row) == [
+            "Programs",
+            "Prog. w. Count.",
+            "Experiments",
+            "- Counterexample",
+            "- Inconclusive",
+            "- Avg. Gen. time (s)",
+            "- Avg. Exe. time (s)",
+            "- T.T.C. (s)",
+        ]
+
+    def test_ttc_dash_when_absent(self):
+        assert CampaignStats(name="x").as_row()["- T.T.C. (s)"] == "-"
+
+    def test_format_table(self):
+        a = CampaignStats(name="left", programs=3)
+        b = CampaignStats(name="right", programs=5)
+        text = format_table([a, b], title="T")
+        assert "T" in text
+        assert "left" in text and "right" in text
+        assert format_table([]) == "(no campaigns)"
+
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) is None
+
+
+class TestDatabase:
+    def test_round_trip(self):
+        with ExperimentDatabase() as db:
+            cid = db.add_campaign("camp", "desc")
+            pid = db.add_program(cid, "p0", "A", "ret", {"k": 1})
+            s = StateInputs(regs={"x0": 1}, memory={8: 2})
+            db.add_experiment(pid, "counterexample", s, s, None, 0.1, 0.2)
+            db.add_experiment(pid, "pass", s, s, s, 0.1, 0.2)
+            assert db.experiment_count(cid) == 2
+            assert db.outcome_counts(cid) == {"counterexample": 1, "pass": 1}
+            assert db.programs_with_outcome(cid, "counterexample") == 1
+            rows = db.counterexamples(cid)
+            assert len(rows) == 1
+            assert rows[0][0] == "p0"
+
+    def test_campaign_isolation(self):
+        with ExperimentDatabase() as db:
+            c1 = db.add_campaign("one")
+            c2 = db.add_campaign("two")
+            p1 = db.add_program(c1, "p", "A", "ret")
+            s = StateInputs()
+            db.add_experiment(p1, "pass", s, s, None, 0, 0)
+            assert db.experiment_count(c1) == 1
+            assert db.experiment_count(c2) == 0
+
+
+class TestDriver:
+    def _config(self, **kwargs):
+        defaults = dict(
+            name="tiny",
+            template=TemplateA(),
+            model=MspecModel(),
+            num_programs=2,
+            tests_per_program=3,
+            seed=3,
+        )
+        defaults.update(kwargs)
+        return CampaignConfig(**defaults)
+
+    def test_runs_and_counts(self):
+        result = ScamV(self._config()).run()
+        stats = result.stats
+        assert stats.programs == 2
+        assert stats.experiments + stats.generation_failures == 6
+        assert len(result.records) == stats.experiments
+
+    def test_counterexamples_accessor(self):
+        result = ScamV(self._config()).run()
+        assert len(result.counterexamples()) == result.stats.counterexamples
+
+    def test_deterministic_given_seed(self):
+        a = ScamV(self._config()).run().stats
+        b = ScamV(self._config()).run().stats
+        assert a.counterexamples == b.counterexamples
+        assert a.experiments == b.experiments
+
+    def test_database_records(self):
+        with ExperimentDatabase() as db:
+            result = ScamV(self._config(), database=db).run()
+            counts = db.outcome_counts(1)
+            assert sum(counts.values()) == result.stats.experiments
+
+    def test_progress_callback(self):
+        messages = []
+        ScamV(self._config()).run(progress=messages.append)
+        assert len(messages) == 2
+        assert "tiny" in messages[0]
+
+    def test_ttc_set_when_counterexamples_found(self):
+        cfg = mct_campaign("A", refined=True, num_programs=2, tests_per_program=5, seed=1)
+        stats = ScamV(cfg).run().stats
+        if stats.counterexamples:
+            assert stats.time_to_counterexample is not None
+
+    def test_describe_mentions_refinement(self):
+        assert "refinement=yes" in self._config().describe()
+        cfg = self._config(model=MctModel())
+        assert "refinement=no" in cfg.describe()

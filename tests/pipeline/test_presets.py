@@ -1,0 +1,113 @@
+"""Unit tests for the experiment presets (repro.exps)."""
+
+import pytest
+
+from repro.core.coverage import MagnitudeCoverage, MlineCoverage, NoCoverage
+from repro.exps import (
+    ATTACKER_SETS_PAGE_ALIGNED,
+    ATTACKER_SETS_UNALIGNED,
+    REGION_PAGE_ALIGNED,
+    REGION_UNALIGNED,
+    mct_campaign,
+    mpart_campaign,
+    mspec1_campaign,
+    straightline_campaign,
+    timing_campaign,
+    tlb_campaign,
+)
+from repro.hw.platform import Channel
+from repro.obs.models import (
+    MctModel,
+    MlineModel,
+    MpartModel,
+    MpartRefinedModel,
+    MpcModel,
+    MspecModel,
+    MspecOneLoadModel,
+    MspecStraightLineModel,
+)
+from repro.obs.channels import MpageRefinedModel, MtimeRefinedModel
+
+
+class TestRegions:
+    def test_unaligned_region_matches_paper(self):
+        # §6.2: AR(v) := 61 <= line(v) <= 127
+        assert REGION_UNALIGNED.lo_set == 61
+        assert REGION_UNALIGNED.hi_set == 127
+        assert ATTACKER_SETS_UNALIGNED == tuple(range(61, 128))
+
+    def test_page_aligned_region_matches_paper(self):
+        # §6.2: AR(v) := 64 <= line(v) <= 127 (one 4 KiB page of sets)
+        assert REGION_PAGE_ALIGNED.lo_set == 64
+        assert ATTACKER_SETS_PAGE_ALIGNED == tuple(range(64, 128))
+
+
+class TestMpartPresets:
+    def test_refined_wiring(self):
+        cfg = mpart_campaign(refined=True)
+        assert isinstance(cfg.model, MpartRefinedModel)
+        assert isinstance(cfg.coverage, MlineCoverage)
+        assert cfg.model.has_refinement
+        assert cfg.platform.attacker_sets == ATTACKER_SETS_UNALIGNED
+
+    def test_unrefined_wiring(self):
+        cfg = mpart_campaign(refined=False)
+        assert isinstance(cfg.model, MpartModel)
+        assert isinstance(cfg.coverage, NoCoverage)
+        assert not cfg.model.has_refinement
+
+    def test_page_aligned_wiring(self):
+        cfg = mpart_campaign(refined=True, page_aligned=True)
+        assert cfg.model.region == REGION_PAGE_ALIGNED
+        assert cfg.platform.attacker_sets == ATTACKER_SETS_PAGE_ALIGNED
+
+    def test_noise_default_matches_paper_rates(self):
+        # ~26% inconclusive over 20 measured runs -> ~1.5% per run.
+        cfg = mpart_campaign(refined=True)
+        assert 0.005 <= cfg.platform.noise_rate <= 0.03
+
+
+class TestSpeculationPresets:
+    @pytest.mark.parametrize("template", ["A", "B", "C"])
+    def test_mct_wiring(self, template):
+        refined = mct_campaign(template, refined=True)
+        assert isinstance(refined.model, MspecModel)
+        unrefined = mct_campaign(template, refined=False)
+        assert isinstance(unrefined.model, MctModel)
+        assert refined.template.name == template
+
+    def test_mspec1_wiring(self):
+        cfg = mspec1_campaign("B")
+        assert isinstance(cfg.model, MspecOneLoadModel)
+
+    def test_straightline_wiring(self):
+        cfg = straightline_campaign()
+        assert isinstance(cfg.model, MspecStraightLineModel)
+        assert cfg.template.name == "D"
+        assert cfg.platform.noise_rate == 0.0
+
+    def test_full_cache_attacker(self):
+        assert mct_campaign("A", refined=True).platform.attacker_sets is None
+
+
+class TestChannelPresets:
+    def test_tlb_wiring(self):
+        refined = tlb_campaign(refined=True)
+        assert isinstance(refined.model, MpageRefinedModel)
+        assert refined.platform.channel is Channel.TLB
+        unrefined = tlb_campaign(refined=False)
+        assert isinstance(unrefined.model, MlineModel)
+
+    def test_timing_wiring(self):
+        refined = timing_campaign(refined=True)
+        assert isinstance(refined.model, MtimeRefinedModel)
+        assert isinstance(refined.coverage, MagnitudeCoverage)
+        assert refined.platform.channel is Channel.TIME
+        unrefined = timing_campaign(refined=False)
+        assert isinstance(unrefined.model, MpcModel)
+
+    def test_scaling_parameters_propagate(self):
+        cfg = tlb_campaign(refined=True, num_programs=7, tests_per_program=9, seed=5)
+        assert cfg.num_programs == 7
+        assert cfg.tests_per_program == 9
+        assert cfg.seed == 5

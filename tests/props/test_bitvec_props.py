@@ -1,0 +1,71 @@
+"""Property-based tests for bit-vector arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils import bitvec
+
+widths = st.sampled_from([1, 8, 16, 32, 64])
+values = st.integers(min_value=-(2**65), max_value=2**65)
+
+
+@given(values, widths)
+def test_truncate_idempotent(v, w):
+    once = bitvec.truncate(v, w)
+    assert bitvec.truncate(once, w) == once
+    assert 0 <= once < (1 << w)
+
+
+@given(values, widths)
+def test_signed_unsigned_roundtrip(v, w):
+    u = bitvec.truncate(v, w)
+    assert bitvec.to_unsigned(bitvec.to_signed(u, w), w) == u
+
+
+@given(values, values, widths)
+def test_add_matches_modular_arithmetic(a, b, w):
+    assert bitvec.bv_add(a, b, w) == (a + b) % (1 << w)
+
+
+@given(values, values, widths)
+def test_sub_is_add_of_negation(a, b, w):
+    neg_b = bitvec.bv_sub(0, b, w)
+    assert bitvec.bv_sub(a, b, w) == bitvec.bv_add(a, neg_b, w)
+
+
+@given(values, widths)
+def test_not_is_involution(a, w):
+    t = bitvec.truncate(a, w)
+    assert bitvec.bv_not(bitvec.bv_not(t, w), w) == t
+
+
+@given(values, values, widths)
+def test_xor_cancels(a, b, w):
+    x = bitvec.bv_xor(a, b, w)
+    assert bitvec.bv_xor(x, b, w) == bitvec.truncate(a, w)
+
+
+@given(values, st.integers(min_value=0, max_value=130), widths)
+def test_shl_matches_multiplication(a, s, w):
+    expected = (bitvec.truncate(a, w) << s) % (1 << w) if s < w else 0
+    assert bitvec.bv_shl(a, s, w) == expected
+
+
+@given(values, st.integers(min_value=0, max_value=130), widths)
+def test_lshr_matches_floor_division(a, s, w):
+    expected = bitvec.truncate(a, w) >> s if s < w else 0
+    assert bitvec.bv_lshr(a, s, w) == expected
+
+
+@given(values, st.integers(min_value=0, max_value=130), widths)
+def test_ashr_preserves_sign(a, s, w):
+    out = bitvec.bv_ashr(a, s, w)
+    assert (bitvec.to_signed(out, w) < 0) == (bitvec.to_signed(a, w) < 0) or out in (
+        0,
+        bitvec.mask(w),
+    )
+
+
+@given(values, widths)
+def test_sign_extend_preserves_value(a, w):
+    extended = bitvec.sign_extend(a, w, 64)
+    assert bitvec.to_signed(extended, 64) == bitvec.to_signed(a, w)

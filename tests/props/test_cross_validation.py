@@ -1,0 +1,123 @@
+"""Cross-validation properties tying the layers together.
+
+1. **Lifter vs. hardware**: for random template programs and random input
+   states, the architectural register results of the simulated core must
+   equal the BIR path semantics (pick the satisfied path, evaluate its
+   final environment).
+2. **Observation consistency**: the addresses Mct observes symbolically
+   must equal the demand-load addresses the hardware actually issues.
+3. **Solver soundness**: every model returned by the model finder satisfies
+   all its constraints.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bir import expr as E
+from repro.bir.tags import ObsKind
+from repro.gen.templates import StrideTemplate, TemplateA, TemplateB, TemplateC
+from repro.hw.core import Core, CoreConfig
+from repro.hw.state import MachineState, Memory
+from repro.isa.lifter import lift
+from repro.obs.models import MctModel
+from repro.smt.solver import ModelFinder, SolverConfig
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+TEMPLATES = [StrideTemplate(), TemplateA(), TemplateB(), TemplateC()]
+
+reg_values = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def _program(seed, template_index):
+    template = TEMPLATES[template_index % len(TEMPLATES)]
+    return template.generate(SplittableRandom(seed)).asm
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    template_index=st.integers(min_value=0, max_value=3),
+    raw_regs=st.lists(reg_values, min_size=8, max_size=8),
+    mem_value=reg_values,
+)
+@settings(max_examples=60, deadline=None)
+def test_hardware_agrees_with_bir_semantics(
+    seed, template_index, raw_regs, mem_value
+):
+    asm = _program(seed, template_index)
+    inputs = list(asm.input_registers())
+    regs = {
+        reg.name: raw_regs[i % len(raw_regs)] for i, reg in enumerate(inputs)
+    }
+    memory = {0x1000: mem_value}
+
+    # Hardware run (speculation cannot change architectural results).
+    core = Core(CoreConfig())
+    hw_state = MachineState(regs=dict(regs), memory=Memory(dict(memory)))
+    core.execute(asm, hw_state)
+
+    # Symbolic run: find the satisfied path, evaluate its final env.
+    result = execute(lift(asm))
+    val = E.Valuation(regs=dict(regs), mems={"MEM": dict(memory)})
+    matching = [
+        p for p in result if E.evaluate(p.condition_expr(), val) == 1
+    ]
+    assert len(matching) == 1, "exactly one path condition must hold"
+    path = matching[0]
+    for name, symbolic_value in path.final_env.items():
+        if not name.startswith("x"):
+            continue  # hidden comparison state has no hardware counterpart
+        assert hw_state.regs[name] == E.evaluate(symbolic_value, val), name
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    template_index=st.integers(min_value=0, max_value=3),
+    raw_regs=st.lists(reg_values, min_size=8, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_observed_addresses_match_hardware_loads(seed, template_index, raw_regs):
+    asm = _program(seed, template_index)
+    inputs = list(asm.input_registers())
+    regs = {
+        reg.name: raw_regs[i % len(raw_regs)] for i, reg in enumerate(inputs)
+    }
+
+    core = Core(CoreConfig())
+    hw_state = MachineState(regs=dict(regs))
+    trace = core.execute(asm, hw_state)
+
+    result = execute(MctModel().augment(lift(asm)))
+    val = E.Valuation(regs=dict(regs))
+    path = next(
+        p for p in result if E.evaluate(p.condition_expr(), val) == 1
+    )
+    observed = [
+        E.evaluate(o.exprs[0], val)
+        for o in path.observations
+        if o.kind in (ObsKind.LOAD_ADDR, ObsKind.STORE_ADDR)
+    ]
+    assert observed == trace.load_addresses + trace.store_addresses or observed == (
+        trace.load_addresses
+    )
+
+
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=3
+    ),
+    bound=st.integers(min_value=1, max_value=2**32),
+)
+@settings(max_examples=40, deadline=None)
+def test_solver_models_satisfy_constraints(seeds, bound):
+    constraints = [
+        E.ult(E.var("a"), E.const(bound)),
+        E.eq(E.add(E.var("a"), E.var("b")), E.add(E.var("c"), E.var("d"))),
+        E.ne(E.var("c"), E.var("d")),
+    ]
+    for seed in seeds:
+        model = ModelFinder(SolverConfig(), SplittableRandom(seed)).solve(
+            constraints
+        )
+        assert model is not None
+        for c in constraints:
+            assert model.evaluate(c) == 1

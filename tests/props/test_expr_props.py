@@ -1,0 +1,100 @@
+"""Property-based tests over the expression language.
+
+The central invariants:
+
+* ``simplify`` preserves semantics under every valuation,
+* the compiled evaluator agrees with the tree-walking evaluator,
+* substitution commutes with evaluation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bir import expr as E
+from repro.bir.simp import simplify
+from repro.smt.compiled import compile_expr
+
+VAR_NAMES = ["a", "b", "c", "d"]
+WIDTH = 64
+
+
+def leaf():
+    return st.one_of(
+        st.integers(min_value=0, max_value=2**64 - 1).map(
+            lambda v: E.Const(v, WIDTH)
+        ),
+        st.sampled_from(VAR_NAMES).map(lambda n: E.Var(n, WIDTH)),
+    )
+
+
+def build_binop(children):
+    return st.tuples(
+        st.sampled_from(list(E.BinOpKind)), children, children
+    ).map(lambda t: E.BinOp(t[0], t[1], t[2]))
+
+
+def build_load(children):
+    return children.map(lambda a: E.Load(E.MemVar("MEM"), a, WIDTH))
+
+
+def build_ite(children):
+    return st.tuples(
+        st.sampled_from(list(E.CmpKind)), children, children, children, children
+    ).map(lambda t: E.Ite(E.Cmp(t[0], t[1], t[2]), t[3], t[4]))
+
+
+def exprs(max_depth=3):
+    return st.recursive(
+        leaf(),
+        lambda children: st.one_of(
+            build_binop(children),
+            build_load(children),
+            build_ite(children),
+            st.tuples(st.sampled_from(list(E.UnOpKind)), children).map(
+                lambda t: E.UnOp(t[0], t[1])
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+def valuations():
+    return st.fixed_dictionaries(
+        {name: st.integers(min_value=0, max_value=2**64 - 1) for name in VAR_NAMES}
+    ).map(lambda regs: E.Valuation(regs=regs, mems={"MEM": {0: 7, 64: 9}}))
+
+
+@given(exprs(), valuations())
+@settings(max_examples=150)
+def test_simplify_preserves_semantics(expr, valuation):
+    assert E.evaluate(expr, valuation) == E.evaluate(simplify(expr), valuation)
+
+
+@given(exprs(), valuations())
+@settings(max_examples=150)
+def test_compiled_matches_tree_walk(expr, valuation):
+    fn = compile_expr(expr)
+    assert fn(valuation.regs, valuation.read_mem) == E.evaluate(expr, valuation)
+
+
+@given(exprs(), valuations(), st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=100)
+def test_substitution_commutes_with_evaluation(expr, valuation, value):
+    # Substituting a constant for `a`, then evaluating, equals evaluating
+    # with `a` bound to that constant.
+    substituted = E.substitute(expr, {E.Var("a", WIDTH): E.Const(value, WIDTH)})
+    valuation.regs["a"] = value
+    assert E.evaluate(substituted, valuation) == E.evaluate(expr, valuation)
+
+
+@given(exprs())
+@settings(max_examples=100)
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    assert simplify(once) == once
+
+
+@given(exprs())
+@settings(max_examples=100)
+def test_walk_reaches_all_variables(expr):
+    names = {v.name for v in expr.variables()}
+    assert names <= set(VAR_NAMES)

@@ -1,0 +1,101 @@
+"""Property-based tests for the hardware substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import Cache, CacheConfig
+from repro.hw.predictor import BranchPredictor
+from repro.hw.prefetcher import PrefetcherConfig, StridePrefetcher
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(st.lists(addresses, max_size=60))
+@settings(max_examples=80)
+def test_cache_capacity_invariant(addrs):
+    cfg = CacheConfig(sets=8, ways=2, line_size=64)
+    cache = Cache(cfg)
+    for addr in addrs:
+        cache.access(addr)
+    snapshot = cache.snapshot()
+    assert all(len(tags) <= cfg.ways for tags in snapshot.tags_per_set)
+    assert cache.hits + cache.misses == len(addrs)
+
+
+@given(st.lists(addresses, max_size=60))
+@settings(max_examples=80)
+def test_cache_most_recent_access_resident(addrs):
+    cache = Cache(CacheConfig(sets=8, ways=2, line_size=64))
+    for addr in addrs:
+        cache.access(addr)
+        assert cache.contains(addr)
+
+
+@given(st.lists(addresses, max_size=40))
+@settings(max_examples=60)
+def test_flush_all_empties(addrs):
+    cache = Cache()
+    for addr in addrs:
+        cache.access(addr)
+    cache.flush_all()
+    assert len(cache.snapshot()) == 0
+    assert not any(cache.contains(a) for a in addrs)
+
+
+@given(st.lists(addresses, max_size=40))
+@settings(max_examples=60)
+def test_snapshot_deterministic_function_of_accesses(addrs):
+    a, b = Cache(), Cache()
+    for addr in addrs:
+        a.access(addr)
+        b.access(addr)
+    assert a.snapshot() == b.snapshot()
+
+
+@given(
+    base=st.integers(min_value=0, max_value=2**20),
+    stride=st.integers(min_value=-512, max_value=512).filter(lambda s: s != 0),
+    count=st.integers(min_value=3, max_value=10),
+)
+@settings(max_examples=80)
+def test_prefetcher_never_crosses_pages(base, stride, count):
+    pf = StridePrefetcher(PrefetcherConfig(page_size=4096))
+    emitted = []
+    last = None
+    for i in range(count):
+        last = base + i * stride
+        if last < 0:
+            return
+        emitted.extend((last, t) for t in pf.on_load(last))
+    for source, target in emitted:
+        assert source // 4096 == target // 4096
+
+
+@given(
+    base=st.integers(min_value=0, max_value=2**20),
+    stride=st.integers(min_value=1, max_value=512),
+)
+@settings(max_examples=80)
+def test_prefetch_targets_continue_the_stride(base, stride):
+    pf = StridePrefetcher(PrefetcherConfig(page_size=0))
+    targets = []
+    for i in range(4):
+        targets = pf.on_load(base + i * stride)
+    assert targets == [base + 4 * stride] or targets == []
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=30))
+@settings(max_examples=80)
+def test_predictor_counter_bounded(outcomes):
+    predictor = BranchPredictor()
+    for taken in outcomes:
+        predictor.update(12, taken)
+        assert 0 <= predictor.counter(12) <= 3
+
+
+@given(st.integers(min_value=1, max_value=10))
+@settings(max_examples=30)
+def test_predictor_converges_to_training(rounds):
+    predictor = BranchPredictor()
+    for _ in range(rounds + 2):
+        predictor.update(8, True)
+    assert predictor.predict(8)

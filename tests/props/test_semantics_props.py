@@ -1,0 +1,108 @@
+"""Property: the three execution semantics agree.
+
+For random template programs and random concrete inputs:
+
+* the concrete BIR interpreter's observation trace must equal the
+  satisfied symbolic path's observation list, evaluated at the inputs
+  (symbolic-vs-concrete agreement on *augmented* programs);
+* the parser round-trip must preserve the concrete trace.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bir import expr as E
+from repro.bir.parser import parse_program
+from repro.bir.printer import format_program
+from repro.gen.templates import MulTemplate, StrideTemplate, TemplateA, TemplateC
+from repro.hw.platform import StateInputs
+from repro.isa.lifter import lift
+from repro.obs.base import AttackerRegion
+from repro.obs.channels import MtimeRefinedModel
+from repro.obs.models import MctModel, MpartRefinedModel, MspecModel
+from repro.symbolic.concrete import run_concrete
+from repro.symbolic.executor import execute
+from repro.utils.rng import SplittableRandom
+
+TEMPLATES = [StrideTemplate(), TemplateA(), TemplateC(), MulTemplate()]
+MODELS = [
+    MctModel(),
+    MspecModel(),
+    MpartRefinedModel(AttackerRegion(61, 127)),
+    MtimeRefinedModel(),
+]
+
+reg_values = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def _setting(seed, template_index, model_index):
+    asm = TEMPLATES[template_index % len(TEMPLATES)].generate(
+        SplittableRandom(seed)
+    ).asm
+    model = MODELS[model_index % len(MODELS)]
+    return asm, model.augment(lift(asm))
+
+
+def _inputs(asm, raw_regs, mem_value):
+    regs = {
+        reg.name: raw_regs[i % len(raw_regs)]
+        for i, reg in enumerate(asm.input_registers())
+    }
+    return StateInputs(regs=regs, memory={0x2000: mem_value})
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    template_index=st.integers(min_value=0, max_value=3),
+    model_index=st.integers(min_value=0, max_value=3),
+    raw_regs=st.lists(reg_values, min_size=6, max_size=6),
+    mem_value=reg_values,
+)
+@settings(max_examples=50, deadline=None)
+def test_concrete_trace_matches_symbolic_path(
+    seed, template_index, model_index, raw_regs, mem_value
+):
+    asm, program = _setting(seed, template_index, model_index)
+    inputs = _inputs(asm, raw_regs, mem_value)
+    concrete = run_concrete(program, inputs)
+
+    val = E.Valuation(
+        regs={**{f"x{i}": 0 for i in range(31)}, **inputs.regs},
+        mems={"MEM": dict(inputs.memory)},
+    )
+    matching = [
+        p
+        for p in execute(program)
+        if E.evaluate(p.condition_expr(), val) == 1
+    ]
+    assert len(matching) == 1
+    symbolic = matching[0]
+    # Guarded observations may be dropped concretely; filter symbolically
+    # the same way before comparing.
+    expected = [
+        (o.tag, o.kind, tuple(E.evaluate(e, val) for e in o.exprs))
+        for o in symbolic.observations
+        if E.evaluate(o.guard, val) == 1
+    ]
+    got = [(o.tag, o.kind, o.values) for o in concrete.observations]
+    assert got == expected
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    template_index=st.integers(min_value=0, max_value=3),
+    model_index=st.integers(min_value=0, max_value=3),
+    raw_regs=st.lists(reg_values, min_size=6, max_size=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_parser_roundtrip_preserves_concrete_trace(
+    seed, template_index, model_index, raw_regs
+):
+    asm, program = _setting(seed, template_index, model_index)
+    inputs = _inputs(asm, raw_regs, 0x40)
+    reparsed = parse_program(format_program(program))
+    original = run_concrete(program, inputs)
+    roundtripped = run_concrete(reparsed, inputs)
+    assert [
+        (o.tag, o.values) for o in original.observations
+    ] == [(o.tag, o.values) for o in roundtripped.observations]
+    assert original.block_trace == roundtripped.block_trace

@@ -1,0 +1,107 @@
+"""Property-based stress tests for the model finder.
+
+Constraint systems are generated *satisfiable by construction*: a random
+witness assignment is drawn first and every emitted constraint is true
+under it.  The solver must then find some model (not necessarily the
+witness) satisfying everything.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bir import expr as E
+from repro.smt.solver import ModelFinder, SolverConfig
+from repro.utils.rng import SplittableRandom
+
+NAMES = ["a#1", "b#1", "c#1", "a#2", "b#2", "c#2"]
+
+
+@st.composite
+def satisfiable_system(draw):
+    witness = {
+        name: draw(st.integers(min_value=0, max_value=2**64 - 1))
+        for name in NAMES
+    }
+    val = E.Valuation(regs=witness)
+    constraints = []
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["eq", "ne", "ult", "ule", "sum", "mask"]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    name_picker = st.sampled_from(NAMES)
+    for kind in kinds:
+        x = E.var(draw(name_picker))
+        y = E.var(draw(name_picker))
+        xv = E.evaluate(x, val)
+        yv = E.evaluate(y, val)
+        if kind == "eq":
+            constraints.append(E.eq(x, E.const(xv)))
+        elif kind == "ne":
+            if xv != yv:
+                constraints.append(E.ne(x, y))
+        elif kind == "ult":
+            if xv < yv:
+                constraints.append(E.ult(x, y))
+        elif kind == "ule":
+            lo, hi = sorted((xv, yv))
+            constraints.append(E.ule(E.const(lo), E.const(hi)))
+            if xv <= yv:
+                constraints.append(E.ule(x, y))
+        elif kind == "sum":
+            total = E.add(x, y)
+            constraints.append(E.eq(total, E.const(E.evaluate(total, val))))
+        elif kind == "mask":
+            masked = E.band(x, E.const(0xFF0))
+            constraints.append(
+                E.eq(masked, E.const(E.evaluate(masked, val)))
+            )
+    return constraints
+
+
+@given(satisfiable_system(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=80, deadline=None)
+def test_solver_finds_model_for_satisfiable_systems(constraints, seed):
+    finder = ModelFinder(SolverConfig(), SplittableRandom(seed))
+    model = finder.solve(constraints)
+    assert model is not None
+    for c in constraints:
+        assert model.evaluate(c) == 1
+
+
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_solver_respects_exact_pin_chains(value, seed):
+    constraints = [
+        E.eq(E.var("a"), E.const(value)),
+        E.eq(E.var("a"), E.var("b")),
+        E.eq(E.add(E.var("b"), E.const(1)), E.var("c")),
+    ]
+    model = ModelFinder(SolverConfig(), SplittableRandom(seed)).solve(
+        constraints
+    )
+    assert model is not None
+    assert model.register("b") == value
+    assert model.register("c") == (value + 1) % 2**64
+
+
+@given(st.integers(min_value=0, max_value=127), st.integers(min_value=0, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_solver_hits_any_cache_line_class(line, seed):
+    line_expr = E.band(E.lshr(E.var("a"), E.const(6)), E.const(127))
+    constraints = [
+        E.eq(line_expr, E.const(line)),
+        E.ule(E.const(0x80000), E.var("a")),
+        E.ule(E.var("a"), E.const(0xBFFF8)),
+    ]
+    model = ModelFinder(SolverConfig(), SplittableRandom(seed)).solve(
+        constraints
+    )
+    assert model is not None
+    a = model.register("a")
+    assert (a >> 6) & 127 == line
+    assert 0x80000 <= a <= 0xBFFF8

@@ -1,0 +1,159 @@
+"""Unit tests for the structure-aware repair primitives."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.expr import evaluate
+from repro.smt.invert import try_set
+from repro.smt.valuation import LazyValuation, SamplingPolicy
+from repro.utils.rng import SplittableRandom
+
+
+def fresh_val(divergence=0.0, seed=5):
+    policy = SamplingPolicy(rng=SplittableRandom(seed), divergence=divergence)
+    return LazyValuation(policy)
+
+
+def assert_set(expr, target, val=None, rng=None):
+    val = val or fresh_val()
+    rng = rng or SplittableRandom(9)
+    assert try_set(expr, target, val, rng)
+    assert evaluate(expr, val) == target & ((1 << expr.width) - 1)
+    return val
+
+
+class TestAtoms:
+    def test_var(self):
+        val = assert_set(E.var("a"), 42)
+        assert val.register("a") == 42
+
+    def test_const_only_matches_itself(self):
+        val = fresh_val()
+        rng = SplittableRandom(1)
+        assert try_set(E.const(5), 5, val, rng)
+        assert not try_set(E.const(5), 6, val, rng)
+
+    def test_memory_cell(self):
+        val = fresh_val()
+        val.set_register("a", 0x100)
+        assert_set(E.Load(E.MemVar("MEM"), E.var("a")), 7, val)
+
+    def test_load_through_shadowing_store(self):
+        mem = E.MemStore(E.MemVar("MEM"), E.var("p"), E.var("q"))
+        val = fresh_val()
+        val.set_register("p", 8)
+        val.set_register("a", 8)  # read hits the store
+        assert_set(E.Load(mem, E.var("a")), 3, val)
+        assert val.register("q") == 3
+
+
+class TestArithmetic:
+    def test_add_with_constant(self):
+        assert_set(E.add(E.var("a"), E.const(10)), 50)
+
+    def test_sub(self):
+        assert_set(E.sub(E.var("a"), E.var("b")), 5)
+
+    def test_xor(self):
+        assert_set(E.BinOp(E.BinOpKind.XOR, E.var("a"), E.const(0xFF)), 0xA5)
+
+    def test_and_mask_field(self):
+        e = E.band(E.var("a"), E.const(0xFF0))
+        val = assert_set(e, 0x120)
+        # Only the masked field may constrain a; the rest is free.
+        assert val.register("a") & 0xFF0 == 0x120
+
+    def test_and_unreachable_target_fails(self):
+        val = fresh_val()
+        e = E.band(E.var("a"), E.const(0x0F))
+        assert not try_set(e, 0xF0, val, SplittableRandom(2))
+
+    def test_lshr_field(self):
+        e = E.lshr(E.var("a"), E.const(6))
+        val = assert_set(e, 0x1234)
+        assert val.register("a") >> 6 == 0x1234
+
+    def test_shl(self):
+        e = E.BinOp(E.BinOpKind.SHL, E.var("a"), E.const(4))
+        assert_set(e, 0x120)
+
+    def test_cache_line_pattern(self):
+        # ((a >> 6) & 127) == 93 — the Mline/AR shape.
+        e = E.band(E.lshr(E.var("a"), E.const(6)), E.const(127))
+        val = assert_set(e, 93)
+        assert (val.register("a") >> 6) & 127 == 93
+
+    def test_not_and_neg(self):
+        assert_set(E.UnOp(E.UnOpKind.NOT, E.var("a")), 0x1234)
+        assert_set(E.UnOp(E.UnOpKind.NEG, E.var("a")), 0x10)
+
+
+class TestComparisons:
+    def test_equality_copies(self):
+        val = fresh_val()
+        val.set_register("b", 1000)
+        assert_set(E.eq(E.var("a"), E.var("b")), 1, val)
+
+    def test_equality_false_forces_difference(self):
+        val = fresh_val()
+        val.set_register("a", 5)
+        val.set_register("b", 5)
+        assert_set(E.eq(E.var("a"), E.var("b")), 0, val)
+
+    def test_disequality(self):
+        val = fresh_val()
+        val.set_register("a", 5)
+        val.set_register("b", 5)
+        assert_set(E.ne(E.var("a"), E.var("b")), 1, val)
+
+    def test_one_bit_disequality(self):
+        # Regression: forcing g1 != g2 on one-bit operands must flip a bit.
+        val = fresh_val()
+        val.set_register("g", 1)
+        val.set_register("h", 1)
+        assert_set(E.ne(E.var("g", 1), E.var("h", 1)), 1, val)
+
+    @pytest.mark.parametrize("kind", ["ult", "ule", "slt", "sle"])
+    def test_orderings_both_polarities(self, kind):
+        make = getattr(E, kind)
+        for target in (1, 0):
+            val = fresh_val()
+            assert_set(make(E.var("a"), E.var("b")), target, val)
+
+    def test_ordering_with_constant_bound(self):
+        val = fresh_val()
+        assert_set(E.ule(E.const(0x80000), E.var("a")), 1, val)
+        assert val.register("a") >= 0x80000
+
+
+class TestBooleanStructure:
+    def test_conjunction_true(self):
+        e = E.bool_and(E.eq(E.var("a"), E.const(1)), E.eq(E.var("b"), E.const(2)))
+        val = assert_set(e, 1)
+        assert val.register("a") == 1 and val.register("b") == 2
+
+    def test_disjunction_true(self):
+        e = E.bool_or(E.eq(E.var("a"), E.const(1)), E.eq(E.var("b"), E.const(2)))
+        assert_set(e, 1)
+
+    def test_negated_guard(self):
+        e = E.bool_not(E.ule(E.const(61), E.lshr(E.var("a"), E.const(6))))
+        assert_set(e, 1)
+
+    def test_ite_repairs_taken_arm(self):
+        e = E.Ite(E.var("c", 1), E.var("a"), E.var("b"))
+        val = fresh_val()
+        val.set_register("c", 1)
+        assert_set(e, 777, val)
+        assert val.register("a") == 777
+
+
+class TestTwinPreference:
+    def test_ordered_repair_prefers_twin_witness(self):
+        val = fresh_val(divergence=0.0)
+        # State 1 already satisfies a < 100 with a#1 == 50.
+        val.set_register("a#1", 50)
+        val.set_register("a#2", 500)
+        rng = SplittableRandom(3)
+        assert try_set(E.ult(E.var("a#2"), E.const(100)), 1, val, rng)
+        assert val.register("a#2") == 50  # copied the twin, not a random pick

@@ -1,0 +1,93 @@
+"""Unit tests for relational naming and the lazy valuation."""
+
+from repro.smt.naming import base_name, rename_for_state, split, state_of
+from repro.smt.valuation import LazyValuation, SamplingPolicy
+from repro.utils.rng import SplittableRandom
+
+
+class TestNaming:
+    def test_rename_and_split(self):
+        assert rename_for_state("x0", 1) == "x0#1"
+        assert split("x0#2") == ("x0", 2)
+        assert split("x0") == ("x0", None)
+
+    def test_base_name(self):
+        assert base_name("x0#1") == "x0"
+        assert base_name("MEM#2") == "MEM"
+        assert base_name("plain") == "plain"
+
+    def test_state_of_non_numeric_suffix(self):
+        assert state_of("weird#abc") is None
+
+
+def _policy(divergence=0.0, seed=3):
+    return SamplingPolicy(rng=SplittableRandom(seed), divergence=divergence)
+
+
+class TestSamplingPolicy:
+    def test_fresh_values_in_domain(self):
+        policy = _policy()
+        for _ in range(100):
+            value = policy.fresh_value()
+            in_region = 0x80000 <= value < 0x80000 + 0x40000
+            small = 0 <= value <= 255
+            assert in_region or small
+            if in_region:
+                assert value % 8 == 0
+
+
+class TestLazyValuation:
+    def test_pairing_without_divergence(self):
+        val = LazyValuation(_policy(0.0))
+        assert val.register("a#1") == val.register("a#2")
+        assert val.read_mem("MEM#1", 0x80000) == val.read_mem("MEM#2", 0x80000)
+
+    def test_divergence_occasionally_differs(self):
+        val = LazyValuation(_policy(1.0))
+        # With certain divergence every draw is independent; over many
+        # names at least one pair must differ.
+        assert any(
+            val.register(f"v{i}#1") != val.register(f"v{i}#2")
+            for i in range(64)
+        )
+
+    def test_values_stable_after_first_read(self):
+        val = LazyValuation(_policy(0.5))
+        first = val.register("a#1")
+        assert val.register("a#1") == first
+
+    def test_pins_override_sampling(self):
+        val = LazyValuation(_policy(), pins={"a": 99})
+        assert val.register("a") == 99
+
+    def test_set_register_refuses_conflicting_pin(self):
+        val = LazyValuation(_policy(), pins={"a": 99})
+        assert not val.set_register("a", 1)
+        assert val.set_register("a", 99)
+
+    def test_resolve_shares_storage(self):
+        resolve = lambda n: "rep" if n in ("a", "b") else n
+        val = LazyValuation(_policy(), resolve=resolve)
+        assert val.register("a") == val.register("b")
+        val.set_register("a", 123)
+        assert val.register("b") == 123
+
+    def test_mutation_log_records_sets(self):
+        val = LazyValuation(_policy())
+        val.set_register("a", 1)
+        val.set_cell("MEM#1", 0x80000, 2)
+        assert val.mutation_log == ["a", "MEM#1"]
+
+    def test_twin_register(self):
+        val = LazyValuation(_policy(0.0))
+        val.set_register("a#1", 77)
+        assert val.twin_register("a#2") == 77
+        assert val.twin_register("plain") is None
+
+    def test_materialised_snapshot(self):
+        val = LazyValuation(_policy())
+        val.register("a")
+        val.read_mem("MEM", 8)
+        regs, mems = val.materialised()
+        assert "a" in regs
+        assert 8 in mems["MEM"]

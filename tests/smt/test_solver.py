@@ -1,0 +1,209 @@
+"""Unit tests for the model finder — the constraint shapes relation
+synthesis actually generates."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.errors import SolverError
+from repro.smt.solver import Model, ModelFinder, SolverConfig
+from repro.utils.rng import SplittableRandom
+
+
+def finder(seed=1, **kwargs):
+    return ModelFinder(SolverConfig(**kwargs), SplittableRandom(seed))
+
+
+def line(addr):
+    return E.band(E.lshr(addr, E.const(6)), E.const(127))
+
+
+def check(constraints, model):
+    assert model is not None
+    for c in constraints:
+        assert model.evaluate(c) == 1, f"violated: {c}"
+
+
+class TestBasics:
+    def test_empty_constraints_sat(self):
+        assert finder().solve([]) is not None
+
+    def test_pin_to_constant(self):
+        cons = [E.eq(E.var("a"), E.const(42))]
+        model = finder().solve(cons)
+        check(cons, model)
+        assert model.register("a") == 42
+
+    def test_contradictory_pins_unsat(self):
+        cons = [
+            E.eq(E.var("a"), E.const(5)),
+            E.eq(E.var("a"), E.const(6)),
+        ]
+        assert finder().solve(cons) is None
+
+    def test_variable_equality_classes(self):
+        cons = [
+            E.eq(E.var("a"), E.var("b")),
+            E.eq(E.var("b"), E.var("c")),
+            E.eq(E.var("c"), E.const(9)),
+        ]
+        model = finder().solve(cons)
+        check(cons, model)
+        assert model.register("a") == model.register("b") == 9
+
+    def test_union_class_pin_conflict_unsat(self):
+        cons = [
+            E.eq(E.var("a"), E.var("b")),
+            E.eq(E.var("a"), E.const(1)),
+            E.eq(E.var("b"), E.const(2)),
+        ]
+        assert finder().solve(cons) is None
+
+    def test_syntactically_false_unsat(self):
+        assert finder().solve([E.FALSE]) is None
+
+    def test_non_boolean_constraint_rejected(self):
+        with pytest.raises(SolverError):
+            finder().solve([E.const(1, 8)])
+
+
+class TestArithmeticShapes:
+    def test_sum_equality_across_states(self):
+        cons = [
+            E.eq(
+                E.add(E.var("x0#1"), E.var("x1#1")),
+                E.add(E.var("x0#2"), E.var("x1#2")),
+            )
+        ]
+        check(cons, finder().solve(cons))
+
+    def test_disequality(self):
+        cons = [E.ne(E.var("a"), E.var("b"))]
+        model = finder().solve(cons)
+        check(cons, model)
+        assert model.register("a") != model.register("b")
+
+    def test_ordering_unsigned_and_signed(self):
+        cons = [
+            E.ult(E.var("a"), E.var("b")),
+            E.slt(E.var("c"), E.const(0)),
+        ]
+        model = finder().solve(cons)
+        check(cons, model)
+
+    def test_range_constraints(self):
+        lo, hi = 0x80000, 0xBFFF8
+        cons = [
+            E.ule(E.const(lo), E.var("a")),
+            E.ule(E.var("a"), E.const(hi)),
+            E.eq(E.band(E.var("a"), E.const(7)), E.const(0)),
+        ]
+        model = finder().solve(cons)
+        check(cons, model)
+        a = model.register("a")
+        assert lo <= a <= hi and a % 8 == 0
+
+    def test_cache_line_pinning(self):
+        cons = [E.eq(line(E.var("a")), E.const(93))]
+        model = finder().solve(cons)
+        check(cons, model)
+        assert (model.register("a") >> 6) & 127 == 93
+
+    def test_combined_region_and_line(self):
+        cons = [
+            E.ule(E.const(0x80000), E.var("a")),
+            E.ule(E.var("a"), E.const(0xBFFF8)),
+            E.eq(line(E.var("a")), E.const(5)),
+            E.eq(E.band(E.var("a"), E.const(7)), E.const(0)),
+        ]
+        check(cons, finder().solve(cons))
+
+
+class TestMemoryShapes:
+    def test_memory_cell_disequality(self):
+        m1, m2 = E.MemVar("MEM#1"), E.MemVar("MEM#2")
+        addr = E.add(E.var("x0#1"), E.var("x1#1"))
+        addr2 = E.add(E.var("x0#2"), E.var("x1#2"))
+        cons = [
+            E.eq(addr, addr2),
+            E.ne(E.Load(m1, addr), E.Load(m2, addr2)),
+        ]
+        model = finder().solve(cons)
+        check(cons, model)
+
+    def test_memory_value_equality(self):
+        m = E.MemVar("MEM")
+        cons = [E.eq(E.Load(m, E.var("a")), E.const(0x55))]
+        model = finder().solve(cons)
+        check(cons, model)
+        assert model.read_mem("MEM", model.register("a")) == 0x55
+
+    def test_dependent_load_chain(self):
+        # mem[mem[a]] == 3: the solver must place both cells.
+        m = E.MemVar("MEM")
+        inner = E.Load(m, E.var("a"))
+        cons = [E.eq(E.Load(m, inner), E.const(3))]
+        check(cons, finder().solve(cons))
+
+
+class TestGuardedShapes:
+    def _ar(self, addr, lo=61, hi=127):
+        l = line(addr)
+        return E.bool_and(E.ule(E.const(lo), l), E.ule(l, E.const(hi)))
+
+    def test_guard_equality(self):
+        cons = [E.eq(self._ar(E.var("a")), self._ar(E.var("b")))]
+        check(cons, finder().solve(cons))
+
+    def test_guarded_implication(self):
+        guard = self._ar(E.var("a"))
+        cons = [E.bool_or(E.bool_not(guard), E.eq(E.var("a"), E.var("b")))]
+        check(cons, finder().solve(cons))
+
+    def test_mpart_refinement_shape(self):
+        # Both outside the region, but different (the §4.2.1 constraint).
+        a, b = E.var("a"), E.var("b")
+        cons = [
+            E.bool_not(self._ar(a)),
+            E.bool_not(self._ar(b)),
+            E.ne(a, b),
+        ]
+        model = finder().solve(cons)
+        check(cons, model)
+        for name in ("a", "b"):
+            assert not 61 <= (model.register(name) >> 6) & 127 <= 127
+
+
+class TestModelCompletion:
+    def test_unconstrained_pair_shares_values(self):
+        # With zero divergence, the two states' unconstrained registers
+        # must be identical (the Z3 don't-care behaviour).
+        model = finder(divergence=0.0).solve([E.eq(E.var("q#1"), E.var("q#1"))])
+        assert model.register("x7#1") == model.register("x7#2")
+        assert model.register("x9#1") == model.register("x9#2")
+
+    def test_unconstrained_memory_cells_paired(self):
+        model = finder(divergence=0.0).solve([])
+        assert model.read_mem("MEM#1", 0x80040) == model.read_mem(
+            "MEM#2", 0x80040
+        )
+
+    def test_model_evaluate_matches_reads(self):
+        cons = [E.eq(E.var("a"), E.const(7))]
+        model = finder().solve(cons)
+        assert model.evaluate(E.add(E.var("a"), E.const(1))) == 8
+
+    def test_memory_names_and_contents(self):
+        m = E.MemVar("MEM#1")
+        cons = [E.eq(E.Load(m, E.const(0x80000)), E.const(1))]
+        model = finder().solve(cons)
+        assert "MEM#1" in model.memory_names()
+        assert model.memory("MEM#1")[0x80000] == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self):
+        cons = [E.ult(E.var("a"), E.var("b"))]
+        m1 = finder(seed=7).solve(cons)
+        m2 = finder(seed=7).solve(cons)
+        assert m1.register("a") == m2.register("a")
+        assert m1.register("b") == m2.register("b")

@@ -1,0 +1,137 @@
+"""Unit tests for the concrete BIR interpreter and certification."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.tags import ObsKind, ObsTag
+from repro.hw.platform import StateInputs
+from repro.isa import assemble, lift
+from repro.obs import MctModel, MspecModel
+from repro.symbolic.concrete import (
+    certify_equivalence,
+    refined_difference_holds,
+    run_concrete,
+)
+from repro.symbolic.executor import execute
+from tests.conftest import TEMPLATE_A
+
+
+def _augmented():
+    return MspecModel().augment(lift(assemble(TEMPLATE_A, name="ta")))
+
+
+SKIP_STATE = StateInputs(  # branch taken: body skipped (x1 >= x4 signed)
+    regs={"x0": 0x80000, "x1": 16, "x4": 2, "x5": 0x90000},
+    memory={0x80010: 0x1000},
+)
+
+
+class TestRunConcrete:
+    def test_block_trace_follows_branch(self):
+        trace = run_concrete(_augmented(), SKIP_STATE)
+        assert "i3" not in trace.block_trace  # body skipped
+        assert "i2_spec_t" in trace.block_trace  # shadow edge visited
+
+    def test_observations_evaluate_concretely(self):
+        trace = run_concrete(_augmented(), SKIP_STATE)
+        loads = [o for o in trace.observations if o.kind is ObsKind.LOAD_ADDR]
+        assert loads[0].values == (0x80010,)
+        spec = [
+            o
+            for o in trace.observations
+            if o.kind is ObsKind.SPEC_LOAD_ADDR
+        ]
+        assert spec[0].values == (0x90000 + 0x1000,)
+
+    def test_registers_default_to_zero(self):
+        program = lift(assemble("add x1, x2, x3\nret"))
+        trace = run_concrete(program, StateInputs())
+        assert trace.final_regs["x1"] == 0
+
+    def test_memory_reads_default_to_zero(self):
+        program = lift(assemble("ldr x1, [x0]\nret"))
+        trace = run_concrete(program, StateInputs(regs={"x0": 0x5000}))
+        assert trace.final_regs["x1"] == 0
+
+    def test_store_then_load(self):
+        program = lift(assemble("str x1, [x2]\nldr x3, [x2]\nret"))
+        trace = run_concrete(
+            program, StateInputs(regs={"x1": 7, "x2": 0x100})
+        )
+        assert trace.final_regs["x3"] == 7
+
+    def test_guarded_observation_skipped_when_guard_false(self):
+        from repro.obs.base import AttackerRegion
+        from repro.obs.models import MpartModel
+
+        program = MpartModel(AttackerRegion(61, 127)).augment(
+            lift(assemble("ldr x1, [x0]\nret"))
+        )
+        outside = run_concrete(program, StateInputs(regs={"x0": 0}))
+        assert outside.observations == ()
+        inside = run_concrete(
+            program, StateInputs(regs={"x0": 61 * 64})
+        )
+        assert len(inside.observations) == 1
+
+    def test_agrees_with_symbolic_semantics(self):
+        program = _augmented()
+        symbolic = execute(program)
+        inputs = SKIP_STATE
+        val = E.Valuation(
+            regs={**{f"x{i}": 0 for i in range(31)}, **inputs.regs},
+            mems={"MEM": dict(inputs.memory)},
+        )
+        path = next(
+            p
+            for p in symbolic
+            if E.evaluate(p.condition_expr(), val) == 1
+        )
+        concrete = run_concrete(program, inputs)
+        assert len(path.observations) == len(concrete.observations)
+        for sym, conc in zip(path.observations, concrete.observations):
+            assert sym.tag is conc.tag and sym.kind is conc.kind
+            assert tuple(
+                E.evaluate(e, val) for e in sym.exprs
+            ) == conc.values
+
+    def test_describe_smoke(self):
+        assert "trace" in run_concrete(_augmented(), SKIP_STATE).describe()
+
+
+class TestCertification:
+    def test_equivalent_pair_certifies(self):
+        s2 = StateInputs(
+            regs=dict(SKIP_STATE.regs), memory={0x80010: 0x2000}
+        )
+        # Same Mct observations (same path, same architectural load), but
+        # different speculative target.
+        program = _augmented()
+        assert certify_equivalence(program, SKIP_STATE, s2)
+        assert refined_difference_holds(program, SKIP_STATE, s2)
+
+    def test_non_equivalent_pair_fails_certification(self):
+        other = StateInputs(
+            regs={**SKIP_STATE.regs, "x0": 0x80100},
+            memory=dict(SKIP_STATE.memory),
+        )
+        assert not certify_equivalence(_augmented(), SKIP_STATE, other)
+
+    def test_identical_pair_has_no_refined_difference(self):
+        program = _augmented()
+        assert certify_equivalence(program, SKIP_STATE, SKIP_STATE)
+        assert not refined_difference_holds(program, SKIP_STATE, SKIP_STATE)
+
+    def test_generated_counterexamples_certify(self):
+        from repro.core import TestCaseGenerator
+        from repro.core.probes import add_address_probes
+        from repro.utils.rng import SplittableRandom
+
+        asm = assemble(TEMPLATE_A, name="ta")
+        model = MspecModel()
+        generator = TestCaseGenerator(asm, model, rng=SplittableRandom(77))
+        program = add_address_probes(model.augment(lift(asm)))
+        for _ in range(5):
+            test = generator.generate()
+            assert test is not None
+            assert certify_equivalence(program, test.state1, test.state2)

@@ -1,0 +1,188 @@
+"""Unit tests for the symbolic executor."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.program import Block, Program
+from repro.bir.stmt import Assign, CJmp, Halt, Jmp, Observe, Store
+from repro.bir.tags import ObsKind, ObsTag
+from repro.errors import PathExplosionError, SymbolicExecutionError
+from repro.isa.assembler import assemble
+from repro.isa.lifter import lift
+from repro.symbolic.executor import SymbolicExecutor, execute
+
+
+def _pc_obs(index):
+    return Observe(ObsTag.BASE, ObsKind.PC, (E.const(index),))
+
+
+class TestPathEnumeration:
+    def test_straight_line_single_path(self, stride_program):
+        result = execute(lift(stride_program))
+        assert len(result) == 1
+
+    def test_branch_two_paths(self, template_a):
+        result = execute(lift(template_a))
+        assert len(result) == 2
+
+    def test_paths_ordered_false_arm_first(self, template_a):
+        # For `b.ge end`: path 0 takes the fall-through (body), path 1 the
+        # branch.  The executor reports the false arm of each CJmp first.
+        result = execute(lift(template_a))
+        assert "i3" in result[0].block_trace
+        assert "i3" not in result[1].block_trace
+
+    def test_path_conditions_complementary(self, template_a):
+        result = execute(lift(template_a))
+        c0 = result[0].condition_expr()
+        c1 = result[1].condition_expr()
+        val = E.Valuation(regs={"x1": 1, "x4": 2})
+        assert E.evaluate(c0, val) != E.evaluate(c1, val)
+
+    def test_nested_branches_multiply_paths(self):
+        src = """
+            cmp x0, x1
+            b.ge a
+            nop
+        a:
+            cmp x2, x3
+            b.ge b
+            nop
+        b:
+            ret
+        """
+        assert len(execute(lift(assemble(src)))) == 4
+
+    def test_loop_rejected(self):
+        program = Program([Block("a", (), Jmp("a"))])
+        with pytest.raises(SymbolicExecutionError):
+            execute(program)
+
+    def test_path_explosion_guard(self):
+        blocks = []
+        for i in range(12):
+            cond = E.Cmp(E.CmpKind.EQ, E.var(f"v{i}"), E.const(0))
+            blocks.append(Block(f"b{i}", (), CJmp(cond, f"b{i+1}", f"b{i+1}")))
+        blocks.append(Block("b12", (), Halt()))
+        with pytest.raises(PathExplosionError):
+            SymbolicExecutor(max_paths=16).run(Program(blocks))
+
+    def test_constant_condition_pruned(self):
+        cond_true = Program(
+            [
+                Block("a", (), CJmp(E.TRUE, "t", "f")),
+                Block("t", (), Halt()),
+                Block("f", (), Halt()),
+            ]
+        )
+        result = execute(cond_true)
+        assert len(result) == 1
+        assert "t" in result[0].block_trace
+
+
+class TestStateUpdates:
+    def test_assignment_chains_substitute(self):
+        src = "mov x1, #5\nadd x2, x1, #3\nadd x3, x2, x2\nret"
+        result = execute(lift(assemble(src)))
+        env = result[0].final_env
+        assert env["x1"] == E.const(5)
+        assert env["x2"] == E.const(8)
+        assert env["x3"] == E.const(16)
+
+    def test_load_binds_to_initial_memory(self, stride_program):
+        result = execute(lift(stride_program))
+        env = result[0].final_env
+        assert env["x1"] == E.Load(E.MemVar(), E.var("x0"))
+
+    def test_store_then_load_resolves(self):
+        src = "str x1, [x2]\nldr x3, [x2]\nret"
+        result = execute(lift(assemble(src)))
+        assert result[0].final_env["x3"] == E.var("x1")
+
+    def test_store_then_load_other_address_keeps_chain(self):
+        src = "str x1, [x2]\nldr x3, [x4]\nret"
+        result = execute(lift(assemble(src)))
+        out = result[0].final_env["x3"]
+        assert isinstance(out, E.Load)
+        assert isinstance(out.mem, E.MemStore)
+
+
+class TestObservations:
+    def test_observations_collected_in_order(self, template_a):
+        from repro.obs.models import MctModel
+
+        result = execute(MctModel().augment(lift(template_a)))
+        kinds = [o.kind for o in result[1].observations]
+        assert kinds[0] is ObsKind.PC
+        assert ObsKind.LOAD_ADDR in kinds
+
+    def test_observation_exprs_over_initial_state(self):
+        program = Program(
+            [
+                Block(
+                    "a",
+                    (
+                        Assign(E.var("x1"), E.add(E.var("x0"), E.const(8))),
+                        Observe(
+                            ObsTag.BASE, ObsKind.LOAD_ADDR, (E.var("x1"),)
+                        ),
+                    ),
+                    Halt(),
+                )
+            ]
+        )
+        result = execute(program)
+        obs = result[0].observations[0]
+        assert obs.exprs[0] == E.add(E.var("x0"), E.const(8))
+
+    def test_false_guard_drops_observation(self):
+        program = Program(
+            [
+                Block(
+                    "a",
+                    (
+                        Observe(
+                            ObsTag.BASE,
+                            ObsKind.LOAD_ADDR,
+                            (E.var("x0"),),
+                            guard=E.FALSE,
+                        ),
+                    ),
+                    Halt(),
+                )
+            ]
+        )
+        assert execute(program)[0].observations == ()
+
+    def test_symbolic_guard_retained(self):
+        guard = E.ult(E.var("x0"), E.const(8))
+        program = Program(
+            [
+                Block(
+                    "a",
+                    (Observe(ObsTag.BASE, ObsKind.LOAD_ADDR, (E.var("x0"),), guard=guard),),
+                    Halt(),
+                )
+            ]
+        )
+        obs = execute(program)[0].observations[0]
+        assert obs.guard == guard
+
+    def test_tag_projection(self, template_a):
+        from repro.obs.models import MspecModel
+
+        result = execute(MspecModel().augment(lift(template_a)))
+        taken = result[1]
+        assert all(o.tag is ObsTag.BASE for o in taken.base_observations())
+        refined = taken.refined_only_observations()
+        assert len(refined) == 1
+        assert refined[0].kind is ObsKind.SPEC_LOAD_ADDR
+
+    def test_input_variables(self, template_a):
+        result = execute(lift(template_a))
+        names = {v.name for v in result.input_variables()}
+        assert {"x1", "x4"} <= names
+
+    def test_describe_smoke(self, template_a):
+        text = execute(lift(template_a)).describe()
+        assert "2 path(s)" in text

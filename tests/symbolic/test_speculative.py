@@ -1,0 +1,158 @@
+"""Unit tests for the shadow-state speculative instrumentation (§4.2.2)."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir.cfg import ControlFlowGraph
+from repro.bir.stmt import Assign, CJmp, Jmp, Store
+from repro.errors import RefinementError
+from repro.isa.assembler import assemble
+from repro.isa.lifter import lift
+from repro.symbolic.executor import execute
+from repro.symbolic.speculative import (
+    SpeculationBounds,
+    instrument_speculation,
+    is_shadow_name,
+    shadow_name,
+    unconditional_to_conditional,
+)
+
+
+class TestShadowNaming:
+    def test_roundtrip(self):
+        assert shadow_name("x5") == "x5_spec"
+        assert is_shadow_name("x5_spec")
+        assert not is_shadow_name("x5")
+
+
+class TestInstrumentation:
+    def test_edge_blocks_created(self, template_a):
+        out = instrument_speculation(lift(template_a))
+        assert "i2_spec_t" in out
+        assert "i2_spec_f" in out
+
+    def test_branch_rewired_through_edge_blocks(self, template_a):
+        out = instrument_speculation(lift(template_a))
+        term = out.block("i2").terminator
+        assert isinstance(term, CJmp)
+        assert term.target_true == "i2_spec_t"
+        assert term.target_false == "i2_spec_f"
+
+    def test_taken_edge_shadows_fallthrough_arm(self, template_a):
+        out = instrument_speculation(lift(template_a))
+        body = out.block("i2_spec_t").body
+        # Live-in copies first, then the shadow load.
+        assert all(getattr(s, "transient", False) for s in body)
+        targets = [s.target.name for s in body if isinstance(s, Assign)]
+        assert targets[-1] == "x6_spec"
+        copies = [t for t in targets if t in ("x5_spec", "x2_spec")]
+        assert set(copies) == {"x5_spec", "x2_spec"}
+
+    def test_empty_arm_shadows_nothing(self, template_a):
+        out = instrument_speculation(lift(template_a))
+        assert out.block("i2_spec_f").body == ()
+
+    def test_shadow_reads_renamed(self, template_a):
+        out = instrument_speculation(lift(template_a))
+        load = out.block("i2_spec_t").body[-1]
+        assert isinstance(load.value, E.Load)
+        for v in load.value.addr.variables():
+            assert is_shadow_name(v.name)
+
+    def test_join_block_untouched(self, template_a):
+        original = lift(template_a)
+        out = instrument_speculation(original)
+        assert out.block("i4").body == original.block("i4").body
+
+    def test_instrumented_program_still_acyclic(self, template_c):
+        out = instrument_speculation(lift(template_c))
+        assert ControlFlowGraph(out).is_acyclic()
+
+    def test_double_instrumentation_rejected(self, template_a):
+        out = instrument_speculation(lift(template_a))
+        with pytest.raises(RefinementError):
+            instrument_speculation(out)
+
+    def test_store_in_arm_rejected(self):
+        src = """
+            cmp x0, x1
+            b.ge end
+            str x2, [x3]
+        end:
+            ret
+        """
+        with pytest.raises(RefinementError):
+            instrument_speculation(lift(assemble(src)))
+
+    def test_architectural_paths_unchanged(self, template_a):
+        # The shadow statements must not change any architectural register.
+        plain = execute(lift(template_a))
+        instrumented = execute(instrument_speculation(lift(template_a)))
+        assert len(plain) == len(instrumented)
+        for p, q in zip(plain, instrumented):
+            for name, value in p.final_env.items():
+                assert q.final_env[name] == value
+
+
+class TestBounds:
+    def test_max_instructions_limits_shadow(self, template_c):
+        out = instrument_speculation(
+            lift(template_c), SpeculationBounds(max_instructions=1)
+        )
+        body = out.block("i1_spec_t").body
+        loads = [
+            s
+            for s in body
+            if isinstance(s, Assign) and isinstance(s.value, E.Load)
+        ]
+        assert len(loads) == 1
+
+    def test_max_loads_limits_shadow(self, template_c):
+        out = instrument_speculation(
+            lift(template_c), SpeculationBounds(max_loads=1)
+        )
+        body = out.block("i1_spec_t").body
+        loads = [
+            s
+            for s in body
+            if isinstance(s, Assign) and isinstance(s.value, E.Load)
+        ]
+        assert len(loads) == 1
+
+    def test_unbounded_shadows_both_loads(self, template_c):
+        out = instrument_speculation(lift(template_c))
+        body = out.block("i1_spec_t").body
+        loads = [
+            s
+            for s in body
+            if isinstance(s, Assign) and isinstance(s.value, E.Load)
+        ]
+        assert len(loads) == 2
+
+
+class TestStraightLine:
+    def test_explicit_jump_converted(self, template_d):
+        out = unconditional_to_conditional(lift(template_d))
+        term = out.block("i1").terminator
+        assert isinstance(term, CJmp)
+        assert term.cond == E.TRUE
+
+    def test_fallthrough_jumps_untouched(self, stride_program):
+        out = unconditional_to_conditional(lift(stride_program))
+        assert isinstance(out.block("i0").terminator, Jmp)
+
+    def test_dead_code_shadowed_on_taken_edge(self, template_d):
+        converted = unconditional_to_conditional(lift(template_d))
+        out = instrument_speculation(converted)
+        body = out.block("i1_spec_t").body
+        loads = [
+            s
+            for s in body
+            if isinstance(s, Assign) and isinstance(s.value, E.Load)
+        ]
+        assert len(loads) == 1  # the architecturally dead load
+
+    def test_single_architectural_path(self, template_d):
+        converted = unconditional_to_conditional(lift(template_d))
+        out = instrument_speculation(converted)
+        assert len(execute(out)) == 1

@@ -1,0 +1,97 @@
+"""Unit tests for fixed-width bit-vector arithmetic."""
+
+import pytest
+
+from repro.utils import bitvec
+
+
+class TestMask:
+    def test_small_widths(self):
+        assert bitvec.mask(1) == 1
+        assert bitvec.mask(8) == 0xFF
+        assert bitvec.mask(64) == (1 << 64) - 1
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            bitvec.mask(0)
+        with pytest.raises(ValueError):
+            bitvec.mask(-3)
+
+    def test_mask_cached_value_consistent(self):
+        assert bitvec.mask(13) == bitvec.mask(13) == 0x1FFF
+
+
+class TestTruncateAndSign:
+    def test_truncate_wraps(self):
+        assert bitvec.truncate(0x1FF, 8) == 0xFF
+        assert bitvec.truncate(-1, 8) == 0xFF
+
+    def test_to_signed_negative(self):
+        assert bitvec.to_signed(0xFF, 8) == -1
+        assert bitvec.to_signed(0x80, 8) == -128
+
+    def test_to_signed_positive(self):
+        assert bitvec.to_signed(0x7F, 8) == 127
+        assert bitvec.to_signed(0, 64) == 0
+
+    def test_to_unsigned_roundtrip(self):
+        for value in (-1, -128, 0, 127):
+            assert (
+                bitvec.to_signed(bitvec.to_unsigned(value, 8), 8) == value
+            )
+
+    def test_sign_extend(self):
+        assert bitvec.sign_extend(0xFF, 8, 16) == 0xFFFF
+        assert bitvec.sign_extend(0x7F, 8, 16) == 0x7F
+
+    def test_sign_extend_rejects_narrowing(self):
+        with pytest.raises(ValueError):
+            bitvec.sign_extend(0, 16, 8)
+
+    def test_zero_extend(self):
+        assert bitvec.zero_extend(0xFF, 8, 16) == 0xFF
+        with pytest.raises(ValueError):
+            bitvec.zero_extend(0, 16, 8)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert bitvec.bv_add(0xFF, 1, 8) == 0
+        assert bitvec.bv_add(2**64 - 1, 1, 64) == 0
+
+    def test_sub_wraps(self):
+        assert bitvec.bv_sub(0, 1, 8) == 0xFF
+
+    def test_mul_wraps(self):
+        assert bitvec.bv_mul(0x80, 2, 8) == 0
+
+    def test_bitwise(self):
+        assert bitvec.bv_and(0xF0, 0x3C, 8) == 0x30
+        assert bitvec.bv_or(0xF0, 0x0C, 8) == 0xFC
+        assert bitvec.bv_xor(0xFF, 0x0F, 8) == 0xF0
+        assert bitvec.bv_not(0x0F, 8) == 0xF0
+
+    def test_shifts(self):
+        assert bitvec.bv_shl(1, 4, 8) == 0x10
+        assert bitvec.bv_shl(1, 8, 8) == 0  # full-width shift is zero
+        assert bitvec.bv_lshr(0x80, 4, 8) == 8
+        assert bitvec.bv_lshr(0x80, 9, 8) == 0
+
+    def test_ashr_sign_fills(self):
+        assert bitvec.bv_ashr(0x80, 4, 8) == 0xF8
+        assert bitvec.bv_ashr(0x40, 4, 8) == 4
+        # Shift count >= width saturates at the sign bit.
+        assert bitvec.bv_ashr(0x80, 100, 8) == 0xFF
+        assert bitvec.bv_ashr(0x40, 100, 8) == 0
+
+
+class TestBitSlice:
+    def test_extract_field(self):
+        assert bitvec.bit_slice(0b1101_0110, 5, 2) == 0b0101
+
+    def test_single_bit(self):
+        assert bitvec.bit_slice(0x80, 7, 7) == 1
+
+    def test_invalid_slice(self):
+        with pytest.raises(ValueError):
+            bitvec.bit_slice(0, 1, 3)

@@ -1,0 +1,36 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+@pytest.mark.parametrize(
+    "child,parent",
+    [
+        (errors.BirTypeError, errors.BirError),
+        (errors.PathExplosionError, errors.SymbolicExecutionError),
+        (errors.UnsatError, errors.SolverError),
+        (errors.SolverTimeoutError, errors.SolverError),
+        (errors.PlatformError, errors.HardwareError),
+        (errors.ExperimentError, errors.PipelineError),
+        (errors.LiftError, errors.ReproError),
+        (errors.RefinementError, errors.ReproError),
+    ],
+)
+def test_specialisation_relationships(child, parent):
+    assert issubclass(child, parent)
+
+
+def test_catching_the_root_covers_library_failures():
+    from repro.isa.assembler import assemble
+
+    with pytest.raises(errors.ReproError):
+        assemble("bogus x1")

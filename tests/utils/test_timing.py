@@ -1,0 +1,24 @@
+"""Unit tests for the stopwatch helper."""
+
+from repro.utils.timing import Stopwatch
+
+
+def test_accumulates_laps():
+    sw = Stopwatch()
+    with sw:
+        pass
+    with sw:
+        pass
+    assert sw.laps == 2
+    assert sw.total >= 0.0
+
+
+def test_mean_of_zero_laps_is_zero():
+    assert Stopwatch().mean == 0.0
+
+
+def test_mean_is_total_over_laps():
+    sw = Stopwatch()
+    with sw:
+        pass
+    assert sw.mean == sw.total
