@@ -1,0 +1,120 @@
+"""Parallel runner speedup vs. the sequential driver.
+
+Runs a Table 1-sized workload (the Mct Template A column, scaled by the
+usual ``REPRO_BENCH_*`` knobs) once through the sequential ``ScamV`` loop
+and once through the :class:`~repro.runner.ParallelRunner` at
+``REPRO_BENCH_WORKERS`` (default 4) workers, asserts the two results are
+bit-identical, and reports the wall-clock speedup.
+
+On a machine with >= 4 usable cores the parallel run must be at least 2x
+faster; on fewer cores (e.g. a 1-core CI container, where the pool can
+only interleave) the speedup is reported but not asserted.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.exps import mct_campaign
+from repro.pipeline import ScamV
+from repro.runner import ParallelRunner, RunnerConfig
+
+from _harness import BENCH_PROGRAMS, BENCH_TESTS
+
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _workload():
+    return mct_campaign(
+        "A",
+        refined=True,
+        num_programs=BENCH_PROGRAMS,
+        tests_per_program=BENCH_TESTS,
+        seed=0,
+    )
+
+
+def _fingerprint(result):
+    return (
+        result.stats.deterministic_counters(),
+        [
+            (r.program_index, r.outcome.value, r.test.state1, r.test.state2)
+            for r in result.records
+        ],
+    )
+
+
+def _measure():
+    config = _workload()
+    started = time.monotonic()
+    sequential = ScamV(config).run()
+    sequential_s = time.monotonic() - started
+
+    runner = ParallelRunner(RunnerConfig(workers=BENCH_WORKERS))
+    started = time.monotonic()
+    parallel = runner.run(config)
+    parallel_s = time.monotonic() - started
+
+    assert _fingerprint(sequential) == _fingerprint(parallel), (
+        "parallel result diverged from sequential result"
+    )
+    speedup = sequential_s / parallel_s if parallel_s else float("inf")
+    return sequential, sequential_s, parallel_s, speedup
+
+
+def _report(stats, sequential_s, parallel_s, speedup):
+    print()
+    print(
+        f"sequential: {sequential_s:.2f}s   "
+        f"{BENCH_WORKERS} workers: {parallel_s:.2f}s   "
+        f"speedup: {speedup:.2f}x on {_usable_cpus()} usable cpu(s)"
+    )
+    print(
+        f"workload: {stats.programs} programs x "
+        f"{BENCH_TESTS} tests ({stats.experiments} experiments, "
+        f"{stats.counterexamples} counterexamples)"
+    )
+
+
+def bench_parallel_speedup(benchmark):
+    result_holder = {}
+
+    def once():
+        result_holder["m"] = _measure()
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    sequential, sequential_s, parallel_s, speedup = result_holder["m"]
+    info = benchmark.extra_info
+    info["sequential_s"] = round(sequential_s, 3)
+    info[f"parallel_{BENCH_WORKERS}w_s"] = round(parallel_s, 3)
+    info["speedup"] = round(speedup, 3)
+    info["usable_cpus"] = _usable_cpus()
+    _report(sequential.stats, sequential_s, parallel_s, speedup)
+    if _usable_cpus() >= 4 and BENCH_WORKERS >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {BENCH_WORKERS} workers on "
+            f"{_usable_cpus()} cpus, measured {speedup:.2f}x"
+        )
+
+
+def main() -> int:
+    sequential, sequential_s, parallel_s, speedup = _measure()
+    _report(sequential.stats, sequential_s, parallel_s, speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,19 @@ database, and console result tables.
 Examples::
 
     repro-scamv validate --experiment mct-a --refined --programs 20
-    repro-scamv table1 --programs 12 --tests 16
+    repro-scamv validate --experiment mct-a --refined --workers 4
+    repro-scamv table1 --programs 12 --tests 16 --workers 4 --db t1.sqlite
+    repro-scamv table1 --workers 4 --checkpoint t1.jsonl --resume
     repro-scamv fig7 --programs 8
     repro-scamv attack v1
     repro-scamv repair --experiment mct-a
+
+Campaigns run through the parallel execution engine (:mod:`repro.runner`):
+``--workers N`` shards each campaign into per-program work units across N
+processes, ``--shard-timeout`` bounds any single shard, and
+``--checkpoint``/``--resume`` journal completed shards so an interrupted
+run picks up where it left off.  Results are bit-identical for the same
+seed at any worker count.
 """
 
 from __future__ import annotations
@@ -28,7 +37,8 @@ from repro.exps import (
     timing_campaign,
     tlb_campaign,
 )
-from repro.pipeline import ExperimentDatabase, ScamV, format_table
+from repro.pipeline import ExperimentDatabase, format_table
+from repro.runner import ParallelRunner, RunnerConfig, progress_printer
 
 _EXPERIMENTS: Dict[str, Callable] = {
     "mpart": lambda refined, **kw: mpart_campaign(refined=refined, **kw),
@@ -79,11 +89,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "table1", help="regenerate every Table 1 column (scaled down)"
     )
     _add_scale_args(table1)
+    table1.add_argument(
+        "--db", default=None, help="sqlite file for experiment records"
+    )
 
     fig7 = sub.add_parser(
         "fig7", help="regenerate the Fig. 7 table (scaled down)"
     )
     _add_scale_args(fig7)
+    fig7.add_argument(
+        "--db", default=None, help="sqlite file for experiment records"
+    )
 
     attack = sub.add_parser("attack", help="run a SiSCLoak attack PoC")
     attack.add_argument(
@@ -106,6 +122,40 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--programs", type=int, default=10)
     parser.add_argument("--tests", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 runs in-process (results are identical)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any shard running longer than this",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL journal of completed shards (appended as shards finish)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already recorded in the --checkpoint journal",
+    )
+
+
+def _runner(args) -> ParallelRunner:
+    config = RunnerConfig(
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    return ParallelRunner(config, events=progress_printer(sys.stderr))
 
 
 def _campaign(args, name: str, refined: bool):
@@ -121,7 +171,7 @@ def _cmd_validate(args) -> int:
     config = _campaign(args, args.experiment, args.refined)
     database = ExperimentDatabase(args.db) if args.db else None
     print(config.describe())
-    result = ScamV(config, database=database).run(progress=print)
+    result = _runner(args).run(config, database=database)
     print()
     print(format_table([result.stats]))
     if database is not None:
@@ -130,39 +180,47 @@ def _cmd_validate(args) -> int:
     return 0
 
 
-def _cmd_table1(args) -> int:
-    stats = []
-    for name, refined in [
-        ("mpart", False),
-        ("mpart", True),
-        ("mpart-aligned", False),
-        ("mpart-aligned", True),
-        ("mct-a", False),
-        ("mct-a", True),
-        ("mct-b", False),
-        ("mct-b", True),
-    ]:
-        config = _campaign(args, name, refined)
-        print(f"running {config.name} ...", file=sys.stderr)
-        stats.append(ScamV(config).run().stats)
-    print(format_table(stats, title="Table 1 (scaled reproduction)"))
+#: The campaign set of each table command (name, refined).
+TABLE1_COLUMNS = [
+    ("mpart", False),
+    ("mpart", True),
+    ("mpart-aligned", False),
+    ("mpart-aligned", True),
+    ("mct-a", False),
+    ("mct-a", True),
+    ("mct-b", False),
+    ("mct-b", True),
+]
+
+FIG7_COLUMNS = [
+    ("mct-c", False),
+    ("mct-c", True),
+    ("mspec1-c", True),
+    ("mspec1-b", True),
+    ("straightline", True),
+]
+
+
+def _run_table(args, columns, title: str) -> int:
+    """Run a whole campaign set concurrently over one shared worker pool."""
+    configs = [_campaign(args, name, refined) for name, refined in columns]
+    database = ExperimentDatabase(args.db) if args.db else None
+    results = _runner(args).run_many(configs, database=database)
+    print(format_table([r.stats for r in results], title=title))
+    if database is not None:
+        database.close()
+        print(f"\nexperiment records written to {args.db}")
     return 0
+
+
+def _cmd_table1(args) -> int:
+    return _run_table(args, TABLE1_COLUMNS, "Table 1 (scaled reproduction)")
 
 
 def _cmd_fig7(args) -> int:
-    stats = []
-    for name, refined in [
-        ("mct-c", False),
-        ("mct-c", True),
-        ("mspec1-c", True),
-        ("mspec1-b", True),
-        ("straightline", True),
-    ]:
-        config = _campaign(args, name, refined)
-        print(f"running {config.name} ...", file=sys.stderr)
-        stats.append(ScamV(config).run().stats)
-    print(format_table(stats, title="Fig. 7 table (scaled reproduction)"))
-    return 0
+    return _run_table(
+        args, FIG7_COLUMNS, "Fig. 7 table (scaled reproduction)"
+    )
 
 
 def _cmd_attack(args) -> int:

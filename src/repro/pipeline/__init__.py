@@ -11,7 +11,8 @@ experiments, generation/execution times, time-to-first-counterexample).
 from repro.pipeline.config import CampaignConfig
 from repro.pipeline.metrics import CampaignStats, format_table
 from repro.pipeline.database import ExperimentDatabase
-from repro.pipeline.driver import CampaignResult, ScamV
+from repro.pipeline.result import CampaignResult, ExperimentRecord
+from repro.pipeline.driver import ScamV
 from repro.pipeline.analysis import (
     CertificationReport,
     CounterexampleAnalysis,
@@ -25,6 +26,7 @@ __all__ = [
     "format_table",
     "ExperimentDatabase",
     "CampaignResult",
+    "ExperimentRecord",
     "ScamV",
     "CertificationReport",
     "CounterexampleAnalysis",

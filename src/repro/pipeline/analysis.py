@@ -25,8 +25,9 @@ from repro.core.probes import add_address_probes
 from repro.hw.platform import StateInputs
 from repro.isa.lifter import lift
 from repro.isa.program import AsmProgram
+from repro.hw.platform import ExperimentOutcome
 from repro.obs.base import ObservationModel
-from repro.pipeline.driver import CampaignResult
+from repro.pipeline.result import CampaignResult
 from repro.symbolic.concrete import certify_equivalence
 
 
@@ -115,14 +116,18 @@ class CounterexampleAnalysis:
     differing_registers: Counter = field(default_factory=Counter)
     memory_only: int = 0
     total: int = 0
+    inconclusive: int = 0
 
     @classmethod
     def of(cls, result: CampaignResult) -> "CounterexampleAnalysis":
         analysis = cls()
+        analysis.inconclusive = len(result.inconclusive())
+        grouped = result.by_template(ExperimentOutcome.COUNTEREXAMPLE)
+        for template, records in grouped.items():
+            analysis.by_template[template] = len(records)
         for record in result.counterexamples():
             analysis.total += 1
             analysis.by_program[record.program_name] += 1
-            analysis.by_template[record.template] += 1
             diff = diff_states(record.test.state1, record.test.state2)
             for name in diff.registers:
                 analysis.differing_registers[name] += 1
@@ -151,5 +156,10 @@ class CounterexampleAnalysis:
             lines.append(
                 f"  {self.memory_only} differ only in memory contents "
                 "(the SiSCLoak mem[x0] pattern, §6.3)"
+            )
+        if self.inconclusive:
+            lines.append(
+                f"  {self.inconclusive} experiments were inconclusive "
+                "(excluded from analysis)"
             )
         return "\n".join(lines)

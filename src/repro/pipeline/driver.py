@@ -1,47 +1,25 @@
-"""The campaign driver: run the Fig. 1 pipeline at scale."""
+"""The campaign driver: run the Fig. 1 pipeline at scale.
+
+Since the parallel runner landed, the sequential driver is a thin loop
+over the same per-program shard execution the worker pool uses
+(:mod:`repro.runner.worker`): each program's random streams derive from a
+fresh ``SplittableRandom(cfg.seed).split(f"prog{i}")``, so ``ScamV.run()``
+and ``ParallelRunner`` at any worker count produce bit-identical results
+for the same seed.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-from repro.core.testgen import TestCase, TestCaseGenerator
-from repro.errors import ReproError
-from repro.symbolic.concrete import certify_equivalence
-from repro.hw.platform import ExperimentOutcome, ExperimentPlatform
-from repro.isa.assembler import disassemble
 from repro.pipeline.config import CampaignConfig
 from repro.pipeline.database import ExperimentDatabase
 from repro.pipeline.metrics import CampaignStats
-from repro.utils.rng import SplittableRandom
+from repro.pipeline.result import CampaignResult, ExperimentRecord
+from repro.runner.merge import merge_shard_results, record_shard
+from repro.runner.worker import run_shard, shard_specs
 
-
-@dataclass
-class ExperimentRecord:
-    """One executed experiment, for post-hoc analysis."""
-
-    program_name: str
-    template: str
-    outcome: ExperimentOutcome
-    test: TestCase
-    gen_time: float
-    exe_time: float
-
-
-@dataclass
-class CampaignResult:
-    """Everything a campaign produced."""
-
-    stats: CampaignStats
-    records: List[ExperimentRecord] = field(default_factory=list)
-
-    def counterexamples(self) -> List[ExperimentRecord]:
-        return [
-            r
-            for r in self.records
-            if r.outcome is ExperimentOutcome.COUNTEREXAMPLE
-        ]
+__all__ = ["CampaignResult", "ExperimentRecord", "ScamV"]
 
 
 class ScamV:
@@ -65,100 +43,24 @@ class ScamV:
         progress: Optional[Callable[[str], None]] = None,
     ) -> CampaignResult:
         cfg = self.config
-        rng = SplittableRandom(cfg.seed)
-        platform = ExperimentPlatform(cfg.platform, rng=rng.split("platform"))
-        stats = CampaignStats(name=cfg.name)
-        records: List[ExperimentRecord] = []
         campaign_id = None
         if self.database is not None:
             campaign_id = self.database.add_campaign(cfg.name, cfg.describe())
-        started = time.monotonic()
-
-        for program_index in range(cfg.num_programs):
-            generated = cfg.template.generate(rng.split(f"prog{program_index}"))
-            stats.programs += 1
-            program_id = None
+        shards = []
+        counterexamples = 0
+        experiments = 0
+        for spec in shard_specs(cfg):
+            shard = run_shard(cfg, spec)
+            shards.append(shard)
             if self.database is not None:
-                program_id = self.database.add_program(
-                    campaign_id,
-                    generated.asm.name,
-                    generated.template,
-                    disassemble(generated.asm),
-                    generated.params,
-                )
-            try:
-                generator = TestCaseGenerator(
-                    generated.asm,
-                    cfg.model,
-                    config=cfg.testgen,
-                    rng=rng.split(f"gen{program_index}"),
-                    coverage=cfg.coverage,
-                )
-            except ReproError:
-                # A template instance the toolchain cannot analyse (e.g. path
-                # explosion) is skipped, like a failed pipeline run in Scam-V.
-                stats.generation_failures += cfg.tests_per_program
-                continue
-            program_hit = False
-            for _ in range(cfg.tests_per_program):
-                gen_started = time.monotonic()
-                test = generator.generate()
-                gen_time = time.monotonic() - gen_started
-                if test is None:
-                    stats.generation_failures += 1
-                    stats.gen_time_total += gen_time
-                    continue
-                exe_started = time.monotonic()
-                result = platform.run_experiment(
-                    generated.asm, test.state1, test.state2, test.train
-                )
-                exe_time = time.monotonic() - exe_started
-                stats.experiments += 1
-                stats.gen_time_total += gen_time
-                stats.exe_time_total += exe_time
-                if result.outcome is ExperimentOutcome.COUNTEREXAMPLE:
-                    if cfg.certify and not certify_equivalence(
-                        generator.augmented, test.state1, test.state2
-                    ):
-                        # Distinguishable but not model-equivalent on the
-                        # concrete states: a solver artefact, not a
-                        # counterexample to soundness.
-                        stats.uncertified += 1
-                    else:
-                        stats.counterexamples += 1
-                        program_hit = True
-                        if stats.time_to_counterexample is None:
-                            stats.time_to_counterexample = (
-                                time.monotonic() - started
-                            )
-                elif result.outcome is ExperimentOutcome.INCONCLUSIVE:
-                    stats.inconclusive += 1
-                records.append(
-                    ExperimentRecord(
-                        program_name=generated.asm.name,
-                        template=generated.template,
-                        outcome=result.outcome,
-                        test=test,
-                        gen_time=gen_time,
-                        exe_time=exe_time,
-                    )
-                )
-                if self.database is not None:
-                    self.database.add_experiment(
-                        program_id,
-                        result.outcome.value,
-                        test.state1,
-                        test.state2,
-                        test.train,
-                        gen_time,
-                        exe_time,
-                    )
-            if program_hit:
-                stats.programs_with_counterexamples += 1
+                record_shard(self.database, campaign_id, shard)
+            counterexamples += shard.stats.counterexamples
+            experiments += shard.stats.experiments
             if progress is not None:
                 progress(
-                    f"[{cfg.name}] program {program_index + 1}/"
-                    f"{cfg.num_programs}: {stats.counterexamples} "
-                    f"counterexamples in {stats.experiments} experiments"
+                    f"[{cfg.name}] program "
+                    f"{spec.program_indices[-1] + 1}/{cfg.num_programs}: "
+                    f"{counterexamples} counterexamples in "
+                    f"{experiments} experiments"
                 )
-        return CampaignResult(stats=stats, records=records)
+        return merge_shard_results(cfg.name, shards)

@@ -17,6 +17,11 @@ class CampaignStats:
     counterexamples: int = 0
     inconclusive: int = 0
     generation_failures: int = 0
+    # Every call into the test-case generator, successful or not.  The
+    # divisor of ``avg_gen_time``: ``gen_time_total`` accumulates time for
+    # failed generations too, so dividing by ``experiments`` (successes
+    # only) would inflate the reported average.
+    generation_attempts: int = 0
     # Distinguishable pairs that failed the concrete equivalence re-check
     # (only populated when the campaign runs with certify=True).
     uncertified: int = 0
@@ -26,10 +31,10 @@ class CampaignStats:
 
     @property
     def avg_gen_time(self) -> float:
-        """Mean seconds to generate one test case."""
-        if self.experiments == 0:
+        """Mean seconds per test-case generation attempt."""
+        if self.generation_attempts == 0:
             return 0.0
-        return self.gen_time_total / self.experiments
+        return self.gen_time_total / self.generation_attempts
 
     @property
     def avg_exe_time(self) -> float:
@@ -43,6 +48,58 @@ class CampaignStats:
         if self.experiments == 0:
             return 0.0
         return self.counterexamples / self.experiments
+
+    def merge(self, other: "CampaignStats") -> "CampaignStats":
+        """Combine two partial results of the same campaign (shard merge).
+
+        Counters and accumulated times add; ``time_to_counterexample`` takes
+        the earlier of the two shard-local values.  The parallel runner's
+        merge layer recomputes the campaign-relative T.T.C. from the ordered
+        shard durations afterwards (see ``repro.runner.merge``).
+        """
+        ttcs = [
+            t
+            for t in (self.time_to_counterexample, other.time_to_counterexample)
+            if t is not None
+        ]
+        return CampaignStats(
+            name=self.name,
+            programs=self.programs + other.programs,
+            programs_with_counterexamples=(
+                self.programs_with_counterexamples
+                + other.programs_with_counterexamples
+            ),
+            experiments=self.experiments + other.experiments,
+            counterexamples=self.counterexamples + other.counterexamples,
+            inconclusive=self.inconclusive + other.inconclusive,
+            generation_failures=(
+                self.generation_failures + other.generation_failures
+            ),
+            generation_attempts=(
+                self.generation_attempts + other.generation_attempts
+            ),
+            uncertified=self.uncertified + other.uncertified,
+            gen_time_total=self.gen_time_total + other.gen_time_total,
+            exe_time_total=self.exe_time_total + other.exe_time_total,
+            time_to_counterexample=min(ttcs) if ttcs else None,
+        )
+
+    def deterministic_counters(self) -> Dict[str, int]:
+        """The seed-determined counters, excluding wall-clock timings.
+
+        Two runs of the same campaign at any worker count must agree on
+        these exactly; timing fields legitimately differ run to run.
+        """
+        return {
+            "programs": self.programs,
+            "programs_with_counterexamples": self.programs_with_counterexamples,
+            "experiments": self.experiments,
+            "counterexamples": self.counterexamples,
+            "inconclusive": self.inconclusive,
+            "generation_failures": self.generation_failures,
+            "generation_attempts": self.generation_attempts,
+            "uncertified": self.uncertified,
+        }
 
     def as_row(self) -> Dict[str, object]:
         """The paper's table-row metrics, in Table 1 order."""

@@ -1,0 +1,65 @@
+"""Campaign results: per-experiment records and their aggregate.
+
+Lives apart from the driver so both execution paths — the sequential
+:class:`~repro.pipeline.driver.ScamV` loop and the parallel runner's shard
+workers (:mod:`repro.runner.worker`) — can build the same record types
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.testgen import TestCase
+from repro.hw.platform import ExperimentOutcome
+from repro.pipeline.metrics import CampaignStats
+
+
+@dataclass
+class ExperimentRecord:
+    """One executed experiment, for post-hoc analysis."""
+
+    program_name: str
+    template: str
+    outcome: ExperimentOutcome
+    test: TestCase
+    gen_time: float
+    exe_time: float
+    # Index of the generated program within its campaign (program names are
+    # template-derived and may repeat; the index is the unique key the
+    # parallel runner uses to re-associate records with program rows).
+    program_index: int = -1
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    stats: CampaignStats
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    def counterexamples(self) -> List[ExperimentRecord]:
+        return [
+            r
+            for r in self.records
+            if r.outcome is ExperimentOutcome.COUNTEREXAMPLE
+        ]
+
+    def inconclusive(self) -> List[ExperimentRecord]:
+        return [
+            r
+            for r in self.records
+            if r.outcome is ExperimentOutcome.INCONCLUSIVE
+        ]
+
+    def by_template(
+        self, outcome: Optional[ExperimentOutcome] = None
+    ) -> Dict[str, List[ExperimentRecord]]:
+        """Records grouped by template name, optionally outcome-filtered."""
+        grouped: Dict[str, List[ExperimentRecord]] = {}
+        for record in self.records:
+            if outcome is not None and record.outcome is not outcome:
+                continue
+            grouped.setdefault(record.template, []).append(record)
+        return grouped

@@ -1,0 +1,77 @@
+"""The parallel campaign runner: sharded, checkpointed, fault-tolerant.
+
+Shards a :class:`~repro.pipeline.config.CampaignConfig` into per-program
+work units, executes them across a process pool with per-shard timeout and
+bounded retry, journals completed shards for ``--resume``, and merges the
+results into a :class:`~repro.pipeline.result.CampaignResult` bit-identical
+to the sequential driver's (same seed, any worker count).
+
+Layers:
+
+* :mod:`repro.runner.worker`     — the picklable shard task
+* :mod:`repro.runner.scheduler`  — work-queue dispatch, stragglers, retries
+* :mod:`repro.runner.checkpoint` — append-only JSONL resume journal
+* :mod:`repro.runner.events`     — structured progress/telemetry stream
+* :mod:`repro.runner.merge`      — ordered recombination + database writes
+"""
+
+from repro.runner.checkpoint import CheckpointJournal, campaign_key
+from repro.runner.events import (
+    CampaignFinished,
+    CampaignScheduled,
+    CounterexampleFound,
+    EventLog,
+    EventSink,
+    RunnerDegraded,
+    RunnerEvent,
+    ShardFailed,
+    ShardFinished,
+    ShardRetried,
+    ShardStarted,
+    progress_printer,
+)
+from repro.runner.merge import merge_shard_results, record_shard, record_shards
+from repro.runner.scheduler import (
+    ParallelRunner,
+    RunnerConfig,
+    RunnerError,
+    ShardExhaustedError,
+)
+from repro.runner.worker import (
+    ProgramRecord,
+    ShardResult,
+    ShardSpec,
+    run_shard,
+    shard_rng,
+    shard_specs,
+)
+
+__all__ = [
+    "CampaignFinished",
+    "CampaignScheduled",
+    "CheckpointJournal",
+    "CounterexampleFound",
+    "EventLog",
+    "EventSink",
+    "ParallelRunner",
+    "ProgramRecord",
+    "RunnerConfig",
+    "RunnerDegraded",
+    "RunnerError",
+    "RunnerEvent",
+    "ShardExhaustedError",
+    "ShardFailed",
+    "ShardFinished",
+    "ShardResult",
+    "ShardRetried",
+    "ShardSpec",
+    "ShardStarted",
+    "campaign_key",
+    "merge_shard_results",
+    "progress_printer",
+    "record_shard",
+    "record_shards",
+    "run_shard",
+    "shard_rng",
+    "shard_specs",
+]

@@ -1,0 +1,220 @@
+"""Append-only JSONL checkpoint journal for interrupted campaigns.
+
+Every completed shard is appended as one self-contained JSON line; a
+``--resume`` run replays the journal, skips the shards already recorded,
+and executes only the remainder.  Because shard execution is a pure
+function of ``(config, program index)`` (see :mod:`repro.runner.worker`),
+a resumed campaign's merged result is bit-identical to an uninterrupted
+run of the same seed.
+
+Robustness: a partial trailing line (the process died mid-append) is
+ignored; entries whose campaign key does not match the configuration being
+resumed are ignored too, so one journal can host several campaigns (e.g. a
+whole ``table1`` set) and a changed configuration never silently reuses
+stale results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.platform import ExperimentOutcome, StateInputs
+from repro.isa.assembler import assemble
+from repro.core.testgen import TestCase
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.metrics import CampaignStats
+from repro.pipeline.result import ExperimentRecord
+from repro.runner.worker import ProgramRecord, ShardResult
+
+_VERSION = 1
+
+#: ``(campaign index, shard id)`` — the key a journal entry is stored under.
+ShardKey = Tuple[int, int]
+
+
+def campaign_key(config: CampaignConfig) -> str:
+    """A fingerprint that must match for journal entries to be reused."""
+    return (
+        f"{config.name}|seed={config.seed}"
+        f"|programs={config.num_programs}"
+        f"|tests={config.tests_per_program}"
+        f"|model={config.model.name}"
+    )
+
+
+def _dump_state(state: Optional[StateInputs]) -> Optional[Dict]:
+    if state is None:
+        return None
+    return {
+        "regs": dict(state.regs),
+        "memory": {str(addr): value for addr, value in state.memory.items()},
+    }
+
+
+def _load_state(payload: Optional[Dict]) -> Optional[StateInputs]:
+    if payload is None:
+        return None
+    return StateInputs(
+        regs=dict(payload["regs"]),
+        memory={int(addr): value for addr, value in payload["memory"].items()},
+    )
+
+
+def _dump_stats(stats: CampaignStats) -> Dict:
+    return {
+        "name": stats.name,
+        "programs": stats.programs,
+        "programs_with_counterexamples": stats.programs_with_counterexamples,
+        "experiments": stats.experiments,
+        "counterexamples": stats.counterexamples,
+        "inconclusive": stats.inconclusive,
+        "generation_failures": stats.generation_failures,
+        "generation_attempts": stats.generation_attempts,
+        "uncertified": stats.uncertified,
+        "gen_time_total": stats.gen_time_total,
+        "exe_time_total": stats.exe_time_total,
+        "time_to_counterexample": stats.time_to_counterexample,
+    }
+
+
+def _dump_shard(shard: ShardResult) -> Dict:
+    return {
+        "shard_id": shard.shard_id,
+        "program_indices": list(shard.program_indices),
+        "attempt": shard.attempt,
+        "duration": shard.duration,
+        "stats": _dump_stats(shard.stats),
+        "programs": [
+            {
+                "index": program.index,
+                "name": program.name,
+                "template": program.template,
+                "asm": program.asm_text,
+                "params": program.params,
+            }
+            for program in shard.programs
+        ],
+        "records": [
+            {
+                "program_index": record.program_index,
+                "program_name": record.program_name,
+                "template": record.template,
+                "outcome": record.outcome.value,
+                "gen_time": record.gen_time,
+                "exe_time": record.exe_time,
+                "pair": list(record.test.pair),
+                "refined": record.test.refined,
+                "state1": _dump_state(record.test.state1),
+                "state2": _dump_state(record.test.state2),
+                "train": _dump_state(record.test.train),
+            }
+            for record in shard.records
+        ],
+    }
+
+
+def _load_shard(payload: Dict) -> ShardResult:
+    programs = [
+        ProgramRecord(
+            index=entry["index"],
+            name=entry["name"],
+            template=entry["template"],
+            asm_text=entry["asm"],
+            params=entry["params"],
+        )
+        for entry in payload["programs"]
+    ]
+    # Reassemble each generated program once; records of the same program
+    # share the instance, as they did in the original run.
+    asm_by_index = {
+        program.index: assemble(program.asm_text, name=program.name)
+        for program in programs
+    }
+    records = []
+    for entry in payload["records"]:
+        test = TestCase(
+            program=asm_by_index[entry["program_index"]],
+            state1=_load_state(entry["state1"]),
+            state2=_load_state(entry["state2"]),
+            train=_load_state(entry["train"]),
+            pair=tuple(entry["pair"]),
+            refined=entry["refined"],
+        )
+        records.append(
+            ExperimentRecord(
+                program_name=entry["program_name"],
+                template=entry["template"],
+                outcome=ExperimentOutcome(entry["outcome"]),
+                test=test,
+                gen_time=entry["gen_time"],
+                exe_time=entry["exe_time"],
+                program_index=entry["program_index"],
+            )
+        )
+    return ShardResult(
+        shard_id=payload["shard_id"],
+        program_indices=tuple(payload["program_indices"]),
+        stats=CampaignStats(**payload["stats"]),
+        records=records,
+        programs=programs,
+        attempt=payload["attempt"],
+        duration=payload["duration"],
+    )
+
+
+class CheckpointJournal:
+    """The append-only journal of completed shards for one runner invocation."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def append(
+        self, campaign_index: int, key: str, shard: ShardResult
+    ) -> None:
+        entry = {
+            "v": _VERSION,
+            "campaign": campaign_index,
+            "key": key,
+            "shard": _dump_shard(shard),
+        }
+        line = json.dumps(entry, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(
+        self, expected_keys: Dict[int, str]
+    ) -> Dict[ShardKey, ShardResult]:
+        """Completed shards whose campaign fingerprint still matches.
+
+        ``expected_keys`` maps campaign index to :func:`campaign_key` of the
+        configuration being (re-)run; mismatching and malformed entries are
+        skipped rather than trusted.
+        """
+        completed: Dict[ShardKey, ShardResult] = {}
+        if not os.path.exists(self.path):
+            return completed
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # Partial trailing line from an interrupted append.
+                    continue
+                if entry.get("v") != _VERSION:
+                    continue
+                campaign_index = entry.get("campaign")
+                if expected_keys.get(campaign_index) != entry.get("key"):
+                    continue
+                try:
+                    shard = _load_shard(entry["shard"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                completed[(campaign_index, shard.shard_id)] = shard
+        return completed

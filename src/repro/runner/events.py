@@ -1,0 +1,168 @@
+"""Structured progress/telemetry events emitted by the campaign runner.
+
+The scheduler narrates a campaign as a stream of typed events — shards
+dispatched, finished, retried, counterexamples found — instead of writing
+to stdout itself.  Consumers decide presentation: the CLI renders a
+progress line per shard (:func:`progress_printer`), tests capture the
+stream with :class:`EventLog`, and future telemetry backends can fan the
+same stream out elsewhere.  All events are emitted from the parent process
+only; workers communicate results, never output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TextIO, Type, TypeVar
+
+
+@dataclass(frozen=True)
+class RunnerEvent:
+    """Base class of every runner event."""
+
+
+@dataclass(frozen=True)
+class CampaignScheduled(RunnerEvent):
+    """A campaign was sharded and queued for execution."""
+
+    campaign: str
+    shards: int
+    resumed_shards: int = 0
+
+
+@dataclass(frozen=True)
+class ShardStarted(RunnerEvent):
+    campaign: str
+    shard_id: int
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class ShardFinished(RunnerEvent):
+    campaign: str
+    shard_id: int
+    experiments: int = 0
+    counterexamples: int = 0
+    duration: float = 0.0
+    #: True when the result came from the checkpoint journal, not a worker.
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ShardRetried(RunnerEvent):
+    """A shard attempt crashed, hung, or its worker died; it was requeued."""
+
+    campaign: str
+    shard_id: int
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ShardFailed(RunnerEvent):
+    """A shard exhausted its retry budget."""
+
+    campaign: str
+    shard_id: int
+    attempts: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class CounterexampleFound(RunnerEvent):
+    campaign: str
+    shard_id: int
+    program: str
+
+
+@dataclass(frozen=True)
+class CampaignFinished(RunnerEvent):
+    campaign: str
+    experiments: int = 0
+    counterexamples: int = 0
+
+
+@dataclass(frozen=True)
+class RunnerDegraded(RunnerEvent):
+    """Multiprocessing was unavailable; fell back to in-process execution."""
+
+    reason: str
+
+
+#: Anything that accepts runner events (the scheduler's ``events=`` hook).
+EventSink = Callable[[RunnerEvent], None]
+
+E = TypeVar("E", bound=RunnerEvent)
+
+
+class EventLog:
+    """An event sink that records the stream for inspection (tests, CLI)."""
+
+    def __init__(self) -> None:
+        self.events: List[RunnerEvent] = []
+
+    def __call__(self, event: RunnerEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, kind: Type[E]) -> List[E]:
+        return [e for e in self.events if isinstance(e, kind)]
+
+
+def progress_printer(
+    stream: Optional[TextIO] = None,
+) -> EventSink:
+    """An event sink rendering the CLI's per-shard progress lines.
+
+    Keeps a cumulative counterexample/experiment count per campaign so the
+    output reads like the sequential driver's progress messages even when
+    shards finish out of order.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+    finished: Dict[str, int] = {}
+    totals: Dict[str, int] = {}
+    cex: Dict[str, int] = {}
+    experiments: Dict[str, int] = {}
+
+    def sink(event: RunnerEvent) -> None:
+        if isinstance(event, CampaignScheduled):
+            totals[event.campaign] = event.shards
+            finished.setdefault(event.campaign, 0)
+            cex.setdefault(event.campaign, 0)
+            experiments.setdefault(event.campaign, 0)
+        elif isinstance(event, ShardFinished):
+            finished[event.campaign] = finished.get(event.campaign, 0) + 1
+            cex[event.campaign] = (
+                cex.get(event.campaign, 0) + event.counterexamples
+            )
+            experiments[event.campaign] = (
+                experiments.get(event.campaign, 0) + event.experiments
+            )
+            suffix = " (resumed)" if event.cached else ""
+            print(
+                f"[{event.campaign}] shard {finished[event.campaign]}/"
+                f"{totals.get(event.campaign, '?')}: "
+                f"{cex[event.campaign]} counterexamples in "
+                f"{experiments[event.campaign]} experiments{suffix}",
+                file=out,
+            )
+        elif isinstance(event, ShardRetried):
+            print(
+                f"[{event.campaign}] shard {event.shard_id} retry "
+                f"#{event.attempt}: {event.reason}",
+                file=out,
+            )
+        elif isinstance(event, ShardFailed):
+            print(
+                f"[{event.campaign}] shard {event.shard_id} FAILED after "
+                f"{event.attempts} attempts: {event.reason}",
+                file=out,
+            )
+        elif isinstance(event, RunnerDegraded):
+            print(
+                f"parallel execution unavailable ({event.reason}); "
+                "running sequentially",
+                file=out,
+            )
+
+    return sink

@@ -1,0 +1,83 @@
+"""Merging shard results back into a sequential-equivalent campaign result.
+
+Shards complete in whatever order the pool schedules them; this layer
+reorders by shard id and concatenates, so the merged
+:class:`~repro.pipeline.result.CampaignResult` has records in exactly the
+order the sequential driver would have produced, and the merged
+:class:`~repro.pipeline.metrics.CampaignStats` counters are bit-identical
+to a sequential run of the same seed.
+
+Time-to-counterexample is rebased onto the as-if-sequential timeline:
+the sum of the durations of all shards ordered before the first
+counterexample-bearing shard, plus that shard's local offset.
+
+Database writes also live here: workers never touch the experiment
+database (SQLite stays single-writer); the parent records each completed
+shard's programs and experiments via :func:`record_shard`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.pipeline.database import ExperimentDatabase
+from repro.pipeline.metrics import CampaignStats
+from repro.pipeline.result import CampaignResult
+from repro.runner.worker import ShardResult
+
+
+def merge_shard_results(
+    name: str, shards: Iterable[ShardResult]
+) -> CampaignResult:
+    """Recombine shard results into one campaign result, in shard order."""
+    ordered = sorted(shards, key=lambda shard: shard.shard_id)
+    stats = CampaignStats(name=name)
+    result = CampaignResult(stats=stats)
+    elapsed = 0.0
+    ttc: Optional[float] = None
+    for shard in ordered:
+        stats = stats.merge(shard.stats)
+        if ttc is None and shard.stats.time_to_counterexample is not None:
+            ttc = elapsed + shard.stats.time_to_counterexample
+        elapsed += shard.duration
+        result.records.extend(shard.records)
+    stats.name = name
+    stats.time_to_counterexample = ttc
+    result.stats = stats
+    return result
+
+
+def record_shard(
+    database: ExperimentDatabase, campaign_id: int, shard: ShardResult
+) -> None:
+    """Insert one shard's programs and experiments (parent process only)."""
+    for program in shard.programs:
+        program_id = database.add_program(
+            campaign_id,
+            program.name,
+            program.template,
+            program.asm_text,
+            program.params,
+        )
+        for record in shard.records:
+            if record.program_index != program.index:
+                continue
+            database.add_experiment(
+                program_id,
+                record.outcome.value,
+                record.test.state1,
+                record.test.state2,
+                record.test.train,
+                record.gen_time,
+                record.exe_time,
+            )
+
+
+def record_shards(
+    database: ExperimentDatabase,
+    campaign_id: int,
+    shards: Iterable[ShardResult],
+) -> None:
+    """Record completed shards in shard order (deterministic row order)."""
+    for shard in sorted(shards, key=lambda shard: shard.shard_id):
+        record_shard(database, campaign_id, shard)

@@ -1,0 +1,550 @@
+"""The work-queue scheduler: shard dispatch across a process pool.
+
+Design:
+
+* One duplex pipe per worker process — the parent assigns exactly one
+  shard at a time to each worker, so it always knows what every worker is
+  doing and since when.  Results never share a queue, so terminating a
+  stuck worker cannot corrupt another worker's channel.
+* Straggler handling — a shard that exceeds ``shard_timeout`` gets its
+  worker terminated and replaced, and the shard is requeued.
+* Bounded retry with backoff — crashes, hangs, and silent worker deaths
+  requeue the shard with a linearly growing delay, up to ``max_retries``
+  extra attempts; exhaustion raises :class:`ShardExhaustedError` (partial
+  results up to that point remain in the checkpoint journal).
+* Graceful degradation — when multiprocessing is unavailable (no ``fork``/
+  ``spawn`` support, sandboxed semaphores, ...) the same task list runs
+  in-process with identical results, since shard execution is
+  deterministic (see :mod:`repro.runner.worker`).
+
+Because every shard derives its randomness from
+``SplittableRandom(seed).split(f"prog{i}")``, retrying a shard — even on a
+different worker after a crash — reproduces exactly the result the failed
+attempt would have produced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.database import ExperimentDatabase
+from repro.pipeline.result import CampaignResult
+from repro.runner.checkpoint import CheckpointJournal, ShardKey, campaign_key
+from repro.runner.events import (
+    CampaignFinished,
+    CampaignScheduled,
+    CounterexampleFound,
+    EventSink,
+    RunnerDegraded,
+    RunnerEvent,
+    ShardFailed,
+    ShardFinished,
+    ShardRetried,
+    ShardStarted,
+)
+from repro.runner.merge import merge_shard_results, record_shards
+from repro.runner.worker import (
+    FaultInjector,
+    ShardResult,
+    ShardSpec,
+    run_shard,
+    shard_specs,
+)
+from repro.hw.platform import ExperimentOutcome
+
+
+class RunnerError(ReproError):
+    """The parallel runner could not complete a campaign."""
+
+
+class ShardExhaustedError(RunnerError):
+    """A shard kept failing after its full retry budget."""
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Execution-engine knobs, orthogonal to what the campaign computes."""
+
+    #: Worker processes; ``<= 1`` executes shards in-process (still through
+    #: the same shard/merge machinery, with identical results).
+    workers: int = 1
+    #: Seconds before an in-flight shard is declared stuck, its worker
+    #: killed, and the shard requeued.  ``None`` disables the watchdog.
+    shard_timeout: Optional[float] = None
+    #: Extra attempts per shard after the first, before giving up.
+    max_retries: int = 2
+    #: Base requeue delay; attempt ``n`` waits ``n * retry_backoff``.
+    retry_backoff: float = 0.25
+    #: Consecutive program indices per shard (1 = paper-style per-program).
+    programs_per_shard: int = 1
+    #: JSONL journal path; completed shards are appended as they finish.
+    checkpoint_path: Optional[str] = None
+    #: Skip shards already present in the journal (same campaign key).
+    resume: bool = False
+    #: Multiprocessing start method (``fork``/``spawn``/``forkserver``);
+    #: ``None`` uses the platform default.
+    start_method: Optional[str] = None
+    #: Test hook forwarded to every shard attempt (picklable).
+    fault_injector: Optional[FaultInjector] = None
+
+
+@dataclass
+class _Task:
+    """One schedulable shard attempt."""
+
+    key: ShardKey
+    config: CampaignConfig
+    spec: ShardSpec
+    attempt: int = 0
+
+
+@dataclass
+class _Worker:
+    """Parent-side bookkeeping for one pool process."""
+
+    uid: int
+    process: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    task: Optional[_Task] = None
+    started_at: float = 0.0
+
+
+def _worker_main(conn) -> None:
+    """Pool process body: serve shard tasks until the pipe closes."""
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            break
+        if item is None:
+            break
+        key, config, spec, attempt, fault = item
+        try:
+            result = run_shard(config, spec, attempt=attempt, fault=fault)
+            payload = ("ok", key, attempt, result)
+        except BaseException as exc:  # report crashes, keep serving
+            payload = ("error", key, attempt, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class ParallelRunner:
+    """Shards campaigns across a worker pool and merges the results."""
+
+    def __init__(
+        self,
+        config: Optional[RunnerConfig] = None,
+        events: Optional[EventSink] = None,
+    ):
+        self.config = config or RunnerConfig()
+        self._events = events
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        campaign: CampaignConfig,
+        database: Optional[ExperimentDatabase] = None,
+    ) -> CampaignResult:
+        """Run one campaign; shards execute across the pool."""
+        return self.run_many([campaign], database=database)[0]
+
+    def run_many(
+        self,
+        campaigns: Sequence[CampaignConfig],
+        database: Optional[ExperimentDatabase] = None,
+    ) -> List[CampaignResult]:
+        """Run a set of campaigns concurrently over one shared pool.
+
+        All shards of all campaigns feed a single work queue, so a
+        ``table1``-style campaign set keeps every worker busy even while
+        individual campaigns wind down.
+        """
+        specs_per_campaign = [
+            shard_specs(cfg, self.config.programs_per_shard)
+            for cfg in campaigns
+        ]
+        expected_keys = {
+            index: campaign_key(cfg) for index, cfg in enumerate(campaigns)
+        }
+        journal = (
+            CheckpointJournal(self.config.checkpoint_path)
+            if self.config.checkpoint_path
+            else None
+        )
+        completed: Dict[ShardKey, ShardResult] = {}
+        if journal is not None and self.config.resume:
+            completed = journal.load(expected_keys)
+        tasks: List[_Task] = []
+        for index, (cfg, specs) in enumerate(
+            zip(campaigns, specs_per_campaign)
+        ):
+            resumed = sum(
+                1 for spec in specs if (index, spec.shard_id) in completed
+            )
+            self._emit(
+                CampaignScheduled(
+                    campaign=cfg.name,
+                    shards=len(specs),
+                    resumed_shards=resumed,
+                )
+            )
+            for spec in specs:
+                key = (index, spec.shard_id)
+                if key in completed:
+                    shard = completed[key]
+                    self._emit(
+                        ShardFinished(
+                            campaign=cfg.name,
+                            shard_id=spec.shard_id,
+                            experiments=shard.stats.experiments,
+                            counterexamples=shard.stats.counterexamples,
+                            duration=shard.duration,
+                            cached=True,
+                        )
+                    )
+                else:
+                    tasks.append(_Task(key=key, config=cfg, spec=spec))
+
+        if tasks:
+            if self.config.workers > 1:
+                fresh = self._run_pool(campaigns, tasks, journal, expected_keys)
+            else:
+                fresh = self._run_inline(
+                    campaigns, tasks, journal, expected_keys
+                )
+            completed.update(fresh)
+
+        results: List[CampaignResult] = []
+        for index, (cfg, specs) in enumerate(
+            zip(campaigns, specs_per_campaign)
+        ):
+            shards = [completed[(index, spec.shard_id)] for spec in specs]
+            result = merge_shard_results(cfg.name, shards)
+            if database is not None:
+                campaign_id = database.add_campaign(cfg.name, cfg.describe())
+                record_shards(database, campaign_id, shards)
+            self._emit(
+                CampaignFinished(
+                    campaign=cfg.name,
+                    experiments=result.stats.experiments,
+                    counterexamples=result.stats.counterexamples,
+                )
+            )
+            results.append(result)
+        return results
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit(self, event: RunnerEvent) -> None:
+        if self._events is not None:
+            self._events(event)
+
+    def _complete(
+        self,
+        task: _Task,
+        shard: ShardResult,
+        journal: Optional[CheckpointJournal],
+        expected_keys: Dict[int, str],
+        done: Dict[ShardKey, ShardResult],
+    ) -> None:
+        done[task.key] = shard
+        if journal is not None:
+            campaign_index = task.key[0]
+            journal.append(
+                campaign_index, expected_keys[campaign_index], shard
+            )
+        for record in shard.records:
+            if record.outcome is ExperimentOutcome.COUNTEREXAMPLE:
+                self._emit(
+                    CounterexampleFound(
+                        campaign=task.config.name,
+                        shard_id=task.spec.shard_id,
+                        program=record.program_name,
+                    )
+                )
+        self._emit(
+            ShardFinished(
+                campaign=task.config.name,
+                shard_id=task.spec.shard_id,
+                experiments=shard.stats.experiments,
+                counterexamples=shard.stats.counterexamples,
+                duration=shard.duration,
+            )
+        )
+
+    def _next_attempt(self, task: _Task, reason: str) -> _Task:
+        """Account a failed attempt; raise when the budget is exhausted."""
+        attempt = task.attempt + 1
+        if attempt > self.config.max_retries:
+            self._emit(
+                ShardFailed(
+                    campaign=task.config.name,
+                    shard_id=task.spec.shard_id,
+                    attempts=attempt,
+                    reason=reason,
+                )
+            )
+            raise ShardExhaustedError(
+                f"shard {task.spec.shard_id} of campaign "
+                f"{task.config.name!r} failed {attempt} times; last: {reason}"
+            )
+        self._emit(
+            ShardRetried(
+                campaign=task.config.name,
+                shard_id=task.spec.shard_id,
+                attempt=attempt,
+                reason=reason,
+            )
+        )
+        return _Task(
+            key=task.key, config=task.config, spec=task.spec, attempt=attempt
+        )
+
+    # -- in-process execution (workers <= 1, or degraded mode) ---------------
+
+    def _run_inline(
+        self,
+        campaigns: Sequence[CampaignConfig],
+        tasks: List[_Task],
+        journal: Optional[CheckpointJournal],
+        expected_keys: Dict[int, str],
+    ) -> Dict[ShardKey, ShardResult]:
+        done: Dict[ShardKey, ShardResult] = {}
+        for task in tasks:
+            while True:
+                self._emit(
+                    ShardStarted(
+                        campaign=task.config.name,
+                        shard_id=task.spec.shard_id,
+                        attempt=task.attempt,
+                    )
+                )
+                try:
+                    shard = run_shard(
+                        task.config,
+                        task.spec,
+                        attempt=task.attempt,
+                        fault=self.config.fault_injector,
+                    )
+                except Exception as exc:
+                    task = self._next_attempt(
+                        task, f"{type(exc).__name__}: {exc}"
+                    )
+                    time.sleep(self.config.retry_backoff * task.attempt)
+                    continue
+                self._complete(task, shard, journal, expected_keys, done)
+                break
+        return done
+
+    # -- pool execution ------------------------------------------------------
+
+    def _run_pool(
+        self,
+        campaigns: Sequence[CampaignConfig],
+        tasks: List[_Task],
+        journal: Optional[CheckpointJournal],
+        expected_keys: Dict[int, str],
+    ) -> Dict[ShardKey, ShardResult]:
+        try:
+            context = multiprocessing.get_context(self.config.start_method)
+        except ValueError as exc:
+            self._emit(RunnerDegraded(reason=str(exc)))
+            return self._run_inline(campaigns, tasks, journal, expected_keys)
+
+        pool: Dict[int, _Worker] = {}
+        next_uid = 0
+
+        def spawn() -> Optional[_Worker]:
+            nonlocal next_uid
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            worker = _Worker(uid=next_uid, process=process, conn=parent_conn)
+            next_uid += 1
+            pool[worker.uid] = worker
+            return worker
+
+        def discard(worker: _Worker, kill: bool = False) -> None:
+            pool.pop(worker.uid, None)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if kill and worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+
+        total = len(tasks)
+        ready: Deque[_Task] = deque(tasks)
+        delayed: List[Tuple[float, _Task]] = []
+        done: Dict[ShardKey, ShardResult] = {}
+        try:
+            try:
+                for _ in range(min(self.config.workers, total)):
+                    spawn()
+            except (OSError, ImportError, AttributeError, ValueError) as exc:
+                self._emit(RunnerDegraded(reason=f"{type(exc).__name__}: {exc}"))
+                for worker in list(pool.values()):
+                    discard(worker, kill=True)
+                remaining = list(ready) + [task for _, task in delayed]
+                inline = self._run_inline(
+                    campaigns, remaining, journal, expected_keys
+                )
+                done.update(inline)
+                return done
+
+            while len(done) < total:
+                now = time.monotonic()
+                if delayed:
+                    still_delayed = []
+                    for ready_at, task in delayed:
+                        if ready_at <= now:
+                            ready.append(task)
+                        else:
+                            still_delayed.append((ready_at, task))
+                    delayed = still_delayed
+                # Dispatch to idle workers.
+                for worker in pool.values():
+                    if worker.task is None and ready:
+                        task = ready.popleft()
+                        if task.key in done:
+                            continue  # a straggler's late result beat it
+                        worker.task = task
+                        worker.started_at = now
+                        worker.conn.send(
+                            (
+                                task.key,
+                                task.config,
+                                task.spec,
+                                task.attempt,
+                                self.config.fault_injector,
+                            )
+                        )
+                        self._emit(
+                            ShardStarted(
+                                campaign=task.config.name,
+                                shard_id=task.spec.shard_id,
+                                attempt=task.attempt,
+                            )
+                        )
+                busy = [w for w in pool.values() if w.task is not None]
+                if not busy and not ready and not delayed and len(done) < total:
+                    raise RunnerError(
+                        "scheduler stalled with no busy workers and "
+                        f"{total - len(done)} shards outstanding"
+                    )
+                conns = [worker.conn for worker in busy]
+                ready_conns = (
+                    multiprocessing.connection.wait(conns, timeout=0.05)
+                    if conns
+                    else []
+                )
+                for conn in ready_conns:
+                    worker = next(
+                        w for w in pool.values() if w.conn is conn
+                    )
+                    task = worker.task
+                    try:
+                        kind, key, attempt, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died without reporting (hard crash).
+                        discard(worker, kill=True)
+                        spawn()
+                        if task is not None and task.key not in done:
+                            retried = self._next_attempt(
+                                task, "worker died unexpectedly"
+                            )
+                            delayed.append(
+                                (
+                                    now
+                                    + self.config.retry_backoff
+                                    * retried.attempt,
+                                    retried,
+                                )
+                            )
+                        continue
+                    worker.task = None
+                    if task is None or task.key != key:
+                        # Stale message (cannot normally happen: each pipe
+                        # carries one task at a time).  Accept a usable
+                        # result — shard execution is deterministic, so any
+                        # attempt's result is THE result — and drop the rest.
+                        if kind != "ok" or key in done:
+                            continue
+                        task = _Task(
+                            key=key,
+                            config=campaigns[key[0]],
+                            spec=ShardSpec(
+                                shard_id=key[1],
+                                program_indices=payload.program_indices,
+                            ),
+                            attempt=attempt,
+                        )
+                    if key in done:
+                        continue
+                    if kind == "ok":
+                        self._complete(
+                            task, payload, journal, expected_keys, done
+                        )
+                    else:
+                        retried = self._next_attempt(task, payload)
+                        delayed.append(
+                            (
+                                now
+                                + self.config.retry_backoff * retried.attempt,
+                                retried,
+                            )
+                        )
+                # Straggler watchdog and silent-death detection.
+                for worker in list(pool.values()):
+                    task = worker.task
+                    if task is None:
+                        continue
+                    timed_out = (
+                        self.config.shard_timeout is not None
+                        and time.monotonic() - worker.started_at
+                        > self.config.shard_timeout
+                    )
+                    vanished = not worker.process.is_alive()
+                    if not timed_out and not vanished:
+                        continue
+                    reason = (
+                        f"timed out after {self.config.shard_timeout:.1f}s"
+                        if timed_out
+                        else "worker process died"
+                    )
+                    discard(worker, kill=True)
+                    spawn()
+                    if task.key not in done:
+                        retried = self._next_attempt(task, reason)
+                        delayed.append(
+                            (
+                                time.monotonic()
+                                + self.config.retry_backoff * retried.attempt,
+                                retried,
+                            )
+                        )
+        finally:
+            for worker in list(pool.values()):
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                discard(worker)
+        return done

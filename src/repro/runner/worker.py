@@ -1,0 +1,219 @@
+"""Shard execution: the picklable unit of work the pool runs.
+
+A *shard* is a slice of a campaign's program indices.  :func:`run_shard`
+executes the full per-program pipeline — template generation, (cached)
+symbolic execution and test-case generation, experiment execution,
+optional certification — for every index in the shard and returns a
+:class:`ShardResult` that the merge layer recombines.
+
+Determinism contract: every random stream a shard consumes is derived from
+``SplittableRandom(cfg.seed).split(f"prog{i}")`` with a fresh root per
+program, never from state shared across programs.  A shard's result is
+therefore a pure function of ``(config, program index)`` — independent of
+which worker runs it, how programs are grouped into shards, or whether it
+runs in-process or in a pool — which is what makes merged parallel results
+bit-identical to the sequential driver's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.testgen import TestCaseGenerator
+from repro.errors import ReproError
+from repro.hw.platform import ExperimentOutcome, ExperimentPlatform
+from repro.isa.assembler import disassemble
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.metrics import CampaignStats
+from repro.pipeline.result import ExperimentRecord
+from repro.symbolic.concrete import certify_equivalence
+from repro.utils.rng import SplittableRandom
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Which slice of a campaign a shard covers."""
+
+    shard_id: int
+    program_indices: tuple
+
+    def describe(self) -> str:
+        indices = self.program_indices
+        if len(indices) == 1:
+            return f"program {indices[0]}"
+        return f"programs {indices[0]}..{indices[-1]}"
+
+
+@dataclass
+class ProgramRecord:
+    """One generated program, as the database records it.
+
+    Kept alongside the experiment records so the parent process can insert
+    program rows (and re-associate experiments with them) without workers
+    ever touching the single-writer SQLite handle.
+    """
+
+    index: int
+    name: str
+    template: str
+    asm_text: str
+    params: Dict = field(default_factory=dict)
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard produced, ready for merging."""
+
+    shard_id: int
+    program_indices: tuple
+    stats: CampaignStats
+    records: List[ExperimentRecord] = field(default_factory=list)
+    programs: List[ProgramRecord] = field(default_factory=list)
+    attempt: int = 0
+    duration: float = 0.0
+
+
+#: Test hook: called with ``(spec, attempt)`` at the start of every shard
+#: attempt.  Raising simulates a worker crash; sleeping simulates a hang.
+FaultInjector = Callable[[ShardSpec, int], None]
+
+
+def shard_specs(
+    config: CampaignConfig, programs_per_shard: int = 1
+) -> List[ShardSpec]:
+    """Slice a campaign into shards of consecutive program indices."""
+    if programs_per_shard < 1:
+        raise ValueError("programs_per_shard must be >= 1")
+    indices = range(config.num_programs)
+    return [
+        ShardSpec(
+            shard_id=shard_id,
+            program_indices=tuple(indices[lo : lo + programs_per_shard]),
+        )
+        for shard_id, lo in enumerate(
+            range(0, config.num_programs, programs_per_shard)
+        )
+    ]
+
+
+def shard_rng(config: CampaignConfig, program_index: int) -> SplittableRandom:
+    """The root random stream of one program's shard work.
+
+    Derived from a fresh ``SplittableRandom(cfg.seed)`` so the value depends
+    only on the campaign seed and the program index — not on how many
+    programs preceded this one in whatever process ran them.
+    """
+    return SplittableRandom(config.seed).split(f"prog{program_index}")
+
+
+def run_shard(
+    config: CampaignConfig,
+    spec: ShardSpec,
+    attempt: int = 0,
+    fault: Optional[FaultInjector] = None,
+) -> ShardResult:
+    """Execute one shard: the Fig. 1 pipeline for each program index."""
+    if fault is not None:
+        fault(spec, attempt)
+    started = time.monotonic()
+    stats = CampaignStats(name=config.name)
+    records: List[ExperimentRecord] = []
+    programs: List[ProgramRecord] = []
+    for program_index in spec.program_indices:
+        _run_program(config, program_index, started, stats, records, programs)
+    return ShardResult(
+        shard_id=spec.shard_id,
+        program_indices=spec.program_indices,
+        stats=stats,
+        records=records,
+        programs=programs,
+        attempt=attempt,
+        duration=time.monotonic() - started,
+    )
+
+
+def _run_program(
+    config: CampaignConfig,
+    program_index: int,
+    shard_started: float,
+    stats: CampaignStats,
+    records: List[ExperimentRecord],
+    programs: List[ProgramRecord],
+) -> None:
+    rng = shard_rng(config, program_index)
+    generated = config.template.generate(rng.split("template"))
+    stats.programs += 1
+    programs.append(
+        ProgramRecord(
+            index=program_index,
+            name=generated.asm.name,
+            template=generated.template,
+            asm_text=disassemble(generated.asm),
+            params=generated.params,
+        )
+    )
+    platform = ExperimentPlatform(config.platform, rng=rng.split("platform"))
+    try:
+        generator = TestCaseGenerator(
+            generated.asm,
+            config.model,
+            config=config.testgen,
+            rng=rng.split("gen"),
+            coverage=config.coverage,
+        )
+    except ReproError:
+        # A template instance the toolchain cannot analyse (e.g. path
+        # explosion) is skipped, like a failed pipeline run in Scam-V.
+        stats.generation_failures += config.tests_per_program
+        return
+    program_hit = False
+    for _ in range(config.tests_per_program):
+        gen_started = time.monotonic()
+        test = generator.generate()
+        gen_time = time.monotonic() - gen_started
+        stats.generation_attempts += 1
+        stats.gen_time_total += gen_time
+        if test is None:
+            stats.generation_failures += 1
+            continue
+        exe_started = time.monotonic()
+        result = platform.run_experiment(
+            generated.asm, test.state1, test.state2, test.train
+        )
+        exe_time = time.monotonic() - exe_started
+        stats.experiments += 1
+        stats.exe_time_total += exe_time
+        if result.outcome is ExperimentOutcome.COUNTEREXAMPLE:
+            if config.certify and not certify_equivalence(
+                generator.augmented, test.state1, test.state2
+            ):
+                # Distinguishable but not model-equivalent on the concrete
+                # states: a solver artefact, not a counterexample to
+                # soundness.
+                stats.uncertified += 1
+            else:
+                stats.counterexamples += 1
+                program_hit = True
+                if stats.time_to_counterexample is None:
+                    # Shard-local offset; the merge layer rebases it onto
+                    # the campaign's cumulative timeline.
+                    stats.time_to_counterexample = (
+                        time.monotonic() - shard_started
+                    )
+        elif result.outcome is ExperimentOutcome.INCONCLUSIVE:
+            stats.inconclusive += 1
+        records.append(
+            ExperimentRecord(
+                program_name=generated.asm.name,
+                template=generated.template,
+                outcome=result.outcome,
+                test=test,
+                gen_time=gen_time,
+                exe_time=exe_time,
+                program_index=program_index,
+            )
+        )
+    if program_hit:
+        stats.programs_with_counterexamples += 1

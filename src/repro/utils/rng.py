@@ -8,10 +8,23 @@ single seed, and independent components do not perturb each other's streams.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def _label_hash(label: str) -> int:
+    """A stable 64-bit hash of a split label.
+
+    ``hash(str)`` is salted per process (PYTHONHASHSEED), which would make
+    derived streams differ between runs and between worker processes; the
+    parallel runner's checkpoint/resume and its bit-identical-at-any-worker-
+    count guarantee both need label hashing that is stable across processes.
+    """
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 class SplittableRandom:
@@ -26,8 +39,13 @@ class SplittableRandom:
         self._rng = random.Random(seed)
 
     def split(self, label: str = "") -> "SplittableRandom":
-        """Derive an independent child stream, optionally labelled."""
-        child_seed = self._rng.getrandbits(64) ^ hash(label)
+        """Derive an independent child stream, optionally labelled.
+
+        The derivation is stable across processes: the same parent seed and
+        label sequence yields the same child stream in a worker process as
+        in the parent (see :func:`_label_hash`).
+        """
+        child_seed = self._rng.getrandbits(64) ^ _label_hash(label)
         return SplittableRandom(child_seed)
 
     def randint(self, low: int, high: int) -> int:

@@ -17,10 +17,59 @@ from repro.pipeline.metrics import CampaignStats, format_table, ratio
 class TestMetrics:
     def test_averages(self):
         stats = CampaignStats(
-            name="x", experiments=4, gen_time_total=2.0, exe_time_total=8.0
+            name="x",
+            experiments=4,
+            generation_attempts=4,
+            gen_time_total=2.0,
+            exe_time_total=8.0,
         )
         assert stats.avg_gen_time == 0.5
         assert stats.avg_exe_time == 2.0
+
+    def test_avg_gen_time_counts_failed_attempts(self):
+        # gen_time_total accumulates time for failed generations too; the
+        # divisor is generation attempts, not successful experiments.
+        stats = CampaignStats(
+            name="x",
+            experiments=2,
+            generation_attempts=8,
+            generation_failures=6,
+            gen_time_total=4.0,
+        )
+        assert stats.avg_gen_time == 0.5
+
+    def test_merge_sums_counters(self):
+        a = CampaignStats(
+            name="x",
+            programs=2,
+            experiments=5,
+            counterexamples=1,
+            generation_attempts=6,
+            gen_time_total=1.0,
+            time_to_counterexample=3.0,
+        )
+        b = CampaignStats(
+            name="x",
+            programs=3,
+            experiments=7,
+            inconclusive=2,
+            generation_attempts=8,
+            gen_time_total=2.0,
+            time_to_counterexample=1.5,
+        )
+        merged = a.merge(b)
+        assert merged.programs == 5
+        assert merged.experiments == 12
+        assert merged.counterexamples == 1
+        assert merged.inconclusive == 2
+        assert merged.generation_attempts == 14
+        assert merged.gen_time_total == 3.0
+        assert merged.time_to_counterexample == 1.5
+        # merging with an empty partial is the identity on counters
+        assert (
+            CampaignStats(name="x").merge(a).deterministic_counters()
+            == a.deterministic_counters()
+        )
 
     def test_zero_experiments_safe(self):
         stats = CampaignStats(name="x")

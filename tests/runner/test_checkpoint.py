@@ -1,0 +1,143 @@
+"""Checkpoint journal: round-trip fidelity and resume semantics."""
+
+import json
+import os
+
+from repro.exps import mct_campaign
+from repro.runner import (
+    CheckpointJournal,
+    EventLog,
+    ParallelRunner,
+    RunnerConfig,
+    ShardFinished,
+    ShardStarted,
+    campaign_key,
+)
+from repro.runner.worker import ShardSpec, run_shard
+
+
+def _config(**kwargs):
+    defaults = dict(num_programs=4, tests_per_program=2, seed=5)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, **defaults)
+
+
+def _fingerprint(result):
+    return (
+        result.stats.deterministic_counters(),
+        [
+            (r.program_index, r.outcome.value, r.test.state1, r.test.state2)
+            for r in result.records
+        ],
+    )
+
+
+class TestJournalRoundTrip:
+    def test_shard_survives_serialization(self, tmp_path):
+        cfg = _config()
+        shard = run_shard(cfg, ShardSpec(1, (1,)), attempt=2)
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        journal.append(0, campaign_key(cfg), shard)
+        loaded = journal.load({0: campaign_key(cfg)})[(0, 1)]
+        assert loaded.shard_id == shard.shard_id
+        assert loaded.attempt == 2
+        assert (
+            loaded.stats.deterministic_counters()
+            == shard.stats.deterministic_counters()
+        )
+        assert len(loaded.records) == len(shard.records)
+        for a, b in zip(loaded.records, shard.records):
+            assert a.program_index == b.program_index
+            assert a.outcome is b.outcome
+            assert a.test.state1 == b.test.state1
+            assert a.test.state2 == b.test.state2
+            assert a.test.train == b.test.train
+            assert a.test.pair == b.test.pair
+            # the reassembled program re-disassembles identically
+            assert a.test.program.name == b.test.program.name
+        assert [p.index for p in loaded.programs] == [
+            p.index for p in shard.programs
+        ]
+
+    def test_mismatched_campaign_key_ignored(self, tmp_path):
+        cfg = _config()
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        journal.append(0, campaign_key(cfg), run_shard(cfg, ShardSpec(0, (0,))))
+        other = _config(seed=99)
+        assert journal.load({0: campaign_key(other)}) == {}
+
+    def test_partial_trailing_line_skipped(self, tmp_path):
+        cfg = _config()
+        path = str(tmp_path / "j.jsonl")
+        journal = CheckpointJournal(path)
+        journal.append(0, campaign_key(cfg), run_shard(cfg, ShardSpec(0, (0,))))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "campaign": 0, "key": "trunc')  # interrupted
+        assert set(journal.load({0: campaign_key(cfg)})) == {(0, 0)}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "absent.jsonl"))
+        assert journal.load({0: "anything"}) == {}
+
+
+class TestResume:
+    def test_resume_skips_completed_shards_and_reproduces_result(
+        self, tmp_path
+    ):
+        cfg = _config()
+        path = str(tmp_path / "j.jsonl")
+        full = ParallelRunner(RunnerConfig(checkpoint_path=path)).run(cfg)
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().strip().splitlines()
+        assert len(lines) == cfg.num_programs
+
+        # Simulate a mid-campaign kill: keep only the first two shards.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:2]) + "\n")
+        log = EventLog()
+        resumed = ParallelRunner(
+            RunnerConfig(checkpoint_path=path, resume=True), events=log
+        ).run(cfg)
+        cached = [e for e in log.of_type(ShardFinished) if e.cached]
+        assert len(cached) == 2
+        # only the remaining shards actually executed
+        assert {e.shard_id for e in log.of_type(ShardStarted)} == {2, 3}
+        assert _fingerprint(resumed) == _fingerprint(full)
+
+    def test_resume_with_complete_journal_runs_nothing(self, tmp_path):
+        cfg = _config(num_programs=2)
+        path = str(tmp_path / "j.jsonl")
+        full = ParallelRunner(RunnerConfig(checkpoint_path=path)).run(cfg)
+        log = EventLog()
+        resumed = ParallelRunner(
+            RunnerConfig(checkpoint_path=path, resume=True), events=log
+        ).run(cfg)
+        assert log.of_type(ShardStarted) == []
+        assert _fingerprint(resumed) == _fingerprint(full)
+
+    def test_without_resume_flag_journal_is_not_reused(self, tmp_path):
+        cfg = _config(num_programs=2)
+        path = str(tmp_path / "j.jsonl")
+        ParallelRunner(RunnerConfig(checkpoint_path=path)).run(cfg)
+        log = EventLog()
+        ParallelRunner(
+            RunnerConfig(checkpoint_path=path), events=log
+        ).run(cfg)
+        # every shard re-ran and was re-journaled
+        assert len(log.of_type(ShardStarted)) == 2
+        with open(path, encoding="utf-8") as handle:
+            assert len(handle.read().strip().splitlines()) == 4
+
+    def test_one_journal_hosts_multiple_campaigns(self, tmp_path):
+        configs = [_config(num_programs=2), _config(seed=8, num_programs=2)]
+        path = str(tmp_path / "j.jsonl")
+        full = ParallelRunner(RunnerConfig(checkpoint_path=path)).run_many(
+            configs
+        )
+        log = EventLog()
+        resumed = ParallelRunner(
+            RunnerConfig(checkpoint_path=path, resume=True), events=log
+        ).run_many(configs)
+        assert log.of_type(ShardStarted) == []
+        for a, b in zip(full, resumed):
+            assert _fingerprint(a) == _fingerprint(b)

@@ -1,0 +1,88 @@
+"""The acceptance property: bit-identical results at any worker count.
+
+Runs the same campaign through the legacy sequential entry point
+(``ScamV.run``), the in-process runner (``--workers 1``), and a real
+process pool (``--workers 4``), and asserts identical deterministic
+counters and identical counterexample sets — state for state.
+"""
+
+import pytest
+
+from repro.exps import mct_campaign, timing_campaign
+from repro.pipeline import ScamV
+from repro.runner import ParallelRunner, RunnerConfig
+
+
+def _config(seed=3, **kwargs):
+    defaults = dict(num_programs=4, tests_per_program=2)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, seed=seed, **defaults)
+
+
+def _fingerprint(result):
+    """Everything seed-determined about a campaign result."""
+    return (
+        result.stats.deterministic_counters(),
+        [
+            (
+                record.program_index,
+                record.program_name,
+                record.template,
+                record.outcome.value,
+                record.test.pair,
+                record.test.refined,
+                record.test.state1,
+                record.test.state2,
+                record.test.train,
+            )
+            for record in result.records
+        ],
+    )
+
+
+class TestWorkerCountInvariance:
+    def test_sequential_vs_workers1_vs_workers4(self):
+        cfg = _config()
+        sequential = ScamV(cfg).run()
+        inline = ParallelRunner(RunnerConfig(workers=1)).run(cfg)
+        pooled = ParallelRunner(
+            RunnerConfig(workers=4, start_method="fork")
+        ).run(cfg)
+        assert _fingerprint(sequential) == _fingerprint(inline)
+        assert _fingerprint(sequential) == _fingerprint(pooled)
+
+    def test_shard_size_invariance(self):
+        cfg = _config(num_programs=5)
+        per_program = ParallelRunner(RunnerConfig(workers=1)).run(cfg)
+        chunked = ParallelRunner(
+            RunnerConfig(workers=1, programs_per_shard=2)
+        ).run(cfg)
+        assert _fingerprint(per_program) == _fingerprint(chunked)
+
+    def test_counterexample_sets_identical_with_noise(self):
+        # A noisy campaign exercises the per-program platform RNG streams.
+        cfg = timing_campaign(
+            refined=True, num_programs=3, tests_per_program=3, seed=11
+        )
+        sequential = ScamV(cfg).run()
+        pooled = ParallelRunner(
+            RunnerConfig(workers=2, start_method="fork")
+        ).run(cfg)
+        assert _fingerprint(sequential) == _fingerprint(pooled)
+
+    def test_repeated_runs_identical(self):
+        cfg = _config(seed=9)
+        runner = ParallelRunner(RunnerConfig(workers=2, start_method="fork"))
+        assert _fingerprint(runner.run(cfg)) == _fingerprint(runner.run(cfg))
+
+    def test_seed_actually_matters(self):
+        base = ParallelRunner(RunnerConfig(workers=1)).run(_config(seed=1))
+        other = ParallelRunner(RunnerConfig(workers=1)).run(_config(seed=2))
+        assert _fingerprint(base) != _fingerprint(other)
+
+    def test_merged_ttc_is_campaign_relative(self):
+        cfg = _config()
+        result = ParallelRunner(RunnerConfig(workers=1)).run(cfg)
+        if result.stats.counterexamples:
+            assert result.stats.time_to_counterexample is not None
+            assert result.stats.time_to_counterexample >= 0.0

@@ -1,0 +1,69 @@
+"""The structured event stream and its CLI progress renderer."""
+
+import io
+
+from repro.exps import mct_campaign
+from repro.runner import (
+    CampaignFinished,
+    CampaignScheduled,
+    CounterexampleFound,
+    EventLog,
+    ParallelRunner,
+    RunnerConfig,
+    ShardFinished,
+    ShardStarted,
+    progress_printer,
+)
+
+
+def _config(**kwargs):
+    defaults = dict(num_programs=3, tests_per_program=2, seed=3)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, **defaults)
+
+
+class TestEventStream:
+    def test_lifecycle_events_emitted_in_order(self):
+        cfg = _config()
+        log = EventLog()
+        result = ParallelRunner(RunnerConfig(workers=1), events=log).run(cfg)
+        scheduled = log.of_type(CampaignScheduled)
+        assert [e.shards for e in scheduled] == [cfg.num_programs]
+        assert len(log.of_type(ShardStarted)) == cfg.num_programs
+        finished = log.of_type(ShardFinished)
+        assert len(finished) == cfg.num_programs
+        assert (
+            sum(e.experiments for e in finished) == result.stats.experiments
+        )
+        assert (
+            sum(e.counterexamples for e in finished)
+            == result.stats.counterexamples
+        )
+        # one CounterexampleFound per counterexample record
+        assert (
+            len(log.of_type(CounterexampleFound))
+            == result.stats.counterexamples
+        )
+        done = log.of_type(CampaignFinished)
+        assert [e.campaign for e in done] == [cfg.name]
+        # scheduling precedes every shard start, which precedes the finish
+        kinds = [type(e).__name__ for e in log.events]
+        assert kinds[0] == "CampaignScheduled"
+        assert kinds[-1] == "CampaignFinished"
+
+    def test_progress_printer_renders_cumulative_lines(self):
+        cfg = _config()
+        stream = io.StringIO()
+        ParallelRunner(
+            RunnerConfig(workers=1), events=progress_printer(stream)
+        ).run(cfg)
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == cfg.num_programs
+        assert lines[0].startswith(f"[{cfg.name}] shard 1/{cfg.num_programs}")
+        assert "counterexamples in" in lines[-1]
+
+    def test_progress_printer_ignores_unknown_campaign_gracefully(self):
+        stream = io.StringIO()
+        sink = progress_printer(stream)
+        sink(ShardFinished(campaign="never-scheduled", shard_id=0))
+        assert "never-scheduled" in stream.getvalue()

@@ -1,0 +1,204 @@
+"""Scheduler fault tolerance: crashes, hangs, retry budgets, degradation."""
+
+import time
+
+import pytest
+
+from repro.exps import mct_campaign
+from repro.pipeline import ExperimentDatabase, ScamV
+from repro.runner import (
+    EventLog,
+    ParallelRunner,
+    RunnerConfig,
+    RunnerDegraded,
+    ShardExhaustedError,
+    ShardFinished,
+    ShardRetried,
+)
+
+
+def _config(**kwargs):
+    defaults = dict(num_programs=4, tests_per_program=2, seed=5)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, **defaults)
+
+
+def _fingerprint(result):
+    return (
+        result.stats.deterministic_counters(),
+        [
+            (r.program_index, r.outcome.value, r.test.state1, r.test.state2)
+            for r in result.records
+        ],
+    )
+
+
+# Fault injectors must be importable top-level functions so they can ride
+# along with the pickled shard task into worker processes.
+
+def crash_shard1_once(spec, attempt):
+    if spec.shard_id == 1 and attempt == 0:
+        raise RuntimeError("injected crash")
+
+
+def hang_shard2_once(spec, attempt):
+    if spec.shard_id == 2 and attempt == 0:
+        time.sleep(60)
+
+
+def always_crash_shard0(spec, attempt):
+    if spec.shard_id == 0:
+        raise RuntimeError("unrecoverable")
+
+
+def always_crash_shard1(spec, attempt):
+    if spec.shard_id == 1:
+        raise RuntimeError("unrecoverable")
+
+
+class TestRetry:
+    def test_inline_crash_is_retried_without_corrupting_stats(self):
+        cfg = _config()
+        baseline = ScamV(cfg).run()
+        log = EventLog()
+        result = ParallelRunner(
+            RunnerConfig(
+                fault_injector=crash_shard1_once, retry_backoff=0.01
+            ),
+            events=log,
+        ).run(cfg)
+        retries = log.of_type(ShardRetried)
+        assert len(retries) == 1
+        assert retries[0].shard_id == 1
+        assert "injected crash" in retries[0].reason
+        assert _fingerprint(result) == _fingerprint(baseline)
+
+    def test_pool_crash_is_retried_without_corrupting_stats(self):
+        cfg = _config()
+        baseline = ScamV(cfg).run()
+        log = EventLog()
+        result = ParallelRunner(
+            RunnerConfig(
+                workers=2,
+                start_method="fork",
+                fault_injector=crash_shard1_once,
+                retry_backoff=0.01,
+            ),
+            events=log,
+        ).run(cfg)
+        assert [e.shard_id for e in log.of_type(ShardRetried)] == [1]
+        assert _fingerprint(result) == _fingerprint(baseline)
+
+    def test_pool_hang_is_killed_and_retried(self):
+        cfg = _config()
+        baseline = ScamV(cfg).run()
+        log = EventLog()
+        started = time.monotonic()
+        result = ParallelRunner(
+            RunnerConfig(
+                workers=2,
+                start_method="fork",
+                fault_injector=hang_shard2_once,
+                shard_timeout=1.0,
+                retry_backoff=0.01,
+            ),
+            events=log,
+        ).run(cfg)
+        elapsed = time.monotonic() - started
+        retries = log.of_type(ShardRetried)
+        assert any("timed out" in e.reason for e in retries)
+        assert elapsed < 30  # the 60s hang was cut short
+        assert _fingerprint(result) == _fingerprint(baseline)
+
+    def test_retry_budget_exhaustion_raises(self):
+        cfg = _config(num_programs=2)
+        with pytest.raises(ShardExhaustedError):
+            ParallelRunner(
+                RunnerConfig(
+                    fault_injector=always_crash_shard0,
+                    max_retries=1,
+                    retry_backoff=0.01,
+                )
+            ).run(cfg)
+
+    def test_exhaustion_leaves_completed_shards_in_journal(self, tmp_path):
+        cfg = _config(num_programs=2)
+        path = str(tmp_path / "j.jsonl")
+        with pytest.raises(ShardExhaustedError):
+            ParallelRunner(
+                RunnerConfig(
+                    fault_injector=always_crash_shard1,
+                    max_retries=0,
+                    retry_backoff=0.01,
+                    checkpoint_path=path,
+                )
+            ).run(cfg)
+        # shard 0 completed before the failure surfaced; a --resume rerun
+        # without the fault picks it up and only runs shard 1.
+        log = EventLog()
+        result = ParallelRunner(
+            RunnerConfig(checkpoint_path=path, resume=True), events=log
+        ).run(cfg)
+        cached = [e for e in log.of_type(ShardFinished) if e.cached]
+        assert len(cached) == 1
+        assert _fingerprint(result) == _fingerprint(ScamV(cfg).run())
+
+
+class TestDegradation:
+    def test_unknown_start_method_falls_back_to_inline(self):
+        cfg = _config(num_programs=2)
+        log = EventLog()
+        result = ParallelRunner(
+            RunnerConfig(workers=4, start_method="no-such-method"),
+            events=log,
+        ).run(cfg)
+        assert len(log.of_type(RunnerDegraded)) == 1
+        assert _fingerprint(result) == _fingerprint(ScamV(cfg).run())
+
+
+class TestCampaignSets:
+    def test_run_many_matches_individual_runs(self):
+        configs = [
+            _config(num_programs=2),
+            _config(num_programs=2, seed=8),
+        ]
+        merged = ParallelRunner(
+            RunnerConfig(workers=2, start_method="fork")
+        ).run_many(configs)
+        for cfg, result in zip(configs, merged):
+            assert _fingerprint(result) == _fingerprint(ScamV(cfg).run())
+
+    def test_run_many_records_every_campaign_in_database(self):
+        configs = [
+            _config(num_programs=2),
+            _config(num_programs=2, seed=8),
+        ]
+        with ExperimentDatabase() as db:
+            results = ParallelRunner(RunnerConfig(workers=1)).run_many(
+                configs, database=db
+            )
+            for campaign_id, result in enumerate(results, start=1):
+                assert (
+                    db.experiment_count(campaign_id)
+                    == result.stats.experiments
+                )
+                counts = db.outcome_counts(campaign_id)
+                assert (
+                    counts.get("counterexample", 0)
+                    == result.stats.counterexamples
+                )
+
+    def test_pool_database_content_matches_sequential(self):
+        cfg = _config()
+        with ExperimentDatabase() as sequential_db:
+            ScamV(cfg, database=sequential_db).run()
+            with ExperimentDatabase() as pool_db:
+                ParallelRunner(
+                    RunnerConfig(workers=2, start_method="fork")
+                ).run(cfg, database=pool_db)
+                assert sequential_db.outcome_counts(
+                    1
+                ) == pool_db.outcome_counts(1)
+                assert sequential_db.counterexamples(
+                    1
+                ) == pool_db.counterexamples(1)

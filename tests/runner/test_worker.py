@@ -1,0 +1,99 @@
+"""Unit tests for shard slicing and shard execution."""
+
+import pytest
+
+from repro.exps import mct_campaign
+from repro.runner.worker import ShardSpec, run_shard, shard_rng, shard_specs
+
+
+def _config(**kwargs):
+    defaults = dict(num_programs=3, tests_per_program=2, seed=7)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, **defaults)
+
+
+class TestShardSpecs:
+    def test_per_program_sharding(self):
+        specs = shard_specs(_config(num_programs=4))
+        assert [s.shard_id for s in specs] == [0, 1, 2, 3]
+        assert [s.program_indices for s in specs] == [(0,), (1,), (2,), (3,)]
+
+    def test_chunked_sharding_covers_all_programs(self):
+        specs = shard_specs(_config(num_programs=5), programs_per_shard=2)
+        assert [s.program_indices for s in specs] == [(0, 1), (2, 3), (4,)]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            shard_specs(_config(), programs_per_shard=0)
+
+    def test_describe(self):
+        assert ShardSpec(0, (3,)).describe() == "program 3"
+        assert ShardSpec(0, (3, 4, 5)).describe() == "programs 3..5"
+
+
+class TestShardRng:
+    def test_independent_of_execution_order(self):
+        cfg = _config()
+        # Deriving program 2's stream never requires deriving 0's and 1's
+        # first: the value is a pure function of (seed, index).
+        first = shard_rng(cfg, 2).getrandbits(64)
+        again = shard_rng(cfg, 2).getrandbits(64)
+        assert first == again
+
+    def test_distinct_programs_distinct_streams(self):
+        cfg = _config()
+        values = {shard_rng(cfg, i).getrandbits(64) for i in range(10)}
+        assert len(values) == 10
+
+    def test_seed_changes_streams(self):
+        assert (
+            shard_rng(_config(seed=1), 0).getrandbits(64)
+            != shard_rng(_config(seed=2), 0).getrandbits(64)
+        )
+
+
+class TestRunShard:
+    def test_pure_function_of_config_and_indices(self):
+        cfg = _config()
+        spec = ShardSpec(shard_id=1, program_indices=(1,))
+        a = run_shard(cfg, spec)
+        b = run_shard(cfg, spec, attempt=3)  # retries reproduce the result
+        assert a.stats.deterministic_counters() == b.stats.deterministic_counters()
+        assert [
+            (r.program_index, r.test.state1, r.test.state2) for r in a.records
+        ] == [
+            (r.program_index, r.test.state1, r.test.state2) for r in b.records
+        ]
+        assert b.attempt == 3
+
+    def test_program_records_cover_every_program(self):
+        cfg = _config(num_programs=3)
+        shard = run_shard(cfg, ShardSpec(0, (0, 1, 2)))
+        assert [p.index for p in shard.programs] == [0, 1, 2]
+        assert shard.stats.programs == 3
+        # every experiment record maps back to a program row
+        indices = {p.index for p in shard.programs}
+        assert all(r.program_index in indices for r in shard.records)
+
+    def test_fault_injector_is_called_per_attempt(self):
+        cfg = _config(num_programs=1)
+        calls = []
+
+        def fault(spec, attempt):
+            calls.append((spec.shard_id, attempt))
+
+        run_shard(cfg, ShardSpec(5, (0,)), attempt=2, fault=fault)
+        assert calls == [(5, 2)]
+
+    def test_generation_attempts_counted(self):
+        cfg = _config(num_programs=2, tests_per_program=3)
+        shard = run_shard(cfg, ShardSpec(0, (0, 1)))
+        stats = shard.stats
+        # One attempt per generate() call: at least one per experiment, at
+        # most tests_per_program per analysable program.
+        assert stats.experiments <= stats.generation_attempts
+        assert stats.generation_attempts <= 2 * 3
+        # avg_gen_time divides by attempts, so it is defined whenever any
+        # generation ran, even if every attempt failed.
+        if stats.generation_attempts:
+            assert stats.avg_gen_time >= 0.0
