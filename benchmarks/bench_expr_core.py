@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Microbenchmark for the hash-consed expression core (ISSUE 2).
+
+Measures the interning/memoization layer against the un-cached baseline on
+template-shaped workloads, A/B style within one process:
+
+* ``construct``   — rebuilding template-shaped expression trees,
+* ``simplify``    — repeated :func:`repro.bir.simp.simplify` over the path
+  conditions and observation terms of symbolically executed templates,
+* ``compile``     — repeated :func:`repro.smt.compiled.compile_expr`,
+* ``rename``      — repeated two-state renaming of path conditions,
+* ``solve_heavy`` — the end-to-end hot path: repeated test-case generation
+  (pair relations, prepared constraints, stochastic solving) for a batch
+  of template programs — many attempts per program, the shape of a real
+  campaign shard,
+* ``solve_coverage`` — the same loop under cache-set coverage pinning,
+  where many pair/coverage combinations are unsatisfiable and the solver
+  spends most of its time exhausting restart budgets (reported for
+  tracking; caching cannot help a search that must run to exhaustion).
+
+The baseline disables interning/memoization (``intern.set_enabled(False)``)
+and warm restarts, which restores the pre-interning cost model: every
+construction allocates, every ``simplify``/``compile_expr`` re-walks, every
+attempt re-prepares its constraints, and restarts always resample cold.
+
+Emits ``BENCH_expr_core.json`` (the bench-trajectory baseline format: one
+entry per scenario with baseline/optimized seconds and the speedup).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_expr_core.py           # full run
+    PYTHONPATH=src python benchmarks/bench_expr_core.py --smoke   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_expr_core.py --check   # assert 2x
+
+``--check`` exits non-zero unless the solve-heavy speedup is >= 2x (the
+acceptance bar for the interning PR); smoke mode shrinks every workload to
+a few iterations so CI can catch gross hot-path regressions cheaply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bir import expr as E
+from repro.bir import intern
+from repro.bir.simp import simplify
+from repro.core.coverage import MlineCoverage, NoCoverage
+from repro.core.rename import rename_expr
+from repro.core.testgen import TestCaseGenerator, TestGenConfig
+from repro.gen.templates import TemplateB, TemplateC
+from repro.obs.base import AttackerRegion
+from repro.obs.models import MspecModel
+from repro.smt.compiled import compile_expr
+from repro.smt.solver import SolverConfig
+from repro.utils.rng import SplittableRandom
+
+
+def _template_terms(programs):
+    """Path conditions + observation terms of executed template programs."""
+    model = MspecModel()
+    terms = []
+    for asm in programs:
+        generator = TestCaseGenerator(asm, model)
+        for path in generator.result:
+            terms.extend(path.path_condition)
+            for obs in path.observations:
+                terms.append(obs.guard)
+                terms.extend(obs.exprs)
+    return terms
+
+
+def _generate_programs(count, seed=2024):
+    rng = SplittableRandom(seed)
+    templates = [TemplateB(), TemplateC()]
+    out = []
+    for index in range(count):
+        template = templates[index % len(templates)]
+        out.append(template.generate(rng.split(f"prog{index}")).asm)
+    return out
+
+
+def _bench_construct(iterations):
+    """Rebuild a template-shaped address/compare tree many times."""
+
+    def build(i):
+        base = E.var(f"x{i % 8}")
+        offset = E.var(f"x{(i + 1) % 8}")
+        addr = E.add(E.add(base, offset), E.const(8 * (i % 16)))
+        line = E.band(E.lshr(addr, E.const(6)), E.const(127))
+        load = E.Load(E.MemVar("MEM"), addr, 64)
+        return E.bool_and(
+            E.ule(E.const(61), line),
+            E.ule(line, E.const(127)),
+            E.ult(load, E.var(f"x{(i + 2) % 8}")),
+        )
+
+    started = time.perf_counter()
+    for round_index in range(iterations):
+        for i in range(32):
+            build(i)
+    return time.perf_counter() - started
+
+
+def _bench_simplify(terms, iterations):
+    started = time.perf_counter()
+    for _ in range(iterations):
+        for term in terms:
+            simplify(term)
+    return time.perf_counter() - started
+
+
+def _bench_compile(terms, iterations):
+    started = time.perf_counter()
+    for _ in range(iterations):
+        for term in terms:
+            compile_expr(term)
+    return time.perf_counter() - started
+
+
+def _bench_rename(terms, iterations):
+    started = time.perf_counter()
+    for _ in range(iterations):
+        for term in terms:
+            rename_expr(term, 1)
+            rename_expr(term, 2)
+    return time.perf_counter() - started
+
+
+def _bench_solve_heavy(programs, tests_per_program, warm_restarts, coverage):
+    """End-to-end generation: the campaign hot path minus hw execution."""
+    model = MspecModel()
+    config = TestGenConfig(solver=SolverConfig(warm_restarts=warm_restarts))
+    rng = SplittableRandom(7)
+    started = time.perf_counter()
+    generated = 0
+    for index, asm in enumerate(programs):
+        generator = TestCaseGenerator(
+            asm,
+            model,
+            config=config,
+            rng=rng.split(f"gen{index}"),
+            coverage=coverage,
+        )
+        for _ in range(tests_per_program):
+            if generator.generate() is not None:
+                generated += 1
+    return time.perf_counter() - started, generated
+
+
+def run(smoke):
+    iterations = 20 if smoke else 400
+    solve_programs = 2 if smoke else 8
+    solve_tests = 6 if smoke else 48
+    coverage_tests = 2 if smoke else 12
+
+    programs = _generate_programs(solve_programs)
+    scenarios = {}
+
+    def measure(name, fn):
+        # Baseline first, optimized second; caches are cleared around both
+        # so neither mode sees the other's state.
+        intern.set_enabled(False)
+        baseline = fn()
+        intern.set_enabled(True)
+        optimized = fn()
+        scenarios[name] = {
+            "baseline_s": round(baseline, 6),
+            "optimized_s": round(optimized, 6),
+            "speedup": round(baseline / optimized, 3) if optimized else None,
+        }
+        return scenarios[name]
+
+    # Term corpus for the micro scenarios (built once, outside the timers).
+    intern.set_enabled(True)
+    terms = _template_terms(programs)
+
+    measure("construct", lambda: _bench_construct(iterations))
+    measure("simplify", lambda: _bench_simplify(terms, iterations))
+    measure("compile", lambda: _bench_compile(terms, iterations))
+    measure("rename", lambda: _bench_rename(terms, iterations))
+
+    # Solve A/B: the baseline additionally disables warm restarts, the
+    # solver-side half of the tentpole.
+    solve_cases = (
+        ("solve_heavy", NoCoverage(), solve_tests),
+        ("solve_coverage", MlineCoverage(AttackerRegion(61, 127)), coverage_tests),
+    )
+    for name, coverage, tests in solve_cases:
+        intern.set_enabled(False)
+        baseline_s, baseline_tests = _bench_solve_heavy(
+            programs, tests, warm_restarts=False, coverage=coverage
+        )
+        intern.set_enabled(True)
+        optimized_s, optimized_tests = _bench_solve_heavy(
+            programs, tests, warm_restarts=True, coverage=coverage
+        )
+        scenarios[name] = {
+            "baseline_s": round(baseline_s, 6),
+            "optimized_s": round(optimized_s, 6),
+            "speedup": (
+                round(baseline_s / optimized_s, 3) if optimized_s else None
+            ),
+            "baseline_tests": baseline_tests,
+            "optimized_tests": optimized_tests,
+        }
+
+    report = {
+        "bench": "expr_core",
+        "smoke": smoke,
+        "params": {
+            "iterations": iterations,
+            "terms": len(terms),
+            "solve_programs": solve_programs,
+            "solve_tests_per_program": solve_tests,
+            "coverage_tests_per_program": coverage_tests,
+        },
+        "scenarios": scenarios,
+        "cache_stats": {
+            name: {"hits": stats["hits"], "misses": stats["misses"]}
+            for name, stats in intern.cache_stats().items()
+        },
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny iteration counts (CI regression canary)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the solve-heavy speedup is >= 2x",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_expr_core.json",
+        ),
+        help="output JSON path (default: repo-root BENCH_expr_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in report["scenarios"])
+    for name, row in report["scenarios"].items():
+        print(
+            f"{name.ljust(width)}  baseline {row['baseline_s']:.4f}s  "
+            f"optimized {row['optimized_s']:.4f}s  "
+            f"speedup {row['speedup']}x"
+        )
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    if args.check:
+        speedup = report["scenarios"]["solve_heavy"]["speedup"]
+        if speedup is None or speedup < 2.0:
+            print(
+                f"FAIL: solve_heavy speedup {speedup}x is below the 2x bar",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: solve_heavy speedup {speedup}x >= 2x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,20 @@
 """BIR expression language: fixed-width bit-vector terms with memory selects.
 
-Expressions are immutable and hash-consed-free (plain value objects).  Booleans
-are one-bit bit-vectors, as in HolBA's BIR; :data:`TRUE` and :data:`FALSE` are
-the canonical constants.
+Expressions are immutable and *hash-consed*: every constructor interns the
+node in a campaign-scoped table, so structurally equal terms are
+pointer-identical, ``==`` is an identity check in the common case, and
+``hash`` is a cached O(1) field read.  Per-node attributes that used to be
+recomputed by walking the tree — :meth:`Expr.variables`,
+:meth:`Expr.memories`, ``size`` and ``depth`` — are computed once and
+cached on the node.  Booleans are one-bit bit-vectors, as in HolBA's BIR;
+:data:`TRUE` and :data:`FALSE` are the canonical constants.
+
+Correctness does not depend on interning being complete: ``__eq__`` falls
+back to structural comparison when two equal terms are not the same object
+(which can only happen across an :func:`repro.bir.intern.clear_caches`
+generation or with interning disabled), and ``__hash__`` reproduces the
+value the pre-interning frozen-dataclass implementation produced, so hash
+containers iterate exactly as before and no random draw order shifts.
 
 The language is deliberately small: constants, variables, unary and binary
 bit-vector operators, comparisons, if-then-else, and memory ``Load`` over a
@@ -15,9 +27,9 @@ model finder complete.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterator, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, Optional, Tuple
 
+from repro.bir import intern
 from repro.errors import BirTypeError
 from repro.utils import bitvec
 
@@ -57,133 +69,362 @@ class CmpKind(enum.Enum):
     SLE = "sle"
 
 
+# -- interning tables ---------------------------------------------------------
+
+# One table per node class, keyed by the canonical constructor arguments.
+# Child positions are keyed by id(): children are interned first, the table
+# holds a strong reference to every node (and thereby to its children), so
+# ids stay stable for the lifetime of a table generation.
+_TABLES: Dict[str, dict] = {
+    name: {}
+    for name in (
+        "Const",
+        "Var",
+        "UnOp",
+        "BinOp",
+        "Cmp",
+        "Ite",
+        "Load",
+        "MemVar",
+        "MemStore",
+    )
+}
+
+# Safety valve: a campaign that somehow produces this many distinct terms
+# gets its tables dropped wholesale (correctness is unaffected; see the
+# module docstring) rather than growing without bound.
+_TABLE_CAP = 1 << 20
+
+
+def _clear_tables() -> None:
+    for table in _TABLES.values():
+        table.clear()
+
+
+_STATS = intern.register_cache(
+    "expr",
+    _clear_tables,
+    lambda: sum(len(t) for t in _TABLES.values()),
+)
+
+
+def _intern(table: dict, key, node):
+    _STATS.misses += 1
+    if len(table) >= _TABLE_CAP:
+        _clear_tables()
+    table[key] = node
+    return node
+
+
+_set = object.__setattr__
+
+
 class Expr:
     """Base class for all value expressions."""
 
-    width: int
+    __slots__ = ("width", "_hash", "_vars", "_mems", "size", "depth")
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _fields(self) -> tuple:
+        """The structural identity of the node, in dataclass field order."""
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def children(self) -> Tuple["Expr", ...]:
         """Direct value-expression children (memory children excluded)."""
         return ()
 
     def variables(self) -> FrozenSet["Var"]:
-        """All register/input variables occurring in the expression."""
-        out = set()
-        for node in walk(self):
-            if isinstance(node, Var):
-                out.add(node)
-        return frozenset(out)
+        """All register/input variables occurring in the expression.
+
+        Computed once per node (first call) and cached; the collection walk
+        visits each *distinct* subterm once but preserves the insertion
+        order of the pre-interning implementation, so the returned frozenset
+        iterates identically.
+        """
+        cached = self._vars
+        if cached is None:
+            cached = _collect_variables(self)
+            _set(self, "_vars", cached)
+        return cached
 
     def memories(self) -> FrozenSet["MemVar"]:
-        """All base memory variables occurring in the expression."""
-        out = set()
-        for node in walk(self):
-            if isinstance(node, Load):
-                out.update(node.mem.base_memories())
-        return frozenset(out)
+        """All base memory variables occurring in the expression (cached)."""
+        cached = self._mems
+        if cached is None:
+            cached = _collect_memories(self)
+            _set(self, "_mems", cached)
+        return cached
 
 
-@dataclass(frozen=True)
+def _init_expr(node: Expr, width: int, hashed: int, size: int, depth: int) -> None:
+    _set(node, "width", width)
+    _set(node, "_hash", hashed)
+    _set(node, "_vars", None)
+    _set(node, "_mems", None)
+    _set(node, "size", size)
+    _set(node, "depth", depth)
+
+
 class Const(Expr):
     """A literal ``width``-bit constant; stored in canonical unsigned form."""
 
-    value: int
-    width: int = WORD_WIDTH
+    __slots__ = ("value",)
 
-    def __post_init__(self):
-        canonical = bitvec.truncate(self.value, self.width)
-        object.__setattr__(self, "value", canonical)
+    def __new__(cls, value: int, width: int = WORD_WIDTH):
+        value = bitvec.truncate(value, width)
+        key = (value, width)
+        table = _TABLES["Const"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        node = object.__new__(cls)
+        _set(node, "value", value)
+        _init_expr(node, width, hash((value, width)), 1, 1)
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.value, self.width)
+
+    def __reduce__(self):
+        return (Const, (self.value, self.width))
 
     def __repr__(self) -> str:
         return f"Const({self.value:#x}, {self.width})"
 
 
-@dataclass(frozen=True)
 class Var(Expr):
     """A named register or symbolic input variable."""
 
-    name: str
-    width: int = WORD_WIDTH
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str, width: int = WORD_WIDTH):
+        key = (name, width)
+        table = _TABLES["Var"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        node = object.__new__(cls)
+        _set(node, "name", name)
+        _init_expr(node, width, hash((name, width)), 1, 1)
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.name, self.width)
+
+    def __reduce__(self):
+        return (Var, (self.name, self.width))
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
 
 
-@dataclass(frozen=True)
 class UnOp(Expr):
     """Unary operator application."""
 
-    op: UnOpKind
-    operand: Expr
-    width: int = field(init=False)
+    __slots__ = ("op", "operand")
 
-    def __post_init__(self):
-        object.__setattr__(self, "width", self.operand.width)
+    def __new__(cls, op: UnOpKind, operand: Expr):
+        key = (op, id(operand))
+        table = _TABLES["UnOp"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        width = operand.width
+        node = object.__new__(cls)
+        _set(node, "op", op)
+        _set(node, "operand", operand)
+        _init_expr(
+            node,
+            width,
+            hash((op, operand, width)),
+            1 + operand.size,
+            1 + operand.depth,
+        )
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.op, self.operand, self.width)
+
+    def __reduce__(self):
+        return (UnOp, (self.op, self.operand))
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op!r}, {self.operand!r})"
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
 
 
-@dataclass(frozen=True)
 class BinOp(Expr):
     """Binary operator application; operand widths must agree."""
 
-    op: BinOpKind
-    lhs: Expr
-    rhs: Expr
-    width: int = field(init=False)
+    __slots__ = ("op", "lhs", "rhs")
 
-    def __post_init__(self):
-        if self.lhs.width != self.rhs.width:
+    def __new__(cls, op: BinOpKind, lhs: Expr, rhs: Expr):
+        key = (op, id(lhs), id(rhs))
+        table = _TABLES["BinOp"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        if lhs.width != rhs.width:
             raise BirTypeError(
-                f"{self.op.value}: operand widths differ "
-                f"({self.lhs.width} vs {self.rhs.width})"
+                f"{op.value}: operand widths differ "
+                f"({lhs.width} vs {rhs.width})"
             )
-        object.__setattr__(self, "width", self.lhs.width)
+        width = lhs.width
+        node = object.__new__(cls)
+        _set(node, "op", op)
+        _set(node, "lhs", lhs)
+        _set(node, "rhs", rhs)
+        _init_expr(
+            node,
+            width,
+            hash((op, lhs, rhs, width)),
+            1 + lhs.size + rhs.size,
+            1 + max(lhs.depth, rhs.depth),
+        )
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.op, self.lhs, self.rhs, self.width)
+
+    def __reduce__(self):
+        return (BinOp, (self.op, self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.lhs, self.rhs)
 
 
-@dataclass(frozen=True)
 class Cmp(Expr):
     """Comparison; yields a one-bit result."""
 
-    op: CmpKind
-    lhs: Expr
-    rhs: Expr
-    width: int = field(init=False, default=BOOL_WIDTH)
+    __slots__ = ("op", "lhs", "rhs")
 
-    def __post_init__(self):
-        if self.lhs.width != self.rhs.width:
+    def __new__(cls, op: CmpKind, lhs: Expr, rhs: Expr):
+        key = (op, id(lhs), id(rhs))
+        table = _TABLES["Cmp"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        if lhs.width != rhs.width:
             raise BirTypeError(
-                f"{self.op.value}: operand widths differ "
-                f"({self.lhs.width} vs {self.rhs.width})"
+                f"{op.value}: operand widths differ "
+                f"({lhs.width} vs {rhs.width})"
             )
-        object.__setattr__(self, "width", BOOL_WIDTH)
+        node = object.__new__(cls)
+        _set(node, "op", op)
+        _set(node, "lhs", lhs)
+        _set(node, "rhs", rhs)
+        _init_expr(
+            node,
+            BOOL_WIDTH,
+            hash((op, lhs, rhs, BOOL_WIDTH)),
+            1 + lhs.size + rhs.size,
+            1 + max(lhs.depth, rhs.depth),
+        )
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.op, self.lhs, self.rhs, self.width)
+
+    def __reduce__(self):
+        return (Cmp, (self.op, self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"Cmp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.lhs, self.rhs)
 
 
-@dataclass(frozen=True)
 class Ite(Expr):
     """If-then-else over a one-bit condition."""
 
-    cond: Expr
-    then: Expr
-    orelse: Expr
-    width: int = field(init=False)
+    __slots__ = ("cond", "then", "orelse")
 
-    def __post_init__(self):
-        if self.cond.width != BOOL_WIDTH:
+    def __new__(cls, cond: Expr, then: Expr, orelse: Expr):
+        key = (id(cond), id(then), id(orelse))
+        table = _TABLES["Ite"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        if cond.width != BOOL_WIDTH:
             raise BirTypeError("ite condition must be one bit wide")
-        if self.then.width != self.orelse.width:
+        if then.width != orelse.width:
             raise BirTypeError(
                 f"ite arms have different widths "
-                f"({self.then.width} vs {self.orelse.width})"
+                f"({then.width} vs {orelse.width})"
             )
-        object.__setattr__(self, "width", self.then.width)
+        width = then.width
+        node = object.__new__(cls)
+        _set(node, "cond", cond)
+        _set(node, "then", then)
+        _set(node, "orelse", orelse)
+        _init_expr(
+            node,
+            width,
+            hash((cond, then, orelse, width)),
+            1 + cond.size + then.size + orelse.size,
+            1 + max(cond.depth, then.depth, orelse.depth),
+        )
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.cond, self.then, self.orelse, self.width)
+
+    def __reduce__(self):
+        return (Ite, (self.cond, self.then, self.orelse))
+
+    def __repr__(self) -> str:
+        return f"Ite({self.cond!r}, {self.then!r}, {self.orelse!r})"
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.cond, self.then, self.orelse)
@@ -192,42 +433,154 @@ class Ite(Expr):
 class MemExpr:
     """Base class for memory-typed expressions (maps of address -> word)."""
 
+    __slots__ = ("_hash", "_bases", "size", "depth")
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _fields(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def base_memories(self) -> FrozenSet["MemVar"]:
+        """The base memory variables under this expression (cached)."""
+        cached = self._bases
+        if cached is None:
+            cached = self._compute_bases()
+            _set(self, "_bases", cached)
+        return cached
+
+    def _compute_bases(self) -> FrozenSet["MemVar"]:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
 class MemVar(MemExpr):
     """A base memory variable (the initial memory of an execution)."""
 
-    name: str = "MEM"
+    __slots__ = ("name",)
 
-    def base_memories(self) -> FrozenSet["MemVar"]:
+    def __new__(cls, name: str = "MEM"):
+        key = name
+        table = _TABLES["MemVar"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        node = object.__new__(cls)
+        _set(node, "name", name)
+        _set(node, "_hash", hash((name,)))
+        _set(node, "_bases", None)
+        _set(node, "size", 1)
+        _set(node, "depth", 1)
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.name,)
+
+    def _compute_bases(self) -> FrozenSet["MemVar"]:
         return frozenset({self})
+
+    def __reduce__(self):
+        return (MemVar, (self.name,))
 
     def __repr__(self) -> str:
         return f"MemVar({self.name!r})"
 
 
-@dataclass(frozen=True)
 class MemStore(MemExpr):
     """A memory with one word overwritten: ``store(mem, addr, value)``."""
 
-    mem: MemExpr
-    addr: Expr
-    value: Expr
+    __slots__ = ("mem", "addr", "value")
 
-    def base_memories(self) -> FrozenSet[MemVar]:
+    def __new__(cls, mem: MemExpr, addr: Expr, value: Expr):
+        key = (id(mem), id(addr), id(value))
+        table = _TABLES["MemStore"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        node = object.__new__(cls)
+        _set(node, "mem", mem)
+        _set(node, "addr", addr)
+        _set(node, "value", value)
+        _set(node, "_hash", hash((mem, addr, value)))
+        _set(node, "_bases", None)
+        _set(node, "size", 1 + mem.size + addr.size + value.size)
+        _set(node, "depth", 1 + max(mem.depth, addr.depth, value.depth))
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.mem, self.addr, self.value)
+
+    def _compute_bases(self) -> FrozenSet[MemVar]:
         return self.mem.base_memories()
 
+    def __reduce__(self):
+        return (MemStore, (self.mem, self.addr, self.value))
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return f"MemStore({self.mem!r}, {self.addr!r}, {self.value!r})"
+
+
 class Load(Expr):
     """A word read from memory: ``select(mem, addr)``."""
 
-    mem: MemExpr
-    addr: Expr
-    width: int = WORD_WIDTH
+    __slots__ = ("mem", "addr")
+
+    def __new__(cls, mem: MemExpr, addr: Expr, width: int = WORD_WIDTH):
+        key = (id(mem), id(addr), width)
+        table = _TABLES["Load"]
+        node = table.get(key)
+        if node is not None:
+            _STATS.hits += 1
+            return node
+        node = object.__new__(cls)
+        _set(node, "mem", mem)
+        _set(node, "addr", addr)
+        _init_expr(
+            node,
+            width,
+            hash((mem, addr, width)),
+            1 + mem.size + addr.size,
+            1 + max(mem.depth, addr.depth),
+        )
+        if not intern.enabled():
+            _STATS.misses += 1
+            return node
+        return _intern(table, key, node)
+
+    def _fields(self) -> tuple:
+        return (self.mem, self.addr, self.width)
+
+    def __reduce__(self):
+        return (Load, (self.mem, self.addr, self.width))
+
+    def __repr__(self) -> str:
+        return f"Load({self.mem!r}, {self.addr!r}, {self.width})"
 
     def children(self) -> Tuple[Expr, ...]:
         # The store-chain's addresses/values are reachable via walk(), which
@@ -292,7 +645,11 @@ def bool_or(*es: Expr) -> Expr:
 
 def walk(expr: Expr) -> Iterator[Expr]:
     """Yield ``expr`` and every value-expression beneath it, including the
-    address/value expressions inside memory store chains."""
+    address/value expressions inside memory store chains.
+
+    Shared subterms of the interned DAG are yielded once per *occurrence*
+    (tree semantics), matching the pre-interning behaviour.
+    """
     stack = [expr]
     while stack:
         node = stack.pop()
@@ -308,65 +665,157 @@ def walk(expr: Expr) -> Iterator[Expr]:
             stack.extend(node.children())
 
 
+def _walk_unique(expr: Expr) -> Iterator[Expr]:
+    """Like :func:`walk` but visits each distinct subterm once.
+
+    The first-occurrence order equals :func:`walk`'s, so sets built from it
+    receive insertions in the same sequence (and iterate identically).
+    """
+    seen = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        if isinstance(node, Load):
+            stack.append(node.addr)
+            mem = node.mem
+            while isinstance(mem, MemStore):
+                stack.append(mem.addr)
+                stack.append(mem.value)
+                mem = mem.mem
+        else:
+            stack.extend(node.children())
+
+
+def _collect_variables(expr: Expr) -> FrozenSet[Var]:
+    out = set()
+    for node in _walk_unique(expr):
+        if isinstance(node, Var):
+            out.add(node)
+    return frozenset(out)
+
+
+def _collect_memories(expr: Expr) -> FrozenSet[MemVar]:
+    out = set()
+    for node in _walk_unique(expr):
+        if isinstance(node, Load):
+            out.update(node.mem.base_memories())
+    return frozenset(out)
+
+
 def substitute(expr: Expr, mapping: Dict[Var, Expr]) -> Expr:
     """Return ``expr`` with every variable replaced per ``mapping``.
 
     Memory store chains are rewritten too (their address/value expressions may
     mention variables).  Base memories are left untouched; use
-    :func:`substitute_memory` to rename those.
+    :func:`substitute_memory` to rename those.  Unchanged subtrees are
+    returned as-is (no rebuilding), and shared subterms of the interned DAG
+    are rewritten once.
     """
 
+    memo: Dict[int, Expr] = {}
+    mem_memo: Dict[int, MemExpr] = {}
+
     def go(e: Expr) -> Expr:
+        out = memo.get(id(e))
+        if out is not None:
+            return out
         if isinstance(e, Var):
-            return mapping.get(e, e)
-        if isinstance(e, Const):
-            return e
-        if isinstance(e, UnOp):
-            return UnOp(e.op, go(e.operand))
-        if isinstance(e, BinOp):
-            return BinOp(e.op, go(e.lhs), go(e.rhs))
-        if isinstance(e, Cmp):
-            return Cmp(e.op, go(e.lhs), go(e.rhs))
-        if isinstance(e, Ite):
-            return Ite(go(e.cond), go(e.then), go(e.orelse))
-        if isinstance(e, Load):
-            return Load(go_mem(e.mem), go(e.addr), e.width)
-        raise BirTypeError(f"substitute: unknown expression {e!r}")
+            out = mapping.get(e, e)
+        elif isinstance(e, Const):
+            out = e
+        elif isinstance(e, UnOp):
+            operand = go(e.operand)
+            out = e if operand is e.operand else UnOp(e.op, operand)
+        elif isinstance(e, BinOp):
+            lhs, rhs = go(e.lhs), go(e.rhs)
+            out = e if (lhs is e.lhs and rhs is e.rhs) else BinOp(e.op, lhs, rhs)
+        elif isinstance(e, Cmp):
+            lhs, rhs = go(e.lhs), go(e.rhs)
+            out = e if (lhs is e.lhs and rhs is e.rhs) else Cmp(e.op, lhs, rhs)
+        elif isinstance(e, Ite):
+            cond, then, orelse = go(e.cond), go(e.then), go(e.orelse)
+            unchanged = cond is e.cond and then is e.then and orelse is e.orelse
+            out = e if unchanged else Ite(cond, then, orelse)
+        elif isinstance(e, Load):
+            mem, addr = go_mem(e.mem), go(e.addr)
+            out = e if (mem is e.mem and addr is e.addr) else Load(mem, addr, e.width)
+        else:
+            raise BirTypeError(f"substitute: unknown expression {e!r}")
+        memo[id(e)] = out
+        return out
 
     def go_mem(m: MemExpr) -> MemExpr:
+        out = mem_memo.get(id(m))
+        if out is not None:
+            return out
         if isinstance(m, MemVar):
-            return m
-        if isinstance(m, MemStore):
-            return MemStore(go_mem(m.mem), go(m.addr), go(m.value))
-        raise BirTypeError(f"substitute: unknown memory expression {m!r}")
+            out = m
+        elif isinstance(m, MemStore):
+            mem, addr, value = go_mem(m.mem), go(m.addr), go(m.value)
+            unchanged = mem is m.mem and addr is m.addr and value is m.value
+            out = m if unchanged else MemStore(mem, addr, value)
+        else:
+            raise BirTypeError(f"substitute: unknown memory expression {m!r}")
+        mem_memo[id(m)] = out
+        return out
 
     return go(expr)
 
 
 def substitute_memory(expr: Expr, mapping: Dict[MemVar, MemVar]) -> Expr:
-    """Return ``expr`` with base memory variables renamed per ``mapping``."""
+    """Return ``expr`` with base memory variables renamed per ``mapping``.
+
+    Subtrees that touch no renamed memory are returned unchanged.
+    """
+
+    memo: Dict[int, Expr] = {}
+    mem_memo: Dict[int, MemExpr] = {}
 
     def go(e: Expr) -> Expr:
+        out = memo.get(id(e))
+        if out is not None:
+            return out
         if isinstance(e, (Var, Const)):
-            return e
-        if isinstance(e, UnOp):
-            return UnOp(e.op, go(e.operand))
-        if isinstance(e, BinOp):
-            return BinOp(e.op, go(e.lhs), go(e.rhs))
-        if isinstance(e, Cmp):
-            return Cmp(e.op, go(e.lhs), go(e.rhs))
-        if isinstance(e, Ite):
-            return Ite(go(e.cond), go(e.then), go(e.orelse))
-        if isinstance(e, Load):
-            return Load(go_mem(e.mem), go(e.addr), e.width)
-        raise BirTypeError(f"substitute_memory: unknown expression {e!r}")
+            out = e
+        elif isinstance(e, UnOp):
+            operand = go(e.operand)
+            out = e if operand is e.operand else UnOp(e.op, operand)
+        elif isinstance(e, BinOp):
+            lhs, rhs = go(e.lhs), go(e.rhs)
+            out = e if (lhs is e.lhs and rhs is e.rhs) else BinOp(e.op, lhs, rhs)
+        elif isinstance(e, Cmp):
+            lhs, rhs = go(e.lhs), go(e.rhs)
+            out = e if (lhs is e.lhs and rhs is e.rhs) else Cmp(e.op, lhs, rhs)
+        elif isinstance(e, Ite):
+            cond, then, orelse = go(e.cond), go(e.then), go(e.orelse)
+            unchanged = cond is e.cond and then is e.then and orelse is e.orelse
+            out = e if unchanged else Ite(cond, then, orelse)
+        elif isinstance(e, Load):
+            mem, addr = go_mem(e.mem), go(e.addr)
+            out = e if (mem is e.mem and addr is e.addr) else Load(mem, addr, e.width)
+        else:
+            raise BirTypeError(f"substitute_memory: unknown expression {e!r}")
+        memo[id(e)] = out
+        return out
 
     def go_mem(m: MemExpr) -> MemExpr:
+        out = mem_memo.get(id(m))
+        if out is not None:
+            return out
         if isinstance(m, MemVar):
-            return mapping.get(m, m)
-        if isinstance(m, MemStore):
-            return MemStore(go_mem(m.mem), go(m.addr), go(m.value))
-        raise BirTypeError(f"substitute_memory: unknown memory {m!r}")
+            out = mapping.get(m, m)
+        elif isinstance(m, MemStore):
+            mem, addr, value = go_mem(m.mem), go(m.addr), go(m.value)
+            unchanged = mem is m.mem and addr is m.addr and value is m.value
+            out = m if unchanged else MemStore(mem, addr, value)
+        else:
+            raise BirTypeError(f"substitute_memory: unknown memory {m!r}")
+        mem_memo[id(m)] = out
+        return out
 
     return go(expr)
 

@@ -1,0 +1,138 @@
+"""Campaign-scoped cache registry behind the hash-consed expression core.
+
+The expression language (:mod:`repro.bir.expr`) interns every node at
+construction so structurally equal terms are pointer-identical; on top of
+that, :func:`repro.bir.simp.simplify`, :func:`repro.smt.compiled.compile_expr`
+and :func:`repro.core.rename.rename_expr` memoize their (pure) results by
+node.  All of those caches register themselves here so that
+
+* hit/miss counters can be read in one place (and surfaced per shard in
+  :class:`repro.pipeline.metrics.CampaignStats`),
+* every cache can be cleared together (:func:`clear_caches`), and
+* the whole layer can be switched off (:func:`set_enabled`) for A/B
+  comparisons — the benchmark uses this to measure the un-cached baseline
+  in the same process.
+
+Correctness never depends on a cache being populated or complete: node
+equality falls back to structural comparison when two equal terms are not
+the same object (e.g. across a :func:`clear_caches` generation), and every
+memoized function is pure.  Disabling or clearing caches can therefore only
+change speed, never results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "CacheStats",
+    "register_cache",
+    "cache_stats",
+    "counter_totals",
+    "clear_caches",
+    "set_enabled",
+    "enabled",
+]
+
+
+class CacheStats:
+    """Hit/miss counters for one cache (mutated on the hot path)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: name -> (stats, clear_fn, size_fn)
+_REGISTRY: Dict[str, Tuple[CacheStats, Callable[[], None], Callable[[], int]]] = {}
+
+_ENABLED = True
+
+
+def register_cache(
+    name: str,
+    clear: Callable[[], None],
+    size: Callable[[], int],
+) -> CacheStats:
+    """Register a cache; returns the stats object the cache should mutate.
+
+    Re-registration under an existing name (module reload) replaces the
+    clear/size hooks but keeps the existing counters.
+    """
+    if name in _REGISTRY:
+        stats = _REGISTRY[name][0]
+    else:
+        stats = CacheStats()
+    _REGISTRY[name] = (stats, clear, size)
+    return stats
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Snapshot of every registered cache: hits, misses, current size."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, (stats, _clear, size) in sorted(_REGISTRY.items()):
+        row = stats.snapshot()
+        row["size"] = size()
+        out[name] = row
+    return out
+
+
+def counter_totals() -> Dict[str, int]:
+    """Flat ``{"<name>_hits": n, "<name>_misses": m}`` counter view.
+
+    The shard worker samples this before and after a shard to attribute
+    cache activity to campaign statistics.
+    """
+    out: Dict[str, int] = {}
+    for name, (stats, _clear, _size) in _REGISTRY.items():
+        out[f"{name}_hits"] = stats.hits
+        out[f"{name}_misses"] = stats.misses
+    return out
+
+
+def clear_caches() -> None:
+    """Drop every registered cache's contents (counters are kept).
+
+    Safe at any point: nodes created before the clear remain valid and
+    compare equal to re-created ones through the structural fallback.
+    """
+    for _stats, clear, _size in _REGISTRY.values():
+        clear()
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable interning and memoization (for benchmarks).
+
+    Disabling also clears the caches so stale canonical nodes cannot be
+    returned, and so a later re-enable starts from a cold state.
+    """
+    global _ENABLED
+    _ENABLED = bool(value)
+    clear_caches()
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def describe() -> List[str]:
+    """Human-readable cache summary lines (used by the benchmark report)."""
+    lines = []
+    for name, row in cache_stats().items():
+        total = row["hits"] + row["misses"]
+        rate = (100.0 * row["hits"] / total) if total else 0.0
+        lines.append(
+            f"{name}: {row['hits']} hits / {row['misses']} misses "
+            f"({rate:.1f}% hit rate, {row['size']} entries)"
+        )
+    return lines

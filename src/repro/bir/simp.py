@@ -4,6 +4,11 @@ Keeps symbolic terms small during symbolic execution and normalises
 constraints before they reach the model finder.  Only rules that are cheap
 and always sound are applied: constant folding, identity/zero elements, and
 select-over-store resolution when addresses are syntactically decidable.
+
+``simplify`` is pure, so its results are memoized by (interned) node in a
+bounded campaign-scoped cache: shared subterms of the hash-consed DAG are
+simplified once per table generation instead of once per occurrence.  The
+rules themselves are unchanged from the pre-interning implementation.
 """
 
 from __future__ import annotations
@@ -11,13 +16,46 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bir import expr as E
+from repro.bir import intern
 from repro.utils import bitvec
+
+# node -> simplified node.  Simplified results are fixpoints of the rule
+# set, so they map to themselves — re-simplifying an already-simplified
+# term is a cache hit, not a re-walk.
+_CACHE: Dict[E.Expr, E.Expr] = {}
+_MEM_CACHE: Dict[E.MemExpr, E.MemExpr] = {}
+_CACHE_CAP = 1 << 18
+
+
+def _clear() -> None:
+    _CACHE.clear()
+    _MEM_CACHE.clear()
+
+
+_STATS = intern.register_cache(
+    "simplify", _clear, lambda: len(_CACHE) + len(_MEM_CACHE)
+)
 
 
 def simplify(expr: E.Expr) -> E.Expr:
     """Return an equivalent, usually smaller, expression."""
     if isinstance(expr, (E.Const, E.Var)):
         return expr
+    cached = _CACHE.get(expr)
+    if cached is not None:
+        _STATS.hits += 1
+        return cached
+    _STATS.misses += 1
+    out = _simplify(expr)
+    if intern.enabled():
+        if len(_CACHE) >= _CACHE_CAP:
+            _CACHE.clear()
+        _CACHE[expr] = out
+        _CACHE[out] = out
+    return out
+
+
+def _simplify(expr: E.Expr) -> E.Expr:
     if isinstance(expr, E.UnOp):
         return _simplify_unop(expr)
     if isinstance(expr, E.BinOp):
@@ -161,7 +199,18 @@ def _simplify_mem(mem: E.MemExpr) -> E.MemExpr:
     if isinstance(mem, E.MemVar):
         return mem
     if isinstance(mem, E.MemStore):
-        return E.MemStore(
+        cached = _MEM_CACHE.get(mem)
+        if cached is not None:
+            _STATS.hits += 1
+            return cached
+        _STATS.misses += 1
+        out = E.MemStore(
             _simplify_mem(mem.mem), simplify(mem.addr), simplify(mem.value)
         )
+        if intern.enabled():
+            if len(_MEM_CACHE) >= _CACHE_CAP:
+                _MEM_CACHE.clear()
+            _MEM_CACHE[mem] = out
+            _MEM_CACHE[out] = out
+        return out
     return mem

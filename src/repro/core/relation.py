@@ -65,23 +65,61 @@ class PairRelation:
 
 class RelationSynthesizer:
     """Builds pair relations — and the full Eq. 1 formula — for a symbolic
-    execution result."""
+    execution result.
+
+    The per-path renamed artefacts (path-condition conjuncts, base and
+    refined observation lists for each state copy) are computed once per
+    ``(path, state)`` and reused across the O(n²) pairs; with hash-consed
+    expressions and the rename memo, building all pair relations is linear
+    in the number of *distinct* renamed terms.
+    """
 
     def __init__(self, result: SymbolicExecutionResult, refinement: bool):
         self.result = result
         self.refinement = refinement
+        # (path_index, state_index) -> renamed artefacts.
+        self._antecedents: dict = {}
+        self._base_obs: dict = {}
+        self._refined_obs: dict = {}
+
+    def _antecedent(self, path_index: int, state_index: int):
+        key = (path_index, state_index)
+        cached = self._antecedents.get(key)
+        if cached is None:
+            cached = tuple(
+                rename_expr(c, state_index)
+                for c in self.result[path_index].path_condition
+            )
+            self._antecedents[key] = cached
+        return cached
+
+    def _base(self, path_index: int, state_index: int):
+        key = (path_index, state_index)
+        cached = self._base_obs.get(key)
+        if cached is None:
+            cached = _renamed(
+                self.result[path_index].base_observations(), state_index
+            )
+            self._base_obs[key] = cached
+        return cached
+
+    def _refined(self, path_index: int, state_index: int):
+        key = (path_index, state_index)
+        cached = self._refined_obs.get(key)
+        if cached is None:
+            cached = _renamed(
+                self.result[path_index].refined_only_observations(), state_index
+            )
+            self._refined_obs[key] = cached
+        return cached
 
     # -- per-pair (§5.4) -----------------------------------------------------
 
     def pair(self, i: int, j: int) -> PairRelation:
-        path1 = self.result[i]
-        path2 = self.result[j]
-        antecedent = tuple(
-            rename_expr(c, 1) for c in path1.path_condition
-        ) + tuple(rename_expr(c, 2) for c in path2.path_condition)
+        antecedent = self._antecedent(i, 1) + self._antecedent(j, 2)
 
-        base1 = _renamed(path1.base_observations(), 1)
-        base2 = _renamed(path2.base_observations(), 2)
+        base1 = self._base(i, 1)
+        base2 = self._base(j, 2)
         base_eqs, feasible = _observation_equalities(base1, base2)
         if not feasible:
             return PairRelation(
@@ -90,8 +128,8 @@ class RelationSynthesizer:
 
         refined_diff: Optional[E.Expr] = None
         if self.refinement:
-            ref1 = _renamed(path1.refined_only_observations(), 1)
-            ref2 = _renamed(path2.refined_only_observations(), 2)
+            ref1 = self._refined(i, 1)
+            ref2 = self._refined(j, 2)
             refined_diff = _observation_difference(ref1, ref2)
 
         return PairRelation(i, j, antecedent, tuple(base_eqs), refined_diff)

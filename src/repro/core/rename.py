@@ -3,29 +3,110 @@
 A relational formula constrains two copies of the initial state; copy ``i``
 of variable ``x0`` is ``x0#i`` and of memory ``MEM`` is ``MEM#i`` (see
 :mod:`repro.smt.naming`).
+
+Renaming is a single bottom-up pass that shares unchanged subtrees (a
+subterm without variables or memories is returned as-is, not rebuilt) and
+rewrites each distinct subterm of the interned DAG once per call.  Because
+the relation synthesizer renames the *same* path conditions and observation
+expressions for every path pair, whole-expression results are additionally
+memoized by ``(node, state_index)`` in a bounded campaign-scoped cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.bir import expr as E
+from repro.bir import intern
 from repro.smt.naming import rename_for_state
 from repro.symbolic.path import SymbolicObservation
+
+_CACHE: Dict[Tuple[E.Expr, int], E.Expr] = {}
+_CACHE_CAP = 1 << 16
+
+_STATS = intern.register_cache("rename", _CACHE.clear, lambda: len(_CACHE))
 
 
 def rename_expr(expr: E.Expr, state_index: int) -> E.Expr:
     """Rename all variables and base memories of ``expr`` to state ``i``."""
-    var_map: Dict[E.Var, E.Expr] = {
-        v: E.Var(rename_for_state(v.name, state_index), v.width)
-        for v in expr.variables()
-    }
-    renamed = E.substitute(expr, var_map)
-    mem_map: Dict[E.MemVar, E.MemVar] = {
-        m: E.MemVar(rename_for_state(m.name, state_index))
-        for m in renamed.memories()
-    }
-    return E.substitute_memory(renamed, mem_map)
+    key = (expr, state_index)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _STATS.hits += 1
+        return cached
+    _STATS.misses += 1
+    out = _rename(expr, state_index, {}, {})
+    if intern.enabled():
+        if len(_CACHE) >= _CACHE_CAP:
+            _CACHE.clear()
+        _CACHE[key] = out
+    return out
+
+
+def _rename(
+    e: E.Expr,
+    state_index: int,
+    memo: Dict[int, E.Expr],
+    mem_memo: Dict[int, E.MemExpr],
+) -> E.Expr:
+    out = memo.get(id(e))
+    if out is not None:
+        return out
+    if isinstance(e, E.Var):
+        out = E.Var(rename_for_state(e.name, state_index), e.width)
+    elif isinstance(e, E.Const):
+        out = e
+    elif isinstance(e, E.UnOp):
+        operand = _rename(e.operand, state_index, memo, mem_memo)
+        out = e if operand is e.operand else E.UnOp(e.op, operand)
+    elif isinstance(e, E.BinOp):
+        lhs = _rename(e.lhs, state_index, memo, mem_memo)
+        rhs = _rename(e.rhs, state_index, memo, mem_memo)
+        out = e if (lhs is e.lhs and rhs is e.rhs) else E.BinOp(e.op, lhs, rhs)
+    elif isinstance(e, E.Cmp):
+        lhs = _rename(e.lhs, state_index, memo, mem_memo)
+        rhs = _rename(e.rhs, state_index, memo, mem_memo)
+        out = e if (lhs is e.lhs and rhs is e.rhs) else E.Cmp(e.op, lhs, rhs)
+    elif isinstance(e, E.Ite):
+        cond = _rename(e.cond, state_index, memo, mem_memo)
+        then = _rename(e.then, state_index, memo, mem_memo)
+        orelse = _rename(e.orelse, state_index, memo, mem_memo)
+        unchanged = cond is e.cond and then is e.then and orelse is e.orelse
+        out = e if unchanged else E.Ite(cond, then, orelse)
+    elif isinstance(e, E.Load):
+        mem = _rename_mem(e.mem, state_index, memo, mem_memo)
+        addr = _rename(e.addr, state_index, memo, mem_memo)
+        out = (
+            e
+            if (mem is e.mem and addr is e.addr)
+            else E.Load(mem, addr, e.width)
+        )
+    else:
+        raise TypeError(f"rename_expr: unknown expression {e!r}")
+    memo[id(e)] = out
+    return out
+
+
+def _rename_mem(
+    m: E.MemExpr,
+    state_index: int,
+    memo: Dict[int, E.Expr],
+    mem_memo: Dict[int, E.MemExpr],
+) -> E.MemExpr:
+    out = mem_memo.get(id(m))
+    if out is not None:
+        return out
+    if isinstance(m, E.MemVar):
+        out = E.MemVar(rename_for_state(m.name, state_index))
+    elif isinstance(m, E.MemStore):
+        mem = _rename_mem(m.mem, state_index, memo, mem_memo)
+        addr = _rename(m.addr, state_index, memo, mem_memo)
+        value = _rename(m.value, state_index, memo, mem_memo)
+        out = E.MemStore(mem, addr, value)
+    else:
+        raise TypeError(f"rename_expr: unknown memory {m!r}")
+    mem_memo[id(m)] = out
+    return out
 
 
 def rename_observation(

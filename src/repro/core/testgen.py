@@ -27,12 +27,23 @@ from repro.hw.platform import StateInputs
 from repro.isa.lifter import lift
 from repro.isa.program import AsmProgram
 from repro.obs.base import ObservationModel
+from repro.bir import intern
 from repro.smt.naming import rename_for_state
-from repro.smt.solver import Model, ModelFinder, SolverConfig
+from repro.smt.solver import (
+    Model,
+    ModelFinder,
+    PreparedConstraints,
+    SolverConfig,
+)
 from repro.symbolic.executor import execute
 from repro.utils.rng import SplittableRandom
 
 _REGISTER_NAME = re.compile(r"^x\d+$")
+
+# Prepared-constraint reuse accounting across all generators.  The caches
+# themselves are per-generator (they die with the generator), so the clear
+# hook and size probe are no-ops; only the hit/miss counters are global.
+_PREP_STATS = intern.register_cache("prepare", lambda: None, lambda: 0)
 
 
 @dataclass(frozen=True)
@@ -50,11 +61,13 @@ class TestGenConfig:
         solver = SolverConfig(
             max_restarts=self.solver.max_restarts,
             max_repairs=self.solver.max_repairs,
+            stall_limit=self.solver.stall_limit,
             divergence=self.solver.divergence,
             region_base=self.region_base,
             region_size=self.region_size,
             region_bias=self.solver.region_bias,
             alignment=self.alignment,
+            warm_restarts=self.solver.warm_restarts,
         )
         object.__setattr__(self, "solver", solver)
 
@@ -110,6 +123,12 @@ class TestCaseGenerator:
         self._round_robin = 0
         self._train_cache: Dict[int, Optional[StateInputs]] = {}
         self._wellformed_cache: Dict[Tuple[int, int], List[E.Expr]] = {}
+        # The pair relation + well-formedness part of an attempt's
+        # constraints is fixed per path pair; only the coverage constraints
+        # change between attempts.  Prepare (flatten/propagate/compile)
+        # once per pair and solve with the coverage extras per attempt.
+        self._prepared_cache: Dict[Tuple[int, int], PreparedConstraints] = {}
+        self._preparer = ModelFinder(self.config.solver)
 
     # -- public API ----------------------------------------------------------
 
@@ -132,17 +151,12 @@ class TestCaseGenerator:
     # -- internals -----------------------------------------------------------
 
     def _instantiate(self, pair: PairRelation) -> Optional[TestCase]:
-        if self._refined_mode:
-            constraints = list(pair.refinement_constraints())
-        else:
-            constraints = list(pair.equivalence_constraints())
-        constraints += self._wellformed(pair.path1_index, 1)
-        constraints += self._wellformed(pair.path2_index, 2)
-        constraints += self.coverage.constraints(
+        prepared = self._prepared(pair)
+        coverage = self.coverage.constraints(
             pair, self.result, self.rng.split("coverage")
         )
         finder = ModelFinder(self.config.solver, self.rng.split("solve"))
-        model = finder.solve(constraints)
+        model = finder.solve_prepared(prepared, extra=coverage)
         if model is None:
             return None
         state1 = self._state_inputs(model, 1)
@@ -156,6 +170,24 @@ class TestCaseGenerator:
             pair=(pair.path1_index, pair.path2_index),
             refined=self._refined_mode,
         )
+
+    def _prepared(self, pair: PairRelation) -> PreparedConstraints:
+        key = (pair.path1_index, pair.path2_index)
+        prepared = self._prepared_cache.get(key)
+        if prepared is not None:
+            _PREP_STATS.hits += 1
+            return prepared
+        _PREP_STATS.misses += 1
+        if self._refined_mode:
+            constraints = list(pair.refinement_constraints())
+        else:
+            constraints = list(pair.equivalence_constraints())
+        constraints += self._wellformed(pair.path1_index, 1)
+        constraints += self._wellformed(pair.path2_index, 2)
+        prepared = self._preparer.prepare(constraints)
+        if intern.enabled():
+            self._prepared_cache[key] = prepared
+        return prepared
 
     def _wellformed(self, path_index: int, state_index: int) -> List[E.Expr]:
         key = (path_index, state_index)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
@@ -28,6 +28,13 @@ class CampaignStats:
     gen_time_total: float = 0.0
     exe_time_total: float = 0.0
     time_to_counterexample: Optional[float] = None
+    # Expression/solver cache hit and miss totals sampled from
+    # ``repro.bir.intern.counter_totals`` (``<cache>_hits``/``<cache>_misses``
+    # keys).  Diagnostic only: hit/miss splits depend on how programs are
+    # grouped into shards (a shared subterm is a miss in the first shard
+    # that builds it and a hit afterwards *within the same process*), so
+    # these are deliberately excluded from ``deterministic_counters``.
+    cache_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def avg_gen_time(self) -> float:
@@ -82,13 +89,17 @@ class CampaignStats:
             gen_time_total=self.gen_time_total + other.gen_time_total,
             exe_time_total=self.exe_time_total + other.exe_time_total,
             time_to_counterexample=min(ttcs) if ttcs else None,
+            cache_counters=_merge_counters(
+                self.cache_counters, other.cache_counters
+            ),
         )
 
     def deterministic_counters(self) -> Dict[str, int]:
         """The seed-determined counters, excluding wall-clock timings.
 
         Two runs of the same campaign at any worker count must agree on
-        these exactly; timing fields legitimately differ run to run.
+        these exactly; timing fields and ``cache_counters`` legitimately
+        differ run to run (cache hit/miss splits depend on sharding).
         """
         return {
             "programs": self.programs,
@@ -117,6 +128,14 @@ class CampaignStats:
                 else "-"
             ),
         }
+
+
+def _merge_counters(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    """Additive union of two counter dicts."""
+    out = dict(a)
+    for key, value in b.items():
+        out[key] = out.get(key, 0) + value
+    return out
 
 
 def format_table(columns: Sequence[CampaignStats], title: str = "") -> str:

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.bir import intern
 from repro.core.testgen import TestCaseGenerator
 from repro.errors import ReproError
 from repro.hw.platform import ExperimentOutcome, ExperimentPlatform
@@ -121,8 +122,16 @@ def run_shard(
     stats = CampaignStats(name=config.name)
     records: List[ExperimentRecord] = []
     programs: List[ProgramRecord] = []
+    counters_before = intern.counter_totals()
     for program_index in spec.program_indices:
         _run_program(config, program_index, started, stats, records, programs)
+    # Attribute this shard's share of the process-wide cache activity:
+    # the delta over the shard keeps merged totals additive even when one
+    # worker process runs many shards back to back.
+    for key, total in intern.counter_totals().items():
+        delta = total - counters_before.get(key, 0)
+        if delta:
+            stats.cache_counters[key] = delta
     return ShardResult(
         shard_id=spec.shard_id,
         program_indices=spec.program_indices,

@@ -22,7 +22,12 @@ the paper's observation that it still finds a handful of counterexamples.
 
 from repro.smt.naming import STATE_SEP, base_name, rename_for_state, state_of
 from repro.smt.valuation import LazyValuation, SamplingPolicy
-from repro.smt.solver import Model, ModelFinder, SolverConfig
+from repro.smt.solver import (
+    Model,
+    ModelFinder,
+    PreparedConstraints,
+    SolverConfig,
+)
 
 __all__ = [
     "STATE_SEP",
@@ -33,5 +38,6 @@ __all__ = [
     "SamplingPolicy",
     "Model",
     "ModelFinder",
+    "PreparedConstraints",
     "SolverConfig",
 ]

@@ -6,6 +6,12 @@ expression into a Python lambda over ``(R, M)`` — the register mapping and
 the memory-read function of a valuation — giving a ~two-order-of-magnitude
 speedup with identical semantics (the test suite cross-checks compiled
 results against :func:`repro.bir.expr.evaluate`).
+
+Compilation is pure, so closures are memoized by (interned) node in a
+bounded campaign-scoped cache: the model finder re-preparing a conjunct it
+has seen before — the common case when a program's path pairs share
+well-formedness and antecedent constraints — costs one dict lookup instead
+of a codegen + ``eval``.
 """
 
 from __future__ import annotations
@@ -13,10 +19,18 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.bir import expr as E
+from repro.bir import intern
 from repro.errors import SolverError
 from repro.utils import bitvec
 
 _UNIQUE = 0
+
+_CompiledFn = Callable[[Dict[str, int], Callable[[str, int], int]], int]
+
+_CACHE: Dict[E.Expr, _CompiledFn] = {}
+_CACHE_CAP = 1 << 16
+
+_STATS = intern.register_cache("compile", _CACHE.clear, lambda: len(_CACHE))
 
 
 def _signed(value: int, width: int) -> int:
@@ -44,11 +58,25 @@ _GLOBALS = {
 }
 
 
-def compile_expr(expr: E.Expr) -> Callable[[Dict[str, int], Callable[[str, int], int]], int]:
+def compile_expr(expr: E.Expr) -> _CompiledFn:
     """Compile to ``fn(R, M) -> int`` where ``R`` maps register names to
-    values and ``M(mem_name, addr)`` reads a memory cell."""
+    values and ``M(mem_name, addr)`` reads a memory cell.
+
+    Results are memoized per node; repeated compilation of a shared term
+    returns the same closure.
+    """
+    fn = _CACHE.get(expr)
+    if fn is not None:
+        _STATS.hits += 1
+        return fn
+    _STATS.misses += 1
     code = _gen(expr)
-    return eval(f"lambda R, M: {code}", dict(_GLOBALS))
+    fn = eval(f"lambda R, M: {code}", dict(_GLOBALS))
+    if intern.enabled():
+        if len(_CACHE) >= _CACHE_CAP:
+            _CACHE.clear()
+        _CACHE[expr] = fn
+    return fn
 
 
 def _gen(expr: E.Expr) -> str:

@@ -16,12 +16,29 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bir import expr as E
+from repro.bir import intern
 from repro.bir.expr import evaluate
+from repro.smt.compiled import compile_expr
 from repro.smt.valuation import LazyValuation
 from repro.utils import bitvec
 from repro.utils.rng import SplittableRandom
 
 WORD = 64
+
+
+def _eval(expr: E.Expr, val: LazyValuation) -> int:
+    """Evaluate a subterm during repair.
+
+    Repair re-evaluates the same (hash-consed) subterms on every visit, so
+    the memoized compiled closures beat the tree-walking interpreter by an
+    order of magnitude; both read registers and memory cells in the same
+    order, so the lazily-sampled valuation materialises identically either
+    way.  Without interning the closure cache is disabled and per-call
+    codegen would dominate, so fall back to the interpreter.
+    """
+    if intern.enabled():
+        return compile_expr(expr)(val.regs, val.read_mem)
+    return evaluate(expr, val)
 
 
 def try_set(
@@ -59,14 +76,14 @@ def _set_load(
         # A select over a store chain: check whether the read resolves to the
         # base memory under the current assignment; if a store shadows it,
         # invert the stored value instead.
-        addr = evaluate(expr.addr, val)
+        addr = _eval(expr.addr, val)
         mem = expr.mem
         while isinstance(mem, E.MemStore):
-            if evaluate(mem.addr, val) == addr:
+            if _eval(mem.addr, val) == addr:
                 return try_set(mem.value, target, val, rng, depth + 1)
             mem = mem.mem
         return val.set_cell(mem.name, addr, target)
-    addr = evaluate(expr.addr, val)
+    addr = _eval(expr.addr, val)
     return val.set_cell(expr.mem.name, addr, target)
 
 
@@ -86,8 +103,8 @@ def _set_binop(expr: E.BinOp, target: int, val, rng, depth: int) -> bool:
     lhs, rhs = expr.lhs, expr.rhs
     if lhs == rhs:
         return _set_binop_aliased(op, lhs, target, val, rng, depth)
-    lv = evaluate(lhs, val)
-    rv = evaluate(rhs, val)
+    lv = _eval(lhs, val)
+    rv = _eval(rhs, val)
 
     def attempts():
         if op is E.BinOpKind.ADD:
@@ -174,7 +191,7 @@ def _set_bool_connective(expr: E.BinOp, target: bool, val, rng, depth: int) -> b
         # Both sides must equal `target`.
         ok = True
         for side in sides:
-            if evaluate(side, val) != int(target):
+            if _eval(side, val) != int(target):
                 ok = try_set(side, int(target), val, rng, depth + 1) and ok
         return ok
     # One side suffices.
@@ -201,8 +218,8 @@ def _set_cmp(expr: E.Cmp, target: bool, val, rng, depth: int) -> bool:
 
 
 def _set_equal(lhs: E.Expr, rhs: E.Expr, val, rng, depth: int) -> bool:
-    lv = evaluate(lhs, val)
-    rv = evaluate(rhs, val)
+    lv = _eval(lhs, val)
+    rv = _eval(rhs, val)
     if lv == rv:
         return True
     # Deterministic per restart: copy one side into the other, the side
@@ -219,8 +236,8 @@ def _set_equal(lhs: E.Expr, rhs: E.Expr, val, rng, depth: int) -> bool:
 
 def _set_unequal(lhs: E.Expr, rhs: E.Expr, val, rng, depth: int) -> bool:
     width = lhs.width
-    lv = evaluate(lhs, val)
-    rv = evaluate(rhs, val)
+    lv = _eval(lhs, val)
+    rv = _eval(rhs, val)
     if lv != rv:
         return True
     # Forced difference is the one place randomness belongs: refinement
@@ -243,8 +260,8 @@ def _set_ordered(
 ) -> bool:
     """Make ``lo < hi`` (strict) or ``lo <= hi`` hold."""
     width = lo.width
-    lo_v = evaluate(lo, val)
-    hi_v = evaluate(hi, val)
+    lo_v = _eval(lo, val)
+    hi_v = _eval(hi, val)
 
     def as_key(v: int) -> int:
         return bitvec.to_signed(v, width) if signed else v
@@ -304,7 +321,7 @@ def _twin_target(expr: E.Expr, val: LazyValuation) -> Optional[int]:
 
 
 def _set_ite(expr: E.Ite, target: int, val, rng, depth: int) -> bool:
-    if evaluate(expr.cond, val):
+    if _eval(expr.cond, val):
         arm = expr.then
     else:
         arm = expr.orelse
@@ -312,7 +329,7 @@ def _set_ite(expr: E.Ite, target: int, val, rng, depth: int) -> bool:
         return True
     # Steer the condition to the other arm if that arm already matches.
     other = expr.orelse if arm is expr.then else expr.then
-    if evaluate(other, val) == bitvec.truncate(target, expr.width):
-        flip = 0 if evaluate(expr.cond, val) else 1
+    if _eval(other, val) == bitvec.truncate(target, expr.width):
+        flip = 0 if _eval(expr.cond, val) else 1
         return try_set(expr.cond, flip, val, rng, depth + 1)
     return False

@@ -111,10 +111,14 @@ class LazyValuation(Valuation):
 
     def set_register(self, name: str, value: int) -> bool:
         """Assign a register (repair); refuses pinned names."""
-        key = self.resolve(name)
+        regs = self.regs
+        key = regs._keys.get(name)
+        if key is None:
+            key = self.resolve(name)
+            regs._keys[name] = key
         if key in self.pins:
             return self.pins[key] == bitvec.truncate(value, WORD_WIDTH)
-        dict.__setitem__(self.regs, key, bitvec.truncate(value, WORD_WIDTH))
+        dict.__setitem__(regs, key, bitvec.truncate(value, WORD_WIDTH))
         self.mutation_log.append(key)
         return True
 
@@ -169,17 +173,52 @@ class LazyValuation(Valuation):
         mems = {name: dict(cells) for name, cells in self.mems.items()}
         return regs, mems
 
+    def seed_from(
+        self, regs: Dict[str, int], mems: Dict[str, Dict[int, int]]
+    ) -> None:
+        """Pre-materialise values from another valuation's snapshot.
+
+        Used by the solver's warm restarts: the seeded entries replace the
+        lazy samples that first reads would otherwise draw, so the search
+        resumes near the best assignment seen so far.  Pinned class keys
+        are skipped (their value is forced anyway); keys must already be
+        class representatives, as produced by :meth:`materialised`.
+        """
+        for key, value in regs.items():
+            if key in self.pins:
+                continue
+            dict.__setitem__(self.regs, key, value)
+        for name, cells in mems.items():
+            self.mems.setdefault(name, {}).update(cells)
+
+
+_MISSING = object()
+
 
 class _SamplingRegs(dict):
     """Register store that resolves names to class representatives and
-    samples missing entries through the owning valuation."""
+    samples missing entries through the owning valuation.
+
+    Reads are the single hottest operation of the repair search (every
+    compiled-constraint evaluation goes through here), so name-to-class
+    resolution is memoized locally and the value lookup uses one
+    sentinel-probed ``dict.get`` instead of a contains/getitem pair.
+    """
+
+    __slots__ = ("_owner", "_keys")
 
     def __init__(self, owner: LazyValuation):
         super().__init__()
         self._owner = owner
+        self._keys: Dict[str, str] = {}
 
     def __getitem__(self, name: str) -> int:
-        key = self._owner.resolve(name)
-        if not dict.__contains__(self, key):
-            dict.__setitem__(self, key, self._owner._sample_register(key))
-        return dict.__getitem__(self, key)
+        key = self._keys.get(name)
+        if key is None:
+            key = self._owner.resolve(name)
+            self._keys[name] = key
+        value = dict.get(self, key, _MISSING)
+        if value is _MISSING:
+            value = self._owner._sample_register(key)
+            dict.__setitem__(self, key, value)
+        return value

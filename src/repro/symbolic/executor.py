@@ -49,12 +49,14 @@ class SymbolicExecutor:
                 self._step(stmt, state)
             term = block.terminator
             if isinstance(term, Halt):
-                paths.append(self._finish(state))
-                if len(paths) > self.max_paths:
+                if len(paths) >= self.max_paths:
+                    # Raise *at* the limit: a max_paths-path program is
+                    # fine, the (max_paths + 1)-th completed path is not.
                     raise PathExplosionError(
                         f"program {program.name!r} exceeded "
                         f"{self.max_paths} paths"
                     )
+                paths.append(self._finish(state))
                 continue
             if isinstance(term, Jmp):
                 stack.append((term.target, state))
@@ -71,6 +73,15 @@ class SymbolicExecutor:
                     stack.append((term.target_false, false_state))
                     state.assume(cond)
                     stack.append((term.target_true, state))
+                    # Every pending work item yields at least one path, so
+                    # this fork already guarantees an explosion: fail now
+                    # instead of executing the doomed subtrees (the pending
+                    # stack stays bounded by max_paths + 1).
+                    if len(paths) + len(stack) > self.max_paths:
+                        raise PathExplosionError(
+                            f"program {program.name!r} exceeded "
+                            f"{self.max_paths} paths"
+                        )
                 continue
             raise SymbolicExecutionError(f"unknown terminator {term!r}")
         # DFS visits the false arm first at each fork (it is pushed first);

@@ -52,39 +52,66 @@ class SymbolicState:
 
         Variables are replaced by their current symbolic values and loads are
         rebound to the current memory expression, then the result is
-        simplified.
+        simplified.  Shared subterms of the (hash-consed) input are rewritten
+        once per call; unchanged subtrees are returned as-is.
         """
-        return simplify(self._eval(expr))
+        return simplify(self._eval(expr, {}, {}))
 
-    def _eval(self, expr: E.Expr) -> E.Expr:
+    def _eval(self, expr: E.Expr, memo: dict, mem_memo: dict) -> E.Expr:
+        out = memo.get(id(expr))
+        if out is not None:
+            return out
         if isinstance(expr, E.Const):
-            return expr
-        if isinstance(expr, E.Var):
-            return self.env.get(expr.name, expr)
-        if isinstance(expr, E.UnOp):
-            return E.UnOp(expr.op, self._eval(expr.operand))
-        if isinstance(expr, E.BinOp):
-            return E.BinOp(expr.op, self._eval(expr.lhs), self._eval(expr.rhs))
-        if isinstance(expr, E.Cmp):
-            return E.Cmp(expr.op, self._eval(expr.lhs), self._eval(expr.rhs))
-        if isinstance(expr, E.Ite):
-            return E.Ite(
-                self._eval(expr.cond),
-                self._eval(expr.then),
-                self._eval(expr.orelse),
+            out = expr
+        elif isinstance(expr, E.Var):
+            out = self.env.get(expr.name, expr)
+        elif isinstance(expr, E.UnOp):
+            operand = self._eval(expr.operand, memo, mem_memo)
+            out = expr if operand is expr.operand else E.UnOp(expr.op, operand)
+        elif isinstance(expr, E.BinOp):
+            lhs = self._eval(expr.lhs, memo, mem_memo)
+            rhs = self._eval(expr.rhs, memo, mem_memo)
+            unchanged = lhs is expr.lhs and rhs is expr.rhs
+            out = expr if unchanged else E.BinOp(expr.op, lhs, rhs)
+        elif isinstance(expr, E.Cmp):
+            lhs = self._eval(expr.lhs, memo, mem_memo)
+            rhs = self._eval(expr.rhs, memo, mem_memo)
+            unchanged = lhs is expr.lhs and rhs is expr.rhs
+            out = expr if unchanged else E.Cmp(expr.op, lhs, rhs)
+        elif isinstance(expr, E.Ite):
+            cond = self._eval(expr.cond, memo, mem_memo)
+            then = self._eval(expr.then, memo, mem_memo)
+            orelse = self._eval(expr.orelse, memo, mem_memo)
+            unchanged = (
+                cond is expr.cond and then is expr.then and orelse is expr.orelse
             )
-        if isinstance(expr, E.Load):
-            return E.Load(self._eval_mem(expr.mem), self._eval(expr.addr), expr.width)
-        raise SymbolicExecutionError(f"cannot evaluate {expr!r}")
+            out = expr if unchanged else E.Ite(cond, then, orelse)
+        elif isinstance(expr, E.Load):
+            mem = self._eval_mem(expr.mem, memo, mem_memo)
+            addr = self._eval(expr.addr, memo, mem_memo)
+            unchanged = mem is expr.mem and addr is expr.addr
+            out = expr if unchanged else E.Load(mem, addr, expr.width)
+        else:
+            raise SymbolicExecutionError(f"cannot evaluate {expr!r}")
+        memo[id(expr)] = out
+        return out
 
-    def _eval_mem(self, mem: E.MemExpr) -> E.MemExpr:
+    def _eval_mem(self, mem: E.MemExpr, memo: dict, mem_memo: dict) -> E.MemExpr:
+        out = mem_memo.get(id(mem))
+        if out is not None:
+            return out
         if isinstance(mem, E.MemVar):
-            return self.memory(mem.name)
-        if isinstance(mem, E.MemStore):
-            return E.MemStore(
-                self._eval_mem(mem.mem), self._eval(mem.addr), self._eval(mem.value)
-            )
-        raise SymbolicExecutionError(f"cannot evaluate memory {mem!r}")
+            out = self.memory(mem.name)
+        elif isinstance(mem, E.MemStore):
+            inner = self._eval_mem(mem.mem, memo, mem_memo)
+            addr = self._eval(mem.addr, memo, mem_memo)
+            value = self._eval(mem.value, memo, mem_memo)
+            unchanged = inner is mem.mem and addr is mem.addr and value is mem.value
+            out = mem if unchanged else E.MemStore(inner, addr, value)
+        else:
+            raise SymbolicExecutionError(f"cannot evaluate memory {mem!r}")
+        mem_memo[id(mem)] = out
+        return out
 
     def assign(self, name: str, value: E.Expr) -> None:
         """Bind a variable to an already-evaluated expression."""

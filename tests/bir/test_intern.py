@@ -1,0 +1,101 @@
+"""Unit tests for the cache registry behind the interned expression core."""
+
+import pytest
+
+from repro.bir import expr as E
+from repro.bir import intern
+from repro.bir.simp import simplify
+from repro.smt.compiled import compile_expr
+
+
+@pytest.fixture(autouse=True)
+def _restore_enabled():
+    """Every test leaves the layer enabled (the process-wide default)."""
+    yield
+    intern.set_enabled(True)
+
+
+class TestRegistry:
+    def test_register_returns_stats_object(self):
+        stats = intern.register_cache(
+            "test_scratch", lambda: None, lambda: 0
+        )
+        assert stats.hits == 0
+        stats.hits += 3
+        assert intern.cache_stats()["test_scratch"]["hits"] == 3
+
+    def test_reregistration_keeps_counters(self):
+        stats = intern.register_cache("test_rereg", lambda: None, lambda: 0)
+        stats.misses = 5
+        again = intern.register_cache("test_rereg", lambda: None, lambda: 1)
+        assert again is stats
+        assert intern.cache_stats()["test_rereg"]["misses"] == 5
+        assert intern.cache_stats()["test_rereg"]["size"] == 1
+
+    def test_counter_totals_flat_view(self):
+        stats = intern.register_cache("test_flat", lambda: None, lambda: 0)
+        stats.hits, stats.misses = 2, 7
+        totals = intern.counter_totals()
+        assert totals["test_flat_hits"] == 2
+        assert totals["test_flat_misses"] == 7
+
+    def test_clear_caches_invokes_hooks_and_keeps_counters(self):
+        cleared = []
+        stats = intern.register_cache(
+            "test_clear", lambda: cleared.append(True), lambda: 0
+        )
+        stats.hits = 4
+        intern.clear_caches()
+        assert cleared == [True]
+        assert stats.hits == 4
+
+    def test_hit_rate(self):
+        stats = intern.CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.hits, stats.misses = 3, 1
+        assert stats.hit_rate == 0.75
+
+    def test_describe_lines_mention_each_cache(self):
+        intern.register_cache("test_describe", lambda: None, lambda: 2)
+        lines = intern.describe()
+        assert any(line.startswith("test_describe:") for line in lines)
+
+
+class TestEnableDisable:
+    def test_disable_stops_canonicalisation(self):
+        intern.set_enabled(False)
+        assert not intern.enabled()
+        a = E.add(E.var("x"), E.const(1))
+        b = E.add(E.var("x"), E.const(1))
+        assert a is not b
+        assert a == b  # structural fallback still holds
+        assert hash(a) == hash(b)
+
+    def test_reenable_restarts_interning_cold(self):
+        intern.set_enabled(False)
+        intern.set_enabled(True)
+        a = E.add(E.var("x"), E.const(1))
+        b = E.add(E.var("x"), E.const(1))
+        assert a is b
+
+    def test_disabled_layer_is_observationally_equal(self):
+        expr = E.band(
+            E.lshr(E.add(E.var("a"), E.const(64)), E.const(6)), E.const(127)
+        )
+        val = E.Valuation(regs={"a": 0x80000})
+        enabled_simp = simplify(expr)
+        enabled_value = compile_expr(expr)(val.regs, val.read_mem)
+        intern.set_enabled(False)
+        assert simplify(expr) == enabled_simp
+        assert compile_expr(expr)(val.regs, val.read_mem) == enabled_value
+        assert enabled_value == E.evaluate(expr, val)
+
+    def test_clear_generation_equality_bridge(self):
+        # Nodes created before a clear compare equal (and hash equal) to
+        # re-created ones even though they are different objects.
+        old = E.add(E.var("y"), E.const(3))
+        intern.clear_caches()
+        new = E.add(E.var("y"), E.const(3))
+        assert old == new
+        assert hash(old) == hash(new)
+        assert len({old, new}) == 1

@@ -1,0 +1,212 @@
+"""Property-based tests for the hash-consed expression core (ISSUE 2).
+
+The interning layer must be *observationally transparent*: canonical
+construction, the per-node attribute caches, and the memoized
+``simplify``/``compile_expr`` may change allocation behaviour but never a
+result.  These properties pin that down against randomized expression
+trees:
+
+* interned construction is referentially canonical (structurally equal
+  terms are pointer-identical) and survives pickling,
+* memoized ``simplify`` returns the same simplified form as an un-memoized
+  (cold-cache) run — i.e. the memo layer is extensionally equal to the
+  seed implementation, whose rule set is unchanged,
+* simplification and compilation agree with the tree-walking evaluator
+  under random valuations regardless of cache state,
+* cached ``variables()``/``memories()``/``size``/``depth`` equal a fresh
+  structural recomputation.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bir import expr as E
+from repro.bir import intern
+from repro.bir.simp import simplify
+from repro.smt.compiled import compile_expr
+
+
+@pytest.fixture(autouse=True)
+def _fresh_generation():
+    # The interning tables are bounded: when a table crosses its cap the
+    # whole generation is dropped, and pointer-identity assertions do not
+    # hold across generations.  Starting from empty tables keeps every
+    # example far from the cap, so no flip can happen mid-assertion no
+    # matter how much the preceding suite populated the caches.
+    intern.clear_caches()
+    yield
+
+VAR_NAMES = ["a", "b", "c", "d"]
+WIDTH = 64
+
+
+def leaf():
+    return st.one_of(
+        st.integers(min_value=0, max_value=2**64 - 1).map(
+            lambda v: E.Const(v, WIDTH)
+        ),
+        st.sampled_from(VAR_NAMES).map(lambda n: E.Var(n, WIDTH)),
+    )
+
+
+def exprs(max_leaves=12):
+    return st.recursive(
+        leaf(),
+        lambda children: st.one_of(
+            st.tuples(
+                st.sampled_from(list(E.BinOpKind)), children, children
+            ).map(lambda t: E.BinOp(t[0], t[1], t[2])),
+            children.map(lambda a: E.Load(E.MemVar("MEM"), a, WIDTH)),
+            st.tuples(
+                st.sampled_from(list(E.CmpKind)),
+                children,
+                children,
+                children,
+                children,
+            ).map(lambda t: E.Ite(E.Cmp(t[0], t[1], t[2]), t[3], t[4])),
+            st.tuples(st.sampled_from(list(E.UnOpKind)), children).map(
+                lambda t: E.UnOp(t[0], t[1])
+            ),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def valuations():
+    return st.fixed_dictionaries(
+        {
+            name: st.integers(min_value=0, max_value=2**64 - 1)
+            for name in VAR_NAMES
+        }
+    ).map(lambda regs: E.Valuation(regs=regs, mems={"MEM": {0: 7, 64: 9}}))
+
+
+def _rebuild(expr):
+    """Reconstruct an expression bottom-up through the public constructors."""
+    if isinstance(expr, E.Const):
+        return E.Const(expr.value, expr.width)
+    if isinstance(expr, E.Var):
+        return E.Var(expr.name, expr.width)
+    if isinstance(expr, E.UnOp):
+        return E.UnOp(expr.op, _rebuild(expr.operand))
+    if isinstance(expr, E.BinOp):
+        return E.BinOp(expr.op, _rebuild(expr.lhs), _rebuild(expr.rhs))
+    if isinstance(expr, E.Cmp):
+        return E.Cmp(expr.op, _rebuild(expr.lhs), _rebuild(expr.rhs))
+    if isinstance(expr, E.Ite):
+        return E.Ite(
+            _rebuild(expr.cond), _rebuild(expr.then), _rebuild(expr.orelse)
+        )
+    if isinstance(expr, E.Load):
+        return E.Load(_rebuild_mem(expr.mem), _rebuild(expr.addr), expr.width)
+    raise AssertionError(f"unhandled {expr!r}")
+
+
+def _rebuild_mem(mem):
+    if isinstance(mem, E.MemVar):
+        return E.MemVar(mem.name)
+    return E.MemStore(
+        _rebuild_mem(mem.mem), _rebuild(mem.addr), _rebuild(mem.value)
+    )
+
+
+@given(exprs())
+@settings(max_examples=150)
+def test_interned_construction_is_canonical(expr):
+    rebuilt = _rebuild(expr)
+    assert rebuilt is expr
+    assert hash(rebuilt) == hash(expr)
+
+
+@given(exprs())
+@settings(max_examples=100)
+def test_interning_survives_pickle(expr):
+    clone = pickle.loads(pickle.dumps(expr))
+    # Unpickling goes through the canonical constructors, so it lands on
+    # the same interned node.
+    assert clone is expr
+
+
+@given(exprs())
+@settings(max_examples=150)
+def test_memoized_simplify_matches_cold_cache(expr):
+    warm = simplify(expr)
+    # A second call must hit the memo and return the identical node.
+    assert simplify(expr) is warm
+    # A cold-cache run (the memo-free code path, i.e. the seed
+    # implementation's behaviour) must produce the same simplified form.
+    intern.clear_caches()
+    cold = simplify(expr)
+    assert cold == warm
+
+
+@given(exprs(), valuations())
+@settings(max_examples=150)
+def test_simplify_preserves_evaluate_across_cache_states(expr, valuation):
+    expected = E.evaluate(expr, valuation)
+    assert E.evaluate(simplify(expr), valuation) == expected
+    intern.clear_caches()
+    assert E.evaluate(simplify(expr), valuation) == expected
+
+
+@given(exprs())
+@settings(max_examples=100)
+def test_simplify_is_idempotent(expr):
+    once = simplify(expr)
+    assert simplify(once) is once
+
+
+@given(exprs(), valuations())
+@settings(max_examples=100)
+def test_memoized_compile_agrees_with_evaluate(expr, valuation):
+    fn = compile_expr(expr)
+    # Memo hit returns the same closure.
+    assert compile_expr(expr) is fn
+    assert fn(valuation.regs, valuation.read_mem) == E.evaluate(
+        expr, valuation
+    )
+    intern.clear_caches()
+    cold = compile_expr(expr)
+    assert cold(valuation.regs, valuation.read_mem) == E.evaluate(
+        expr, valuation
+    )
+
+
+def _structural_size(e):
+    return 1 + sum(_structural_size(c) for c in _children(e))
+
+
+def _structural_depth(e):
+    return 1 + max((_structural_depth(c) for c in _children(e)), default=0)
+
+
+def _structural_vars(e, out):
+    if isinstance(e, E.Var):
+        out.add(e)
+    for child in _children(e):
+        _structural_vars(child, out)
+    return out
+
+
+def _children(e):
+    if isinstance(e, E.UnOp):
+        return [e.operand]
+    if isinstance(e, (E.BinOp, E.Cmp)):
+        return [e.lhs, e.rhs]
+    if isinstance(e, E.Ite):
+        return [e.cond, e.then, e.orelse]
+    if isinstance(e, E.Load):
+        return [e.mem, e.addr]
+    if isinstance(e, E.MemStore):
+        return [e.mem, e.addr, e.value]
+    return []  # Const, Var, MemVar
+
+
+@given(exprs())
+@settings(max_examples=150)
+def test_cached_attributes_match_structural_recomputation(expr):
+    assert expr.size == _structural_size(expr)
+    assert expr.depth == _structural_depth(expr)
+    assert expr.variables() == frozenset(_structural_vars(expr, set()))

@@ -207,3 +207,181 @@ class TestDeterminism:
         m2 = finder(seed=7).solve(cons)
         assert m1.register("a") == m2.register("a")
         assert m1.register("b") == m2.register("b")
+
+
+class TestPropagateEdgeCases:
+    """Direct coverage of ``_propagate``'s contradiction handling."""
+
+    def _propagate(self, cons):
+        f = finder()
+        conjuncts = f._flatten(cons)
+        assert conjuncts is not None
+        return f._propagate(conjuncts)
+
+    def test_contradiction_through_union_chain(self):
+        # x == y, x == 1, y == 2: each pin is consistent with its raw name;
+        # the clash only appears after re-keying by class representative.
+        pins, uf, _residual = self._propagate(
+            [
+                E.eq(E.var("x"), E.var("y")),
+                E.eq(E.var("x"), E.const(1)),
+                E.eq(E.var("y"), E.const(2)),
+            ]
+        )
+        assert pins is None
+        assert uf.find("x") == uf.find("y")
+
+    def test_contradiction_through_long_chain(self):
+        pins, uf, _ = self._propagate(
+            [
+                E.eq(E.var("a"), E.var("b")),
+                E.eq(E.var("b"), E.var("c")),
+                E.eq(E.var("c"), E.var("d")),
+                E.eq(E.var("a"), E.const(10)),
+                E.eq(E.var("d"), E.const(11)),
+            ]
+        )
+        assert pins is None
+        assert uf.find("a") == uf.find("d")
+
+    def test_pin_vs_pin_clash_after_rekey_order_independent(self):
+        # The union arrives *after* both pins: the clash is only visible in
+        # the re-keying pass, never in the raw setdefault check.
+        pins, _, _ = self._propagate(
+            [
+                E.eq(E.var("x"), E.const(1)),
+                E.eq(E.var("y"), E.const(2)),
+                E.eq(E.var("x"), E.var("y")),
+            ]
+        )
+        assert pins is None
+
+    def test_same_raw_pin_twice_is_not_a_clash(self):
+        pins, _, _ = self._propagate(
+            [
+                E.eq(E.var("x"), E.const(3)),
+                E.eq(E.const(3), E.var("x")),
+            ]
+        )
+        assert pins == {"x": 3}
+
+    def test_agreeing_pins_across_union_survive_rekey(self):
+        pins, uf, _ = self._propagate(
+            [
+                E.eq(E.var("x"), E.var("y")),
+                E.eq(E.var("x"), E.const(4)),
+                E.eq(E.var("y"), E.const(4)),
+            ]
+        )
+        assert pins is not None
+        assert pins[uf.find("x")] == 4
+        assert list(pins) == [uf.find("x")]
+
+    def test_residual_keeps_non_propagatable_conjuncts(self):
+        pins, _, residual = self._propagate(
+            [
+                E.eq(E.var("x"), E.const(1)),
+                E.ult(E.var("y"), E.var("z")),
+            ]
+        )
+        assert pins == {"x": 1}
+        assert len(residual) == 1
+
+
+class TestPreparedConstraints:
+    def test_solve_prepared_matches_solve(self):
+        cons = [
+            E.eq(E.var("a"), E.var("b")),
+            E.ult(E.var("b"), E.const(100)),
+        ]
+        f = finder(seed=3)
+        prepared = f.prepare(cons)
+        model = finder(seed=3).solve_prepared(prepared)
+        check(cons, model)
+        assert model.register("a") == model.register("b")
+
+    def test_prepared_is_reusable_across_solves(self):
+        cons = [E.ult(E.var("a"), E.var("b"))]
+        prepared = finder().prepare(cons)
+        m1 = finder(seed=5).solve_prepared(prepared)
+        m2 = finder(seed=6).solve_prepared(prepared)
+        check(cons, m1)
+        check(cons, m2)
+
+    def test_prepare_unsat_flag(self):
+        prepared = finder().prepare([E.FALSE])
+        assert prepared.unsat
+        assert finder().solve_prepared(prepared) is None
+
+    def test_extra_constraints_are_honoured(self):
+        base = [E.ule(E.const(0x80000), E.var("a"))]
+        extra = [E.eq(E.var("a"), E.const(0x80040))]
+        prepared = finder().prepare(base)
+        model = finder().solve_prepared(prepared, extra=extra)
+        check(base + extra, model)
+        assert model.register("a") == 0x80040
+
+    def test_extra_pin_conflicts_with_prepared_pin(self):
+        prepared = finder().prepare([E.eq(E.var("a"), E.const(1))])
+        assert (
+            finder().solve_prepared(
+                prepared, extra=[E.eq(E.var("a"), E.const(2))]
+            )
+            is None
+        )
+
+    def test_extra_union_merges_with_prepared_pin(self):
+        # The extra equality unions a pinned class with a fresh variable;
+        # dependency re-keying must propagate the pin to the new member.
+        prepared = finder().prepare([E.eq(E.var("a"), E.const(7))])
+        cons_extra = [E.eq(E.var("a"), E.var("b"))]
+        model = finder().solve_prepared(prepared, extra=cons_extra)
+        assert model is not None
+        assert model.register("b") == 7
+
+    def test_extra_union_creating_pin_clash(self):
+        prepared = finder().prepare(
+            [
+                E.eq(E.var("a"), E.const(1)),
+                E.eq(E.var("b"), E.const(2)),
+            ]
+        )
+        assert (
+            finder().solve_prepared(
+                prepared, extra=[E.eq(E.var("a"), E.var("b"))]
+            )
+            is None
+        )
+
+    def test_prepared_state_not_mutated_by_extras(self):
+        prepared = finder().prepare([E.eq(E.var("a"), E.const(1))])
+        before = dict(prepared.raw_pins)
+        finder().solve_prepared(prepared, extra=[E.eq(E.var("b"), E.const(9))])
+        assert prepared.raw_pins == before
+        assert "b" not in prepared.pins
+
+
+class TestWarmRestarts:
+    def test_warm_and_cold_both_solve(self):
+        cons = [
+            E.ult(E.var("a"), E.var("b")),
+            E.ult(E.var("b"), E.var("c")),
+        ]
+        warm = finder(seed=2, warm_restarts=True).solve(cons)
+        cold = finder(seed=2, warm_restarts=False).solve(cons)
+        check(cons, warm)
+        check(cons, cold)
+
+    def test_warm_restarts_deterministic(self):
+        cons = [E.ult(E.var("a"), E.var("b"))]
+        m1 = finder(seed=11, warm_restarts=True).solve(cons)
+        m2 = finder(seed=11, warm_restarts=True).solve(cons)
+        assert m1.register("a") == m2.register("a")
+        assert m1.register("b") == m2.register("b")
+
+    def test_unsat_still_unsat_with_warm_restarts(self):
+        cons = [
+            E.ult(E.var("a"), E.var("b")),
+            E.ult(E.var("b"), E.var("a")),
+        ]
+        assert finder(seed=1, warm_restarts=True).solve(cons) is None

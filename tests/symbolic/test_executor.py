@@ -186,3 +186,40 @@ class TestObservations:
     def test_describe_smoke(self, template_a):
         text = execute(lift(template_a)).describe()
         assert "2 path(s)" in text
+
+
+class TestPathBound:
+    """Boundary behaviour of the ``max_paths`` guard.
+
+    The executor bounds *pending work* (completed paths plus the DFS
+    stack), not just completed paths, so exponential programs are rejected
+    early instead of after enumerating everything under the limit.
+    """
+
+    @staticmethod
+    def _chain(forks):
+        """A program with ``forks`` independent symbolic CJmps: 2**forks paths."""
+        blocks = []
+        for i in range(forks):
+            cond = E.Cmp(E.CmpKind.EQ, E.var(f"v{i}"), E.const(0))
+            blocks.append(
+                Block(f"b{i}", (), CJmp(cond, f"t{i}", f"b{i+1}"))
+            )
+            blocks.append(Block(f"t{i}", (), Jmp(f"b{i+1}")))
+        blocks.append(Block(f"b{forks}", (), Halt()))
+        return Program(blocks)
+
+    def test_exactly_max_paths_is_accepted(self):
+        result = SymbolicExecutor(max_paths=8).run(self._chain(3))
+        assert len(result) == 8
+
+    def test_one_over_max_paths_raises(self):
+        with pytest.raises(PathExplosionError):
+            SymbolicExecutor(max_paths=7).run(self._chain(3))
+
+    def test_pending_stack_counts_toward_bound(self):
+        # 2**40 potential paths: enumerating up to the limit path-by-path
+        # would already be infeasible if only *completed* paths counted.
+        # The stack bound rejects this immediately.
+        with pytest.raises(PathExplosionError):
+            SymbolicExecutor(max_paths=64).run(self._chain(40))
