@@ -60,6 +60,7 @@ from repro.obs.base import AttackerRegion
 from repro.obs.models import MspecModel
 from repro.smt.compiled import compile_expr
 from repro.smt.solver import SolverConfig
+from repro.telemetry.export import stamp
 from repro.utils.rng import SplittableRandom
 
 
@@ -214,6 +215,7 @@ def run(smoke):
 
     report = {
         "bench": "expr_core",
+        "meta": stamp(),
         "smoke": smoke,
         "params": {
             "iterations": iterations,
@@ -266,7 +268,12 @@ def main(argv=None):
             f"optimized {row['optimized_s']:.4f}s  "
             f"speedup {row['speedup']}x"
         )
-    print(f"wrote {os.path.abspath(args.out)}")
+    meta = report["meta"]
+    print(
+        f"wrote {os.path.abspath(args.out)} "
+        f"(git {meta['git_sha']}, python {meta['python']}, "
+        f"{meta['timestamp']})"
+    )
 
     if args.check:
         speedup = report["scenarios"]["solve_heavy"]["speedup"]

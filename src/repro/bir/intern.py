@@ -22,13 +22,15 @@ change speed, never results.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "CacheStats",
     "register_cache",
     "cache_stats",
     "counter_totals",
+    "hit_rate",
+    "cache_names",
     "clear_caches",
     "set_enabled",
     "enabled",
@@ -98,6 +100,35 @@ def counter_totals() -> Dict[str, int]:
         out[f"{name}_hits"] = stats.hits
         out[f"{name}_misses"] = stats.misses
     return out
+
+
+def hit_rate(cache: str, totals: Optional[Dict[str, int]] = None) -> float:
+    """Hit rate of one cache from a :func:`counter_totals`-style dict.
+
+    ``totals`` defaults to the live registry's counters; pass a sampled
+    delta (e.g. ``CampaignStats.cache_counters``) to rate a shard's or a
+    campaign's share instead of the process lifetime.  0.0 when the cache
+    saw no traffic (or is unknown).
+    """
+    if totals is None:
+        totals = counter_totals()
+    hits = totals.get(f"{cache}_hits", 0)
+    misses = totals.get(f"{cache}_misses", 0)
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def cache_names(totals: Optional[Dict[str, int]] = None) -> List[str]:
+    """The cache names present in a flat counter dict (sorted)."""
+    if totals is None:
+        totals = counter_totals()
+    names = set()
+    for key in totals:
+        if key.endswith("_hits"):
+            names.add(key[: -len("_hits")])
+        elif key.endswith("_misses"):
+            names.add(key[: -len("_misses")])
+    return sorted(names)
 
 
 def clear_caches() -> None:

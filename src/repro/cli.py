@@ -10,6 +10,8 @@ Examples::
     repro-scamv validate --experiment mct-a --refined --workers 4
     repro-scamv table1 --programs 12 --tests 16 --workers 4 --db t1.sqlite
     repro-scamv table1 --workers 4 --checkpoint t1.jsonl --resume
+    repro-scamv table1 --workers 4 --trace t.jsonl --metrics-out m.json
+    repro-scamv report t.jsonl
     repro-scamv fig7 --programs 8
     repro-scamv attack v1
     repro-scamv repair --experiment mct-a
@@ -20,6 +22,13 @@ processes, ``--shard-timeout`` bounds any single shard, and
 ``--checkpoint``/``--resume`` journal completed shards so an interrupted
 run picks up where it left off.  Results are bit-identical for the same
 seed at any worker count.
+
+Observability (:mod:`repro.telemetry`): ``--trace PATH`` records every
+pipeline phase as a span and writes a Perfetto/Chrome-loadable trace;
+``--metrics-out PATH`` writes a stamped metrics snapshot (JSON, or
+Prometheus text for ``.prom``/``.txt`` paths); ``report TRACE`` prints a
+per-phase cost breakdown of a recorded trace.  Telemetry is strictly
+out-of-band: enabling it does not change campaign results.
 """
 
 from __future__ import annotations
@@ -39,6 +48,11 @@ from repro.exps import (
 )
 from repro.pipeline import ExperimentDatabase, format_table
 from repro.runner import ParallelRunner, RunnerConfig, progress_printer
+from repro.telemetry import collect as telemetry
+from repro.telemetry import export as texport
+from repro.telemetry import metrics as tmetrics
+from repro.telemetry import trace as ttrace
+from repro.telemetry.report import analyze_trace
 
 _EXPERIMENTS: Dict[str, Callable] = {
     "mpart": lambda refined, **kw: mpart_campaign(refined=refined, **kw),
@@ -101,6 +115,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--db", default=None, help="sqlite file for experiment records"
     )
 
+    report = sub.add_parser(
+        "report", help="per-phase cost breakdown of a recorded trace"
+    )
+    report.add_argument("trace", help="trace file written by --trace")
+    report.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON metrics snapshot for cache hit rates (defaults to the "
+            "snapshot embedded in the trace)"
+        ),
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many slowest programs to list",
+    )
+
     attack = sub.add_parser("attack", help="run a SiSCLoak attack PoC")
     attack.add_argument(
         "variant", choices=["v1", "classify"], help="which Fig. 6 victim"
@@ -146,16 +180,103 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip shards already recorded in the --checkpoint journal",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record pipeline spans to a Perfetto/Chrome-loadable trace",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a stamped metrics snapshot (JSON; Prometheus text for "
+            ".prom/.txt paths)"
+        ),
+    )
 
 
-def _runner(args) -> ParallelRunner:
+class _TelemetrySession:
+    """CLI-side lifecycle of the telemetry layer for one command.
+
+    Enables the tracer/registry when ``--trace``/``--metrics-out`` were
+    given, tees runner events into the metrics bridge, accumulates every
+    campaign's out-of-band payload, and writes the requested artifacts on
+    :meth:`finish`.  A session with neither flag is inert end to end.
+    """
+
+    def __init__(self, args):
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_path = getattr(args, "metrics_out", None)
+        self.active = bool(self.trace_path or self.metrics_path)
+        self.spans = []
+        self.metrics: dict = {}
+        if self.active:
+            telemetry.enable()
+
+    def events(self, sink):
+        """Wrap the progress-printer sink with the metrics event bridge."""
+        if not self.active:
+            return sink
+        return telemetry.event_bridge(chain=sink)
+
+    def absorb(self, result) -> None:
+        """Collect one campaign result's telemetry payloads."""
+        if not self.active:
+            return
+        self.spans.extend(result.spans)
+        # Spans finished in this process (e.g. the sequential driver's
+        # campaign span) after the last shard drain; collected per
+        # campaign so a later campaign's shards cannot discard them.
+        self.spans.extend(ttrace.drain())
+        tmetrics.merge_snapshot(self.metrics, result.metrics)
+        tmetrics.merge_snapshot(
+            self.metrics, telemetry.stats_metrics(result.stats)
+        )
+
+    def finish(self, out=None) -> None:
+        if not self.active:
+            return
+        out = out if out is not None else sys.stderr
+        self.spans.extend(ttrace.drain())
+        # This process's live registry: runner.* event counters plus
+        # everything inline shards recorded (worker-process shards arrive
+        # via result.metrics instead; see CampaignResult.metrics).
+        tmetrics.merge_snapshot(self.metrics, tmetrics.snapshot())
+        meta = texport.stamp()
+        if self.trace_path:
+            texport.write_chrome_trace(
+                self.spans,
+                self.trace_path,
+                metrics_snapshot=self.metrics,
+                meta=meta,
+            )
+            print(f"trace written to {self.trace_path}", file=out)
+        if self.metrics_path:
+            if self.metrics_path.endswith((".prom", ".txt")):
+                texport.write_metrics_prometheus(
+                    self.metrics, self.metrics_path
+                )
+            else:
+                texport.write_metrics_json(
+                    self.metrics, self.metrics_path, meta=meta
+                )
+            print(f"metrics written to {self.metrics_path}", file=out)
+        telemetry.disable()
+
+
+def _runner(args, session: Optional[_TelemetrySession] = None) -> ParallelRunner:
     config = RunnerConfig(
         workers=args.workers,
         shard_timeout=args.shard_timeout,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
     )
-    return ParallelRunner(config, events=progress_printer(sys.stderr))
+    events = progress_printer(sys.stderr)
+    if session is not None:
+        events = session.events(events)
+    return ParallelRunner(config, events=events)
 
 
 def _campaign(args, name: str, refined: bool):
@@ -171,9 +292,12 @@ def _cmd_validate(args) -> int:
     config = _campaign(args, args.experiment, args.refined)
     database = ExperimentDatabase(args.db) if args.db else None
     print(config.describe())
-    result = _runner(args).run(config, database=database)
+    session = _TelemetrySession(args)
+    result = _runner(args, session).run(config, database=database)
+    session.absorb(result)
     print()
     print(format_table([result.stats]))
+    session.finish()
     if database is not None:
         database.close()
         print(f"\nexperiment records written to {args.db}")
@@ -205,8 +329,12 @@ def _run_table(args, columns, title: str) -> int:
     """Run a whole campaign set concurrently over one shared worker pool."""
     configs = [_campaign(args, name, refined) for name, refined in columns]
     database = ExperimentDatabase(args.db) if args.db else None
-    results = _runner(args).run_many(configs, database=database)
+    session = _TelemetrySession(args)
+    results = _runner(args, session).run_many(configs, database=database)
+    for result in results:
+        session.absorb(result)
     print(format_table([r.stats for r in results], title=title))
+    session.finish()
     if database is not None:
         database.close()
         print(f"\nexperiment records written to {args.db}")
@@ -221,6 +349,26 @@ def _cmd_fig7(args) -> int:
     return _run_table(
         args, FIG7_COLUMNS, "Fig. 7 table (scaled reproduction)"
     )
+
+
+def _cmd_report(args) -> int:
+    import json
+    import os
+
+    if not os.path.exists(args.trace):
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    snapshot = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        snapshot = doc.get("metrics", doc) if isinstance(doc, dict) else None
+    report = analyze_trace(args.trace, metrics_snapshot=snapshot)
+    if not report.phases:
+        print(f"trace {args.trace} contains no spans", file=sys.stderr)
+        return 1
+    print(report.render(top=args.top))
+    return 0
 
 
 def _cmd_attack(args) -> int:
@@ -288,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "table1": _cmd_table1,
         "fig7": _cmd_fig7,
+        "report": _cmd_report,
         "attack": _cmd_attack,
         "repair": _cmd_repair,
     }

@@ -36,6 +36,7 @@ from repro.smt.solver import (
     SolverConfig,
 )
 from repro.symbolic.executor import execute
+from repro.telemetry.trace import span as tspan
 from repro.utils.rng import SplittableRandom
 
 _REGISTER_NAME = re.compile(r"^x\d+$")
@@ -101,14 +102,20 @@ class TestCaseGenerator:
         self.rng = rng or SplittableRandom(0)
         self.coverage = coverage or NoCoverage()
 
-        bir = lift(asm)
-        augmented = add_address_probes(model.augment(bir))
+        with tspan("obs.augment", program=asm.name, model=model.name):
+            bir = lift(asm)
+            augmented = add_address_probes(model.augment(bir))
         #: The augmented BIR program (exposed for certification/analysis).
         self.augmented = augmented
         # Symbolic execution runs once per program; later phases reuse it.
+        # (The executor opens its own ``symbolic.execute`` span.)
         self.result = execute(augmented, max_paths=self.config.max_paths)
-        self.synthesizer = RelationSynthesizer(self.result, model.has_refinement)
-        feasible = self.synthesizer.feasible_pairs()
+        with tspan("relation.synthesize", program=asm.name) as s:
+            self.synthesizer = RelationSynthesizer(
+                self.result, model.has_refinement
+            )
+            feasible = self.synthesizer.feasible_pairs()
+            s.set_attr("pairs", len(feasible))
         if model.has_refinement:
             usable = [p for p in feasible if p.usable_for_refinement]
             # When no pair has refined observations that can differ, the
@@ -178,13 +185,15 @@ class TestCaseGenerator:
             _PREP_STATS.hits += 1
             return prepared
         _PREP_STATS.misses += 1
-        if self._refined_mode:
-            constraints = list(pair.refinement_constraints())
-        else:
-            constraints = list(pair.equivalence_constraints())
-        constraints += self._wellformed(pair.path1_index, 1)
-        constraints += self._wellformed(pair.path2_index, 2)
-        prepared = self._preparer.prepare(constraints)
+        with tspan("smt.prepare", pair=list(key)) as s:
+            if self._refined_mode:
+                constraints = list(pair.refinement_constraints())
+            else:
+                constraints = list(pair.equivalence_constraints())
+            constraints += self._wellformed(pair.path1_index, 1)
+            constraints += self._wellformed(pair.path2_index, 2)
+            prepared = self._preparer.prepare(constraints)
+            s.set_attr("constraints", len(constraints))
         if intern.enabled():
             self._prepared_cache[key] = prepared
         return prepared

@@ -18,6 +18,7 @@ from repro.pipeline.metrics import CampaignStats
 from repro.pipeline.result import CampaignResult, ExperimentRecord
 from repro.runner.merge import merge_shard_results, record_shard
 from repro.runner.worker import run_shard, shard_specs
+from repro.telemetry.trace import span as tspan
 
 __all__ = ["CampaignResult", "ExperimentRecord", "ScamV"]
 
@@ -49,18 +50,22 @@ class ScamV:
         shards = []
         counterexamples = 0
         experiments = 0
-        for spec in shard_specs(cfg):
-            shard = run_shard(cfg, spec)
-            shards.append(shard)
-            if self.database is not None:
-                record_shard(self.database, campaign_id, shard)
-            counterexamples += shard.stats.counterexamples
-            experiments += shard.stats.experiments
-            if progress is not None:
-                progress(
-                    f"[{cfg.name}] program "
-                    f"{spec.program_indices[-1] + 1}/{cfg.num_programs}: "
-                    f"{counterexamples} counterexamples in "
-                    f"{experiments} experiments"
-                )
+        with tspan(
+            "campaign", campaign=cfg.name, programs=cfg.num_programs
+        ) as s:
+            for spec in shard_specs(cfg):
+                shard = run_shard(cfg, spec)
+                shards.append(shard)
+                if self.database is not None:
+                    record_shard(self.database, campaign_id, shard)
+                counterexamples += shard.stats.counterexamples
+                experiments += shard.stats.experiments
+                if progress is not None:
+                    progress(
+                        f"[{cfg.name}] program "
+                        f"{spec.program_indices[-1] + 1}/{cfg.num_programs}: "
+                        f"{counterexamples} counterexamples in "
+                        f"{experiments} experiments"
+                    )
+            s.set_attr("counterexamples", counterexamples)
         return merge_shard_results(cfg.name, shards)

@@ -112,6 +112,24 @@ class CampaignStats:
             "uncertified": self.uncertified,
         }
 
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Per-cache hit rates over this campaign's sampled cache activity.
+
+        Derived from ``cache_counters`` via :func:`repro.bir.intern.hit_rate`
+        so reports can show one rate per cache instead of raw hit/miss
+        pairs.  Caches with no traffic are omitted.
+        """
+        from repro.bir import intern
+
+        return {
+            name: intern.hit_rate(name, self.cache_counters)
+            for name in intern.cache_names(self.cache_counters)
+            if (
+                self.cache_counters.get(f"{name}_hits", 0)
+                + self.cache_counters.get(f"{name}_misses", 0)
+            )
+        }
+
     def as_row(self) -> Dict[str, object]:
         """The paper's table-row metrics, in Table 1 order."""
         return {

@@ -38,6 +38,16 @@ class CampaignResult:
 
     stats: CampaignStats
     records: List[ExperimentRecord] = field(default_factory=list)
+    # Out-of-band telemetry merged from the shards that produced this
+    # result (see repro.telemetry.collect): finished span records, and an
+    # additive metrics snapshot holding only what *other* processes
+    # recorded (inline shards leave their metrics in this process's live
+    # registry — combine with ``repro.telemetry.metrics.snapshot()`` for
+    # the full picture, as the CLI does).  Both stay empty unless
+    # telemetry was enabled; neither participates in deterministic
+    # counters.
+    spans: List = field(default_factory=list)
+    metrics: Dict[str, Dict] = field(default_factory=dict)
 
     def counterexamples(self) -> List[ExperimentRecord]:
         return [

@@ -161,6 +161,9 @@ def _load_shard(payload: Dict) -> ShardResult:
         programs=programs,
         attempt=payload["attempt"],
         duration=payload["duration"],
+        # Replayed, not executed: the merge layer excludes this duration
+        # from the resumed run's wall-clock aggregates.
+        cached=True,
     )
 
 

@@ -123,6 +123,12 @@ def progress_printer(
     totals: Dict[str, int] = {}
     cex: Dict[str, int] = {}
     experiments: Dict[str, int] = {}
+    resumed: Dict[str, int] = {}
+
+    def emit(text: str) -> None:
+        # Flush per line: progress must reach the terminal while a long
+        # campaign is still running, not when the buffer happens to fill.
+        print(text, file=out, flush=True)
 
     def sink(event: RunnerEvent) -> None:
         if isinstance(event, CampaignScheduled):
@@ -130,6 +136,7 @@ def progress_printer(
             finished.setdefault(event.campaign, 0)
             cex.setdefault(event.campaign, 0)
             experiments.setdefault(event.campaign, 0)
+            resumed.setdefault(event.campaign, 0)
         elif isinstance(event, ShardFinished):
             finished[event.campaign] = finished.get(event.campaign, 0) + 1
             cex[event.campaign] = (
@@ -138,31 +145,33 @@ def progress_printer(
             experiments[event.campaign] = (
                 experiments.get(event.campaign, 0) + event.experiments
             )
-            suffix = " (resumed)" if event.cached else ""
-            print(
+            if event.cached:
+                resumed[event.campaign] = resumed.get(event.campaign, 0) + 1
+            suffix = (
+                f", {resumed[event.campaign]} resumed"
+                if resumed.get(event.campaign)
+                else ""
+            )
+            emit(
                 f"[{event.campaign}] shard {finished[event.campaign]}/"
                 f"{totals.get(event.campaign, '?')}: "
                 f"{cex[event.campaign]} counterexamples in "
-                f"{experiments[event.campaign]} experiments{suffix}",
-                file=out,
+                f"{experiments[event.campaign]} experiments{suffix}"
             )
         elif isinstance(event, ShardRetried):
-            print(
+            emit(
                 f"[{event.campaign}] shard {event.shard_id} retry "
-                f"#{event.attempt}: {event.reason}",
-                file=out,
+                f"#{event.attempt}: {event.reason}"
             )
         elif isinstance(event, ShardFailed):
-            print(
+            emit(
                 f"[{event.campaign}] shard {event.shard_id} FAILED after "
-                f"{event.attempts} attempts: {event.reason}",
-                file=out,
+                f"{event.attempts} attempts: {event.reason}"
             )
         elif isinstance(event, RunnerDegraded):
-            print(
+            emit(
                 f"parallel execution unavailable ({event.reason}); "
-                "running sequentially",
-                file=out,
+                "running sequentially"
             )
 
     return sink

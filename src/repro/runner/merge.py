@@ -10,6 +10,10 @@ to a sequential run of the same seed.
 Time-to-counterexample is rebased onto the as-if-sequential timeline:
 the sum of the durations of all shards ordered before the first
 counterexample-bearing shard, plus that shard's local offset.
+Checkpoint-resumed shards (``cached=True``) were replayed, not executed,
+so their recorded durations are excluded from the wall-clock timeline —
+a resumed run reports only the time it actually spent (the deterministic
+counters are unaffected either way).
 
 Database writes also live here: workers never touch the experiment
 database (SQLite stays single-writer); the parent records each completed
@@ -24,6 +28,7 @@ from repro.pipeline.database import ExperimentDatabase
 from repro.pipeline.metrics import CampaignStats
 from repro.pipeline.result import CampaignResult
 from repro.runner.worker import ShardResult
+from repro.telemetry import collect as telemetry
 
 
 def merge_shard_results(
@@ -39,8 +44,15 @@ def merge_shard_results(
         stats = stats.merge(shard.stats)
         if ttc is None and shard.stats.time_to_counterexample is not None:
             ttc = elapsed + shard.stats.time_to_counterexample
-        elapsed += shard.duration
+        if not shard.cached:
+            # Cached shards were replayed from the journal: counting their
+            # recorded durations would bill a resumed run for time it never
+            # spent this time around.
+            elapsed += shard.duration
         result.records.extend(shard.records)
+        telemetry.absorb_shard_payload(
+            shard.telemetry, result.spans, result.metrics
+        )
     stats.name = name
     stats.time_to_counterexample = ttc
     result.stats = stats

@@ -50,6 +50,7 @@ from repro.runner.events import (
     ShardStarted,
 )
 from repro.runner.merge import merge_shard_results, record_shards
+from repro.telemetry import collect as telemetry
 from repro.runner.worker import (
     FaultInjector,
     ShardResult,
@@ -125,7 +126,12 @@ def _worker_main(conn) -> None:
             break
         if item is None:
             break
-        key, config, spec, attempt, fault = item
+        key, config, spec, attempt, fault, telemetry_on = item
+        # The parent's telemetry switch does not survive a ``spawn`` start
+        # method, so each task carries it; matching the parent keeps worker
+        # shard results shipping (or not shipping) telemetry payloads.
+        if telemetry_on != telemetry.enabled():
+            telemetry.enable() if telemetry_on else telemetry.disable()
         try:
             result = run_shard(config, spec, attempt=attempt, fault=fault)
             payload = ("ok", key, attempt, result)
@@ -434,6 +440,7 @@ class ParallelRunner:
                                 task.spec,
                                 task.attempt,
                                 self.config.fault_injector,
+                                telemetry.enabled(),
                             )
                         )
                         self._emit(

@@ -30,6 +30,9 @@ from repro.pipeline.config import CampaignConfig
 from repro.pipeline.metrics import CampaignStats
 from repro.pipeline.result import ExperimentRecord
 from repro.symbolic.concrete import certify_equivalence
+from repro.telemetry import collect as telemetry
+from repro.telemetry import metrics as tmetrics
+from repro.telemetry.trace import span as tspan
 from repro.utils.rng import SplittableRandom
 
 
@@ -74,6 +77,14 @@ class ShardResult:
     programs: List[ProgramRecord] = field(default_factory=list)
     attempt: int = 0
     duration: float = 0.0
+    #: True when the result was replayed from a checkpoint journal rather
+    #: than executed; cached durations are excluded from wall-clock
+    #: aggregates (see :mod:`repro.runner.merge`).
+    cached: bool = False
+    #: Out-of-band (spans, metrics delta) payload recorded while executing
+    #: this shard; None unless telemetry is enabled.  Never journaled and
+    #: never part of the deterministic result.
+    telemetry: Optional[tuple] = None
 
 
 #: Test hook: called with ``(spec, attempt)`` at the start of every shard
@@ -123,8 +134,18 @@ def run_shard(
     records: List[ExperimentRecord] = []
     programs: List[ProgramRecord] = []
     counters_before = intern.counter_totals()
-    for program_index in spec.program_indices:
-        _run_program(config, program_index, started, stats, records, programs)
+    marker = telemetry.shard_begin()
+    with tspan(
+        "shard",
+        campaign=config.name,
+        shard=spec.shard_id,
+        programs=len(spec.program_indices),
+        attempt=attempt,
+    ):
+        for program_index in spec.program_indices:
+            _run_program(
+                config, program_index, started, stats, records, programs
+            )
     # Attribute this shard's share of the process-wide cache activity:
     # the delta over the shard keeps merged totals additive even when one
     # worker process runs many shards back to back.
@@ -132,6 +153,7 @@ def run_shard(
         delta = total - counters_before.get(key, 0)
         if delta:
             stats.cache_counters[key] = delta
+    telemetry.record_cache_counters(stats.cache_counters)
     return ShardResult(
         shard_id=spec.shard_id,
         program_indices=spec.program_indices,
@@ -140,6 +162,7 @@ def run_shard(
         programs=programs,
         attempt=attempt,
         duration=time.monotonic() - started,
+        telemetry=telemetry.shard_end(marker),
     )
 
 
@@ -152,7 +175,35 @@ def _run_program(
     programs: List[ProgramRecord],
 ) -> None:
     rng = shard_rng(config, program_index)
-    generated = config.template.generate(rng.split("template"))
+    program_span = tspan("program", program=program_index)
+    with program_span:
+        _run_program_spanned(
+            config,
+            program_index,
+            shard_started,
+            stats,
+            records,
+            programs,
+            rng,
+            program_span,
+        )
+
+
+def _run_program_spanned(
+    config: CampaignConfig,
+    program_index: int,
+    shard_started: float,
+    stats: CampaignStats,
+    records: List[ExperimentRecord],
+    programs: List[ProgramRecord],
+    rng: SplittableRandom,
+    program_span,
+) -> None:
+    with tspan("template.generate", program=program_index) as s:
+        generated = config.template.generate(rng.split("template"))
+        s.set_attr("template", generated.template)
+    program_span.set_attr("name", generated.asm.name)
+    program_span.set_attr("template", generated.template)
     stats.programs += 1
     programs.append(
         ProgramRecord(
@@ -178,32 +229,51 @@ def _run_program(
         stats.generation_failures += config.tests_per_program
         return
     program_hit = False
-    for _ in range(config.tests_per_program):
+    for test_index in range(config.tests_per_program):
         gen_started = time.monotonic()
-        test = generator.generate()
+        with tspan(
+            "testgen.generate", program=program_index, test=test_index
+        ) as s:
+            test = generator.generate()
+            s.set_attr("succeeded", test is not None)
         gen_time = time.monotonic() - gen_started
         stats.generation_attempts += 1
         stats.gen_time_total += gen_time
+        tmetrics.histogram("pipeline.generation.seconds").observe(gen_time)
         if test is None:
             stats.generation_failures += 1
+            tmetrics.counter("pipeline.generation_failures").inc()
             continue
         exe_started = time.monotonic()
-        result = platform.run_experiment(
-            generated.asm, test.state1, test.state2, test.train
-        )
+        with tspan(
+            "hw.experiment", program=program_index, test=test_index
+        ) as s:
+            result = platform.run_experiment(
+                generated.asm, test.state1, test.state2, test.train
+            )
+            s.set_attr("outcome", result.outcome.value)
         exe_time = time.monotonic() - exe_started
         stats.experiments += 1
         stats.exe_time_total += exe_time
+        tmetrics.counter("pipeline.experiments").inc()
+        tmetrics.histogram("pipeline.execution.seconds").observe(exe_time)
         if result.outcome is ExperimentOutcome.COUNTEREXAMPLE:
-            if config.certify and not certify_equivalence(
-                generator.augmented, test.state1, test.state2
-            ):
+            certified = True
+            if config.certify:
+                with tspan("certify", program=program_index) as s:
+                    certified = certify_equivalence(
+                        generator.augmented, test.state1, test.state2
+                    )
+                    s.set_attr("certified", certified)
+            if not certified:
                 # Distinguishable but not model-equivalent on the concrete
                 # states: a solver artefact, not a counterexample to
                 # soundness.
                 stats.uncertified += 1
+                tmetrics.counter("pipeline.uncertified").inc()
             else:
                 stats.counterexamples += 1
+                tmetrics.counter("pipeline.counterexamples").inc()
                 program_hit = True
                 if stats.time_to_counterexample is None:
                     # Shard-local offset; the merge layer rebases it onto

@@ -274,7 +274,12 @@ def _set_ordered(
     # Prefer the twin state's witness: when the other state already repaired
     # the isomorphic predicate, landing on the same values keeps the pair
     # aligned, as an SMT solver would (see LazyValuation.twin_register).
-    for side, other_value, check in ((lo, hi_v, True), (hi, lo_v, False)):
+    # Exploration mode skips the shortcut: it is deterministic, so a repair
+    # cycle through the twin value (ule pulls a variable onto its twin, a
+    # sibling constraint pushes it off again) would defeat the randomized
+    # choices exploration exists to make.
+    twin_sides = () if val.explore else ((lo, hi_v, True), (hi, lo_v, False))
+    for side, other_value, check in twin_sides:
         twin = _twin_target(side, val)
         if twin is None:
             continue

@@ -15,6 +15,7 @@ from repro.symbolic.path import (
     SymbolicPath,
 )
 from repro.symbolic.state import SymbolicState
+from repro.telemetry.trace import span as tspan
 
 DEFAULT_MAX_PATHS = 256
 
@@ -32,6 +33,12 @@ class SymbolicExecutor:
         self.max_paths = max_paths
 
     def run(self, program: Program) -> SymbolicExecutionResult:
+        with tspan("symbolic.execute", program=program.name) as span:
+            result = self._run(program)
+            span.set_attr("paths", len(result))
+            return result
+
+    def _run(self, program: Program) -> SymbolicExecutionResult:
         cfg = ControlFlowGraph(program)
         if not cfg.is_acyclic():
             raise SymbolicExecutionError(

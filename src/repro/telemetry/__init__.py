@@ -1,0 +1,93 @@
+"""End-to-end pipeline telemetry: tracing, metrics, exporters, reports.
+
+The observability layer for the reproduction's headline numbers: a
+span-based tracer instrumenting every pipeline phase (template generation,
+observation augmentation, symbolic execution, relation synthesis, SMT
+solving per restart, hardware execution, certification), a metrics
+registry absorbing the previously ad-hoc sources (``CampaignStats``
+timings, intern cache counters, runner events), and exporters for
+Chrome-trace/Perfetto spans plus Prometheus/JSON metric snapshots.
+
+Everything is **off by default** and costs ~nothing disabled (the
+:mod:`repro.bir.intern` kill-switch pattern); campaign results are
+bit-identical on ``deterministic_counters()`` with telemetry on or off, at
+any worker count — collection is strictly out-of-band of the result data.
+
+Layers:
+
+* :mod:`repro.telemetry.trace`   — span tracer (``with trace.span(...)``)
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms
+* :mod:`repro.telemetry.collect` — cross-process aggregation + bridges
+* :mod:`repro.telemetry.export`  — Chrome trace, Prometheus text, JSON
+* :mod:`repro.telemetry.schema`  — snapshot JSON schema + validator
+* :mod:`repro.telemetry.report`  — phase-breakdown analysis (CLI report)
+"""
+
+from repro.telemetry import metrics, trace
+from repro.telemetry.collect import (
+    absorb_shard_payload,
+    disable,
+    enable,
+    enabled,
+    event_bridge,
+    record_cache_counters,
+    shard_begin,
+    shard_end,
+    stats_metrics,
+)
+from repro.telemetry.export import (
+    read_trace,
+    render_prometheus,
+    stamp,
+    write_chrome_trace,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshot,
+    merge_snapshot,
+)
+from repro.telemetry.report import TraceReport, analyze_events, analyze_trace
+from repro.telemetry.schema import METRICS_SCHEMA, SchemaError, validate
+from repro.telemetry.trace import SpanRecord, Tracer, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "SchemaError",
+    "SpanRecord",
+    "TraceReport",
+    "Tracer",
+    "absorb_shard_payload",
+    "analyze_events",
+    "analyze_trace",
+    "diff_snapshot",
+    "disable",
+    "enable",
+    "enabled",
+    "event_bridge",
+    "merge_snapshot",
+    "metrics",
+    "read_trace",
+    "record_cache_counters",
+    "render_prometheus",
+    "shard_begin",
+    "shard_end",
+    "span",
+    "stamp",
+    "stats_metrics",
+    "trace",
+    "validate",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+]

@@ -1,0 +1,202 @@
+"""Cross-process telemetry collection and the bridges between layers.
+
+Workers record spans/metrics into their process-local tracer/registry;
+:func:`shard_begin`/:func:`shard_end` carve out one shard's share (a span
+drain plus a metrics snapshot delta), which travels to the parent inside
+the picklable ``ShardResult`` — strictly out-of-band of the deterministic
+campaign data, over the runner's existing result pipes.  The parent folds
+every shard's share back together (:func:`absorb_shard_payload` via the
+merge layer), so sequential, multi-worker, and resumed runs all produce
+one combined trace/metrics view without perturbing
+``deterministic_counters()``.
+
+Bridges into the one metrics namespace:
+
+* :func:`enable`/:func:`disable` — master switch for tracer + registry,
+  plus the span→latency-histogram hook (``span.<name>.seconds``).
+* :func:`event_bridge` — an :data:`repro.runner.events.EventSink` mapping
+  runner events to ``runner.*`` counters/histograms (tee-able with the CLI
+  progress printer).
+* :func:`record_cache_counters` — :mod:`repro.bir.intern` hit/miss deltas
+  as ``cache.<name>.hits``/``.misses`` counters.
+* :func:`stats_metrics` — a ``CampaignStats`` rendered as
+  ``campaign.*`` metrics (including per-cache hit-rate gauges).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry import metrics as M
+from repro.telemetry import trace as T
+from repro.telemetry.trace import SpanRecord
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "shard_begin",
+    "shard_end",
+    "absorb_shard_payload",
+    "event_bridge",
+    "record_cache_counters",
+    "stats_metrics",
+]
+
+#: What one shard contributes: (recording pid, spans, metrics delta).
+ShardTelemetry = Tuple[int, List[SpanRecord], Dict[str, Dict[str, object]]]
+
+
+def _span_histogram_hook(record: SpanRecord) -> None:
+    M.histogram(f"span.{record.name}.seconds").observe(record.duration)
+
+
+def enable() -> None:
+    """Switch the whole telemetry layer on (tracer, registry, bridge)."""
+    T.set_enabled(True)
+    M.set_enabled(True)
+    T.tracer.on_finish(_span_histogram_hook)
+
+
+def disable() -> None:
+    """Switch everything off and drop buffered data (the default state)."""
+    T.tracer.on_finish(None)
+    T.set_enabled(False)
+    M.set_enabled(False)
+
+
+def enabled() -> bool:
+    return T.enabled() or M.enabled()
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def shard_begin() -> Optional[Dict[str, Dict[str, object]]]:
+    """Mark the start of a shard; returns the opaque marker for
+    :func:`shard_end` (None while telemetry is disabled — the whole
+    mechanism then costs two attribute reads per shard)."""
+    if not enabled():
+        return None
+    # Flush spans of any previous shard in this process so the upcoming
+    # drain is exactly this shard's (the parent absorbed those already).
+    T.drain()
+    return M.snapshot()
+
+
+def shard_end(
+    marker: Optional[Dict[str, Dict[str, object]]]
+) -> Optional[ShardTelemetry]:
+    """This shard's spans and metrics delta, or None when disabled."""
+    if marker is None and not enabled():
+        return None
+    spans = T.drain()
+    delta = M.diff_snapshot(M.snapshot(), marker or {})
+    return (os.getpid(), spans, delta)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def absorb_shard_payload(
+    payload: Optional[ShardTelemetry],
+    spans: List[SpanRecord],
+    snapshot: Dict[str, Dict[str, object]],
+) -> None:
+    """Fold one shard's telemetry into campaign-level accumulators.
+
+    Spans were *drained* out of the recording tracer, so they are always
+    taken.  Metric deltas are *snapshots* of a still-live registry: a shard
+    that ran in this very process (inline execution) already left its
+    metrics in the process registry, so only deltas from other pids are
+    merged — otherwise an inline run would count everything twice.
+    """
+    if not payload:
+        return
+    pid, shard_spans, delta = payload
+    spans.extend(shard_spans)
+    if pid != os.getpid():
+        M.merge_snapshot(snapshot, delta)
+
+
+def event_bridge(chain=None):
+    """An event sink feeding runner events into the metrics registry.
+
+    Counts shard lifecycle events, observes executed (non-cached) shard
+    durations into ``runner.shard.seconds``, and counts resumed shards
+    separately — cached results did not run, so their recorded durations
+    never reach the latency histogram (see the checkpoint-resume timing
+    fix in :mod:`repro.runner.merge`).  ``chain`` (another sink, e.g. the
+    CLI progress printer) is invoked afterwards with the same event.
+    """
+    # Imported here: repro.runner imports repro.telemetry-free modules
+    # today, and keeping this one-way avoids an import cycle.
+    from repro.runner import events as EV
+
+    def sink(event) -> None:
+        if isinstance(event, EV.ShardFinished):
+            if event.cached:
+                M.counter("runner.shards_resumed").inc()
+            else:
+                M.counter("runner.shards_finished").inc()
+                M.histogram("runner.shard.seconds").observe(event.duration)
+        elif isinstance(event, EV.ShardStarted):
+            M.counter("runner.shards_started").inc()
+        elif isinstance(event, EV.ShardRetried):
+            M.counter("runner.shard_retries").inc()
+        elif isinstance(event, EV.ShardFailed):
+            M.counter("runner.shard_failures").inc()
+        elif isinstance(event, EV.RunnerDegraded):
+            M.counter("runner.degraded").inc()
+        elif isinstance(event, EV.CounterexampleFound):
+            M.counter("runner.counterexamples_found").inc()
+        elif isinstance(event, EV.CampaignFinished):
+            M.counter("runner.campaigns_finished").inc()
+        if chain is not None:
+            chain(event)
+
+    return sink
+
+
+def record_cache_counters(deltas: Dict[str, int]) -> None:
+    """Record intern-cache hit/miss deltas (``<cache>_hits`` flat keys) as
+    ``cache.<cache>.hits``/``.misses`` counters."""
+    if not M.enabled():
+        return
+    for key, value in deltas.items():
+        if key.endswith("_hits"):
+            M.counter(f"cache.{key[:-5]}.hits").inc(value)
+        elif key.endswith("_misses"):
+            M.counter(f"cache.{key[:-7]}.misses").inc(value)
+
+
+def stats_metrics(stats) -> Dict[str, Dict[str, object]]:
+    """A ``CampaignStats`` as a metrics snapshot fragment.
+
+    Prefixed per campaign so a ``table1`` run exports all columns side by
+    side; includes the per-cache hit-rate gauges the raw hit/miss counters
+    don't surface.
+    """
+    prefix = f"campaign.{stats.name}"
+    out: Dict[str, Dict[str, object]] = {}
+
+    def _counter(name: str, value: int) -> None:
+        out[f"{prefix}.{name}"] = {"type": "counter", "value": value}
+
+    def _gauge(name: str, value: float) -> None:
+        out[f"{prefix}.{name}"] = {"type": "gauge", "value": value}
+
+    for name, value in stats.deterministic_counters().items():
+        _counter(name, value)
+    _gauge("gen_time_total_seconds", stats.gen_time_total)
+    _gauge("exe_time_total_seconds", stats.exe_time_total)
+    _gauge("avg_gen_time_seconds", stats.avg_gen_time)
+    _gauge("avg_exe_time_seconds", stats.avg_exe_time)
+    if stats.time_to_counterexample is not None:
+        _gauge(
+            "time_to_counterexample_seconds", stats.time_to_counterexample
+        )
+    for cache, rate in stats.cache_hit_rates().items():
+        _gauge(f"cache.{cache}.hit_rate", rate)
+    return out

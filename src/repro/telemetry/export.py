@@ -1,0 +1,253 @@
+"""Telemetry exporters: Chrome trace events, Prometheus text, JSON.
+
+Trace format: the Chrome trace-event *JSON Array Format* in its streaming
+spelling — an opening ``[`` followed by one complete-event object per line
+(each line terminated by ``,``).  Both Chrome's legacy viewer and
+Perfetto's JSON importer accept the missing ``]``/trailing comma, which is
+exactly what makes the format appendable line-by-line; tooling that wants
+strict JSONL can skip the first line and strip the trailing commas (see
+:func:`read_trace`).  Timestamps/durations are microseconds; nesting is
+implied by containment within one ``pid``/``tid`` track, matching the
+tracer's exact parent/child stack (parent ids also ride along in
+``args.span_id``/``args.parent_id``).
+
+Metric snapshots export as Prometheus text exposition format
+(:func:`write_metrics_prometheus`) and as a JSON document stamped with
+provenance metadata (:func:`write_metrics_json`) that
+:mod:`repro.telemetry.schema` validates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import subprocess
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.telemetry.trace import SpanRecord
+
+__all__ = [
+    "stamp",
+    "spans_to_events",
+    "write_chrome_trace",
+    "read_trace",
+    "write_metrics_prometheus",
+    "render_prometheus",
+    "write_metrics_json",
+]
+
+#: args key that carries the metrics snapshot on the trace's metadata line.
+METRICS_EVENT = "repro_metrics"
+STAMP_EVENT = "repro_stamp"
+
+
+def stamp(repo_root: Optional[str] = None) -> Dict[str, object]:
+    """Provenance metadata for exported artifacts.
+
+    Stamps the git sha (None outside a repository), the Python version,
+    the platform, and a UTC timestamp — so a metrics snapshot or benchmark
+    report can be tied back to the code revision that produced it.
+    """
+    return {
+        "git_sha": _git_sha(repo_root),
+        "python": _platform.python_version(),
+        "platform": _platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _git_sha(repo_root: Optional[str] = None) -> Optional[str]:
+    root = repo_root or os.path.dirname(
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    )
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+# -- Chrome trace events -----------------------------------------------------
+
+
+def spans_to_events(spans: Iterable[SpanRecord]) -> List[Dict[str, object]]:
+    """Complete ('X') trace events, sorted by start time."""
+    events = []
+    for span in sorted(spans, key=lambda s: (s.pid, s.start)):
+        args = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    spans: Sequence[SpanRecord],
+    path: str,
+    metrics_snapshot: Optional[Dict] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a Perfetto/Chrome-loadable trace file.
+
+    ``metrics_snapshot`` (when given) is embedded as a metadata event so
+    ``repro report`` can print cache hit rates without a separate metrics
+    file; ``meta`` defaults to :func:`stamp`.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("[\n")
+        _write_event(
+            handle,
+            {
+                "name": STAMP_EVENT,
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": meta if meta is not None else stamp(),
+            },
+        )
+        if metrics_snapshot is not None:
+            _write_event(
+                handle,
+                {
+                    "name": METRICS_EVENT,
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"snapshot": metrics_snapshot},
+                },
+            )
+        for event in spans_to_events(spans):
+            _write_event(handle, event)
+
+
+def _write_event(handle: TextIO, event: Dict[str, object]) -> None:
+    handle.write(json.dumps(event, sort_keys=True) + ",\n")
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a trace written by :func:`write_chrome_trace`.
+
+    Tolerates all three spellings: the streaming ``[`` + line format, a
+    strict JSON array, and plain JSONL; skips malformed lines (a trace cut
+    off mid-write still reports).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("[") and stripped.rstrip().endswith("]"):
+        try:
+            doc = json.loads(stripped)
+            if isinstance(doc, list):
+                return [e for e in doc if isinstance(e, dict)]
+        except json.JSONDecodeError:
+            pass
+    events: List[Dict[str, object]] = []
+    for line in text.splitlines():
+        line = line.strip().rstrip(",")
+        if not line or line in ("[", "]"):
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+# -- metric snapshots --------------------------------------------------------
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Prometheus text exposition format (0.0.4) for one snapshot."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        metric = _sanitize(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(f"{metric}_total {entry['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {entry["count"]}')
+            lines.append(f"{metric}_sum {_fmt(entry['sum'])}")
+            lines.append(f"{metric}_count {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def write_metrics_prometheus(
+    snapshot: Dict[str, Dict[str, object]], path: str
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(snapshot))
+
+
+def write_metrics_json(
+    snapshot: Dict[str, Dict[str, object]],
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write the stamped JSON snapshot document; returns the document.
+
+    The layout is pinned by ``repro.telemetry.schema.METRICS_SCHEMA``
+    (validated in CI).
+    """
+    doc = {
+        "version": 1,
+        "meta": meta if meta is not None else stamp(),
+        "metrics": snapshot,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc

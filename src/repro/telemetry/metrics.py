@@ -1,0 +1,359 @@
+"""The metrics registry: counters, gauges, explicit-bucket histograms.
+
+One flat namespace absorbs every ad-hoc metric source in the codebase —
+``CampaignStats`` timing fields, the :mod:`repro.bir.intern` cache
+counters, runner events (via :func:`repro.telemetry.collect.event_bridge`)
+— so snapshots export through one pair of writers (Prometheus text and
+JSON, :mod:`repro.telemetry.export`).
+
+Naming convention: dotted lowercase paths (``campaign.experiments``,
+``cache.simplify.hits``, ``span.smt.solve.seconds``); the Prometheus
+exporter sanitises the dots.
+
+Kill-switch contract: like :mod:`repro.telemetry.trace`, recording is
+disabled by default and every mutator returns after one module-global
+check.  Snapshots are plain dicts so they pickle across the runner's
+worker pipes; :func:`merge_snapshot`/:func:`diff_snapshot` give the
+parent additive cross-process aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "merge_snapshot",
+    "diff_snapshot",
+    "set_enabled",
+    "enabled",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Explicit latency buckets (seconds) sized for this pipeline: SMT repairs
+#: land in the sub-millisecond range, hardware experiments and symbolic
+#: execution in the milliseconds, whole shards in the seconds.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """An explicit-bucket latency histogram.
+
+    ``buckets`` are upper bounds (non-cumulative storage; the Prometheus
+    exporter cumulates).  Observations above the last bound land in the
+    implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-quantile (0..1) by interpolating within buckets."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.counts[i]
+            if seen + in_bucket >= rank:
+                if in_bucket == 0:
+                    return bound
+                frac = (rank - seen) / in_bucket
+                return lower + frac * (bound - lower)
+            seen += in_bucket
+            lower = bound
+        # Overflow bucket: bounded above by the observed max.
+        return self.max if self.max is not None else lower
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A process-local named collection of metrics.
+
+    Instruments are created on first use (``registry.counter("x").inc()``)
+    and silently become inert no-op stand-ins while the registry is
+    disabled, so instrumentation sites need no guards of their own.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._metrics: Dict[str, object] = {}
+        self._null_counter = Counter("__null__")
+        self._null_gauge = Gauge("__null__")
+        self._null_histogram = Histogram("__null__", (1.0,))
+
+    def counter(self, name: str) -> Counter:
+        if not self._enabled:
+            return self._null_counter
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        if not self._enabled:
+            return self._null_gauge
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        if not self._enabled:
+            return self._null_histogram
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, buckets)
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Picklable/JSON-able view of every registered metric."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def absorb(self, delta: Dict[str, Dict[str, object]]) -> None:
+        """Fold another process's snapshot (delta) into this registry."""
+        if not self._enabled or not delta:
+            return
+        for name, entry in delta.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                metric = self.histogram(name, entry["buckets"])
+                if metric.buckets != tuple(entry["buckets"]):
+                    continue  # incompatible layout; drop rather than corrupt
+                for i, n in enumerate(entry["counts"]):
+                    metric.counts[i] += n
+                metric.sum += entry["sum"]
+                metric.count += entry["count"]
+                for extreme, pick in (("min", min), ("max", max)):
+                    other = entry.get(extreme)
+                    if other is None:
+                        continue
+                    current = getattr(metric, extreme)
+                    setattr(
+                        metric,
+                        extreme,
+                        other if current is None else pick(current, other),
+                    )
+
+    def set_enabled(self, value: bool) -> None:
+        """Switch recording on/off; disabling drops all metrics."""
+        self._enabled = bool(value)
+        if not self._enabled:
+            self._metrics = {}
+
+    def enabled(self) -> bool:
+        return self._enabled
+
+
+def merge_snapshot(
+    into: Dict[str, Dict[str, object]], delta: Dict[str, Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """Additive merge of two snapshots (parent-side shard aggregation)."""
+    for name, entry in delta.items():
+        mine = into.get(name)
+        if mine is None:
+            into[name] = _copy_entry(entry)
+            continue
+        if mine.get("type") != entry.get("type"):
+            continue
+        kind = entry.get("type")
+        if kind == "counter":
+            mine["value"] += entry["value"]
+        elif kind == "gauge":
+            mine["value"] = entry["value"]
+        elif kind == "histogram":
+            if mine["buckets"] != entry["buckets"]:
+                continue
+            mine["counts"] = [
+                a + b for a, b in zip(mine["counts"], entry["counts"])
+            ]
+            mine["sum"] += entry["sum"]
+            mine["count"] += entry["count"]
+            for extreme, pick in (("min", min), ("max", max)):
+                a, b = mine.get(extreme), entry.get(extreme)
+                mine[extreme] = (
+                    b if a is None else a if b is None else pick(a, b)
+                )
+    return into
+
+
+def diff_snapshot(
+    after: Dict[str, Dict[str, object]], before: Dict[str, Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """``after - before``, for attributing one shard's share of a
+    process-lifetime registry (one worker process runs many shards)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name, entry in after.items():
+        base = before.get(name)
+        kind = entry.get("type")
+        if base is None or base.get("type") != kind:
+            out[name] = _copy_entry(entry)
+            continue
+        if kind == "counter":
+            value = entry["value"] - base["value"]
+            if value:
+                out[name] = {"type": "counter", "value": value}
+        elif kind == "gauge":
+            if entry["value"] != base["value"]:
+                out[name] = _copy_entry(entry)
+        elif kind == "histogram":
+            if base["buckets"] != entry["buckets"]:
+                out[name] = _copy_entry(entry)
+                continue
+            count = entry["count"] - base["count"]
+            if count <= 0:
+                continue
+            out[name] = {
+                "type": "histogram",
+                "buckets": list(entry["buckets"]),
+                "counts": [
+                    a - b for a, b in zip(entry["counts"], base["counts"])
+                ],
+                "sum": entry["sum"] - base["sum"],
+                "count": count,
+                # Extremes are not subtractable; the lifetime values are the
+                # best available bound for the delta window.
+                "min": entry["min"],
+                "max": entry["max"],
+            }
+    return out
+
+
+def _copy_entry(entry: Dict[str, object]) -> Dict[str, object]:
+    out = dict(entry)
+    for key in ("buckets", "counts"):
+        if isinstance(out.get(key), list):
+            out[key] = list(out[key])
+    return out
+
+
+#: The process-wide registry every instrumentation site talks to.
+registry = MetricsRegistry()
+
+# Module-level conveniences bound to the shared registry ---------------------
+
+
+def counter(name: str) -> Counter:
+    return registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return registry.gauge(name)
+
+
+def histogram(
+    name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+) -> Histogram:
+    return registry.histogram(name, buckets)
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    return registry.snapshot()
+
+
+def set_enabled(value: bool) -> None:
+    registry.set_enabled(value)
+
+
+def enabled() -> bool:
+    return registry.enabled()

@@ -1,0 +1,227 @@
+"""Phase-breakdown analysis of an exported pipeline trace.
+
+Consumed by ``repro-scamv report TRACE``: aggregates the trace's spans per
+phase name (total and *self* time — total minus the time spent in child
+spans — call counts, p50/p95 latency), extracts cache hit rates from the
+embedded metrics snapshot, and ranks the slowest programs.  Answers the
+question the opaque ``CampaignStats`` aggregates cannot: *where* a slow
+campaign spends its time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.export import METRICS_EVENT, STAMP_EVENT, read_trace
+
+__all__ = [
+    "PhaseStats",
+    "TraceReport",
+    "analyze_events",
+    "analyze_trace",
+]
+
+
+@dataclass
+class PhaseStats:
+    """Aggregated timings of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0  # seconds, inclusive of children
+    self_time: float = 0.0  # seconds, children subtracted
+    durations: List[float] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        # Nearest-rank on the exact durations (the report has every span,
+        # unlike the bucketed histograms).
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+
+@dataclass
+class TraceReport:
+    """Everything ``repro report`` prints."""
+
+    phases: Dict[str, PhaseStats]
+    wall_time: float
+    #: cache name -> (hits, misses, hit rate)
+    cache_rates: Dict[str, Tuple[int, int, float]]
+    #: (program label, seconds) slowest-first
+    slowest_programs: List[Tuple[str, float]]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def render(self, top: int = 5) -> str:
+        lines: List[str] = []
+        if self.meta:
+            sha = self.meta.get("git_sha") or "unknown"
+            lines.append(
+                f"trace stamped {self.meta.get('timestamp', '?')} "
+                f"(git {str(sha)[:12]}, python {self.meta.get('python', '?')})"
+            )
+        lines.append(f"wall time covered: {self.wall_time:.3f}s")
+        lines.append("")
+        header = [
+            "Phase",
+            "Calls",
+            "Total (s)",
+            "Self (s)",
+            "Self %",
+            "p50 (ms)",
+            "p95 (ms)",
+        ]
+        total_self = sum(p.self_time for p in self.phases.values()) or 1.0
+        rows = [header]
+        for phase in sorted(
+            self.phases.values(), key=lambda p: p.self_time, reverse=True
+        ):
+            rows.append(
+                [
+                    phase.name,
+                    str(phase.count),
+                    f"{phase.total:.4f}",
+                    f"{phase.self_time:.4f}",
+                    f"{100.0 * phase.self_time / total_self:.1f}",
+                    f"{phase.percentile(0.50) * 1e3:.3f}",
+                    f"{phase.percentile(0.95) * 1e3:.3f}",
+                ]
+            )
+        lines.extend(_table(rows))
+        if self.cache_rates:
+            lines.append("")
+            lines.append("Cache hit rates:")
+            for name in sorted(self.cache_rates):
+                hits, misses, rate = self.cache_rates[name]
+                lines.append(
+                    f"  {name}: {100.0 * rate:.1f}% "
+                    f"({hits} hits / {misses} misses)"
+                )
+        if self.slowest_programs:
+            lines.append("")
+            lines.append(f"Slowest programs (top {top}):")
+            for label, seconds in self.slowest_programs[:top]:
+                lines.append(f"  {label}: {seconds:.4f}s")
+        return "\n".join(lines)
+
+
+def _table(rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(rows[0]))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def analyze_events(
+    events: Sequence[Dict[str, object]],
+    metrics_snapshot: Optional[Dict] = None,
+) -> TraceReport:
+    """Build a :class:`TraceReport` from parsed trace events.
+
+    Self time uses the recorded parent ids (``args.parent_id``), which are
+    unique per ``pid``; spans from different shard processes never
+    parent each other.
+    """
+    meta: Dict[str, object] = {}
+    snapshot: Dict = dict(metrics_snapshot or {})
+    spans = []
+    for event in events:
+        name = event.get("name")
+        if event.get("ph") == "M":
+            if name == STAMP_EVENT:
+                meta = dict(event.get("args") or {})
+            elif name == METRICS_EVENT and not snapshot:
+                snapshot = dict(
+                    (event.get("args") or {}).get("snapshot") or {}
+                )
+            continue
+        if event.get("ph") != "X":
+            continue
+        try:
+            spans.append(
+                (
+                    str(name),
+                    float(event["ts"]) / 1e6,
+                    float(event["dur"]) / 1e6,
+                    int(event.get("pid", 0)),
+                    (event.get("args") or {}),
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+
+    phases: Dict[str, PhaseStats] = {}
+    children_time: Dict[Tuple[int, int], float] = {}
+    starts: List[float] = []
+    ends: List[float] = []
+    slow: List[Tuple[str, float]] = []
+    for name, start, duration, pid, args in spans:
+        parent = args.get("parent_id")
+        if isinstance(parent, int):
+            key = (pid, parent)
+            children_time[key] = children_time.get(key, 0.0) + duration
+        starts.append(start)
+        ends.append(start + duration)
+    for name, start, duration, pid, args in spans:
+        phase = phases.get(name)
+        if phase is None:
+            phase = phases[name] = PhaseStats(name=name)
+        phase.count += 1
+        phase.total += duration
+        span_id = args.get("span_id")
+        child = (
+            children_time.get((pid, span_id), 0.0)
+            if isinstance(span_id, int)
+            else 0.0
+        )
+        phase.self_time += max(0.0, duration - child)
+        phase.durations.append(duration)
+        if name == "program":
+            label = str(
+                args.get("name") or f"program {args.get('program', '?')}"
+            )
+            slow.append((label, duration))
+
+    cache_rates: Dict[str, Tuple[int, int, float]] = {}
+    gathered: Dict[str, Dict[str, int]] = {}
+    for metric, entry in snapshot.items():
+        if not metric.startswith("cache.") or entry.get("type") != "counter":
+            continue
+        try:
+            _, cache, kind = metric.split(".", 2)
+        except ValueError:
+            continue
+        if kind in ("hits", "misses"):
+            gathered.setdefault(cache, {})[kind] = int(entry["value"])
+    for cache, counts in gathered.items():
+        hits = counts.get("hits", 0)
+        misses = counts.get("misses", 0)
+        total = hits + misses
+        cache_rates[cache] = (hits, misses, hits / total if total else 0.0)
+
+    slow.sort(key=lambda item: item[1], reverse=True)
+    wall = (max(ends) - min(starts)) if spans else 0.0
+    return TraceReport(
+        phases=phases,
+        wall_time=wall,
+        cache_rates=cache_rates,
+        slowest_programs=slow,
+        meta=meta,
+    )
+
+
+def analyze_trace(
+    path: str, metrics_snapshot: Optional[Dict] = None
+) -> TraceReport:
+    """Parse and analyze a trace file written by the exporters."""
+    return analyze_events(read_trace(path), metrics_snapshot)

@@ -1,0 +1,145 @@
+"""JSON schema for exported metric snapshots, with a built-in validator.
+
+``METRICS_SCHEMA`` is a standard JSON-Schema (draft-07 subset) document, so
+external tooling can validate snapshots with any off-the-shelf validator;
+:func:`validate` implements the subset used here in pure Python so CI needs
+no extra dependency.  Run as a module to validate a file::
+
+    python -m repro.telemetry.schema metrics.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+__all__ = ["METRICS_SCHEMA", "SchemaError", "validate", "validate_file"]
+
+METRICS_SCHEMA: Dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro metrics snapshot",
+    "type": "object",
+    "required": ["version", "meta", "metrics"],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "meta": {
+            "type": "object",
+            "required": ["git_sha", "python", "timestamp"],
+            "properties": {
+                "git_sha": {"type": ["string", "null"]},
+                "python": {"type": "string"},
+                "platform": {"type": "string"},
+                "timestamp": {"type": "string"},
+            },
+        },
+        "metrics": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["type"],
+                "properties": {
+                    "type": {"enum": ["counter", "gauge", "histogram"]},
+                    "value": {"type": "number"},
+                    "buckets": {
+                        "type": "array",
+                        "items": {"type": "number"},
+                    },
+                    "counts": {
+                        "type": "array",
+                        "items": {"type": "integer", "minimum": 0},
+                    },
+                    "sum": {"type": "number"},
+                    "count": {"type": "integer", "minimum": 0},
+                    "min": {"type": ["number", "null"]},
+                    "max": {"type": ["number", "null"]},
+                },
+            },
+        },
+    },
+}
+
+
+class SchemaError(ValueError):
+    """A document does not conform to :data:`METRICS_SCHEMA`."""
+
+
+def validate(doc: object, schema: Dict = METRICS_SCHEMA, path: str = "$") -> None:
+    """Validate ``doc`` against the JSON-Schema subset used by this repo.
+
+    Supports: ``type`` (incl. unions), ``enum``, ``required``,
+    ``properties``, ``additionalProperties`` (schema form), ``items``,
+    ``minimum``.  Raises :class:`SchemaError` naming the offending path.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        kinds = expected if isinstance(expected, list) else [expected]
+        if not any(_is_type(doc, kind) for kind in kinds):
+            raise SchemaError(
+                f"{path}: expected {'/'.join(kinds)}, "
+                f"got {type(doc).__name__}"
+            )
+    if "enum" in schema and doc not in schema["enum"]:
+        raise SchemaError(f"{path}: {doc!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(doc, (int, float)):
+        if doc < schema["minimum"]:
+            raise SchemaError(f"{path}: {doc} below minimum {schema['minimum']}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", ()):
+            if key not in doc:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, value in doc.items():
+            if key in properties:
+                validate(value, properties[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(value, extra, f"{path}.{key}")
+    if isinstance(doc, list) and "items" in schema:
+        for index, item in enumerate(doc):
+            validate(item, schema["items"], f"{path}[{index}]")
+
+
+def _is_type(value: object, kind: str) -> bool:
+    if kind == "object":
+        return isinstance(value, dict)
+    if kind == "array":
+        return isinstance(value, list)
+    if kind == "string":
+        return isinstance(value, str)
+    if kind == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "number":
+        return (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+        )
+    if kind == "null":
+        return value is None
+    if kind == "boolean":
+        return isinstance(value, bool)
+    return False
+
+
+def validate_file(path: str) -> Dict:
+    """Load and validate a metrics snapshot file; returns the document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    validate(doc)
+    return doc
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.schema SNAPSHOT.json", file=sys.stderr)
+        return 2
+    try:
+        doc = validate_file(argv[0])
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"{argv[0]}: INVALID — {exc}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid ({len(doc.get('metrics', {}))} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,211 @@
+"""Span-based pipeline tracing with a context-manager API.
+
+A *span* is one timed region of the pipeline — ``template.generate``,
+``smt.solve``, ``hw.experiment`` — with attributes and exact parent/child
+nesting (the tracer keeps a per-process stack; a span opened inside another
+span's ``with`` block records that span as its parent).  Usage::
+
+    from repro.telemetry import trace
+
+    with trace.span("smt.solve", program=i, attempt=k):
+        ...
+
+Kill-switch contract (the :mod:`repro.bir.intern` pattern): tracing is
+**disabled by default** and :func:`span` then returns a shared no-op
+context manager after a single module-global check — no allocation, no
+clock read, no stack mutation — so instrumenting the hot path costs ~no
+time unless a consumer opts in with :func:`set_enabled`.
+
+Cross-process model: each process records spans into its process-local
+buffer; the shard worker drains its buffer into the picklable
+:class:`ShardResult` and the parent absorbs it (see
+:mod:`repro.telemetry.collect`).  Timestamps are ``time.monotonic()``
+(CLOCK_MONOTONIC: comparable across processes on the same machine), so
+merged spans share one timeline.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "tracer",
+    "span",
+    "drain",
+    "set_enabled",
+    "enabled",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, ready for pickling/export.
+
+    ``span_id``/``parent_id`` are unique within the recording process only;
+    exporters qualify them with ``pid``.  ``start`` is monotonic seconds,
+    ``duration`` is seconds.
+    """
+
+    name: str
+    start: float
+    duration: float
+    pid: int
+    span_id: int
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """The shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set_attr(self, key: str, value: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A live span: context manager that records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "span_id", "parent_id")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.monotonic()
+        tracer = self._tracer
+        # Tolerate a disable() between enter and exit: unwind the stack but
+        # only record while still enabled.
+        stack = tracer._stack
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        tracer._finish(
+            SpanRecord(
+                name=self.name,
+                start=self._start,
+                duration=end - self._start,
+                pid=tracer.pid,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                attrs=self.attrs,
+            )
+        )
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach an attribute discovered mid-span (e.g. the result)."""
+        self.attrs[key] = value
+
+
+class Tracer:
+    """A process-local span recorder.
+
+    One module-level instance (:data:`tracer`) serves the whole pipeline;
+    separate instances exist only for tests that need isolation.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._stack: List[_ActiveSpan] = []
+        self._spans: List[SpanRecord] = []
+        self._next_id = 0
+        self._on_finish = None
+
+    @property
+    def pid(self) -> int:
+        return os.getpid()
+
+    def span(self, name: str, **attrs):
+        """Open a span; a no-op (shared) context manager when disabled."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def _finish(self, record: SpanRecord) -> None:
+        if not self._enabled:
+            return
+        self._spans.append(record)
+        if self._on_finish is not None:
+            self._on_finish(record)
+
+    def on_finish(self, callback) -> None:
+        """Install a hook called with every finished :class:`SpanRecord`.
+
+        The metrics bridge uses this to feed per-span latency histograms;
+        pass None to uninstall.
+        """
+        self._on_finish = callback
+
+    def drain(self) -> List[SpanRecord]:
+        """Remove and return every recorded span (open spans stay live)."""
+        spans, self._spans = self._spans, []
+        return spans
+
+    def pending(self) -> int:
+        """How many finished spans are buffered (tests/introspection)."""
+        return len(self._spans)
+
+    def set_enabled(self, value: bool) -> None:
+        """Switch recording on/off; disabling drops buffered spans."""
+        self._enabled = bool(value)
+        if not self._enabled:
+            self._spans = []
+            self._stack = []
+
+    def enabled(self) -> bool:
+        return self._enabled
+
+
+#: The process-wide tracer every instrumentation site talks to.
+tracer = Tracer()
+
+# Module-level conveniences bound to the shared tracer -----------------------
+
+
+def span(name: str, **attrs):
+    """``with trace.span("phase", key=value):`` on the shared tracer."""
+    if not tracer._enabled:
+        return _NULL_SPAN
+    return _ActiveSpan(tracer, name, attrs)
+
+
+def drain() -> List[SpanRecord]:
+    return tracer.drain()
+
+
+def set_enabled(value: bool) -> None:
+    tracer.set_enabled(value)
+
+
+def enabled() -> bool:
+    return tracer._enabled

@@ -1,0 +1,14 @@
+"""Telemetry tests always start from (and restore) the disabled default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import collect
+
+
+@pytest.fixture(autouse=True)
+def telemetry_disabled():
+    collect.disable()
+    yield
+    collect.disable()

@@ -1,0 +1,150 @@
+"""Cross-process aggregation, bridges, and the determinism contract."""
+
+import os
+
+import pytest
+
+from repro.exps import mct_campaign
+from repro.pipeline.driver import ScamV
+from repro.runner import ParallelRunner, RunnerConfig
+from repro.runner.events import RunnerDegraded, ShardFinished, ShardRetried
+from repro.telemetry import collect, metrics, trace
+
+
+def _config(**kwargs):
+    defaults = dict(num_programs=4, tests_per_program=2, seed=11)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, **defaults)
+
+
+class TestShardWindows:
+    def test_disabled_shard_window_is_free_and_none(self):
+        marker = collect.shard_begin()
+        assert marker is None
+        assert collect.shard_end(marker) is None
+
+    def test_shard_window_captures_spans_and_metric_delta(self):
+        collect.enable()
+        metrics.counter("noise.before").inc()
+        marker = collect.shard_begin()
+        with trace.span("shard", shard=0):
+            with trace.span("testgen.generate"):
+                pass
+        metrics.counter("pipeline.experiments").inc(3)
+        pid, spans, delta = collect.shard_end(marker)
+        assert pid == os.getpid()
+        assert [s.name for s in spans] == ["testgen.generate", "shard"]
+        assert delta["pipeline.experiments"]["value"] == 3
+        assert "noise.before" not in delta
+        # the span hook fed the latency histograms
+        assert delta["span.shard.seconds"]["count"] == 1
+
+    def test_absorb_skips_same_process_metrics_but_takes_spans(self):
+        collect.enable()
+        marker = collect.shard_begin()
+        with trace.span("shard"):
+            pass
+        metrics.counter("pipeline.experiments").inc()
+        payload = collect.shard_end(marker)
+        spans, snapshot = [], {}
+        collect.absorb_shard_payload(payload, spans, snapshot)
+        assert [s.name for s in spans] == ["shard"]
+        # inline shards already live in this process's registry
+        assert snapshot == {}
+        assert metrics.snapshot()["pipeline.experiments"]["value"] == 1
+
+    def test_absorb_merges_foreign_process_metrics(self):
+        collect.enable()
+        pid, spans, delta = (
+            99999,
+            [],
+            {"pipeline.experiments": {"type": "counter", "value": 4}},
+        )
+        snapshot = {}
+        collect.absorb_shard_payload((pid, spans, delta), [], snapshot)
+        assert snapshot["pipeline.experiments"]["value"] == 4
+
+
+class TestEventBridge:
+    def test_runner_events_become_metrics(self):
+        collect.enable()
+        seen = []
+        sink = collect.event_bridge(chain=seen.append)
+        sink(ShardFinished(campaign="A", shard_id=0, duration=0.5))
+        sink(ShardFinished(campaign="A", shard_id=1, duration=0.1, cached=True))
+        sink(ShardRetried(campaign="A", shard_id=0, attempt=1, reason="x"))
+        sink(RunnerDegraded(reason="no fork"))
+        snap = metrics.snapshot()
+        assert snap["runner.shards_finished"]["value"] == 1
+        assert snap["runner.shards_resumed"]["value"] == 1
+        assert snap["runner.shard_retries"]["value"] == 1
+        assert snap["runner.degraded"]["value"] == 1
+        # cached durations never reach the latency histogram
+        assert snap["runner.shard.seconds"]["count"] == 1
+        assert snap["runner.shard.seconds"]["sum"] == pytest.approx(0.5)
+        assert len(seen) == 4  # the chained sink saw everything
+
+
+class TestDeterminismContract:
+    def test_sequential_counters_identical_with_telemetry_on(self):
+        cfg = _config()
+        baseline = ScamV(cfg).run()
+        collect.enable()
+        traced = ScamV(cfg).run()
+        assert (
+            traced.stats.deterministic_counters()
+            == baseline.stats.deterministic_counters()
+        )
+        assert traced.spans  # and telemetry actually recorded
+        names = {s.name for s in traced.spans}
+        assert {"shard", "program", "testgen.generate"} <= names
+
+    def test_worker_counters_identical_at_1_and_4_workers(self):
+        cfg = _config()
+        baseline = ParallelRunner(RunnerConfig(workers=1)).run(cfg)
+        collect.enable()
+        pooled = ParallelRunner(
+            RunnerConfig(workers=4, start_method="fork")
+        ).run(cfg)
+        assert (
+            pooled.stats.deterministic_counters()
+            == baseline.stats.deterministic_counters()
+        )
+        # worker telemetry crossed the pipes: spans from other pids, and
+        # their metric deltas add up to the deterministic totals
+        assert any(s.pid != os.getpid() for s in pooled.spans)
+        assert (
+            pooled.metrics["pipeline.experiments"]["value"]
+            == pooled.stats.experiments
+        )
+
+    def test_inline_runner_leaves_metrics_in_live_registry(self):
+        cfg = _config(num_programs=2)
+        collect.enable()
+        result = ParallelRunner(RunnerConfig(workers=1)).run(cfg)
+        assert result.metrics == {}  # same-process shards: no double copy
+        assert (
+            metrics.snapshot()["pipeline.experiments"]["value"]
+            == result.stats.experiments
+        )
+        assert {s.name for s in result.spans} >= {"shard", "program"}
+
+    def test_resumed_cached_shards_excluded_from_wallclock(self, tmp_path):
+        from repro.runner import CheckpointJournal, campaign_key
+        from repro.runner.merge import merge_shard_results
+        from repro.runner.worker import ShardSpec, run_shard
+
+        cfg = _config(num_programs=2)
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        executed = run_shard(cfg, ShardSpec(0, (0,)))
+        executed.duration = 100.0  # pretend the original run was slow
+        journal.append(0, campaign_key(cfg), executed)
+        loaded = journal.load({0: campaign_key(cfg)})[(0, 0)]
+        assert loaded.cached
+        loaded.stats.time_to_counterexample = None  # isolate the timeline
+        fresh = run_shard(cfg, ShardSpec(1, (1,)))
+        fresh.stats.time_to_counterexample = 0.5
+        fresh.duration = 2.0
+        merged = merge_shard_results(cfg.name, [loaded, fresh])
+        # the cached 100s never enter the resumed run's timeline
+        assert merged.stats.time_to_counterexample == pytest.approx(0.5)

@@ -1,0 +1,184 @@
+"""Exporters: Chrome trace events, Prometheus text, stamped JSON, schema."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    METRICS_EVENT,
+    STAMP_EVENT,
+    read_trace,
+    render_prometheus,
+    spans_to_events,
+    stamp,
+    write_chrome_trace,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.telemetry.schema import METRICS_SCHEMA, SchemaError, validate
+from repro.telemetry.trace import SpanRecord
+
+_SPANS = [
+    SpanRecord(
+        name="shard",
+        start=1.0,
+        duration=0.5,
+        pid=42,
+        span_id=0,
+        attrs={"shard": 3},
+    ),
+    SpanRecord(
+        name="smt.solve",
+        start=1.1,
+        duration=0.2,
+        pid=42,
+        span_id=1,
+        parent_id=0,
+        attrs={"sat": True},
+    ),
+]
+
+_SNAPSHOT = {
+    "cache.expr.hits": {"type": "counter", "value": 10},
+    "campaign.A.rate": {"type": "gauge", "value": 0.5},
+    "span.smt.solve.seconds": {
+        "type": "histogram",
+        "buckets": [0.1, 1.0],
+        "counts": [1, 2, 1],
+        "sum": 2.5,
+        "count": 4,
+        "min": 0.05,
+        "max": 1.5,
+    },
+}
+
+
+class TestChromeTrace:
+    def test_events_golden(self):
+        events = spans_to_events(_SPANS)
+        assert events == [
+            {
+                "name": "shard",
+                "cat": "repro",
+                "ph": "X",
+                "ts": 1000000.0,
+                "dur": 500000.0,
+                "pid": 42,
+                "tid": 1,
+                "args": {"span_id": 0, "shard": 3},
+            },
+            {
+                "name": "smt.solve",
+                "cat": "repro",
+                "ph": "X",
+                "ts": 1100000.0,
+                "dur": 200000.0,
+                "pid": 42,
+                "tid": 1,
+                "args": {"span_id": 1, "parent_id": 0, "sat": True},
+            },
+        ]
+
+    def test_streaming_format_is_json_array_prefix(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_chrome_trace(_SPANS, path, metrics_snapshot=_SNAPSHOT)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert lines[0] == "["
+        # every event line is one JSON object with a trailing comma
+        for line in lines[1:]:
+            assert line.endswith(",")
+            json.loads(line.rstrip(","))
+        # closing the array by hand yields strict JSON (what Perfetto and
+        # Chrome tolerate without the close)
+        strict = "\n".join(lines)[:-1] + "]"
+        doc = json.loads(strict)
+        assert [e["name"] for e in doc] == [
+            STAMP_EVENT,
+            METRICS_EVENT,
+            "shard",
+            "smt.solve",
+        ]
+
+    def test_read_trace_round_trips_and_embeds_metrics(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_chrome_trace(_SPANS, path, metrics_snapshot=_SNAPSHOT)
+        events = read_trace(path)
+        names = [e["name"] for e in events]
+        assert names == [STAMP_EVENT, METRICS_EVENT, "shard", "smt.solve"]
+        metrics = next(e for e in events if e["name"] == METRICS_EVENT)
+        assert metrics["args"]["snapshot"] == _SNAPSHOT
+
+    def test_read_trace_tolerates_truncation(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_chrome_trace(_SPANS, path)
+        text = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(text[: len(text) - 25])
+        events = read_trace(path)
+        assert [e["name"] for e in events][:2] == [STAMP_EVENT, "shard"]
+
+    def test_read_trace_accepts_strict_arrays_and_jsonl(self, tmp_path):
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps(spans_to_events(_SPANS)))
+        assert len(read_trace(str(strict))) == 2
+        jsonl = tmp_path / "plain.jsonl"
+        jsonl.write_text(
+            "\n".join(json.dumps(e) for e in spans_to_events(_SPANS))
+        )
+        assert len(read_trace(str(jsonl))) == 2
+
+
+class TestPrometheus:
+    def test_render_golden(self):
+        assert render_prometheus(_SNAPSHOT) == (
+            "# TYPE repro_cache_expr_hits_total counter\n"
+            "repro_cache_expr_hits_total 10\n"
+            "# TYPE repro_campaign_A_rate gauge\n"
+            "repro_campaign_A_rate 0.5\n"
+            "# TYPE repro_span_smt_solve_seconds histogram\n"
+            'repro_span_smt_solve_seconds_bucket{le="0.1"} 1\n'
+            'repro_span_smt_solve_seconds_bucket{le="1"} 3\n'
+            'repro_span_smt_solve_seconds_bucket{le="+Inf"} 4\n'
+            "repro_span_smt_solve_seconds_sum 2.5\n"
+            "repro_span_smt_solve_seconds_count 4\n"
+        )
+
+    def test_write_prometheus_file(self, tmp_path):
+        path = str(tmp_path / "m.prom")
+        write_metrics_prometheus(_SNAPSHOT, path)
+        text = open(path, encoding="utf-8").read()
+        assert text == render_prometheus(_SNAPSHOT)
+
+
+class TestMetricsJson:
+    def test_document_layout_and_stamp(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        doc = write_metrics_json(_SNAPSHOT, path)
+        loaded = json.load(open(path, encoding="utf-8"))
+        assert loaded == doc
+        assert loaded["version"] == 1
+        assert loaded["metrics"] == _SNAPSHOT
+        meta = loaded["meta"]
+        assert set(meta) >= {"git_sha", "python", "platform", "timestamp"}
+
+    def test_stamp_fields(self):
+        meta = stamp()
+        assert meta["python"].count(".") == 2
+        assert meta["timestamp"].endswith("Z")
+
+    def test_snapshot_document_validates(self, tmp_path):
+        doc = write_metrics_json(_SNAPSHOT, str(tmp_path / "m.json"))
+        validate(doc, METRICS_SCHEMA)  # does not raise
+
+    def test_schema_rejects_malformed_documents(self):
+        good = {
+            "version": 1,
+            "meta": stamp(),
+            "metrics": {"c": {"type": "counter", "value": 1}},
+        }
+        validate(good, METRICS_SCHEMA)
+        bad_type = json.loads(json.dumps(good))
+        bad_type["metrics"]["c"]["type"] = "exotic"
+        with pytest.raises(SchemaError):
+            validate(bad_type, METRICS_SCHEMA)
+        with pytest.raises(SchemaError):
+            validate({"version": 1}, METRICS_SCHEMA)

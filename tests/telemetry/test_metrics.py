@@ -1,0 +1,130 @@
+"""Metrics registry: instruments, bucketing, snapshot algebra."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshot,
+    merge_snapshot,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.set_enabled(True)
+    return reg
+
+
+class TestInstruments:
+    def test_disabled_registry_hands_out_inert_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.gauge("b").set(2.0)
+        reg.histogram("c").observe(0.1)
+        assert reg.snapshot() == {}
+
+    def test_counter_accumulates(self, registry):
+        registry.counter("runs").inc()
+        registry.counter("runs").inc(4)
+        assert registry.snapshot()["runs"] == {"type": "counter", "value": 5}
+
+    def test_gauge_last_write_wins(self, registry):
+        registry.gauge("rate").set(0.25)
+        registry.gauge("rate").set(0.75)
+        assert registry.snapshot()["rate"]["value"] == 0.75
+
+    def test_instruments_are_created_once_per_name(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestHistogramBucketing:
+    def test_observations_land_in_the_first_covering_bucket(self):
+        hist = Histogram("h", buckets=(0.001, 0.01, 0.1))
+        hist.observe(0.0005)  # <= 0.001
+        hist.observe(0.001)  # boundary: still the 0.001 bucket
+        hist.observe(0.05)  # <= 0.1
+        hist.observe(3.0)  # overflow
+        assert hist.counts == [2, 0, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.0005 + 0.001 + 0.05 + 3.0)
+        assert hist.min == pytest.approx(0.0005)
+        assert hist.max == pytest.approx(3.0)
+
+    def test_default_buckets_cover_the_pipeline_range(self):
+        hist = Histogram("h")
+        assert hist.buckets == DEFAULT_LATENCY_BUCKETS
+        assert hist.buckets[0] <= 1e-4  # sub-ms SMT repairs
+        assert hist.buckets[-1] >= 10.0  # whole shards
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(1.5)  # all in the (1.0, 2.0] bucket
+        p50 = hist.percentile(0.50)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_percentile_of_overflow_is_bounded_by_max(self):
+        hist = Histogram("h", buckets=(0.1,))
+        hist.observe(5.0)
+        assert hist.percentile(0.99) == pytest.approx(5.0)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.5) == 0.0
+
+
+class TestSnapshotAlgebra:
+    def test_merge_adds_counters_and_histograms(self, registry):
+        registry.counter("c").inc(2)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        a = registry.snapshot()
+        b = registry.snapshot()
+        merged = merge_snapshot(dict(a), b)
+        assert merged["c"]["value"] == 4
+        assert merged["h"]["count"] == 2
+        assert merged["h"]["counts"] == [2, 0]
+        assert merged["h"]["sum"] == pytest.approx(1.0)
+
+    def test_merge_into_empty_copies(self, registry):
+        registry.counter("c").inc(3)
+        merged = merge_snapshot({}, registry.snapshot())
+        assert merged["c"]["value"] == 3
+        # a copy, not an alias
+        registry.counter("c").inc(10)
+        assert merged["c"]["value"] == 3
+
+    def test_diff_attributes_one_window(self, registry):
+        registry.counter("c").inc(2)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        before = registry.snapshot()
+        registry.counter("c").inc(5)
+        registry.histogram("h", (1.0,)).observe(2.0)
+        delta = diff_snapshot(registry.snapshot(), before)
+        assert delta["c"]["value"] == 5
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["counts"] == [0, 1]
+
+    def test_diff_drops_unchanged_metrics(self, registry):
+        registry.counter("same").inc()
+        before = registry.snapshot()
+        assert diff_snapshot(registry.snapshot(), before) == {}
+
+    def test_absorb_folds_a_delta_into_a_live_registry(self, registry):
+        other = MetricsRegistry()
+        other.set_enabled(True)
+        other.counter("c").inc(7)
+        other.histogram("h", (1.0,)).observe(0.25)
+        registry.counter("c").inc(1)
+        registry.absorb(other.snapshot())
+        snap = registry.snapshot()
+        assert snap["c"]["value"] == 8
+        assert snap["h"]["count"] == 1
+
+    def test_disabling_drops_state(self, registry):
+        registry.counter("c").inc()
+        registry.set_enabled(False)
+        registry.set_enabled(True)
+        assert registry.snapshot() == {}

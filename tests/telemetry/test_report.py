@@ -1,0 +1,136 @@
+"""Trace analysis and the ``repro-scamv report`` command."""
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.report import PhaseStats, analyze_events
+
+_EVENTS = [
+    {"name": "repro_stamp", "ph": "M", "pid": 0, "tid": 0,
+     "args": {"git_sha": "abc123", "python": "3.11.0",
+              "timestamp": "2026-01-01T00:00:00Z"}},
+    # program (1s) containing two solves (0.2s + 0.4s): self time 0.4s
+    {"name": "program", "ph": "X", "ts": 0.0, "dur": 1_000_000.0,
+     "pid": 7, "tid": 1, "args": {"span_id": 0, "name": "templateA_1"}},
+    {"name": "smt.solve", "ph": "X", "ts": 100_000.0, "dur": 200_000.0,
+     "pid": 7, "tid": 1, "args": {"span_id": 1, "parent_id": 0}},
+    {"name": "smt.solve", "ph": "X", "ts": 400_000.0, "dur": 400_000.0,
+     "pid": 7, "tid": 1, "args": {"span_id": 2, "parent_id": 0}},
+    # same span ids in another pid must not be confused with pid 7's
+    {"name": "program", "ph": "X", "ts": 0.0, "dur": 500_000.0,
+     "pid": 8, "tid": 1, "args": {"span_id": 0, "name": "templateA_2"}},
+]
+
+_SNAPSHOT = {
+    "cache.expr.hits": {"type": "counter", "value": 30},
+    "cache.expr.misses": {"type": "counter", "value": 10},
+    "other.metric": {"type": "gauge", "value": 1.0},
+}
+
+
+class TestAnalysis:
+    def test_phase_totals_and_self_time(self):
+        report = analyze_events(_EVENTS)
+        program = report.phases["program"]
+        assert program.count == 2
+        assert program.total == pytest.approx(1.5)
+        # pid 7's program: 1.0 - 0.6 children; pid 8's: 0.5, no children
+        assert program.self_time == pytest.approx(0.9)
+        solve = report.phases["smt.solve"]
+        assert solve.count == 2
+        assert solve.self_time == pytest.approx(0.6)
+
+    def test_wall_time_spans_the_whole_trace(self):
+        report = analyze_events(_EVENTS)
+        assert report.wall_time == pytest.approx(1.0)
+
+    def test_slowest_programs_ranked(self):
+        report = analyze_events(_EVENTS)
+        assert [label for label, _ in report.slowest_programs] == [
+            "templateA_1",
+            "templateA_2",
+        ]
+
+    def test_cache_rates_from_snapshot(self):
+        report = analyze_events(_EVENTS, metrics_snapshot=_SNAPSHOT)
+        hits, misses, rate = report.cache_rates["expr"]
+        assert (hits, misses) == (30, 10)
+        assert rate == pytest.approx(0.75)
+
+    def test_meta_comes_from_stamp_event(self):
+        report = analyze_events(_EVENTS)
+        assert report.meta["git_sha"] == "abc123"
+
+    def test_percentiles_nearest_rank(self):
+        stats = PhaseStats(name="p", durations=[0.1, 0.2, 0.3, 0.4])
+        assert stats.percentile(0.50) == pytest.approx(0.2)
+        assert stats.percentile(0.95) == pytest.approx(0.4)
+
+    def test_render_contains_the_table_and_sections(self):
+        report = analyze_events(_EVENTS, metrics_snapshot=_SNAPSHOT)
+        text = report.render(top=1)
+        assert "Phase" in text and "Self (s)" in text
+        assert "smt.solve" in text
+        assert "expr: 75.0%" in text
+        assert "templateA_1" in text
+        assert "templateA_2" not in text  # top=1
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        code = main(
+            [
+                "validate",
+                "--experiment",
+                "mct-a",
+                "--refined",
+                "--programs",
+                "3",
+                "--tests",
+                "2",
+                "--trace",
+                path,
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_report_covers_the_pipeline_phases(self, trace_path, capsys):
+        assert main(["report", trace_path]) == 0
+        out = capsys.readouterr().out
+        phases = [
+            "template.generate",
+            "obs.augment",
+            "symbolic.execute",
+            "relation.synthesize",
+            "smt.restart",
+            "smt.solve",
+            "testgen.generate",
+            "hw.experiment",
+        ]
+        for phase in phases:
+            assert phase in out
+        assert "Cache hit rates:" in out
+        assert "Slowest programs" in out
+
+    def test_report_reads_external_metrics_snapshot(
+        self, trace_path, tmp_path, capsys
+    ):
+        assert main(
+            ["report", trace_path, "--metrics", str(tmp_path / "m.json")]
+        ) == 0
+        assert "Cache hit rates:" in capsys.readouterr().out
+
+    def test_report_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_report_empty_trace_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("[\n")
+        assert main(["report", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
