@@ -15,6 +15,8 @@ Examples::
     repro-scamv fig7 --programs 8
     repro-scamv attack v1
     repro-scamv repair --experiment mct-a
+    repro-scamv triage --experiment mpart --refined --corpus witnesses/
+    repro-scamv replay witnesses/ --workers 4
 
 Campaigns run through the parallel execution engine (:mod:`repro.runner`):
 ``--workers N`` shards each campaign into per-program work units across N
@@ -29,6 +31,13 @@ pipeline phase as a span and writes a Perfetto/Chrome-loadable trace;
 Prometheus text for ``.prom``/``.txt`` paths); ``report TRACE`` prints a
 per-phase cost breakdown of a recorded trace.  Telemetry is strictly
 out-of-band: enabling it does not change campaign results.
+
+Triage (:mod:`repro.triage`): ``triage`` runs a campaign with
+counterexample triage on — every distinct violation is minimized to a
+canonical witness, witnesses are clustered by root-cause signature, and
+cluster representatives are written to a ``--corpus`` directory;
+``replay`` re-certifies every stored witness against the current
+simulator and models.
 """
 
 from __future__ import annotations
@@ -133,6 +142,68 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="how many slowest programs to list",
+    )
+
+    triage = sub.add_parser(
+        "triage",
+        help="run a campaign with counterexample triage (minimize + cluster)",
+    )
+    triage.add_argument(
+        "--experiment",
+        required=True,
+        choices=sorted(_EXPERIMENTS),
+        help="which evaluation setting to run",
+    )
+    triage.add_argument(
+        "--refined",
+        action="store_true",
+        help="enable observation refinement (where the setting supports both)",
+    )
+    _add_scale_args(triage)
+    triage.add_argument(
+        "--db", default=None, help="sqlite file for experiment records"
+    )
+    triage.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="directory to write witness JSON files into",
+    )
+    triage.add_argument(
+        "--save-all",
+        action="store_true",
+        help=(
+            "write every minimized witness to --corpus, not just one "
+            "representative per cluster"
+        ),
+    )
+
+    replay = sub.add_parser(
+        "replay", help="re-certify every witness in a corpus directory"
+    )
+    replay.add_argument(
+        "corpus", help="directory of witness JSON files (see 'triage')"
+    )
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 1 replays in-process (results are identical)",
+    )
+    replay.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record replay spans to a Perfetto/Chrome-loadable trace",
+    )
+    replay.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a stamped metrics snapshot (JSON; Prometheus text for "
+            ".prom/.txt paths)"
+        ),
     )
 
     attack = sub.add_parser("attack", help="run a SiSCLoak attack PoC")
@@ -371,6 +442,84 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_triage(args) -> int:
+    from dataclasses import replace
+
+    from repro.triage import (
+        WitnessCorpus,
+        cluster_witnesses,
+        reduction_ratio,
+    )
+
+    config = replace(
+        _campaign(args, args.experiment, args.refined), triage=True
+    )
+    database = ExperimentDatabase(args.db) if args.db else None
+    print(config.describe())
+    session = _TelemetrySession(args)
+    result = _runner(args, session).run(config, database=database)
+    raw = len(result.counterexamples())
+    clusters = cluster_witnesses(result.witnesses)
+    ratio = reduction_ratio(raw, clusters)
+    tmetrics.gauge("triage.clusters").set(len(clusters))
+    if ratio is not None:
+        tmetrics.gauge("triage.reduction_ratio").set(ratio)
+    session.absorb(result)
+    print()
+    print(format_table([result.stats]))
+    print()
+    summary = (
+        f"triage: {raw} counterexample(s) -> "
+        f"{len(result.witnesses)} minimized witness(es) -> "
+        f"{len(clusters)} distinct violation(s)"
+    )
+    if ratio is not None:
+        summary += f" (reduction ratio {ratio:.2f})"
+    print(summary)
+    for cluster in clusters:
+        print(f"  {cluster.describe()}")
+    if args.corpus:
+        corpus = WitnessCorpus(args.corpus)
+        saved = (
+            list(result.witnesses)
+            if args.save_all
+            else [cluster.representative for cluster in clusters]
+        )
+        for witness in saved:
+            corpus.save(witness)
+        print(f"{len(saved)} witness(es) written to {args.corpus}")
+    session.finish()
+    if database is not None:
+        database.close()
+        print(f"\nexperiment records written to {args.db}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    import os
+
+    from repro.errors import TriageError
+    from repro.triage import WitnessCorpus, replay_corpus
+
+    if not os.path.isdir(args.corpus):
+        print(f"no such corpus directory: {args.corpus}", file=sys.stderr)
+        return 2
+    corpus = WitnessCorpus(args.corpus)
+    try:
+        witnesses = corpus.load_all()
+    except TriageError as exc:
+        print(f"corpus {args.corpus} is unreadable: {exc}", file=sys.stderr)
+        return 2
+    if not witnesses:
+        print(f"corpus {args.corpus} holds no witnesses", file=sys.stderr)
+        return 2
+    session = _TelemetrySession(args)
+    report = replay_corpus(witnesses, workers=args.workers)
+    session.finish()
+    print(report.describe())
+    return 0 if report.all_reproduced else 1
+
+
 def _cmd_attack(args) -> int:
     from repro.attacks.siscloak import (
         A_BASE,
@@ -437,6 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _cmd_table1,
         "fig7": _cmd_fig7,
         "report": _cmd_report,
+        "triage": _cmd_triage,
+        "replay": _cmd_replay,
         "attack": _cmd_attack,
         "repair": _cmd_repair,
     }

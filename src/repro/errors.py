@@ -73,3 +73,7 @@ class PipelineError(ReproError):
 
 class ExperimentError(PipelineError):
     """A single experiment could not be generated or executed."""
+
+
+class TriageError(ReproError):
+    """Counterexample triage failure: malformed witness or corpus."""

@@ -34,12 +34,20 @@ class CampaignConfig:
     # concrete run (Definition 1 on concrete states); uncertified ones are
     # counted separately instead of as counterexamples.
     certify: bool = False
+    # Feed counterexamples through the triage subsystem (repro.triage):
+    # minimize each distinct violation and attach the resulting witnesses
+    # to the campaign result.  Off by default — triage re-executes the
+    # platform many times per counterexample.
+    triage: bool = False
 
     def describe(self) -> str:
         refinement = "yes" if self.model.has_refinement else "no"
-        return (
+        text = (
             f"{self.name}: template={self.template.name} "
             f"model={self.model.name} refinement={refinement} "
             f"coverage={self.coverage.name} programs={self.num_programs} "
             f"tests/program={self.tests_per_program} seed={self.seed}"
         )
+        if self.triage:
+            text += " triage=yes"
+        return text

@@ -11,6 +11,15 @@ import json
 import sqlite3
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import PipelineError
+
+#: Schema generation, stored in the SQLite ``user_version`` pragma.
+#: Version 2 added the ``experiments(outcome)`` index and the
+#: ``witnesses`` table; version 0 (never stamped) is the pre-pragma
+#: schema, which upgrades in place because every DDL statement is
+#: idempotent (``IF NOT EXISTS``).
+SCHEMA_VERSION = 2
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
     id INTEGER PRIMARY KEY,
@@ -37,6 +46,17 @@ CREATE TABLE IF NOT EXISTS experiments (
 );
 CREATE INDEX IF NOT EXISTS idx_experiments_program
     ON experiments(program_id);
+CREATE INDEX IF NOT EXISTS idx_experiments_outcome
+    ON experiments(outcome);
+CREATE TABLE IF NOT EXISTS witnesses (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    name TEXT NOT NULL,
+    signature TEXT NOT NULL,
+    doc TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_witnesses_campaign
+    ON witnesses(campaign_id);
 """
 
 
@@ -52,7 +72,22 @@ class ExperimentDatabase:
     def __init__(self, path: str = ":memory:"):
         self.path = path
         self._conn = sqlite3.connect(path)
+        stored = self.schema_version
+        if stored > SCHEMA_VERSION:
+            self._conn.close()
+            raise PipelineError(
+                f"database {path!r} has schema version {stored}; "
+                f"this build reads up to {SCHEMA_VERSION}"
+            )
         self._conn.executescript(_SCHEMA)
+        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        self._conn.commit()
+
+    @property
+    def schema_version(self) -> int:
+        """The ``user_version`` pragma stamped into the file."""
+        row = self._conn.execute("PRAGMA user_version").fetchone()
+        return int(row[0])
 
     def close(self) -> None:
         self._conn.close()
@@ -116,6 +151,18 @@ class ExperimentDatabase:
         self._conn.commit()
         return int(cur.lastrowid)
 
+    def add_witness(
+        self, campaign_id: int, name: str, signature: str, doc: str
+    ) -> int:
+        """Insert one triaged witness (``doc`` is its JSON document)."""
+        cur = self._conn.execute(
+            "INSERT INTO witnesses (campaign_id, name, signature, doc)"
+            " VALUES (?, ?, ?, ?)",
+            (campaign_id, name, signature, doc),
+        )
+        self._conn.commit()
+        return int(cur.lastrowid)
+
     # -- queries -------------------------------------------------------------
 
     def outcome_counts(self, campaign_id: int) -> Dict[str, int]:
@@ -137,11 +184,25 @@ class ExperimentDatabase:
         return int(row[0])
 
     def counterexamples(self, campaign_id: int) -> List[Tuple[str, str, str]]:
-        """``(program_name, state1_json, state2_json)`` of counterexamples."""
+        """``(program_name, state1_json, state2_json)`` of counterexamples.
+
+        Served by ``idx_experiments_outcome`` + ``idx_experiments_program``
+        rather than a full scan; rows come back in insertion order, which
+        is program order for a deterministically recorded campaign.
+        """
         return self._conn.execute(
             "SELECT p.name, e.state1, e.state2 FROM experiments e"
             " JOIN programs p ON e.program_id = p.id"
-            " WHERE p.campaign_id = ? AND e.outcome = 'counterexample'",
+            " WHERE p.campaign_id = ? AND e.outcome = 'counterexample'"
+            " ORDER BY e.id",
+            (campaign_id,),
+        ).fetchall()
+
+    def witnesses(self, campaign_id: int) -> List[Tuple[str, str, str]]:
+        """``(name, signature, doc_json)`` of a campaign's witnesses."""
+        return self._conn.execute(
+            "SELECT name, signature, doc FROM witnesses"
+            " WHERE campaign_id = ? ORDER BY name",
             (campaign_id,),
         ).fetchall()
 

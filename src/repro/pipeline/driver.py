@@ -5,7 +5,9 @@ over the same per-program shard execution the worker pool uses
 (:mod:`repro.runner.worker`): each program's random streams derive from a
 fresh ``SplittableRandom(cfg.seed).split(f"prog{i}")``, so ``ScamV.run()``
 and ``ParallelRunner`` at any worker count produce bit-identical results
-for the same seed.
+for the same seed.  That includes triage: with ``cfg.triage`` on, each
+shard minimizes its own counterexamples (per-program dedup), so the
+merged witness list is the same whichever path ran the shard.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ class ScamV:
         shards = []
         counterexamples = 0
         experiments = 0
+        witnesses = 0
         with tspan(
             "campaign", campaign=cfg.name, programs=cfg.num_programs
         ) as s:
@@ -60,12 +63,16 @@ class ScamV:
                     record_shard(self.database, campaign_id, shard)
                 counterexamples += shard.stats.counterexamples
                 experiments += shard.stats.experiments
+                witnesses += len(shard.witnesses)
                 if progress is not None:
-                    progress(
+                    line = (
                         f"[{cfg.name}] program "
                         f"{spec.program_indices[-1] + 1}/{cfg.num_programs}: "
                         f"{counterexamples} counterexamples in "
                         f"{experiments} experiments"
                     )
+                    if cfg.triage:
+                        line += f", {witnesses} witnesses"
+                    progress(line)
             s.set_attr("counterexamples", counterexamples)
         return merge_shard_results(cfg.name, shards)

@@ -4,6 +4,11 @@ Lives apart from the driver so both execution paths — the sequential
 :class:`~repro.pipeline.driver.ScamV` loop and the parallel runner's shard
 workers (:mod:`repro.runner.worker`) — can build the same record types
 without an import cycle.
+
+:class:`ExperimentRecord` round-trips losslessly through JSON
+(:meth:`ExperimentRecord.to_json` / :meth:`ExperimentRecord.from_json`):
+the triage witness corpus and the checkpoint journal both rely on that
+to persist experiments as text.
 """
 
 from __future__ import annotations
@@ -12,8 +17,30 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.testgen import TestCase
-from repro.hw.platform import ExperimentOutcome
+from repro.hw.platform import ExperimentOutcome, StateInputs
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.program import AsmProgram
 from repro.pipeline.metrics import CampaignStats
+
+
+def state_to_json(state: Optional[StateInputs]) -> Optional[Dict]:
+    """A JSON-safe dump of one input state (None passes through)."""
+    if state is None:
+        return None
+    return {
+        "regs": dict(state.regs),
+        "memory": {str(addr): value for addr, value in state.memory.items()},
+    }
+
+
+def state_from_json(payload: Optional[Dict]) -> Optional[StateInputs]:
+    """Inverse of :func:`state_to_json`."""
+    if payload is None:
+        return None
+    return StateInputs(
+        regs=dict(payload["regs"]),
+        memory={int(addr): value for addr, value in payload["memory"].items()},
+    )
 
 
 @dataclass
@@ -30,6 +57,63 @@ class ExperimentRecord:
     # template-derived and may repeat; the index is the unique key the
     # parallel runner uses to re-associate records with program rows).
     program_index: int = -1
+
+    def to_json(self) -> Dict:
+        """A lossless JSON document for this record.
+
+        The program is stored as disassembled text (the assembler
+        round-trips it), the states via :func:`state_to_json`.
+        """
+        test = self.test
+        return {
+            "program_name": self.program_name,
+            "template": self.template,
+            "outcome": self.outcome.value,
+            "gen_time": self.gen_time,
+            "exe_time": self.exe_time,
+            "program_index": self.program_index,
+            "test": {
+                "program": disassemble(test.program),
+                "pair": list(test.pair),
+                "refined": test.refined,
+                "state1": state_to_json(test.state1),
+                "state2": state_to_json(test.state2),
+                "train": state_to_json(test.train),
+            },
+        }
+
+    @classmethod
+    def from_json(
+        cls, doc: Dict, program: Optional[AsmProgram] = None
+    ) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_json` output.
+
+        ``program`` short-circuits reassembly when the caller already
+        holds the program instance (the checkpoint journal shares one per
+        generated program across its records).
+        """
+        test_doc = doc["test"]
+        if program is None:
+            program = assemble(
+                test_doc["program"], name=doc["program_name"]
+            )
+        test = TestCase(
+            program=program,
+            state1=state_from_json(test_doc["state1"]),
+            state2=state_from_json(test_doc["state2"]),
+            train=state_from_json(test_doc["train"]),
+            pair=tuple(test_doc["pair"]),
+            refined=test_doc["refined"],
+        )
+        return cls(
+            program_name=doc["program_name"],
+            template=doc["template"],
+            outcome=ExperimentOutcome(doc["outcome"]),
+            test=test,
+            gen_time=doc["gen_time"],
+            exe_time=doc["exe_time"],
+            program_index=doc["program_index"],
+        )
 
 
 @dataclass
@@ -48,13 +132,25 @@ class CampaignResult:
     # counters.
     spans: List = field(default_factory=list)
     metrics: Dict[str, Dict] = field(default_factory=dict)
+    # Triaged witnesses (repro.triage.corpus.Witness), in shard order.
+    # Empty unless the campaign ran with ``CampaignConfig.triage``.
+    witnesses: List = field(default_factory=list)
 
     def counterexamples(self) -> List[ExperimentRecord]:
-        return [
-            r
-            for r in self.records
-            if r.outcome is ExperimentOutcome.COUNTEREXAMPLE
-        ]
+        """Counterexample records, ordered by program index.
+
+        The sort is stable, so records of one program keep their
+        generation order; the overall ordering is deterministic however
+        shards were merged.
+        """
+        return sorted(
+            (
+                r
+                for r in self.records
+                if r.outcome is ExperimentOutcome.COUNTEREXAMPLE
+            ),
+            key=lambda r: r.program_index,
+        )
 
     def inconclusive(self) -> List[ExperimentRecord]:
         return [

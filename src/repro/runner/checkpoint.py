@@ -18,17 +18,19 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
-from repro.hw.platform import ExperimentOutcome, StateInputs
 from repro.isa.assembler import assemble
-from repro.core.testgen import TestCase
 from repro.pipeline.config import CampaignConfig
 from repro.pipeline.metrics import CampaignStats
 from repro.pipeline.result import ExperimentRecord
 from repro.runner.worker import ProgramRecord, ShardResult
 
-_VERSION = 1
+#: Version 2 journals experiment records through
+#: :meth:`ExperimentRecord.to_json` and adds triage witnesses; version-1
+#: entries are simply not replayed (the shard re-executes — correct,
+#: just slower).
+_VERSION = 2
 
 #: ``(campaign index, shard id)`` — the key a journal entry is stored under.
 ShardKey = Tuple[int, int]
@@ -36,30 +38,17 @@ ShardKey = Tuple[int, int]
 
 def campaign_key(config: CampaignConfig) -> str:
     """A fingerprint that must match for journal entries to be reused."""
-    return (
+    key = (
         f"{config.name}|seed={config.seed}"
         f"|programs={config.num_programs}"
         f"|tests={config.tests_per_program}"
         f"|model={config.model.name}"
     )
-
-
-def _dump_state(state: Optional[StateInputs]) -> Optional[Dict]:
-    if state is None:
-        return None
-    return {
-        "regs": dict(state.regs),
-        "memory": {str(addr): value for addr, value in state.memory.items()},
-    }
-
-
-def _load_state(payload: Optional[Dict]) -> Optional[StateInputs]:
-    if payload is None:
-        return None
-    return StateInputs(
-        regs=dict(payload["regs"]),
-        memory={int(addr): value for addr, value in payload["memory"].items()},
-    )
+    if config.triage:
+        # A triage-less journal entry has no witnesses to replay; don't
+        # let a triage run silently reuse it (and vice versa).
+        key += "|triage=1"
+    return key
 
 
 def _dump_stats(stats: CampaignStats) -> Dict:
@@ -96,26 +85,16 @@ def _dump_shard(shard: ShardResult) -> Dict:
             }
             for program in shard.programs
         ],
-        "records": [
-            {
-                "program_index": record.program_index,
-                "program_name": record.program_name,
-                "template": record.template,
-                "outcome": record.outcome.value,
-                "gen_time": record.gen_time,
-                "exe_time": record.exe_time,
-                "pair": list(record.test.pair),
-                "refined": record.test.refined,
-                "state1": _dump_state(record.test.state1),
-                "state2": _dump_state(record.test.state2),
-                "train": _dump_state(record.test.train),
-            }
-            for record in shard.records
-        ],
+        "records": [record.to_json() for record in shard.records],
+        "witnesses": [witness.to_json() for witness in shard.witnesses],
     }
 
 
 def _load_shard(payload: Dict) -> ShardResult:
+    # Late import: repro.triage pulls in hw/obs machinery the journal
+    # loader doesn't otherwise need.
+    from repro.triage.corpus import Witness
+
     programs = [
         ProgramRecord(
             index=entry["index"],
@@ -132,33 +111,22 @@ def _load_shard(payload: Dict) -> ShardResult:
         program.index: assemble(program.asm_text, name=program.name)
         for program in programs
     }
-    records = []
-    for entry in payload["records"]:
-        test = TestCase(
-            program=asm_by_index[entry["program_index"]],
-            state1=_load_state(entry["state1"]),
-            state2=_load_state(entry["state2"]),
-            train=_load_state(entry["train"]),
-            pair=tuple(entry["pair"]),
-            refined=entry["refined"],
+    records = [
+        ExperimentRecord.from_json(
+            entry, program=asm_by_index[entry["program_index"]]
         )
-        records.append(
-            ExperimentRecord(
-                program_name=entry["program_name"],
-                template=entry["template"],
-                outcome=ExperimentOutcome(entry["outcome"]),
-                test=test,
-                gen_time=entry["gen_time"],
-                exe_time=entry["exe_time"],
-                program_index=entry["program_index"],
-            )
-        )
+        for entry in payload["records"]
+    ]
+    witnesses = [
+        Witness.from_json(doc) for doc in payload.get("witnesses", [])
+    ]
     return ShardResult(
         shard_id=payload["shard_id"],
         program_indices=tuple(payload["program_indices"]),
         stats=CampaignStats(**payload["stats"]),
         records=records,
         programs=programs,
+        witnesses=witnesses,
         attempt=payload["attempt"],
         duration=payload["duration"],
         # Replayed, not executed: the merge layer excludes this duration

@@ -22,6 +22,7 @@ shard's programs and experiments via :func:`record_shard`.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, List, Optional
 
 from repro.pipeline.database import ExperimentDatabase
@@ -50,6 +51,7 @@ def merge_shard_results(
             # spent this time around.
             elapsed += shard.duration
         result.records.extend(shard.records)
+        result.witnesses.extend(shard.witnesses)
         telemetry.absorb_shard_payload(
             shard.telemetry, result.spans, result.metrics
         )
@@ -83,6 +85,13 @@ def record_shard(
                 record.gen_time,
                 record.exe_time,
             )
+    for witness in shard.witnesses:
+        database.add_witness(
+            campaign_id,
+            witness.name,
+            witness.signature.key(),
+            json.dumps(witness.to_json(), sort_keys=True),
+        )
 
 
 def record_shards(

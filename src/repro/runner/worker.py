@@ -75,6 +75,10 @@ class ShardResult:
     stats: CampaignStats
     records: List[ExperimentRecord] = field(default_factory=list)
     programs: List[ProgramRecord] = field(default_factory=list)
+    #: Triaged witnesses (repro.triage.corpus.Witness) for this shard's
+    #: counterexamples; empty unless ``CampaignConfig.triage`` is on.
+    #: Like the records, a pure function of (config, program indices).
+    witnesses: List = field(default_factory=list)
     attempt: int = 0
     duration: float = 0.0
     #: True when the result was replayed from a checkpoint journal rather
@@ -146,6 +150,13 @@ def run_shard(
             _run_program(
                 config, program_index, started, stats, records, programs
             )
+        if config.triage:
+            # Late import: repro.triage imports this module's siblings.
+            from repro.triage import triage_records
+
+            witnesses = triage_records(config, records)
+        else:
+            witnesses = []
     # Attribute this shard's share of the process-wide cache activity:
     # the delta over the shard keeps merged totals additive even when one
     # worker process runs many shards back to back.
@@ -160,6 +171,7 @@ def run_shard(
         stats=stats,
         records=records,
         programs=programs,
+        witnesses=witnesses,
         attempt=attempt,
         duration=time.monotonic() - started,
         telemetry=telemetry.shard_end(marker),

@@ -1,0 +1,198 @@
+"""Counterexample triage: minimize, explain, dedup, persist, replay.
+
+The pipeline's raw output is counterexamples — state pairs that are
+related under the model under validation yet distinguishable on the
+simulated hardware.  This subsystem turns them into durable insights:
+
+* :mod:`repro.triage.minimize` — deterministic delta debugging of the
+  program and bit-level shrinking of the state pair, against an oracle
+  that re-certifies ``s1 ~M1 s2 ∧ distinguishable-on-hw`` per candidate.
+* :mod:`repro.triage.signature` — a root-cause signature from an
+  instrumented hardware replay (divergent cache sets, first divergence
+  event, active feature, region alignment).
+* :mod:`repro.triage.cluster` — dedup by signature so a campaign reports
+  distinct violations, not hundreds of duplicates.
+* :mod:`repro.triage.corpus` / :mod:`repro.triage.replay` — a versioned,
+  schema-validated on-disk witness format, and replay that re-certifies a
+  stored corpus against the current simulator and models.
+
+:func:`triage_records` is the campaign-side entry point the shard workers
+call (kill-switch: ``CampaignConfig.triage``, off by default).  It is a
+pure function of ``(config, records)``: duplicates are detected per
+program, never across shard boundaries, so its output is independent of
+sharding and worker count, and parallel runs merge triage results exactly
+like experiment records.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from repro.hw.platform import ExperimentOutcome
+from repro.pipeline.result import ExperimentRecord
+from repro.isa.assembler import disassemble
+from repro.telemetry import metrics as tmetrics
+from repro.telemetry.trace import span as tspan
+from repro.triage.cluster import (
+    WitnessCluster,
+    cluster_witnesses,
+    reduction_ratio,
+)
+from repro.triage.corpus import (
+    WITNESS_SCHEMA,
+    WITNESS_VERSION,
+    Witness,
+    WitnessCorpus,
+    model_from_json,
+    model_to_json,
+    platform_from_json,
+    platform_to_json,
+)
+from repro.triage.minimize import (
+    MinimizeConfig,
+    MinimizedWitness,
+    WitnessOracle,
+    ddmin,
+    minimize_witness,
+    subprogram,
+)
+from repro.triage.replay import (
+    ReplayOutcome,
+    ReplayReport,
+    replay_corpus,
+    replay_witness,
+)
+from repro.triage.signature import (
+    RootCauseSignature,
+    compute_signature,
+    region_page_aligned,
+)
+
+__all__ = [
+    "WITNESS_SCHEMA",
+    "WITNESS_VERSION",
+    "MinimizeConfig",
+    "MinimizedWitness",
+    "ReplayOutcome",
+    "ReplayReport",
+    "RootCauseSignature",
+    "Witness",
+    "WitnessCluster",
+    "WitnessCorpus",
+    "WitnessOracle",
+    "cluster_witnesses",
+    "compute_signature",
+    "ddmin",
+    "minimize_witness",
+    "model_from_json",
+    "model_to_json",
+    "platform_from_json",
+    "platform_to_json",
+    "reduction_ratio",
+    "region_page_aligned",
+    "replay_corpus",
+    "replay_witness",
+    "subprogram",
+    "triage_records",
+    "witness_name",
+]
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "campaign"
+
+
+def witness_name(campaign: str, program_index: int, ordinal: int) -> str:
+    """Deterministic witness name: campaign slug, program, violation index."""
+    return f"{_slug(campaign)}-p{program_index:04d}-c{ordinal:02d}"
+
+
+def triage_records(
+    config, records: List[ExperimentRecord]
+) -> List[Witness]:
+    """Triage the counterexamples of a record stream into witnesses.
+
+    For each counterexample record: compute the raw root-cause signature
+    (two instrumented replays — cheap), skip it if this program already
+    produced a witness with the same signature (per-program dedup keeps
+    the result independent of sharding), otherwise minimize it and package
+    the result as a :class:`Witness` carrying the signature of the
+    *minimized* pair.  Counterexamples that no longer reproduce noise-free
+    are counted (``triage.unreproduced``) and dropped.
+    """
+    witnesses: List[Witness] = []
+    seen: Set[Tuple[int, str]] = set()
+    ordinals: Dict[int, int] = {}
+    for record in records:
+        if record.outcome is not ExperimentOutcome.COUNTEREXAMPLE:
+            continue
+        test = record.test
+        with tspan(
+            "triage.minimize",
+            program=record.program_index,
+            program_name=record.program_name,
+        ) as s:
+            raw_signature = compute_signature(
+                test.program,
+                test.state1,
+                test.state2,
+                test.train,
+                config.platform,
+            )
+            key = (record.program_index, raw_signature.key())
+            if key in seen:
+                tmetrics.counter("triage.duplicates").inc()
+                s.set_attr("duplicate", True)
+                continue
+            seen.add(key)
+            minimized = minimize_witness(
+                test.program,
+                test.state1,
+                test.state2,
+                test.train,
+                config.model,
+                config.platform,
+            )
+            if minimized is None:
+                tmetrics.counter("triage.unreproduced").inc()
+                s.set_attr("reproduced", False)
+                continue
+            signature = compute_signature(
+                minimized.program,
+                minimized.state1,
+                minimized.state2,
+                minimized.train,
+                config.platform,
+            )
+            ordinal = ordinals.get(record.program_index, 0)
+            ordinals[record.program_index] = ordinal + 1
+            witness = Witness(
+                name=witness_name(
+                    config.name, record.program_index, ordinal
+                ),
+                campaign=config.name,
+                template=record.template,
+                program=record.program_name,
+                asm=disassemble(minimized.program),
+                model=model_to_json(config.model),
+                platform=platform_to_json(config.platform),
+                state1=minimized.state1,
+                state2=minimized.state2,
+                train=minimized.train,
+                signature=signature,
+                reduction=minimized.reduction(),
+            )
+            witnesses.append(witness)
+            tmetrics.counter("triage.minimized").inc()
+            if minimized.instructions_before:
+                tmetrics.histogram(
+                    "triage.instruction_reduction"
+                ).observe(
+                    minimized.instructions_after
+                    / minimized.instructions_before
+                )
+            s.set_attr("instructions_before", minimized.instructions_before)
+            s.set_attr("instructions_after", minimized.instructions_after)
+            s.set_attr("signature", signature.key())
+    return witnesses

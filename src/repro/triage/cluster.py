@@ -1,0 +1,77 @@
+"""Dedup/clustering of witnesses by root-cause signature.
+
+A campaign that finds 400 counterexamples has usually found a handful of
+*distinct* model violations many times over.  Grouping witnesses by their
+signature key (channel / feature / first divergence / region alignment)
+turns the raw set into "N distinct violations", each represented by its
+smallest minimized witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.triage.corpus import Witness
+
+
+def _witness_size(witness: Witness) -> Tuple[int, int, str]:
+    reduction = witness.reduction
+    return (
+        reduction.get("instructions_after", 1 << 30),
+        reduction.get("cells_after", 1 << 30),
+        witness.name,
+    )
+
+
+@dataclass
+class WitnessCluster:
+    """All witnesses sharing one root-cause signature."""
+
+    key: str
+    witnesses: List[Witness]
+
+    @property
+    def size(self) -> int:
+        return len(self.witnesses)
+
+    @property
+    def representative(self) -> Witness:
+        """The smallest minimized witness (instructions, then cells)."""
+        return self.witnesses[0]
+
+    def describe(self) -> str:
+        rep = self.representative
+        reduction = rep.reduction
+        return (
+            f"{self.key}  x{self.size}  rep={rep.name} "
+            f"({reduction.get('instructions_after', '?')} instr, "
+            f"{reduction.get('cells_after', '?')} cells)"
+        )
+
+
+def cluster_witnesses(witnesses: Sequence[Witness]) -> List[WitnessCluster]:
+    """Group witnesses by signature key, deterministically ordered.
+
+    Clusters come out largest first (ties broken by key); within a
+    cluster, witnesses are ordered smallest first, so ``representative``
+    is the canonical exemplar of the violation.
+    """
+    grouped: Dict[str, List[Witness]] = {}
+    for witness in witnesses:
+        grouped.setdefault(witness.signature.key(), []).append(witness)
+    clusters = [
+        WitnessCluster(key=key, witnesses=sorted(members, key=_witness_size))
+        for key, members in grouped.items()
+    ]
+    clusters.sort(key=lambda cluster: (-cluster.size, cluster.key))
+    return clusters
+
+
+def reduction_ratio(
+    raw_counterexamples: int, clusters: Sequence[WitnessCluster]
+) -> Optional[float]:
+    """Clusters per raw counterexample; None when there were none."""
+    if raw_counterexamples <= 0:
+        return None
+    return len(clusters) / raw_counterexamples

@@ -1,0 +1,378 @@
+"""The versioned on-disk witness format and the corpus directory.
+
+A *witness* is one triaged counterexample: the minimized program, the
+minimized state pair (plus optional training state), a self-contained
+description of the observation model and platform it violates, and the
+root-cause signature the triage layer computed.  Witnesses serialize to
+JSON documents validated against :data:`WITNESS_SCHEMA` (the same
+pure-Python draft-07 subset the telemetry snapshots use), so a corpus
+checked into a repository is machine-checkable without extra
+dependencies, and :mod:`repro.triage.replay` can re-certify it against
+the current simulator and models at any later commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TriageError
+from repro.hw.cache import CacheConfig
+from repro.hw.core import CoreConfig
+from repro.hw.platform import Channel, PlatformConfig, StateInputs
+from repro.hw.predictor import PredictorConfig
+from repro.hw.prefetcher import PrefetcherConfig
+from repro.hw.tlb import TlbConfig
+from repro.isa.assembler import assemble
+from repro.isa.program import AsmProgram
+from repro.obs.base import AttackerRegion, ObservationModel
+from repro.obs.channels import MpageRefinedModel, MtimeRefinedModel
+from repro.obs.models import (
+    MctModel,
+    MlineModel,
+    MpartModel,
+    MpartRefinedModel,
+    MpcModel,
+    MspecModel,
+    MspecOneLoadModel,
+    MspecStraightLineModel,
+)
+from repro.pipeline.result import state_from_json, state_to_json
+from repro.symbolic.speculative import SpeculationBounds
+from repro.telemetry.schema import SchemaError, validate
+from repro.triage.signature import RootCauseSignature
+
+#: Version of the on-disk witness document format.
+WITNESS_VERSION = 1
+
+_STATE_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["regs", "memory"],
+    "properties": {
+        "regs": {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        },
+        "memory": {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        },
+    },
+}
+
+WITNESS_SCHEMA: Dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro triage witness",
+    "type": "object",
+    "required": [
+        "version",
+        "name",
+        "campaign",
+        "template",
+        "program",
+        "asm",
+        "model",
+        "platform",
+        "state1",
+        "state2",
+        "signature",
+        "reduction",
+    ],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "name": {"type": "string"},
+        "campaign": {"type": "string"},
+        "template": {"type": "string"},
+        "program": {"type": "string"},
+        "asm": {"type": "string"},
+        "model": {
+            "type": "object",
+            "required": ["kind"],
+            "properties": {
+                "kind": {"type": "string"},
+                "region": {
+                    "type": "object",
+                    "required": ["lo_set", "hi_set"],
+                },
+                "bounds": {"type": "object"},
+            },
+        },
+        "platform": {
+            "type": "object",
+            "required": ["channel", "core"],
+            "properties": {
+                "channel": {"enum": ["dcache", "tlb", "time"]},
+                "attacker_sets": {
+                    "type": ["array", "null"],
+                    "items": {"type": "integer", "minimum": 0},
+                },
+                "training_runs": {"type": "integer", "minimum": 0},
+                "core": {"type": "object"},
+            },
+        },
+        "state1": _STATE_SCHEMA,
+        "state2": _STATE_SCHEMA,
+        "train": {"type": ["object", "null"]},
+        "signature": {
+            "type": "object",
+            "required": [
+                "channel",
+                "feature",
+                "first_divergence",
+                "divergent_sets",
+                "page_aligned",
+            ],
+        },
+        "reduction": {
+            "type": "object",
+            "required": [
+                "instructions_before",
+                "instructions_after",
+                "cells_before",
+                "cells_after",
+                "oracle_checks",
+            ],
+            "additionalProperties": {"type": "integer", "minimum": 0},
+        },
+    },
+}
+
+
+# -- model serialization ------------------------------------------------------
+
+_MODEL_CLASSES = {
+    "mpart": MpartModel,
+    "mpart-refined": MpartRefinedModel,
+    "mline": MlineModel,
+    "mpage-refined": MpageRefinedModel,
+    "mct": MctModel,
+    "mpc": MpcModel,
+    "mspec": MspecModel,
+    "mspec1": MspecOneLoadModel,
+    "mspec-straightline": MspecStraightLineModel,
+    "mtime-refined": MtimeRefinedModel,
+}
+_KIND_BY_CLASS = {cls: kind for kind, cls in _MODEL_CLASSES.items()}
+
+
+def model_to_json(model: ObservationModel) -> Dict:
+    """A self-contained JSON description of an observation model."""
+    kind = _KIND_BY_CLASS.get(type(model))
+    if kind is None:
+        raise TriageError(
+            f"cannot serialize observation model {type(model).__name__}"
+        )
+    doc: Dict = {"kind": kind}
+    region = getattr(model, "region", None)
+    if region is not None:
+        doc["region"] = {
+            "lo_set": region.lo_set,
+            "hi_set": region.hi_set,
+            "line_shift": region.line_shift,
+            "set_count": region.set_count,
+        }
+    bounds = getattr(model, "bounds", None)
+    if bounds is not None:
+        doc["bounds"] = {
+            "max_instructions": bounds.max_instructions,
+            "max_loads": bounds.max_loads,
+        }
+    return doc
+
+
+def model_from_json(doc: Dict) -> ObservationModel:
+    """Rebuild the observation model a witness was found under."""
+    try:
+        cls = _MODEL_CLASSES[doc["kind"]]
+    except KeyError:
+        raise TriageError(
+            f"unknown observation-model kind {doc.get('kind')!r}"
+        ) from None
+    kwargs: Dict = {}
+    if "region" in doc:
+        kwargs["region"] = AttackerRegion(**doc["region"])
+    if "bounds" in doc:
+        kwargs["bounds"] = SpeculationBounds(**doc["bounds"])
+    return cls(**kwargs)
+
+
+# -- platform serialization ---------------------------------------------------
+
+_CORE_SCALARS = (
+    "spec_window",
+    "forward_speculative_results",
+    "straight_line_speculation",
+    "prefetch_on_transient",
+    "base_cycles",
+    "hit_latency",
+    "l2_hit_latency",
+    "miss_latency",
+    "tlb_miss_latency",
+    "mispredict_penalty",
+    "variable_time_multiply",
+    "max_steps",
+)
+
+
+def platform_to_json(config: PlatformConfig) -> Dict:
+    """A self-contained JSON description of the measured platform.
+
+    ``noise_rate`` and ``repetitions`` are deliberately dropped: a stored
+    witness is always replayed noise-free, where one repetition suffices.
+    """
+    return {
+        "channel": config.channel.value,
+        "attacker_sets": (
+            list(config.attacker_sets)
+            if config.attacker_sets is not None
+            else None
+        ),
+        "training_runs": config.training_runs,
+        "core": asdict(config.core),
+    }
+
+
+def platform_from_json(doc: Dict) -> PlatformConfig:
+    """Rebuild the (noise-free) platform a witness is replayed on."""
+    core_doc = dict(doc["core"])
+    core = CoreConfig(
+        cache=CacheConfig(**core_doc["cache"]),
+        l2=CacheConfig(**core_doc["l2"]) if core_doc.get("l2") else None,
+        prefetcher=PrefetcherConfig(**core_doc["prefetcher"]),
+        predictor=PredictorConfig(**core_doc["predictor"]),
+        tlb=TlbConfig(**core_doc["tlb"]),
+        **{key: core_doc[key] for key in _CORE_SCALARS},
+    )
+    attacker_sets = doc.get("attacker_sets")
+    return PlatformConfig(
+        core=core,
+        repetitions=1,
+        training_runs=doc.get("training_runs", 0),
+        noise_rate=0.0,
+        attacker_sets=(
+            tuple(attacker_sets) if attacker_sets is not None else None
+        ),
+        channel=Channel(doc["channel"]),
+    )
+
+
+# -- the witness --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One triaged counterexample, self-contained and replayable."""
+
+    name: str
+    campaign: str
+    template: str
+    program: str
+    #: Disassembled text of the minimized program.
+    asm: str
+    #: ``model_to_json`` document of the model under validation.
+    model: Dict
+    #: ``platform_to_json`` document of the measured platform.
+    platform: Dict
+    state1: StateInputs
+    state2: StateInputs
+    train: Optional[StateInputs]
+    signature: RootCauseSignature
+    #: Minimization accounting: instructions/state cells before and after,
+    #: and how many oracle checks the reduction spent.
+    reduction: Dict[str, int] = field(default_factory=dict)
+    version: int = WITNESS_VERSION
+
+    def asm_program(self) -> AsmProgram:
+        return assemble(self.asm, name=self.program)
+
+    def build_model(self) -> ObservationModel:
+        return model_from_json(self.model)
+
+    def build_platform(self) -> PlatformConfig:
+        return platform_from_json(self.platform)
+
+    def to_json(self) -> Dict:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "campaign": self.campaign,
+            "template": self.template,
+            "program": self.program,
+            "asm": self.asm,
+            "model": self.model,
+            "platform": self.platform,
+            "state1": state_to_json(self.state1),
+            "state2": state_to_json(self.state2),
+            "train": state_to_json(self.train),
+            "signature": self.signature.to_json(),
+            "reduction": dict(self.reduction),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict) -> "Witness":
+        try:
+            validate(doc, WITNESS_SCHEMA)
+        except SchemaError as exc:
+            raise TriageError(f"malformed witness document: {exc}") from exc
+        if doc["version"] != WITNESS_VERSION:
+            raise TriageError(
+                f"witness {doc['name']!r} has version {doc['version']}, "
+                f"this build reads version {WITNESS_VERSION}"
+            )
+        return cls(
+            name=doc["name"],
+            campaign=doc["campaign"],
+            template=doc["template"],
+            program=doc["program"],
+            asm=doc["asm"],
+            model=doc["model"],
+            platform=doc["platform"],
+            state1=state_from_json(doc["state1"]),
+            state2=state_from_json(doc["state2"]),
+            train=state_from_json(doc.get("train")),
+            signature=RootCauseSignature.from_json(doc["signature"]),
+            reduction=dict(doc["reduction"]),
+            version=doc["version"],
+        )
+
+
+class WitnessCorpus:
+    """A directory of ``<name>.json`` witness documents."""
+
+    def __init__(self, root: str):
+        self.root = root
+
+    def path_for(self, name: str) -> str:
+        return os.path.join(self.root, f"{name}.json")
+
+    def save(self, witness: Witness) -> str:
+        """Write one witness; returns the file path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(witness.name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(witness.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def names(self) -> List[str]:
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry[: -len(".json")]
+            for entry in os.listdir(self.root)
+            if entry.endswith(".json")
+        )
+
+    def load(self, name: str) -> Witness:
+        try:
+            with open(self.path_for(name), "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TriageError(f"cannot read witness {name!r}: {exc}") from exc
+        return Witness.from_json(doc)
+
+    def load_all(self) -> List[Witness]:
+        """Every witness in the corpus, ordered by name."""
+        return [self.load(name) for name in self.names()]

@@ -1,0 +1,344 @@
+"""Deterministic counterexample minimization (ddmin + state shrinking).
+
+Reduces a counterexample along both of its axes toward a canonical minimal
+witness:
+
+* **Instructions** — classic delta debugging (ddmin) over the program's
+  instruction indices: drop complement chunks, re-lift and re-augment the
+  candidate subprogram, and keep the reduction only if the *oracle* still
+  holds.  Labels are remapped, never dropped, so branch targets stay valid
+  in every candidate.
+* **State pair** — drop the training state, delete register/memory cells,
+  align values of the second state onto the first, and shrink the
+  remaining values bit by bit (zero first, then clearing set bits from the
+  most significant down).
+
+The oracle is Definition 1 evaluated end to end: the candidate pair must
+still be related under the model under validation (identical BASE
+observation traces on a concrete run of the re-augmented program) *and*
+distinguishable on the simulated hardware (a noise-free platform
+experiment returns ``COUNTEREXAMPLE``).  Every step is a pure function of
+its inputs — no randomness, fixed iteration order — so minimizing the same
+witness twice yields bit-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.hw.platform import (
+    ExperimentOutcome,
+    ExperimentPlatform,
+    PlatformConfig,
+    StateInputs,
+)
+from repro.isa.assembler import disassemble
+from repro.isa.lifter import lift
+from repro.isa.program import AsmProgram
+from repro.isa.registers import REGISTER_WIDTH
+from repro.obs.base import ObservationModel
+from repro.symbolic.concrete import certify_equivalence
+from repro.telemetry import metrics as tmetrics
+
+
+@dataclass(frozen=True)
+class MinimizeConfig:
+    """Budget and feature switches for one minimization."""
+
+    #: Hard ceiling on oracle checks; when exhausted every further
+    #: candidate is rejected, so minimization stops where it stands (the
+    #: intermediate result is still a valid witness — every accepted
+    #: reduction passed the oracle).
+    max_checks: int = 4000
+    #: Bit-level shrinking of surviving values (the slow tail; deletion
+    #: and alignment alone already canonicalize most witnesses).
+    shrink_bits: bool = True
+
+
+class WitnessOracle:
+    """The keep-this-reduction test: still related under M1, still
+    distinguishable in hardware.
+
+    Runs noise-free regardless of the campaign's platform settings
+    (``noise_rate=0`` forces one deterministic repetition), and re-lifts /
+    re-augments each candidate program, memoizing the augmentation by
+    program text so repeated state-shrinking checks on the same program
+    pay it once.
+    """
+
+    def __init__(self, model: ObservationModel, config: PlatformConfig):
+        self.model = model
+        self.config = replace(config, noise_rate=0.0, repetitions=1)
+        self.platform = ExperimentPlatform(self.config)
+        self.checks = 0
+        self._augmented: Dict[str, object] = {}
+
+    def augmented(self, program: AsmProgram):
+        """The model-augmented BIR of a candidate (memoized by text)."""
+        key = disassemble(program)
+        cached = self._augmented.get(key)
+        if cached is None:
+            cached = self.model.augment(lift(program))
+            self._augmented[key] = cached
+        return cached
+
+    def holds(
+        self,
+        program: AsmProgram,
+        state1: StateInputs,
+        state2: StateInputs,
+        train: Optional[StateInputs],
+    ) -> bool:
+        """True iff the pair is still a certified counterexample."""
+        self.checks += 1
+        try:
+            if not certify_equivalence(
+                self.augmented(program), state1, state2
+            ):
+                return False
+            result = self.platform.run_experiment(
+                program, state1, state2, train
+            )
+        except ReproError:
+            # A candidate the toolchain cannot lift or execute is simply
+            # not a valid reduction.
+            return False
+        return result.outcome is ExperimentOutcome.COUNTEREXAMPLE
+
+
+@dataclass
+class MinimizedWitness:
+    """The canonical reduced counterexample and its accounting."""
+
+    program: AsmProgram
+    state1: StateInputs
+    state2: StateInputs
+    train: Optional[StateInputs]
+    oracle_checks: int
+    instructions_before: int
+    instructions_after: int
+    cells_before: int
+    cells_after: int
+
+    def reduction(self) -> Dict[str, int]:
+        return {
+            "instructions_before": self.instructions_before,
+            "instructions_after": self.instructions_after,
+            "cells_before": self.cells_before,
+            "cells_after": self.cells_after,
+            "oracle_checks": self.oracle_checks,
+        }
+
+
+def ddmin(items: Sequence, test: Callable[[List], bool]) -> List:
+    """Delta debugging (complement variant): a 1-minimal failing subset.
+
+    ``test(subset)`` must return True when the subset still exhibits the
+    property being preserved.  Deterministic: chunks are tried first to
+    last, and granularity doubles only when no complement succeeds.
+    """
+    items = list(items)
+    n = 2
+    while len(items) >= 2:
+        chunk = (len(items) + n - 1) // n
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk :]
+            if complement and test(complement):
+                items = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), 2 * n)
+    return items
+
+
+def subprogram(program: AsmProgram, keep: Sequence[int]) -> AsmProgram:
+    """The program restricted to the kept instruction indices.
+
+    Every label survives, remapped to the count of kept instructions
+    before its original position, so branch targets remain defined (a
+    label may legally point one past the end).
+    """
+    kept = sorted(keep)
+    labels = {
+        label: sum(1 for k in kept if k < index)
+        for label, index in program.labels.items()
+    }
+    return AsmProgram(
+        [program.instructions[i] for i in kept],
+        labels=labels,
+        name=program.name,
+    )
+
+
+def _cells(state1: StateInputs, state2: StateInputs) -> int:
+    return (
+        len(state1.regs)
+        + len(state1.memory)
+        + len(state2.regs)
+        + len(state2.memory)
+    )
+
+
+def minimize_witness(
+    program: AsmProgram,
+    state1: StateInputs,
+    state2: StateInputs,
+    train: Optional[StateInputs],
+    model: ObservationModel,
+    platform: PlatformConfig,
+    config: Optional[MinimizeConfig] = None,
+) -> Optional[MinimizedWitness]:
+    """Minimize one counterexample; None if it does not reproduce.
+
+    A pair that fails the oracle on entry — noise-found, or no longer
+    distinguishable on the current simulator — is not a witness at all and
+    is reported as unreproduced rather than "minimized" to garbage.
+    """
+    config = config or MinimizeConfig()
+    oracle = WitnessOracle(model, platform)
+    if not oracle.holds(program, state1, state2, train):
+        return None
+    instructions_before = len(program)
+    cells_before = _cells(state1, state2)
+
+    def in_budget() -> bool:
+        return oracle.checks < config.max_checks
+
+    # Axis 1: instructions, via ddmin over kept indices.
+    kept = ddmin(
+        range(len(program)),
+        lambda keep: in_budget()
+        and oracle.holds(subprogram(program, keep), state1, state2, train),
+    )
+    program = subprogram(program, kept)
+
+    # Axis 2a: the training state, if the divergence survives without it.
+    if train is not None and in_budget():
+        if oracle.holds(program, state1, state2, None):
+            train = None
+
+    # Axis 2b: the state pair.
+    state1, state2 = _shrink_states(
+        oracle, program, state1, state2, train, config
+    )
+
+    tmetrics.histogram("triage.minimize.checks").observe(oracle.checks)
+    return MinimizedWitness(
+        program=program,
+        state1=state1,
+        state2=state2,
+        train=train,
+        oracle_checks=oracle.checks,
+        instructions_before=instructions_before,
+        instructions_after=len(program),
+        cells_before=cells_before,
+        cells_after=_cells(state1, state2),
+    )
+
+
+def _shrink_states(
+    oracle: WitnessOracle,
+    program: AsmProgram,
+    state1: StateInputs,
+    state2: StateInputs,
+    train: Optional[StateInputs],
+    config: MinimizeConfig,
+) -> Tuple[StateInputs, StateInputs]:
+    """Canonicalize the state pair: delete, align, then shrink values."""
+    regs1, mem1 = dict(state1.regs), dict(state1.memory)
+    regs2, mem2 = dict(state2.regs), dict(state2.memory)
+
+    def attempt() -> bool:
+        if oracle.checks >= config.max_checks:
+            return False
+        return oracle.holds(
+            program,
+            StateInputs(regs=dict(regs1), memory=dict(mem1)),
+            StateInputs(regs=dict(regs2), memory=dict(mem2)),
+            train,
+        )
+
+    def delete_pass() -> None:
+        # Registers default to zero and unwritten memory reads as zero, so
+        # deleting a cell from both states is the canonical way to drop it.
+        for key in sorted(set(regs1) | set(regs2)):
+            saved = (regs1.pop(key, None), regs2.pop(key, None))
+            if not attempt():
+                if saved[0] is not None:
+                    regs1[key] = saved[0]
+                if saved[1] is not None:
+                    regs2[key] = saved[1]
+        for addr in sorted(set(mem1) | set(mem2)):
+            saved = (mem1.pop(addr, None), mem2.pop(addr, None))
+            if not attempt():
+                if saved[0] is not None:
+                    mem1[addr] = saved[0]
+                if saved[1] is not None:
+                    mem2[addr] = saved[1]
+
+    def align_pass() -> None:
+        # Make state2 agree with state1 wherever the difference is not
+        # load-bearing: the minimal witness diverges in as few cells as
+        # possible.
+        for key in sorted(set(regs1) | set(regs2)):
+            v1, v2 = regs1.get(key, 0), regs2.get(key, 0)
+            if v1 == v2:
+                continue
+            saved = regs2.get(key)
+            regs2[key] = v1
+            if not attempt():
+                if saved is None:
+                    regs2.pop(key, None)
+                else:
+                    regs2[key] = saved
+        for addr in sorted(set(mem1) | set(mem2)):
+            v1, v2 = mem1.get(addr, 0), mem2.get(addr, 0)
+            if v1 == v2:
+                continue
+            saved = mem2.get(addr)
+            mem2[addr] = v1
+            if not attempt():
+                if saved is None:
+                    mem2.pop(addr, None)
+                else:
+                    mem2[addr] = saved
+
+    def shrink_value(store: Dict, key) -> None:
+        value = store[key]
+        if value == 0:
+            return
+        saved = value
+        store[key] = 0
+        if attempt():
+            return
+        store[key] = saved
+        # Clear set bits from the most significant down; each accepted
+        # clear re-baselines, so the result is the canonical minimum the
+        # oracle admits along this greedy descent.
+        for bit in reversed(range(REGISTER_WIDTH)):
+            if not store[key] >> bit & 1:
+                continue
+            saved = store[key]
+            store[key] = saved & ~(1 << bit)
+            if not attempt():
+                store[key] = saved
+
+    delete_pass()
+    align_pass()
+    if config.shrink_bits:
+        for store in (regs1, mem1, regs2, mem2):
+            for key in sorted(store):
+                shrink_value(store, key)
+        # Shrinking may have zeroed cells whose presence is now redundant.
+        delete_pass()
+    return (
+        StateInputs(regs=regs1, memory=mem1),
+        StateInputs(regs=regs2, memory=mem2),
+    )

@@ -1,0 +1,164 @@
+"""Replay: re-certify stored witnesses against the current simulator.
+
+A corpus of witnesses is only trustworthy if each one still reproduces —
+the simulator, the models, and the toolchain all move underneath it.
+:func:`replay_witness` re-runs the full certification chain on one stored
+witness: rebuild the program/model/platform from the document, check the
+pair is still related under the model under validation (identical BASE
+traces), still distinguishable in hardware, and still diverges for the
+*same root cause* (the stored signature key).  :func:`replay_corpus` maps
+that over a corpus, optionally across worker processes; results are
+ordered by witness name, so the report is bit-identical at any worker
+count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+from repro.hw.platform import ExperimentOutcome
+from repro.symbolic.concrete import certify_equivalence
+from repro.telemetry import metrics as tmetrics
+from repro.telemetry.trace import span as tspan
+from repro.triage.corpus import Witness
+from repro.triage.minimize import WitnessOracle
+from repro.triage.signature import compute_signature
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Verdict for one witness; ``reason`` is empty when it reproduced."""
+
+    name: str
+    reproduced: bool
+    reason: str = ""
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate verdict over a corpus."""
+
+    outcomes: List[ReplayOutcome]
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def reproduced(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.reproduced)
+
+    @property
+    def failures(self) -> List[ReplayOutcome]:
+        return [o for o in self.outcomes if not o.reproduced]
+
+    @property
+    def all_reproduced(self) -> bool:
+        return self.reproduced == self.total
+
+    def describe(self) -> str:
+        lines = [
+            f"replayed {self.total} witness(es): "
+            f"{self.reproduced} reproduced, {len(self.failures)} failed"
+        ]
+        lines.extend(
+            f"  FAIL {outcome.name}: {outcome.reason}"
+            for outcome in self.failures
+        )
+        return "\n".join(lines)
+
+
+def replay_witness(witness: Witness) -> ReplayOutcome:
+    """Re-certify one witness end to end (pure, deterministic)."""
+    name = witness.name
+    with tspan("triage.replay", witness=name) as s:
+        try:
+            program = witness.asm_program()
+            model = witness.build_model()
+            platform = witness.build_platform()
+        except ReproError as exc:
+            s.set_attr("reproduced", False)
+            return ReplayOutcome(name, False, f"cannot rebuild: {exc}")
+        oracle = WitnessOracle(model, platform)
+        try:
+            equivalent = certify_equivalence(
+                oracle.augmented(program), witness.state1, witness.state2
+            )
+        except ReproError as exc:
+            s.set_attr("reproduced", False)
+            return ReplayOutcome(name, False, f"model run failed: {exc}")
+        if not equivalent:
+            s.set_attr("reproduced", False)
+            return ReplayOutcome(
+                name,
+                False,
+                "states are no longer model-equivalent "
+                "(BASE observation traces differ)",
+            )
+        try:
+            result = oracle.platform.run_experiment(
+                program, witness.state1, witness.state2, witness.train
+            )
+        except ReproError as exc:
+            s.set_attr("reproduced", False)
+            return ReplayOutcome(name, False, f"hardware run failed: {exc}")
+        if result.outcome is not ExperimentOutcome.COUNTEREXAMPLE:
+            s.set_attr("reproduced", False)
+            return ReplayOutcome(
+                name,
+                False,
+                f"hardware outcome {result.outcome.value!r}, "
+                "expected a counterexample",
+            )
+        signature = compute_signature(
+            program,
+            witness.state1,
+            witness.state2,
+            witness.train,
+            platform,
+        )
+        if signature.key() != witness.signature.key():
+            s.set_attr("reproduced", False)
+            return ReplayOutcome(
+                name,
+                False,
+                "root cause drifted: "
+                f"{witness.signature.key()} -> {signature.key()}",
+            )
+        s.set_attr("reproduced", True)
+    tmetrics.counter("triage.replayed").inc()
+    return ReplayOutcome(name, True)
+
+
+def _replay_doc(doc: Dict) -> ReplayOutcome:
+    """Worker-process entry point: documents are picklable everywhere."""
+    return replay_witness(Witness.from_json(doc))
+
+
+def replay_corpus(
+    witnesses: Sequence[Witness], workers: int = 1
+) -> ReplayReport:
+    """Replay every witness; deterministic at any worker count.
+
+    Witnesses are processed in name order and each replay is a pure
+    function of its document, so the report does not depend on scheduling.
+    A pool that cannot be created (restricted environments) degrades to
+    the inline path.
+    """
+    ordered = sorted(witnesses, key=lambda witness: witness.name)
+    outcomes: List[ReplayOutcome]
+    if workers > 1 and len(ordered) > 1:
+        try:
+            with multiprocessing.Pool(processes=workers) as pool:
+                outcomes = pool.map(
+                    _replay_doc, [w.to_json() for w in ordered]
+                )
+        except OSError:
+            outcomes = [replay_witness(w) for w in ordered]
+    else:
+        outcomes = [replay_witness(w) for w in ordered]
+    outcomes.sort(key=lambda outcome: outcome.name)
+    return ReplayReport(outcomes=outcomes)

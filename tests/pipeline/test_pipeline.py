@@ -130,6 +130,66 @@ class TestDatabase:
             assert db.experiment_count(c1) == 1
             assert db.experiment_count(c2) == 0
 
+    def test_schema_version_stamped(self, tmp_path):
+        from repro.pipeline.database import SCHEMA_VERSION
+
+        path = str(tmp_path / "exp.sqlite")
+        with ExperimentDatabase(path) as db:
+            assert db.schema_version == SCHEMA_VERSION
+        # The pragma survives on disk and reopen keeps it.
+        with ExperimentDatabase(path) as db:
+            assert db.schema_version == SCHEMA_VERSION
+
+    def test_newer_schema_rejected(self, tmp_path):
+        import sqlite3
+
+        from repro.errors import PipelineError
+        from repro.pipeline.database import SCHEMA_VERSION
+
+        path = str(tmp_path / "future.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(PipelineError):
+            ExperimentDatabase(path)
+
+    def test_outcome_index_exists(self):
+        with ExperimentDatabase() as db:
+            names = {
+                row[0]
+                for row in db._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "idx_experiments_outcome" in names
+            assert "idx_witnesses_campaign" in names
+
+    def test_counterexamples_ordered_by_insertion(self):
+        with ExperimentDatabase() as db:
+            cid = db.add_campaign("camp")
+            s = StateInputs()
+            for name in ("p0", "p1", "p2"):
+                pid = db.add_program(cid, name, "A", "ret")
+                db.add_experiment(pid, "counterexample", s, s, None, 0, 0)
+            assert [row[0] for row in db.counterexamples(cid)] == [
+                "p0",
+                "p1",
+                "p2",
+            ]
+
+    def test_witness_round_trip(self):
+        with ExperimentDatabase() as db:
+            cid = db.add_campaign("camp")
+            other = db.add_campaign("other")
+            db.add_witness(cid, "w-b", "sig/one", '{"a": 1}')
+            db.add_witness(cid, "w-a", "sig/two", '{"b": 2}')
+            rows = db.witnesses(cid)
+            # ordered by name, scoped to the campaign
+            assert [row[0] for row in rows] == ["w-a", "w-b"]
+            assert rows[1][1] == "sig/one"
+            assert db.witnesses(other) == []
+
 
 class TestDriver:
     def _config(self, **kwargs):

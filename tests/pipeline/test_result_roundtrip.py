@@ -1,0 +1,124 @@
+"""Lossless JSON round-tripping of experiment records, and deterministic
+counterexample ordering on campaign results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.testgen import TestCase
+from repro.hw.platform import ExperimentOutcome, StateInputs
+from repro.isa.assembler import assemble, disassemble
+from repro.pipeline.metrics import CampaignStats
+from repro.pipeline.result import (
+    CampaignResult,
+    ExperimentRecord,
+    state_from_json,
+    state_to_json,
+)
+
+PROGRAM = """
+    ldr x2, [x0, x1]
+    cmp x1, x4
+    b.hs end
+    ldr x6, [x5, x2]
+end:
+    ret
+"""
+
+
+def _record(program_index=3, outcome=ExperimentOutcome.COUNTEREXAMPLE):
+    program = assemble(PROGRAM, name="roundtrip-p")
+    test = TestCase(
+        program=program,
+        state1=StateInputs(regs={"x0": 0x80000, "x1": 7}, memory={64: 1}),
+        state2=StateInputs(regs={"x0": 0x80000, "x1": 9}, memory={64: 2}),
+        train=StateInputs(regs={"x0": 0x1000}, memory={}),
+        pair=(0, 1),
+        refined=True,
+    )
+    return ExperimentRecord(
+        program_name="roundtrip-p",
+        template="A",
+        outcome=outcome,
+        test=test,
+        gen_time=0.25,
+        exe_time=0.125,
+        program_index=program_index,
+    )
+
+
+class TestStateJson:
+    def test_roundtrip(self):
+        state = StateInputs(regs={"x3": 42}, memory={0x80000: 0xFF})
+        doc = json.loads(json.dumps(state_to_json(state)))
+        assert state_from_json(doc) == state
+
+    def test_none_passes_through(self):
+        assert state_to_json(None) is None
+        assert state_from_json(None) is None
+
+    def test_memory_keys_survive_json(self):
+        # JSON object keys are strings; the loader restores integers.
+        state = StateInputs(regs={}, memory={12345: 1})
+        restored = state_from_json(state_to_json(state))
+        assert restored.memory == {12345: 1}
+
+
+class TestExperimentRecordJson:
+    def test_lossless_roundtrip(self):
+        record = _record()
+        doc = json.loads(json.dumps(record.to_json()))
+        rebuilt = ExperimentRecord.from_json(doc)
+        assert rebuilt.program_name == record.program_name
+        assert rebuilt.template == record.template
+        assert rebuilt.outcome is record.outcome
+        assert rebuilt.gen_time == record.gen_time
+        assert rebuilt.exe_time == record.exe_time
+        assert rebuilt.program_index == record.program_index
+        assert rebuilt.test.state1 == record.test.state1
+        assert rebuilt.test.state2 == record.test.state2
+        assert rebuilt.test.train == record.test.train
+        assert rebuilt.test.pair == record.test.pair
+        assert rebuilt.test.refined == record.test.refined
+        assert disassemble(rebuilt.test.program) == disassemble(
+            record.test.program
+        )
+        # Labels survive the disassemble/assemble cycle.
+        assert rebuilt.test.program.labels == record.test.program.labels
+
+    def test_roundtrip_is_stable(self):
+        doc = _record().to_json()
+        assert ExperimentRecord.from_json(doc).to_json() == doc
+
+    def test_from_json_with_shared_program(self):
+        record = _record()
+        shared = assemble(PROGRAM, name="roundtrip-p")
+        rebuilt = ExperimentRecord.from_json(
+            record.to_json(), program=shared
+        )
+        assert rebuilt.test.program is shared
+
+    def test_none_train_roundtrips(self):
+        record = _record()
+        record.test.train = None
+        rebuilt = ExperimentRecord.from_json(record.to_json())
+        assert rebuilt.test.train is None
+
+
+class TestCounterexampleOrdering:
+    def test_ordered_by_program_index(self):
+        result = CampaignResult(stats=CampaignStats(name="x"))
+        result.records = [
+            _record(program_index=5),
+            _record(program_index=1, outcome=ExperimentOutcome.PASS),
+            _record(program_index=2),
+            _record(program_index=0),
+        ]
+        ordered = result.counterexamples()
+        assert [r.program_index for r in ordered] == [0, 2, 5]
+
+    def test_stable_within_a_program(self):
+        result = CampaignResult(stats=CampaignStats(name="x"))
+        first, second = _record(program_index=1), _record(program_index=1)
+        result.records = [first, second]
+        assert result.counterexamples() == [first, second]

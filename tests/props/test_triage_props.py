@@ -1,0 +1,132 @@
+"""Property-based tests for the triage subsystem.
+
+The central invariant (the paper's Definition 1, preserved by every
+reduction step): a minimized witness is still *related under the model
+under validation* — identical BASE observation traces on a concrete run —
+*and* still distinguishable on the simulated hardware.  Every witness a
+real campaign produces must satisfy it, whatever ddmin and the state
+shrinker did to the original counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TriageError
+from repro.exps.presets import mct_campaign
+from repro.pipeline.driver import ScamV
+from repro.triage import Witness
+from repro.triage.minimize import WitnessOracle
+from repro.triage.signature import compute_signature
+
+
+@pytest.fixture(scope="module")
+def triaged_campaign():
+    config = replace(
+        mct_campaign(
+            "A",
+            refined=True,
+            num_programs=3,
+            tests_per_program=4,
+            noise_rate=0.0,
+        ),
+        triage=True,
+    )
+    result = ScamV(config).run()
+    assert result.witnesses, "campaign produced no witnesses to check"
+    return config, result
+
+
+def test_every_witness_satisfies_definition_one(triaged_campaign):
+    """s1 ~M1 s2 (equal BASE traces) and hardware-distinguishable."""
+    config, result = triaged_campaign
+    for witness in result.witnesses:
+        oracle = WitnessOracle(witness.build_model(), witness.build_platform())
+        program = witness.asm_program()
+        assert oracle.holds(
+            program, witness.state1, witness.state2, witness.train
+        ), f"{witness.name} no longer certifies"
+
+
+def test_every_witness_is_no_larger_than_its_original(triaged_campaign):
+    _, result = triaged_campaign
+    for witness in result.witnesses:
+        reduction = witness.reduction
+        assert (
+            reduction["instructions_after"]
+            <= reduction["instructions_before"]
+        )
+        assert reduction["cells_after"] <= reduction["cells_before"]
+
+
+def test_every_witness_signature_matches_recomputation(triaged_campaign):
+    """The stored signature is that of the *minimized* pair."""
+    _, result = triaged_campaign
+    for witness in result.witnesses:
+        recomputed = compute_signature(
+            witness.asm_program(),
+            witness.state1,
+            witness.state2,
+            witness.train,
+            witness.build_platform(),
+        )
+        assert recomputed.key() == witness.signature.key()
+
+
+def test_every_witness_roundtrips_through_json(triaged_campaign):
+    _, result = triaged_campaign
+    for witness in result.witnesses:
+        assert Witness.from_json(witness.to_json()) == witness
+
+
+# -- junk injection -----------------------------------------------------------
+
+_KEYS = [
+    "version",
+    "name",
+    "campaign",
+    "template",
+    "program",
+    "asm",
+    "model",
+    "platform",
+    "state1",
+    "state2",
+    "signature",
+    "reduction",
+]
+
+_JUNK = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(max_size=8),
+    st.lists(st.integers(), max_size=3),
+)
+
+
+@given(key=st.sampled_from(_KEYS), junk=_JUNK)
+@settings(max_examples=60, deadline=None)
+def test_witness_loader_rejects_mutated_documents(
+    triaged_campaign, key, junk
+):
+    """Corrupting any required field either still validates (rare — the
+    junk happened to be schema-conformant) or raises TriageError, never
+    an unhandled exception."""
+    _, result = triaged_campaign
+    doc = result.witnesses[0].to_json()
+    doc[key] = junk
+    try:
+        Witness.from_json(doc)
+    except TriageError:
+        pass
+
+
+@given(doc=st.dictionaries(st.text(max_size=6), _JUNK, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_witness_loader_rejects_arbitrary_documents(doc):
+    with pytest.raises(TriageError):
+        Witness.from_json(doc)

@@ -79,6 +79,26 @@ class TestJournalRoundTrip:
         journal = CheckpointJournal(str(tmp_path / "absent.jsonl"))
         assert journal.load({0: "anything"}) == {}
 
+    def test_witnesses_survive_serialization(self, tmp_path):
+        from dataclasses import replace
+
+        cfg = replace(_config(noise_rate=0.0), triage=True)
+        spec = ShardSpec(0, tuple(range(cfg.num_programs)))
+        shard = run_shard(cfg, spec)
+        assert shard.witnesses, "shard produced no witnesses to journal"
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        journal.append(0, campaign_key(cfg), shard)
+        loaded = journal.load({0: campaign_key(cfg)})[(0, 0)]
+        assert [w.to_json() for w in loaded.witnesses] == [
+            w.to_json() for w in shard.witnesses
+        ]
+
+    def test_triage_flag_changes_campaign_key(self):
+        from dataclasses import replace
+
+        cfg = _config()
+        assert campaign_key(cfg) != campaign_key(replace(cfg, triage=True))
+
 
 class TestResume:
     def test_resume_skips_completed_shards_and_reproduces_result(

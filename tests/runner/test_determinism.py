@@ -86,3 +86,25 @@ class TestWorkerCountInvariance:
         if result.stats.counterexamples:
             assert result.stats.time_to_counterexample is not None
             assert result.stats.time_to_counterexample >= 0.0
+
+    def test_triage_witnesses_worker_count_invariant(self):
+        """With triage on, the merged witness list (names, documents, and
+        order) is identical at any worker count and shard size —
+        per-program dedup never looks across shard boundaries."""
+        from dataclasses import replace
+
+        cfg = replace(
+            _config(num_programs=3, tests_per_program=3, noise_rate=0.0),
+            triage=True,
+        )
+        sequential = ScamV(cfg).run()
+        pooled = ParallelRunner(
+            RunnerConfig(workers=2, start_method="fork")
+        ).run(cfg)
+        chunked = ParallelRunner(
+            RunnerConfig(workers=1, programs_per_shard=2)
+        ).run(cfg)
+        docs = lambda result: [w.to_json() for w in result.witnesses]
+        assert docs(sequential) == docs(pooled)
+        assert docs(sequential) == docs(chunked)
+        assert _fingerprint(sequential) == _fingerprint(pooled)

@@ -1,0 +1,61 @@
+"""Shared triage fixtures: two handcrafted, arithmetically-distinct
+counterexamples (one prefetcher-caused, one speculation-caused) and the
+models/platforms they violate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exps.presets import mpart_campaign
+from repro.hw.platform import PlatformConfig, StateInputs
+from repro.isa.assembler import assemble
+from repro.obs.models import MctModel
+
+#: Three strided loads: from s1's base they stay in sets 0..2 and the
+#: prefetcher fills set 3 (invisible to the attacker at sets 61..127);
+#: from s2's base they cover sets 58..60 and the prefetch lands in set 61
+#: — inside the attacker region.  Model-equivalent under Mpart (neither
+#: state demand-accesses the region), hardware-distinguishable.
+PREFETCH_ASM = """
+    ldr x1, [x0]
+    ldr x2, [x0, #0x40]
+    ldr x3, [x0, #0x80]
+    ret
+"""
+
+#: The branch is architecturally taken (x1 >= x4), but the untrained
+#: predictor says not-taken, so the dependent load runs transiently; its
+#: address comes from the secret-dependent memory cell, which differs
+#: between the states.  BASE traces are equal (the load never retires).
+SPECULATION_ASM = """
+    ldr x2, [x0, x1]
+    cmp x1, x4
+    b.hs end
+    ldr x6, [x5, x2]
+end:
+    ret
+"""
+
+
+@pytest.fixture(scope="session")
+def prefetch_case():
+    config = mpart_campaign(refined=False, noise_rate=0.0)
+    return {
+        "program": assemble(PREFETCH_ASM, name="prefetch-ce"),
+        "state1": StateInputs(regs={"x0": 0x80000}, memory={}),
+        "state2": StateInputs(regs={"x0": 0x80E80}, memory={}),
+        "model": config.model,
+        "platform": config.platform,
+    }
+
+
+@pytest.fixture(scope="session")
+def speculation_case():
+    regs = {"x0": 0x80000, "x1": 0x100, "x4": 0, "x5": 0x81000}
+    return {
+        "program": assemble(SPECULATION_ASM, name="speculation-ce"),
+        "state1": StateInputs(regs=dict(regs), memory={0x80100: 0x40}),
+        "state2": StateInputs(regs=dict(regs), memory={0x80100: 0x2040}),
+        "model": MctModel(),
+        "platform": PlatformConfig(noise_rate=0.0),
+    }

@@ -1,0 +1,127 @@
+"""The ``triage`` and ``replay`` CLI subcommands, end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTriageCommand:
+    def test_triage_reduces_and_writes_corpus(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        db = tmp_path / "exp.sqlite"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "triage",
+                "--experiment",
+                "mct-a",
+                "--refined",
+                "--programs",
+                "2",
+                "--tests",
+                "4",
+                "--corpus",
+                str(corpus),
+                "--db",
+                str(db),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triage:" in out
+        assert "distinct violation" in out
+        # The acceptance bar: clustered minimized witnesses number at most
+        # half the raw counterexamples, measured via the telemetry gauge.
+        doc = json.loads(metrics.read_text())["metrics"]
+        assert doc["triage.reduction_ratio"]["value"] <= 0.5
+        assert doc["triage.clusters"]["value"] >= 1
+        # One representative per cluster was written.
+        files = sorted(corpus.glob("*.json"))
+        assert len(files) == int(doc["triage.clusters"]["value"])
+        # Witnesses were recorded in the database too.
+        from repro.pipeline import ExperimentDatabase
+
+        with ExperimentDatabase(str(db)) as handle:
+            assert len(handle.witnesses(1)) >= len(files)
+
+    def test_triage_then_replay_roundtrip(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert (
+            main(
+                [
+                    "triage",
+                    "--experiment",
+                    "mct-a",
+                    "--refined",
+                    "--programs",
+                    "2",
+                    "--tests",
+                    "4",
+                    "--corpus",
+                    str(corpus),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_save_all_writes_every_witness(self, tmp_path, capsys):
+        few = tmp_path / "few"
+        everything = tmp_path / "all"
+        base = [
+            "triage",
+            "--experiment",
+            "mct-a",
+            "--refined",
+            "--programs",
+            "2",
+            "--tests",
+            "4",
+        ]
+        assert main(base + ["--corpus", str(few)]) == 0
+        assert main(base + ["--corpus", str(everything), "--save-all"]) == 0
+        assert len(list(everything.glob("*.json"))) >= len(
+            list(few.glob("*.json"))
+        )
+
+
+class TestReplayCommand:
+    def test_missing_corpus_directory(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope")]) == 2
+        assert "no such corpus" in capsys.readouterr().err
+
+    def test_empty_corpus_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["replay", str(empty)]) == 2
+        assert "no witnesses" in capsys.readouterr().err
+
+    def test_unreadable_witness(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        (corrupt / "bad.json").write_text("{broken")
+        assert main(["replay", str(corrupt)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_failing_witness_sets_exit_code(self, tmp_path, capsys):
+        import dataclasses
+        import os
+
+        from repro.triage import WitnessCorpus
+
+        seed = os.path.join(os.path.dirname(__file__), "corpus")
+        witness = WitnessCorpus(seed).load_all()[0]
+        broken = dataclasses.replace(witness, state2=witness.state1)
+        target = tmp_path / "broken"
+        WitnessCorpus(str(target)).save(broken)
+        assert main(["replay", str(target)]) == 1
+        assert "FAIL" in capsys.readouterr().out

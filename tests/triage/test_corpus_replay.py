@@ -1,0 +1,202 @@
+"""Witness serialization, the corpus directory, and corpus replay.
+
+The checked-in seed corpus at ``tests/triage/corpus/`` is part of the
+test contract: every witness in it must re-certify deterministically on
+the current simulator at any worker count (CI replays it too).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.errors import TriageError
+from repro.isa.assembler import disassemble
+from repro.triage import (
+    WITNESS_VERSION,
+    Witness,
+    WitnessCorpus,
+    minimize_witness,
+    model_from_json,
+    model_to_json,
+    platform_from_json,
+    platform_to_json,
+)
+from repro.triage.replay import replay_corpus, replay_witness
+from repro.triage.signature import compute_signature
+
+SEED_CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+@pytest.fixture(scope="session")
+def prefetch_witness(prefetch_case) -> Witness:
+    minimized = minimize_witness(
+        prefetch_case["program"],
+        prefetch_case["state1"],
+        prefetch_case["state2"],
+        None,
+        prefetch_case["model"],
+        prefetch_case["platform"],
+    )
+    signature = compute_signature(
+        minimized.program,
+        minimized.state1,
+        minimized.state2,
+        minimized.train,
+        prefetch_case["platform"],
+    )
+    return Witness(
+        name="test-prefetch-w0",
+        campaign="unit",
+        template="stride",
+        program="prefetch-ce",
+        asm=disassemble(minimized.program),
+        model=model_to_json(prefetch_case["model"]),
+        platform=platform_to_json(prefetch_case["platform"]),
+        state1=minimized.state1,
+        state2=minimized.state2,
+        train=minimized.train,
+        signature=signature,
+        reduction=minimized.reduction(),
+    )
+
+
+# -- model / platform serialization -------------------------------------------
+
+
+def test_model_roundtrip(prefetch_case, speculation_case):
+    for case in (prefetch_case, speculation_case):
+        doc = model_to_json(case["model"])
+        rebuilt = model_from_json(doc)
+        assert type(rebuilt) is type(case["model"])
+        assert model_to_json(rebuilt) == doc
+
+
+def test_model_unknown_kind_rejected():
+    with pytest.raises(TriageError):
+        model_from_json({"kind": "not-a-model"})
+
+
+def test_platform_roundtrip_is_noise_free(prefetch_case):
+    doc = platform_to_json(prefetch_case["platform"])
+    assert "noise_rate" not in doc
+    rebuilt = platform_from_json(doc)
+    assert rebuilt.noise_rate == 0.0
+    assert rebuilt.repetitions == 1
+    assert rebuilt.channel == prefetch_case["platform"].channel
+    assert rebuilt.attacker_sets == prefetch_case["platform"].attacker_sets
+    assert rebuilt.core == prefetch_case["platform"].core
+    assert platform_to_json(rebuilt) == doc
+
+
+# -- the witness document -----------------------------------------------------
+
+
+def test_witness_json_roundtrip(prefetch_witness):
+    doc = prefetch_witness.to_json()
+    rebuilt = Witness.from_json(json.loads(json.dumps(doc)))
+    assert rebuilt == prefetch_witness
+    assert rebuilt.to_json() == doc
+
+
+def test_witness_rejects_missing_fields(prefetch_witness):
+    doc = prefetch_witness.to_json()
+    del doc["state2"]
+    with pytest.raises(TriageError):
+        Witness.from_json(doc)
+
+
+def test_witness_rejects_wrong_types(prefetch_witness):
+    doc = prefetch_witness.to_json()
+    doc["reduction"]["oracle_checks"] = "many"
+    with pytest.raises(TriageError):
+        Witness.from_json(doc)
+
+
+def test_witness_rejects_future_version(prefetch_witness):
+    doc = prefetch_witness.to_json()
+    doc["version"] = WITNESS_VERSION + 1
+    with pytest.raises(TriageError):
+        Witness.from_json(doc)
+
+
+# -- the corpus directory -----------------------------------------------------
+
+
+def test_corpus_save_and_load(tmp_path, prefetch_witness):
+    corpus = WitnessCorpus(str(tmp_path / "corpus"))
+    path = corpus.save(prefetch_witness)
+    assert os.path.exists(path)
+    assert corpus.names() == [prefetch_witness.name]
+    assert corpus.load(prefetch_witness.name) == prefetch_witness
+    assert corpus.load_all() == [prefetch_witness]
+
+
+def test_corpus_save_is_canonical(tmp_path, prefetch_witness):
+    corpus = WitnessCorpus(str(tmp_path))
+    first = open(corpus.save(prefetch_witness)).read()
+    second = open(corpus.save(prefetch_witness)).read()
+    assert first == second  # byte-stable: safe to check into git
+
+
+def test_corpus_missing_directory_is_empty(tmp_path):
+    corpus = WitnessCorpus(str(tmp_path / "nope"))
+    assert corpus.names() == []
+    assert corpus.load_all() == []
+
+
+def test_corpus_corrupt_file_raises(tmp_path):
+    root = tmp_path / "corpus"
+    root.mkdir()
+    (root / "bad.json").write_text("{not json")
+    with pytest.raises(TriageError):
+        WitnessCorpus(str(root)).load("bad")
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def test_replay_reproduces_fresh_witness(prefetch_witness):
+    outcome = replay_witness(prefetch_witness)
+    assert outcome.reproduced, outcome.reason
+
+
+def test_replay_detects_broken_pair(prefetch_witness):
+    # An identical pair is model-equivalent but not distinguishable.
+    tampered = dataclasses.replace(
+        prefetch_witness, state2=prefetch_witness.state1
+    )
+    outcome = replay_witness(tampered)
+    assert not outcome.reproduced
+    assert "expected a counterexample" in outcome.reason
+
+
+def test_replay_detects_root_cause_drift(prefetch_witness):
+    tampered = dataclasses.replace(
+        prefetch_witness,
+        signature=dataclasses.replace(
+            prefetch_witness.signature, feature="speculative-load"
+        ),
+    )
+    outcome = replay_witness(tampered)
+    assert not outcome.reproduced
+    assert "root cause drifted" in outcome.reason
+
+
+def test_seed_corpus_exists():
+    corpus = WitnessCorpus(SEED_CORPUS)
+    assert len(corpus.names()) >= 2
+
+
+def test_seed_corpus_replays_at_any_worker_count():
+    """The acceptance bar: 100% of the checked-in corpus re-certifies,
+    and the report is identical however it is parallelized."""
+    witnesses = WitnessCorpus(SEED_CORPUS).load_all()
+    inline = replay_corpus(witnesses, workers=1)
+    assert inline.all_reproduced, inline.describe()
+    assert inline.total == len(witnesses)
+    pooled = replay_corpus(witnesses, workers=2)
+    assert pooled == inline

@@ -1,0 +1,143 @@
+"""Root-cause signatures and clustering.
+
+The golden test: a prefetcher-caused counterexample and a
+speculation-caused one must land in *different* clusters, and duplicates
+of the same cause must merge.
+"""
+
+from __future__ import annotations
+
+from repro.exps.presets import mpart_campaign
+from repro.hw.platform import PlatformConfig, StateInputs
+from repro.triage import Witness, model_to_json, platform_to_json
+from repro.triage.cluster import cluster_witnesses, reduction_ratio
+from repro.triage.signature import (
+    RootCauseSignature,
+    compute_signature,
+    region_page_aligned,
+)
+
+
+def _signature(case) -> RootCauseSignature:
+    return compute_signature(
+        case["program"],
+        case["state1"],
+        case["state2"],
+        None,
+        case["platform"],
+    )
+
+
+def test_prefetch_signature(prefetch_case):
+    signature = _signature(prefetch_case)
+    assert signature.channel == "dcache"
+    assert signature.feature == "prefetcher"
+    assert signature.first_divergence == "prefetch"
+    assert not signature.page_aligned
+    # The prefetched line crossed into the attacker region.
+    assert 61 in signature.divergent_sets
+
+
+def test_speculation_signature(speculation_case):
+    signature = _signature(speculation_case)
+    assert signature.channel == "dcache"
+    assert signature.feature == "speculative-load"
+    assert signature.first_divergence == "speculative-load"
+
+
+def test_signature_is_deterministic(prefetch_case):
+    assert _signature(prefetch_case) == _signature(prefetch_case)
+
+
+def test_identical_states_have_no_divergence(prefetch_case):
+    signature = compute_signature(
+        prefetch_case["program"],
+        prefetch_case["state1"],
+        prefetch_case["state1"],
+        None,
+        prefetch_case["platform"],
+    )
+    assert signature.first_divergence == "none"
+    assert signature.divergent_sets == ()
+
+
+def test_signature_key_excludes_instance_detail():
+    a = RootCauseSignature(
+        "dcache", "prefetcher", "prefetch", divergent_sets=(61,), detail="x"
+    )
+    b = RootCauseSignature(
+        "dcache", "prefetcher", "prefetch", divergent_sets=(99,), detail="y"
+    )
+    assert a.key() == b.key()
+    assert a.key() == "dcache/prefetcher/prefetch/unaligned"
+
+
+def test_signature_json_roundtrip(prefetch_case):
+    signature = _signature(prefetch_case)
+    assert RootCauseSignature.from_json(signature.to_json()) == signature
+
+
+def test_region_page_alignment():
+    unaligned = mpart_campaign(refined=False).platform
+    aligned = mpart_campaign(refined=False, page_aligned=True).platform
+    assert not region_page_aligned(unaligned)
+    assert region_page_aligned(aligned)
+    # No attacker restriction: the region is the whole cache, aligned.
+    assert region_page_aligned(PlatformConfig())
+
+
+# -- clustering ---------------------------------------------------------------
+
+
+def _witness(name, case, signature, instructions, cells) -> Witness:
+    from repro.isa.assembler import disassemble
+
+    return Witness(
+        name=name,
+        campaign="test",
+        template="t",
+        program=case["program"].name,
+        asm=disassemble(case["program"]),
+        model=model_to_json(case["model"]),
+        platform=platform_to_json(case["platform"]),
+        state1=case["state1"],
+        state2=case["state2"],
+        train=None,
+        signature=signature,
+        reduction={
+            "instructions_before": 5,
+            "instructions_after": instructions,
+            "cells_before": 10,
+            "cells_after": cells,
+            "oracle_checks": 1,
+        },
+    )
+
+
+def test_clustering_splits_prefetch_from_speculation(
+    prefetch_case, speculation_case
+):
+    """The golden split: one cluster per root cause, not per occurrence."""
+    pf_sig = _signature(prefetch_case)
+    sp_sig = _signature(speculation_case)
+    witnesses = [
+        _witness("pf-0", prefetch_case, pf_sig, 3, 2),
+        _witness("sp-0", speculation_case, sp_sig, 4, 6),
+        _witness("pf-1", prefetch_case, pf_sig, 2, 2),
+        _witness("sp-1", speculation_case, sp_sig, 3, 4),
+        _witness("pf-2", prefetch_case, pf_sig, 3, 4),
+    ]
+    clusters = cluster_witnesses(witnesses)
+    assert len(clusters) == 2
+    by_key = {cluster.key: cluster for cluster in clusters}
+    assert by_key[pf_sig.key()].size == 3
+    assert by_key[sp_sig.key()].size == 2
+    # Largest cluster first; representative is the smallest witness.
+    assert clusters[0].key == pf_sig.key()
+    assert by_key[pf_sig.key()].representative.name == "pf-1"
+    assert by_key[sp_sig.key()].representative.name == "sp-1"
+    assert reduction_ratio(5, clusters) == 2 / 5
+
+
+def test_reduction_ratio_without_counterexamples():
+    assert reduction_ratio(0, []) is None
