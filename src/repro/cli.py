@@ -56,7 +56,13 @@ from repro.exps import (
     tlb_campaign,
 )
 from repro.pipeline import ExperimentDatabase, format_table
-from repro.runner import ParallelRunner, RunnerConfig, progress_printer
+from repro.runner import (
+    ParallelRunner,
+    RunnerConfig,
+    jsonl_sink,
+    progress_printer,
+    tee,
+)
 from repro.telemetry import collect as telemetry
 from repro.telemetry import export as texport
 from repro.telemetry import metrics as tmetrics
@@ -142,6 +148,64 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="how many slowest programs to list",
+    )
+    report.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write a self-contained HTML dashboard (combine with "
+            "--ledger/--events for coverage and health sections)"
+        ),
+    )
+    report.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="--ledger-out file to embed coverage/convergence from",
+    )
+    report.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="--events-out file to embed the health timeline from",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help=(
+            "in-terminal dashboard of a running (or finished) campaign, "
+            "from its checkpoint journal"
+        ),
+    )
+    monitor.add_argument(
+        "checkpoint", help="checkpoint journal path (--checkpoint of the run)"
+    )
+    monitor.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help=(
+            "events side file (--events-out of the run) for in-flight "
+            "shards, health warnings, and ETA"
+        ),
+    )
+    monitor.add_argument(
+        "--follow",
+        action="store_true",
+        help="refresh until every campaign finishes (default: render once)",
+    )
+    monitor.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit (the default)",
+    )
+    monitor.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period with --follow",
     )
 
     triage = sub.add_parser(
@@ -266,6 +330,35 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
             ".prom/.txt paths)"
         ),
     )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append every runner event as a JSON line (tail it live with "
+            "'repro-scamv monitor --events')"
+        ),
+    )
+    parser.add_argument(
+        "--dashboard",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a self-contained HTML dashboard per campaign when it "
+            "finishes (campaign sets derive PATH-<name>.html per member)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged coverage ledger(s) as schema-validated JSON",
+    )
+    parser.add_argument(
+        "--no-monitor",
+        action="store_true",
+        help="disable the coverage ledger and health detectors",
+    )
 
 
 class _TelemetrySession:
@@ -343,8 +436,11 @@ def _runner(args, session: Optional[_TelemetrySession] = None) -> ParallelRunner
         shard_timeout=args.shard_timeout,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        health=not getattr(args, "no_monitor", False),
     )
     events = progress_printer(sys.stderr)
+    if getattr(args, "events_out", None):
+        events = tee(events, jsonl_sink(args.events_out))
     if session is not None:
         events = session.events(events)
     return ParallelRunner(config, events=events)
@@ -359,8 +455,43 @@ def _campaign(args, name: str, refined: bool):
     )
 
 
+def _apply_monitor_args(args, configs) -> None:
+    """Apply --no-monitor/--dashboard onto the campaign configurations."""
+    from repro.monitor.dashboard import dashboard_path_for
+
+    multi = len(configs) > 1
+    for config in configs:
+        if getattr(args, "no_monitor", False):
+            config.monitor = False
+        if getattr(args, "dashboard", None):
+            # A single campaign gets the requested path verbatim; a set
+            # derives one file per member so nothing overwrites.
+            config.dashboard = (
+                dashboard_path_for(args.dashboard, config.name)
+                if multi
+                else args.dashboard
+            )
+            print(
+                f"dashboard will be written to {config.dashboard}",
+                file=sys.stderr,
+            )
+
+
+def _write_ledger_out(args, results) -> None:
+    path = getattr(args, "ledger_out", None)
+    if not path:
+        return
+    from repro.monitor.ledger import write_ledger_file
+
+    write_ledger_file(
+        path, {result.stats.name: result.ledger for result in results}
+    )
+    print(f"coverage ledger written to {path}", file=sys.stderr)
+
+
 def _cmd_validate(args) -> int:
     config = _campaign(args, args.experiment, args.refined)
+    _apply_monitor_args(args, [config])
     database = ExperimentDatabase(args.db) if args.db else None
     print(config.describe())
     session = _TelemetrySession(args)
@@ -368,6 +499,7 @@ def _cmd_validate(args) -> int:
     session.absorb(result)
     print()
     print(format_table([result.stats]))
+    _write_ledger_out(args, [result])
     session.finish()
     if database is not None:
         database.close()
@@ -399,12 +531,14 @@ FIG7_COLUMNS = [
 def _run_table(args, columns, title: str) -> int:
     """Run a whole campaign set concurrently over one shared worker pool."""
     configs = [_campaign(args, name, refined) for name, refined in columns]
+    _apply_monitor_args(args, configs)
     database = ExperimentDatabase(args.db) if args.db else None
     session = _TelemetrySession(args)
     results = _runner(args, session).run_many(configs, database=database)
     for result in results:
         session.absorb(result)
     print(format_table([r.stats for r in results], title=title))
+    _write_ledger_out(args, results)
     session.finish()
     if database is not None:
         database.close()
@@ -431,15 +565,87 @@ def _cmd_report(args) -> int:
         return 2
     snapshot = None
     if args.metrics:
-        with open(args.metrics, "r", encoding="utf-8") as handle:
-            doc = json.load(handle)
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            print(
+                f"metrics file {args.metrics} is unreadable: {exc}",
+                file=sys.stderr,
+            )
+            return 1
         snapshot = doc.get("metrics", doc) if isinstance(doc, dict) else None
-    report = analyze_trace(args.trace, metrics_snapshot=snapshot)
+    try:
+        report = analyze_trace(args.trace, metrics_snapshot=snapshot)
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        # Empty, truncated, or binary-garbage traces must yield a one-line
+        # diagnostic and exit 1, never a traceback.
+        print(f"trace {args.trace} is unreadable: {exc}", file=sys.stderr)
+        return 1
     if not report.phases:
         print(f"trace {args.trace} contains no spans", file=sys.stderr)
         return 1
     print(report.render(top=args.top))
+    if args.html:
+        return _write_report_html(args, report)
     return 0
+
+
+def _write_report_html(args, report) -> int:
+    """The ``report --html`` path: dashboard from trace + optional files."""
+    import json
+    import os
+
+    from repro.monitor.dashboard import build_dashboard_html
+    from repro.monitor.ledger import merge_ledger_docs
+    from repro.runner.events import read_events_jsonl
+
+    name = os.path.basename(args.trace)
+    ledger = None
+    if args.ledger:
+        try:
+            with open(args.ledger, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            print(
+                f"ledger file {args.ledger} is unreadable: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        campaigns = doc.get("campaigns") if isinstance(doc, dict) else None
+        if campaigns:
+            ledger = merge_ledger_docs(campaigns.values())
+            if len(campaigns) == 1:
+                name = next(iter(campaigns))
+    health = []
+    if args.events:
+        health = [
+            doc
+            for doc in read_events_jsonl(args.events)
+            if doc.get("event") == "HealthEvent"
+        ]
+    text = build_dashboard_html(
+        name,
+        ledger=ledger,
+        report=report,
+        health=health,
+        meta=report.meta,
+    )
+    with open(args.html, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"dashboard written to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from repro.monitor.live import monitor
+
+    return monitor(
+        args.checkpoint,
+        events_path=args.events,
+        follow=args.follow and not args.once,
+        interval=args.interval,
+    )
 
 
 def _cmd_triage(args) -> int:
@@ -454,6 +660,7 @@ def _cmd_triage(args) -> int:
     config = replace(
         _campaign(args, args.experiment, args.refined), triage=True
     )
+    _apply_monitor_args(args, [config])
     database = ExperimentDatabase(args.db) if args.db else None
     print(config.describe())
     session = _TelemetrySession(args)
@@ -488,6 +695,7 @@ def _cmd_triage(args) -> int:
         for witness in saved:
             corpus.save(witness)
         print(f"{len(saved)} witness(es) written to {args.corpus}")
+    _write_ledger_out(args, [result])
     session.finish()
     if database is not None:
         database.close()
@@ -586,6 +794,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _cmd_table1,
         "fig7": _cmd_fig7,
         "report": _cmd_report,
+        "monitor": _cmd_monitor,
         "triage": _cmd_triage,
         "replay": _cmd_replay,
         "attack": _cmd_attack,

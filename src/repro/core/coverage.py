@@ -17,7 +17,7 @@ matters for search guidance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from repro.bir import expr as E
 from repro.core.probes import architectural_probe_addresses
@@ -29,7 +29,14 @@ from repro.utils.rng import SplittableRandom
 
 
 class CoverageSampler:
-    """Interface: extra constraints steering one test case's generation."""
+    """Interface: extra constraints steering one test case's generation.
+
+    Besides steering (:meth:`constraints`), every sampler can *classify* a
+    finished test case back into the partitions of its supporting models
+    (:meth:`classify`): the coverage ledger (:mod:`repro.monitor.ledger`)
+    is fed from the same code that steers generation, so what the monitor
+    reports as "covered" is exactly what the search considers a class.
+    """
 
     name: str = "none"
 
@@ -40,6 +47,27 @@ class CoverageSampler:
         rng: SplittableRandom,
     ) -> List[E.Expr]:
         raise NotImplementedError
+
+    def classify(self, test) -> Dict[str, Tuple[str, ...]]:
+        """Partition keys a generated test case exercised, per model.
+
+        ``test`` is a :class:`~repro.core.testgen.TestCase`.  The base
+        classification every sampler shares is the Mpc path-pair partition
+        (the built-in round-robin of the generator); subclasses add their
+        own model's classes.  Must be a pure function of the test case —
+        the ledger relies on that for worker-count-invariant merges.
+        """
+        p1, p2 = test.pair
+        return {"Mpc": (f"pair:{p1}-{p2}",)}
+
+    def spaces(self) -> Dict[str, Optional[int]]:
+        """Enumerable partition-space sizes per model (None = unbounded).
+
+        The Mpc path-pair space is program-dependent, so it reports None;
+        enumerable supporting models (Mline set classes, magnitude chunks)
+        report their class count so coverage can render as a percentage.
+        """
+        return {"Mpc": None}
 
 
 @dataclass
@@ -91,6 +119,27 @@ class MagnitudeCoverage(CoverageSampler):
                 out.append(E.ule(E.const(lower, operand.width), operand))
         return out
 
+    def classify(self, test) -> Dict[str, Tuple[str, ...]]:
+        out = CoverageSampler.classify(self, test)
+        keys = []
+        for state in (test.state1, test.state2):
+            if state is None or not state.regs:
+                continue
+            widest = max(state.regs.values())
+            klass = min(
+                self.chunks - 1,
+                max(0, widest.bit_length() - 1) // self.chunk_bits,
+            )
+            keys.append(f"chunk:{klass}")
+        if keys:
+            out["Mmagnitude"] = tuple(keys)
+        return out
+
+    def spaces(self) -> Dict[str, Optional[int]]:
+        out = CoverageSampler.spaces(self)
+        out["Mmagnitude"] = self.chunks
+        return out
+
 
 class NoCoverage(CoverageSampler):
     """Path coverage only (the built-in Mpc round-robin)."""
@@ -138,4 +187,31 @@ class MlineCoverage(CoverageSampler):
                     E.const(target_line, anchor.width),
                 )
             )
+        return out
+
+    def classify(self, test) -> Dict[str, Tuple[str, ...]]:
+        out = CoverageSampler.classify(self, test)
+        keys = []
+        for state in (test.state1, test.state2):
+            if state is None:
+                continue
+            # The anchor is the lowest solved address of the state: the
+            # templates' accesses are base+stride chains, so the chain base
+            # is the smallest address.  Solved addresses land either in
+            # memory cells or in the base registers the chain starts from.
+            candidates = list(state.memory) or list(state.regs.values())
+            if not candidates:
+                continue
+            anchor = min(candidates)
+            set_index = (anchor >> self.region.line_shift) & (
+                self.region.set_count - 1
+            )
+            keys.append(f"set:{set_index}")
+        if keys:
+            out["Mline"] = tuple(keys)
+        return out
+
+    def spaces(self) -> Dict[str, Optional[int]]:
+        out = CoverageSampler.spaces(self)
+        out["Mline"] = self.region.set_count
         return out

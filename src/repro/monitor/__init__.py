@@ -1,0 +1,50 @@
+"""Live campaign observability: coverage ledger, health, monitor, dashboard.
+
+Long-running relational searches are only operable when you can watch them
+converge.  This package turns a campaign from a black box into something
+you can observe while it runs and audit after it ends:
+
+* :mod:`repro.monitor.ledger`    — a mergeable, checkpoint-persisted record
+  of which supporting-model partitions (Mpc path pairs, Mline cache-set
+  classes, ...) each test case exercised, with a rarefaction-style
+  convergence estimator ("saturated / converging / exploring").
+* :mod:`repro.monitor.health`    — rule-based detectors over the runner
+  event stream and metrics snapshots, emitting typed
+  :class:`~repro.runner.events.HealthEvent` runner events.
+* :mod:`repro.monitor.live`      — ``repro-scamv monitor``: an in-terminal
+  dashboard tailing the checkpoint journal and the ``--events-out`` side
+  file of a running (or finished) campaign.
+* :mod:`repro.monitor.dashboard` — a self-contained single-file HTML
+  dashboard per campaign (inline CSS/SVG, opens offline).
+
+Everything here is strictly out-of-band of the deterministic campaign
+results: the ledger is a pure function of the (seed-determined) experiment
+records, and monitoring never feeds back into generation.
+"""
+
+from repro.monitor.dashboard import build_dashboard_html, write_dashboard
+from repro.monitor.health import HealthConfig, HealthMonitor
+from repro.monitor.ledger import (
+    CoverageLedger,
+    LEDGER_VERSION,
+    ModelCoverage,
+    merge_ledger_docs,
+    overall_verdict,
+)
+from repro.monitor.live import CampaignView, load_views, monitor, render
+
+__all__ = [
+    "CampaignView",
+    "CoverageLedger",
+    "HealthConfig",
+    "HealthMonitor",
+    "LEDGER_VERSION",
+    "ModelCoverage",
+    "build_dashboard_html",
+    "load_views",
+    "merge_ledger_docs",
+    "monitor",
+    "overall_verdict",
+    "render",
+    "write_dashboard",
+]

@@ -1,0 +1,421 @@
+"""Self-contained single-file HTML dashboard for one campaign.
+
+The exporter renders everything server-side into one HTML document with an
+inline ``<style>`` block and inline SVG — no external scripts, stylesheets,
+fonts, or network fetches — so the file can be archived as a CI artifact,
+attached to an issue, or opened from disk years later and still look the
+same.
+
+Sections (each rendered only when its data is present):
+
+* summary cards        — experiments, counterexamples, inconclusive rate,
+  convergence verdict
+* coverage             — per supporting model: coverage bar, a heatmap over
+  the partition space (e.g. the 128 Mline cache-set classes) shaded by
+  sample depth, and the rarefaction discovery curve as inline SVG
+* phase time breakdown — the ``repro-scamv report`` table
+  (:class:`repro.telemetry.report.TraceReport`) with self-time bars
+* health timeline      — every :class:`~repro.runner.events.HealthEvent`
+  the run produced, in stream order
+* triage clusters      — distinct violations by root-cause signature, when
+  the campaign ran with triage
+
+Entry points: :func:`write_dashboard` (scheduler/driver, from a
+:class:`~repro.pipeline.result.CampaignResult`) and
+:func:`build_dashboard_html` (CLI ``report --html``, from whatever subset
+of inputs exists).
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.monitor.ledger import CoverageLedger, ModelCoverage, overall_verdict
+
+__all__ = ["build_dashboard_html", "dashboard_path_for", "write_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 70em; color: #1c2733; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #1c2733; }
+h2 { font-size: 1.15em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { border: 1px solid #c5ced6; padding: 0.25em 0.6em;
+         font-size: 0.85em; text-align: left; }
+th { background: #eef2f5; }
+.cards { display: flex; gap: 1em; flex-wrap: wrap; }
+.card { border: 1px solid #c5ced6; border-radius: 6px;
+        padding: 0.6em 1.2em; min-width: 8em; }
+.card .value { font-size: 1.6em; font-weight: 600; }
+.card .label { font-size: 0.75em; color: #5b6b7a; text-transform: uppercase; }
+.verdict-saturated { color: #1a7f37; }
+.verdict-converging { color: #9a6700; }
+.verdict-exploring { color: #0969da; }
+.sev-warning { color: #9a6700; }
+.sev-critical { color: #cf222e; font-weight: 600; }
+.heatmap { display: grid; grid-template-columns: repeat(32, 14px);
+           gap: 2px; margin: 0.5em 0; }
+.heatmap div { width: 14px; height: 14px; border-radius: 2px; }
+.bar-outer { background: #eef2f5; width: 16em; height: 0.9em;
+             display: inline-block; border-radius: 3px; }
+.bar-inner { background: #2da44e; height: 100%; border-radius: 3px; }
+.phasebar { background: #6e7fd4; height: 0.7em; display: inline-block; }
+.meta { color: #5b6b7a; font-size: 0.8em; }
+svg { border: 1px solid #c5ced6; border-radius: 4px; background: #fbfcfd; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def dashboard_path_for(base_path: str, campaign: str) -> str:
+    """A per-campaign variant of a requested dashboard path.
+
+    ``--dashboard out.html`` for a single campaign writes ``out.html``;
+    a campaign *set* (``table1``) derives ``out-<campaign-slug>.html`` per
+    member so files never overwrite each other.
+    """
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", campaign).strip("-") or "campaign"
+    if base_path.endswith(".html"):
+        return f"{base_path[: -len('.html')]}-{slug}.html"
+    return f"{base_path}-{slug}.html"
+
+
+# -- section renderers --------------------------------------------------------
+
+
+def _heat_color(depth: int, max_depth: int) -> str:
+    if depth <= 0:
+        return "#e7ecf0"
+    # Perceptually ordered light->dark green ramp, no external palette.
+    fraction = depth / max_depth if max_depth else 1.0
+    lightness = 88 - int(fraction * 55)
+    return f"hsl(140, 55%, {lightness}%)"
+
+
+def _render_heatmap(model: str, coverage: ModelCoverage, ledger: CoverageLedger) -> str:
+    """A cell-per-partition grid, shaded by sample depth.
+
+    Only rendered for enumerable spaces (Mline's cache-set classes, the
+    magnitude chunks) — an unbounded space has no fixed grid to draw.
+    """
+    space = coverage.space
+    if not space or space > 4096:
+        return ""
+    partitions = ledger.models.get(model, {})
+    # Partition keys look like "set:17" / "chunk:3"; order cells by the
+    # numeric suffix so cell i is partition i.
+    depth_by_index: Dict[int, int] = {}
+    for key, tally in partitions.items():
+        _, _, suffix = key.partition(":")
+        try:
+            depth_by_index[int(suffix)] = tally.samples
+        except ValueError:
+            continue
+    max_depth = max(depth_by_index.values(), default=0)
+    cells = []
+    for index in range(space):
+        depth = depth_by_index.get(index, 0)
+        title = f"{model} partition {index}: {depth} sample(s)"
+        cells.append(
+            f'<div style="background:{_heat_color(depth, max_depth)}" '
+            f'title="{_esc(title)}"></div>'
+        )
+    return f'<div class="heatmap">{"".join(cells)}</div>'
+
+
+def _render_curve(coverage: ModelCoverage, total_samples: int) -> str:
+    """The rarefaction discovery curve as an inline SVG polyline."""
+    curve = coverage.discovery_curve
+    if not curve:
+        return ""
+    width, height, pad = 360, 120, 8
+    max_x = max(total_samples, curve[-1][0], 1)
+    max_y = max(coverage.partitions, 1)
+    points = [(0.0, 0.0)]
+    for sample, discovered in curve:
+        points.append((sample, discovered))
+    points.append((max_x, curve[-1][1]))
+    scaled = " ".join(
+        f"{pad + (width - 2 * pad) * x / max_x:.1f},"
+        f"{height - pad - (height - 2 * pad) * y / max_y:.1f}"
+        for x, y in points
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="discovery curve">'
+        f'<polyline points="{scaled}" fill="none" '
+        'stroke="#2da44e" stroke-width="2"/>'
+        f'<text x="{pad}" y="{pad + 4}" font-size="9" fill="#5b6b7a">'
+        f"partitions discovered ({coverage.partitions}) vs samples "
+        f"({max_x})</text></svg>"
+    )
+
+
+def _render_coverage(ledger_doc: Mapping) -> str:
+    ledger = CoverageLedger.from_json(ledger_doc)
+    per_model = ledger.convergence()
+    if not per_model:
+        return ""
+    parts = ["<h2>Coverage &amp; convergence</h2>"]
+    verdict = overall_verdict(per_model)
+    parts.append(
+        f'<p>campaign verdict: <strong class="verdict-{_esc(verdict)}">'
+        f"{_esc(verdict)}</strong></p>"
+    )
+    for model in sorted(per_model):
+        cov = per_model[model]
+        fraction = cov.coverage_fraction
+        parts.append(f"<h3>{_esc(model)}</h3>")
+        if fraction is not None:
+            percent = 100.0 * fraction
+            parts.append(
+                f'<p><span class="bar-outer"><span class="bar-inner" '
+                f'style="width:{percent:.1f}%"></span></span> '
+                f"{percent:.1f}% ({cov.partitions}/{cov.space} classes)</p>"
+            )
+        else:
+            parts.append(
+                f"<p>{cov.partitions} partitions (space unbounded)</p>"
+            )
+        parts.append(
+            f'<p class="meta">{cov.samples} samples '
+            f"({cov.conclusive} conclusive, {cov.inconclusive} inconclusive, "
+            f"{cov.counterexamples} counterexamples); "
+            f"{cov.new_in_window} new partitions in the last {cov.window} "
+            f'samples &rarr; <span class="verdict-{_esc(cov.verdict)}">'
+            f"{_esc(cov.verdict)}</span></p>"
+        )
+        parts.append(_render_heatmap(model, cov, ledger))
+        parts.append(_render_curve(cov, ledger.samples))
+    return "\n".join(parts)
+
+
+def _render_phases(report) -> str:
+    phases = getattr(report, "phases", None)
+    if not phases:
+        return ""
+    total_self = sum(p.self_time for p in phases.values()) or 1.0
+    rows = []
+    for phase in sorted(
+        phases.values(), key=lambda p: p.self_time, reverse=True
+    ):
+        share = 100.0 * phase.self_time / total_self
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(phase.name)}</td><td>{phase.count}</td>"
+            f"<td>{phase.total:.4f}</td><td>{phase.self_time:.4f}</td>"
+            f'<td><span class="phasebar" style="width:{share:.1f}%">'
+            f"</span> {share:.1f}%</td>"
+            f"<td>{phase.percentile(0.50) * 1e3:.3f}</td>"
+            f"<td>{phase.percentile(0.95) * 1e3:.3f}</td>"
+            "</tr>"
+        )
+    cache_rows = []
+    for name in sorted(getattr(report, "cache_rates", {}) or {}):
+        hits, misses, rate = report.cache_rates[name]
+        cache_rows.append(
+            f"<tr><td>{_esc(name)}</td><td>{100.0 * rate:.1f}%</td>"
+            f"<td>{hits}</td><td>{misses}</td></tr>"
+        )
+    out = [
+        "<h2>Phase time breakdown</h2>",
+        f'<p class="meta">wall time covered: '
+        f"{getattr(report, 'wall_time', 0.0):.3f}s</p>",
+        "<table><tr><th>Phase</th><th>Calls</th><th>Total (s)</th>"
+        "<th>Self (s)</th><th>Self %</th><th>p50 (ms)</th><th>p95 (ms)</th>"
+        "</tr>",
+        *rows,
+        "</table>",
+    ]
+    if cache_rows:
+        out.extend(
+            [
+                "<h3>Cache hit rates</h3>",
+                "<table><tr><th>Cache</th><th>Hit rate</th><th>Hits</th>"
+                "<th>Misses</th></tr>",
+                *cache_rows,
+                "</table>",
+            ]
+        )
+    return "\n".join(out)
+
+
+def _render_health(health: Sequence[Mapping]) -> str:
+    if not health:
+        return ""
+    rows = []
+    for doc in health:
+        severity = str(doc.get("severity", ""))
+        shard = doc.get("shard_id")
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(doc.get('detector', ''))}</td>"
+            f'<td class="sev-{_esc(severity)}">{_esc(severity)}</td>'
+            f"<td>{_esc(doc.get('campaign', ''))}</td>"
+            f"<td>{_esc(shard) if shard is not None else ''}</td>"
+            f"<td>{_esc(doc.get('message', ''))}</td>"
+            "</tr>"
+        )
+    return "\n".join(
+        [
+            "<h2>Health timeline</h2>",
+            "<table><tr><th>Detector</th><th>Severity</th><th>Campaign</th>"
+            "<th>Shard</th><th>Message</th></tr>",
+            *rows,
+            "</table>",
+        ]
+    )
+
+
+def _render_triage(witnesses: Sequence) -> str:
+    if not witnesses:
+        return ""
+    from repro.triage.cluster import cluster_witnesses
+
+    clusters = cluster_witnesses(list(witnesses))
+    rows = []
+    for cluster in clusters:
+        rep = cluster.representative
+        reduction = rep.reduction
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(cluster.key)}</code></td>"
+            f"<td>{cluster.size}</td>"
+            f"<td>{_esc(rep.name)}</td>"
+            f"<td>{_esc(reduction.get('instructions_after', '?'))} instr, "
+            f"{_esc(reduction.get('cells_after', '?'))} cells</td>"
+            "</tr>"
+        )
+    return "\n".join(
+        [
+            "<h2>Triage clusters</h2>",
+            f'<p class="meta">{len(clusters)} distinct violation(s) across '
+            f"{len(witnesses)} witness(es)</p>",
+            "<table><tr><th>Signature</th><th>Witnesses</th>"
+            "<th>Representative</th><th>Minimized size</th></tr>",
+            *rows,
+            "</table>",
+        ]
+    )
+
+
+def _health_docs(health: Iterable) -> List[Dict]:
+    """Normalize health inputs: event dataclasses, (ts, event) tuples from
+    ``HealthMonitor.log``, or already-parsed JSONL documents."""
+    import dataclasses
+
+    docs: List[Dict] = []
+    for item in health or ():
+        if isinstance(item, tuple) and len(item) == 2:
+            item = item[1]
+        if dataclasses.is_dataclass(item) and not isinstance(item, type):
+            docs.append(dataclasses.asdict(item))
+        elif isinstance(item, Mapping):
+            docs.append(dict(item))
+    return docs
+
+
+# -- assembly -----------------------------------------------------------------
+
+
+def build_dashboard_html(
+    campaign: str,
+    *,
+    stats=None,
+    ledger: Optional[Mapping] = None,
+    report=None,
+    health: Iterable = (),
+    witnesses: Sequence = (),
+    meta: Optional[Mapping] = None,
+) -> str:
+    """Assemble the dashboard from whatever inputs exist."""
+    health_docs = _health_docs(health)
+    verdict = None
+    if ledger:
+        per_model = CoverageLedger.from_json(ledger).convergence()
+        verdict = overall_verdict(per_model) if per_model else None
+
+    cards: List[Tuple[str, str, str]] = []
+    if stats is not None:
+        experiments = stats.experiments
+        rate = (
+            100.0 * stats.inconclusive / experiments if experiments else 0.0
+        )
+        cards.append(("experiments", str(experiments), ""))
+        cards.append(("counterexamples", str(stats.counterexamples), ""))
+        cards.append(("inconclusive", f"{rate:.1f}%", ""))
+    if verdict is not None:
+        cards.append(("convergence", verdict, f"verdict-{verdict}"))
+    if health_docs:
+        worst = (
+            "critical"
+            if any(d.get("severity") == "critical" for d in health_docs)
+            else "warning"
+        )
+        cards.append(
+            ("health events", str(len(health_docs)), f"sev-{worst}")
+        )
+
+    card_html = "".join(
+        f'<div class="card"><div class="value {_esc(css)}">{_esc(value)}'
+        f'</div><div class="label">{_esc(label)}</div></div>'
+        for label, value, css in cards
+    )
+
+    meta_bits = []
+    for key in ("timestamp", "git_sha", "python"):
+        if meta and meta.get(key):
+            meta_bits.append(f"{key}: {_esc(meta[key])}")
+    sections = [
+        f"<h1>Campaign dashboard — {_esc(campaign)}</h1>",
+        f'<p class="meta">{" &middot; ".join(meta_bits)}</p>'
+        if meta_bits
+        else "",
+        f'<div class="cards">{card_html}</div>' if cards else "",
+        _render_coverage(ledger) if ledger else "",
+        _render_phases(report) if report is not None else "",
+        _render_health(health_docs),
+        _render_triage(witnesses),
+    ]
+    body = "\n".join(section for section in sections if section)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(campaign)} — campaign dashboard</title>\n"
+        f"<style>{_CSS}</style>\n"
+        f"</head><body>\n{body}\n</body></html>\n"
+    )
+
+
+def write_dashboard(
+    path: str,
+    campaign: str,
+    result,
+    health: Iterable = (),
+    report=None,
+) -> str:
+    """Write the dashboard for one finished campaign; returns the path.
+
+    ``result`` is a :class:`~repro.pipeline.result.CampaignResult`;
+    ``health`` accepts ``HealthMonitor.log`` entries, raw events, or JSONL
+    documents.  A per-run stamp (git sha, python, timestamp) is embedded
+    so an archived file identifies its build.
+    """
+    from repro.telemetry.export import stamp
+
+    text = build_dashboard_html(
+        campaign,
+        stats=result.stats,
+        ledger=result.ledger,
+        report=report,
+        health=health,
+        witnesses=result.witnesses,
+        meta=stamp(),
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

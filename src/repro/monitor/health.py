@@ -1,0 +1,345 @@
+"""Rule-based health detectors over the runner event stream and metrics.
+
+A thousand-shard campaign fails in ways a progress bar cannot show: one
+shard wedges on a pathological solver query, hardware measurements turn
+noisy and silently inflate the inconclusive rate, the expression-intern
+cache stops hitting after a config change, solver restarts spike.  The
+:class:`HealthMonitor` is an event sink that watches for these patterns
+and emits typed :class:`~repro.runner.events.HealthEvent` runner events
+into the same sink chain — so the progress printer renders them as ``!!``
+lines, the metrics bridge counts them, and the ``--events-out`` side file
+carries them to ``repro-scamv monitor``.
+
+Detectors (all thresholds in :class:`HealthConfig`):
+
+* ``stalled-shard``     — an in-flight shard exceeds a multiple of the
+  median finished-shard duration (needs :meth:`HealthMonitor.tick`, which
+  the scheduler poll loop and the live monitor both call).
+* ``retry-spike``       — shard retries (crash/hang/timeout) cross a
+  budget within one campaign.
+* ``shard-failure``     — a shard exhausted its retry budget (critical).
+* ``inconclusive-drift``— the recent-window inconclusive rate drifts above
+  the campaign baseline (noisy hardware measurements).
+* ``solver-restarts``   — SMT restart/solve ratio spikes (from the
+  metrics snapshot's ``span.smt.*`` histograms).
+* ``cache-collapse``    — an intern-registry cache's hit rate collapses
+  under real traffic (from ``cache.*.hits/misses`` counters).
+
+The monitor is observational: it never mutates the run, and detectors are
+deduplicated so one sick condition produces one event (``inconclusive-
+drift`` re-arms if the rate recovers).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.runner.events import (
+    CampaignFinished,
+    EventSink,
+    HealthEvent,
+    RunnerEvent,
+    ShardFailed,
+    ShardFinished,
+    ShardRetried,
+    ShardStarted,
+)
+
+__all__ = ["HealthConfig", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Detector thresholds; defaults sized for scaled paper campaigns."""
+
+    #: An in-flight shard is stalled past ``factor * median`` finished
+    #: duration, once ``min_samples`` shards have finished and the median
+    #: estimate is at least ``min_seconds`` (guards tiny-campaign noise).
+    stall_factor: float = 4.0
+    stall_min_samples: int = 3
+    stall_min_seconds: float = 0.05
+    #: Retries (timeouts, crashes, silent deaths) per campaign before the
+    #: ``retry-spike`` detector fires.
+    retry_threshold: int = 3
+    #: ``inconclusive-drift``: recent-window rate must exceed the campaign
+    #: baseline by this much, with at least ``min_experiments`` total and
+    #: a window of the last ``window_shards`` shards.
+    inconclusive_drift: float = 0.15
+    inconclusive_min_experiments: int = 40
+    inconclusive_window_shards: int = 8
+    #: ``solver-restarts``: restart/solve ratio threshold and the minimum
+    #: solve count before the ratio means anything.
+    solver_restart_ratio: float = 0.5
+    solver_min_solves: int = 20
+    #: ``cache-collapse``: hit-rate floor and minimum hits+misses traffic.
+    cache_hit_floor: float = 0.2
+    cache_min_traffic: int = 500
+
+
+@dataclass
+class _CampaignHealth:
+    """Per-campaign detector state."""
+
+    experiments: int = 0
+    inconclusive: int = 0
+    window: Deque[Tuple[int, int]] = field(default_factory=deque)
+    retries: int = 0
+    drift_armed: bool = True
+
+
+class HealthMonitor:
+    """An event sink that chains health detection into a sink pipeline.
+
+    ``chain`` receives every incoming event unchanged, then any
+    :class:`HealthEvent` a detector derives from it.  ``metrics_source``
+    (a zero-argument callable returning a metrics snapshot dict, or None)
+    feeds the snapshot-based detectors; it defaults to the live telemetry
+    registry and is consulted on every finished shard.  ``clock`` is
+    injectable for tests.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HealthConfig] = None,
+        chain: Optional[EventSink] = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics_source: Optional[Callable[[], Optional[Dict]]] = None,
+    ):
+        self.config = config or HealthConfig()
+        self.chain = chain
+        self.clock = clock
+        if metrics_source is None:
+            metrics_source = _registry_snapshot
+        self.metrics_source = metrics_source
+        #: Every health event emitted, with its clock timestamp.
+        self.log: List[Tuple[float, HealthEvent]] = []
+        self._campaigns: Dict[str, _CampaignHealth] = {}
+        self._inflight: Dict[Tuple[str, int], float] = {}
+        self._durations: List[float] = []
+        self._fired: Set[Tuple[str, ...]] = set()
+
+    # -- sink protocol -------------------------------------------------------
+
+    def __call__(self, event: RunnerEvent) -> None:
+        if self.chain is not None:
+            self.chain(event)
+        self._observe(event)
+
+    def _emit(self, event: HealthEvent) -> None:
+        self.log.append((self.clock(), event))
+        if self.chain is not None:
+            self.chain(event)
+
+    def _fire_once(self, key: Tuple[str, ...], event: HealthEvent) -> None:
+        if key in self._fired:
+            return
+        self._fired.add(key)
+        self._emit(event)
+
+    # -- event dispatch ------------------------------------------------------
+
+    def _campaign(self, name: str) -> _CampaignHealth:
+        state = self._campaigns.get(name)
+        if state is None:
+            state = self._campaigns[name] = _CampaignHealth()
+        return state
+
+    def _observe(self, event: RunnerEvent) -> None:
+        if isinstance(event, ShardStarted):
+            self._inflight[(event.campaign, event.shard_id)] = self.clock()
+        elif isinstance(event, ShardFinished):
+            self._inflight.pop((event.campaign, event.shard_id), None)
+            if not event.cached:
+                self._durations.append(event.duration)
+                state = self._campaign(event.campaign)
+                state.experiments += event.experiments
+                state.inconclusive += event.inconclusive
+                state.window.append((event.experiments, event.inconclusive))
+                while (
+                    len(state.window)
+                    > self.config.inconclusive_window_shards
+                ):
+                    state.window.popleft()
+                self._check_inconclusive(event.campaign, state)
+                self._check_metrics()
+            self.tick()
+        elif isinstance(event, ShardRetried):
+            self._inflight.pop((event.campaign, event.shard_id), None)
+            state = self._campaign(event.campaign)
+            state.retries += 1
+            if state.retries == self.config.retry_threshold:
+                self._fire_once(
+                    ("retry-spike", event.campaign),
+                    HealthEvent(
+                        detector="retry-spike",
+                        severity="warning",
+                        message=(
+                            f"{state.retries} shard retries "
+                            f"(last: {event.reason})"
+                        ),
+                        campaign=event.campaign,
+                        shard_id=event.shard_id,
+                    ),
+                )
+        elif isinstance(event, ShardFailed):
+            self._inflight.pop((event.campaign, event.shard_id), None)
+            self._emit(
+                HealthEvent(
+                    detector="shard-failure",
+                    severity="critical",
+                    message=(
+                        f"shard exhausted its retry budget after "
+                        f"{event.attempts} attempts: {event.reason}"
+                    ),
+                    campaign=event.campaign,
+                    shard_id=event.shard_id,
+                )
+            )
+        elif isinstance(event, CampaignFinished):
+            # A finished campaign cannot stall; drop leftovers defensively.
+            for key in [
+                k for k in self._inflight if k[0] == event.campaign
+            ]:
+                self._inflight.pop(key, None)
+
+    # -- detectors -----------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """Run the stalled-shard watchdog against the in-flight set.
+
+        Call sites: the scheduler's poll loop (live, in-process) and the
+        terminal monitor's refresh loop (out-of-process, wall clock).
+        """
+        cfg = self.config
+        if len(self._durations) < cfg.stall_min_samples:
+            return
+        ordered = sorted(self._durations)
+        median = ordered[len(ordered) // 2]
+        threshold = max(cfg.stall_min_seconds, cfg.stall_factor * median)
+        now = now if now is not None else self.clock()
+        for (campaign, shard_id), since in list(self._inflight.items()):
+            elapsed = now - since
+            if elapsed <= threshold:
+                continue
+            self._fire_once(
+                ("stalled-shard", campaign, str(shard_id)),
+                HealthEvent(
+                    detector="stalled-shard",
+                    severity="warning",
+                    message=(
+                        f"no result for {elapsed:.1f}s "
+                        f"(median shard takes {median:.1f}s)"
+                    ),
+                    campaign=campaign,
+                    shard_id=shard_id,
+                ),
+            )
+
+    def _check_inconclusive(
+        self, campaign: str, state: _CampaignHealth
+    ) -> None:
+        cfg = self.config
+        if state.experiments < cfg.inconclusive_min_experiments:
+            return
+        recent_exp = sum(e for e, _ in state.window)
+        if recent_exp == 0:
+            return
+        baseline = state.inconclusive / state.experiments
+        recent = sum(i for _, i in state.window) / recent_exp
+        drifted = recent - baseline > cfg.inconclusive_drift
+        if drifted and state.drift_armed:
+            state.drift_armed = False
+            self._emit(
+                HealthEvent(
+                    detector="inconclusive-drift",
+                    severity="warning",
+                    message=(
+                        f"recent inconclusive rate {100 * recent:.1f}% vs "
+                        f"{100 * baseline:.1f}% baseline — noisy hardware "
+                        "measurements?"
+                    ),
+                    campaign=campaign,
+                ),
+            )
+        elif not drifted and recent - baseline <= cfg.inconclusive_drift / 2:
+            state.drift_armed = True
+
+    def observe_metrics(self, snapshot: Optional[Dict]) -> None:
+        """Run the snapshot-based detectors over one metrics snapshot."""
+        if not snapshot:
+            return
+        self._check_solver(snapshot)
+        self._check_caches(snapshot)
+
+    def _check_metrics(self) -> None:
+        if self.metrics_source is None:
+            return
+        self.observe_metrics(self.metrics_source())
+
+    def _check_solver(self, snapshot: Dict) -> None:
+        cfg = self.config
+        solves = _histogram_count(snapshot, "span.smt.solve.seconds")
+        restarts = _histogram_count(snapshot, "span.smt.restart.seconds")
+        if solves < cfg.solver_min_solves:
+            return
+        ratio = restarts / solves
+        if ratio > cfg.solver_restart_ratio:
+            self._fire_once(
+                ("solver-restarts",),
+                HealthEvent(
+                    detector="solver-restarts",
+                    severity="warning",
+                    message=(
+                        f"{restarts} solver restarts over {solves} solves "
+                        f"({100 * ratio:.0f}%) — timeout/restart spike"
+                    ),
+                ),
+            )
+
+    def _check_caches(self, snapshot: Dict) -> None:
+        cfg = self.config
+        hits: Dict[str, int] = {}
+        misses: Dict[str, int] = {}
+        for name, entry in snapshot.items():
+            if not name.startswith("cache.") or entry.get("type") != "counter":
+                continue
+            parts = name.split(".")
+            if len(parts) != 3:
+                continue
+            if parts[2] == "hits":
+                hits[parts[1]] = int(entry.get("value", 0))
+            elif parts[2] == "misses":
+                misses[parts[1]] = int(entry.get("value", 0))
+        for cache in sorted(set(hits) | set(misses)):
+            traffic = hits.get(cache, 0) + misses.get(cache, 0)
+            if traffic < cfg.cache_min_traffic:
+                continue
+            rate = hits.get(cache, 0) / traffic
+            if rate < cfg.cache_hit_floor:
+                self._fire_once(
+                    ("cache-collapse", cache),
+                    HealthEvent(
+                        detector="cache-collapse",
+                        severity="warning",
+                        message=(
+                            f"intern cache {cache!r} hit rate collapsed to "
+                            f"{100 * rate:.1f}% over {traffic} lookups"
+                        ),
+                    ),
+                )
+
+
+def _registry_snapshot() -> Optional[Dict]:
+    from repro.telemetry import metrics as tmetrics
+
+    return tmetrics.snapshot() if tmetrics.enabled() else None
+
+
+def _histogram_count(snapshot: Dict, name: str) -> int:
+    entry = snapshot.get(name)
+    if not isinstance(entry, dict) or entry.get("type") != "histogram":
+        return 0
+    return int(entry.get("count", 0))

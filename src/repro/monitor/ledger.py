@@ -1,0 +1,475 @@
+"""The coverage ledger: which partitions a campaign has exercised so far.
+
+Supporting observational models partition the input space into coarse,
+enumerable classes (§4.1); campaign effectiveness hinges on *how* that
+space gets covered over time.  The ledger records, per supporting model,
+which partition every generated test case landed in — keyed by the same
+:meth:`~repro.core.coverage.CoverageSampler.classify` hook that steers
+generation — together with per-partition conclusive / inconclusive /
+counterexample tallies and where in the campaign each partition was first
+discovered.
+
+Design constraints, in order:
+
+* **Mergeable and order-invariant.**  Each shard contributes a ledger
+  delta; deltas travel through ``ShardResult`` (out-of-band of
+  ``deterministic_counters``) and merge associatively and commutatively:
+  tallies add, first-seen positions take the minimum, sample positions
+  union.  A 1-worker and a 4-worker run of the same seed therefore produce
+  byte-identical merged ledgers (``json.dumps(..., sort_keys=True)``).
+* **Checkpoint-persisted.**  The JSON form rides inside the v2 checkpoint
+  journal (an additive key — old entries simply carry no ledger), so
+  ``repro-scamv monitor`` can rebuild coverage from the journal alone.
+* **Self-describing.**  :data:`LEDGER_SCHEMA` pins the wrapper document
+  written by ``--ledger-out``; ``python -m repro.monitor.ledger FILE``
+  validates it (CI does).
+
+The convergence estimator is rarefaction-style: order every sample by its
+campaign-global position ``(program_index, test_index)``, then ask how many
+partitions were first discovered within the trailing window.  No new
+partitions → *saturated*; a trickle → *converging*; otherwise *exploring*.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+LEDGER_VERSION = 1
+
+#: Verdicts, from most to least finished.
+VERDICT_SATURATED = "saturated"
+VERDICT_CONVERGING = "converging"
+VERDICT_EXPLORING = "exploring"
+
+
+@dataclass
+class PartitionTally:
+    """Per-partition outcome counts and discovery position."""
+
+    conclusive: int = 0
+    inconclusive: int = 0
+    counterexamples: int = 0
+    #: ``(program_index, test_index)`` of the first sample in this
+    #: partition, in campaign-global order; None only transiently.
+    first_seen: Optional[Tuple[int, int]] = None
+
+    @property
+    def samples(self) -> int:
+        return self.conclusive + self.inconclusive + self.counterexamples
+
+    def merge(self, other: "PartitionTally") -> "PartitionTally":
+        seen = [
+            s for s in (self.first_seen, other.first_seen) if s is not None
+        ]
+        return PartitionTally(
+            conclusive=self.conclusive + other.conclusive,
+            inconclusive=self.inconclusive + other.inconclusive,
+            counterexamples=self.counterexamples + other.counterexamples,
+            first_seen=min(seen) if seen else None,
+        )
+
+    def to_json(self) -> Dict:
+        return {
+            "conclusive": self.conclusive,
+            "inconclusive": self.inconclusive,
+            "counterexamples": self.counterexamples,
+            "first_seen": (
+                list(self.first_seen) if self.first_seen is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping) -> "PartitionTally":
+        seen = doc.get("first_seen")
+        return cls(
+            conclusive=int(doc.get("conclusive", 0)),
+            inconclusive=int(doc.get("inconclusive", 0)),
+            counterexamples=int(doc.get("counterexamples", 0)),
+            first_seen=tuple(seen) if seen is not None else None,
+        )
+
+
+@dataclass
+class ModelCoverage:
+    """One model's slice of a convergence report."""
+
+    model: str
+    partitions: int
+    space: Optional[int]
+    samples: int
+    conclusive: int
+    inconclusive: int
+    counterexamples: int
+    window: int
+    new_in_window: int
+    verdict: str
+    #: ``(sample ordinal, cumulative partitions discovered)`` — the
+    #: rarefaction curve, one point per discovery.
+    discovery_curve: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def coverage_fraction(self) -> Optional[float]:
+        if not self.space:
+            return None
+        return min(1.0, self.partitions / self.space)
+
+    def describe(self) -> str:
+        if self.space:
+            covered = (
+                f"{self.partitions}/{self.space} classes "
+                f"({100.0 * (self.coverage_fraction or 0.0):.1f}%)"
+            )
+        else:
+            covered = f"{self.partitions} partitions (space unbounded)"
+        return (
+            f"{self.model}: {covered}, {self.samples} samples, "
+            f"{self.new_in_window} new in last {self.window} -> {self.verdict}"
+        )
+
+
+def overall_verdict(per_model: Mapping[str, ModelCoverage]) -> str:
+    """The campaign-level verdict: the least finished model wins."""
+    order = [VERDICT_SATURATED, VERDICT_CONVERGING, VERDICT_EXPLORING]
+    worst = VERDICT_SATURATED
+    for coverage in per_model.values():
+        if order.index(coverage.verdict) > order.index(worst):
+            worst = coverage.verdict
+    return worst
+
+
+class CoverageLedger:
+    """Mergeable coverage record of one campaign (or one shard's delta)."""
+
+    def __init__(
+        self,
+        campaign: str = "",
+        spaces: Optional[Mapping[str, Optional[int]]] = None,
+    ):
+        self.campaign = campaign
+        #: model -> partition-space size (None when not enumerable).
+        self.spaces: Dict[str, Optional[int]] = dict(spaces or {})
+        #: model -> partition key -> tally.
+        self.models: Dict[str, Dict[str, PartitionTally]] = {}
+        #: program index -> sorted test indices that produced a sample.
+        self._positions: Dict[int, List[int]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(
+        self,
+        classes: Mapping[str, Sequence[str]],
+        outcome: str,
+        program_index: int,
+        test_index: int,
+    ) -> None:
+        """Record one classified test case.
+
+        ``classes`` is the :meth:`CoverageSampler.classify` output;
+        ``outcome`` an :class:`~repro.hw.platform.ExperimentOutcome` value
+        string.  The ``(program_index, test_index)`` pair is the sample's
+        campaign-global position — it must be unique per sample.
+        """
+        position = (program_index, test_index)
+        tests = self._positions.setdefault(program_index, [])
+        if test_index not in tests:
+            tests.append(test_index)
+            tests.sort()
+        for model, keys in classes.items():
+            partitions = self.models.setdefault(model, {})
+            for key in keys:
+                tally = partitions.get(key)
+                if tally is None:
+                    tally = partitions[key] = PartitionTally()
+                if outcome == "inconclusive":
+                    tally.inconclusive += 1
+                elif outcome == "counterexample":
+                    tally.counterexamples += 1
+                else:
+                    tally.conclusive += 1
+                if tally.first_seen is None or position < tally.first_seen:
+                    tally.first_seen = position
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        return sum(len(tests) for tests in self._positions.values())
+
+    def sample_positions(self) -> List[Tuple[int, int]]:
+        """Every recorded sample position, in campaign-global order."""
+        return sorted(
+            (program, test)
+            for program, tests in self._positions.items()
+            for test in tests
+        )
+
+    def convergence(
+        self,
+        window: Optional[int] = None,
+        rate_threshold: float = 0.1,
+        min_samples: int = 8,
+    ) -> Dict[str, ModelCoverage]:
+        """The rarefaction-style convergence estimate, per model.
+
+        ``window`` defaults to a quarter of the samples (at least
+        ``min_samples``).  With fewer than ``min_samples`` samples a model
+        is always *exploring* — there is no evidence of anything else.
+        """
+        ordinal = {
+            position: index + 1
+            for index, position in enumerate(self.sample_positions())
+        }
+        total = len(ordinal)
+        out: Dict[str, ModelCoverage] = {}
+        for model in sorted(self.models):
+            partitions = self.models[model]
+            discoveries = sorted(
+                ordinal[tally.first_seen]
+                for tally in partitions.values()
+                if tally.first_seen in ordinal
+            )
+            curve = [
+                (sample, index + 1)
+                for index, sample in enumerate(discoveries)
+            ]
+            win = window if window is not None else max(min_samples, total // 4)
+            new = sum(1 for sample in discoveries if sample > total - win)
+            if total < min_samples:
+                verdict = VERDICT_EXPLORING
+            elif new == 0:
+                verdict = VERDICT_SATURATED
+            elif new / win <= rate_threshold:
+                verdict = VERDICT_CONVERGING
+            else:
+                verdict = VERDICT_EXPLORING
+            out[model] = ModelCoverage(
+                model=model,
+                partitions=len(partitions),
+                space=self.spaces.get(model),
+                samples=sum(t.samples for t in partitions.values()),
+                conclusive=sum(t.conclusive for t in partitions.values()),
+                inconclusive=sum(t.inconclusive for t in partitions.values()),
+                counterexamples=sum(
+                    t.counterexamples for t in partitions.values()
+                ),
+                window=win,
+                new_in_window=new,
+                verdict=verdict,
+                discovery_curve=curve,
+            )
+        return out
+
+    def verdict(self, **kwargs) -> str:
+        return overall_verdict(self.convergence(**kwargs))
+
+    # -- merge ---------------------------------------------------------------
+
+    def merge(self, other: "CoverageLedger") -> "CoverageLedger":
+        """Order-invariant merge: associative, commutative, pure."""
+        merged = CoverageLedger(
+            campaign=self.campaign or other.campaign,
+            spaces={**other.spaces, **self.spaces},
+        )
+        for source in (self, other):
+            for program, tests in source._positions.items():
+                mine = merged._positions.setdefault(program, [])
+                merged._positions[program] = sorted(set(mine) | set(tests))
+        for source in (self, other):
+            for model, partitions in source.models.items():
+                mine = merged.models.setdefault(model, {})
+                for key, tally in partitions.items():
+                    existing = mine.get(key)
+                    mine[key] = (
+                        tally.merge(existing)
+                        if existing is not None
+                        else PartitionTally(
+                            conclusive=tally.conclusive,
+                            inconclusive=tally.inconclusive,
+                            counterexamples=tally.counterexamples,
+                            first_seen=tally.first_seen,
+                        )
+                    )
+        return merged
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {
+            "version": LEDGER_VERSION,
+            "campaign": self.campaign,
+            "samples": self.samples,
+            "spaces": {
+                model: self.spaces[model] for model in sorted(self.spaces)
+            },
+            "models": {
+                model: {
+                    key: partitions[key].to_json()
+                    for key in sorted(partitions)
+                }
+                for model, partitions in sorted(self.models.items())
+            },
+            "positions": {
+                str(program): list(tests)
+                for program, tests in sorted(self._positions.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping) -> "CoverageLedger":
+        ledger = cls(
+            campaign=str(doc.get("campaign", "")),
+            spaces=dict(doc.get("spaces") or {}),
+        )
+        for model, partitions in (doc.get("models") or {}).items():
+            ledger.models[model] = {
+                key: PartitionTally.from_json(entry)
+                for key, entry in partitions.items()
+            }
+        for program, tests in (doc.get("positions") or {}).items():
+            ledger._positions[int(program)] = sorted(int(t) for t in tests)
+        return ledger
+
+    def canonical(self) -> str:
+        """The canonical byte representation (worker-count invariant)."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+
+def merge_ledger_docs(
+    docs: Iterable[Optional[Mapping]],
+) -> Optional[Dict]:
+    """Merge JSON ledger deltas (e.g. off ``ShardResult.ledger``)."""
+    merged: Optional[CoverageLedger] = None
+    for doc in docs:
+        if not doc:
+            continue
+        ledger = CoverageLedger.from_json(doc)
+        merged = ledger if merged is None else merged.merge(ledger)
+    return merged.to_json() if merged is not None else None
+
+
+# -- the --ledger-out wrapper document and its schema -------------------------
+
+_TALLY_SCHEMA = {
+    "type": "object",
+    "required": ["conclusive", "inconclusive", "counterexamples"],
+    "properties": {
+        "conclusive": {"type": "integer", "minimum": 0},
+        "inconclusive": {"type": "integer", "minimum": 0},
+        "counterexamples": {"type": "integer", "minimum": 0},
+        "first_seen": {
+            "type": ["array", "null"],
+            "items": {"type": "integer", "minimum": 0},
+        },
+    },
+}
+
+#: Schema of one campaign's ledger document (``CoverageLedger.to_json``).
+CAMPAIGN_LEDGER_SCHEMA = {
+    "type": "object",
+    "required": ["version", "campaign", "models", "positions"],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "campaign": {"type": "string"},
+        "samples": {"type": "integer", "minimum": 0},
+        "spaces": {
+            "type": "object",
+            "additionalProperties": {
+                "type": ["integer", "null"],
+                "minimum": 0,
+            },
+        },
+        "models": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "additionalProperties": _TALLY_SCHEMA,
+            },
+        },
+        "positions": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "array",
+                "items": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+#: Schema of the ``--ledger-out`` file: a stamped set of campaign ledgers.
+LEDGER_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro coverage ledger",
+    "type": "object",
+    "required": ["version", "campaigns"],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "meta": {"type": "object"},
+        "campaigns": {
+            "type": "object",
+            "additionalProperties": CAMPAIGN_LEDGER_SCHEMA,
+        },
+    },
+}
+
+
+def write_ledger_file(
+    path: str,
+    ledgers: Mapping[str, Optional[Mapping]],
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """Write the stamped multi-campaign ledger document; returns it."""
+    from repro.telemetry.export import stamp
+
+    doc = {
+        "version": LEDGER_VERSION,
+        "meta": meta if meta is not None else stamp(),
+        "campaigns": {
+            name: dict(ledger)
+            for name, ledger in sorted(ledgers.items())
+            if ledger
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def validate_ledger_file(path: str) -> Dict:
+    """Load and schema-validate a ``--ledger-out`` file; returns it."""
+    from repro.telemetry.schema import validate
+
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    validate(doc, LEDGER_SCHEMA)
+    return doc
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.monitor.ledger LEDGER.json",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        doc = validate_ledger_file(argv[0])
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"{argv[0]}: INVALID — {exc}", file=sys.stderr)
+        return 1
+    campaigns = doc.get("campaigns", {})
+    total = sum(
+        len(entry.get("models", {})) for entry in campaigns.values()
+    )
+    print(
+        f"{argv[0]}: valid ({len(campaigns)} campaign(s), "
+        f"{total} model coverage table(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

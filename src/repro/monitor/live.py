@@ -1,0 +1,342 @@
+"""``repro-scamv monitor``: an in-terminal view of a (running) campaign.
+
+The monitor is a *reader*: it tails the v2 checkpoint journal (the source
+of truth for completed shards and their coverage-ledger deltas) and, when
+available, the ``--events-out`` JSONL side file (shard starts/retries,
+health events, wall-clock timestamps).  It never talks to the scheduler —
+a campaign can be watched from another terminal, another machine sharing
+the filesystem, or after the fact.
+
+Rendering degrades gracefully: with a TTY and ``--follow`` the screen
+redraws in place (ANSI home+clear); otherwise each refresh is a plain
+block of text, one after another, suitable for logs and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TextIO, Tuple
+
+from repro.monitor.ledger import CoverageLedger, merge_ledger_docs, overall_verdict
+from repro.runner.events import read_events_jsonl
+
+#: Shard-grid glyphs.
+GLYPH_DONE = "#"
+GLYPH_DONE_CEX = "C"
+GLYPH_RUNNING = "R"
+GLYPH_FAILED = "X"
+GLYPH_PENDING = "."
+
+
+@dataclass
+class CampaignView:
+    """Everything the monitor knows about one campaign."""
+
+    name: str
+    index: int
+    #: shard id -> (experiments, counterexamples, inconclusive, duration,
+    #: cached) of completed shards, from the journal.
+    done: Dict[int, Tuple[int, int, int, float, bool]] = field(
+        default_factory=dict
+    )
+    #: Total shard count (from CampaignScheduled; falls back to max id+1).
+    total_shards: Optional[int] = None
+    running: Set[int] = field(default_factory=set)
+    failed: Set[int] = field(default_factory=set)
+    ledger: Optional[Dict] = None
+    finished: bool = False
+    #: HealthEvent documents, in stream order.
+    health: List[Dict] = field(default_factory=list)
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+
+    @property
+    def shards_total(self) -> int:
+        if self.total_shards is not None:
+            return self.total_shards
+        known = set(self.done) | self.running | self.failed
+        return max(known) + 1 if known else 0
+
+    @property
+    def experiments(self) -> int:
+        return sum(entry[0] for entry in self.done.values())
+
+    @property
+    def counterexamples(self) -> int:
+        return sum(entry[1] for entry in self.done.values())
+
+    @property
+    def inconclusive(self) -> int:
+        return sum(entry[2] for entry in self.done.values())
+
+    def median_duration(self) -> Optional[float]:
+        fresh = sorted(
+            entry[3] for entry in self.done.values() if not entry[4]
+        )
+        return fresh[len(fresh) // 2] if fresh else None
+
+    def eta_seconds(self) -> Optional[float]:
+        """Naive remaining-work estimate: remaining x median / parallelism."""
+        if self.finished:
+            return 0.0
+        median = self.median_duration()
+        if median is None:
+            return None
+        remaining = self.shards_total - len(self.done) - len(self.failed)
+        if remaining <= 0:
+            return 0.0
+        return median * remaining / max(1, len(self.running))
+
+
+def _campaign_name(key: str) -> str:
+    # campaign_key() format: "name|seed=...|..." — the name never holds "|".
+    return key.split("|", 1)[0]
+
+
+def load_journal_views(path: str) -> Dict[str, CampaignView]:
+    """Build campaign views from the raw checkpoint journal.
+
+    Parses journal lines as plain JSON — deliberately *not* via
+    :func:`repro.runner.checkpoint.CheckpointJournal.load`, which
+    reassembles every generated program (far too heavy to run once per
+    refresh, and it needs the campaign configs the monitor doesn't have).
+    """
+    views: Dict[str, CampaignView] = {}
+    ledgers: Dict[str, List[Dict]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return views
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # partial trailing append
+        if not isinstance(entry, dict) or entry.get("v") != 2:
+            continue
+        shard = entry.get("shard")
+        key = entry.get("key")
+        if not isinstance(shard, dict) or not isinstance(key, str):
+            continue
+        name = _campaign_name(key)
+        view = views.get(name)
+        if view is None:
+            view = views[name] = CampaignView(
+                name=name, index=int(entry.get("campaign", 0))
+            )
+        stats = shard.get("stats") or {}
+        view.done[int(shard.get("shard_id", -1))] = (
+            int(stats.get("experiments", 0)),
+            int(stats.get("counterexamples", 0)),
+            int(stats.get("inconclusive", 0)),
+            float(shard.get("duration", 0.0)),
+            False,
+        )
+        ledger = shard.get("ledger")
+        if ledger:
+            ledgers.setdefault(name, []).append(ledger)
+    for name, docs in ledgers.items():
+        views[name].ledger = merge_ledger_docs(docs)
+    return views
+
+
+def apply_events(
+    views: Dict[str, CampaignView], events: List[Dict]
+) -> Dict[str, CampaignView]:
+    """Overlay the ``--events-out`` stream onto journal-derived views."""
+    for doc in events:
+        kind = doc.get("event")
+        name = doc.get("campaign")
+        if not isinstance(name, str) or not name:
+            continue
+        view = views.get(name)
+        if view is None:
+            view = views[name] = CampaignView(name=name, index=len(views))
+        ts = doc.get("ts")
+        if isinstance(ts, (int, float)):
+            if view.first_ts is None:
+                view.first_ts = float(ts)
+            view.last_ts = float(ts)
+        if kind == "CampaignScheduled":
+            view.total_shards = int(doc.get("shards", 0))
+        elif kind == "ShardStarted":
+            shard_id = int(doc.get("shard_id", -1))
+            if shard_id not in view.done:
+                view.running.add(shard_id)
+        elif kind == "ShardFinished":
+            shard_id = int(doc.get("shard_id", -1))
+            view.running.discard(shard_id)
+            view.failed.discard(shard_id)
+            if shard_id not in view.done:
+                view.done[shard_id] = (
+                    int(doc.get("experiments", 0)),
+                    int(doc.get("counterexamples", 0)),
+                    int(doc.get("inconclusive", 0)),
+                    float(doc.get("duration", 0.0)),
+                    bool(doc.get("cached", False)),
+                )
+        elif kind == "ShardRetried":
+            view.running.discard(int(doc.get("shard_id", -1)))
+        elif kind == "ShardFailed":
+            shard_id = int(doc.get("shard_id", -1))
+            view.running.discard(shard_id)
+            view.failed.add(shard_id)
+        elif kind == "CampaignFinished":
+            view.finished = True
+            view.running.clear()
+        elif kind == "HealthEvent":
+            view.health.append(doc)
+    return views
+
+
+def load_views(
+    journal_path: str, events_path: Optional[str] = None
+) -> Dict[str, CampaignView]:
+    views = load_journal_views(journal_path)
+    if events_path:
+        apply_events(views, read_events_jsonl(events_path))
+    return views
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _shard_grid(view: CampaignView, width: int = 64) -> List[str]:
+    total = view.shards_total
+    glyphs = []
+    for shard_id in range(total):
+        if shard_id in view.failed:
+            glyphs.append(GLYPH_FAILED)
+        elif shard_id in view.done:
+            _, cex, _, _, _ = view.done[shard_id]
+            glyphs.append(GLYPH_DONE_CEX if cex else GLYPH_DONE)
+        elif shard_id in view.running:
+            glyphs.append(GLYPH_RUNNING)
+        else:
+            glyphs.append(GLYPH_PENDING)
+    text = "".join(glyphs)
+    return [text[i : i + width] for i in range(0, len(text), width)] or [""]
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(fraction * width))
+    filled = max(0, min(width, filled))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "eta: n/a"
+    if seconds <= 0:
+        return "eta: done"
+    if seconds < 60:
+        return f"eta: {seconds:.0f}s"
+    return f"eta: {seconds / 60:.1f}m"
+
+
+def render_campaign(view: CampaignView) -> List[str]:
+    lines: List[str] = []
+    total = view.shards_total
+    state = "finished" if view.finished else "running"
+    lines.append(
+        f"== {view.name} ({state}: {len(view.done)}/{total} shards, "
+        f"{view.counterexamples} counterexamples, "
+        f"{view.experiments} experiments, "
+        f"{len(view.failed)} failed) {_format_eta(view.eta_seconds())}"
+    )
+    for row in _shard_grid(view):
+        lines.append(f"   {row}")
+    if view.ledger is not None:
+        coverage = CoverageLedger.from_json(view.ledger).convergence()
+        for model in sorted(coverage):
+            cov = coverage[model]
+            fraction = cov.coverage_fraction
+            if fraction is not None:
+                bar = f"{_bar(fraction)} {100 * fraction:5.1f}%"
+                detail = f"{cov.partitions}/{cov.space} classes"
+            else:
+                bar = f"{_bar(1.0 if cov.partitions else 0.0)}   n/a"
+                detail = f"{cov.partitions} partitions"
+            lines.append(
+                f"   {model:<12} {bar}  {detail}, "
+                f"{cov.samples} samples -> {cov.verdict}"
+            )
+        lines.append(
+            f"   convergence: {overall_verdict(coverage)} "
+            f"(window of last {max(c.window for c in coverage.values())} "
+            "samples)"
+            if coverage
+            else "   convergence: no samples yet"
+        )
+    else:
+        lines.append("   coverage: no ledger in journal (monitor off?)")
+    for doc in view.health[-5:]:
+        shard = doc.get("shard_id")
+        where = f" (shard {shard})" if shard is not None else ""
+        lines.append(
+            f"   !! {doc.get('detector')} {doc.get('severity')}: "
+            f"{doc.get('message')}{where}"
+        )
+    return lines
+
+
+def render(views: Dict[str, CampaignView], clock=time.strftime) -> str:
+    header = f"repro-scamv monitor — {clock('%H:%M:%S')}"
+    lines = [header, "=" * len(header)]
+    if not views:
+        lines.append("(no campaigns in journal yet)")
+    for name in sorted(views):
+        lines.extend(render_campaign(views[name]))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def monitor(
+    journal_path: str,
+    events_path: Optional[str] = None,
+    follow: bool = False,
+    interval: float = 2.0,
+    stream: Optional[TextIO] = None,
+    max_refreshes: Optional[int] = None,
+) -> int:
+    """Render the monitor once, or repeatedly with ``follow``.
+
+    Returns a CLI exit code: 1 when the journal doesn't exist in
+    once-mode (nothing to show), else 0.  ``max_refreshes`` bounds the
+    follow loop for tests.
+    """
+    out = stream if stream is not None else sys.stdout
+    is_tty = hasattr(out, "isatty") and out.isatty()
+    refreshes = 0
+    while True:
+        exists = os.path.exists(journal_path)
+        if not exists and not follow:
+            print(
+                f"monitor: checkpoint journal not found: {journal_path}",
+                file=sys.stderr,
+            )
+            return 1
+        views = load_views(journal_path, events_path)
+        text = render(views)
+        if follow and is_tty:
+            # Home + clear-to-end keeps the dashboard in place without
+            # flicker; plain streams just get stacked refreshes.
+            out.write("\x1b[H\x1b[2J")
+        out.write(text)
+        out.flush()
+        refreshes += 1
+        if not follow:
+            return 0
+        if max_refreshes is not None and refreshes >= max_refreshes:
+            return 0
+        if views and all(view.finished for view in views.values()):
+            return 0
+        time.sleep(interval)

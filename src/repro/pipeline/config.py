@@ -39,6 +39,15 @@ class CampaignConfig:
     # to the campaign result.  Off by default — triage re-executes the
     # platform many times per counterexample.
     triage: bool = False
+    # Keep a coverage ledger (repro.monitor.ledger): which supporting-model
+    # partitions each test case exercised, merged across shards and used by
+    # the convergence estimator and the dashboards.  On by default — it is
+    # cheap (a few dict updates per experiment) and strictly out-of-band of
+    # the deterministic result.
+    monitor: bool = True
+    # Write a self-contained HTML dashboard for this campaign to the given
+    # path when it finishes (see repro.monitor.dashboard).
+    dashboard: Optional[str] = None
 
     def describe(self) -> str:
         refinement = "yes" if self.model.has_refinement else "no"

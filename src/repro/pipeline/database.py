@@ -14,11 +14,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import PipelineError
 
 #: Schema generation, stored in the SQLite ``user_version`` pragma.
-#: Version 2 added the ``experiments(outcome)`` index and the
-#: ``witnesses`` table; version 0 (never stamped) is the pre-pragma
-#: schema, which upgrades in place because every DDL statement is
+#: Version 3 added the ``coverage`` table (per-campaign supporting-model
+#: coverage summaries); version 2 added the ``experiments(outcome)`` index
+#: and the ``witnesses`` table; version 0 (never stamped) is the pre-pragma
+#: schema.  Older files upgrade in place because every DDL statement is
 #: idempotent (``IF NOT EXISTS``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -57,6 +58,20 @@ CREATE TABLE IF NOT EXISTS witnesses (
 );
 CREATE INDEX IF NOT EXISTS idx_witnesses_campaign
     ON witnesses(campaign_id);
+CREATE TABLE IF NOT EXISTS coverage (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    model TEXT NOT NULL,
+    partitions INTEGER NOT NULL,
+    space INTEGER,
+    samples INTEGER NOT NULL,
+    conclusive INTEGER NOT NULL,
+    inconclusive INTEGER NOT NULL,
+    counterexamples INTEGER NOT NULL,
+    verdict TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_coverage_campaign
+    ON coverage(campaign_id);
 """
 
 
@@ -163,6 +178,58 @@ class ExperimentDatabase:
         self._conn.commit()
         return int(cur.lastrowid)
 
+    def add_coverage_summary(
+        self,
+        campaign_id: int,
+        model: str,
+        partitions: int,
+        space: Optional[int],
+        samples: int,
+        conclusive: int,
+        inconclusive: int,
+        counterexamples: int,
+        verdict: str,
+    ) -> int:
+        """Insert one supporting model's coverage summary for a campaign."""
+        cur = self._conn.execute(
+            "INSERT INTO coverage"
+            " (campaign_id, model, partitions, space, samples,"
+            "  conclusive, inconclusive, counterexamples, verdict)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                campaign_id,
+                model,
+                partitions,
+                space,
+                samples,
+                conclusive,
+                inconclusive,
+                counterexamples,
+                verdict,
+            ),
+        )
+        self._conn.commit()
+        return int(cur.lastrowid)
+
+    def record_coverage(self, campaign_id: int, ledger_doc: Dict) -> None:
+        """Persist every model summary of a merged coverage ledger (JSON
+        form, see :meth:`repro.monitor.ledger.CoverageLedger.to_json`)."""
+        from repro.monitor.ledger import CoverageLedger
+
+        ledger = CoverageLedger.from_json(ledger_doc)
+        for model, cov in sorted(ledger.convergence().items()):
+            self.add_coverage_summary(
+                campaign_id,
+                model,
+                partitions=cov.partitions,
+                space=cov.space,
+                samples=cov.samples,
+                conclusive=cov.conclusive,
+                inconclusive=cov.inconclusive,
+                counterexamples=cov.counterexamples,
+                verdict=cov.verdict,
+            )
+
     # -- queries -------------------------------------------------------------
 
     def outcome_counts(self, campaign_id: int) -> Dict[str, int]:
@@ -203,6 +270,19 @@ class ExperimentDatabase:
         return self._conn.execute(
             "SELECT name, signature, doc FROM witnesses"
             " WHERE campaign_id = ? ORDER BY name",
+            (campaign_id,),
+        ).fetchall()
+
+    def coverage_summary(
+        self, campaign_id: int
+    ) -> List[Tuple[str, int, Optional[int], int, int, int, int, str]]:
+        """``(model, partitions, space, samples, conclusive, inconclusive,
+        counterexamples, verdict)`` rows for a campaign, ordered by model
+        name so output is deterministic regardless of insertion history."""
+        return self._conn.execute(
+            "SELECT model, partitions, space, samples, conclusive,"
+            " inconclusive, counterexamples, verdict FROM coverage"
+            " WHERE campaign_id = ? ORDER BY model",
             (campaign_id,),
         ).fetchall()
 

@@ -75,4 +75,11 @@ class ScamV:
                         line += f", {witnesses} witnesses"
                     progress(line)
             s.set_attr("counterexamples", counterexamples)
-        return merge_shard_results(cfg.name, shards)
+        result = merge_shard_results(cfg.name, shards)
+        if self.database is not None and result.ledger is not None:
+            self.database.record_coverage(campaign_id, result.ledger)
+        if cfg.dashboard:
+            from repro.monitor.dashboard import write_dashboard
+
+            write_dashboard(cfg.dashboard, cfg.name, result)
+        return result

@@ -135,6 +135,24 @@ class CampaignResult:
     # Triaged witnesses (repro.triage.corpus.Witness), in shard order.
     # Empty unless the campaign ran with ``CampaignConfig.triage``.
     witnesses: List = field(default_factory=list)
+    # JSON form of the merged coverage ledger
+    # (repro.monitor.ledger.CoverageLedger.to_json): which supporting-model
+    # partitions the campaign exercised, with enough sample-order data to
+    # run the convergence estimator.  None when ``CampaignConfig.monitor``
+    # is off; never part of deterministic counters.
+    ledger: Optional[Dict] = None
+
+    def coverage(self) -> Optional[Dict[str, "object"]]:
+        """Per-model coverage analyses of the merged ledger, or None.
+
+        Returns ``{model: repro.monitor.ledger.ModelCoverage}`` — the same
+        summaries the monitor and the HTML dashboard render.
+        """
+        if self.ledger is None:
+            return None
+        from repro.monitor.ledger import CoverageLedger
+
+        return CoverageLedger.from_json(self.ledger).convergence()
 
     def counterexamples(self) -> List[ExperimentRecord]:
         """Counterexample records, ordered by program index.

@@ -22,13 +22,19 @@ from repro.runner.events import (
     CounterexampleFound,
     EventLog,
     EventSink,
+    HealthEvent,
     RunnerDegraded,
     RunnerEvent,
     ShardFailed,
     ShardFinished,
     ShardRetried,
     ShardStarted,
+    event_from_json,
+    event_to_json,
+    jsonl_sink,
     progress_printer,
+    read_events_jsonl,
+    tee,
 )
 from repro.runner.merge import merge_shard_results, record_shard, record_shards
 from repro.runner.scheduler import (
@@ -53,6 +59,7 @@ __all__ = [
     "CounterexampleFound",
     "EventLog",
     "EventSink",
+    "HealthEvent",
     "ParallelRunner",
     "ProgramRecord",
     "RunnerConfig",
@@ -67,11 +74,16 @@ __all__ = [
     "ShardSpec",
     "ShardStarted",
     "campaign_key",
+    "event_from_json",
+    "event_to_json",
+    "jsonl_sink",
     "merge_shard_results",
     "progress_printer",
+    "read_events_jsonl",
     "record_shard",
     "record_shards",
     "run_shard",
     "shard_rng",
     "shard_specs",
+    "tee",
 ]

@@ -87,6 +87,9 @@ def _dump_shard(shard: ShardResult) -> Dict:
         ],
         "records": [record.to_json() for record in shard.records],
         "witnesses": [witness.to_json() for witness in shard.witnesses],
+        # Additive key (still version 2): pre-ledger entries replay with
+        # ledger=None and the merge simply reports no coverage for them.
+        "ledger": shard.ledger,
     }
 
 
@@ -132,6 +135,7 @@ def _load_shard(payload: Dict) -> ShardResult:
         # Replayed, not executed: the merge layer excludes this duration
         # from the resumed run's wall-clock aggregates.
         cached=True,
+        ledger=payload.get("ledger"),
     )
 
 

@@ -11,6 +11,9 @@ only; workers communicate results, never output.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, TextIO, Type, TypeVar
 
@@ -42,6 +45,7 @@ class ShardFinished(RunnerEvent):
     shard_id: int
     experiments: int = 0
     counterexamples: int = 0
+    inconclusive: int = 0
     duration: float = 0.0
     #: True when the result came from the checkpoint journal, not a worker.
     cached: bool = False
@@ -88,10 +92,122 @@ class RunnerDegraded(RunnerEvent):
     reason: str
 
 
+@dataclass(frozen=True)
+class HealthEvent(RunnerEvent):
+    """A health detector fired (see :mod:`repro.monitor.health`).
+
+    Health events travel down the same sink chain as lifecycle events, so
+    every consumer — the progress printer (``!!`` lines), the metrics
+    bridge, the ``--events-out`` side file — sees them in stream order.
+    """
+
+    detector: str
+    severity: str  # "info" | "warning" | "critical"
+    message: str
+    campaign: str = ""
+    shard_id: Optional[int] = None
+
+
 #: Anything that accepts runner events (the scheduler's ``events=`` hook).
 EventSink = Callable[[RunnerEvent], None]
 
 E = TypeVar("E", bound=RunnerEvent)
+
+
+def tee(*sinks: Optional[EventSink]) -> EventSink:
+    """Fan one event stream out to several sinks (Nones are skipped)."""
+    live = [sink for sink in sinks if sink is not None]
+
+    def fan(event: RunnerEvent) -> None:
+        for sink in live:
+            sink(event)
+
+    return fan
+
+
+#: Every serializable runner event type, by class name (the ``event`` key
+#: of a JSONL line).  Kept explicit so renames fail loudly in tests.
+EVENT_TYPES: Dict[str, Type[RunnerEvent]] = {}
+
+
+def _register(cls: Type[RunnerEvent]) -> None:
+    EVENT_TYPES[cls.__name__] = cls
+
+
+for _cls in (
+    CampaignScheduled,
+    ShardStarted,
+    ShardFinished,
+    ShardRetried,
+    ShardFailed,
+    CounterexampleFound,
+    CampaignFinished,
+    RunnerDegraded,
+    HealthEvent,
+):
+    _register(_cls)
+
+
+def event_to_json(event: RunnerEvent, ts: Optional[float] = None) -> Dict:
+    """One JSONL-able document for an event (``ts`` is UNIX time)."""
+    doc = {"event": type(event).__name__, "ts": ts if ts is not None else time.time()}
+    doc.update(dataclasses.asdict(event))
+    return doc
+
+
+def event_from_json(doc: Dict) -> Optional[RunnerEvent]:
+    """Rebuild a typed event from a JSONL line; None for unknown/invalid."""
+    cls = EVENT_TYPES.get(str(doc.get("event")))
+    if cls is None:
+        return None
+    fields = {f.name for f in dataclasses.fields(cls)}
+    try:
+        return cls(**{k: v for k, v in doc.items() if k in fields})
+    except (TypeError, ValueError):
+        return None
+
+
+def jsonl_sink(path: str) -> EventSink:
+    """An event sink appending one JSON line per event to ``path``.
+
+    The scheduler's opt-in ``--events-out`` side file: append-only and
+    flushed per line so a separate ``repro-scamv monitor`` process can
+    tail it while the campaign runs.  Strictly observational — the sink
+    never feeds anything back into the run.
+    """
+    # Truncate up front: a monitor tailing the file must not mix this
+    # run's events with a previous run's.
+    with open(path, "w", encoding="utf-8"):
+        pass
+
+    def sink(event: RunnerEvent) -> None:
+        line = json.dumps(event_to_json(event), sort_keys=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    return sink
+
+
+def read_events_jsonl(path: str) -> List[Dict]:
+    """Parse an ``--events-out`` file; malformed/partial lines are skipped."""
+    out: List[Dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return out
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict):
+            out.append(doc)
+    return out
 
 
 class EventLog:
@@ -123,7 +239,9 @@ def progress_printer(
     totals: Dict[str, int] = {}
     cex: Dict[str, int] = {}
     experiments: Dict[str, int] = {}
+    inconclusive: Dict[str, int] = {}
     resumed: Dict[str, int] = {}
+    started_at: Dict[str, float] = {}
 
     def emit(text: str) -> None:
         # Flush per line: progress must reach the terminal while a long
@@ -136,7 +254,9 @@ def progress_printer(
             finished.setdefault(event.campaign, 0)
             cex.setdefault(event.campaign, 0)
             experiments.setdefault(event.campaign, 0)
+            inconclusive.setdefault(event.campaign, 0)
             resumed.setdefault(event.campaign, 0)
+            started_at.setdefault(event.campaign, time.monotonic())
         elif isinstance(event, ShardFinished):
             finished[event.campaign] = finished.get(event.campaign, 0) + 1
             cex[event.campaign] = (
@@ -144,6 +264,9 @@ def progress_printer(
             )
             experiments[event.campaign] = (
                 experiments.get(event.campaign, 0) + event.experiments
+            )
+            inconclusive[event.campaign] = (
+                inconclusive.get(event.campaign, 0) + event.inconclusive
             )
             if event.cached:
                 resumed[event.campaign] = resumed.get(event.campaign, 0) + 1
@@ -172,6 +295,33 @@ def progress_printer(
             emit(
                 f"parallel execution unavailable ({event.reason}); "
                 "running sequentially"
+            )
+        elif isinstance(event, HealthEvent):
+            where = f"[{event.campaign}] " if event.campaign else ""
+            shard = (
+                f" (shard {event.shard_id})"
+                if event.shard_id is not None
+                else ""
+            )
+            emit(
+                f"!! {where}{event.detector} {event.severity}: "
+                f"{event.message}{shard}"
+            )
+        elif isinstance(event, CampaignFinished):
+            ran = experiments.get(event.campaign, 0) or event.experiments
+            bad = inconclusive.get(event.campaign, 0)
+            rate = 100.0 * bad / ran if ran else 0.0
+            start = started_at.get(event.campaign)
+            wall = (
+                f", {time.monotonic() - start:.1f}s wall-clock"
+                if start is not None
+                else ""
+            )
+            emit(
+                f"[{event.campaign}] finished: "
+                f"{finished.get(event.campaign, 0)} shards, "
+                f"{cex.get(event.campaign, 0) or event.counterexamples} "
+                f"counterexamples, {rate:.1f}% inconclusive{wall}"
             )
 
     return sink

@@ -58,6 +58,14 @@ def merge_shard_results(
     stats.name = name
     stats.time_to_counterexample = ttc
     result.stats = stats
+    ledger_docs = [s.ledger for s in ordered if s.ledger is not None]
+    if ledger_docs:
+        # Late import: repro.monitor.health imports repro.runner.events.
+        from repro.monitor.ledger import merge_ledger_docs
+
+        # The merge is associative and commutative, so the merged ledger
+        # is byte-identical however the shards were grouped or ordered.
+        result.ledger = merge_ledger_docs(ledger_docs)
     return result
 
 

@@ -30,7 +30,16 @@ import multiprocessing.connection
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ReproError
 from repro.pipeline.config import CampaignConfig
@@ -59,6 +68,9 @@ from repro.runner.worker import (
     shard_specs,
 )
 from repro.hw.platform import ExperimentOutcome
+
+if TYPE_CHECKING:
+    from repro.monitor.health import HealthConfig
 
 
 class RunnerError(ReproError):
@@ -94,6 +106,12 @@ class RunnerConfig:
     start_method: Optional[str] = None
     #: Test hook forwarded to every shard attempt (picklable).
     fault_injector: Optional[FaultInjector] = None
+    #: Run health detectors (repro.monitor.health) over the event stream;
+    #: derived :class:`~repro.runner.events.HealthEvent` events reach the
+    #: same sink as the lifecycle events.
+    health: bool = True
+    #: Detector thresholds; ``None`` uses ``HealthConfig()`` defaults.
+    health_config: Optional["HealthConfig"] = None
 
 
 @dataclass
@@ -152,7 +170,22 @@ class ParallelRunner:
         events: Optional[EventSink] = None,
     ):
         self.config = config or RunnerConfig()
-        self._events = events
+        #: The live health monitor, when enabled — the scheduler routes all
+        #: events through it so detectors see the stream in order, and the
+        #: dashboard exporter reads its log afterwards.
+        self.health = None
+        if self.config.health:
+            # Late import: repro.monitor imports repro.runner.events, and a
+            # module-scope import here would cycle through the package
+            # initializer.
+            from repro.monitor.health import HealthMonitor
+
+            self.health = HealthMonitor(
+                config=self.config.health_config, chain=events
+            )
+            self._events: Optional[EventSink] = self.health
+        else:
+            self._events = events
 
     # -- public API ----------------------------------------------------------
 
@@ -214,6 +247,7 @@ class ParallelRunner:
                             shard_id=spec.shard_id,
                             experiments=shard.stats.experiments,
                             counterexamples=shard.stats.counterexamples,
+                            inconclusive=shard.stats.inconclusive,
                             duration=shard.duration,
                             cached=True,
                         )
@@ -239,6 +273,8 @@ class ParallelRunner:
             if database is not None:
                 campaign_id = database.add_campaign(cfg.name, cfg.describe())
                 record_shards(database, campaign_id, shards)
+                if result.ledger is not None:
+                    database.record_coverage(campaign_id, result.ledger)
             self._emit(
                 CampaignFinished(
                     campaign=cfg.name,
@@ -246,6 +282,15 @@ class ParallelRunner:
                     counterexamples=result.stats.counterexamples,
                 )
             )
+            if cfg.dashboard:
+                from repro.monitor.dashboard import write_dashboard
+
+                write_dashboard(
+                    cfg.dashboard,
+                    cfg.name,
+                    result,
+                    health=self.health.log if self.health is not None else (),
+                )
             results.append(result)
         return results
 
@@ -284,6 +329,7 @@ class ParallelRunner:
                 shard_id=task.spec.shard_id,
                 experiments=shard.stats.experiments,
                 counterexamples=shard.stats.counterexamples,
+                inconclusive=shard.stats.inconclusive,
                 duration=shard.duration,
             )
         )
@@ -518,6 +564,11 @@ class ParallelRunner:
                                 retried,
                             )
                         )
+                # Health detectors see the live in-flight set every poll
+                # iteration, so a wedged shard is reported long before the
+                # (much larger) hard shard_timeout kills it.
+                if self.health is not None:
+                    self.health.tick()
                 # Straggler watchdog and silent-death detection.
                 for worker in list(pool.values()):
                     task = worker.task

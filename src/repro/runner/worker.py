@@ -89,6 +89,11 @@ class ShardResult:
     #: this shard; None unless telemetry is enabled.  Never journaled and
     #: never part of the deterministic result.
     telemetry: Optional[tuple] = None
+    #: JSON form of this shard's :class:`repro.monitor.ledger.CoverageLedger`
+    #: delta (which model partitions each test case exercised); None when
+    #: ``CampaignConfig.monitor`` is off.  Journaled, and order-invariantly
+    #: merged, but deliberately outside ``deterministic_counters()``.
+    ledger: Optional[Dict] = None
 
 
 #: Test hook: called with ``(spec, attempt)`` at the start of every shard
@@ -137,6 +142,17 @@ def run_shard(
     stats = CampaignStats(name=config.name)
     records: List[ExperimentRecord] = []
     programs: List[ProgramRecord] = []
+    if config.monitor:
+        # Late import: repro.monitor.health pulls in repro.runner.events,
+        # and importing it at module scope would cycle through the
+        # repro.runner package initializer.
+        from repro.monitor.ledger import CoverageLedger
+
+        ledger: Optional[CoverageLedger] = CoverageLedger(
+            config.name, spaces=config.coverage.spaces()
+        )
+    else:
+        ledger = None
     counters_before = intern.counter_totals()
     marker = telemetry.shard_begin()
     with tspan(
@@ -148,7 +164,8 @@ def run_shard(
     ):
         for program_index in spec.program_indices:
             _run_program(
-                config, program_index, started, stats, records, programs
+                config, program_index, started, stats, records, programs,
+                ledger,
             )
         if config.triage:
             # Late import: repro.triage imports this module's siblings.
@@ -175,6 +192,7 @@ def run_shard(
         attempt=attempt,
         duration=time.monotonic() - started,
         telemetry=telemetry.shard_end(marker),
+        ledger=ledger.to_json() if ledger is not None else None,
     )
 
 
@@ -185,6 +203,7 @@ def _run_program(
     stats: CampaignStats,
     records: List[ExperimentRecord],
     programs: List[ProgramRecord],
+    ledger=None,
 ) -> None:
     rng = shard_rng(config, program_index)
     program_span = tspan("program", program=program_index)
@@ -198,6 +217,7 @@ def _run_program(
             programs,
             rng,
             program_span,
+            ledger,
         )
 
 
@@ -210,6 +230,7 @@ def _run_program_spanned(
     programs: List[ProgramRecord],
     rng: SplittableRandom,
     program_span,
+    ledger=None,
 ) -> None:
     with tspan("template.generate", program=program_index) as s:
         generated = config.template.generate(rng.split("template"))
@@ -306,5 +327,12 @@ def _run_program_spanned(
                 program_index=program_index,
             )
         )
+        if ledger is not None:
+            ledger.record(
+                config.coverage.classify(test),
+                result.outcome.value,
+                program_index,
+                test_index,
+            )
     if program_hit:
         stats.programs_with_counterexamples += 1

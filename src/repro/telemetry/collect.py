@@ -153,6 +153,9 @@ def event_bridge(chain=None):
             M.counter("runner.counterexamples_found").inc()
         elif isinstance(event, EV.CampaignFinished):
             M.counter("runner.campaigns_finished").inc()
+        elif isinstance(event, EV.HealthEvent):
+            M.counter("health.events").inc()
+            M.counter(f"health.{event.detector}").inc()
         if chain is not None:
             chain(event)
 

@@ -1,0 +1,155 @@
+"""The HTML dashboard: self-containment, sections, per-campaign paths."""
+
+import re
+
+from repro.exps import mct_campaign
+from repro.monitor.dashboard import (
+    build_dashboard_html,
+    dashboard_path_for,
+    write_dashboard,
+)
+from repro.monitor.ledger import CoverageLedger
+from repro.pipeline import ScamV
+from repro.runner import HealthEvent
+
+
+def _ledger(space=8, partitions=5, samples_per=4):
+    ledger = CoverageLedger("camp", spaces={"Mline": space, "Mpc": None})
+    position = 0
+    for index in range(partitions):
+        for _ in range(samples_per):
+            ledger.record(
+                {"Mline": (f"set:{index}",), "Mpc": ("pair:0-1",)},
+                "pass",
+                0,
+                position,
+            )
+            position += 1
+    return ledger
+
+
+def _assert_self_contained(text):
+    """No external fetches of any kind: scripts, stylesheets, images."""
+    assert "<script" not in text
+    assert 'src="' not in text
+    assert "http://" not in text and "https://" not in text
+    assert '<link rel="stylesheet"' not in text
+    assert "<style>" in text
+
+
+class TestDashboardPath:
+    def test_slugs_campaign_names(self):
+        path = dashboard_path_for("out/dash.html", "Mpart / Mpart-ref")
+        assert path == "out/dash-Mpart-Mpart-ref.html"
+
+    def test_degenerate_name_still_yields_a_path(self):
+        assert dashboard_path_for("d.html", "///") == "d-campaign.html"
+
+    def test_extensionless_base(self):
+        assert dashboard_path_for("dash", "A B") == "dash-A-B.html"
+
+
+class TestBuildHtml:
+    def test_coverage_section_with_heatmap_curve_and_verdict(self):
+        text = build_dashboard_html("camp", ledger=_ledger().to_json())
+        _assert_self_contained(text)
+        assert "Coverage &amp; convergence" in text
+        assert "campaign verdict:" in text
+        # heatmap: one cell per Mline partition, covered and uncovered
+        assert text.count('title="Mline partition') == 8
+        assert "hsl(140" in text  # covered cells
+        assert "#e7ecf0" in text  # uncovered cells
+        # discovery curve SVG, inline
+        assert "<svg" in text and "polyline" in text
+        # Mpc is unbounded: no heatmap, partitions listed instead
+        assert "partitions (space unbounded)" in text
+        assert re.search(r"62\.5% \(5/8 classes\)", text)
+
+    def test_unbounded_only_ledger_has_no_heatmap(self):
+        ledger = CoverageLedger("camp")
+        ledger.record({"Mpc": ("pair:0-1",)}, "pass", 0, 0)
+        text = build_dashboard_html("camp", ledger=ledger.to_json())
+        assert 'class="heatmap"' not in text
+
+    def test_health_section_and_severity_card(self):
+        events = [
+            HealthEvent(
+                detector="retry-spike",
+                severity="warning",
+                message="3 retries",
+                campaign="camp",
+            ),
+            (
+                12.5,  # HealthMonitor.log entries are (ts, event) tuples
+                HealthEvent(
+                    detector="shard-failure",
+                    severity="critical",
+                    message="boom <&>",
+                    campaign="camp",
+                    shard_id=7,
+                ),
+            ),
+        ]
+        text = build_dashboard_html("camp", health=events)
+        _assert_self_contained(text)
+        assert "Health timeline" in text
+        assert "retry-spike" in text and "shard-failure" in text
+        assert 'class="sev-critical"' in text
+        assert "boom &lt;&amp;&gt;" in text  # escaped, not raw
+        assert ">2<" in text  # health events card counts both
+
+    def test_campaign_name_is_escaped(self):
+        text = build_dashboard_html("<camp> & co")
+        assert "<camp>" not in text
+        assert "&lt;camp&gt; &amp; co" in text
+
+    def test_empty_inputs_still_produce_a_document(self):
+        text = build_dashboard_html("camp")
+        _assert_self_contained(text)
+        assert text.startswith("<!DOCTYPE html>")
+        assert "Campaign dashboard" in text
+
+    def test_meta_stamp_rendered(self):
+        text = build_dashboard_html(
+            "camp", meta={"git_sha": "abc123", "python": "3.11"}
+        )
+        assert "git_sha: abc123" in text
+
+
+class TestWriteDashboard:
+    def test_end_to_end_from_campaign_result(self, tmp_path):
+        cfg = mct_campaign(
+            "A", refined=True, num_programs=3, tests_per_program=2, seed=3
+        )
+        result = ScamV(cfg).run()
+        path = str(tmp_path / "dash.html")
+        assert write_dashboard(path, cfg.name, result) == path
+        text = (tmp_path / "dash.html").read_text()
+        _assert_self_contained(text)
+        assert str(result.stats.experiments) in text
+        assert "Coverage &amp; convergence" in text
+        assert "timestamp:" in text  # build stamp embedded
+
+    def test_campaign_config_dashboard_writes_via_driver(self, tmp_path):
+        path = str(tmp_path / "driver.html")
+        cfg = mct_campaign(
+            "A", refined=True, num_programs=2, tests_per_program=2, seed=3
+        )
+        cfg.dashboard = path
+        ScamV(cfg).run()
+        text = (tmp_path / "driver.html").read_text()
+        _assert_self_contained(text)
+        assert cfg.name in text or "Campaign dashboard" in text
+
+    def test_campaign_config_dashboard_writes_via_scheduler(self, tmp_path):
+        from repro.runner import ParallelRunner, RunnerConfig
+
+        path = str(tmp_path / "sched.html")
+        cfg = mct_campaign(
+            "A", refined=True, num_programs=2, tests_per_program=2, seed=3
+        )
+        cfg.dashboard = path
+        ParallelRunner(RunnerConfig(workers=1)).run(cfg)
+        text = (tmp_path / "sched.html").read_text()
+        _assert_self_contained(text)
+        assert "Coverage &amp; convergence" in text

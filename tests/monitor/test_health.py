@@ -1,0 +1,340 @@
+"""Health detectors: unit-level with a fake clock, plus fault-injected runs."""
+
+import pytest
+
+from repro.exps import mct_campaign
+from repro.monitor.health import HealthConfig, HealthMonitor
+from repro.runner import (
+    CampaignFinished,
+    EventLog,
+    HealthEvent,
+    ParallelRunner,
+    RunnerConfig,
+    ShardExhaustedError,
+    ShardFailed,
+    ShardFinished,
+    ShardRetried,
+    ShardStarted,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _monitor(chain=None, metrics=None, **overrides):
+    clock = FakeClock()
+    monitor = HealthMonitor(
+        config=HealthConfig(**overrides),
+        chain=chain,
+        clock=clock,
+        metrics_source=metrics if metrics is not None else lambda: None,
+    )
+    return monitor, clock
+
+
+def _finish(monitor, clock, shard_id, duration, campaign="c", **kwargs):
+    monitor(ShardStarted(campaign=campaign, shard_id=shard_id))
+    clock.advance(duration)
+    monitor(
+        ShardFinished(
+            campaign=campaign,
+            shard_id=shard_id,
+            duration=duration,
+            **kwargs,
+        )
+    )
+
+
+def _events(monitor, detector=None):
+    out = [event for _, event in monitor.log]
+    if detector is not None:
+        out = [e for e in out if e.detector == detector]
+    return out
+
+
+class TestStalledShard:
+    def test_fires_when_a_shard_exceeds_the_median_multiple(self):
+        monitor, clock = _monitor()
+        for shard in range(3):
+            _finish(monitor, clock, shard, 1.0)
+        monitor(ShardStarted(campaign="c", shard_id=9))
+        clock.advance(3.9)
+        monitor.tick()
+        assert _events(monitor, "stalled-shard") == []
+        clock.advance(0.2)  # past 4x the 1.0s median
+        monitor.tick()
+        events = _events(monitor, "stalled-shard")
+        assert len(events) == 1
+        assert events[0].shard_id == 9
+        assert events[0].severity == "warning"
+        # deduplicated: the same stalled shard fires only once
+        clock.advance(100)
+        monitor.tick()
+        assert len(_events(monitor, "stalled-shard")) == 1
+
+    def test_silent_without_enough_duration_samples(self):
+        monitor, clock = _monitor()
+        _finish(monitor, clock, 0, 1.0)
+        monitor(ShardStarted(campaign="c", shard_id=9))
+        clock.advance(1000)
+        monitor.tick()
+        assert _events(monitor) == []
+
+    def test_min_seconds_guards_microbenchmark_noise(self):
+        monitor, clock = _monitor(stall_min_seconds=60.0)
+        for shard in range(3):
+            _finish(monitor, clock, shard, 0.01)
+        monitor(ShardStarted(campaign="c", shard_id=9))
+        clock.advance(59.0)  # way past 4x median, under min_seconds
+        monitor.tick()
+        assert _events(monitor) == []
+
+    def test_finished_shard_is_no_longer_inflight(self):
+        monitor, clock = _monitor()
+        for shard in range(3):
+            _finish(monitor, clock, shard, 1.0)
+        clock.advance(1000)
+        monitor.tick()
+        assert _events(monitor) == []
+
+    def test_campaign_finish_clears_inflight(self):
+        monitor, clock = _monitor()
+        for shard in range(3):
+            _finish(monitor, clock, shard, 1.0)
+        monitor(ShardStarted(campaign="c", shard_id=9))
+        monitor(CampaignFinished(campaign="c"))
+        clock.advance(1000)
+        monitor.tick()
+        assert _events(monitor) == []
+
+
+class TestRetrySpike:
+    def test_fires_once_at_the_threshold(self):
+        monitor, _ = _monitor(retry_threshold=2)
+        for attempt in (1, 2, 3):
+            monitor(
+                ShardRetried(
+                    campaign="c",
+                    shard_id=0,
+                    attempt=attempt,
+                    reason="injected",
+                )
+            )
+        events = _events(monitor, "retry-spike")
+        assert len(events) == 1
+        assert "injected" in events[0].message
+
+    def test_counts_per_campaign(self):
+        monitor, _ = _monitor(retry_threshold=2)
+        for campaign in ("a", "b"):
+            monitor(
+                ShardRetried(
+                    campaign=campaign, shard_id=0, attempt=1, reason="x"
+                )
+            )
+        assert _events(monitor, "retry-spike") == []
+
+
+class TestShardFailure:
+    def test_always_emits_critical(self):
+        monitor, _ = _monitor()
+        monitor(
+            ShardFailed(campaign="c", shard_id=3, attempts=3, reason="boom")
+        )
+        monitor(
+            ShardFailed(campaign="c", shard_id=4, attempts=3, reason="boom")
+        )
+        events = _events(monitor, "shard-failure")
+        assert [e.shard_id for e in events] == [3, 4]
+        assert all(e.severity == "critical" for e in events)
+
+
+class TestInconclusiveDrift:
+    def test_fires_on_drift_and_rearms_on_recovery(self):
+        monitor, clock = _monitor(
+            inconclusive_min_experiments=40,
+            inconclusive_window_shards=4,
+            inconclusive_drift=0.15,
+        )
+        # clean baseline: 10 shards x 10 experiments, none inconclusive
+        for shard in range(10):
+            _finish(
+                monitor, clock, shard, 1.0, experiments=10, inconclusive=0
+            )
+        # recent window turns noisy
+        for shard in range(10, 14):
+            _finish(
+                monitor, clock, shard, 1.0, experiments=10, inconclusive=8
+            )
+        drift = _events(monitor, "inconclusive-drift")
+        assert len(drift) == 1
+        assert "baseline" in drift[0].message
+        # recovery re-arms the detector ...
+        for shard in range(14, 40):
+            _finish(
+                monitor, clock, shard, 1.0, experiments=10, inconclusive=0
+            )
+        # ... so a second drift episode fires again
+        for shard in range(40, 44):
+            _finish(
+                monitor, clock, shard, 1.0, experiments=10, inconclusive=9
+            )
+        assert len(_events(monitor, "inconclusive-drift")) == 2
+
+    def test_silent_below_minimum_volume(self):
+        monitor, clock = _monitor(inconclusive_min_experiments=40)
+        for shard in range(3):
+            _finish(
+                monitor, clock, shard, 1.0, experiments=5, inconclusive=5
+            )
+        assert _events(monitor, "inconclusive-drift") == []
+
+
+class TestMetricsDetectors:
+    def _snapshot(self, solves=0, restarts=0, hits=0, misses=0):
+        return {
+            "span.smt.solve.seconds": {
+                "type": "histogram",
+                "count": solves,
+            },
+            "span.smt.restart.seconds": {
+                "type": "histogram",
+                "count": restarts,
+            },
+            "cache.expr.hits": {"type": "counter", "value": hits},
+            "cache.expr.misses": {"type": "counter", "value": misses},
+        }
+
+    def test_solver_restart_spike(self):
+        monitor, _ = _monitor()
+        monitor.observe_metrics(self._snapshot(solves=40, restarts=30))
+        events = _events(monitor, "solver-restarts")
+        assert len(events) == 1
+        assert "restarts" in events[0].message
+        # dedup across repeated snapshots
+        monitor.observe_metrics(self._snapshot(solves=80, restarts=70))
+        assert len(_events(monitor, "solver-restarts")) == 1
+
+    def test_solver_silent_under_minimum_solves(self):
+        monitor, _ = _monitor(solver_min_solves=100)
+        monitor.observe_metrics(self._snapshot(solves=40, restarts=39))
+        assert _events(monitor) == []
+
+    def test_cache_collapse_needs_real_traffic(self):
+        monitor, _ = _monitor(cache_min_traffic=500)
+        monitor.observe_metrics(self._snapshot(hits=1, misses=50))
+        assert _events(monitor) == []
+        monitor.observe_metrics(self._snapshot(hits=10, misses=600))
+        events = _events(monitor, "cache-collapse")
+        assert len(events) == 1
+        assert "'expr'" in events[0].message
+
+    def test_healthy_cache_stays_silent(self):
+        monitor, _ = _monitor()
+        monitor.observe_metrics(self._snapshot(hits=900, misses=100))
+        assert _events(monitor) == []
+
+    def test_metrics_source_consulted_on_shard_finish(self):
+        calls = []
+
+        def source():
+            calls.append(1)
+            return self._snapshot(solves=40, restarts=30)
+
+        monitor, clock = _monitor(metrics=source)
+        _finish(monitor, clock, 0, 1.0)
+        assert calls
+        assert len(_events(monitor, "solver-restarts")) == 1
+
+
+class TestSinkChaining:
+    def test_chain_sees_original_events_then_derived_health(self):
+        log = EventLog()
+        monitor, _ = _monitor(chain=log)
+        failed = ShardFailed(
+            campaign="c", shard_id=0, attempts=3, reason="boom"
+        )
+        monitor(failed)
+        kinds = [type(e).__name__ for e in log.events]
+        assert kinds == ["ShardFailed", "HealthEvent"]
+        assert log.events[0] is failed
+
+
+# Importable, picklable fault injectors (see tests/runner/test_scheduler.py).
+
+def crash_twice(spec, attempt):
+    if spec.shard_id == 1 and attempt < 2:
+        raise RuntimeError("injected crash")
+
+
+def always_crash_shard0(spec, attempt):
+    if spec.shard_id == 0:
+        raise RuntimeError("unrecoverable")
+
+
+class TestInjectedFaults:
+    """Acceptance: injected faults surface as HealthEvents in real runs."""
+
+    def _config(self, **kwargs):
+        defaults = dict(num_programs=3, tests_per_program=2, seed=5)
+        defaults.update(kwargs)
+        return mct_campaign("A", refined=True, **defaults)
+
+    def test_repeated_crashes_raise_a_retry_spike(self):
+        log = EventLog()
+        ParallelRunner(
+            RunnerConfig(
+                fault_injector=crash_twice,
+                max_retries=2,
+                retry_backoff=0.01,
+                health_config=HealthConfig(retry_threshold=2),
+            ),
+            events=log,
+        ).run(self._config())
+        spikes = [
+            e
+            for e in log.of_type(HealthEvent)
+            if e.detector == "retry-spike"
+        ]
+        assert len(spikes) == 1
+        assert "injected crash" in spikes[0].message
+
+    def test_exhausted_shard_raises_a_critical_failure_event(self):
+        log = EventLog()
+        with pytest.raises(ShardExhaustedError):
+            ParallelRunner(
+                RunnerConfig(
+                    fault_injector=always_crash_shard0,
+                    max_retries=0,
+                    retry_backoff=0.01,
+                ),
+                events=log,
+            ).run(self._config(num_programs=2))
+        failures = [
+            e
+            for e in log.of_type(HealthEvent)
+            if e.detector == "shard-failure"
+        ]
+        assert len(failures) == 1
+        assert failures[0].severity == "critical"
+
+    def test_health_disabled_emits_no_health_events(self):
+        log = EventLog()
+        ParallelRunner(
+            RunnerConfig(
+                fault_injector=crash_twice,
+                max_retries=2,
+                retry_backoff=0.01,
+                health=False,
+            ),
+            events=log,
+        ).run(self._config())
+        assert log.of_type(HealthEvent) == []

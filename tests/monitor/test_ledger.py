@@ -1,0 +1,212 @@
+"""The coverage ledger: recording, merging, convergence, persistence."""
+
+import json
+
+import pytest
+
+from repro.monitor.ledger import (
+    CoverageLedger,
+    VERDICT_CONVERGING,
+    VERDICT_EXPLORING,
+    VERDICT_SATURATED,
+    merge_ledger_docs,
+    overall_verdict,
+    validate_ledger_file,
+    write_ledger_file,
+)
+
+
+def _record_n(ledger, classes, n, start=0, outcome="pass", program=0):
+    for i in range(start, start + n):
+        ledger.record(classes, outcome, program, i)
+
+
+class TestRecording:
+    def test_tallies_by_outcome(self):
+        ledger = CoverageLedger("c")
+        ledger.record({"M": ("k",)}, "pass", 0, 0)
+        ledger.record({"M": ("k",)}, "inconclusive", 0, 1)
+        ledger.record({"M": ("k",)}, "counterexample", 0, 2)
+        tally = ledger.models["M"]["k"]
+        assert (tally.conclusive, tally.inconclusive, tally.counterexamples) == (
+            1,
+            1,
+            1,
+        )
+        assert tally.samples == 3
+        assert ledger.samples == 3
+
+    def test_first_seen_is_minimum_position(self):
+        ledger = CoverageLedger("c")
+        ledger.record({"M": ("k",)}, "pass", 5, 3)
+        ledger.record({"M": ("k",)}, "pass", 2, 7)
+        ledger.record({"M": ("k",)}, "pass", 2, 1)
+        assert ledger.models["M"]["k"].first_seen == (2, 1)
+
+    def test_multiple_models_and_keys_per_sample(self):
+        ledger = CoverageLedger("c", spaces={"Mline": 128})
+        ledger.record(
+            {"Mpc": ("pair:0-1",), "Mline": ("set:3", "set:9")}, "pass", 0, 0
+        )
+        assert set(ledger.models) == {"Mpc", "Mline"}
+        assert set(ledger.models["Mline"]) == {"set:3", "set:9"}
+        # one sample, however many partition keys it touched
+        assert ledger.samples == 1
+
+
+class TestConvergence:
+    def test_saturated_when_no_new_partitions_in_window(self):
+        ledger = CoverageLedger("c")
+        # partition discovered at the start, then 30 more samples of it
+        _record_n(ledger, {"M": ("k",)}, 31)
+        cov = ledger.convergence()["M"]
+        assert cov.verdict == VERDICT_SATURATED
+        assert cov.new_in_window == 0
+
+    def test_exploring_when_discovery_is_ongoing(self):
+        ledger = CoverageLedger("c")
+        for i in range(20):
+            ledger.record({"M": (f"k{i}",)}, "pass", 0, i)
+        cov = ledger.convergence()["M"]
+        assert cov.verdict == VERDICT_EXPLORING
+        assert cov.partitions == 20
+
+    def test_converging_on_a_trickle(self):
+        ledger = CoverageLedger("c")
+        _record_n(ledger, {"M": ("k0",)}, 199)
+        # one new partition at the very end: 1 new / window 50 <= 0.1
+        ledger.record({"M": ("k1",)}, "pass", 0, 199)
+        cov = ledger.convergence()["M"]
+        assert cov.verdict == VERDICT_CONVERGING
+
+    def test_too_few_samples_is_always_exploring(self):
+        ledger = CoverageLedger("c")
+        _record_n(ledger, {"M": ("k",)}, 3)
+        assert ledger.convergence()["M"].verdict == VERDICT_EXPLORING
+
+    def test_discovery_curve_is_monotonic(self):
+        ledger = CoverageLedger("c")
+        for i in range(12):
+            ledger.record({"M": (f"k{i // 3}",)}, "pass", 0, i)
+        curve = ledger.convergence()["M"].discovery_curve
+        samples = [s for s, _ in curve]
+        discovered = [d for _, d in curve]
+        assert samples == sorted(samples)
+        assert discovered == sorted(discovered)
+        assert discovered[-1] == 4
+
+    def test_overall_verdict_is_worst(self):
+        ledger = CoverageLedger("c")
+        _record_n(ledger, {"A": ("k",)}, 31)
+        for i in range(31):
+            ledger.record({"B": (f"k{i}",)}, "pass", 1, i)
+        per_model = ledger.convergence()
+        assert per_model["A"].verdict == VERDICT_SATURATED
+        assert per_model["B"].verdict == VERDICT_EXPLORING
+        assert overall_verdict(per_model) == VERDICT_EXPLORING
+
+    def test_coverage_fraction_uses_space(self):
+        ledger = CoverageLedger("c", spaces={"M": 4})
+        ledger.record({"M": ("set:0", "set:1")}, "pass", 0, 0)
+        cov = ledger.convergence()["M"]
+        assert cov.coverage_fraction == pytest.approx(0.5)
+        assert "2/4" in cov.describe()
+
+
+class TestMerge:
+    def _make(self, programs):
+        ledger = CoverageLedger("c", spaces={"M": 8})
+        for program, keys in programs.items():
+            for test, key in enumerate(keys):
+                ledger.record({"M": (key,)}, "pass", program, test)
+        return ledger
+
+    def test_merge_is_commutative(self):
+        a = self._make({0: ["x", "y"], 1: ["x"]})
+        b = self._make({2: ["z"], 3: ["y", "y"]})
+        assert a.merge(b).canonical() == b.merge(a).canonical()
+
+    def test_merge_is_associative(self):
+        a = self._make({0: ["x"]})
+        b = self._make({1: ["y"]})
+        c = self._make({2: ["x", "z"]})
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.canonical() == right.canonical()
+
+    def test_merge_adds_tallies_and_takes_min_first_seen(self):
+        a = CoverageLedger("c")
+        b = CoverageLedger("c")
+        a.record({"M": ("k",)}, "pass", 3, 0)
+        b.record({"M": ("k",)}, "counterexample", 1, 5)
+        merged = a.merge(b)
+        tally = merged.models["M"]["k"]
+        assert tally.samples == 2
+        assert tally.first_seen == (1, 5)
+        assert merged.samples == 2
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = self._make({0: ["x"]})
+        b = self._make({1: ["y"]})
+        before_a, before_b = a.canonical(), b.canonical()
+        a.merge(b)
+        assert (a.canonical(), b.canonical()) == (before_a, before_b)
+
+    def test_merge_ledger_docs_round_trip(self):
+        a = self._make({0: ["x"]})
+        b = self._make({1: ["y"]})
+        doc = merge_ledger_docs([a.to_json(), None, b.to_json()])
+        assert doc == a.merge(b).to_json()
+        assert merge_ledger_docs([None, {}]) is None
+
+
+class TestSerialization:
+    def test_json_round_trip_is_lossless(self):
+        ledger = CoverageLedger("camp", spaces={"M": 16, "N": None})
+        ledger.record({"M": ("set:1",), "N": ("p",)}, "inconclusive", 4, 2)
+        ledger.record({"M": ("set:2",)}, "counterexample", 0, 0)
+        rebuilt = CoverageLedger.from_json(ledger.to_json())
+        assert rebuilt.canonical() == ledger.canonical()
+        assert rebuilt.spaces == {"M": 16, "N": None}
+
+    def test_canonical_is_sorted_and_stable(self):
+        ledger = CoverageLedger("c")
+        ledger.record({"B": ("k",)}, "pass", 1, 0)
+        ledger.record({"A": ("k",)}, "pass", 0, 0)
+        text = ledger.canonical()
+        assert json.loads(text) == ledger.to_json()
+        assert text.index('"A"') < text.index('"B"')
+
+
+class TestLedgerFile:
+    def test_write_then_validate(self, tmp_path):
+        ledger = CoverageLedger("camp", spaces={"M": 4})
+        ledger.record({"M": ("set:0",)}, "pass", 0, 0)
+        path = tmp_path / "ledger.json"
+        write_ledger_file(str(path), {"camp": ledger.to_json()})
+        doc = validate_ledger_file(str(path))
+        assert "camp" in doc["campaigns"]
+        assert doc["meta"]  # stamped
+
+    def test_empty_ledgers_are_skipped(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        doc = write_ledger_file(str(path), {"a": None, "b": {}})
+        assert doc["campaigns"] == {}
+        validate_ledger_file(str(path))
+
+    def test_validator_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "campaigns": "nope"}))
+        with pytest.raises(ValueError):
+            validate_ledger_file(str(path))
+
+    def test_module_cli(self, tmp_path, capsys):
+        from repro.monitor import ledger as mod
+
+        good = tmp_path / "good.json"
+        write_ledger_file(str(good), {})
+        assert mod.main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert mod.main([str(bad)]) == 1
+        assert mod.main([]) == 2

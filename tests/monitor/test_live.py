@@ -1,0 +1,197 @@
+"""The terminal monitor: journal/event ingestion and rendering."""
+
+import io
+import json
+
+from repro.exps import mct_campaign
+from repro.monitor.live import (
+    CampaignView,
+    apply_events,
+    load_journal_views,
+    load_views,
+    monitor,
+    render,
+    render_campaign,
+)
+from repro.runner import (
+    EventLog,
+    ParallelRunner,
+    RunnerConfig,
+    event_to_json,
+    jsonl_sink,
+    tee,
+)
+
+
+def _config(**kwargs):
+    defaults = dict(num_programs=4, tests_per_program=2, seed=3)
+    defaults.update(kwargs)
+    return mct_campaign("A", refined=True, **defaults)
+
+
+def _run_campaign(tmp_path, **kwargs):
+    """A real mini campaign leaving behind a journal and an events file."""
+    journal = str(tmp_path / "cp.jsonl")
+    events = str(tmp_path / "ev.jsonl")
+    cfg = _config(**kwargs)
+    log = EventLog()
+    result = ParallelRunner(
+        RunnerConfig(checkpoint_path=journal),
+        events=tee(log, jsonl_sink(events)),
+    ).run(cfg)
+    return cfg, result, journal, events
+
+
+class TestJournalIngestion:
+    def test_views_reflect_completed_shards_and_ledger(self, tmp_path):
+        cfg, result, journal, _ = _run_campaign(tmp_path)
+        views = load_journal_views(journal)
+        assert set(views) == {cfg.name}
+        view = views[cfg.name]
+        assert len(view.done) == cfg.num_programs
+        assert view.experiments == result.stats.experiments
+        assert view.counterexamples == result.stats.counterexamples
+        # per-shard ledger deltas merged back to the campaign ledger
+        assert view.ledger is not None
+        assert (
+            json.dumps(view.ledger, sort_keys=True)
+            == json.dumps(result.ledger, sort_keys=True)
+        )
+
+    def test_missing_and_garbage_journals_yield_no_views(self, tmp_path):
+        assert load_journal_views(str(tmp_path / "nope.jsonl")) == {}
+        path = tmp_path / "garbage.jsonl"
+        path.write_text('{"v": 1}\nnot json\n{"v": 2, "key": 3}\n')
+        assert load_journal_views(str(path)) == {}
+
+    def test_partial_trailing_line_is_skipped(self, tmp_path):
+        cfg, _, journal, _ = _run_campaign(tmp_path)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 2, "key": "' + cfg.name + "|trunc")
+        views = load_journal_views(journal)
+        assert len(views[cfg.name].done) == 4
+
+
+class TestEventOverlay:
+    def test_events_supply_totals_health_and_finish(self, tmp_path):
+        cfg, _, journal, events = _run_campaign(tmp_path)
+        views = load_views(journal, events)
+        view = views[cfg.name]
+        assert view.total_shards == cfg.num_programs
+        assert view.finished
+        assert view.running == set()
+        assert view.eta_seconds() == 0.0
+
+    def test_running_and_failed_shards_from_stream(self):
+        events = [
+            {"event": "CampaignScheduled", "campaign": "c", "shards": 4},
+            {"event": "ShardStarted", "campaign": "c", "shard_id": 0},
+            {"event": "ShardStarted", "campaign": "c", "shard_id": 1},
+            {
+                "event": "ShardFailed",
+                "campaign": "c",
+                "shard_id": 1,
+                "attempts": 3,
+                "reason": "boom",
+            },
+            {
+                "event": "HealthEvent",
+                "campaign": "c",
+                "detector": "shard-failure",
+                "severity": "critical",
+                "message": "boom",
+                "shard_id": 1,
+            },
+        ]
+        views = apply_events({}, events)
+        view = views["c"]
+        assert view.running == {0}
+        assert view.failed == {1}
+        assert [d["detector"] for d in view.health] == ["shard-failure"]
+
+    def test_event_to_json_round_trips_through_overlay(self):
+        from repro.runner import ShardStarted
+
+        doc = event_to_json(
+            ShardStarted(campaign="c", shard_id=2), ts=123.0
+        )
+        view = apply_events({}, [doc])["c"]
+        assert view.running == {2}
+        assert view.first_ts == 123.0
+
+
+class TestRendering:
+    def test_monitor_once_renders_shards_coverage_and_verdict(
+        self, tmp_path, capsys
+    ):
+        cfg, result, journal, events = _run_campaign(tmp_path)
+        stream = io.StringIO()
+        assert monitor(journal, events_path=events, stream=stream) == 0
+        text = stream.getvalue()
+        assert "repro-scamv monitor" in text
+        assert f"== {cfg.name} (finished: 4/4 shards" in text
+        # every shard completed; counterexample shards render as C
+        grid_line = next(
+            l for l in text.splitlines() if l.strip(" #C") == ""
+            and l.strip()
+        )
+        assert len(grid_line.strip()) == cfg.num_programs
+        assert "Mpc" in text
+        assert "samples ->" in text
+        assert "convergence:" in text
+        assert any(
+            verdict in text
+            for verdict in ("saturated", "converging", "exploring")
+        )
+
+    def test_monitor_once_without_journal_exits_1(self, tmp_path, capsys):
+        stream = io.StringIO()
+        code = monitor(str(tmp_path / "missing.jsonl"), stream=stream)
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_follow_mode_stops_when_campaigns_finish(self, tmp_path):
+        _, _, journal, events = _run_campaign(tmp_path)
+        stream = io.StringIO()
+        code = monitor(
+            journal,
+            events_path=events,
+            follow=True,
+            interval=0.01,
+            stream=stream,
+            max_refreshes=50,
+        )
+        assert code == 0
+        # finished on the first refresh, no ANSI codes on a plain stream
+        assert "\x1b[" not in stream.getvalue()
+
+    def test_render_without_ledger_mentions_monitor_off(self):
+        view = CampaignView(name="c", index=0)
+        view.done[0] = (5, 0, 0, 1.0, False)
+        text = "\n".join(render_campaign(view))
+        assert "no ledger in journal" in text
+
+    def test_render_empty_views(self):
+        text = render({}, clock=lambda fmt: "12:00:00")
+        assert "(no campaigns in journal yet)" in text
+
+    def test_shard_glyphs(self):
+        view = CampaignView(name="c", index=0, total_shards=5)
+        view.done[0] = (5, 0, 0, 1.0, False)
+        view.done[1] = (5, 2, 0, 1.0, False)
+        view.running.add(2)
+        view.failed.add(3)
+        text = "\n".join(render_campaign(view))
+        assert "#CRX." in text
+
+    def test_eta_uses_median_and_parallelism(self):
+        view = CampaignView(name="c", index=0, total_shards=10)
+        for shard in range(4):
+            view.done[shard] = (1, 0, 0, 2.0, False)
+        view.running = {4, 5}
+        # 6 remaining x 2.0s median / 2 running
+        assert view.eta_seconds() == 6.0
+        # cached shards never contribute to the median
+        view.done[4] = (1, 0, 0, 99.0, True)
+        view.running = {5}
+        assert view.median_duration() == 2.0

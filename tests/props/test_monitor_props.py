@@ -1,0 +1,180 @@
+"""Property-based tests for the coverage ledger and classification hooks.
+
+1. **Classification is pure**: ``CoverageSampler.classify`` depends only on
+   the test case — never on the sampler's RNG stream — so ledgers recorded
+   in different shards (different ``SplittableRandom`` splits) classify
+   identical tests identically.  This is what makes the merged ledger a
+   pure function of the campaign config.
+2. **Merge is a commutative monoid**: shard deltas merge associatively and
+   commutatively with the empty ledger as identity, so any shard arrival
+   order (1 worker, 4 workers, resumed halves) produces the byte-identical
+   canonical document.
+"""
+
+from functools import reduce
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import (
+    CoverageSampler,
+    MagnitudeCoverage,
+    MlineCoverage,
+    NoCoverage,
+)
+from repro.hw.platform import StateInputs
+from repro.monitor.ledger import CoverageLedger, merge_ledger_docs
+from repro.obs.base import AttackerRegion
+from repro.utils.rng import SplittableRandom
+
+
+# -- strategies ---------------------------------------------------------------
+
+regs = st.dictionaries(
+    st.sampled_from(["x1", "x2", "x5", "x6"]),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    max_size=4,
+)
+memory = st.dictionaries(
+    st.integers(min_value=0, max_value=2**20), st.integers(0, 255), max_size=4
+)
+states = st.builds(StateInputs, regs=regs, memory=memory)
+pairs = st.tuples(st.integers(0, 7), st.integers(0, 7))
+
+
+@st.composite
+def case_strategy(draw):
+    """A structural stand-in for TestCase: classify only reads these."""
+
+    class Case:
+        pair = draw(pairs)
+        state1 = draw(states)
+        state2 = draw(states)
+
+    return Case()
+
+
+samplers = st.sampled_from(
+    [
+        NoCoverage(),
+        MagnitudeCoverage(),
+        MlineCoverage(region=AttackerRegion(lo_set=61, hi_set=127)),
+    ]
+)
+
+outcomes = st.sampled_from(["pass", "counterexample", "inconclusive"])
+#: (classes, outcome, program_index, test_index) recordings.
+recordings = st.lists(
+    st.tuples(
+        st.dictionaries(
+            st.sampled_from(["Mpc", "Mline", "Mmagnitude"]),
+            st.tuples(st.sampled_from(["a", "b", "c", "d"])),
+            min_size=1,
+            max_size=2,
+        ),
+        outcomes,
+        st.integers(0, 5),
+        st.integers(0, 5),
+    ),
+    max_size=12,
+)
+
+
+def _ledger_of(recs):
+    ledger = CoverageLedger("c", spaces={"Mline": 128, "Mmagnitude": 4})
+    for classes, outcome, program, test in recs:
+        ledger.record(classes, outcome, program, test)
+    return ledger
+
+
+# -- classification purity ----------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(samplers, case_strategy(), st.integers(0, 2**32 - 1))
+def test_classify_is_independent_of_rng_splits(sampler, case, seed):
+    """Classify twice around unrelated RNG consumption: same answer.
+
+    Shards draw from different ``SplittableRandom(seed).split(f"prog{i}")``
+    streams; classification must not read them at all.
+    """
+    before = sampler.classify(case)
+    rng = SplittableRandom(seed).split(f"prog{seed % 7}")
+    rng.randint(0, 1 << 30)
+    assert sampler.classify(case) == before
+    assert sampler.classify(case) == before  # and idempotent
+
+
+@settings(max_examples=60)
+@given(samplers, case_strategy())
+def test_classify_keys_lie_in_declared_spaces(sampler, case):
+    classes = sampler.classify(case)
+    spaces = sampler.spaces()
+    assert set(classes) <= set(spaces)
+    assert classes["Mpc"] == (f"pair:{case.pair[0]}-{case.pair[1]}",)
+    for model, keys in classes.items():
+        space = spaces[model]
+        if space is None:
+            continue
+        for key in keys:
+            index = int(key.partition(":")[2])
+            assert 0 <= index < space
+
+
+# -- merge algebra ------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(recordings, recordings)
+def test_merge_is_commutative(recs_a, recs_b):
+    a, b = _ledger_of(recs_a), _ledger_of(recs_b)
+    assert a.merge(b).canonical() == b.merge(a).canonical()
+
+
+@settings(max_examples=50)
+@given(recordings, recordings, recordings)
+def test_merge_is_associative(recs_a, recs_b, recs_c):
+    a, b, c = _ledger_of(recs_a), _ledger_of(recs_b), _ledger_of(recs_c)
+    assert (
+        a.merge(b).merge(c).canonical() == a.merge(b.merge(c)).canonical()
+    )
+
+
+@settings(max_examples=50)
+@given(recordings)
+def test_empty_ledger_is_the_identity(recs):
+    ledger = _ledger_of(recs)
+    empty = CoverageLedger("c", spaces={"Mline": 128, "Mmagnitude": 4})
+    assert ledger.merge(empty).canonical() == ledger.canonical()
+    assert empty.merge(ledger).canonical() == ledger.canonical()
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(recordings, min_size=1, max_size=5),
+    st.randoms(use_true_random=False),
+)
+def test_any_shard_arrival_order_yields_one_document(shards, shuffler):
+    """The worker-count-invariance property, in miniature."""
+    ledgers = [_ledger_of(recs) for recs in shards]
+    docs = [ledger.to_json() for ledger in ledgers]
+    reference = merge_ledger_docs(docs)
+    shuffled = list(docs)
+    shuffler.shuffle(shuffled)
+    assert merge_ledger_docs(shuffled) == reference
+    # pairwise reduction (how the merge layer actually folds shards)
+    folded = reduce(
+        lambda acc, ledger: acc.merge(ledger),
+        ledgers[1:],
+        ledgers[0],
+    )
+    assert folded.to_json() == reference
+
+
+@settings(max_examples=50)
+@given(recordings)
+def test_json_round_trip_preserves_canonical_form(recs):
+    ledger = _ledger_of(recs)
+    assert (
+        CoverageLedger.from_json(ledger.to_json()).canonical()
+        == ledger.canonical()
+    )

@@ -58,9 +58,15 @@ class TestEventStream:
             RunnerConfig(workers=1), events=progress_printer(stream)
         ).run(cfg)
         lines = [l for l in stream.getvalue().splitlines() if l]
-        assert len(lines) == cfg.num_programs
+        # one line per shard plus the final campaign summary line
+        assert len(lines) == cfg.num_programs + 1
         assert lines[0].startswith(f"[{cfg.name}] shard 1/{cfg.num_programs}")
-        assert "counterexamples in" in lines[-1]
+        assert "counterexamples in" in lines[-2]
+        summary = lines[-1]
+        assert summary.startswith(f"[{cfg.name}] finished:")
+        assert f"{cfg.num_programs} shards" in summary
+        assert "% inconclusive" in summary
+        assert "wall-clock" in summary
 
     def test_progress_printer_ignores_unknown_campaign_gracefully(self):
         stream = io.StringIO()

@@ -1,0 +1,144 @@
+"""``repro-scamv report`` robustness: degenerate inputs fail cleanly.
+
+The contract (exercised end-to-end through ``main``): any unreadable,
+empty, truncated, or garbage input yields a **one-line diagnostic on
+stderr and exit code 1** (2 for a missing file) — never a traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def campaign_files(tmp_path):
+    """One tiny real campaign leaving a trace + ledger + events behind."""
+    paths = {
+        "trace": str(tmp_path / "trace.jsonl"),
+        "ledger": str(tmp_path / "ledger.json"),
+        "events": str(tmp_path / "events.jsonl"),
+        "html": str(tmp_path / "dash.html"),
+    }
+    code = main(
+        [
+            "validate",
+            "--experiment",
+            "mct-a",
+            "--refined",
+            "--programs",
+            "3",
+            "--tests",
+            "2",
+            "--trace",
+            paths["trace"],
+            "--ledger-out",
+            paths["ledger"],
+            "--events-out",
+            paths["events"],
+        ]
+    )
+    assert code == 0
+    return paths
+
+
+class TestDegenerateTraces:
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        code, _, err = _run(capsys, ["report", str(tmp_path / "no.jsonl")])
+        assert code == 2
+        assert "no such trace" in err
+
+    def test_empty_file_is_exit_1_with_one_line(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, _, err = _run(capsys, ["report", str(empty)])
+        assert code == 1
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_truncated_trace_is_exit_1(self, tmp_path, capsys):
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text('[\n{"name": "span", "ph": "X", "ts"')
+        code, _, err = _run(capsys, ["report", str(truncated)])
+        assert code == 1
+        assert len(err.strip().splitlines()) == 1
+
+    def test_binary_garbage_is_exit_1(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_bytes(b"\x89PNG\r\n\x1a\n\xff\xfe\x00\x01binary")
+        code, _, err = _run(capsys, ["report", str(garbage)])
+        assert code == 1
+        assert "unreadable" in err or "no spans" in err
+        assert "Traceback" not in err
+
+    def test_text_garbage_reports_no_spans(self, tmp_path, capsys):
+        noise = tmp_path / "noise.jsonl"
+        noise.write_text("hello\nworld\n")
+        code, _, err = _run(capsys, ["report", str(noise)])
+        assert code == 1
+        assert "no spans" in err
+
+    def test_unreadable_metrics_file_is_exit_1(
+        self, campaign_files, tmp_path, capsys
+    ):
+        bad = tmp_path / "metrics.json"
+        bad.write_text("{broken")
+        code, _, err = _run(
+            capsys,
+            ["report", campaign_files["trace"], "--metrics", str(bad)],
+        )
+        assert code == 1
+        assert "metrics file" in err
+
+
+class TestHtmlExport:
+    def test_html_with_ledger_and_events(self, campaign_files, capsys):
+        code, out, err = _run(
+            capsys,
+            [
+                "report",
+                campaign_files["trace"],
+                "--html",
+                campaign_files["html"],
+                "--ledger",
+                campaign_files["ledger"],
+                "--events",
+                campaign_files["events"],
+            ],
+        )
+        assert code == 0
+        assert "dashboard written to" in err
+        text = open(campaign_files["html"], encoding="utf-8").read()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "Phase time breakdown" in text
+        assert "Coverage &amp; convergence" in text
+        # the ledger file holds one campaign; its name titles the page
+        with open(campaign_files["ledger"], encoding="utf-8") as handle:
+            (name,) = json.load(handle)["campaigns"].keys()
+        assert f"Campaign dashboard — {name}" in text
+
+    def test_unreadable_ledger_is_exit_1(
+        self, campaign_files, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad-ledger.json"
+        bad.write_text("{")
+        code, _, err = _run(
+            capsys,
+            [
+                "report",
+                campaign_files["trace"],
+                "--html",
+                campaign_files["html"],
+                "--ledger",
+                str(bad),
+            ],
+        )
+        assert code == 1
+        assert "ledger file" in err
