@@ -17,6 +17,13 @@ Examples::
     repro-scamv repair --experiment mct-a
     repro-scamv triage --experiment mpart --refined --corpus witnesses/
     repro-scamv replay witnesses/ --workers 4
+    repro-scamv validate --experiment mpart --hw-profile cortex-a53-no-prefetch
+    repro-scamv run-all scenarios/ --workers 4
+    repro-scamv serve --queue scamv-queue.sqlite --workers 4
+    repro-scamv submit scenarios/mpart-baseline.toml --wait
+    repro-scamv status
+    repro-scamv results 1
+    repro-scamv cancel 2
 
 Campaigns run through the parallel execution engine (:mod:`repro.runner`):
 ``--workers N`` shards each campaign into per-program work units across N
@@ -32,6 +39,14 @@ Prometheus text for ``.prom``/``.txt`` paths); ``report TRACE`` prints a
 per-phase cost breakdown of a recorded trace.  Telemetry is strictly
 out-of-band: enabling it does not change campaign results.
 
+Service (:mod:`repro.service`): campaigns can also be described as
+declarative scenario specs (TOML/JSON; see ``scenarios/``) and executed
+in batch — ``run-all DIR`` drains a whole corpus through one worker pool,
+and ``serve`` runs a long-lived daemon with a persistent job queue and a
+local JSON API driven by ``submit``/``status``/``results``/``cancel``.
+Either path produces result documents byte-identical to the equivalent
+one-shot ``validate`` invocation.
+
 Triage (:mod:`repro.triage`): ``triage`` runs a campaign with
 counterexample triage on — every distinct violation is minimized to a
 canonical witness, witnesses are clustered by root-cause signature, and
@@ -44,17 +59,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.repair import ModelRepairer
-from repro.exps import (
-    mct_campaign,
-    mpart_campaign,
-    mspec1_campaign,
-    straightline_campaign,
-    timing_campaign,
-    tlb_campaign,
-)
+from repro.exps import build_experiment, experiment_names
+from repro.hw.profiles import profile_names, resolve_profile
 from repro.pipeline import ExperimentDatabase, format_table
 from repro.runner import (
     ParallelRunner,
@@ -69,20 +78,35 @@ from repro.telemetry import metrics as tmetrics
 from repro.telemetry import trace as ttrace
 from repro.telemetry.report import analyze_trace
 
-_EXPERIMENTS: Dict[str, Callable] = {
-    "mpart": lambda refined, **kw: mpart_campaign(refined=refined, **kw),
-    "mpart-aligned": lambda refined, **kw: mpart_campaign(
-        refined=refined, page_aligned=True, **kw
-    ),
-    "mct-a": lambda refined, **kw: mct_campaign("A", refined=refined, **kw),
-    "mct-b": lambda refined, **kw: mct_campaign("B", refined=refined, **kw),
-    "mct-c": lambda refined, **kw: mct_campaign("C", refined=refined, **kw),
-    "mspec1-b": lambda refined, **kw: mspec1_campaign("B", **kw),
-    "mspec1-c": lambda refined, **kw: mspec1_campaign("C", **kw),
-    "straightline": lambda refined, **kw: straightline_campaign(**kw),
-    "tlb": lambda refined, **kw: tlb_campaign(refined=refined, **kw),
-    "timing": lambda refined, **kw: timing_campaign(refined=refined, **kw),
-}
+
+class _ListProfilesAction(argparse.Action):
+    """``--list-hw-profiles``: print the registry and exit (like --help),
+    so it works without the subcommand's otherwise-required arguments."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        for name in profile_names():
+            print(name)
+        parser.exit(0)
+
+
+def _add_hw_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--hw-profile",
+        default=None,
+        metavar="NAME",
+        help=(
+            "run on a named hardware configuration (same registry the "
+            "scenario spec format uses; see --list-hw-profiles)"
+        ),
+    )
+    parser.add_argument(
+        "--list-hw-profiles",
+        action=_ListProfilesAction,
+        help="print the known hardware profile names and exit",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,7 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--experiment",
         required=True,
-        choices=sorted(_EXPERIMENTS),
+        choices=experiment_names(),
         help="which evaluation setting to run",
     )
     validate.add_argument(
@@ -110,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable observation refinement (where the setting supports both)",
     )
     _add_scale_args(validate)
+    _add_hw_args(validate)
     validate.add_argument(
         "--db", default=None, help="sqlite file for experiment records"
     )
@@ -118,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "table1", help="regenerate every Table 1 column (scaled down)"
     )
     _add_scale_args(table1)
+    _add_hw_args(table1)
     table1.add_argument(
         "--db", default=None, help="sqlite file for experiment records"
     )
@@ -126,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "fig7", help="regenerate the Fig. 7 table (scaled down)"
     )
     _add_scale_args(fig7)
+    _add_hw_args(fig7)
     fig7.add_argument(
         "--db", default=None, help="sqlite file for experiment records"
     )
@@ -215,7 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
     triage.add_argument(
         "--experiment",
         required=True,
-        choices=sorted(_EXPERIMENTS),
+        choices=experiment_names(),
         help="which evaluation setting to run",
     )
     triage.add_argument(
@@ -281,10 +308,125 @@ def _build_parser() -> argparse.ArgumentParser:
     repair.add_argument(
         "--experiment",
         required=True,
-        choices=sorted(_EXPERIMENTS),
+        choices=experiment_names(),
     )
     _add_scale_args(repair)
+
+    run_all_cmd = sub.add_parser(
+        "run-all",
+        help=(
+            "daemonless batch execution: run every scenario spec in a "
+            "directory through one worker pool"
+        ),
+    )
+    run_all_cmd.add_argument(
+        "directory", help="directory of scenario specs (.toml/.json)"
+    )
+    _add_service_exec_args(run_all_cmd)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "long-lived campaign service: persistent job queue + local "
+            "JSON API (submit/status/results/cancel)"
+        ),
+    )
+    serve.add_argument(
+        "--queue",
+        default="scamv-queue.sqlite",
+        metavar="PATH",
+        help="sqlite job-queue file (created if missing)",
+    )
+    serve.add_argument("--host", default=None, help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=None, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+    _add_service_exec_args(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a scenario spec to a running service"
+    )
+    submit.add_argument("spec", help="scenario spec file (.toml/.json)")
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        help="override the spec's queue priority (higher runs first)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and report its final state",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="give up waiting after this long (with --wait)",
+    )
+    _add_url_arg(submit)
+
+    status = sub.add_parser(
+        "status", help="show the service queue, or one job"
+    )
+    status.add_argument(
+        "job", nargs="?", type=int, default=None, help="job id (default: all)"
+    )
+    _add_url_arg(status)
+
+    results = sub.add_parser(
+        "results", help="fetch a finished job's result document"
+    )
+    results.add_argument("job", type=int, help="job id")
+    results.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the canonical result document here (default: stdout)",
+    )
+    _add_url_arg(results)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job", type=int, help="job id")
+    _add_url_arg(cancel)
     return parser
+
+
+def _add_service_exec_args(parser: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by the orchestrator entry points."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per job (results are identical at any count)",
+    )
+    parser.add_argument(
+        "--artifact-root",
+        default="scamv-artifacts",
+        metavar="DIR",
+        help="root directory for per-job artifact directories",
+    )
+    parser.add_argument(
+        "--dashboards",
+        action="store_true",
+        help="write a self-contained HTML dashboard per job",
+    )
+
+
+def _add_url_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.service.client import DEFAULT_URL
+
+    parser.add_argument(
+        "--url",
+        default=DEFAULT_URL,
+        help=f"service base URL (default: {DEFAULT_URL})",
+    )
 
 
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
@@ -447,11 +589,14 @@ def _runner(args, session: Optional[_TelemetrySession] = None) -> ParallelRunner
 
 
 def _campaign(args, name: str, refined: bool):
-    return _EXPERIMENTS[name](
-        refined,
+    profile = getattr(args, "hw_profile", None)
+    return build_experiment(
+        name,
+        refined=refined,
         num_programs=args.programs,
         tests_per_program=args.tests,
         seed=args.seed,
+        core=resolve_profile(profile) if profile else None,
     )
 
 
@@ -787,6 +932,167 @@ def _cmd_repair(args) -> int:
     return 0 if report.succeeded else 1
 
 
+def _orchestrator_config(args):
+    from repro.service import OrchestratorConfig
+
+    return OrchestratorConfig(
+        workers=args.workers,
+        artifact_root=args.artifact_root,
+        dashboards=args.dashboards,
+    )
+
+
+def _cmd_run_all(args) -> int:
+    import os
+
+    from repro.errors import ServiceError
+    from repro.service import load_corpus, run_all
+
+    if not os.path.isdir(args.directory):
+        print(f"no such scenario directory: {args.directory}", file=sys.stderr)
+        return 2
+    try:
+        specs = load_corpus(args.directory)
+    except ServiceError as exc:
+        print(f"corpus {args.directory} is invalid: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"running {len(specs)} scenario(s) from {args.directory} "
+        f"({args.workers} worker(s), artifacts under {args.artifact_root})",
+        file=sys.stderr,
+    )
+    outcomes = run_all(
+        specs, _orchestrator_config(args), handle_signals=True
+    )
+    if not outcomes:
+        print("interrupted before any scenario finished", file=sys.stderr)
+        return 1
+    done = [r.stats for _, r in outcomes if r is not None]
+    if done:
+        print()
+        print(format_table(done, title=f"run-all: {args.directory}"))
+    failed = [job for job, r in outcomes if job.state != "done"]
+    for job in failed:
+        print(
+            f"scenario {job.name!r} (job {job.id}) {job.state}: "
+            f"{job.error or 'no error recorded'}",
+            file=sys.stderr,
+        )
+    print(
+        f"\n{len(done)}/{len(outcomes)} scenario(s) done; "
+        f"artifacts under {args.artifact_root}",
+        file=sys.stderr,
+    )
+    return 0 if not failed else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceDaemon
+
+    daemon = ServiceDaemon(
+        args.queue,
+        _orchestrator_config(args),
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        log_requests=args.log_requests,
+    )
+    return daemon.serve()
+
+
+def _service_call(args, call) -> int:
+    """Run one client call; service errors become one-line diagnostics."""
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        return call(ServiceClient(args.url))
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+
+def _print_job_line(doc) -> None:
+    print(
+        f"job {doc['id']}: {doc['name']} [{doc['state']}] "
+        f"priority {doc['priority']} attempts {doc['attempts']}"
+        + (f" error: {doc['error']}" if doc.get("error") else "")
+    )
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except ServiceError as exc:
+        print(f"spec {args.spec} is invalid: {exc}", file=sys.stderr)
+        return 2
+
+    def call(client) -> int:
+        job = client.submit(spec.to_doc(), priority=args.priority)
+        _print_job_line(job)
+        if not args.wait:
+            return 0
+        final = client.wait(job["id"], timeout=args.timeout)
+        _print_job_line(final)
+        return 0 if final["state"] == "done" else 1
+
+    return _service_call(args, call)
+
+
+def _cmd_status(args) -> int:
+    def call(client) -> int:
+        if args.job is not None:
+            _print_job_line(client.status(args.job))
+            return 0
+        doc = client.status()
+        for job in doc["jobs"]:
+            _print_job_line(job)
+        counts = doc["counts"]
+        print(
+            "queue: "
+            + ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+        )
+        return 0
+
+    return _service_call(args, call)
+
+
+def _cmd_results(args) -> int:
+    import json
+
+    def call(client) -> int:
+        doc = client.results(args.job)
+        summary = doc.get("summary") or {}
+        counters = summary.get("counters") or {}
+        print(
+            f"job {args.job}: {summary.get('scenario')} "
+            f"({summary.get('campaign')}) "
+            f"{counters.get('counterexamples', '?')} counterexample(s), "
+            f"sha256 {summary.get('result_sha256', '?')[:16]}...",
+            file=sys.stderr,
+        )
+        payload = json.dumps(doc.get("document"), sort_keys=True, indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"result document written to {args.output}", file=sys.stderr)
+        else:
+            print(payload)
+        return 0
+
+    return _service_call(args, call)
+
+
+def _cmd_cancel(args) -> int:
+    def call(client) -> int:
+        _print_job_line(client.cancel(args.job))
+        return 0
+
+    return _service_call(args, call)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -799,6 +1105,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "attack": _cmd_attack,
         "repair": _cmd_repair,
+        "run-all": _cmd_run_all,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "results": _cmd_results,
+        "cancel": _cmd_cancel,
     }
     return handlers[args.command](args)
 

@@ -77,3 +77,11 @@ class ExperimentError(PipelineError):
 
 class TriageError(ReproError):
     """Counterexample triage failure: malformed witness or corpus."""
+
+
+class ServiceError(ReproError):
+    """Campaign-service failure: queue, orchestrator, daemon, or client."""
+
+
+class SpecError(ServiceError):
+    """A scenario specification failed schema validation or parsing."""

@@ -13,12 +13,20 @@ from repro.exps.presets import (
     timing_campaign,
     tlb_campaign,
 )
+from repro.exps.registry import (
+    EXPERIMENTS,
+    build_experiment,
+    experiment_names,
+)
 
 __all__ = [
     "ATTACKER_SETS_PAGE_ALIGNED",
     "ATTACKER_SETS_UNALIGNED",
+    "EXPERIMENTS",
     "REGION_PAGE_ALIGNED",
     "REGION_UNALIGNED",
+    "build_experiment",
+    "experiment_names",
     "mct_campaign",
     "mpart_campaign",
     "mspec1_campaign",

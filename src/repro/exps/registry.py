@@ -1,0 +1,66 @@
+"""The experiment registry: names -> campaign preset factories.
+
+One shared mapping backs every way of naming an experiment — the CLI's
+``--experiment`` choices, the scenario spec format's ``experiment`` key
+(:mod:`repro.service.spec`), and the table commands' column lists — so a
+name means exactly the same campaign everywhere.  Each factory takes the
+``refined`` flag plus the preset keyword arguments (``num_programs``,
+``tests_per_program``, ``seed``, ``core``); presets without a refinement
+variant ignore ``refined``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exps.presets import (
+    mct_campaign,
+    mpart_campaign,
+    mspec1_campaign,
+    straightline_campaign,
+    timing_campaign,
+    tlb_campaign,
+)
+from repro.pipeline.config import CampaignConfig
+
+#: ``name -> factory(refined, **kwargs) -> CampaignConfig``.
+EXPERIMENTS: Dict[str, Callable[..., CampaignConfig]] = {
+    "mpart": lambda refined, **kw: mpart_campaign(refined=refined, **kw),
+    "mpart-aligned": lambda refined, **kw: mpart_campaign(
+        refined=refined, page_aligned=True, **kw
+    ),
+    "mct-a": lambda refined, **kw: mct_campaign("A", refined=refined, **kw),
+    "mct-b": lambda refined, **kw: mct_campaign("B", refined=refined, **kw),
+    "mct-c": lambda refined, **kw: mct_campaign("C", refined=refined, **kw),
+    "mspec1-b": lambda refined, **kw: mspec1_campaign("B", **kw),
+    "mspec1-c": lambda refined, **kw: mspec1_campaign("C", **kw),
+    "straightline": lambda refined, **kw: straightline_campaign(**kw),
+    "tlb": lambda refined, **kw: tlb_campaign(refined=refined, **kw),
+    "timing": lambda refined, **kw: timing_campaign(refined=refined, **kw),
+}
+
+
+def experiment_names() -> List[str]:
+    """Registered experiment names, sorted for stable enumeration."""
+    return sorted(EXPERIMENTS)
+
+
+def build_experiment(
+    name: str,
+    refined: bool = False,
+    **kwargs,
+) -> CampaignConfig:
+    """Instantiate a named experiment's :class:`CampaignConfig`.
+
+    Raises :class:`ValueError` naming the known experiments for an unknown
+    ``name`` (the CLI layer converts argparse choices earlier; the spec
+    loader relies on this diagnostic).
+    """
+    try:
+        factory = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(experiment_names())
+        raise ValueError(
+            f"unknown experiment {name!r} (known: {known})"
+        ) from None
+    return factory(refined, **kwargs)

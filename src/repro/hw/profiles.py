@@ -19,6 +19,9 @@ cores discussed in the paper and for the ablation points of §6.5:
 
 from __future__ import annotations
 
+from typing import Callable, Dict, List
+
+from repro.errors import HardwareError
 from repro.hw.cache import CacheConfig
 from repro.hw.core import CoreConfig
 from repro.hw.predictor import PredictorConfig
@@ -64,6 +67,39 @@ def out_of_order(spec_window: int = 32) -> CoreConfig:
     )
 
 
+#: Named hardware profiles, the registry both the CLI (``--hw-profile``)
+#: and the scenario spec format (``hw_profile = "..."``) resolve against.
+#: Values are zero-argument factories so each resolution gets a fresh
+#: (immutable) :class:`CoreConfig`.
+PROFILES: Dict[str, Callable[[], CoreConfig]] = {}
+
+
+def _profile(name: str, factory: Callable[[], CoreConfig]) -> None:
+    PROFILES[name] = factory
+
+
+def profile_names() -> List[str]:
+    """Every registered profile name, sorted for stable enumeration."""
+    return sorted(PROFILES)
+
+
+def resolve_profile(name: str) -> CoreConfig:
+    """Build the :class:`CoreConfig` of a named profile.
+
+    Raises :class:`~repro.errors.HardwareError` naming the known profiles
+    when ``name`` is not registered, so CLI and spec validation report the
+    same diagnostic.
+    """
+    try:
+        factory = PROFILES[name]
+    except KeyError:
+        known = ", ".join(profile_names())
+        raise HardwareError(
+            f"unknown hardware profile {name!r} (known: {known})"
+        ) from None
+    return factory()
+
+
 def cortex_m0_like() -> CoreConfig:
     """A microcontroller-class core: in-order, no cache state to leak.
 
@@ -78,3 +114,11 @@ def cortex_m0_like() -> CoreConfig:
         spec_window=0,
         variable_time_multiply=False,
     )
+
+
+_profile("cortex-a53", cortex_a53)
+_profile("cortex-a53-no-speculation", cortex_a53_no_speculation)
+_profile("cortex-a53-l2", cortex_a53_with_l2)
+_profile("cortex-a53-no-prefetch", cortex_a53_no_prefetch)
+_profile("out-of-order", out_of_order)
+_profile("cortex-m0", cortex_m0_like)

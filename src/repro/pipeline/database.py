@@ -87,6 +87,14 @@ class ExperimentDatabase:
     def __init__(self, path: str = ":memory:"):
         self.path = path
         self._conn = sqlite3.connect(path)
+        # Daemon-era access pattern: a status/results reader may open the
+        # file while a job is writing.  WAL keeps readers unblocked by the
+        # writer (and vice versa); the busy timeout makes the rare
+        # writer-vs-writer collision wait instead of raising "database is
+        # locked".  WAL is meaningless for in-memory databases.
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
         stored = self.schema_version
         if stored > SCHEMA_VERSION:
             self._conn.close()

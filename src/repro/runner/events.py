@@ -225,12 +225,18 @@ class EventLog:
 
 def progress_printer(
     stream: Optional[TextIO] = None,
+    prefix: str = "",
 ) -> EventSink:
     """An event sink rendering the CLI's per-shard progress lines.
 
     Keeps a cumulative counterexample/experiment count per campaign so the
     output reads like the sequential driver's progress messages even when
     shards finish out of order.
+
+    ``prefix`` is prepended to every line.  The batch orchestrator labels
+    each job's printer with the scenario name (``[name#id] ``) so merged
+    output from interleaved campaigns stays attributable — including lines
+    that carry no campaign of their own, like :class:`RunnerDegraded`.
     """
     import sys
 
@@ -246,7 +252,7 @@ def progress_printer(
     def emit(text: str) -> None:
         # Flush per line: progress must reach the terminal while a long
         # campaign is still running, not when the buffer happens to fill.
-        print(text, file=out, flush=True)
+        print(prefix + text, file=out, flush=True)
 
     def sink(event: RunnerEvent) -> None:
         if isinstance(event, CampaignScheduled):

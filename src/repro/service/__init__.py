@@ -1,0 +1,74 @@
+"""Campaign-as-a-service: declarative scenarios behind a persistent queue.
+
+The multi-tenant entry point over the existing runner/telemetry/triage/
+monitor layers: campaigns are described as data, queued, and executed by
+an orchestrator — interactively (``repro-scamv run-all``) or by a
+long-lived daemon with a local JSON-over-HTTP API (``repro-scamv
+serve`` + ``submit``/``status``/``results``/``cancel``).
+
+Layers:
+
+* :mod:`repro.service.spec`         — scenario documents (TOML/JSON) + schema
+* :mod:`repro.service.queue`        — SQLite-backed persistent job queue
+* :mod:`repro.service.orchestrator` — queue drain over the process pool
+* :mod:`repro.service.api`          — route dispatch (HTTP-independent)
+* :mod:`repro.service.daemon`       — the long-lived HTTP service
+* :mod:`repro.service.client`       — JSON client for the CLI verbs
+
+Invariant: the queue is orchestration, never semantics.  A scenario's
+result is bit-identical to the equivalent one-shot ``repro-scamv
+validate`` invocation, for the same seed, at any worker count, on every
+execution path (one-shot, ``run-all``, daemon).
+"""
+
+from repro.service.api import API_VERSION, ServiceApi
+from repro.service.client import DEFAULT_URL, ServiceClient
+from repro.service.daemon import DEFAULT_HOST, DEFAULT_PORT, ServiceDaemon
+from repro.service.orchestrator import (
+    Orchestrator,
+    OrchestratorConfig,
+    ShutdownRequested,
+    campaign_document,
+    deterministic_record,
+    document_bytes,
+    run_all,
+)
+from repro.service.queue import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    Job,
+    JobQueue,
+)
+from repro.service.spec import (
+    SPEC_VERSION,
+    ScenarioSpec,
+    load_corpus,
+    load_spec,
+    parse_spec,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "API_VERSION",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_URL",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "Orchestrator",
+    "OrchestratorConfig",
+    "SPEC_VERSION",
+    "ScenarioSpec",
+    "ServiceApi",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ShutdownRequested",
+    "campaign_document",
+    "deterministic_record",
+    "document_bytes",
+    "load_corpus",
+    "load_spec",
+    "parse_spec",
+    "run_all",
+]

@@ -1,0 +1,148 @@
+"""The service API: routes and request handling, independent of HTTP.
+
+:class:`ServiceApi` maps (method, path, body) requests onto the job queue
+and returns ``(status code, JSON document)`` pairs.  The daemon's HTTP
+handler (:mod:`repro.service.daemon`) is a thin byte shuffler around this
+class, and the client (:mod:`repro.service.client`) speaks the same
+routes — keeping the protocol in one place and unit-testable without
+opening sockets.
+
+Routes (all JSON)::
+
+    GET  /api/v1/health               liveness + queue counts
+    GET  /api/v1/jobs                 every job (newest last) + counts
+    POST /api/v1/jobs                 submit {"spec": {...}, "priority"?: n}
+    GET  /api/v1/jobs/<id>            one job document
+    GET  /api/v1/jobs/<id>/result     result summary + canonical document
+    POST /api/v1/jobs/<id>/cancel     cancel a queued/running job
+
+Errors are ``{"error": "..."}`` with 400 (bad request/spec), 404 (no such
+job or route), or 409 (result requested before the job is done).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServiceError, SpecError
+from repro.service.queue import JobQueue
+
+#: Protocol generation, reported by /health and checked by the client.
+API_VERSION = 1
+
+#: Common route prefix.
+API_PREFIX = "/api/v1"
+
+_JOB_PATH = re.compile(r"^/api/v1/jobs/(\d+)(/result|/cancel)?$")
+
+#: ``(status, doc)`` — what every handler returns.
+Response = Tuple[int, Dict]
+
+
+class ServiceApi:
+    """Request dispatch over one job queue."""
+
+    def __init__(self, queue: JobQueue, workers: int = 1):
+        self.queue = queue
+        self.workers = workers
+        self.started_at = time.time()
+
+    # -- dispatch -------------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Response:
+        """Route one request; never raises for client errors."""
+        try:
+            return self._route(method, path, body)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}
+        except ServiceError as exc:
+            return 400, {"error": str(exc)}
+
+    def _route(
+        self, method: str, path: str, body: Optional[Dict]
+    ) -> Response:
+        path = path.rstrip("/") or "/"
+        if path == f"{API_PREFIX}/health" and method == "GET":
+            return self.health()
+        if path == f"{API_PREFIX}/jobs":
+            if method == "GET":
+                return self.list_jobs()
+            if method == "POST":
+                return self.submit(body)
+            return 405, {"error": f"method {method} not allowed on {path}"}
+        match = _JOB_PATH.match(path)
+        if match is not None:
+            job_id = int(match.group(1))
+            tail = match.group(2)
+            if tail is None and method == "GET":
+                return self.status(job_id)
+            if tail == "/result" and method == "GET":
+                return self.result(job_id)
+            if tail == "/cancel" and method == "POST":
+                return self.cancel(job_id)
+            return 405, {"error": f"method {method} not allowed on {path}"}
+        return 404, {"error": f"no such route: {method} {path}"}
+
+    # -- handlers -------------------------------------------------------------
+
+    def health(self) -> Response:
+        return 200, {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "uptime": time.time() - self.started_at,
+            "workers": self.workers,
+            "queue": self.queue.path,
+            "counts": self.queue.counts(),
+        }
+
+    def list_jobs(self) -> Response:
+        return 200, {
+            "jobs": [job.to_json() for job in self.queue.jobs()],
+            "counts": self.queue.counts(),
+        }
+
+    def submit(self, body: Optional[Dict]) -> Response:
+        if not isinstance(body, dict) or "spec" not in body:
+            return 400, {"error": 'submit body must be {"spec": {...}}'}
+        priority = body.get("priority")
+        if priority is not None and (
+            not isinstance(priority, int) or isinstance(priority, bool)
+        ):
+            return 400, {"error": "priority must be an integer"}
+        job = self.queue.submit(body["spec"], priority=priority)
+        return 201, job.to_json()
+
+    def status(self, job_id: int) -> Response:
+        job = self.queue.job(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        return 200, job.to_json()
+
+    def result(self, job_id: int) -> Response:
+        job = self.queue.job(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        if job.state != "done":
+            return 409, {
+                "error": f"job {job_id} is {job.state}, not done",
+                "state": job.state,
+            }
+        doc = None
+        summary = job.result or {}
+        result_path = (summary.get("artifacts") or {}).get("result")
+        if result_path and os.path.exists(result_path):
+            with open(result_path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        return 200, {"job": job.to_json(), "summary": summary, "document": doc}
+
+    def cancel(self, job_id: int) -> Response:
+        job = self.queue.cancel(job_id)
+        if job is None:
+            return 404, {"error": f"no such job: {job_id}"}
+        return 200, job.to_json()

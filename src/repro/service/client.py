@@ -1,0 +1,125 @@
+"""The service client: talk JSON to a running campaign daemon.
+
+Used by the ``submit``/``status``/``results``/``cancel`` CLI verbs and by
+tests; stdlib :mod:`urllib.request` only.  Server-reported errors (the
+``{"error": ...}`` documents of :mod:`repro.service.api`) surface as
+:class:`~repro.errors.ServiceError` with the server's message, so CLI
+output matches what the daemon actually objected to.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.api import API_PREFIX
+from repro.service.daemon import DEFAULT_HOST, DEFAULT_PORT
+
+#: Where the CLI verbs look for the daemon unless ``--url`` says otherwise.
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+class ServiceClient:
+    """A thin JSON-over-HTTP client for one daemon."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.url}{API_PREFIX}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._error_message(exc)) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"service returned invalid JSON: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ServiceError("service returned a non-object document")
+        return doc
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+            detail = doc.get("error")
+        except Exception:
+            detail = None
+        if detail:
+            return f"service error ({exc.code}): {detail}"
+        return f"service error ({exc.code}): {exc.reason}"
+
+    # -- API ------------------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def submit(self, spec_doc: Dict, priority: Optional[int] = None) -> Dict:
+        body: Dict = {"spec": spec_doc}
+        if priority is not None:
+            body["priority"] = priority
+        return self._request("POST", "/jobs", body)
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: Optional[int] = None) -> Dict:
+        if job_id is None:
+            return self._request("GET", "/jobs")
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: int) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: int) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: int,
+        timeout: float = 300.0,
+        poll: float = 0.25,
+    ) -> Dict:
+        """Poll until the job leaves the active states; returns its doc.
+
+        Raises :class:`ServiceError` on timeout — the job is still queued
+        or running, and the caller decides whether that is a failure.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc.get("state") not in ("queued", "running"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {doc.get('state')} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,191 @@
+"""The long-lived campaign service daemon: HTTP front, orchestrator back.
+
+``repro-scamv serve`` runs one process with two halves sharing a
+:class:`~repro.service.queue.JobQueue`:
+
+* a threading HTTP server exposing the JSON API
+  (:class:`~repro.service.api.ServiceApi`) for submit/status/results/
+  cancel/health — stdlib :mod:`http.server` only, bound to localhost by
+  default;
+* a background orchestrator thread draining the queue through the
+  campaign runner (:mod:`repro.service.orchestrator`).
+
+Startup requeues jobs a previous daemon left ``running`` (crash
+recovery).  SIGTERM/SIGINT shut down gracefully: the HTTP server stops
+accepting, the orchestrator finishes nothing new, and any still-running
+job is requeued — its checkpoint journal preserves the completed shards,
+so the next daemon resumes it instead of restarting.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, TextIO
+
+from repro.service.api import ServiceApi
+from repro.service.orchestrator import Orchestrator, OrchestratorConfig
+from repro.service.queue import JobQueue
+
+#: Default bind address of the local service.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+_MAX_BODY = 4 * 1024 * 1024  # a spec document is tiny; 4 MiB is generous
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Byte shuffling around :class:`ServiceApi` (which owns the logic)."""
+
+    server_version = "repro-scamv-service/1"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, doc) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return None
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        doc = json.loads(raw.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _handle(self, method: str) -> None:
+        try:
+            body = self._body() if method == "POST" else None
+        except (ValueError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._respond(400, {"error": f"bad request body: {exc}"})
+            return
+        status, doc = self.server.api.handle(method, self.path, body)
+        self._respond(status, doc)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle("POST")
+
+    def log_message(self, format: str, *args) -> None:
+        # Request logging goes through the daemon's stream, not stderr
+        # unconditionally; the orchestrator's progress lines are the
+        # interesting output.
+        if self.server.daemon_log is not None:
+            self.server.daemon_log.write(
+                f"[http] {self.address_string()} {format % args}\n"
+            )
+            self.server.daemon_log.flush()
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    api: ServiceApi
+    daemon_log: Optional[TextIO] = None
+
+
+class ServiceDaemon:
+    """One daemon instance: queue + orchestrator thread + HTTP server."""
+
+    def __init__(
+        self,
+        queue_path: str,
+        config: Optional[OrchestratorConfig] = None,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        out: Optional[TextIO] = None,
+        log_requests: bool = False,
+    ):
+        self.queue = JobQueue(queue_path)
+        self.config = config or OrchestratorConfig()
+        self.out = out if out is not None else sys.stderr
+        self.orchestrator = Orchestrator(self.queue, self.config, out=self.out)
+        self.api = ServiceApi(self.queue, workers=self.config.workers)
+        self._server = _Server((host, port), _Handler)
+        self._server.api = self.api
+        self._server.daemon_log = self.out if log_requests else None
+        self._thread: Optional[threading.Thread] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start orchestrator and HTTP threads (non-blocking; for tests
+        and for :meth:`serve`, which then just waits)."""
+        recovered = self.orchestrator.recover()
+        if recovered:
+            print(
+                f"recovered {recovered} interrupted job(s) back to queued",
+                file=self.out,
+            )
+        self._thread = threading.Thread(
+            target=self.orchestrator.serve_forever,
+            name="scamv-orchestrator",
+            daemon=True,
+        )
+        self._thread.start()
+        self._http_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="scamv-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: close the API, stop the loop, requeue leftovers."""
+        self._server.shutdown()
+        self._server.server_close()
+        self.orchestrator.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        # The process is exiting: anything still marked running cannot
+        # make further progress, so hand it back to the queue.  Completed
+        # shards are in the job's checkpoint journal; the next daemon
+        # resumes from there.
+        requeued = self.queue.requeue_running("requeued by daemon shutdown")
+        if requeued:
+            print(
+                f"requeued {requeued} running job(s) for the next daemon",
+                file=self.out,
+            )
+        self.queue.close()
+
+    def serve(self) -> int:
+        """Foreground daemon entry point (the ``serve`` CLI verb)."""
+        stop = threading.Event()
+
+        def handle(signum, frame):
+            stop.set()
+
+        signal.signal(signal.SIGTERM, handle)
+        signal.signal(signal.SIGINT, handle)
+        self.start()
+        print(
+            f"repro-scamv service listening on {self.address} "
+            f"(queue {self.queue.path}, {self.config.workers} worker(s), "
+            f"artifacts under {self.config.artifact_root})",
+            file=self.out,
+        )
+        while not stop.is_set():
+            stop.wait(0.2)
+        print("shutting down...", file=self.out)
+        self.shutdown()
+        return 0

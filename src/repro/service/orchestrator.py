@@ -1,0 +1,321 @@
+"""The batch orchestrator: drain the job queue through the campaign runner.
+
+Claims jobs in priority order and executes each through the existing
+:class:`~repro.runner.ParallelRunner` process pool under one global worker
+budget.  The queue is orchestration, never semantics: a job's campaign
+result is the same :class:`~repro.pipeline.result.CampaignResult` the
+equivalent one-shot ``repro-scamv validate`` invocation produces — the
+deterministic payload written to each job's ``result.json`` is
+byte-identical at any worker count and against the one-shot path.
+
+Fault model:
+
+* Every job journals completed shards to its own ``checkpoint.jsonl``
+  (``resume=True``), so a requeued or crash-recovered job resumes instead
+  of restarting.
+* SIGTERM/SIGINT during a job (foreground mode: ``run-all``, ``serve``)
+  raises :class:`ShutdownRequested` in the scheduler loop; the in-flight
+  job is requeued — its journal keeps the finished shards — and the drain
+  loop exits cleanly.
+* A job cancelled mid-run keeps its ``cancelled`` state: the finishing
+  transition is guarded in the queue, and the orchestrator discards the
+  result.
+
+Artifacts per job, under ``<artifact_root>/job-<id>-<name>/``:
+``checkpoint.jsonl`` (resume journal), ``events.jsonl`` (runner event
+stream, tailable by ``repro-scamv monitor``), ``result.json`` (canonical
+deterministic campaign document), ``summary.json`` (stats row incl.
+timings), ``ledger.json`` (coverage, when monitoring), and
+``dashboard.html`` when enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.errors import ServiceError
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.result import CampaignResult, ExperimentRecord
+from repro.runner import (
+    ParallelRunner,
+    RunnerConfig,
+    jsonl_sink,
+    progress_printer,
+    tee,
+)
+from repro.service.queue import Job, JobQueue
+from repro.service.spec import ScenarioSpec, parse_spec
+
+
+class ShutdownRequested(Exception):
+    """Raised into the foreground drain loop by the signal handlers."""
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    """Scheduling knobs, orthogonal to what any campaign computes."""
+
+    #: Global worker budget: each job's shards run across a pool of (at
+    #: most) this many processes.
+    workers: int = 1
+    #: Root directory for per-job artifact directories.
+    artifact_root: str = "scamv-artifacts"
+    #: Seconds the daemon's drain loop sleeps between empty-queue polls.
+    poll_interval: float = 0.5
+    #: Write a self-contained HTML dashboard per job.
+    dashboards: bool = False
+    #: Identity string recorded on claimed jobs (defaults to the pid).
+    worker_name: Optional[str] = None
+
+
+def deterministic_record(record: ExperimentRecord) -> Dict:
+    """An experiment record's JSON form minus the wall-clock fields.
+
+    ``gen_time``/``exe_time`` legitimately differ run to run; everything
+    else is a pure function of (config, program index).
+    """
+    doc = record.to_json()
+    doc.pop("gen_time")
+    doc.pop("exe_time")
+    return doc
+
+
+def campaign_document(
+    scenario: str, config: CampaignConfig, result: CampaignResult
+) -> Dict:
+    """The canonical deterministic document of one campaign result.
+
+    Two runs of the same scenario — one-shot CLI, orchestrator, daemon, at
+    any worker count — must serialize this document to identical bytes.
+    """
+    return {
+        "scenario": scenario,
+        "campaign": config.name,
+        "seed": config.seed,
+        "counters": result.stats.deterministic_counters(),
+        "records": [deterministic_record(r) for r in result.records],
+        "witnesses": [w.to_json() for w in result.witnesses],
+        "ledger": result.ledger,
+    }
+
+
+def document_bytes(doc: Dict) -> bytes:
+    """Canonical serialization (sorted keys, stable separators)."""
+    return (
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-") or "job"
+
+
+class Orchestrator:
+    """Drains a :class:`JobQueue` through the parallel campaign runner."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        config: Optional[OrchestratorConfig] = None,
+        out: Optional[TextIO] = None,
+    ):
+        self.queue = queue
+        self.config = config or OrchestratorConfig()
+        self.out = out if out is not None else sys.stderr
+        self._stop = threading.Event()
+        self._worker = self.config.worker_name or f"pid-{os.getpid()}"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def stop(self) -> None:
+        """Ask the drain loop to exit after the current job."""
+        self._stop.set()
+
+    def recover(self) -> int:
+        """Requeue jobs a dead orchestrator left ``running`` (startup)."""
+        return self.queue.requeue_running("requeued by startup recovery")
+
+    def install_signal_handlers(self) -> None:
+        """Foreground mode: SIGTERM/SIGINT requeue the in-flight job.
+
+        The handler raises :class:`ShutdownRequested` in the main thread;
+        :meth:`run_job` catches it, requeues, and re-raises so the drain
+        loop stops.  Only callable from the main thread (the daemon stops
+        its background orchestrator via :meth:`stop` instead).
+        """
+
+        def handle(signum, frame):
+            self._stop.set()
+            raise ShutdownRequested(signal.Signals(signum).name)
+
+        signal.signal(signal.SIGTERM, handle)
+        signal.signal(signal.SIGINT, handle)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_job(self, job: Job) -> Tuple[Job, Optional[CampaignResult]]:
+        """Execute one claimed job; returns the refreshed row + result."""
+        try:
+            spec = parse_spec(job.spec, source=f"job {job.id}")
+            config = spec.build()
+        except ServiceError as exc:
+            self.queue.fail(job.id, f"invalid spec: {exc}")
+            return self._refreshed(job), None
+
+        artifact_dir = os.path.join(
+            self.config.artifact_root, f"job-{job.id:04d}-{_slug(spec.name)}"
+        )
+        os.makedirs(artifact_dir, exist_ok=True)
+        checkpoint = os.path.join(artifact_dir, "checkpoint.jsonl")
+        events_path = os.path.join(artifact_dir, "events.jsonl")
+        self.queue.set_paths(
+            job.id, checkpoint_path=checkpoint, artifact_dir=artifact_dir
+        )
+        if self.config.dashboards:
+            config.dashboard = os.path.join(artifact_dir, "dashboard.html")
+        # Job labels on every progress line: the daemon's log interleaves
+        # successive campaigns (and a tailing terminal can't tell two
+        # scenarios of the same preset apart by campaign name alone).
+        events = tee(
+            progress_printer(self.out, prefix=f"[{spec.name}#{job.id}] "),
+            jsonl_sink(events_path),
+        )
+        runner = ParallelRunner(
+            RunnerConfig(
+                workers=self.config.workers,
+                shard_timeout=spec.shard_timeout,
+                checkpoint_path=checkpoint,
+                resume=True,
+                health=config.monitor,
+            ),
+            events=events,
+        )
+        started = time.monotonic()
+        try:
+            result = runner.run(config)
+        except ShutdownRequested:
+            self.queue.requeue(job.id, "requeued by shutdown")
+            raise
+        except Exception as exc:  # fault-tolerant: one bad job, not the queue
+            self.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+            return self._refreshed(job), None
+        summary = self._write_artifacts(
+            spec, config, result, artifact_dir, time.monotonic() - started
+        )
+        if not self.queue.finish(job.id, summary):
+            # Cancelled (or otherwise moved) while running: the guarded
+            # transition left that state alone; the result artifacts stay
+            # on disk but the job does not become 'done'.
+            return self._refreshed(job), None
+        return self._refreshed(job), result
+
+    def _refreshed(self, job: Job) -> Job:
+        refreshed = self.queue.job(job.id)
+        return refreshed if refreshed is not None else job
+
+    def _write_artifacts(
+        self,
+        spec: ScenarioSpec,
+        config: CampaignConfig,
+        result: CampaignResult,
+        artifact_dir: str,
+        duration: float,
+    ) -> Dict:
+        """Write result/summary/ledger files; returns the queue summary."""
+        doc = campaign_document(spec.name, config, result)
+        payload = document_bytes(doc)
+        result_path = os.path.join(artifact_dir, "result.json")
+        with open(result_path, "wb") as handle:
+            handle.write(payload)
+        artifacts = {"result": result_path}
+        if result.ledger is not None:
+            from repro.monitor.ledger import write_ledger_file
+
+            ledger_path = os.path.join(artifact_dir, "ledger.json")
+            write_ledger_file(ledger_path, {config.name: result.ledger})
+            artifacts["ledger"] = ledger_path
+        if config.dashboard:
+            artifacts["dashboard"] = config.dashboard
+        artifacts["checkpoint"] = os.path.join(
+            artifact_dir, "checkpoint.jsonl"
+        )
+        artifacts["events"] = os.path.join(artifact_dir, "events.jsonl")
+        summary = {
+            "scenario": spec.name,
+            "campaign": config.name,
+            "counters": result.stats.deterministic_counters(),
+            "result_sha256": hashlib.sha256(payload).hexdigest(),
+            "duration": duration,
+            "artifacts": artifacts,
+        }
+        with open(
+            os.path.join(artifact_dir, "summary.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(summary, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        return summary
+
+    def drain(self) -> List[Tuple[Job, Optional[CampaignResult]]]:
+        """Run claimed jobs until the queue is empty or a stop is requested."""
+        finished: List[Tuple[Job, Optional[CampaignResult]]] = []
+        while not self._stop.is_set():
+            job = self.queue.claim(self._worker)
+            if job is None:
+                break
+            finished.append(self.run_job(job))
+        return finished
+
+    def serve_forever(self) -> None:
+        """The daemon's drain loop: poll, drain, sleep, until stopped."""
+        while not self._stop.is_set():
+            self.drain()
+            self._stop.wait(self.config.poll_interval)
+
+
+def run_all(
+    specs: Sequence[ScenarioSpec],
+    config: Optional[OrchestratorConfig] = None,
+    queue: Optional[JobQueue] = None,
+    out: Optional[TextIO] = None,
+    handle_signals: bool = False,
+) -> List[Tuple[Job, Optional[CampaignResult]]]:
+    """Daemonless batch execution: submit every spec, drain, return jobs.
+
+    The ephemeral queue preserves the daemon path's semantics — same
+    priority ordering, same state machine, same artifact layout — so
+    ``run-all`` over a directory produces byte-identical ``result.json``
+    files to daemon submission of the same specs.  Job ids (and therefore
+    artifact directories) are assigned in sorted-filename submission
+    order, so an interrupted ``run-all`` rerun resumes each job from its
+    checkpoint journal.
+    """
+    config = config or OrchestratorConfig()
+    own_queue = queue is None
+    if queue is None:
+        queue = JobQueue(":memory:")
+    orchestrator = Orchestrator(queue, config, out=out)
+    if handle_signals:
+        orchestrator.install_signal_handlers()
+    try:
+        for spec in specs:
+            queue.submit(spec.to_doc())
+        try:
+            return orchestrator.drain()
+        except ShutdownRequested:
+            return []
+    finally:
+        if own_queue:
+            queue.close()

@@ -1,0 +1,361 @@
+"""The persistent job queue: scenarios waiting to run, as SQLite rows.
+
+One queue file is the shared state between every service entry point —
+the daemon's HTTP handlers submit and cancel, the orchestrator claims and
+finishes, a crash-recovering restart requeues.  The design keeps SQLite
+honest under that concurrency:
+
+* WAL journal mode (file-backed queues) so status readers never block the
+  orchestrator's writes, plus a busy timeout for writer collisions.
+* Every state transition is a single guarded ``UPDATE ... WHERE state =
+  ...`` statement, so races resolve inside SQLite: two orchestrators
+  cannot claim the same job, and finishing a job that was cancelled
+  mid-run leaves it cancelled.
+* Claiming uses ``BEGIN IMMEDIATE`` so pick-and-mark is atomic across
+  processes.
+
+Job lifecycle::
+
+    queued --claim--> running --finish--> done
+      |                  |      \\--fail--> failed
+      |                  +--requeue-------> queued   (crash / SIGTERM)
+      +------------cancel (also from running)-----> cancelled
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+
+#: Queue schema generation (``user_version`` pragma of the queue file).
+QUEUE_SCHEMA_VERSION = 1
+
+#: Every legal job state, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can still leave.
+ACTIVE_STATES = ("queued", "running")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    priority INTEGER NOT NULL DEFAULT 0,
+    state TEXT NOT NULL DEFAULT 'queued',
+    submitted_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    worker TEXT,
+    error TEXT,
+    checkpoint_path TEXT,
+    artifact_dir TEXT,
+    result TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state
+    ON jobs(state, priority DESC, id ASC);
+"""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queue row, decoded."""
+
+    id: int
+    name: str
+    spec: Dict
+    priority: int
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    artifact_dir: Optional[str] = None
+    result: Optional[Dict] = None
+
+    def to_json(self) -> Dict:
+        """The job document the status API serves."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "checkpoint_path": self.checkpoint_path,
+            "artifact_dir": self.artifact_dir,
+            "result": self.result,
+        }
+
+
+_COLUMNS = (
+    "id, name, spec, priority, state, submitted_at, started_at, "
+    "finished_at, attempts, worker, error, checkpoint_path, artifact_dir, "
+    "result"
+)
+
+
+def _decode(row) -> Job:
+    (
+        job_id, name, spec, priority, state, submitted_at, started_at,
+        finished_at, attempts, worker, error, checkpoint_path, artifact_dir,
+        result,
+    ) = row
+    return Job(
+        id=int(job_id),
+        name=name,
+        spec=json.loads(spec),
+        priority=int(priority),
+        state=state,
+        submitted_at=submitted_at,
+        started_at=started_at,
+        finished_at=finished_at,
+        attempts=int(attempts),
+        worker=worker,
+        error=error,
+        checkpoint_path=checkpoint_path,
+        artifact_dir=artifact_dir,
+        result=json.loads(result) if result else None,
+    )
+
+
+class JobQueue:
+    """The SQLite-backed persistent queue.
+
+    One connection guarded by a re-entrant lock serves every thread of
+    this process (the daemon's HTTP handler threads and the orchestrator
+    thread share an instance); other *processes* open their own
+    :class:`JobQueue` on the same path and coordinate through WAL and the
+    guarded-UPDATE state machine.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._lock = threading.RLock()
+        # Autocommit (isolation_level=None): the state machine manages its
+        # own transactions — claim() issues an explicit BEGIN IMMEDIATE,
+        # and every other write is a single self-committing statement.
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, isolation_level=None
+        )
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        stored = int(
+            self._conn.execute("PRAGMA user_version").fetchone()[0]
+        )
+        if stored > QUEUE_SCHEMA_VERSION:
+            self._conn.close()
+            raise ServiceError(
+                f"queue {path!r} has schema version {stored}; "
+                f"this build reads up to {QUEUE_SCHEMA_VERSION}"
+            )
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                f"PRAGMA user_version = {QUEUE_SCHEMA_VERSION}"
+            )
+            self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- submission and queries ----------------------------------------------
+
+    def submit(self, spec_doc: Dict, priority: Optional[int] = None) -> Job:
+        """Validate and enqueue one scenario document.
+
+        Validation happens at submit time (the same
+        :func:`~repro.service.spec.parse_spec` path the loader uses), so a
+        malformed document is rejected at the API boundary rather than
+        failing inside a worker hours later.
+        """
+        from repro.service.spec import parse_spec
+
+        spec = parse_spec(spec_doc)
+        if priority is None:
+            priority = spec.priority
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO jobs (name, spec, priority, state, submitted_at)"
+                " VALUES (?, ?, ?, 'queued', ?)",
+                (spec.name, spec.to_json(), int(priority), time.time()),
+            )
+            self._conn.commit()
+        job = self.job(int(cur.lastrowid))
+        assert job is not None
+        return job
+
+    def job(self, job_id: int) -> Optional[Job]:
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return _decode(row) if row is not None else None
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        """All jobs, newest-submitted last; optionally filtered by state."""
+        if state is not None and state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r} (known: {', '.join(JOB_STATES)})"
+            )
+        query = f"SELECT {_COLUMNS} FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY id ASC"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [_decode(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``state -> job count`` with every state present (0 included)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        out = {state: 0 for state in JOB_STATES}
+        out.update({state: int(count) for state, count in rows})
+        return out
+
+    # -- state machine --------------------------------------------------------
+
+    def claim(self, worker: str) -> Optional[Job]:
+        """Atomically move the best queued job to ``running``.
+
+        Ordering: highest priority first, FIFO (smallest id) within a
+        priority.  ``BEGIN IMMEDIATE`` takes the write lock before the
+        SELECT, so two orchestrator processes polling the same file can
+        never claim the same job.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT id FROM jobs WHERE state = 'queued'"
+                    " ORDER BY priority DESC, id ASC LIMIT 1"
+                ).fetchone()
+                if row is None:
+                    self._conn.execute("ROLLBACK")
+                    return None
+                job_id = int(row[0])
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'running', started_at = ?,"
+                    " attempts = attempts + 1, worker = ?, error = NULL"
+                    " WHERE id = ? AND state = 'queued'",
+                    (time.time(), worker, job_id),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return self.job(job_id)
+
+    def set_paths(
+        self,
+        job_id: int,
+        checkpoint_path: Optional[str] = None,
+        artifact_dir: Optional[str] = None,
+    ) -> None:
+        """Record where a running job checkpoints and writes artifacts."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET checkpoint_path = COALESCE(?, checkpoint_path),"
+                " artifact_dir = COALESCE(?, artifact_dir) WHERE id = ?",
+                (checkpoint_path, artifact_dir, job_id),
+            )
+            self._conn.commit()
+
+    def finish(self, job_id: int, result: Dict) -> bool:
+        """``running -> done`` with the result summary document.
+
+        Returns False when the job was not running anymore — e.g. it was
+        cancelled mid-run; the guarded UPDATE then leaves that state
+        untouched and the caller discards the result.
+        """
+        return self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'done', finished_at = ?, result = ?"
+            " WHERE id = ? AND state = 'running'",
+            (time.time(), json.dumps(result, sort_keys=True), job_id),
+        )
+
+    def fail(self, job_id: int, error: str) -> bool:
+        """``running -> failed`` with the error text."""
+        return self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'failed', finished_at = ?, error = ?"
+            " WHERE id = ? AND state = 'running'",
+            (time.time(), error, job_id),
+        )
+
+    def requeue(self, job_id: int, reason: str = "") -> bool:
+        """``running -> queued`` (graceful shutdown / crash recovery).
+
+        The attempt counter keeps its value — requeueing is not a retry
+        reset — and the checkpoint path survives, so the next claim
+        resumes from the journal instead of starting over.
+        """
+        return self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'queued', started_at = NULL,"
+            " worker = NULL, error = ? WHERE id = ? AND state = 'running'",
+            (reason or None, job_id),
+        )
+
+    def requeue_running(self, reason: str = "requeued") -> int:
+        """Requeue every ``running`` job; returns how many moved.
+
+        Startup crash recovery: jobs left ``running`` by a dead
+        orchestrator would otherwise be stuck forever.
+        """
+        moved = 0
+        for job in self.jobs("running"):
+            if self.requeue(job.id, reason):
+                moved += 1
+        return moved
+
+    def cancel(self, job_id: int) -> Optional[Job]:
+        """``queued|running -> cancelled``; returns the job, or None if
+        unknown.  Cancelling a finished job is a no-op (state preserved).
+
+        A running job flips to ``cancelled`` immediately; the orchestrator
+        observes that when it tries to finish (guarded UPDATE misses) and
+        discards the result.
+        """
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET state = 'cancelled', finished_at = ?"
+                " WHERE id = ? AND state IN ('queued', 'running')",
+                (time.time(), job_id),
+            )
+            self._conn.commit()
+        return self.job(job_id)
+
+    def _transition(self, job_id: int, sql: str, params: tuple) -> bool:
+        with self._lock:
+            cur = self._conn.execute(sql, params)
+            self._conn.commit()
+        return cur.rowcount > 0

@@ -1,0 +1,296 @@
+"""Declarative scenario specifications: campaigns as data.
+
+A *scenario* is one validation campaign described as a flat TOML or JSON
+document instead of a CLI invocation — the corpus-shaped entry point the
+paper's methodology implies (one column per (model, refinement, template,
+platform) combination).  A spec names an experiment from the shared
+registry (:mod:`repro.exps.registry`), a hardware profile from
+:data:`repro.hw.profiles.PROFILES`, the campaign budgets, the seed, and
+the triage/monitor switches::
+
+    name = "mct-a-refined"
+    description = "Table 1: Mct on Template A with Mspec refinement"
+    experiment = "mct-a"
+    refined = true
+    hw_profile = "cortex-a53"
+    programs = 6
+    tests = 6
+    seed = 0
+    priority = 10
+
+Validation is strict: unknown keys are rejected (a typo like ``program``
+must fail loudly, not silently run the default budget), types are
+checked, and ``experiment``/``hw_profile`` must resolve against their
+registries at load time.  :meth:`ScenarioSpec.build` produces exactly the
+:class:`~repro.pipeline.config.CampaignConfig` the equivalent one-shot
+``repro-scamv validate`` invocation would, so a spec carries no semantics
+of its own — scheduling fields (``priority``, ``shard_timeout``) are
+orchestration only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional
+
+from repro.errors import SpecError
+from repro.exps.registry import build_experiment, experiment_names
+from repro.hw.profiles import profile_names, resolve_profile
+from repro.pipeline.config import CampaignConfig
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    _toml = None
+
+#: Spec document version, embedded as ``spec_version`` when serialized.
+SPEC_VERSION = 1
+
+#: ``key -> (python type, default)``; a default of ``_REQUIRED`` means the
+#: key must be present.  This table *is* the schema: validation walks it,
+#: and anything outside it is an unknown key.
+_REQUIRED = object()
+_SCHEMA: Dict[str, tuple] = {
+    "spec_version": (int, SPEC_VERSION),
+    "name": (str, _REQUIRED),
+    "description": (str, ""),
+    "experiment": (str, _REQUIRED),
+    "refined": (bool, False),
+    "hw_profile": (str, "cortex-a53"),
+    "programs": (int, 10),
+    "tests": (int, 16),
+    "seed": (int, 0),
+    "priority": (int, 0),
+    "triage": (bool, False),
+    "monitor": (bool, True),
+    "certify": (bool, False),
+    "shard_timeout": (float, None),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One validated scenario document."""
+
+    name: str
+    experiment: str
+    description: str = ""
+    refined: bool = False
+    hw_profile: str = "cortex-a53"
+    programs: int = 10
+    tests: int = 16
+    seed: int = 0
+    priority: int = 0
+    triage: bool = False
+    monitor: bool = True
+    certify: bool = False
+    shard_timeout: Optional[float] = None
+
+    def to_doc(self) -> Dict:
+        """The canonical JSON-able document (round-trips via :func:`parse_spec`)."""
+        doc: Dict = {"spec_version": SPEC_VERSION}
+        for field in fields(self):
+            doc[field.name] = getattr(self, field.name)
+        return doc
+
+    def to_json(self) -> str:
+        """Canonical serialized form (sorted keys, stable bytes)."""
+        return json.dumps(self.to_doc(), sort_keys=True)
+
+    def build(self) -> CampaignConfig:
+        """The campaign this scenario runs — identical to the one-shot CLI's.
+
+        The spec adds nothing to campaign semantics: it forwards the same
+        preset-factory arguments ``repro-scamv validate`` would, then sets
+        the same config switches the CLI flags set.
+        """
+        config = build_experiment(
+            self.experiment,
+            refined=self.refined,
+            num_programs=self.programs,
+            tests_per_program=self.tests,
+            seed=self.seed,
+            core=resolve_profile(self.hw_profile),
+        )
+        config.triage = self.triage
+        config.monitor = self.monitor
+        config.certify = self.certify
+        return config
+
+    def describe(self) -> str:
+        refined = "yes" if self.refined else "no"
+        return (
+            f"{self.name}: experiment={self.experiment} refined={refined} "
+            f"hw={self.hw_profile} programs={self.programs} "
+            f"tests={self.tests} seed={self.seed} priority={self.priority}"
+        )
+
+
+def parse_spec(doc: Dict, source: str = "<doc>") -> ScenarioSpec:
+    """Validate a raw document against the schema and build the spec."""
+    if not isinstance(doc, dict):
+        raise SpecError(f"{source}: spec must be a table/object, not {type(doc).__name__}")
+    unknown = sorted(set(doc) - set(_SCHEMA))
+    if unknown:
+        raise SpecError(
+            f"{source}: unknown key(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(_SCHEMA))})"
+        )
+    values: Dict = {}
+    for key, (kind, default) in _SCHEMA.items():
+        if key not in doc:
+            if default is _REQUIRED:
+                raise SpecError(f"{source}: missing required key {key!r}")
+            value = default
+        else:
+            value = doc[key]
+            value = _check_type(source, key, kind, value, default)
+        if key != "spec_version":
+            values[key] = value
+        elif value != SPEC_VERSION:
+            raise SpecError(
+                f"{source}: spec_version {value} unsupported "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+    spec = ScenarioSpec(**values)
+    _check_registries(source, spec)
+    return spec
+
+
+def _check_type(source: str, key: str, kind, value, default):
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if kind is float and value is None and default is None:
+        return None
+    # bool is an int subclass; an int-typed key must still reject ``true``.
+    if not isinstance(value, kind) or (
+        kind is int and isinstance(value, bool)
+    ):
+        raise SpecError(
+            f"{source}: key {key!r} must be {kind.__name__}, "
+            f"got {value!r}"
+        )
+    if kind is int and key in ("programs", "tests") and value < 1:
+        raise SpecError(f"{source}: key {key!r} must be >= 1, got {value}")
+    if kind is float and value is not None and value <= 0:
+        raise SpecError(f"{source}: key {key!r} must be > 0, got {value}")
+    if kind is str and key == "name" and not value.strip():
+        raise SpecError(f"{source}: key 'name' must be non-empty")
+    return value
+
+
+def _check_registries(source: str, spec: ScenarioSpec) -> None:
+    if spec.experiment not in experiment_names():
+        raise SpecError(
+            f"{source}: unknown experiment {spec.experiment!r} "
+            f"(known: {', '.join(experiment_names())})"
+        )
+    if spec.hw_profile not in profile_names():
+        raise SpecError(
+            f"{source}: unknown hw_profile {spec.hw_profile!r} "
+            f"(known: {', '.join(profile_names())})"
+        )
+
+
+# -- file loading -------------------------------------------------------------
+
+
+def load_spec(path: str) -> ScenarioSpec:
+    """Load and validate one spec file (``.toml`` or ``.json``)."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise SpecError(f"cannot read spec {path!r}: {exc}") from exc
+    if path.endswith(".json"):
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"{path}: invalid JSON: {exc}") from exc
+    elif path.endswith(".toml"):
+        doc = _parse_toml(path, raw)
+    else:
+        raise SpecError(
+            f"{path}: unsupported spec extension (use .toml or .json)"
+        )
+    return parse_spec(doc, source=os.path.basename(path))
+
+
+def _parse_toml(path: str, raw: bytes) -> Dict:
+    if _toml is not None:
+        try:
+            return _toml.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, _toml.TOMLDecodeError) as exc:
+            raise SpecError(f"{path}: invalid TOML: {exc}") from exc
+    return _parse_flat_toml(path, raw)
+
+
+def _parse_flat_toml(path: str, raw: bytes) -> Dict:
+    """Minimal ``key = value`` TOML subset for Pythons without tomllib.
+
+    Scenario specs are flat tables of strings, numbers and booleans; that
+    subset parses with a few lines and keeps Python 3.9 working without a
+    third-party TOML dependency.
+    """
+    doc: Dict = {}
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SpecError(f"{path}: invalid TOML: {exc}") from exc
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "=" not in stripped:
+            raise SpecError(f"{path}:{lineno}: expected 'key = value'")
+        key, _, value = stripped.partition("=")
+        key, value = key.strip(), value.strip()
+        if value.startswith('"'):
+            if not value.endswith('"') or len(value) < 2:
+                raise SpecError(f"{path}:{lineno}: unterminated string")
+            doc[key] = value[1:-1]
+        elif value in ("true", "false"):
+            doc[key] = value == "true"
+        else:
+            try:
+                doc[key] = int(value)
+            except ValueError:
+                try:
+                    doc[key] = float(value)
+                except ValueError:
+                    raise SpecError(
+                        f"{path}:{lineno}: unsupported value {value!r}"
+                    ) from None
+    return doc
+
+
+def load_corpus(directory: str) -> List[ScenarioSpec]:
+    """Load every ``.toml``/``.json`` spec in a directory.
+
+    Files load in sorted filename order (deterministic submission order for
+    ``run-all``); duplicate scenario names across files are an error —
+    names are the registry key jobs and artifacts are tracked under.
+    """
+    if not os.path.isdir(directory):
+        raise SpecError(f"no such scenario directory: {directory!r}")
+    names = sorted(
+        entry
+        for entry in os.listdir(directory)
+        if entry.endswith((".toml", ".json"))
+    )
+    if not names:
+        raise SpecError(f"directory {directory!r} holds no .toml/.json specs")
+    specs: List[ScenarioSpec] = []
+    seen: Dict[str, str] = {}
+    for entry in names:
+        spec = load_spec(os.path.join(directory, entry))
+        if spec.name in seen:
+            raise SpecError(
+                f"duplicate scenario name {spec.name!r} "
+                f"({seen[spec.name]} and {entry})"
+            )
+        seen[spec.name] = entry
+        specs.append(spec)
+    return specs

@@ -97,3 +97,42 @@ class TestProfilesInCampaigns:
             )
         ).run().stats
         assert stats.counterexamples == 0
+
+
+class TestProfileRegistry:
+    """The named-profile registry shared by the CLI and the spec format."""
+
+    def test_names_sorted_and_complete(self):
+        from repro.hw.profiles import PROFILES, profile_names
+
+        names = profile_names()
+        assert names == sorted(names)
+        assert set(names) == set(PROFILES)
+        assert "cortex-a53" in names
+        assert "out-of-order" in names
+        assert "cortex-m0" in names
+
+    def test_resolve_builds_fresh_configs(self):
+        from repro.hw.profiles import resolve_profile
+
+        first = resolve_profile("cortex-a53")
+        second = resolve_profile("cortex-a53")
+        assert first is not second  # factories, not shared singletons
+        assert first.spec_window == second.spec_window
+
+    def test_resolve_matches_factories(self):
+        from repro.hw.profiles import resolve_profile
+
+        assert resolve_profile("cortex-m0").spec_window == (
+            cortex_m0_like().spec_window
+        )
+        assert resolve_profile("out-of-order").forward_speculative_results
+
+    def test_unknown_profile_names_the_known_ones(self):
+        import pytest
+
+        from repro.errors import HardwareError
+        from repro.hw.profiles import resolve_profile
+
+        with pytest.raises(HardwareError, match="cortex-a53"):
+            resolve_profile("z80")

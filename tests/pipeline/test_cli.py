@@ -144,3 +144,175 @@ class TestParallelFlags:
             [l for l in first.splitlines() if "Counterexample" in l]
             == [l for l in resumed.splitlines() if "Counterexample" in l]
         )
+
+
+class TestHwProfileFlags:
+    def test_list_hw_profiles_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["validate", "--list-hw-profiles"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "cortex-a53" in out
+        assert "out-of-order" in out
+
+    def test_validate_with_hw_profile(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--experiment",
+                "timing",
+                "--refined",
+                "--programs",
+                "2",
+                "--tests",
+                "4",
+                "--hw-profile",
+                "cortex-m0",
+            ]
+        )
+        assert code == 0
+        # the M0-class core multiplies in constant time: no counterexamples
+        assert "Experiments" in capsys.readouterr().out
+
+    def test_unknown_hw_profile_raises(self):
+        from repro.errors import HardwareError
+
+        with pytest.raises(HardwareError, match="unknown hardware profile"):
+            main(
+                [
+                    "validate",
+                    "--experiment",
+                    "timing",
+                    "--programs",
+                    "2",
+                    "--tests",
+                    "2",
+                    "--hw-profile",
+                    "z80",
+                ]
+            )
+
+
+class TestRunAll:
+    def _write_spec(self, path, name, experiment="timing", extra=""):
+        path.write_text(
+            f'name = "{name}"\nexperiment = "{experiment}"\n'
+            f"refined = true\nprograms = 2\ntests = 3\nseed = 1\n{extra}"
+        )
+
+    def test_run_all_directory(self, tmp_path, capsys):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        self._write_spec(specs / "a.toml", "cli-a")
+        self._write_spec(specs / "b.toml", "cli-b", experiment="mpart")
+        code = main(
+            [
+                "run-all",
+                str(specs),
+                "--workers",
+                "2",
+                "--artifact-root",
+                str(tmp_path / "artifacts"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2/2 scenario(s) done" in captured.err
+        assert "run-all" in captured.out
+        assert (tmp_path / "artifacts" / "job-0001-cli-a").is_dir()
+
+    def test_run_all_missing_directory(self, tmp_path, capsys):
+        assert main(["run-all", str(tmp_path / "nope")]) == 2
+        assert "no such scenario" in capsys.readouterr().err
+
+    def test_run_all_invalid_corpus(self, tmp_path, capsys):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        (specs / "bad.toml").write_text('name = "x"\n')  # no experiment
+        assert main(["run-all", str(specs)]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestServiceVerbs:
+    """submit/status/results/cancel against an in-process daemon."""
+
+    @pytest.fixture
+    def daemon_url(self, tmp_path):
+        import io
+
+        from repro.service import OrchestratorConfig, ServiceDaemon
+
+        daemon = ServiceDaemon(
+            str(tmp_path / "queue.sqlite"),
+            OrchestratorConfig(
+                workers=1,
+                artifact_root=str(tmp_path / "artifacts"),
+                poll_interval=0.05,
+            ),
+            port=0,
+            out=io.StringIO(),
+        )
+        daemon.start()
+        yield daemon.address
+        daemon.shutdown()
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            'name = "verb-test"\nexperiment = "timing"\nrefined = true\n'
+            "programs = 2\ntests = 3\nseed = 1\n"
+        )
+        return str(path)
+
+    def test_submit_wait_status_results_cancel(
+        self, daemon_url, spec_file, tmp_path, capsys
+    ):
+        code = main(
+            ["submit", spec_file, "--url", daemon_url, "--wait",
+             "--timeout", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verb-test" in out
+        assert "[done]" in out
+
+        assert main(["status", "--url", daemon_url]) == 0
+        out = capsys.readouterr().out
+        assert "job 1" in out
+        assert "queue:" in out
+
+        assert main(["status", "1", "--url", daemon_url]) == 0
+        assert "[done]" in capsys.readouterr().out
+
+        result_path = tmp_path / "result.json"
+        code = main(
+            ["results", "1", "--url", daemon_url,
+             "--output", str(result_path)]
+        )
+        assert code == 0
+        import json
+
+        doc = json.loads(result_path.read_text())
+        assert doc["scenario"] == "verb-test"
+
+        # cancel a finished job: state is preserved (no-op)
+        assert main(["cancel", "1", "--url", daemon_url]) == 0
+        assert "[done]" in capsys.readouterr().out
+
+    def test_submit_invalid_spec(self, daemon_url, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('name = "x"\nexperimnt = "timing"\n')
+        assert main(["submit", str(bad), "--url", daemon_url]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_unreachable_service(self, spec_file, capsys):
+        code = main(
+            ["submit", spec_file, "--url", "http://127.0.0.1:9"]
+        )
+        assert code == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_results_unknown_job(self, daemon_url, capsys):
+        assert main(["results", "99", "--url", daemon_url]) == 1
+        assert "no such job" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""End-to-end daemon tests: submit -> poll -> results over real HTTP."""
+
+import io
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.api import API_VERSION, ServiceApi
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.orchestrator import OrchestratorConfig
+from repro.service.queue import JobQueue
+
+SPEC = {"name": "d", "experiment": "timing", "refined": True,
+        "programs": 2, "tests": 3, "seed": 5}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    daemon = ServiceDaemon(
+        str(tmp_path / "queue.sqlite"),
+        OrchestratorConfig(
+            workers=1,
+            artifact_root=str(tmp_path / "artifacts"),
+            poll_interval=0.05,
+        ),
+        port=0,  # let the OS pick a free port
+        out=io.StringIO(),
+    )
+    daemon.start()
+    yield daemon
+    daemon.shutdown()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServiceClient(daemon.address, timeout=10)
+
+
+class TestDaemonRoundTrip:
+    def test_health(self, client):
+        doc = client.health()
+        assert doc["status"] == "ok"
+        assert doc["api_version"] == API_VERSION
+        assert set(doc["counts"]) == {
+            "queued", "running", "done", "failed", "cancelled"
+        }
+
+    def test_submit_poll_results(self, client):
+        job = client.submit(SPEC)
+        assert job["state"] == "queued"
+        final = client.wait(job["id"], timeout=60)
+        assert final["state"] == "done"
+        doc = client.results(job["id"])
+        assert doc["summary"]["scenario"] == "d"
+        assert doc["document"]["seed"] == 5
+        assert doc["document"]["records"]
+
+    def test_results_before_done_is_conflict(self, client):
+        job = client.submit({**SPEC, "name": "d2", "priority": -100})
+        with pytest.raises(ServiceError, match="not done"):
+            client.results(job["id"])
+        client.cancel(job["id"])
+
+    def test_cancel_round_trip(self, client):
+        job = client.submit({**SPEC, "name": "d3", "priority": -100})
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] in ("cancelled", "done")
+
+    def test_bad_spec_rejected_with_message(self, client):
+        with pytest.raises(ServiceError, match="unknown key"):
+            client.submit({**SPEC, "typo": 1})
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError, match="no such job"):
+            client.status(4242)
+
+    def test_status_lists_jobs(self, client):
+        job = client.submit(SPEC)
+        client.wait(job["id"], timeout=60)
+        doc = client.status()
+        assert any(j["id"] == job["id"] for j in doc["jobs"])
+
+    def test_unreachable_daemon(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.health()
+
+
+class TestDaemonRecovery:
+    def test_restart_requeues_running_jobs(self, tmp_path):
+        """Jobs left running by a crashed daemon are requeued on start."""
+        path = str(tmp_path / "queue.sqlite")
+        with JobQueue(path) as queue:
+            queue.submit(SPEC)
+            queue.claim("dead-daemon")
+        daemon = ServiceDaemon(
+            path,
+            OrchestratorConfig(
+                workers=1,
+                artifact_root=str(tmp_path / "artifacts"),
+                poll_interval=0.05,
+            ),
+            port=0,
+            out=io.StringIO(),
+        )
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address, timeout=10)
+            final = client.wait(1, timeout=60)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2
+        finally:
+            daemon.shutdown()
+
+
+class TestApiRouting:
+    """Route-level checks, no sockets (ServiceApi is HTTP-independent)."""
+
+    @pytest.fixture
+    def api(self):
+        queue = JobQueue(":memory:")
+        yield ServiceApi(queue, workers=2)
+        queue.close()
+
+    def test_unknown_route(self, api):
+        status, doc = api.handle("GET", "/api/v1/nope")
+        assert status == 404
+        assert "error" in doc
+
+    def test_wrong_method(self, api):
+        status, doc = api.handle("POST", "/api/v1/health")
+        assert status == 404 or status == 405
+
+    def test_submit_requires_spec_wrapper(self, api):
+        status, doc = api.handle("POST", "/api/v1/jobs", {"nope": 1})
+        assert status == 400
+
+    def test_submit_rejects_bool_priority(self, api):
+        status, doc = api.handle(
+            "POST", "/api/v1/jobs", {"spec": SPEC, "priority": True}
+        )
+        assert status == 400
+        assert "priority" in doc["error"]
+
+    def test_submit_and_status(self, api):
+        status, job = api.handle("POST", "/api/v1/jobs", {"spec": SPEC})
+        assert status == 201
+        status, doc = api.handle("GET", f"/api/v1/jobs/{job['id']}")
+        assert status == 200
+        assert doc["name"] == "d"
+
+    def test_result_conflict_before_done(self, api):
+        _, job = api.handle("POST", "/api/v1/jobs", {"spec": SPEC})
+        status, doc = api.handle("GET", f"/api/v1/jobs/{job['id']}/result")
+        assert status == 409
+        assert doc["state"] == "queued"

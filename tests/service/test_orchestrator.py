@@ -1,0 +1,192 @@
+"""Orchestrator tests: determinism, artifacts, fault handling.
+
+The load-bearing property: the queue is orchestration, never semantics.
+``run-all`` of N scenarios must write result documents byte-identical to
+N one-shot runner invocations, at any worker count.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.runner import ParallelRunner, RunnerConfig
+from repro.service.orchestrator import (
+    Orchestrator,
+    OrchestratorConfig,
+    campaign_document,
+    deterministic_record,
+    document_bytes,
+    run_all,
+)
+from repro.service.queue import JobQueue
+from repro.service.spec import parse_spec
+
+SCENARIOS = [
+    {"name": "det-timing", "experiment": "timing", "refined": True,
+     "programs": 3, "tests": 4, "seed": 11},
+    {"name": "det-mpart", "experiment": "mpart", "programs": 3, "tests": 4,
+     "seed": 12, "priority": 3},
+    {"name": "det-mct", "experiment": "mct-a", "refined": True,
+     "programs": 2, "tests": 4, "seed": 13},
+]
+
+
+def _one_shot_bytes(doc):
+    """Reference bytes: the equivalent single-campaign runner invocation."""
+    spec = parse_spec(doc)
+    result = ParallelRunner(RunnerConfig(workers=1)).run(spec.build())
+    return document_bytes(campaign_document(spec.name, spec.build(), result))
+
+
+def _run_corpus(tmp_path, workers, subdir):
+    specs = [parse_spec(doc) for doc in SCENARIOS]
+    config = OrchestratorConfig(
+        workers=workers, artifact_root=str(tmp_path / subdir)
+    )
+    outcomes = run_all(specs, config, out=io.StringIO())
+    assert len(outcomes) == len(SCENARIOS)
+    payloads = {}
+    for job, result in outcomes:
+        assert job.state == "done"
+        assert result is not None
+        with open(job.result["artifacts"]["result"], "rb") as handle:
+            payloads[job.name] = handle.read()
+    return payloads
+
+
+class TestDeterminism:
+    def test_run_all_matches_one_shot_at_any_worker_count(self, tmp_path):
+        reference = {
+            doc["name"]: _one_shot_bytes(doc) for doc in SCENARIOS
+        }
+        for workers in (1, 2):
+            payloads = _run_corpus(tmp_path, workers, f"w{workers}")
+            assert payloads == reference
+
+    def test_deterministic_record_strips_wall_clock(self):
+        spec = parse_spec(SCENARIOS[0])
+        result = ParallelRunner(RunnerConfig(workers=1)).run(spec.build())
+        doc = deterministic_record(result.records[0])
+        assert "gen_time" not in doc
+        assert "exe_time" not in doc
+
+    def test_document_bytes_canonical(self):
+        assert document_bytes({"b": 1, "a": 2}) == b'{"a":2,"b":1}\n'
+
+
+class TestExecution:
+    def test_priority_order_and_artifacts(self, tmp_path):
+        root = tmp_path / "art"
+        specs = [parse_spec(doc) for doc in SCENARIOS]
+        queue = JobQueue(":memory:")
+        outcomes = run_all(
+            specs,
+            OrchestratorConfig(workers=1, artifact_root=str(root)),
+            queue=queue,
+            out=io.StringIO(),
+        )
+        # det-mpart has priority 3 and must run first
+        assert outcomes[0][0].name == "det-mpart"
+        for job, _ in outcomes:
+            artifact_dir = job.artifact_dir
+            assert os.path.isdir(artifact_dir)
+            for artifact in ("result.json", "summary.json",
+                             "checkpoint.jsonl", "events.jsonl"):
+                assert os.path.exists(os.path.join(artifact_dir, artifact))
+            summary = json.load(
+                open(os.path.join(artifact_dir, "summary.json"))
+            )
+            assert summary["scenario"] == job.name
+            assert summary["result_sha256"]
+        queue.close()
+
+    def test_progress_lines_carry_job_prefix(self, tmp_path):
+        out = io.StringIO()
+        spec = parse_spec(SCENARIOS[0])
+        run_all(
+            [spec],
+            OrchestratorConfig(workers=1, artifact_root=str(tmp_path / "a")),
+            out=out,
+        )
+        lines = [l for l in out.getvalue().splitlines() if l]
+        assert lines
+        assert all(l.startswith("[det-timing#1] ") for l in lines)
+
+    def test_invalid_stored_spec_fails_job_not_queue(self, tmp_path):
+        """A spec that no longer validates (e.g. written by a newer build)
+        fails its own job; the queue keeps draining."""
+        queue = JobQueue(":memory:")
+        good = queue.submit(SCENARIOS[0])
+        queue._conn.execute(
+            "INSERT INTO jobs (name, spec, priority, state, submitted_at)"
+            " VALUES ('bad', '{\"name\": \"bad\"}', 99, 'queued', 0)"
+        )
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(workers=1, artifact_root=str(tmp_path / "a")),
+            out=io.StringIO(),
+        )
+        outcomes = orchestrator.drain()
+        states = {job.name: job.state for job, _ in outcomes}
+        assert states == {"bad": "failed", "det-timing": "done"}
+        bad = queue.jobs("failed")[0]
+        assert "invalid spec" in bad.error
+        assert queue.job(good.id).state == "done"
+        queue.close()
+
+    def test_requeued_job_resumes_to_identical_bytes(self, tmp_path):
+        """Shutdown mid-queue: the requeued job's second run resumes from
+        its checkpoint journal and produces the same result bytes."""
+        queue = JobQueue(":memory:")
+        config = OrchestratorConfig(
+            workers=1, artifact_root=str(tmp_path / "a")
+        )
+        job = queue.submit(SCENARIOS[0])
+        orchestrator = Orchestrator(queue, config, out=io.StringIO())
+        claimed = queue.claim("w")
+        finished, _ = orchestrator.run_job(claimed)
+        first = open(
+            finished.result["artifacts"]["result"], "rb"
+        ).read()
+        checkpoint = finished.checkpoint_path
+        assert os.path.exists(checkpoint)
+        # simulate an interrupted run: force the job back through the queue
+        queue._conn.execute(
+            "UPDATE jobs SET state = 'queued' WHERE id = ?", (job.id,)
+        )
+        reclaimed = queue.claim("w")
+        refinished, _ = orchestrator.run_job(reclaimed)
+        assert refinished.state == "done"
+        second = open(
+            refinished.result["artifacts"]["result"], "rb"
+        ).read()
+        assert first == second
+        queue.close()
+
+    def test_stop_halts_drain(self, tmp_path):
+        queue = JobQueue(":memory:")
+        queue.submit(SCENARIOS[0])
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(workers=1, artifact_root=str(tmp_path / "a")),
+            out=io.StringIO(),
+        )
+        orchestrator.stop()
+        assert orchestrator.drain() == []
+        assert queue.jobs("queued")
+        queue.close()
+
+    def test_recover_requeues_stale_running(self, tmp_path):
+        queue = JobQueue(":memory:")
+        queue.submit(SCENARIOS[0])
+        queue.claim("dead")
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(workers=1, artifact_root=str(tmp_path / "a")),
+            out=io.StringIO(),
+        )
+        assert orchestrator.recover() == 1
+        assert queue.jobs("queued")[0].attempts == 1
+        queue.close()

@@ -1,0 +1,198 @@
+"""Unit tests for the SQLite-backed job queue."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError, SpecError
+from repro.service.queue import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    QUEUE_SCHEMA_VERSION,
+    JobQueue,
+)
+
+SPEC = {"name": "q", "experiment": "timing", "programs": 2, "tests": 2}
+
+
+@pytest.fixture
+def queue():
+    with JobQueue(":memory:") as q:
+        yield q
+
+
+class TestSubmit:
+    def test_submit_validates(self, queue):
+        with pytest.raises(SpecError, match="unknown key"):
+            queue.submit({**SPEC, "typo": 1})
+        assert queue.jobs() == []
+
+    def test_submit_defaults_to_spec_priority(self, queue):
+        job = queue.submit({**SPEC, "priority": 7})
+        assert job.priority == 7
+        assert job.state == "queued"
+        assert job.attempts == 0
+
+    def test_submit_priority_override(self, queue):
+        job = queue.submit({**SPEC, "priority": 7}, priority=-1)
+        assert job.priority == -1
+
+    def test_counts_include_every_state(self, queue):
+        queue.submit(SPEC)
+        counts = queue.counts()
+        assert set(counts) == set(JOB_STATES)
+        assert counts["queued"] == 1
+        assert counts["done"] == 0
+
+
+class TestStateMachine:
+    def test_claim_order_priority_then_fifo(self, queue):
+        low = queue.submit({**SPEC, "name": "low"})
+        high = queue.submit({**SPEC, "name": "high", "priority": 5})
+        low2 = queue.submit({**SPEC, "name": "low2"})
+        order = [queue.claim("w").id for _ in range(3)]
+        assert order == [high.id, low.id, low2.id]
+        assert queue.claim("w") is None
+
+    def test_claim_marks_running(self, queue):
+        queue.submit(SPEC)
+        job = queue.claim("worker-1")
+        assert job.state == "running"
+        assert job.attempts == 1
+        assert job.worker == "worker-1"
+        assert job.started_at is not None
+
+    def test_finish_requires_running(self, queue):
+        job = queue.submit(SPEC)
+        assert not queue.finish(job.id, {"ok": True})
+        claimed = queue.claim("w")
+        assert queue.finish(claimed.id, {"ok": True})
+        refreshed = queue.job(job.id)
+        assert refreshed.state == "done"
+        assert refreshed.result == {"ok": True}
+        # a second finish is a no-op
+        assert not queue.finish(job.id, {"ok": False})
+
+    def test_fail_records_error(self, queue):
+        job = queue.submit(SPEC)
+        queue.claim("w")
+        assert queue.fail(job.id, "boom")
+        refreshed = queue.job(job.id)
+        assert refreshed.state == "failed"
+        assert refreshed.error == "boom"
+
+    def test_cancel_queued(self, queue):
+        job = queue.submit(SPEC)
+        cancelled = queue.cancel(job.id)
+        assert cancelled.state == "cancelled"
+        assert queue.claim("w") is None
+
+    def test_cancel_running_beats_finish(self, queue):
+        """A job cancelled mid-run must stay cancelled when the
+        orchestrator later tries to mark it done."""
+        job = queue.submit(SPEC)
+        queue.claim("w")
+        assert queue.cancel(job.id).state == "cancelled"
+        assert not queue.finish(job.id, {"ok": True})
+        assert queue.job(job.id).state == "cancelled"
+
+    def test_cancel_finished_is_noop(self, queue):
+        job = queue.submit(SPEC)
+        queue.claim("w")
+        queue.finish(job.id, {})
+        assert queue.cancel(job.id).state == "done"
+
+    def test_cancel_unknown_returns_none(self, queue):
+        assert queue.cancel(999) is None
+
+    def test_jobs_filter_validates_state(self, queue):
+        with pytest.raises(ServiceError, match="unknown job state"):
+            queue.jobs("exploded")
+
+
+class TestRequeue:
+    def test_requeue_preserves_attempts_and_checkpoint(self, queue):
+        job = queue.submit(SPEC)
+        queue.claim("w")
+        queue.set_paths(job.id, checkpoint_path="/tmp/c.jsonl")
+        assert queue.requeue(job.id, "shutdown")
+        refreshed = queue.job(job.id)
+        assert refreshed.state == "queued"
+        assert refreshed.attempts == 1
+        assert refreshed.checkpoint_path == "/tmp/c.jsonl"
+        assert refreshed.worker is None
+        # the second claim resumes (attempt counter keeps growing)
+        assert queue.claim("w2").attempts == 2
+
+    def test_requeue_running_sweep(self, queue):
+        a = queue.submit({**SPEC, "name": "a"})
+        b = queue.submit({**SPEC, "name": "b"})
+        queue.claim("w")
+        queue.claim("w")
+        assert queue.requeue_running("crash recovery") == 2
+        assert {j.state for j in queue.jobs()} == {"queued"}
+        assert queue.requeue_running() == 0
+
+    def test_requeue_requires_running(self, queue):
+        job = queue.submit(SPEC)
+        assert not queue.requeue(job.id)
+
+
+class TestPersistence:
+    def test_crash_recovery_across_instances(self, tmp_path):
+        """A second JobQueue on the same file sees the first one's jobs
+        and can requeue what a dead orchestrator left running."""
+        path = str(tmp_path / "q.sqlite")
+        with JobQueue(path) as first:
+            job = first.submit(SPEC)
+            first.claim("dead-worker")
+        with JobQueue(path) as second:
+            assert second.job(job.id).state == "running"
+            assert second.requeue_running("startup recovery") == 1
+            resumed = second.claim("live-worker")
+            assert resumed.id == job.id
+            assert resumed.attempts == 2
+
+    def test_concurrent_claims_never_collide(self, tmp_path):
+        path = str(tmp_path / "q.sqlite")
+        with JobQueue(path) as q:
+            for i in range(8):
+                q.submit({**SPEC, "name": f"job-{i}"})
+        claimed = []
+        lock = threading.Lock()
+
+        def worker(name):
+            with JobQueue(path) as mine:
+                while True:
+                    job = mine.claim(name)
+                    if job is None:
+                        return
+                    with lock:
+                        claimed.append(job.id)
+                    mine.finish(job.id, {})
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == list(range(1, 9))
+        assert len(set(claimed)) == 8
+
+    def test_newer_schema_rejected(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "q.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {QUEUE_SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ServiceError, match="schema version"):
+            JobQueue(path)
+
+
+class TestConstants:
+    def test_active_states_are_states(self):
+        assert set(ACTIVE_STATES) <= set(JOB_STATES)

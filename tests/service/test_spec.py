@@ -1,0 +1,231 @@
+"""Unit tests for the declarative scenario spec format."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.service.spec import (
+    SPEC_VERSION,
+    ScenarioSpec,
+    _parse_flat_toml,
+    load_corpus,
+    load_spec,
+    parse_spec,
+)
+
+MINIMAL = {"name": "t", "experiment": "timing"}
+
+
+class TestParseSpec:
+    def test_minimal_defaults(self):
+        spec = parse_spec(dict(MINIMAL))
+        assert spec.name == "t"
+        assert spec.experiment == "timing"
+        assert not spec.refined
+        assert spec.hw_profile == "cortex-a53"
+        assert spec.programs == 10
+        assert spec.tests == 16
+        assert spec.seed == 0
+        assert spec.priority == 0
+        assert spec.monitor
+        assert not spec.triage
+        assert spec.shard_timeout is None
+
+    def test_round_trip(self):
+        spec = parse_spec(
+            {
+                "name": "rt",
+                "experiment": "mct-a",
+                "refined": True,
+                "hw_profile": "out-of-order",
+                "programs": 3,
+                "tests": 5,
+                "seed": 42,
+                "priority": -2,
+                "triage": True,
+                "shard_timeout": 1.5,
+            }
+        )
+        doc = spec.to_doc()
+        assert doc["spec_version"] == SPEC_VERSION
+        assert parse_spec(doc) == spec
+        # and through the canonical JSON form
+        assert parse_spec(json.loads(spec.to_json())) == spec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            parse_spec({**MINIMAL, "program": 5})
+
+    def test_missing_required_key(self):
+        with pytest.raises(SpecError, match="missing required key"):
+            parse_spec({"name": "t"})
+        with pytest.raises(SpecError, match="missing required key"):
+            parse_spec({"experiment": "timing"})
+
+    def test_type_errors(self):
+        with pytest.raises(SpecError, match="must be int"):
+            parse_spec({**MINIMAL, "programs": "many"})
+        # bool is an int subclass in Python; the schema must still reject it
+        with pytest.raises(SpecError, match="must be int"):
+            parse_spec({**MINIMAL, "seed": True})
+        with pytest.raises(SpecError, match="must be bool"):
+            parse_spec({**MINIMAL, "refined": "yes"})
+
+    def test_range_errors(self):
+        with pytest.raises(SpecError, match=">= 1"):
+            parse_spec({**MINIMAL, "programs": 0})
+        with pytest.raises(SpecError, match="> 0"):
+            parse_spec({**MINIMAL, "shard_timeout": -1})
+        with pytest.raises(SpecError, match="non-empty"):
+            parse_spec({**MINIMAL, "name": "  "})
+
+    def test_unknown_experiment_and_profile(self):
+        with pytest.raises(SpecError, match="unknown experiment"):
+            parse_spec({"name": "t", "experiment": "nope"})
+        with pytest.raises(SpecError, match="unknown hw_profile"):
+            parse_spec({**MINIMAL, "hw_profile": "pentium"})
+
+    def test_unsupported_spec_version(self):
+        with pytest.raises(SpecError, match="spec_version"):
+            parse_spec({**MINIMAL, "spec_version": SPEC_VERSION + 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecError, match="table/object"):
+            parse_spec(["not", "a", "table"])
+
+    def test_build_matches_one_shot_config(self):
+        """A spec adds no semantics: build() == the preset factory call."""
+        from repro.exps import build_experiment
+        from repro.hw.profiles import resolve_profile
+
+        spec = parse_spec(
+            {
+                "name": "b",
+                "experiment": "mpart",
+                "refined": True,
+                "programs": 4,
+                "tests": 6,
+                "seed": 9,
+            }
+        )
+        config = spec.build()
+        reference = build_experiment(
+            "mpart",
+            refined=True,
+            num_programs=4,
+            tests_per_program=6,
+            seed=9,
+            core=resolve_profile("cortex-a53"),
+        )
+        assert config.name == reference.name
+        assert config.seed == reference.seed
+        assert config.num_programs == reference.num_programs
+        assert config.tests_per_program == reference.tests_per_program
+
+    def test_build_applies_switches(self):
+        spec = parse_spec({**MINIMAL, "triage": True, "monitor": False})
+        config = spec.build()
+        assert config.triage
+        assert not config.monitor
+
+
+class TestFileLoading:
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text(
+            '# comment\nname = "file-spec"\nexperiment = "mct-b"\n'
+            "refined = true\nprograms = 2\n"
+        )
+        spec = load_spec(str(path))
+        assert spec.name == "file-spec"
+        assert spec.refined
+        assert spec.programs == 2
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({**MINIMAL, "seed": 3}))
+        assert load_spec(str(path)).seed == 3
+
+    def test_bad_extension(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text("name: t")
+        with pytest.raises(SpecError, match="unsupported spec extension"):
+            load_spec(str(path))
+
+    def test_missing_file(self):
+        with pytest.raises(SpecError, match="cannot read spec"):
+            load_spec("/does/not/exist.toml")
+
+    def test_flat_toml_fallback_parser(self):
+        """The 3.9/3.10 fallback must agree with tomllib on flat specs."""
+        doc = _parse_flat_toml(
+            "x.toml",
+            b'name = "f"\nexperiment = "timing"\nrefined = false\n'
+            b"programs = 7\nshard_timeout = 2.5\n# trailing comment\n",
+        )
+        assert doc == {
+            "name": "f",
+            "experiment": "timing",
+            "refined": False,
+            "programs": 7,
+            "shard_timeout": 2.5,
+        }
+
+    def test_flat_toml_rejects_garbage(self):
+        with pytest.raises(SpecError, match="expected 'key = value'"):
+            _parse_flat_toml("x.toml", b"just words\n")
+        with pytest.raises(SpecError, match="unsupported value"):
+            _parse_flat_toml("x.toml", b"key = [1, 2]\n")
+
+
+class TestCorpus:
+    def _write(self, tmp_path, filename, name):
+        (tmp_path / filename).write_text(
+            f'name = "{name}"\nexperiment = "timing"\nprograms = 2\n'
+        )
+
+    def test_sorted_order(self, tmp_path):
+        self._write(tmp_path, "b.toml", "second")
+        self._write(tmp_path, "a.toml", "first")
+        specs = load_corpus(str(tmp_path))
+        assert [s.name for s in specs] == ["first", "second"]
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        self._write(tmp_path, "a.toml", "dup")
+        self._write(tmp_path, "b.toml", "dup")
+        with pytest.raises(SpecError, match="duplicate scenario name"):
+            load_corpus(str(tmp_path))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="holds no"):
+            load_corpus(str(tmp_path))
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="no such scenario directory"):
+            load_corpus(str(tmp_path / "nope"))
+
+
+class TestCheckedInCorpus:
+    """The shipped ``scenarios/`` corpus must satisfy its own contract."""
+
+    def test_corpus_is_valid_and_broad(self, repo_scenarios):
+        specs = load_corpus(repo_scenarios)
+        assert len(specs) >= 10
+        assert len({s.hw_profile for s in specs}) >= 2
+        assert len({s.experiment for s in specs}) >= 3
+
+    def test_every_spec_builds(self, repo_scenarios):
+        for spec in load_corpus(repo_scenarios):
+            config = spec.build()
+            assert config.num_programs == spec.programs
+
+
+@pytest.fixture
+def repo_scenarios():
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "..", "scenarios")
+    if not os.path.isdir(path):
+        pytest.skip("scenarios/ corpus not present")
+    return path
