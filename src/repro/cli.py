@@ -62,8 +62,9 @@ import sys
 from typing import List, Optional
 
 from repro.core.repair import ModelRepairer
+from repro.errors import HardwareError
 from repro.exps import build_experiment, experiment_names
-from repro.hw.profiles import profile_names, resolve_profile
+from repro.hw.profiles import profile_summaries, resolve_profile
 from repro.pipeline import ExperimentDatabase, format_table
 from repro.runner import (
     ParallelRunner,
@@ -87,8 +88,25 @@ class _ListProfilesAction(argparse.Action):
         super().__init__(option_strings, dest, nargs=0, **kwargs)
 
     def __call__(self, parser, namespace, values, option_string=None):
-        for name in profile_names():
-            print(name)
+        summaries = profile_summaries()
+        width = max(len(name) for name, _ in summaries)
+        for name, summary in summaries:
+            print(f"{name:<{width}}  {summary}" if summary else name)
+        parser.exit(0)
+
+
+class _ListAxesAction(argparse.Action):
+    """``--list-axes``: print the sweepable axes and exit."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.matrix import AXES, axis_names
+
+        width = max(len(name) for name in axis_names())
+        for name in axis_names():
+            print(f"{name:<{width}}  {AXES[name].description}")
         parser.exit(0)
 
 
@@ -137,6 +155,56 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_hw_args(validate)
     validate.add_argument(
         "--db", default=None, help="sqlite file for experiment records"
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help=(
+            "differential sweep: run one experiment across a grid of "
+            "hardware configurations and compare the verdicts"
+        ),
+    )
+    sweep.add_argument(
+        "--experiment",
+        required=True,
+        choices=experiment_names(),
+        help="which evaluation setting to sweep",
+    )
+    sweep.add_argument(
+        "--refined",
+        action="store_true",
+        help="enable observation refinement (where the setting supports both)",
+    )
+    sweep.add_argument(
+        "--axes",
+        required=True,
+        metavar="SPEC",
+        help=(
+            "axis spec, e.g. 'replacement=lru,plru prefetcher=stride,off "
+            "spec_window=0,8' (see --list-axes)"
+        ),
+    )
+    sweep.add_argument(
+        "--list-axes",
+        action=_ListAxesAction,
+        help="print the sweepable hardware axes and exit",
+    )
+    _add_scale_args(sweep)
+    _add_hw_args(sweep)
+    sweep.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write per-config result.json files and sweep_report.json "
+            "under this directory"
+        ),
+    )
+    sweep.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the differential report document (JSON) here",
     )
 
     table1 = sub.add_parser(
@@ -588,6 +656,16 @@ def _runner(args, session: Optional[_TelemetrySession] = None) -> ParallelRunner
     return ParallelRunner(config, events=events)
 
 
+def _resolve_profile_or_exit(profile: str):
+    """Resolve a ``--hw-profile`` name; unknown names exit 2 with the
+    known profiles in one line (no traceback)."""
+    try:
+        return resolve_profile(profile)
+    except HardwareError as exc:
+        print(str(exc), file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _campaign(args, name: str, refined: bool):
     profile = getattr(args, "hw_profile", None)
     return build_experiment(
@@ -596,7 +674,7 @@ def _campaign(args, name: str, refined: bool):
         num_programs=args.programs,
         tests_per_program=args.tests,
         seed=args.seed,
-        core=resolve_profile(profile) if profile else None,
+        core=_resolve_profile_or_exit(profile) if profile else None,
     )
 
 
@@ -649,6 +727,109 @@ def _cmd_validate(args) -> int:
     if database is not None:
         database.close()
         print(f"\nexperiment records written to {args.db}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.errors import MatrixError
+    from repro.matrix import (
+        SweepConfig,
+        grid_for,
+        parse_axis_spec,
+        render_report,
+        report_bytes,
+        run_sweep,
+        sweep_report_doc,
+        write_sweep_artifacts,
+    )
+
+    try:
+        axes = parse_axis_spec(args.axes)
+    except MatrixError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.hw_profile:
+        _resolve_profile_or_exit(args.hw_profile)
+    sweep = SweepConfig(
+        experiment=args.experiment,
+        axes=axes,
+        refined=args.refined,
+        base_profile=args.hw_profile or "cortex-a53",
+        programs=args.programs,
+        tests=args.tests,
+        seed=args.seed,
+        monitor=not args.no_monitor,
+    )
+    points = grid_for(sweep)
+    print(
+        f"sweep: {args.experiment} on {len(points)} config(s): "
+        + ", ".join(point.name for point in points),
+        file=sys.stderr,
+    )
+    session = _TelemetrySession(args)
+    runner_config = RunnerConfig(
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        health=not args.no_monitor,
+    )
+    events_factory = None
+    if args.events_out or session.active:
+        sink = jsonl_sink(args.events_out) if args.events_out else None
+
+        def events_factory(index, total, point):
+            events = progress_printer(
+                sys.stderr, prefix=f"[config {index}/{total} {point.name}] "
+            )
+            if sink is not None:
+                events = tee(events, sink)
+            return session.events(events)
+
+    result = run_sweep(
+        sweep, runner_config, out=sys.stderr, events_factory=events_factory
+    )
+    for point_result in result.points:
+        session.absorb(point_result.result)
+    doc = sweep_report_doc(result)
+    print()
+    print(render_report(doc))
+    if args.artifacts:
+        artifacts = write_sweep_artifacts(result, args.artifacts)
+        print(
+            f"sweep artifacts written under {args.artifacts} "
+            f"({len(artifacts)} file(s))",
+            file=sys.stderr,
+        )
+    if args.report:
+        with open(args.report, "wb") as handle:
+            handle.write(report_bytes(doc))
+        print(f"sweep report written to {args.report}", file=sys.stderr)
+    if args.dashboard:
+        from repro.monitor.dashboard import build_dashboard_html
+        from repro.telemetry.export import stamp
+
+        with open(args.dashboard, "w", encoding="utf-8") as handle:
+            handle.write(
+                build_dashboard_html(
+                    sweep.scenario_name, sweep=doc, meta=stamp()
+                )
+            )
+        print(f"dashboard written to {args.dashboard}", file=sys.stderr)
+    if getattr(args, "ledger_out", None):
+        from repro.monitor.ledger import write_ledger_file
+
+        write_ledger_file(
+            args.ledger_out,
+            {
+                point_result.point.name: point_result.result.ledger
+                for point_result in result.points
+            },
+        )
+        print(
+            f"coverage ledger written to {args.ledger_out}", file=sys.stderr
+        )
+    session.finish()
     return 0
 
 
@@ -967,10 +1148,13 @@ def _cmd_run_all(args) -> int:
     if not outcomes:
         print("interrupted before any scenario finished", file=sys.stderr)
         return 1
-    done = [r.stats for _, r in outcomes if r is not None]
-    if done:
+    # Sweep jobs carry their verdict in the job record rather than a
+    # single CampaignResult, so the stats table and the done count are
+    # computed separately.
+    stats = [r.stats for _, r in outcomes if r is not None]
+    if stats:
         print()
-        print(format_table(done, title=f"run-all: {args.directory}"))
+        print(format_table(stats, title=f"run-all: {args.directory}"))
     failed = [job for job, r in outcomes if job.state != "done"]
     for job in failed:
         print(
@@ -979,7 +1163,7 @@ def _cmd_run_all(args) -> int:
             file=sys.stderr,
         )
     print(
-        f"\n{len(done)}/{len(outcomes)} scenario(s) done; "
+        f"\n{len(outcomes) - len(failed)}/{len(outcomes)} scenario(s) done; "
         f"artifacts under {args.artifact_root}",
         file=sys.stderr,
     )
@@ -1097,6 +1281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "validate": _cmd_validate,
+        "sweep": _cmd_sweep,
         "table1": _cmd_table1,
         "fig7": _cmd_fig7,
         "report": _cmd_report,

@@ -79,6 +79,10 @@ class TriageError(ReproError):
     """Counterexample triage failure: malformed witness or corpus."""
 
 
+class MatrixError(ReproError):
+    """Microarchitecture-matrix failure: bad axis spec or sweep setup."""
+
+
 class ServiceError(ReproError):
     """Campaign-service failure: queue, orchestrator, daemon, or client."""
 

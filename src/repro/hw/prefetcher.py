@@ -1,37 +1,65 @@
-"""Stride prefetcher with a page-boundary stop.
+"""Hardware prefetcher with a page-boundary stop.
 
 Models the Cortex-A53 L1D prefetcher as described in §6.1: "activated when a
 stride of at least three loads accesses addresses that are equidistant", and
 — inferred from the page-aligned Mpart experiments of §6.2 — it does not
 prefetch across a 4 KiB page boundary.
+
+The prefetcher ``kind`` is a microarchitecture-matrix axis (ROADMAP item 1):
+
+* ``stride``   — the paper's A53 approximation: armed after
+  ``trigger_loads`` equidistant loads, fetches ``degree`` strides ahead.
+* ``nextline`` — fetch the next ``degree`` cache lines after *every* load
+  (the simplest real prefetcher; present in many low-end cores).  Far more
+  aggressive than stride, so models that tolerate stride-triggered fills
+  can break under it.
+* ``off``      — no prefetching at all (equivalent to ``enabled=False``,
+  but expressible as a sweep-axis value).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+from repro.errors import HardwareError
+
+#: The recognised values of :attr:`PrefetcherConfig.kind`.
+PREFETCHER_KINDS: Tuple[str, ...] = ("stride", "nextline", "off")
 
 
 @dataclass(frozen=True)
 class PrefetcherConfig:
     """Trigger and reach parameters.
 
-    ``trigger_loads``  — equidistant loads needed to arm the prefetcher.
-    ``degree``         — how many strides ahead are prefetched once armed.
+    ``kind``           — prefetch strategy: one of :data:`PREFETCHER_KINDS`.
+    ``trigger_loads``  — equidistant loads needed to arm the ``stride``
+                         prefetcher (ignored by ``nextline``).
+    ``degree``         — how many strides/lines ahead are prefetched.
     ``page_size``      — prefetches never cross this boundary; 0 disables
                          the stop (the ablation of §6.2's page-aligned
                          result).
-    ``enabled``        — master switch.
+    ``line_size``      — cache-line granularity of ``nextline`` targets.
+    ``enabled``        — master switch (``kind="off"`` has the same effect).
     """
 
+    kind: str = "stride"
     trigger_loads: int = 3
     degree: int = 1
     page_size: int = 4096
+    line_size: int = 64
     enabled: bool = True
+
+    def __post_init__(self):
+        if self.kind not in PREFETCHER_KINDS:
+            known = ", ".join(PREFETCHER_KINDS)
+            raise HardwareError(
+                f"unknown prefetcher kind {self.kind!r} (known: {known})"
+            )
 
 
 class StridePrefetcher:
-    """Detects equidistant load streams and emits prefetch addresses."""
+    """Detects load streams and emits prefetch addresses per the ``kind``."""
 
     def __init__(self, config: Optional[PrefetcherConfig] = None):
         self.config = config or PrefetcherConfig()
@@ -46,8 +74,10 @@ class StridePrefetcher:
 
     def on_load(self, addr: int) -> List[int]:
         """Feed a demand load; returns addresses to prefetch (maybe empty)."""
-        if not self.config.enabled:
+        if not self.config.enabled or self.config.kind == "off":
             return []
+        if self.config.kind == "nextline":
+            return self._targets(addr, self.config.line_size)
         prefetches: List[int] = []
         if self._last_addr is not None:
             stride = addr - self._last_addr

@@ -19,7 +19,10 @@ cores discussed in the paper and for the ablation points of §6.5:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import dataclasses
+import hashlib
+import json
+from typing import Callable, Dict, List, Tuple
 
 from repro.errors import HardwareError
 from repro.hw.cache import CacheConfig
@@ -81,6 +84,37 @@ def _profile(name: str, factory: Callable[[], CoreConfig]) -> None:
 def profile_names() -> List[str]:
     """Every registered profile name, sorted for stable enumeration."""
     return sorted(PROFILES)
+
+
+def profile_summaries() -> List[Tuple[str, str]]:
+    """``(name, one-line summary)`` pairs, sorted by name.
+
+    The summary is the first line of the profile factory's docstring —
+    the same text a reader sees in this module — so ``--list-hw-profiles``
+    never drifts from the source of truth.
+    """
+    out: List[Tuple[str, str]] = []
+    for name in profile_names():
+        doc = PROFILES[name].__doc__ or ""
+        summary = doc.strip().splitlines()[0].strip() if doc.strip() else ""
+        out.append((name, summary))
+    return out
+
+
+def config_digest(config) -> str:
+    """A short stable fingerprint of a hardware-config dataclass.
+
+    Hashes the canonical JSON of :func:`dataclasses.asdict` (sorted keys,
+    enums via ``str``), so two structurally-equal configs — whether built
+    from a named profile, a matrix grid point, or by hand — always agree,
+    and any knob change (replacement policy, spec window, noise rate, ...)
+    changes the digest.  Used by the checkpoint journal to refuse resuming
+    a journal recorded under a different hardware configuration.
+    """
+    doc = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.blake2b(doc.encode("utf-8"), digest_size=6).hexdigest()
 
 
 def resolve_profile(name: str) -> CoreConfig:

@@ -1,0 +1,68 @@
+"""Microarchitecture matrix: differential sweeps over hardware axes.
+
+Turns the single simulated platform into a configurable family and asks
+the richer question "on *which* cores is this model sound?":
+
+* :mod:`repro.matrix.axes`    — sweepable hardware knobs + the spec grammar
+* :mod:`repro.matrix.expand`  — axis spec × base profile -> named grid
+* :mod:`repro.matrix.runner`  — the same experiment on every grid point
+* :mod:`repro.matrix.verdict` — per-config and differential soundness
+* :mod:`repro.matrix.report`  — report document, schema, rendering
+"""
+
+from repro.matrix.axes import (
+    AXES,
+    Axis,
+    axis_names,
+    format_axis_spec,
+    parse_axis_spec,
+)
+from repro.matrix.expand import GridPoint, expand_grid
+from repro.matrix.report import (
+    REPORT_VERSION,
+    render_report,
+    report_bytes,
+    sweep_report_doc,
+    validate_report,
+    write_sweep_artifacts,
+)
+from repro.matrix.runner import (
+    SweepConfig,
+    SweepPointResult,
+    SweepResult,
+    build_point_campaign,
+    grid_for,
+    run_sweep,
+)
+from repro.matrix.verdict import (
+    ConfigVerdict,
+    SweepVerdict,
+    config_verdict,
+    sweep_verdict,
+)
+
+__all__ = [
+    "AXES",
+    "Axis",
+    "ConfigVerdict",
+    "GridPoint",
+    "REPORT_VERSION",
+    "SweepConfig",
+    "SweepPointResult",
+    "SweepResult",
+    "SweepVerdict",
+    "axis_names",
+    "build_point_campaign",
+    "config_verdict",
+    "expand_grid",
+    "format_axis_spec",
+    "grid_for",
+    "parse_axis_spec",
+    "render_report",
+    "report_bytes",
+    "run_sweep",
+    "sweep_report_doc",
+    "sweep_verdict",
+    "validate_report",
+    "write_sweep_artifacts",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.matrix REPORT.json`` — validate a sweep report file."""
+
+import sys
+
+from repro.matrix.report import _main
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

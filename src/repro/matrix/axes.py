@@ -1,0 +1,248 @@
+"""Sweepable microarchitecture axes and the declarative axis-spec grammar.
+
+An *axis* is one hardware knob the differential sweep can vary: it knows
+how to parse a value token, how to apply the value onto a
+:class:`~repro.hw.core.CoreConfig`, and how to render the value as a short
+slug for grid-point names (``plru+stride+w8``).  The registry below is the
+single source of truth for what ``repro-scamv sweep --axes`` and the
+``hw_matrix`` scenario key accept.
+
+The spec grammar is deliberately tiny so it fits in one CLI argument and
+in one flat TOML string value::
+
+    replacement=[lru,plru], prefetcher=[stride,off], spec_window=[0,8,32]
+    replacement=lru,plru prefetcher=stride,off
+
+Brackets are optional; assignments are separated by whitespace, commas, or
+semicolons; values within an assignment are comma-separated.  Axis values
+validate against the same hardware registries the config constructors
+enforce (:data:`~repro.hw.cache.REPLACEMENT_POLICIES`,
+:data:`~repro.hw.prefetcher.PREFETCHER_KINDS`), so a bad token fails at
+parse time with the known values, never mid-sweep.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import MatrixError
+from repro.hw.cache import REPLACEMENT_POLICIES, CacheConfig
+from repro.hw.core import CoreConfig
+from repro.hw.prefetcher import PREFETCHER_KINDS
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweepable hardware knob."""
+
+    name: str
+    description: str
+    #: token -> value; raises :class:`MatrixError` on a bad token.
+    parse: Callable[[str], object]
+    #: (core, value) -> new core with the knob applied.
+    apply: Callable[[CoreConfig, object], CoreConfig]
+    #: value -> short name fragment for the grid point.
+    slug: Callable[[object], str]
+
+
+def _choice(axis: str, known: Tuple[str, ...]) -> Callable[[str], str]:
+    def parse(token: str) -> str:
+        if token not in known:
+            raise MatrixError(
+                f"axis {axis!r}: unknown value {token!r} "
+                f"(known: {', '.join(known)})"
+            )
+        return token
+
+    return parse
+
+
+def _int(axis: str, minimum: int) -> Callable[[str], int]:
+    def parse(token: str) -> int:
+        try:
+            value = int(token)
+        except ValueError:
+            raise MatrixError(
+                f"axis {axis!r}: value {token!r} is not an integer"
+            ) from None
+        if value < minimum:
+            raise MatrixError(
+                f"axis {axis!r}: value {value} must be >= {minimum}"
+            )
+        return value
+
+    return parse
+
+
+def _pow2(axis: str) -> Callable[[str], int]:
+    base = _int(axis, 1)
+
+    def parse(token: str) -> int:
+        value = base(token)
+        if value & (value - 1):
+            raise MatrixError(
+                f"axis {axis!r}: value {value} must be a power of two"
+            )
+        return value
+
+    return parse
+
+
+def _bool(axis: str) -> Callable[[str], bool]:
+    def parse(token: str) -> bool:
+        if token in ("on", "true", "yes", "1"):
+            return True
+        if token in ("off", "false", "no", "0"):
+            return False
+        raise MatrixError(
+            f"axis {axis!r}: value {token!r} is not a boolean "
+            "(use on/off)"
+        )
+
+    return parse
+
+
+def _apply_replacement(core: CoreConfig, value: str) -> CoreConfig:
+    return replace(core, cache=replace(core.cache, replacement=value))
+
+
+def _apply_prefetcher(core: CoreConfig, value: str) -> CoreConfig:
+    return replace(core, prefetcher=replace(core.prefetcher, kind=value))
+
+
+def _apply_spec_window(core: CoreConfig, value: int) -> CoreConfig:
+    return replace(core, spec_window=value)
+
+
+def _apply_pht_size(core: CoreConfig, value: int) -> CoreConfig:
+    return replace(core, predictor=replace(core.predictor, entries=value))
+
+
+def _apply_forwarding(core: CoreConfig, value: bool) -> CoreConfig:
+    return replace(core, forward_speculative_results=value)
+
+
+def _apply_l2(core: CoreConfig, value: bool) -> CoreConfig:
+    # Geometry mirrors the cortex-a53-l2 profile: inclusive 512 KiB L2.
+    l2 = CacheConfig(sets=512, ways=16, line_size=64) if value else None
+    return replace(core, l2=l2)
+
+
+#: The axis registry, keyed by spec-grammar name.
+AXES: Dict[str, Axis] = {
+    axis.name: axis
+    for axis in (
+        Axis(
+            name="replacement",
+            description="L1D victim selection: "
+            + "/".join(REPLACEMENT_POLICIES),
+            parse=_choice("replacement", REPLACEMENT_POLICIES),
+            apply=_apply_replacement,
+            slug=lambda v: str(v),
+        ),
+        Axis(
+            name="prefetcher",
+            description="L1D prefetcher kind: " + "/".join(PREFETCHER_KINDS),
+            parse=_choice("prefetcher", PREFETCHER_KINDS),
+            apply=_apply_prefetcher,
+            slug=lambda v: str(v),
+        ),
+        Axis(
+            name="spec_window",
+            description="transient window depth (0 disables speculation)",
+            parse=_int("spec_window", 0),
+            apply=_apply_spec_window,
+            slug=lambda v: f"w{v}",
+        ),
+        Axis(
+            name="pht_size",
+            description="branch predictor PHT entries (power of two)",
+            parse=_pow2("pht_size"),
+            apply=_apply_pht_size,
+            slug=lambda v: f"pht{v}",
+        ),
+        Axis(
+            name="forwarding",
+            description="forward transient load results (on models an "
+            "out-of-order core)",
+            parse=_bool("forwarding"),
+            apply=_apply_forwarding,
+            slug=lambda v: "fwd" if v else "nofwd",
+        ),
+        Axis(
+            name="l2",
+            description="inclusive 512 KiB L2 behind the L1D (on/off)",
+            parse=_bool("l2"),
+            apply=_apply_l2,
+            slug=lambda v: "l2" if v else "nol2",
+        ),
+    )
+}
+
+
+def axis_names() -> List[str]:
+    """Registered axis names, sorted for stable enumeration."""
+    return sorted(AXES)
+
+
+_ASSIGNMENT = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(\[[^\]]*\]|[^\s;=\[\]]+)"
+)
+_SEPARATORS = " \t\r\n,;"
+
+
+def parse_axis_spec(text: str) -> Dict[str, Tuple[object, ...]]:
+    """Parse an axis spec into ``{axis name: (values...)}``.
+
+    Values are parsed (and therefore validated) per axis; the mapping
+    preserves nothing order-sensitive — grid expansion sorts axes by name.
+    Raises :class:`MatrixError` on unknown axes, bad values, duplicate
+    assignments, or stray text.
+    """
+    if not text or not text.strip():
+        raise MatrixError(
+            "empty axis spec (expected e.g. "
+            "'replacement=lru,plru prefetcher=stride,off')"
+        )
+    spec: Dict[str, Tuple[object, ...]] = {}
+    pos = 0
+    for match in _ASSIGNMENT.finditer(text):
+        gap = text[pos : match.start()].strip(_SEPARATORS)
+        if gap:
+            raise MatrixError(f"axis spec: unexpected text {gap!r}")
+        pos = match.end()
+        name, raw = match.group(1), match.group(2)
+        if name not in AXES:
+            raise MatrixError(
+                f"unknown axis {name!r} (known: {', '.join(axis_names())})"
+            )
+        if name in spec:
+            raise MatrixError(f"axis {name!r} assigned twice")
+        if raw.startswith("["):
+            raw = raw[1:-1]
+        raw = raw.strip().strip(",")
+        tokens = [token.strip() for token in raw.split(",")]
+        if not raw or any(not token for token in tokens):
+            raise MatrixError(f"axis {name!r}: empty value list")
+        axis = AXES[name]
+        values = tuple(axis.parse(token) for token in tokens)
+        spec[name] = values
+    trailing = text[pos:].strip(_SEPARATORS)
+    if trailing:
+        raise MatrixError(f"axis spec: unexpected text {trailing!r}")
+    if not spec:
+        raise MatrixError(
+            "axis spec contains no assignments (expected e.g. "
+            "'replacement=lru,plru prefetcher=stride,off')"
+        )
+    return spec
+
+
+def format_axis_spec(spec: Dict[str, Tuple[object, ...]]) -> str:
+    """Canonical one-line rendering of a parsed spec (sorted axes)."""
+    return " ".join(
+        f"{name}=" + ",".join(str(v) for v in spec[name])
+        for name in sorted(spec)
+    )

@@ -1,0 +1,98 @@
+"""Grid expansion: an axis spec × a base profile -> named ``CoreConfig``s.
+
+Expansion is deterministic: axes sort by name, values keep their spec
+order, and the cross product enumerates with the *last* sorted axis
+fastest (``itertools.product`` order).  Each grid point gets
+
+* a stable name — the axis-value slugs joined with ``+`` in sorted-axis
+  order (``plru+stride+w8``), matching how verdicts cite configurations;
+* the hardware digest of its resulting :class:`~repro.hw.core.CoreConfig`
+  (:func:`~repro.hw.profiles.config_digest`), the same fingerprint the
+  checkpoint journal keys shards under.
+
+Two value combinations that produce structurally identical cores (e.g.
+``spec_window=0`` combined with ``forwarding=on,off``) deduplicate to the
+first occurrence, so no grid point ever runs twice.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import MatrixError
+from repro.hw.core import CoreConfig
+from repro.hw.profiles import config_digest, resolve_profile
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One configuration of the sweep grid."""
+
+    #: Slug-joined stable name, e.g. ``plru+stride+w8``.
+    name: str
+    #: ``(axis, rendered value)`` pairs in sorted-axis order.
+    axes: Tuple[Tuple[str, str], ...]
+    #: The fully-applied core configuration.
+    core: CoreConfig
+    #: :func:`~repro.hw.profiles.config_digest` of ``core``.
+    digest: str
+
+    def axes_doc(self) -> Dict[str, str]:
+        """The axis assignment as a plain JSON-able mapping."""
+        return dict(self.axes)
+
+
+def expand_grid(
+    spec: Dict[str, Tuple[object, ...]],
+    base: CoreConfig = None,
+    base_profile: str = "cortex-a53",
+) -> List[GridPoint]:
+    """Expand a parsed axis spec into a deduplicated, named grid.
+
+    ``base`` (or the resolved ``base_profile``) supplies every knob the
+    spec does not sweep.  Axis application itself revalidates through the
+    hardware config constructors, so an invalid combination fails here
+    with a :class:`~repro.errors.HardwareError` rather than mid-campaign.
+    """
+    if not spec:
+        raise MatrixError("cannot expand an empty axis spec")
+    from repro.matrix.axes import AXES
+
+    unknown = sorted(set(spec) - set(AXES))
+    if unknown:
+        raise MatrixError(
+            f"unknown axis(es) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(AXES))})"
+        )
+    if base is None:
+        base = resolve_profile(base_profile)
+    names = sorted(spec)
+    axes = [AXES[name] for name in names]
+    points: List[GridPoint] = []
+    seen: Dict[str, str] = {}
+    for combo in itertools.product(*(spec[name] for name in names)):
+        core = base
+        for axis, value in zip(axes, combo):
+            core = axis.apply(core, value)
+        digest = config_digest(core)
+        point_name = "+".join(
+            axis.slug(value) for axis, value in zip(axes, combo)
+        )
+        if digest in seen:
+            # Structurally identical core: the earlier point covers it.
+            continue
+        seen[digest] = point_name
+        points.append(
+            GridPoint(
+                name=point_name,
+                axes=tuple(
+                    (axis.name, axis.slug(value))
+                    for axis, value in zip(axes, combo)
+                ),
+                core=core,
+                digest=digest,
+            )
+        )
+    return points

@@ -1,0 +1,282 @@
+"""The differential sweep report: document, schema validation, rendering.
+
+One sweep produces one *report document*: the grid, the per-config
+verdicts (with first-divergence attribution), and the differential
+summary.  The document is canonical JSON — a pure function of the sweep's
+deterministic results — and carries a ``report_version`` plus the sha256
+of each grid point's ``result.json`` payload, so CI can assert both the
+schema and the byte-identity contract.
+
+``python -m repro.matrix.report FILE`` validates a report file against the
+schema and prints its summary (exit 1 on violation) — the CI smoke job's
+check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List
+
+from repro.errors import MatrixError
+
+#: Report document version.
+REPORT_VERSION = 1
+
+_TOP_KEYS: Dict[str, type] = {
+    "report_version": int,
+    "scenario": str,
+    "experiment": str,
+    "model": str,
+    "refined": bool,
+    "base_profile": str,
+    "seed": int,
+    "programs": int,
+    "tests": int,
+    "axes": dict,
+    "grid_size": int,
+    "configs": list,
+    "verdict": dict,
+}
+
+_CONFIG_KEYS: Dict[str, type] = {
+    "index": int,
+    "config": str,
+    "axes": dict,
+    "digest": str,
+    "sound": bool,
+    "counterexamples": int,
+    "inconclusive": int,
+    "experiments": int,
+    "result_sha256": str,
+    # "first_divergence" is dict-or-null, checked separately.
+}
+
+_VERDICT_KEYS: Dict[str, type] = {
+    "model": str,
+    "summary": str,
+    "differential": bool,
+    "sound_configs": list,
+    "unsound_configs": list,
+}
+
+
+def sweep_report_doc(sweep_result) -> Dict:
+    """Build the report document of one :class:`~repro.matrix.runner.SweepResult`."""
+    sweep = sweep_result.sweep
+    configs: List[Dict] = []
+    for point_result in sweep_result.points:
+        entry = point_result.verdict.to_json()
+        entry["index"] = point_result.index
+        entry["result_sha256"] = hashlib.sha256(
+            point_result.document
+        ).hexdigest()
+        configs.append(entry)
+    verdict = sweep_result.verdict.to_json()
+    verdict.pop("configs", None)  # per-config rows live at the top level
+    verdict.pop("experiment", None)
+    return {
+        "report_version": REPORT_VERSION,
+        "scenario": sweep.scenario_name,
+        "experiment": sweep.experiment,
+        "model": sweep_result.verdict.model,
+        "refined": sweep.refined,
+        "base_profile": sweep.base_profile,
+        "seed": sweep.seed,
+        "programs": sweep.programs,
+        "tests": sweep.tests,
+        "axes": {
+            name: [str(value) for value in values]
+            for name, values in sorted(sweep.axes.items())
+        },
+        "grid_size": len(sweep_result.points),
+        "configs": configs,
+        "verdict": verdict,
+    }
+
+
+def report_bytes(doc: Dict) -> bytes:
+    """Canonical serialization (sorted keys, stable separators)."""
+    return (
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _require(doc: Dict, keys: Dict[str, type], where: str) -> None:
+    for key, kind in keys.items():
+        if key not in doc:
+            raise MatrixError(f"{where}: missing key {key!r}")
+        value = doc[key]
+        if kind is int and isinstance(value, bool):
+            raise MatrixError(f"{where}: key {key!r} must be int, got bool")
+        if not isinstance(value, kind):
+            raise MatrixError(
+                f"{where}: key {key!r} must be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate_report(doc: Dict) -> None:
+    """Validate a report document; raises :class:`MatrixError` on violation."""
+    if not isinstance(doc, dict):
+        raise MatrixError(
+            f"report must be an object, got {type(doc).__name__}"
+        )
+    _require(doc, _TOP_KEYS, "report")
+    if doc["report_version"] != REPORT_VERSION:
+        raise MatrixError(
+            f"report: unsupported report_version {doc['report_version']} "
+            f"(this build reads version {REPORT_VERSION})"
+        )
+    if not doc["configs"]:
+        raise MatrixError("report: 'configs' must be non-empty")
+    if doc["grid_size"] != len(doc["configs"]):
+        raise MatrixError(
+            f"report: grid_size {doc['grid_size']} != "
+            f"{len(doc['configs'])} config entries"
+        )
+    names: List[str] = []
+    for position, entry in enumerate(doc["configs"]):
+        where = f"report.configs[{position}]"
+        if not isinstance(entry, dict):
+            raise MatrixError(f"{where}: must be an object")
+        _require(entry, _CONFIG_KEYS, where)
+        divergence = entry.get("first_divergence")
+        if divergence is not None and not isinstance(divergence, dict):
+            raise MatrixError(
+                f"{where}: 'first_divergence' must be an object or null"
+            )
+        if entry["sound"] and entry["counterexamples"]:
+            raise MatrixError(
+                f"{where}: sound config reports "
+                f"{entry['counterexamples']} counterexample(s)"
+            )
+        if not entry["sound"] and divergence is None:
+            raise MatrixError(
+                f"{where}: unsound config lacks first-divergence attribution"
+            )
+        names.append(entry["config"])
+    if len(set(names)) != len(names):
+        raise MatrixError("report: duplicate config names")
+    verdict = doc["verdict"]
+    _require(verdict, _VERDICT_KEYS, "report.verdict")
+    sound = {e["config"] for e in doc["configs"] if e["sound"]}
+    unsound = {e["config"] for e in doc["configs"] if not e["sound"]}
+    if set(verdict["sound_configs"]) != sound:
+        raise MatrixError(
+            "report.verdict: sound_configs disagree with config rows"
+        )
+    if set(verdict["unsound_configs"]) != unsound:
+        raise MatrixError(
+            "report.verdict: unsound_configs disagree with config rows"
+        )
+
+
+def render_report(doc: Dict) -> str:
+    """A console table of the differential report."""
+    axis_names = sorted(doc["axes"])
+    headers = (
+        ["config"]
+        + axis_names
+        + ["sound", "cexs", "incl", "first divergence"]
+    )
+    rows: List[List[str]] = []
+    for entry in doc["configs"]:
+        divergence = entry.get("first_divergence") or {}
+        rows.append(
+            [entry["config"]]
+            + [str(entry["axes"].get(name, "-")) for name in axis_names]
+            + [
+                "yes" if entry["sound"] else "NO",
+                str(entry["counterexamples"]),
+                str(entry["inconclusive"]),
+                divergence.get("key", "-"),
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    lines += [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    lines.append("")
+    lines.append(doc["verdict"]["summary"])
+    return "\n".join(lines)
+
+
+def write_sweep_artifacts(
+    sweep_result, directory: str, dashboard: bool = False
+) -> Dict[str, str]:
+    """Write per-config ``result.json`` files plus the report (and dashboard).
+
+    Layout under ``directory``::
+
+        config-01-<name>/result.json   (canonical, byte-identical payloads)
+        sweep_report.json
+        dashboard.html                 (with ``dashboard=True``)
+
+    Returns ``{artifact: path}``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    artifacts: Dict[str, str] = {}
+    for point_result in sweep_result.points:
+        sub = os.path.join(
+            directory,
+            f"config-{point_result.index:02d}-{point_result.point.name}",
+        )
+        os.makedirs(sub, exist_ok=True)
+        result_path = os.path.join(sub, "result.json")
+        with open(result_path, "wb") as handle:
+            handle.write(point_result.document)
+        artifacts[f"result:{point_result.point.name}"] = result_path
+    doc = sweep_report_doc(sweep_result)
+    report_path = os.path.join(directory, "sweep_report.json")
+    with open(report_path, "wb") as handle:
+        handle.write(report_bytes(doc))
+    artifacts["report"] = report_path
+    if dashboard:
+        from repro.monitor.dashboard import build_dashboard_html
+        from repro.telemetry.export import stamp
+
+        html = build_dashboard_html(
+            doc["scenario"], sweep=doc, meta=stamp()
+        )
+        dashboard_path = os.path.join(directory, "dashboard.html")
+        with open(dashboard_path, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        artifacts["dashboard"] = dashboard_path
+    return artifacts
+
+
+def _main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.matrix.report REPORT.json")
+        return 2
+    path = argv[0]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"report {path} is unreadable: {exc}")
+        return 1
+    try:
+        validate_report(doc)
+    except MatrixError as exc:
+        print(f"report {path} is invalid: {exc}")
+        return 1
+    print(f"report {path} is valid")
+    print(doc["verdict"]["summary"])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

@@ -1,0 +1,178 @@
+"""The sweep runner: one experiment across every grid point.
+
+Orchestration, never semantics: each grid point runs the *same* campaign
+the equivalent one-shot ``repro-scamv validate --hw-profile <point>``
+invocation would — built by the same preset factory, executed by the same
+:class:`~repro.runner.ParallelRunner` under the sweep's single worker
+budget, serialized by the same canonical document writer.  Grid points run
+sequentially (they share the worker pool budget; shards within a point run
+in parallel), each with ``[config i/n <name>]``-prefixed progress.
+
+Checkpointing: every point journals into the *same* ``checkpoint.jsonl``.
+Entries disambiguate by :func:`~repro.runner.checkpoint.campaign_key`,
+which embeds the hardware digest — so a resumed sweep replays exactly the
+grid points (and shards) it finished, and a journal recorded under
+different hardware is skipped, never merged.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+from repro.errors import MatrixError
+from repro.exps.registry import build_experiment
+from repro.hw.profiles import resolve_profile
+from repro.matrix.expand import GridPoint, expand_grid
+from repro.matrix.verdict import (
+    ConfigVerdict,
+    SweepVerdict,
+    config_verdict,
+    sweep_verdict,
+)
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.result import CampaignResult
+from repro.runner import (
+    EventSink,
+    ParallelRunner,
+    RunnerConfig,
+    progress_printer,
+)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """What to sweep: the experiment, the grid, and the budgets."""
+
+    experiment: str
+    #: Parsed axis spec (:func:`~repro.matrix.axes.parse_axis_spec`).
+    axes: Dict[str, Tuple[object, ...]] = field(default_factory=dict)
+    refined: bool = False
+    #: Profile supplying every knob the axes do not sweep.
+    base_profile: str = "cortex-a53"
+    programs: int = 10
+    tests: int = 16
+    seed: int = 0
+    monitor: bool = True
+    triage: bool = False
+    #: Scenario label stamped into per-point result documents; defaults to
+    #: the experiment name (what a single-config run of the same scenario
+    #: would carry).
+    scenario: str = ""
+
+    @property
+    def scenario_name(self) -> str:
+        return self.scenario or self.experiment
+
+
+@dataclass
+class SweepPointResult:
+    """One grid point's campaign outcome within a sweep."""
+
+    index: int
+    point: GridPoint
+    config: CampaignConfig
+    result: CampaignResult
+    verdict: ConfigVerdict
+    #: Canonical ``result.json`` payload — byte-identical to the
+    #: equivalent single-config run's document.
+    document: bytes
+
+
+@dataclass
+class SweepResult:
+    """Everything one differential sweep produced."""
+
+    sweep: SweepConfig
+    points: List[SweepPointResult]
+    verdict: SweepVerdict
+
+    def report(self) -> Dict:
+        """The differential report document (see :mod:`repro.matrix.report`)."""
+        from repro.matrix.report import sweep_report_doc
+
+        return sweep_report_doc(self)
+
+
+def grid_for(sweep: SweepConfig) -> List[GridPoint]:
+    """The sweep's deduplicated grid (base profile resolved)."""
+    return expand_grid(
+        sweep.axes, base=resolve_profile(sweep.base_profile)
+    )
+
+
+def build_point_campaign(
+    sweep: SweepConfig, point: GridPoint
+) -> CampaignConfig:
+    """The campaign one grid point runs — the single-config equivalent."""
+    config = build_experiment(
+        sweep.experiment,
+        refined=sweep.refined,
+        num_programs=sweep.programs,
+        tests_per_program=sweep.tests,
+        seed=sweep.seed,
+        core=point.core,
+    )
+    config.monitor = sweep.monitor
+    config.triage = sweep.triage
+    return config
+
+
+def run_sweep(
+    sweep: SweepConfig,
+    runner_config: Optional[RunnerConfig] = None,
+    out: Optional[TextIO] = None,
+    events_factory: Optional[
+        Callable[[int, int, GridPoint], EventSink]
+    ] = None,
+    attribute: bool = True,
+) -> SweepResult:
+    """Run the experiment on every grid point; compute differential verdicts.
+
+    ``runner_config`` carries the worker budget, shard timeout, and the
+    (shared) checkpoint journal; ``events_factory(index, total, point)``
+    overrides the default prefixed progress printer per grid point.
+    """
+    runner_config = runner_config or RunnerConfig()
+    out = out if out is not None else sys.stderr
+    points = grid_for(sweep)
+    if not points:
+        raise MatrixError("axis spec expanded to an empty grid")
+    from repro.service.orchestrator import campaign_document, document_bytes
+
+    total = len(points)
+    results: List[SweepPointResult] = []
+    verdicts: List[ConfigVerdict] = []
+    model_name = ""
+    for index, point in enumerate(points, 1):
+        config = build_point_campaign(sweep, point)
+        model_name = config.model.name
+        if events_factory is not None:
+            events = events_factory(index, total, point)
+        else:
+            events = progress_printer(
+                out, prefix=f"[config {index}/{total} {point.name}] "
+            )
+        runner = ParallelRunner(runner_config, events=events)
+        result = runner.run(config)
+        verdict = config_verdict(point, config, result, attribute=attribute)
+        document = document_bytes(
+            campaign_document(sweep.scenario_name, config, result)
+        )
+        verdicts.append(verdict)
+        results.append(
+            SweepPointResult(
+                index=index,
+                point=point,
+                config=config,
+                result=result,
+                verdict=verdict,
+                document=document,
+            )
+        )
+    return SweepResult(
+        sweep=sweep,
+        points=results,
+        verdict=sweep_verdict(model_name, sweep.experiment, verdicts),
+    )

@@ -1,0 +1,148 @@
+"""Differential verdicts: on *which* configurations is the model sound?
+
+One sweep runs the same experiment (model, template, budgets, seed) on
+every grid point; the verdict layer compares the outcomes:
+
+* :func:`config_verdict` distils one grid point's campaign result into a
+  :class:`ConfigVerdict` — sound/unsound plus, for unsound points, the
+  *first-divergence attribution*: the root-cause signature
+  (:func:`~repro.triage.signature.compute_signature`) of the first
+  counterexample, replayed on that point's exact hardware configuration.
+* :func:`sweep_verdict` folds the per-config verdicts into the
+  differential summary the paper-style claim reads off directly:
+  "Mpart: sound on 5/6 configs, counterexample on plru+stride".
+
+Verdicts are derived data — pure functions of the (deterministic)
+campaign results — so they inherit the byte-stability of the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.matrix.expand import GridPoint
+from repro.pipeline.config import CampaignConfig
+from repro.pipeline.result import CampaignResult
+
+
+@dataclass(frozen=True)
+class ConfigVerdict:
+    """The soundness verdict of one model on one grid point."""
+
+    config_name: str
+    axes: Dict[str, str]
+    digest: str
+    sound: bool
+    counterexamples: int
+    inconclusive: int
+    experiments: int
+    #: JSON form of the first counterexample's root-cause signature
+    #: (``None`` for sound configs), plus its cluster key and describe().
+    first_divergence: Optional[Dict] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "config": self.config_name,
+            "axes": dict(self.axes),
+            "digest": self.digest,
+            "sound": self.sound,
+            "counterexamples": self.counterexamples,
+            "inconclusive": self.inconclusive,
+            "experiments": self.experiments,
+            "first_divergence": self.first_divergence,
+        }
+
+
+@dataclass(frozen=True)
+class SweepVerdict:
+    """The differential verdict of one model across the whole grid."""
+
+    model: str
+    experiment: str
+    configs: List[ConfigVerdict] = field(default_factory=list)
+
+    @property
+    def sound_configs(self) -> List[str]:
+        return [v.config_name for v in self.configs if v.sound]
+
+    @property
+    def unsound_configs(self) -> List[str]:
+        return [v.config_name for v in self.configs if not v.sound]
+
+    @property
+    def differential(self) -> bool:
+        """Whether the verdict differs between grid points."""
+        return bool(self.sound_configs) and bool(self.unsound_configs)
+
+    def describe(self) -> str:
+        """E.g. ``Mpart: sound on 5/6 configs, counterexample on plru+stride``."""
+        total = len(self.configs)
+        sound = len(self.sound_configs)
+        text = f"{self.model}: sound on {sound}/{total} configs"
+        if self.unsound_configs:
+            text += ", counterexample on " + ", ".join(self.unsound_configs)
+        return text
+
+    def to_json(self) -> Dict:
+        return {
+            "model": self.model,
+            "experiment": self.experiment,
+            "summary": self.describe(),
+            "differential": self.differential,
+            "sound_configs": self.sound_configs,
+            "unsound_configs": self.unsound_configs,
+            "configs": [v.to_json() for v in self.configs],
+        }
+
+
+def config_verdict(
+    point: GridPoint,
+    config: CampaignConfig,
+    result: CampaignResult,
+    attribute: bool = True,
+) -> ConfigVerdict:
+    """Distil one grid point's result; attribute the first counterexample.
+
+    Attribution replays the first counterexample's state pair on this grid
+    point's instrumented platform (``attribute=False`` skips the replay
+    for callers that only need counts).
+    """
+    counterexamples = result.counterexamples()
+    first_divergence: Optional[Dict] = None
+    if counterexamples and attribute:
+        from repro.triage.signature import compute_signature
+
+        first = counterexamples[0]
+        signature = compute_signature(
+            first.test.program,
+            first.test.state1,
+            first.test.state2,
+            first.test.train,
+            config.platform,
+        )
+        first_divergence = signature.to_json()
+        first_divergence["key"] = signature.key()
+        first_divergence["description"] = signature.describe()
+        first_divergence["program"] = first.program_name
+        first_divergence["program_index"] = first.program_index
+    stats = result.stats
+    return ConfigVerdict(
+        config_name=point.name,
+        axes=point.axes_doc(),
+        digest=point.digest,
+        sound=not counterexamples,
+        counterexamples=stats.counterexamples,
+        inconclusive=stats.inconclusive,
+        experiments=stats.experiments,
+        first_divergence=first_divergence,
+    )
+
+
+def sweep_verdict(
+    model: str, experiment: str, verdicts: List[ConfigVerdict]
+) -> SweepVerdict:
+    """Fold per-config verdicts into the differential summary."""
+    return SweepVerdict(
+        model=model, experiment=experiment, configs=list(verdicts)
+    )

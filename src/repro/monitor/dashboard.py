@@ -303,6 +303,60 @@ def _render_triage(witnesses: Sequence) -> str:
     )
 
 
+def _render_sweep(sweep: Mapping) -> str:
+    """The differential-sweep section: per-config verdict table.
+
+    ``sweep`` is a validated report document
+    (:func:`repro.matrix.report.sweep_report_doc`).
+    """
+    configs = sweep.get("configs") or []
+    if not configs:
+        return ""
+    axis_names = sorted(sweep.get("axes") or {})
+    header = (
+        "<tr><th>Config</th>"
+        + "".join(f"<th>{_esc(name)}</th>" for name in axis_names)
+        + "<th>Verdict</th><th>Counterexamples</th><th>Inconclusive</th>"
+        "<th>First divergence</th></tr>"
+    )
+    rows = []
+    for entry in configs:
+        divergence = entry.get("first_divergence") or {}
+        verdict = (
+            '<span class="verdict-saturated">sound</span>'
+            if entry.get("sound")
+            else '<span class="sev-critical">counterexample</span>'
+        )
+        axes = entry.get("axes") or {}
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(entry.get('config', ''))}</code></td>"
+            + "".join(
+                f"<td>{_esc(axes.get(name, '-'))}</td>"
+                for name in axis_names
+            )
+            + f"<td>{verdict}</td>"
+            f"<td>{_esc(entry.get('counterexamples', 0))}</td>"
+            f"<td>{_esc(entry.get('inconclusive', 0))}</td>"
+            f"<td><code>{_esc(divergence.get('key', '-'))}</code></td>"
+            "</tr>"
+        )
+    summary = (sweep.get("verdict") or {}).get("summary", "")
+    return "\n".join(
+        [
+            "<h2>Differential sweep</h2>",
+            f'<p class="meta">experiment {_esc(sweep.get("experiment", ""))} '
+            f'&middot; base profile {_esc(sweep.get("base_profile", ""))} '
+            f'&middot; {_esc(sweep.get("grid_size", len(configs)))} '
+            "grid point(s)</p>",
+            f"<p><strong>{_esc(summary)}</strong></p>" if summary else "",
+            f"<table>{header}",
+            *rows,
+            "</table>",
+        ]
+    )
+
+
 def _health_docs(health: Iterable) -> List[Dict]:
     """Normalize health inputs: event dataclasses, (ts, event) tuples from
     ``HealthMonitor.log``, or already-parsed JSONL documents."""
@@ -330,6 +384,7 @@ def build_dashboard_html(
     report=None,
     health: Iterable = (),
     witnesses: Sequence = (),
+    sweep: Optional[Mapping] = None,
     meta: Optional[Mapping] = None,
 ) -> str:
     """Assemble the dashboard from whatever inputs exist."""
@@ -376,6 +431,7 @@ def build_dashboard_html(
         if meta_bits
         else "",
         f'<div class="cards">{card_html}</div>' if cards else "",
+        _render_sweep(sweep) if sweep else "",
         _render_coverage(ledger) if ledger else "",
         _render_phases(report) if report is not None else "",
         _render_health(health_docs),

@@ -38,11 +38,19 @@ ShardKey = Tuple[int, int]
 
 def campaign_key(config: CampaignConfig) -> str:
     """A fingerprint that must match for journal entries to be reused."""
+    from repro.hw.profiles import config_digest
+
+    # The platform digest covers the whole hardware configuration (core
+    # knobs, channel, attacker sets, noise): a ``--resume`` against a
+    # journal recorded under a different ``--hw-profile`` (or matrix grid
+    # point) skips those entries and re-executes instead of silently
+    # merging measurements from a different machine.
     key = (
         f"{config.name}|seed={config.seed}"
         f"|programs={config.num_programs}"
         f"|tests={config.tests_per_program}"
         f"|model={config.model.name}"
+        f"|hw={config_digest(config.platform)}"
     )
     if config.triage:
         # A triage-less journal entry has no witnesses to replay; don't

@@ -148,21 +148,29 @@ class Orchestrator:
         """Requeue jobs a dead orchestrator left ``running`` (startup)."""
         return self.queue.requeue_running("requeued by startup recovery")
 
-    def install_signal_handlers(self) -> None:
+    def install_signal_handlers(self) -> Dict[int, object]:
         """Foreground mode: SIGTERM/SIGINT requeue the in-flight job.
 
         The handler raises :class:`ShutdownRequested` in the main thread;
         :meth:`run_job` catches it, requeues, and re-raises so the drain
         loop stops.  Only callable from the main thread (the daemon stops
         its background orchestrator via :meth:`stop` instead).
+
+        Returns the handlers that were displaced, keyed by signal number,
+        so an embedding process (``run_all`` inside a larger program or a
+        test runner) can restore them once the batch is done — a leaked
+        raising handler would otherwise be inherited by every process
+        forked later, where it masks the default terminate-on-SIGTERM.
         """
 
         def handle(signum, frame):
             self._stop.set()
             raise ShutdownRequested(signal.Signals(signum).name)
 
-        signal.signal(signal.SIGTERM, handle)
-        signal.signal(signal.SIGINT, handle)
+        return {
+            signum: signal.signal(signum, handle)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
 
     # -- execution ------------------------------------------------------------
 
@@ -170,6 +178,8 @@ class Orchestrator:
         """Execute one claimed job; returns the refreshed row + result."""
         try:
             spec = parse_spec(job.spec, source=f"job {job.id}")
+            if spec.is_sweep:
+                return self._run_sweep_job(job, spec)
             config = spec.build()
         except ServiceError as exc:
             self.queue.fail(job.id, f"invalid spec: {exc}")
@@ -221,6 +231,101 @@ class Orchestrator:
             # on disk but the job does not become 'done'.
             return self._refreshed(job), None
         return self._refreshed(job), result
+
+    def _run_sweep_job(
+        self, job: Job, spec: ScenarioSpec
+    ) -> Tuple[Job, Optional[CampaignResult]]:
+        """Execute one ``hw_matrix`` sweep job.
+
+        Same fault model and artifact conventions as a single-campaign
+        job, with per-grid-point subdirectories: every point journals into
+        the job's shared ``checkpoint.jsonl`` (keys embed the hardware
+        digest, so a requeued sweep resumes exactly the points it
+        finished), and each point's ``result.json`` is the canonical
+        deterministic document the equivalent single-config job writes.
+        """
+        from repro.matrix import (
+            report_bytes,
+            run_sweep,
+            sweep_report_doc,
+            write_sweep_artifacts,
+        )
+
+        try:
+            sweep = spec.build_sweep()
+        except ServiceError as exc:
+            self.queue.fail(job.id, f"invalid spec: {exc}")
+            return self._refreshed(job), None
+        artifact_dir = os.path.join(
+            self.config.artifact_root, f"job-{job.id:04d}-{_slug(spec.name)}"
+        )
+        os.makedirs(artifact_dir, exist_ok=True)
+        checkpoint = os.path.join(artifact_dir, "checkpoint.jsonl")
+        events_path = os.path.join(artifact_dir, "events.jsonl")
+        self.queue.set_paths(
+            job.id, checkpoint_path=checkpoint, artifact_dir=artifact_dir
+        )
+        runner_config = RunnerConfig(
+            workers=self.config.workers,
+            shard_timeout=spec.shard_timeout,
+            checkpoint_path=checkpoint,
+            resume=True,
+            health=spec.monitor,
+        )
+
+        def events_factory(index: int, total: int, point):
+            return tee(
+                progress_printer(
+                    self.out,
+                    prefix=(
+                        f"[{spec.name}#{job.id} "
+                        f"config {index}/{total} {point.name}] "
+                    ),
+                ),
+                jsonl_sink(events_path),
+            )
+
+        started = time.monotonic()
+        try:
+            result = run_sweep(
+                sweep,
+                runner_config,
+                out=self.out,
+                events_factory=events_factory,
+            )
+        except ShutdownRequested:
+            self.queue.requeue(job.id, "requeued by shutdown")
+            raise
+        except Exception as exc:  # fault-tolerant: one bad job, not the queue
+            self.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+            return self._refreshed(job), None
+        artifacts = write_sweep_artifacts(
+            result, artifact_dir, dashboard=self.config.dashboards
+        )
+        artifacts["checkpoint"] = checkpoint
+        artifacts["events"] = events_path
+        doc = sweep_report_doc(result)
+        print(doc["verdict"]["summary"], file=self.out)
+        summary = {
+            "scenario": spec.name,
+            "sweep": True,
+            "experiment": spec.experiment,
+            "grid_size": doc["grid_size"],
+            "verdict": doc["verdict"]["summary"],
+            "sound_configs": doc["verdict"]["sound_configs"],
+            "unsound_configs": doc["verdict"]["unsound_configs"],
+            "report_sha256": hashlib.sha256(report_bytes(doc)).hexdigest(),
+            "duration": time.monotonic() - started,
+            "artifacts": artifacts,
+        }
+        with open(
+            os.path.join(artifact_dir, "summary.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(summary, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        if not self.queue.finish(job.id, summary):
+            return self._refreshed(job), None
+        return self._refreshed(job), None
 
     def _refreshed(self, job: Job) -> Job:
         refreshed = self.queue.job(job.id)
@@ -307,8 +412,9 @@ def run_all(
     if queue is None:
         queue = JobQueue(":memory:")
     orchestrator = Orchestrator(queue, config, out=out)
+    displaced: Dict[int, object] = {}
     if handle_signals:
-        orchestrator.install_signal_handlers()
+        displaced = orchestrator.install_signal_handlers()
     try:
         for spec in specs:
             queue.submit(spec.to_doc())
@@ -317,5 +423,7 @@ def run_all(
         except ShutdownRequested:
             return []
     finally:
+        for signum, handler in displaced.items():
+            signal.signal(signum, handler)
         if own_queue:
             queue.close()

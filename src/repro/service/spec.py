@@ -59,6 +59,7 @@ _SCHEMA: Dict[str, tuple] = {
     "experiment": (str, _REQUIRED),
     "refined": (bool, False),
     "hw_profile": (str, "cortex-a53"),
+    "hw_matrix": (str, ""),
     "programs": (int, 10),
     "tests": (int, 16),
     "seed": (int, 0),
@@ -79,6 +80,10 @@ class ScenarioSpec:
     description: str = ""
     refined: bool = False
     hw_profile: str = "cortex-a53"
+    #: Differential-sweep axis spec (``repro.matrix``): non-empty turns the
+    #: scenario into a sweep job over the grid, with ``hw_profile`` as the
+    #: base configuration.  Empty (the default) runs a single campaign.
+    hw_matrix: str = ""
     programs: int = 10
     tests: int = 16
     seed: int = 0
@@ -119,13 +124,47 @@ class ScenarioSpec:
         config.certify = self.certify
         return config
 
+    @property
+    def is_sweep(self) -> bool:
+        """Whether this scenario is a differential sweep (``hw_matrix``)."""
+        return bool(self.hw_matrix.strip())
+
+    def build_sweep(self):
+        """The :class:`~repro.matrix.runner.SweepConfig` of a sweep scenario.
+
+        Mirrors :meth:`build`: the spec forwards exactly what the
+        equivalent ``repro-scamv sweep`` invocation would, with
+        ``hw_profile`` as the grid's base configuration.
+        """
+        from repro.matrix import SweepConfig, parse_axis_spec
+
+        if not self.is_sweep:
+            raise SpecError(
+                f"scenario {self.name!r} has no hw_matrix axis spec"
+            )
+        return SweepConfig(
+            experiment=self.experiment,
+            axes=parse_axis_spec(self.hw_matrix),
+            refined=self.refined,
+            base_profile=self.hw_profile,
+            programs=self.programs,
+            tests=self.tests,
+            seed=self.seed,
+            monitor=self.monitor,
+            triage=self.triage,
+            scenario=self.name,
+        )
+
     def describe(self) -> str:
         refined = "yes" if self.refined else "no"
-        return (
+        text = (
             f"{self.name}: experiment={self.experiment} refined={refined} "
             f"hw={self.hw_profile} programs={self.programs} "
             f"tests={self.tests} seed={self.seed} priority={self.priority}"
         )
+        if self.is_sweep:
+            text += f" hw_matrix={self.hw_matrix!r}"
+        return text
 
 
 def parse_spec(doc: Dict, source: str = "<doc>") -> ScenarioSpec:
@@ -192,6 +231,14 @@ def _check_registries(source: str, spec: ScenarioSpec) -> None:
             f"{source}: unknown hw_profile {spec.hw_profile!r} "
             f"(known: {', '.join(profile_names())})"
         )
+    if spec.is_sweep:
+        from repro.errors import MatrixError
+        from repro.matrix import parse_axis_spec
+
+        try:
+            parse_axis_spec(spec.hw_matrix)
+        except MatrixError as exc:
+            raise SpecError(f"{source}: invalid hw_matrix: {exc}") from exc
 
 
 # -- file loading -------------------------------------------------------------

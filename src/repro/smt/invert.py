@@ -118,10 +118,22 @@ def _set_binop(expr: E.BinOp, target: int, val, rng, depth: int) -> bool:
             yield rhs, bitvec.bv_xor(target, lv, width)
         elif op is E.BinOpKind.AND:
             # x & m == target requires target within m; keep x's other bits.
+            # Keeping them is what lets a masked variable also satisfy its
+            # arithmetic siblings, but it is also a repair-cycle trap: when
+            # a sum constraint keeps re-dirtying the masked bits, the kept
+            # bits never change and the cycle is inescapable.  Exploration
+            # mode therefore also offers a redraw of the kept bits (the
+            # "random value move" of propagation-based local search).
             if target & bitvec.bv_not(rv, width) == 0:
-                yield lhs, (lv & bitvec.bv_not(rv, width)) | target
+                keep = lv
+                if val.explore:
+                    keep = bitvec.truncate(val.policy.fresh_value(), width)
+                yield lhs, (keep & bitvec.bv_not(rv, width)) | target
             if target & bitvec.bv_not(lv, width) == 0:
-                yield rhs, (rv & bitvec.bv_not(lv, width)) | target
+                keep = rv
+                if val.explore:
+                    keep = bitvec.truncate(val.policy.fresh_value(), width)
+                yield rhs, (keep & bitvec.bv_not(lv, width)) | target
         elif op is E.BinOpKind.OR:
             # x | m == target requires m within target.
             if rv & bitvec.bv_not(target, width) == 0:

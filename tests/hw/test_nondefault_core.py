@@ -1,0 +1,101 @@
+"""L2 path and TLB latency under non-default ``CoreConfig``s.
+
+The sweep subsystem (:mod:`repro.matrix`) runs campaigns on cores far from
+the A53 defaults; these tests pin the latency and hierarchy semantics the
+grid points rely on — a non-default TLB miss cost must surface in cycle
+counts, and the L2 path must behave identically under every replacement
+policy the matrix can select.
+"""
+
+import pytest
+
+from repro.hw.cache import REPLACEMENT_POLICIES, CacheConfig
+from repro.hw.core import Core, CoreConfig
+from repro.hw.hierarchy import CacheHierarchy, HitLevel
+from repro.hw.state import MachineState
+from repro.hw.tlb import TlbConfig
+from repro.isa.assembler import assemble
+
+TINY_L1 = CacheConfig(sets=1, ways=1, line_size=64)
+L2 = CacheConfig(sets=512, ways=16, line_size=64)
+
+
+def timed_core(**overrides):
+    defaults = dict(
+        cache=TINY_L1,
+        l2=L2,
+        hit_latency=3,
+        l2_hit_latency=9,
+        miss_latency=55,
+        tlb_miss_latency=33,
+    )
+    defaults.update(overrides)
+    return Core(CoreConfig(**defaults))
+
+
+class TestL2Latency:
+    def test_each_level_pays_its_configured_latency(self):
+        core = timed_core()
+        core.tlb.access(0x1000)  # warm the page so only cache latency shows
+        assert core.timed_access(0x1000) == 55  # memory
+        assert core.timed_access(0x1000) == 3  # L1 hit
+        core.tlb.access(0x2000)
+        core.timed_access(0x2000)  # evicts 0x1000 from the 1-entry L1
+        core.tlb.access(0x1000)
+        assert core.timed_access(0x1000) == 9  # served from inclusive L2
+
+    def test_l2_latency_between_l1_and_memory(self):
+        core = timed_core()
+        cfg = core.config
+        assert cfg.hit_latency < cfg.l2_hit_latency < cfg.miss_latency
+
+    def test_tlb_miss_adds_configured_cycles(self):
+        core = timed_core()
+        assert core.timed_access(0x5000) == 33 + 55  # cold page, cold line
+
+    @pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+    def test_l2_path_under_every_replacement_policy(self, policy):
+        l1 = CacheConfig(sets=1, ways=1, line_size=64, replacement=policy)
+        hierarchy = CacheHierarchy(l1, CacheConfig(replacement=policy))
+        assert hierarchy.access(0x1000) is HitLevel.MEMORY
+        hierarchy.access(0x2000)  # evicts 0x1000 from L1 only
+        assert hierarchy.access(0x1000) is HitLevel.L2
+        hierarchy.evict_l2_line(0x1000)
+        assert hierarchy.access(0x1000) is HitLevel.MEMORY  # back-invalidated
+
+
+class TestExecutionLatency:
+    def test_tlb_miss_cost_in_executed_programs(self):
+        config = CoreConfig(tlb_miss_latency=27)
+        program = assemble("ldr x1, [x0]\nret")
+        warm = Core(config)
+        warm.tlb.access(0x5000)
+        cold = Core(config)
+        warm.execute(program, MachineState(regs={"x0": 0x5000}))
+        cold.execute(program, MachineState(regs={"x0": 0x5000}))
+        assert cold.cycles == warm.cycles + 27
+
+    def test_small_tlb_evicts_and_repays_miss(self):
+        core = Core(CoreConfig(tlb=TlbConfig(entries=2), tlb_miss_latency=31))
+        for page in (1, 2, 3):  # page 1 falls out of the 2-entry TLB
+            core.tlb.access(page << 12)
+        baseline = Core(CoreConfig(tlb=TlbConfig(entries=2), tlb_miss_latency=31))
+        baseline.tlb.access(1 << 12)
+        program = assemble("ldr x1, [x0]\nret")
+        state = MachineState(regs={"x0": 1 << 12})
+        core.execute(program, MachineState(regs={"x0": 1 << 12}))
+        baseline.execute(program, state)
+        assert core.cycles == baseline.cycles + 31
+
+    def test_l2_hit_cheaper_than_memory_in_execution(self):
+        config = CoreConfig(cache=TINY_L1, l2=L2, l2_hit_latency=9)
+        program = assemble("ldr x1, [x0]\nret")
+        l2_warm = Core(config)
+        l2_warm.tlb.access(0x1000)
+        l2_warm.hierarchy.l2.access(0x1000)  # resident in L2 only
+        cold = Core(config)
+        cold.tlb.access(0x1000)
+        l2_warm.execute(program, MachineState(regs={"x0": 0x1000}))
+        cold.execute(program, MachineState(regs={"x0": 0x1000}))
+        delta = config.miss_latency - config.l2_hit_latency
+        assert cold.cycles == l2_warm.cycles + delta

@@ -1,0 +1,81 @@
+"""Unit tests for the prefetcher ``kind`` axis (stride/nextline/off)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.prefetcher import (
+    PREFETCHER_KINDS,
+    PrefetcherConfig,
+    StridePrefetcher,
+)
+
+
+class TestConfig:
+    def test_registry(self):
+        assert PREFETCHER_KINDS == ("stride", "nextline", "off")
+
+    def test_default_is_stride(self):
+        assert PrefetcherConfig().kind == "stride"
+
+    def test_unknown_kind_rejected_with_known_list(self):
+        with pytest.raises(HardwareError, match="stride, nextline, off"):
+            PrefetcherConfig(kind="markov")
+
+
+class TestOff:
+    def test_never_prefetches(self):
+        pf = StridePrefetcher(PrefetcherConfig(kind="off"))
+        assert all(pf.on_load(0x1000 + i * 64) == [] for i in range(6))
+
+    def test_matches_enabled_false(self):
+        off = StridePrefetcher(PrefetcherConfig(kind="off"))
+        disabled = StridePrefetcher(PrefetcherConfig(enabled=False))
+        loads = [0x1000 + i * 128 for i in range(5)]
+        assert [off.on_load(a) for a in loads] == [
+            disabled.on_load(a) for a in loads
+        ]
+
+
+class TestNextline:
+    def test_every_load_triggers(self):
+        pf = StridePrefetcher(PrefetcherConfig(kind="nextline"))
+        assert pf.on_load(0x1000) == [0x1040]  # no warm-up run needed
+
+    def test_degree_reaches_further(self):
+        pf = StridePrefetcher(PrefetcherConfig(kind="nextline", degree=3))
+        assert pf.on_load(0x2000) == [0x2040, 0x2080, 0x20C0]
+
+    def test_page_boundary_stops(self):
+        pf = StridePrefetcher(PrefetcherConfig(kind="nextline", degree=4))
+        assert pf.on_load(0x1F80) == [0x1FC0]  # 0x2000 is the next page
+
+    def test_custom_line_size(self):
+        pf = StridePrefetcher(
+            PrefetcherConfig(kind="nextline", line_size=128)
+        )
+        assert pf.on_load(0x1000) == [0x1080]
+
+    def test_ignores_stride_state(self):
+        # Alternating directions would disarm the stride detector; the
+        # next-line prefetcher fires regardless.
+        pf = StridePrefetcher(PrefetcherConfig(kind="nextline"))
+        assert pf.on_load(0x3000) == [0x3040]
+        assert pf.on_load(0x1000) == [0x1040]
+        assert pf.on_load(0x2000) == [0x2040]
+
+
+class TestStrideUnchanged:
+    def test_arms_after_trigger_loads(self):
+        pf = StridePrefetcher(PrefetcherConfig(kind="stride"))
+        assert pf.on_load(0x1000) == []
+        assert pf.on_load(0x1040) == []
+        assert pf.on_load(0x1080) == [0x10C0]  # third equidistant load
+
+    def test_kind_changes_config_digest(self):
+        from repro.hw.profiles import config_digest
+
+        digests = {
+            config_digest(PrefetcherConfig(kind=kind))
+            for kind in PREFETCHER_KINDS
+        }
+        assert len(digests) == len(PREFETCHER_KINDS)

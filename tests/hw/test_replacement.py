@@ -1,0 +1,168 @@
+"""Unit tests for the cache replacement-policy axis (lru/plru/random)."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.cache import REPLACEMENT_POLICIES, Cache, CacheConfig
+
+#: One-set, four-way geometry: every address i*64 maps to set 0 with tag i.
+ONE_SET = dict(sets=1, ways=4, line_size=64)
+
+
+def tag_addrs(*tags):
+    return [t * 64 for t in tags]
+
+
+class TestConfig:
+    def test_registry(self):
+        assert REPLACEMENT_POLICIES == ("lru", "plru", "random")
+
+    def test_default_is_lru(self):
+        assert CacheConfig().replacement == "lru"
+        assert CacheConfig().replacement_seed == 0
+
+    def test_unknown_policy_rejected_with_known_list(self):
+        with pytest.raises(HardwareError, match="lru, plru, random"):
+            CacheConfig(replacement="fifo")
+
+    def test_all_registered_policies_construct(self):
+        for policy in REPLACEMENT_POLICIES:
+            Cache(CacheConfig(replacement=policy, **ONE_SET))
+
+
+class TestPlru:
+    def test_cold_fills_do_not_evict(self):
+        cache = Cache(CacheConfig(replacement="plru", **ONE_SET))
+        for addr in tag_addrs(0, 1, 2, 3):
+            cache.access(addr)
+        assert all(cache.contains(a) for a in tag_addrs(0, 1, 2, 3))
+
+    def test_plru_victim_differs_from_lru(self):
+        # Fill ways 0..3 (tags 0..3), refresh tag 0, then conflict with
+        # tag 4.  True LRU evicts tag 1 (the oldest untouched line);
+        # tree-PLRU walks the bit tree to the *other* half and evicts
+        # tag 2.  The divergence is exactly what makes replacement a
+        # model-soundness axis.
+        lru = Cache(CacheConfig(replacement="lru", **ONE_SET))
+        plru = Cache(CacheConfig(replacement="plru", **ONE_SET))
+        for cache in (lru, plru):
+            for addr in tag_addrs(0, 1, 2, 3):
+                cache.access(addr)
+            assert cache.access(tag_addrs(0)[0])  # refresh tag 0
+            cache.access(tag_addrs(4)[0])  # conflict fill
+        assert not lru.contains(64 * 1) and lru.contains(64 * 2)
+        assert plru.contains(64 * 1) and not plru.contains(64 * 2)
+
+    def test_plru_is_deterministic(self):
+        a = Cache(CacheConfig(replacement="plru", **ONE_SET))
+        b = Cache(CacheConfig(replacement="plru", **ONE_SET))
+        sequence = tag_addrs(0, 1, 2, 3, 1, 5, 0, 6, 2)
+        for addr in sequence:
+            a.access(addr)
+            b.access(addr)
+        assert a.snapshot() == b.snapshot()
+
+    def test_flush_line_then_refill_uses_free_way(self):
+        cache = Cache(CacheConfig(replacement="plru", **ONE_SET))
+        for addr in tag_addrs(0, 1, 2, 3):
+            cache.access(addr)
+        cache.flush_line(64 * 2)
+        cache.access(64 * 9)  # takes the freed way, no eviction
+        assert all(cache.contains(a) for a in tag_addrs(0, 1, 3, 9))
+
+    def test_noise_hooks(self):
+        cache = Cache(CacheConfig(replacement="plru", **ONE_SET))
+        for addr in tag_addrs(0, 1, 2, 3):
+            cache.access(addr)
+        cache.evict_set_way(0)
+        assert len(cache.snapshot()) == 3
+        cache.insert_line(0, tag=7)
+        assert (0, 7) in cache.resident_lines()
+        cache.insert_line(0, tag=7)  # already resident: no duplicate
+        assert len(cache.snapshot()) == 4
+
+
+class TestRandom:
+    def test_victim_follows_seeded_hash(self):
+        seed = 11
+        cache = Cache(
+            CacheConfig(replacement="random", replacement_seed=seed, **ONE_SET)
+        )
+        for addr in tag_addrs(0, 1, 2, 3):  # fills ways 0..3 in order
+            cache.access(addr)
+        cache.access(64 * 4)  # first conflict fill in set 0
+        digest = hashlib.blake2b(
+            f"{seed}:0:1".encode("utf-8"), digest_size=8
+        ).digest()
+        victim_tag = int.from_bytes(digest, "big") % 4
+        assert not cache.contains(64 * victim_tag)
+        survivors = {0, 1, 2, 3, 4} - {victim_tag}
+        assert all(cache.contains(64 * t) for t in survivors)
+
+    def test_same_seed_same_contents(self):
+        sequence = tag_addrs(0, 1, 2, 3, 4, 5, 1, 6, 2, 7)
+        snaps = []
+        for _ in range(2):
+            cache = Cache(
+                CacheConfig(replacement="random", replacement_seed=3, **ONE_SET)
+            )
+            for addr in sequence:
+                cache.access(addr)
+            snaps.append(cache.snapshot())
+        assert snaps[0] == snaps[1]
+
+    def test_hits_keep_no_recency_state(self):
+        cache = Cache(CacheConfig(replacement="random", **ONE_SET))
+        for addr in tag_addrs(0, 1, 2, 3):
+            cache.access(addr)
+        before = cache.snapshot()
+        assert cache.access(0)  # hit: must not perturb replacement state
+        assert cache.snapshot() == before
+
+    def test_flush_all_resets_fill_counter(self):
+        config = CacheConfig(replacement="random", **ONE_SET)
+        fresh = Cache(config)
+        reused = Cache(config)
+        warmup = tag_addrs(0, 1, 2, 3, 4, 5)
+        for addr in warmup:
+            reused.access(addr)
+        reused.flush_all()
+        replay = tag_addrs(8, 9, 10, 11, 12)
+        for addr in replay:
+            fresh.access(addr)
+            reused.access(addr)
+        assert fresh.snapshot() == reused.snapshot()
+
+
+class TestPolicyIndependentContract:
+    @pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+    def test_hit_miss_accounting(self, policy):
+        cache = Cache(CacheConfig(replacement=policy, **ONE_SET))
+        assert not cache.access(0x0)
+        assert cache.access(0x0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    @pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+    def test_capacity_never_exceeded(self, policy):
+        cache = Cache(CacheConfig(replacement=policy, **ONE_SET))
+        for tag in range(16):
+            cache.access(tag * 64)
+        assert len(cache.snapshot()) == 4
+
+    @pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+    def test_prefetch_port_fills_without_counting(self, policy):
+        cache = Cache(CacheConfig(replacement=policy, **ONE_SET))
+        cache.prefetch(0x40)
+        assert cache.contains(0x40)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_policy_changes_config_digest(self):
+        from repro.hw.profiles import config_digest
+
+        digests = {
+            config_digest(CacheConfig(replacement=policy))
+            for policy in REPLACEMENT_POLICIES
+        }
+        assert len(digests) == len(REPLACEMENT_POLICIES)

@@ -1,0 +1,113 @@
+"""Axis registry and spec-grammar tests."""
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.hw.core import CoreConfig
+from repro.matrix import AXES, axis_names, format_axis_spec, parse_axis_spec
+
+
+class TestRegistry:
+    def test_names_sorted(self):
+        assert axis_names() == sorted(AXES)
+        assert set(axis_names()) == {
+            "replacement",
+            "prefetcher",
+            "spec_window",
+            "pht_size",
+            "forwarding",
+            "l2",
+        }
+
+    def test_every_axis_applies_to_default_core(self):
+        base = CoreConfig()
+        samples = {
+            "replacement": "plru",
+            "prefetcher": "off",
+            "spec_window": 32,
+            "pht_size": 64,
+            "forwarding": True,
+            "l2": True,
+        }
+        for name, value in samples.items():
+            core = AXES[name].apply(base, value)
+            assert core != base
+            assert isinstance(AXES[name].slug(value), str)
+
+    def test_spec_window_zero_allowed(self):
+        assert AXES["spec_window"].parse("0") == 0
+
+
+class TestGrammar:
+    def test_bracketed_and_bare_forms_agree(self):
+        bracketed = parse_axis_spec(
+            "replacement=[lru,plru], prefetcher=[stride,off]"
+        )
+        bare = parse_axis_spec("replacement=lru,plru prefetcher=stride,off")
+        assert bracketed == bare
+        assert bracketed == {
+            "replacement": ("lru", "plru"),
+            "prefetcher": ("stride", "off"),
+        }
+
+    def test_separators(self):
+        spec = parse_axis_spec("spec_window=[0,8];forwarding=on,off")
+        assert spec == {"spec_window": (0, 8), "forwarding": (True, False)}
+
+    def test_single_value_axis(self):
+        assert parse_axis_spec("spec_window=8") == {"spec_window": (8,)}
+
+    def test_value_order_preserved(self):
+        assert parse_axis_spec("spec_window=32,0,8")["spec_window"] == (
+            32,
+            0,
+            8,
+        )
+
+    def test_round_trip_through_format(self):
+        spec = parse_axis_spec("prefetcher=stride,off spec_window=8,0")
+        assert parse_axis_spec(format_axis_spec(spec)) == spec
+
+
+class TestGrammarErrors:
+    def test_empty_spec(self):
+        with pytest.raises(MatrixError, match="empty axis spec"):
+            parse_axis_spec("   ")
+
+    def test_unknown_axis_lists_known(self):
+        with pytest.raises(MatrixError, match="known: .*replacement"):
+            parse_axis_spec("cache_ways=2,4")
+
+    def test_duplicate_axis(self):
+        with pytest.raises(MatrixError, match="assigned twice"):
+            parse_axis_spec("spec_window=0 spec_window=8")
+
+    def test_bad_choice_value_lists_known(self):
+        with pytest.raises(MatrixError, match="known: lru, plru, random"):
+            parse_axis_spec("replacement=mru")
+
+    def test_bad_integer(self):
+        with pytest.raises(MatrixError, match="not an integer"):
+            parse_axis_spec("spec_window=deep")
+
+    def test_negative_window(self):
+        with pytest.raises(MatrixError, match=">= 0"):
+            parse_axis_spec("spec_window=-4")
+
+    def test_pht_size_must_be_power_of_two(self):
+        with pytest.raises(MatrixError, match="power of two"):
+            parse_axis_spec("pht_size=100")
+
+    def test_bad_boolean(self):
+        with pytest.raises(MatrixError, match="on/off"):
+            parse_axis_spec("l2=maybe")
+
+    def test_stray_text_rejected(self):
+        with pytest.raises(MatrixError, match="unexpected text"):
+            parse_axis_spec("spec_window=8 junk")
+        with pytest.raises(MatrixError, match="unexpected text"):
+            parse_axis_spec("junk! spec_window=8")
+
+    def test_empty_value_list(self):
+        with pytest.raises(MatrixError, match="empty value list"):
+            parse_axis_spec("replacement=[]")

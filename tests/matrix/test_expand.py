@@ -1,0 +1,97 @@
+"""Grid expansion: naming, dedup, digests, base-profile handling."""
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.hw.core import CoreConfig
+from repro.hw.profiles import config_digest, resolve_profile
+from repro.matrix import expand_grid, parse_axis_spec
+
+
+def grid(text, **kwargs):
+    return expand_grid(parse_axis_spec(text), **kwargs)
+
+
+class TestExpansion:
+    def test_2x2x2_grid(self):
+        points = grid(
+            "replacement=lru,plru prefetcher=stride,off spec_window=0,8"
+        )
+        assert len(points) == 8
+        # Axes sort by name (prefetcher < replacement < spec_window) and
+        # the last sorted axis varies fastest.
+        assert points[0].name == "stride+lru+w0"
+        assert points[1].name == "stride+lru+w8"
+        assert points[-1].name == "off+plru+w8"
+
+    def test_point_axes_in_sorted_order(self):
+        (point,) = grid("spec_window=8 forwarding=on l2=off")
+        assert point.name == "fwd+nol2+w8"
+        assert point.axes == (
+            ("forwarding", "fwd"),
+            ("l2", "nol2"),
+            ("spec_window", "w8"),
+        )
+        assert point.axes_doc() == {
+            "forwarding": "fwd",
+            "l2": "nol2",
+            "spec_window": "w8",
+        }
+
+    def test_values_applied_to_core(self):
+        points = grid("replacement=plru spec_window=32 pht_size=64 l2=on")
+        core = points[0].core
+        assert core.cache.replacement == "plru"
+        assert core.spec_window == 32
+        assert core.predictor.entries == 64
+        assert core.l2 is not None and core.l2.sets == 512
+
+    def test_unswept_knobs_come_from_base(self):
+        base = resolve_profile("cortex-a53")
+        (point,) = grid("spec_window=8")
+        assert point.core.cache == base.cache
+        assert point.core.prefetcher == base.prefetcher
+
+    def test_explicit_base_config(self):
+        base = CoreConfig(tlb_miss_latency=99)
+        (point,) = grid("prefetcher=off", base=base)
+        assert point.core.tlb_miss_latency == 99
+        assert point.core.prefetcher.kind == "off"
+
+    def test_base_profile_by_name(self):
+        (point,) = grid("spec_window=8", base_profile="cortex-a53-no-prefetch")
+        assert not point.core.prefetcher.enabled
+
+
+class TestDigestsAndDedup:
+    def test_digest_matches_config_digest(self):
+        for point in grid("replacement=lru,plru"):
+            assert point.digest == config_digest(point.core)
+
+    def test_digests_unique_across_grid(self):
+        points = grid("replacement=lru,plru,random prefetcher=stride,off")
+        digests = [p.digest for p in points]
+        assert len(digests) == len(set(digests)) == 6
+
+    def test_duplicate_values_dedup_keep_first(self):
+        points = grid("replacement=lru,lru")
+        assert len(points) == 1
+        assert points[0].name == "lru"
+
+    def test_structurally_identical_combos_dedup(self):
+        # A value equal to the base (stride is the A53 default) collapses
+        # with any other axis assignment that reproduces the base core.
+        points = grid("prefetcher=stride spec_window=8")  # == base config
+        base_digest = config_digest(resolve_profile("cortex-a53"))
+        assert len(points) == 1
+        assert points[0].digest == base_digest
+
+
+class TestErrors:
+    def test_empty_spec_rejected(self):
+        with pytest.raises(MatrixError, match="empty"):
+            expand_grid({})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(MatrixError, match="unknown axis"):
+            expand_grid({"warp_drive": (1,)})

@@ -1,0 +1,166 @@
+"""Report document: schema validation, rendering, artifact layout."""
+
+import copy
+import hashlib
+import io
+import json
+import os
+
+import pytest
+
+from repro.errors import MatrixError
+from repro.matrix import (
+    REPORT_VERSION,
+    SweepConfig,
+    parse_axis_spec,
+    render_report,
+    report_bytes,
+    run_sweep,
+    sweep_report_doc,
+    validate_report,
+    write_sweep_artifacts,
+)
+from repro.matrix.report import _main
+from repro.runner import RunnerConfig
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    sweep = SweepConfig(
+        experiment="mct-a",
+        axes=parse_axis_spec("spec_window=0,8"),
+        refined=False,
+        programs=4,
+        tests=4,
+        seed=1,
+        monitor=False,
+        scenario="report-test",
+    )
+    return run_sweep(sweep, RunnerConfig(workers=2), out=io.StringIO())
+
+
+@pytest.fixture()
+def doc(sweep_result):
+    return copy.deepcopy(sweep_report_doc(sweep_result))
+
+
+class TestDocument:
+    def test_valid_and_versioned(self, doc):
+        validate_report(doc)
+        assert doc["report_version"] == REPORT_VERSION
+        assert doc["scenario"] == "report-test"
+        assert doc["experiment"] == "mct-a"
+        assert doc["grid_size"] == 2
+        assert doc["axes"] == {"spec_window": ["0", "8"]}
+
+    def test_config_rows_carry_result_hashes(self, doc, sweep_result):
+        hashes = {
+            entry["config"]: entry["result_sha256"]
+            for entry in doc["configs"]
+        }
+        for point in sweep_result.points:
+            assert hashes[point.point.name] == hashlib.sha256(
+                point.document
+            ).hexdigest()
+
+    def test_report_bytes_stable(self, doc):
+        assert report_bytes(doc) == report_bytes(json.loads(report_bytes(doc)))
+        assert report_bytes(doc).endswith(b"\n")
+
+    def test_render_mentions_every_config_and_summary(self, doc):
+        text = render_report(doc)
+        for entry in doc["configs"]:
+            assert entry["config"] in text
+        assert doc["verdict"]["summary"] in text
+        assert "first divergence" in text
+
+
+class TestValidation:
+    def test_wrong_version(self, doc):
+        doc["report_version"] = 99
+        with pytest.raises(MatrixError, match="report_version"):
+            validate_report(doc)
+
+    def test_missing_top_key(self, doc):
+        del doc["verdict"]
+        with pytest.raises(MatrixError, match="missing key 'verdict'"):
+            validate_report(doc)
+
+    def test_grid_size_mismatch(self, doc):
+        doc["grid_size"] = 7
+        with pytest.raises(MatrixError, match="grid_size"):
+            validate_report(doc)
+
+    def test_sound_config_with_counterexamples(self, doc):
+        entry = next(e for e in doc["configs"] if not e["sound"])
+        entry["sound"] = True
+        with pytest.raises(MatrixError, match="sound config reports"):
+            validate_report(doc)
+
+    def test_unsound_config_without_attribution(self, doc):
+        entry = next(e for e in doc["configs"] if not e["sound"])
+        entry["first_divergence"] = None
+        with pytest.raises(MatrixError, match="attribution"):
+            validate_report(doc)
+
+    def test_duplicate_config_names(self, doc):
+        doc["configs"][1]["config"] = doc["configs"][0]["config"]
+        doc["verdict"]["sound_configs"] = [doc["configs"][0]["config"]]
+        doc["verdict"]["unsound_configs"] = [doc["configs"][0]["config"]]
+        with pytest.raises(MatrixError, match="duplicate config names"):
+            validate_report(doc)
+
+    def test_verdict_partition_must_agree(self, doc):
+        doc["verdict"]["sound_configs"] = []
+        with pytest.raises(MatrixError, match="sound_configs disagree"):
+            validate_report(doc)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(MatrixError, match="must be an object"):
+            validate_report([])
+
+
+class TestArtifacts:
+    def test_layout_and_payloads(self, sweep_result, tmp_path):
+        directory = str(tmp_path / "artifacts")
+        artifacts = write_sweep_artifacts(
+            sweep_result, directory, dashboard=True
+        )
+        for point in sweep_result.points:
+            path = artifacts[f"result:{point.point.name}"]
+            assert os.path.basename(path) == "result.json"
+            assert f"config-{point.index:02d}-{point.point.name}" in path
+            with open(path, "rb") as handle:
+                assert handle.read() == point.document
+        with open(artifacts["report"], "rb") as handle:
+            assert handle.read() == report_bytes(
+                sweep_report_doc(sweep_result)
+            )
+        with open(artifacts["dashboard"], encoding="utf-8") as handle:
+            html = handle.read()
+        assert "report-test" in html
+        for point in sweep_result.points:
+            assert point.point.name in html
+
+    def test_validator_cli(self, sweep_result, tmp_path, capsys):
+        directory = str(tmp_path / "artifacts")
+        artifacts = write_sweep_artifacts(sweep_result, directory)
+        assert _main([artifacts["report"]]) == 0
+        out = capsys.readouterr().out
+        assert "is valid" in out
+        assert "sound on 1/2 configs" in out
+
+    def test_validator_cli_rejects_corrupt_report(
+        self, sweep_result, tmp_path, capsys
+    ):
+        doc = sweep_report_doc(sweep_result)
+        doc["grid_size"] = 5
+        path = str(tmp_path / "bad.json")
+        with open(path, "wb") as handle:
+            handle.write(report_bytes(doc))
+        assert _main([path]) == 1
+        assert "is invalid" in capsys.readouterr().out
+
+    def test_validator_cli_usage_and_missing_file(self, tmp_path, capsys):
+        assert _main([]) == 2
+        assert _main([str(tmp_path / "absent.json")]) == 1

@@ -1,0 +1,190 @@
+"""Sweep runner: determinism, byte-identity, verdicts, resume semantics.
+
+Uses a deliberately tiny budget (mct-a, 4 programs x 4 tests, seed 1) that
+is known to produce a differential verdict across ``spec_window=0,8``:
+speculation off is sound, speculation on yields a counterexample.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.matrix import (
+    SweepConfig,
+    build_point_campaign,
+    grid_for,
+    parse_axis_spec,
+    run_sweep,
+)
+from repro.runner import (
+    EventLog,
+    ParallelRunner,
+    RunnerConfig,
+    ShardStarted,
+    campaign_key,
+)
+
+
+def tiny_sweep(**overrides):
+    defaults = dict(
+        experiment="mct-a",
+        axes=parse_axis_spec("spec_window=0,8"),
+        refined=False,
+        programs=4,
+        tests=4,
+        seed=1,
+        monitor=False,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_sweep(tiny_sweep(), RunnerConfig(workers=2), out=io.StringIO())
+
+
+class TestDifferentialVerdict:
+    def test_verdict_flips_across_grid(self, sweep_result):
+        verdict = sweep_result.verdict
+        assert verdict.differential
+        assert verdict.sound_configs == ["w0"]
+        assert verdict.unsound_configs == ["w8"]
+        assert verdict.describe() == (
+            "Mct: sound on 1/2 configs, counterexample on w8"
+        )
+
+    def test_unsound_point_carries_attribution(self, sweep_result):
+        unsound = next(
+            p for p in sweep_result.points if not p.verdict.sound
+        )
+        divergence = unsound.verdict.first_divergence
+        assert divergence is not None
+        assert divergence["key"]
+        assert divergence["description"]
+        assert isinstance(divergence["program_index"], int)
+
+    def test_sound_point_has_no_attribution(self, sweep_result):
+        sound = next(p for p in sweep_result.points if p.verdict.sound)
+        assert sound.verdict.first_divergence is None
+        assert sound.verdict.counterexamples == 0
+
+    def test_attribute_false_skips_replay(self):
+        result = run_sweep(
+            tiny_sweep(),
+            RunnerConfig(workers=2),
+            out=io.StringIO(),
+            attribute=False,
+        )
+        assert all(
+            p.verdict.first_divergence is None for p in result.points
+        )
+        assert result.verdict.unsound_configs == ["w8"]
+
+
+class TestByteIdentity:
+    def test_documents_invariant_under_worker_count(self, sweep_result):
+        other = run_sweep(
+            tiny_sweep(), RunnerConfig(workers=1), out=io.StringIO()
+        )
+        assert [p.document for p in other.points] == [
+            p.document for p in sweep_result.points
+        ]
+
+    def test_point_document_matches_single_config_run(self, sweep_result):
+        # The sweep's per-point result.json must be byte-identical to the
+        # document the equivalent single-config campaign produces.
+        from repro.service.orchestrator import (
+            campaign_document,
+            document_bytes,
+        )
+
+        sweep = tiny_sweep()
+        for point_result in sweep_result.points:
+            config = build_point_campaign(sweep, point_result.point)
+            single = ParallelRunner(RunnerConfig(workers=1)).run(config)
+            payload = document_bytes(
+                campaign_document(sweep.scenario_name, config, single)
+            )
+            assert payload == point_result.document
+
+    def test_documents_parse_and_differ_across_points(self, sweep_result):
+        docs = [json.loads(p.document) for p in sweep_result.points]
+        assert len({json.dumps(d, sort_keys=True) for d in docs}) == 2
+        for doc in docs:
+            assert doc["scenario"] == "mct-a"
+
+
+class TestProgress:
+    def test_config_prefixed_progress_lines(self):
+        out = io.StringIO()
+        run_sweep(tiny_sweep(), RunnerConfig(workers=2), out=out)
+        text = out.getvalue()
+        assert "[config 1/2 w0] " in text
+        assert "[config 2/2 w8] " in text
+
+
+class TestCheckpointIsolation:
+    def test_campaign_keys_embed_hardware_digest(self):
+        from repro.hw.profiles import config_digest
+
+        sweep = tiny_sweep()
+        points = grid_for(sweep)
+        configs = [build_point_campaign(sweep, p) for p in points]
+        keys = [campaign_key(c) for c in configs]
+        # The key fingerprints the whole platform (core + channel + noise),
+        # so two grid points can never share a journal entry.
+        assert len(set(keys)) == len(points)
+        for config, key in zip(configs, keys):
+            assert f"|hw={config_digest(config.platform)}" in key
+
+    def test_resume_refuses_mismatched_hardware_journal(self, tmp_path):
+        # A journal recorded under one grid point must not satisfy a
+        # resume under different hardware: every shard re-executes.
+        sweep = tiny_sweep()
+        first, second = grid_for(sweep)
+        path = str(tmp_path / "checkpoint.jsonl")
+        ParallelRunner(RunnerConfig(checkpoint_path=path)).run(
+            build_point_campaign(sweep, first)
+        )
+        log = EventLog()
+        ParallelRunner(
+            RunnerConfig(checkpoint_path=path, resume=True), events=log
+        ).run(build_point_campaign(sweep, second))
+        assert len(log.of_type(ShardStarted)) == sweep.programs
+
+    def test_resume_reuses_matching_hardware_journal(self, tmp_path):
+        sweep = tiny_sweep()
+        first, _ = grid_for(sweep)
+        path = str(tmp_path / "checkpoint.jsonl")
+        config = build_point_campaign(sweep, first)
+        ParallelRunner(RunnerConfig(checkpoint_path=path)).run(config)
+        log = EventLog()
+        ParallelRunner(
+            RunnerConfig(checkpoint_path=path, resume=True), events=log
+        ).run(build_point_campaign(sweep, first))
+        assert log.of_type(ShardStarted) == []
+
+    def test_sweep_resume_skips_all_completed_points(self, tmp_path):
+        path = str(tmp_path / "checkpoint.jsonl")
+        full = run_sweep(
+            tiny_sweep(),
+            RunnerConfig(workers=2, checkpoint_path=path),
+            out=io.StringIO(),
+        )
+        log = EventLog()
+
+        def events_factory(index, total, point):
+            return log
+
+        resumed = run_sweep(
+            tiny_sweep(),
+            RunnerConfig(workers=2, checkpoint_path=path, resume=True),
+            out=io.StringIO(),
+            events_factory=events_factory,
+        )
+        assert log.of_type(ShardStarted) == []
+        assert [p.document for p in resumed.points] == [
+            p.document for p in full.points
+        ]

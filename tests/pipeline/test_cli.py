@@ -155,6 +155,20 @@ class TestHwProfileFlags:
         assert "cortex-a53" in out
         assert "out-of-order" in out
 
+    def test_list_hw_profiles_sorted_with_summaries(self, capsys):
+        from repro.hw.profiles import profile_summaries
+
+        with pytest.raises(SystemExit):
+            main(["validate", "--list-hw-profiles"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        listed = [line.split()[0] for line in lines]
+        assert listed == sorted(listed)
+        summaries = dict(profile_summaries())
+        for line in lines:
+            name = line.split()[0]
+            # each row carries the profile's one-line docstring summary
+            assert summaries[name] in line
+
     def test_validate_with_hw_profile(self, capsys):
         code = main(
             [
@@ -174,10 +188,8 @@ class TestHwProfileFlags:
         # the M0-class core multiplies in constant time: no counterexamples
         assert "Experiments" in capsys.readouterr().out
 
-    def test_unknown_hw_profile_raises(self):
-        from repro.errors import HardwareError
-
-        with pytest.raises(HardwareError, match="unknown hardware profile"):
+    def test_unknown_hw_profile_exits_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(
                 [
                     "validate",
@@ -191,6 +203,91 @@ class TestHwProfileFlags:
                     "z80",
                 ]
             )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown hardware profile 'z80'" in err
+        assert "cortex-a53" in err and "out-of-order" in err
+
+
+class TestSweep:
+    SWEEP_ARGS = [
+        "sweep",
+        "--experiment",
+        "mct-a",
+        "--axes",
+        "spec_window=0,8",
+        "--programs",
+        "4",
+        "--tests",
+        "4",
+        "--seed",
+        "1",
+        "--no-monitor",
+        "--workers",
+        "2",
+    ]
+
+    def test_sweep_prints_differential_table(self, capsys):
+        assert main(list(self.SWEEP_ARGS)) == 0
+        captured = capsys.readouterr()
+        assert "sweep: mct-a on 2 config(s): w0, w8" in captured.err
+        assert "[config 1/2 w0] " in captured.err
+        assert "[config 2/2 w8] " in captured.err
+        assert "sound on 1/2 configs, counterexample on w8" in captured.out
+
+    def test_sweep_writes_report_and_artifacts(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        artifacts = tmp_path / "artifacts"
+        code = main(
+            self.SWEEP_ARGS
+            + ["--report", str(report), "--artifacts", str(artifacts)]
+        )
+        assert code == 0
+        import json
+
+        from repro.matrix import validate_report
+
+        doc = json.loads(report.read_text())
+        validate_report(doc)
+        assert doc["grid_size"] == 2
+        assert (artifacts / "sweep_report.json").read_bytes() == (
+            report.read_bytes()
+        )
+        for index, name in ((1, "w0"), (2, "w8")):
+            assert (
+                artifacts / f"config-{index:02d}-{name}" / "result.json"
+            ).exists()
+
+    def test_list_axes_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--list-axes"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for axis in ("replacement", "prefetcher", "spec_window", "l2"):
+            assert axis in out
+
+    def test_bad_axis_spec_exits_2(self, capsys):
+        code = main(
+            ["sweep", "--experiment", "mct-a", "--axes", "replacement=mru"]
+        )
+        assert code == 2
+        assert "known: lru, plru, random" in capsys.readouterr().err
+
+    def test_unknown_base_profile_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "sweep",
+                    "--experiment",
+                    "mct-a",
+                    "--axes",
+                    "spec_window=0,8",
+                    "--hw-profile",
+                    "z80",
+                ]
+            )
+        assert exc.value.code == 2
+        assert "unknown hardware profile" in capsys.readouterr().err
 
 
 class TestRunAll:
@@ -220,6 +317,29 @@ class TestRunAll:
         assert "2/2 scenario(s) done" in captured.err
         assert "run-all" in captured.out
         assert (tmp_path / "artifacts" / "job-0001-cli-a").is_dir()
+
+    def test_run_all_counts_sweep_scenarios_as_done(self, tmp_path, capsys):
+        # Sweep jobs produce a sweep report instead of a CampaignResult;
+        # the summary line must still count them as done.
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        self._write_spec(
+            specs / "s.toml",
+            "cli-sweep",
+            experiment="mct-a",
+            extra='hw_matrix = "spec_window=[0,8]"\n',
+        )
+        code = main(
+            [
+                "run-all",
+                str(specs),
+                "--artifact-root",
+                str(tmp_path / "artifacts"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1/1 scenario(s) done" in captured.err
 
     def test_run_all_missing_directory(self, tmp_path, capsys):
         assert main(["run-all", str(tmp_path / "nope")]) == 2

@@ -102,6 +102,25 @@ class TestExecution:
             assert summary["result_sha256"]
         queue.close()
 
+    def test_run_all_restores_displaced_signal_handlers(self, tmp_path):
+        # A leaked raising SIGTERM handler outlives the batch and is
+        # inherited by every process forked afterwards in the same
+        # interpreter, where it masks default terminate-on-SIGTERM (a
+        # stuck forked child then survives Pool/Process terminate() and
+        # an unbounded join blocks forever).
+        import signal
+
+        before_term = signal.getsignal(signal.SIGTERM)
+        before_int = signal.getsignal(signal.SIGINT)
+        run_all(
+            [parse_spec(SCENARIOS[0])],
+            OrchestratorConfig(workers=1, artifact_root=str(tmp_path / "a")),
+            out=io.StringIO(),
+            handle_signals=True,
+        )
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+
     def test_progress_lines_carry_job_prefix(self, tmp_path):
         out = io.StringIO()
         spec = parse_spec(SCENARIOS[0])

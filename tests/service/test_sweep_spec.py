@@ -1,0 +1,175 @@
+"""``hw_matrix`` scenarios: spec validation and the orchestrator sweep path."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.errors import SpecError
+from repro.matrix import SweepConfig
+from repro.service.orchestrator import OrchestratorConfig, run_all
+from repro.service.spec import load_corpus, load_spec, parse_spec
+
+SWEEP_DOC = {
+    "name": "sweep-mct",
+    "experiment": "mct-a",
+    "refined": False,
+    "hw_matrix": "spec_window=0,8",
+    "programs": 4,
+    "tests": 4,
+    "seed": 1,
+    "monitor": False,
+}
+
+
+class TestSpec:
+    def test_plain_scenario_is_not_a_sweep(self):
+        doc = dict(SWEEP_DOC, hw_matrix="")
+        spec = parse_spec(doc)
+        assert not spec.is_sweep
+        with pytest.raises(SpecError, match="no hw_matrix"):
+            spec.build_sweep()
+
+    def test_sweep_spec_builds_sweep_config(self):
+        spec = parse_spec(SWEEP_DOC)
+        assert spec.is_sweep
+        sweep = spec.build_sweep()
+        assert isinstance(sweep, SweepConfig)
+        assert sweep.experiment == "mct-a"
+        assert sweep.axes == {"spec_window": (0, 8)}
+        assert sweep.scenario == "sweep-mct"
+        assert sweep.base_profile == "cortex-a53"
+        assert sweep.programs == 4 and sweep.tests == 4 and sweep.seed == 1
+
+    def test_invalid_axis_spec_fails_at_parse(self):
+        doc = dict(SWEEP_DOC, hw_matrix="warp_drive=1,2")
+        with pytest.raises(SpecError, match="invalid hw_matrix"):
+            parse_spec(doc)
+        doc = dict(SWEEP_DOC, hw_matrix="replacement=mru")
+        with pytest.raises(SpecError, match="invalid hw_matrix"):
+            parse_spec(doc)
+
+    def test_describe_mentions_matrix(self):
+        assert "hw_matrix='spec_window=0,8'" in parse_spec(SWEEP_DOC).describe()
+
+    def test_round_trips_through_document(self):
+        spec = parse_spec(SWEEP_DOC)
+        assert parse_spec(spec.to_doc()) == spec
+
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "sweep.toml"
+        path.write_text(
+            'name = "toml-sweep"\n'
+            'experiment = "mct-a"\n'
+            'hw_matrix = "replacement=[lru,plru] spec_window=[0,8]"\n'
+            "programs = 2\n"
+            "tests = 2\n"
+        )
+        spec = load_spec(str(path))
+        assert spec.is_sweep
+        assert spec.build_sweep().axes == {
+            "replacement": ("lru", "plru"),
+            "spec_window": (0, 8),
+        }
+
+
+class TestCheckedInScenarios:
+    def test_corpus_includes_matrix_scenarios(self):
+        specs = {spec.name: spec for spec in load_corpus("scenarios")}
+        flip = specs["mpart-prefetch-matrix"]
+        assert flip.is_sweep and flip.refined
+        assert flip.build_sweep().axes == {"prefetcher": ("stride", "off")}
+        grid = specs["mct-replacement-matrix"]
+        assert grid.is_sweep
+        assert grid.build_sweep().axes == {
+            "replacement": ("lru", "plru"),
+            "spec_window": (0, 8),
+        }
+
+
+class TestOrchestratorSweepJob:
+    def test_sweep_job_runs_and_writes_artifacts(self, tmp_path):
+        spec = parse_spec(SWEEP_DOC)
+        out = io.StringIO()
+        config = OrchestratorConfig(
+            workers=2, artifact_root=str(tmp_path / "art")
+        )
+        ((job, result),) = run_all([spec], config, out=out)
+        assert job.state == "done"
+        assert result is None  # sweep summaries live in the queue row
+        summary = job.result
+        assert summary["sweep"] is True
+        assert summary["grid_size"] == 2
+        assert summary["sound_configs"] == ["w0"]
+        assert summary["unsound_configs"] == ["w8"]
+        assert "sound on 1/2 configs" in summary["verdict"]
+
+        artifacts = summary["artifacts"]
+        report_path = artifacts["report"]
+        with open(report_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        from repro.matrix import validate_report
+
+        validate_report(doc)
+        assert doc["scenario"] == "sweep-mct"
+        for name in ("w0", "w8"):
+            assert os.path.exists(artifacts[f"result:{name}"])
+        assert os.path.exists(artifacts["checkpoint"])
+        assert os.path.exists(artifacts["events"])
+        assert os.path.exists(
+            os.path.join(os.path.dirname(report_path), "summary.json")
+        )
+        text = out.getvalue()
+        assert "[sweep-mct#1 config 1/2 w0] " in text
+        assert "[sweep-mct#1 config 2/2 w8] " in text
+
+    def test_sweep_point_results_match_single_config_scenarios(
+        self, tmp_path
+    ):
+        # A sweep of {w0, w8} must write the same result.json bytes as two
+        # single-config scenario jobs pinned to the equivalent profiles via
+        # explicit CoreConfigs.
+        from repro.matrix import build_point_campaign, grid_for
+        from repro.runner import ParallelRunner, RunnerConfig
+        from repro.service.orchestrator import (
+            campaign_document,
+            document_bytes,
+        )
+
+        spec = parse_spec(SWEEP_DOC)
+        config = OrchestratorConfig(
+            workers=2, artifact_root=str(tmp_path / "art")
+        )
+        ((job, _),) = run_all([spec], config, out=io.StringIO())
+        sweep = spec.build_sweep()
+        for point in grid_for(sweep):
+            campaign = build_point_campaign(sweep, point)
+            reference = ParallelRunner(RunnerConfig(workers=1)).run(campaign)
+            payload = document_bytes(
+                campaign_document(spec.name, campaign, reference)
+            )
+            with open(
+                job.result["artifacts"][f"result:{point.name}"], "rb"
+            ) as handle:
+                assert handle.read() == payload
+
+    def test_mixed_corpus_runs_sweeps_and_singles(self, tmp_path):
+        specs = [
+            parse_spec(SWEEP_DOC),
+            parse_spec(
+                {
+                    "name": "single-mct",
+                    "experiment": "mct-a",
+                    "programs": 2,
+                    "tests": 2,
+                    "seed": 1,
+                }
+            ),
+        ]
+        config = OrchestratorConfig(
+            workers=1, artifact_root=str(tmp_path / "art")
+        )
+        outcomes = run_all(specs, config, out=io.StringIO())
+        states = {job.name: job.state for job, _ in outcomes}
+        assert states == {"sweep-mct": "done", "single-mct": "done"}

@@ -117,6 +117,19 @@ class TestArithmeticShapes:
         ]
         check(cons, finder().solve(cons))
 
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 167])
+    def test_sum_coupled_with_masks_on_both_operands(self, seed):
+        # Deterministic repair cycles here: fixing a + c == 0x18 dirties the
+        # masked bits of one operand, fixing the mask breaks the sum again.
+        # Only the exploration phase's kept-bits redraw in the AND inverter
+        # escapes the cycle (found by tests/props/test_solver_props.py).
+        cons = [
+            E.eq(E.band(E.var("c"), E.const(0xFF0)), E.const(0)),
+            E.eq(E.add(E.var("a"), E.var("c")), E.const(0x18)),
+            E.eq(E.band(E.var("a"), E.const(0xFF0)), E.const(0)),
+        ]
+        check(cons, finder(seed=seed).solve(cons))
+
 
 class TestMemoryShapes:
     def test_memory_cell_disequality(self):
