@@ -1,0 +1,327 @@
+#!/usr/bin/env python
+"""Solver regression watch: stamped microbenches + end-to-end coverage solve.
+
+The observatory's CI leg (ISSUE 10).  Four scenarios, smallest first:
+
+* ``prepare``         — constraint preparation (flatten/absorb/compile)
+  over the template corpus, cold then memoized,
+* ``solve_prepared``  — the stochastic search on prepared satisfiable
+  systems, the per-query hot path,
+* ``restart_exhaust`` — a semantically unsatisfiable system (disjoint
+  range bounds) the search must run to restart exhaustion on: the
+  worst-case query shape coverage pinning produces constantly,
+* ``solve_coverage``  — end-to-end test-case generation under cache-set
+  coverage pinning, profiled by the solver observatory
+  (:mod:`repro.telemetry.solver`), which supplies the deterministic
+  query/restart/sat counters the regression gate compares exactly.
+
+Wall times vary across machines, so ``--compare`` gates them only with a
+generous ratio tolerance (default 4x); the profiled counters are exact
+reproductions of the search's decisions (the RNG is a pure-Python
+splittable generator) and must match the baseline bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py            # full run
+    PYTHONPATH=src python benchmarks/bench_solver.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_solver.py --smoke \
+        --compare benchmarks/BENCH_solver_baseline.json         # CI gate
+
+Emits ``BENCH_solver.json`` (``--out``), schema-checked by
+``python -m repro.bench_schema``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bir import expr as E
+from repro.core.coverage import MlineCoverage
+from repro.core.testgen import TestCaseGenerator, TestGenConfig
+from repro.gen.templates import TemplateB, TemplateC
+from repro.obs.base import AttackerRegion
+from repro.obs.models import MspecModel
+from repro.smt.solver import ModelFinder, SolverConfig
+from repro.telemetry import solver as solver_profile
+from repro.telemetry.export import stamp
+from repro.utils.rng import SplittableRandom
+
+#: Wall-time ratio the gate tolerates (cross-machine CI noise).
+DEFAULT_TIME_RATIO = 4.0
+
+
+def _generate_programs(count, seed=2024):
+    rng = SplittableRandom(seed)
+    templates = [TemplateB(), TemplateC()]
+    return [
+        templates[index % len(templates)]
+        .generate(rng.split(f"prog{index}"))
+        .asm
+        for index in range(count)
+    ]
+
+
+def _pair_constraint_systems(programs):
+    """Per-path constraint systems from executed templates: what a real
+    campaign prepares before every query."""
+    model = MspecModel()
+    systems = []
+    for asm in programs:
+        for path in TestCaseGenerator(asm, model).result:
+            system = list(path.path_condition)
+            for obs in path.observations:
+                system.append(obs.guard)
+            if system:
+                systems.append(system)
+    return systems
+
+
+def _bench_prepare(systems, iterations):
+    finder = ModelFinder(SolverConfig())
+    started = time.perf_counter()
+    for _ in range(iterations):
+        for system in systems:
+            finder.prepare(system)
+    return {
+        "seconds": round(time.perf_counter() - started, 6),
+        "iterations": iterations,
+        "systems": len(systems),
+    }
+
+
+def _bench_solve_prepared(systems, iterations):
+    finder = ModelFinder(SolverConfig())
+    prepared = [finder.prepare(system) for system in systems]
+    sat = 0
+    started = time.perf_counter()
+    for _ in range(iterations):
+        for item in prepared:
+            if finder.solve_prepared(item) is not None:
+                sat += 1
+    return {
+        "seconds": round(time.perf_counter() - started, 6),
+        "iterations": iterations,
+        "sat": sat,
+    }
+
+
+def _bench_restart_exhaust(iterations):
+    # Disjoint range bounds: semantically unsatisfiable, syntactically
+    # innocent — preparation cannot prove it, so every solve runs the full
+    # restart budget and exhausts.
+    finder = ModelFinder(SolverConfig())
+    x = E.var("x0")
+    system = [
+        E.ult(x, E.const(4)),
+        E.ult(E.const(100), E.add(x, E.var("x1"))),
+        E.ult(E.var("x1"), E.const(4)),
+    ]
+    prepared = finder.prepare(system)
+    exhausted = 0
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if finder.solve_prepared(prepared) is None:
+            exhausted += 1
+    return {
+        "seconds": round(time.perf_counter() - started, 6),
+        "iterations": iterations,
+        "exhausted": exhausted,
+    }
+
+
+def _bench_solve_coverage(programs, tests_per_program):
+    """The end-to-end scenario the observatory attributes: coverage-pinned
+    generation, one named coverage class per path pair."""
+    model = MspecModel()
+    config = TestGenConfig(solver=SolverConfig())
+    rng = SplittableRandom(7)
+    coverage = MlineCoverage(AttackerRegion(61, 127))
+    generated = 0
+    started = time.perf_counter()
+    for index, asm in enumerate(programs):
+        generator = TestCaseGenerator(
+            asm,
+            model,
+            config=config,
+            rng=rng.split(f"gen{index}"),
+            coverage=coverage,
+        )
+        for _ in range(tests_per_program):
+            if generator.generate() is not None:
+                generated += 1
+    return {
+        "seconds": round(time.perf_counter() - started, 6),
+        "tests_requested": len(programs) * tests_per_program,
+        "generated": generated,
+    }
+
+
+def run(smoke):
+    programs_count = 2 if smoke else 8
+    prepare_iterations = 5 if smoke else 100
+    solve_iterations = 2 if smoke else 20
+    exhaust_iterations = 2 if smoke else 25
+    coverage_tests = 3 if smoke else 16
+
+    programs = _generate_programs(programs_count)
+    systems = _pair_constraint_systems(programs)
+
+    solver_profile.set_enabled(True)
+    solver_profile.drain()
+    try:
+        scenarios = {
+            "prepare": _bench_prepare(systems, prepare_iterations),
+            "solve_prepared": _bench_solve_prepared(
+                systems, solve_iterations
+            ),
+            "restart_exhaust": _bench_restart_exhaust(exhaust_iterations),
+            "solve_coverage": _bench_solve_coverage(
+                programs, coverage_tests
+            ),
+        }
+        solver_doc = solver_profile.drain()
+    finally:
+        solver_profile.set_enabled(False)
+
+    from repro.telemetry.solver import doc_totals
+
+    totals = doc_totals(solver_doc)
+    counters = {
+        "queries": int(totals["queries"]),
+        "restarts": int(totals["restarts"]),
+        "sat": int(totals["sat"]),
+        "exhausted": int(totals["exhausted"]),
+        "coverage_generated": int(scenarios["solve_coverage"]["generated"]),
+    }
+    return {
+        "bench": "solver",
+        "meta": stamp(),
+        "smoke": smoke,
+        "params": {
+            "programs": programs_count,
+            "systems": len(systems),
+            "prepare_iterations": prepare_iterations,
+            "solve_iterations": solve_iterations,
+            "exhaust_iterations": exhaust_iterations,
+            "coverage_tests_per_program": coverage_tests,
+        },
+        "scenarios": scenarios,
+        "counters": counters,
+        "solver": solver_doc,
+    }
+
+
+def compare(report, baseline, time_ratio):
+    """Gate a fresh report against a recorded baseline.
+
+    Returns a list of violation strings (empty = pass).  Counters gate
+    exactly; per-scenario seconds gate on the ratio tolerance.
+    """
+    violations = []
+    if report.get("params") != baseline.get("params"):
+        return [
+            "params differ from baseline "
+            f"({report.get('params')} vs {baseline.get('params')}); "
+            "regenerate the baseline at the same scale"
+        ]
+    base_counters = baseline.get("counters") or {}
+    for name, value in (report.get("counters") or {}).items():
+        if name in base_counters and value != base_counters[name]:
+            violations.append(
+                f"counter {name}: {base_counters[name]} -> {value} "
+                "(deterministic counters must match the baseline exactly)"
+            )
+    base_scenarios = baseline.get("scenarios") or {}
+    for name, row in (report.get("scenarios") or {}).items():
+        base_row = base_scenarios.get(name) or {}
+        base_s = base_row.get("seconds")
+        current_s = row.get("seconds")
+        if not base_s or current_s is None:
+            continue
+        if current_s > base_s * time_ratio:
+            violations.append(
+                f"scenario {name}: {current_s:.4f}s exceeds "
+                f"{time_ratio:.1f}x the baseline {base_s:.4f}s"
+            )
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads (CI regression canary)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_solver.json",
+        ),
+        help="output JSON path (default: repo-root BENCH_solver.json)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="gate against a recorded BENCH_solver report; exit 1 on "
+        "regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TIME_RATIO,
+        help=f"wall-time ratio allowed vs the baseline "
+        f"(default {DEFAULT_TIME_RATIO}x; counters always gate exactly)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in report["scenarios"])
+    for name, row in report["scenarios"].items():
+        extra = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(row.items())
+            if key != "seconds"
+        )
+        print(f"{name.ljust(width)}  {row['seconds']:.4f}s  ({extra})")
+    counters = report["counters"]
+    print(
+        "profiled: "
+        + ", ".join(f"{name}={counters[name]}" for name in sorted(counters))
+    )
+    meta = report["meta"]
+    print(
+        f"wrote {os.path.abspath(args.out)} "
+        f"(git {meta['git_sha']}, python {meta['python']}, "
+        f"{meta['timestamp']})"
+    )
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        violations = compare(report, baseline, args.tolerance)
+        if violations:
+            for violation in violations:
+                print(f"FAIL: {violation}", file=sys.stderr)
+            return 1
+        print(f"OK: no regression vs {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""JSON schema for benchmark reports (``BENCH_*.json``), with a validator.
+
+Every benchmark emitter (``benchmarks/bench_expr_core.py``,
+``benchmarks/bench_solver.py``) writes the same envelope: which bench ran,
+at what scale, one entry per scenario, and optionally the provenance stamp
+plus deterministic counters the regression watch gates on.  ``BENCH_SCHEMA``
+is a draft-07 subset document (same dialect as
+:data:`repro.telemetry.schema.METRICS_SCHEMA`) and reuses that module's
+pure-Python validator, so CI validates artifacts with no extra dependency::
+
+    PYTHONPATH=src python -m repro.bench_schema BENCH_expr_core.json BENCH_solver.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+from repro.telemetry.schema import SchemaError, validate
+
+__all__ = ["BENCH_SCHEMA", "validate_bench", "validate_bench_file"]
+
+#: Scenario rows carry bench-specific scalar fields (seconds, speedups,
+#: counts); the envelope only pins each row to an object — the scalar rule
+#: is enforced in :func:`validate_bench`.
+_SCENARIO = {
+    "type": "object",
+    "additionalProperties": {"type": "object"},
+}
+
+BENCH_SCHEMA: Dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro benchmark report",
+    "type": "object",
+    "required": ["bench", "scenarios"],
+    "properties": {
+        "bench": {"type": "string"},
+        "smoke": {"type": "boolean"},
+        "meta": {
+            "type": "object",
+            "required": ["git_sha", "python", "timestamp"],
+            "properties": {
+                "git_sha": {"type": ["string", "null"]},
+                "python": {"type": "string"},
+                "platform": {"type": "string"},
+                "timestamp": {"type": "string"},
+            },
+        },
+        "params": {
+            "type": "object",
+            "additionalProperties": {
+                "type": ["number", "integer", "string", "boolean"]
+            },
+        },
+        "scenarios": _SCENARIO,
+        "cache_stats": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["hits", "misses"],
+                "properties": {
+                    "hits": {"type": "integer", "minimum": 0},
+                    "misses": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+        #: Deterministic counters the regression watch compares exactly.
+        "counters": {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        },
+        #: Merged solver query-profile document
+        #: (:mod:`repro.telemetry.solver`), when the bench profiled.
+        "solver": {
+            "type": "object",
+            "required": ["version", "classes", "phases", "top"],
+            "properties": {
+                "version": {"type": "integer", "minimum": 1},
+                "classes": {"type": "object"},
+                "phases": {"type": "object"},
+                "top": {"type": "array", "items": {"type": "object"}},
+            },
+        },
+    },
+}
+
+
+def validate_bench(doc: object) -> None:
+    """Raises :class:`~repro.telemetry.schema.SchemaError` on mismatch."""
+    validate(doc, BENCH_SCHEMA)
+    # Scenario rows are heterogeneous across benches; the envelope schema
+    # leaves them scalar-valued, which `_SCENARIO` enforces — but rows are
+    # objects, so check the one level the subset validator cannot express.
+    if isinstance(doc, dict):
+        for name, row in (doc.get("scenarios") or {}).items():
+            if not isinstance(row, dict):
+                raise SchemaError(
+                    f"$.scenarios.{name}: expected object, "
+                    f"got {type(row).__name__}"
+                )
+            for key, value in row.items():
+                if isinstance(value, (dict, list)):
+                    raise SchemaError(
+                        f"$.scenarios.{name}.{key}: scenario fields must "
+                        f"be scalars, got {type(value).__name__}"
+                    )
+
+
+def validate_bench_file(path: str) -> Dict:
+    """Load and validate one benchmark report; returns the document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    validate_bench(doc)
+    return doc
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(
+            "usage: python -m repro.bench_schema BENCH_FILE.json [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for path in argv:
+        try:
+            doc = validate_bench_file(path)
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            failed = True
+            continue
+        print(
+            f"{path}: valid ({doc.get('bench')}, "
+            f"{len(doc.get('scenarios', {}))} scenario(s))"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -446,6 +446,11 @@ def _build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "job", nargs="?", type=int, default=None, help="job id (default: all)"
     )
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the service's Prometheus text exposition instead",
+    )
     _add_url_arg(status)
 
     results = sub.add_parser(
@@ -463,6 +468,70 @@ def _build_parser() -> argparse.ArgumentParser:
     cancel = sub.add_parser("cancel", help="cancel a queued or running job")
     cancel.add_argument("job", type=int, help="job id")
     _add_url_arg(cancel)
+
+    history = sub.add_parser(
+        "history",
+        help="list or compare run summaries recorded with --history",
+    )
+    history.add_argument("db", help="history sqlite file")
+    history.add_argument(
+        "--limit", type=int, default=20, help="how many runs to list"
+    )
+    history.add_argument(
+        "--label", default=None, help="only runs with this label"
+    )
+    history.add_argument(
+        "--kind", default=None, help="only runs of this kind"
+    )
+    history.add_argument(
+        "--compare",
+        nargs=2,
+        type=int,
+        metavar=("BASE", "CURRENT"),
+        help="print a trend report between two run ids",
+    )
+
+    trends = sub.add_parser(
+        "trends",
+        help=(
+            "gate a recorded run against its baseline: exit 1 when any "
+            "metric regressed beyond tolerance"
+        ),
+    )
+    trends.add_argument("db", help="history sqlite file")
+    trends.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        help="run id to gate (default: the latest run)",
+    )
+    trends.add_argument(
+        "--baseline",
+        type=int,
+        default=None,
+        help=(
+            "baseline run id (default: latest earlier run with the same "
+            "label/digest)"
+        ),
+    )
+    trends.add_argument(
+        "--label", default=None, help="pick the latest run with this label"
+    )
+    trends.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative slowdown allowed on time metrics (default: 0.25)",
+    )
+    trends.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help=(
+            "absolute seconds a time metric must additionally exceed to "
+            "gate (default: 0.05)"
+        ),
+    )
     return parser
 
 
@@ -569,23 +638,42 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the coverage ledger and health detectors",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a stamped performance summary of this run into a "
+            "sqlite history store (query with 'history'/'trends'); "
+            "implies telemetry collection for the solver/phase breakdown"
+        ),
+    )
+
+
+#: record_history default: "use the session-wide spans/solver payload".
+_SESSION = object()
 
 
 class _TelemetrySession:
     """CLI-side lifecycle of the telemetry layer for one command.
 
-    Enables the tracer/registry when ``--trace``/``--metrics-out`` were
-    given, tees runner events into the metrics bridge, accumulates every
-    campaign's out-of-band payload, and writes the requested artifacts on
-    :meth:`finish`.  A session with neither flag is inert end to end.
+    Enables the tracer/registry/solver-profiler when ``--trace``,
+    ``--metrics-out`` or ``--history`` were given, tees runner events into
+    the metrics bridge, accumulates every campaign's out-of-band payload,
+    and writes the requested artifacts on :meth:`finish`.  A session with
+    none of the flags is inert end to end.
     """
 
     def __init__(self, args):
         self.trace_path = getattr(args, "trace", None)
         self.metrics_path = getattr(args, "metrics_out", None)
-        self.active = bool(self.trace_path or self.metrics_path)
+        self.history_path = getattr(args, "history", None)
+        self.active = bool(
+            self.trace_path or self.metrics_path or self.history_path
+        )
         self.spans = []
         self.metrics: dict = {}
+        self.solver: Optional[dict] = None
         if self.active:
             telemetry.enable()
 
@@ -608,6 +696,54 @@ class _TelemetrySession:
         tmetrics.merge_snapshot(
             self.metrics, telemetry.stats_metrics(result.stats)
         )
+        if result.solver is not None:
+            self._merge_solver(result.solver)
+
+    def _merge_solver(self, doc: dict) -> None:
+        from repro.telemetry.solver import merge_solver_docs
+
+        self.solver = merge_solver_docs([self.solver, doc])
+
+    def record_history(
+        self,
+        kind: str,
+        label: str,
+        digest,
+        wall_seconds: float,
+        stats,
+        solver=_SESSION,
+        spans=_SESSION,
+    ) -> None:
+        """Append one run summary to the ``--history`` store (if any).
+
+        Call after :meth:`finish` — the session's spans/solver aggregate
+        are complete by then and survive the telemetry switch-off.  Pass
+        ``solver``/``spans`` explicitly to attribute a narrower payload
+        (e.g. one sweep point) instead of the whole session's.
+        """
+        if not self.history_path:
+            return
+        from repro.history import HistoryStore, run_summary, scenario_digest
+
+        store = HistoryStore(self.history_path)
+        try:
+            run_id = store.record(
+                run_summary(
+                    kind,
+                    label,
+                    wall_seconds=wall_seconds,
+                    digest=scenario_digest(digest),
+                    stats=stats,
+                    spans=self.spans if spans is _SESSION else spans,
+                    solver=self.solver if solver is _SESSION else solver,
+                )
+            )
+        finally:
+            store.close()
+        print(
+            f"history recorded to {self.history_path} (run {run_id})",
+            file=sys.stderr,
+        )
 
     def finish(self, out=None) -> None:
         if not self.active:
@@ -618,6 +754,13 @@ class _TelemetrySession:
         # everything inline shards recorded (worker-process shards arrive
         # via result.metrics instead; see CampaignResult.metrics).
         tmetrics.merge_snapshot(self.metrics, tmetrics.snapshot())
+        # Solver queries issued outside any shard (e.g. repair tooling)
+        # are still sitting in the process-local profiler.
+        from repro.telemetry import solver as tsolver
+
+        leftover = tsolver.drain()
+        if leftover:
+            self._merge_solver(leftover)
         meta = texport.stamp()
         if self.trace_path:
             texport.write_chrome_trace(
@@ -625,6 +768,7 @@ class _TelemetrySession:
                 self.trace_path,
                 metrics_snapshot=self.metrics,
                 meta=meta,
+                solver=self.solver,
             )
             print(f"trace written to {self.trace_path}", file=out)
         if self.metrics_path:
@@ -713,17 +857,24 @@ def _write_ledger_out(args, results) -> None:
 
 
 def _cmd_validate(args) -> int:
+    import time
+
     config = _campaign(args, args.experiment, args.refined)
     _apply_monitor_args(args, [config])
     database = ExperimentDatabase(args.db) if args.db else None
     print(config.describe())
     session = _TelemetrySession(args)
+    started = time.monotonic()
     result = _runner(args, session).run(config, database=database)
+    wall = time.monotonic() - started
     session.absorb(result)
     print()
     print(format_table([result.stats]))
     _write_ledger_out(args, [result])
     session.finish()
+    session.record_history(
+        "validate", config.name, config.describe(), wall, result.stats
+    )
     if database is not None:
         database.close()
         print(f"\nexperiment records written to {args.db}")
@@ -830,6 +981,16 @@ def _cmd_sweep(args) -> int:
             f"coverage ledger written to {args.ledger_out}", file=sys.stderr
         )
     session.finish()
+    for point_result in result.points:
+        session.record_history(
+            "sweep",
+            f"{sweep.scenario_name}/{point_result.point.name}",
+            point_result.config.describe(),
+            point_result.duration,
+            point_result.result.stats,
+            solver=point_result.result.solver,
+            spans=None,
+        )
     return 0
 
 
@@ -866,6 +1027,19 @@ def _run_table(args, columns, title: str) -> int:
     print(format_table([r.stats for r in results], title=title))
     _write_ledger_out(args, results)
     session.finish()
+    for config, result in zip(configs, results):
+        # Campaigns in a set share the pool, so wall clock is not
+        # per-campaign attributable; the measured phase totals are the
+        # honest per-campaign time proxy.
+        session.record_history(
+            title.split()[0].lower(),
+            config.name,
+            config.describe(),
+            result.stats.gen_time_total + result.stats.exe_time_total,
+            result.stats,
+            solver=result.solver,
+            spans=None,
+        )
     if database is not None:
         database.close()
         print(f"\nexperiment records written to {args.db}")
@@ -955,6 +1129,7 @@ def _write_report_html(args, report) -> int:
         ledger=ledger,
         report=report,
         health=health,
+        solver=report.solver,
         meta=report.meta,
     )
     with open(args.html, "w", encoding="utf-8") as handle:
@@ -1227,6 +1402,9 @@ def _cmd_submit(args) -> int:
 
 def _cmd_status(args) -> int:
     def call(client) -> int:
+        if getattr(args, "metrics", False):
+            sys.stdout.write(client.metrics())
+            return 0
         if args.job is not None:
             _print_job_line(client.status(args.job))
             return 0
@@ -1277,6 +1455,119 @@ def _cmd_cancel(args) -> int:
     return _service_call(args, call)
 
 
+def _open_history_or_exit(path: str):
+    import os
+
+    from repro.history import HistoryStore
+
+    if path != ":memory:" and not os.path.exists(path):
+        print(f"no such history store: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    return HistoryStore(path)
+
+
+def _run_label(row) -> str:
+    return f"run {row['id']} ({row['kind']}:{row['label']})"
+
+
+def _cmd_history(args) -> int:
+    from repro.history import compare_summaries
+
+    store = _open_history_or_exit(args.db)
+    try:
+        if args.compare:
+            rows = []
+            for run_id in args.compare:
+                row = store.get(run_id)
+                if row is None:
+                    print(f"no run {run_id} in {args.db}", file=sys.stderr)
+                    return 2
+                rows.append(row)
+            base, current = rows
+            print(
+                compare_summaries(
+                    base["summary"],
+                    current["summary"],
+                    base_label=_run_label(base),
+                    current_label=_run_label(current),
+                ).render()
+            )
+            return 0
+        rows = store.runs(limit=args.limit, label=args.label, kind=args.kind)
+        if not rows:
+            print("no runs recorded")
+            return 0
+        for row in rows:
+            summary = row["summary"]
+            sha = (row["git_sha"] or "-")[:10]
+            line = (
+                f"{row['id']:>4}  {row['recorded_at']}  "
+                f"{row['kind']:<12} {row['label']:<24} sha={sha:<10} "
+                f"wall={summary.get('wall_seconds', 0.0):.3f}s"
+            )
+            solver_seconds = summary.get("solver_seconds")
+            if solver_seconds is not None:
+                line += (
+                    f" solver={solver_seconds:.3f}s"
+                    f"/{summary.get('solver_queries', 0)}q"
+                )
+            print(line)
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_trends(args) -> int:
+    from repro.history import (
+        DEFAULT_FLOOR_SECONDS,
+        DEFAULT_TOLERANCE,
+        compare_summaries,
+    )
+
+    store = _open_history_or_exit(args.db)
+    try:
+        if args.run is not None:
+            current = store.get(args.run)
+            if current is None:
+                print(f"no run {args.run} in {args.db}", file=sys.stderr)
+                return 2
+        else:
+            current = store.latest(label=args.label)
+            if current is None:
+                print("no runs recorded", file=sys.stderr)
+                return 2
+        if args.baseline is not None:
+            base = store.get(args.baseline)
+            if base is None:
+                print(f"no run {args.baseline} in {args.db}", file=sys.stderr)
+                return 2
+        else:
+            base = store.baseline_for(current)
+            if base is None:
+                print(
+                    f"{_run_label(current)} has no earlier baseline; "
+                    "nothing to gate",
+                    file=sys.stderr,
+                )
+                return 0
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        floor = args.floor if args.floor is not None else DEFAULT_FLOOR_SECONDS
+        report = compare_summaries(
+            base["summary"],
+            current["summary"],
+            tolerance=tolerance,
+            floor=floor,
+            base_label=_run_label(base),
+            current_label=_run_label(current),
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    finally:
+        store.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -1296,6 +1587,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "results": _cmd_results,
         "cancel": _cmd_cancel,
+        "history": _cmd_history,
+        "trends": _cmd_trends,
     }
     return handlers[args.command](args)
 

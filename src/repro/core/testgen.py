@@ -36,6 +36,7 @@ from repro.smt.solver import (
     SolverConfig,
 )
 from repro.symbolic.executor import execute
+from repro.telemetry import solver as solver_profile
 from repro.telemetry.trace import span as tspan
 from repro.utils.rng import SplittableRandom
 
@@ -158,12 +159,19 @@ class TestCaseGenerator:
     # -- internals -----------------------------------------------------------
 
     def _instantiate(self, pair: PairRelation) -> Optional[TestCase]:
-        prepared = self._prepared(pair)
+        prepared, prepared_hit = self._prepared(pair)
         coverage = self.coverage.constraints(
             pair, self.result, self.rng.split("coverage")
         )
         finder = ModelFinder(self.config.solver, self.rng.split("solve"))
-        model = finder.solve_prepared(prepared, extra=coverage)
+        # Attribute the query to the ledger's coverage-class key for this
+        # pair so the solver observatory can say which class eats the time.
+        with solver_profile.query_context(
+            "testgen.generate",
+            f"pair:{pair.path1_index}-{pair.path2_index}",
+            prepared_hit=prepared_hit,
+        ):
+            model = finder.solve_prepared(prepared, extra=coverage)
         if model is None:
             return None
         state1 = self._state_inputs(model, 1)
@@ -178,12 +186,16 @@ class TestCaseGenerator:
             refined=self._refined_mode,
         )
 
-    def _prepared(self, pair: PairRelation) -> PreparedConstraints:
+    def _prepared(
+        self, pair: PairRelation
+    ) -> Tuple[PreparedConstraints, bool]:
+        """The prepared constraints for a pair, plus whether the prepared
+        cache supplied them (the solver profiler records the flag)."""
         key = (pair.path1_index, pair.path2_index)
         prepared = self._prepared_cache.get(key)
         if prepared is not None:
             _PREP_STATS.hits += 1
-            return prepared
+            return prepared, True
         _PREP_STATS.misses += 1
         with tspan("smt.prepare", pair=list(key)) as s:
             if self._refined_mode:
@@ -196,7 +208,7 @@ class TestCaseGenerator:
             s.set_attr("constraints", len(constraints))
         if intern.enabled():
             self._prepared_cache[key] = prepared
-        return prepared
+        return prepared, False
 
     def _wellformed(self, path_index: int, state_index: int) -> List[E.Expr]:
         key = (path_index, state_index)
@@ -242,7 +254,10 @@ class TestCaseGenerator:
         ]
         constraints += self._wellformed(target, 1)
         finder = ModelFinder(self.config.solver, self.rng.split("train"))
-        model = finder.solve(constraints)
+        with solver_profile.query_context(
+            "testgen.train", f"train:{target}", prepared_hit=False
+        ):
+            model = finder.solve(constraints)
         train = self._state_inputs(model, 1) if model is not None else None
         self._train_cache[target] = train
         return train

@@ -1,0 +1,36 @@
+"""Cross-run performance history: record, list, and compare runs.
+
+The observatory's long axis: the telemetry layer answers "where did
+*this* run spend its time"; this package answers "is that more than last
+time".  :class:`HistoryStore` persists one stamped summary per run
+(:func:`run_summary`), and :func:`compare_summaries` turns two of them
+into a gating trend report (``repro-scamv history`` / ``trends``).
+"""
+
+from repro.history.store import HistoryStore
+from repro.history.summary import (
+    phase_self_times,
+    run_summary,
+    scenario_digest,
+)
+from repro.history.trends import (
+    DEFAULT_FLOOR_SECONDS,
+    DEFAULT_RATE_DROP,
+    DEFAULT_TOLERANCE,
+    MetricDelta,
+    TrendReport,
+    compare_summaries,
+)
+
+__all__ = [
+    "HistoryStore",
+    "run_summary",
+    "scenario_digest",
+    "phase_self_times",
+    "compare_summaries",
+    "MetricDelta",
+    "TrendReport",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_FLOOR_SECONDS",
+    "DEFAULT_RATE_DROP",
+]

@@ -1,0 +1,163 @@
+"""The sqlite-backed cross-run performance history store.
+
+One row per completed run (validate / sweep grid point / service job /
+benchmark): a stamped summary document (see :mod:`repro.history.summary`)
+plus the indexed columns the CLI filters on — kind, label, git sha and the
+scenario digest.  The store is append-only in normal operation; rows are
+ordered by their autoincrement id, which is also the id ``repro-scamv
+history`` and ``trends`` address runs by.
+
+Concurrency model mirrors :mod:`repro.service.queue`: WAL journal, one
+connection guarded by a lock, so the daemon's orchestrator thread and a
+CLI reader can share the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["HistoryStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    label       TEXT NOT NULL,
+    git_sha     TEXT,
+    digest      TEXT,
+    summary     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_label ON runs (label, id);
+CREATE INDEX IF NOT EXISTS runs_kind ON runs (kind, id);
+"""
+
+
+class HistoryStore:
+    """Append and query run summaries in one sqlite file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            if path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- writing ---------------------------------------------------------------
+
+    def record(self, summary: Dict[str, object]) -> int:
+        """Append one run summary; returns the new run id.
+
+        ``kind``/``label``/``digest`` and the stamp's git sha are lifted
+        out of the document into indexed columns; the document itself is
+        stored verbatim.
+        """
+        meta = summary.get("meta") or {}
+        recorded = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT INTO runs "
+                "(recorded_at, kind, label, git_sha, digest, summary) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    recorded,
+                    str(summary.get("kind", "run")),
+                    str(summary.get("label", "")),
+                    meta.get("git_sha") if isinstance(meta, dict) else None,
+                    summary.get("digest"),
+                    json.dumps(summary, sort_keys=True),
+                ),
+            )
+            self._conn.commit()
+            return int(cursor.lastrowid)
+
+    # -- reading ---------------------------------------------------------------
+
+    def get(self, run_id: int) -> Optional[Dict[str, object]]:
+        """One run row (summary plus store metadata), or None."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        return self._row(row) if row is not None else None
+
+    def runs(
+        self,
+        limit: int = 20,
+        label: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """The most recent runs, newest first, optionally filtered."""
+        query = "SELECT * FROM runs"
+        clauses, params = [], []  # type: ignore[var-annotated]
+        if label is not None:
+            clauses.append("label = ?")
+            params.append(label)
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id DESC LIMIT ?"
+        params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [self._row(row) for row in rows]
+
+    def latest(
+        self, label: Optional[str] = None, kind: Optional[str] = None
+    ) -> Optional[Dict[str, object]]:
+        rows = self.runs(limit=1, label=label, kind=kind)
+        return rows[0] if rows else None
+
+    def baseline_for(self, run: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """The natural comparison baseline of a run: the most recent
+        *earlier* run with the same label and scenario digest; failing
+        that, the same label; failing that, any earlier run."""
+        run_id = int(run["id"])
+        for clause, params in (
+            (
+                "label = ? AND digest IS ?",
+                [run.get("label"), run.get("digest")],
+            ),
+            ("label = ?", [run.get("label")]),
+            ("1=1", []),
+        ):
+            with self._lock:
+                row = self._conn.execute(
+                    f"SELECT * FROM runs WHERE id < ? AND {clause} "
+                    "ORDER BY id DESC LIMIT 1",
+                    [run_id] + params,
+                ).fetchone()
+            if row is not None:
+                return self._row(row)
+        return None
+
+    @staticmethod
+    def _row(row: sqlite3.Row) -> Dict[str, object]:
+        summary = json.loads(row["summary"])
+        return {
+            "id": int(row["id"]),
+            "recorded_at": row["recorded_at"],
+            "kind": row["kind"],
+            "label": row["label"],
+            "git_sha": row["git_sha"],
+            "digest": row["digest"],
+            "summary": summary,
+        }

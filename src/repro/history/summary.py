@@ -1,0 +1,92 @@
+"""Building the stamped run-summary document the history store records.
+
+One summary captures everything the trends comparator needs to say
+"did this run get slower, and where": provenance (git sha via the
+telemetry stamp), a scenario digest tying comparable runs together,
+wall clock, deterministic counters, cache hit rates, per-phase self
+times (from the run's spans, when telemetry was on) and the solver
+observatory aggregate (:mod:`repro.telemetry.solver`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Optional
+
+from repro.telemetry.export import spans_to_events, stamp
+
+__all__ = ["SUMMARY_VERSION", "scenario_digest", "phase_self_times", "run_summary"]
+
+SUMMARY_VERSION = 1
+
+
+def scenario_digest(payload: object) -> str:
+    """A short stable digest of whatever describes the scenario.
+
+    Accepts any JSON-serialisable value (a config-describe string, a spec
+    document, a grid-point document); runs recorded with equal digests are
+    directly comparable — same work, only the code or machine changed.
+    """
+    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def phase_self_times(spans: Iterable) -> Dict[str, float]:
+    """Per-phase *self* seconds (children subtracted) from span records."""
+    from repro.telemetry.report import analyze_events
+
+    report = analyze_events(spans_to_events(spans))
+    return {
+        name: round(phase.self_time, 6)
+        for name, phase in report.phases.items()
+    }
+
+
+def run_summary(
+    kind: str,
+    label: str,
+    *,
+    wall_seconds: float,
+    digest: Optional[str] = None,
+    stats=None,
+    spans: Optional[Iterable] = None,
+    solver: Optional[Dict] = None,
+    meta: Optional[Dict] = None,
+) -> Dict[str, object]:
+    """Assemble one history-store summary document.
+
+    ``stats`` is a ``CampaignStats`` (or None for runs without one, e.g.
+    benchmarks); ``spans``/``solver`` are the run's telemetry payloads and
+    may be absent — the comparator only gates on what both sides have.
+    """
+    counters: Dict[str, int] = {}
+    cache_rates: Dict[str, float] = {}
+    if stats is not None:
+        counters = dict(stats.deterministic_counters())
+        cache_rates = {
+            name: round(rate, 6)
+            for name, rate in stats.cache_hit_rates().items()
+        }
+    solver_seconds: Optional[float] = None
+    solver_queries: Optional[int] = None
+    if solver:
+        from repro.telemetry.solver import doc_totals
+
+        totals = doc_totals(solver)
+        solver_seconds = totals["seconds_us"] / 1e6
+        solver_queries = int(totals["queries"])
+    return {
+        "version": SUMMARY_VERSION,
+        "kind": kind,
+        "label": label,
+        "digest": digest,
+        "meta": meta if meta is not None else stamp(),
+        "wall_seconds": round(float(wall_seconds), 6),
+        "counters": counters,
+        "cache_hit_rates": cache_rates,
+        "phase_self_seconds": phase_self_times(spans) if spans else {},
+        "solver_seconds": solver_seconds,
+        "solver_queries": solver_queries,
+        "solver": solver,
+    }

@@ -1,0 +1,168 @@
+"""Trend comparison between two recorded run summaries.
+
+``repro-scamv trends`` compares a run against a baseline metric by
+metric and exits non-zero when anything regressed beyond tolerance —
+the same gate the benchmark regression watch applies in CI.
+
+Regression rules:
+
+* **Time metrics** (wall clock, solver seconds, per-phase self times)
+  regress when the current value exceeds the baseline by more than the
+  relative ``tolerance`` *and* more than the absolute ``floor`` — the
+  floor keeps tiny runs (milliseconds of solver time) from tripping the
+  gate on scheduler noise.
+* **Cache hit rates** regress on an absolute drop larger than
+  ``rate_drop`` (relative tolerance is meaningless near 0%/100%).
+* **Deterministic counters** must match exactly *when both runs carry
+  the same scenario digest* — a mismatch is not a performance problem
+  but a determinism break, which is worse, and gates too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_FLOOR_SECONDS",
+    "DEFAULT_RATE_DROP",
+    "MetricDelta",
+    "TrendReport",
+    "compare_summaries",
+]
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_FLOOR_SECONDS = 0.05
+DEFAULT_RATE_DROP = 0.10
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric."""
+
+    name: str
+    base: float
+    current: float
+    regressed: bool = False
+    note: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.base
+
+    @property
+    def pct(self) -> Optional[float]:
+        if self.base == 0:
+            return None
+        return 100.0 * (self.current - self.base) / self.base
+
+
+@dataclass
+class TrendReport:
+    """Everything ``trends`` prints, plus the gate verdict."""
+
+    base_label: str
+    current_label: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Non-numeric findings (counter mismatches), all of which gate.
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"trends: {self.current_label} vs baseline {self.base_label}"
+        ]
+        if not self.deltas and not self.violations:
+            lines.append("  no comparable metrics recorded on both runs")
+            return "\n".join(lines)
+        width = max((len(d.name) for d in self.deltas), default=0)
+        for delta in self.deltas:
+            pct = delta.pct
+            pct_text = f"{pct:+.1f}%" if pct is not None else "n/a"
+            marker = "  REGRESSION" if delta.regressed else ""
+            lines.append(
+                f"  {delta.name:<{width}}  {delta.base:>10.4f} -> "
+                f"{delta.current:>10.4f}  ({pct_text}){marker}"
+            )
+        for violation in self.violations:
+            lines.append(f"  VIOLATION: {violation}")
+        lines.append(
+            "verdict: "
+            + (
+                "ok"
+                if self.ok
+                else f"{len(self.regressions) + len(self.violations)} "
+                "regression(s)"
+            )
+        )
+        return "\n".join(lines)
+
+
+def _time_metrics(summary: Dict) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    wall = summary.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        out["wall_seconds"] = float(wall)
+    solver = summary.get("solver_seconds")
+    if isinstance(solver, (int, float)):
+        out["solver_seconds"] = float(solver)
+    for phase, seconds in (summary.get("phase_self_seconds") or {}).items():
+        if isinstance(seconds, (int, float)):
+            out[f"phase.{phase}.self_seconds"] = float(seconds)
+    return out
+
+
+def compare_summaries(
+    base: Dict,
+    current: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor: float = DEFAULT_FLOOR_SECONDS,
+    rate_drop: float = DEFAULT_RATE_DROP,
+    base_label: str = "base",
+    current_label: str = "current",
+) -> TrendReport:
+    """Compare two summary documents (see :mod:`repro.history.summary`)."""
+    report = TrendReport(base_label=base_label, current_label=current_label)
+
+    base_times = _time_metrics(base)
+    current_times = _time_metrics(current)
+    for name in sorted(set(base_times) & set(current_times)):
+        b, c = base_times[name], current_times[name]
+        regressed = c > b * (1.0 + tolerance) and (c - b) > floor
+        report.deltas.append(
+            MetricDelta(name=name, base=b, current=c, regressed=regressed)
+        )
+
+    base_rates = base.get("cache_hit_rates") or {}
+    current_rates = current.get("cache_hit_rates") or {}
+    for name in sorted(set(base_rates) & set(current_rates)):
+        b, c = float(base_rates[name]), float(current_rates[name])
+        report.deltas.append(
+            MetricDelta(
+                name=f"cache.{name}.hit_rate",
+                base=b,
+                current=c,
+                regressed=(b - c) > rate_drop,
+            )
+        )
+
+    if base.get("digest") and base.get("digest") == current.get("digest"):
+        base_counters = base.get("counters") or {}
+        current_counters = current.get("counters") or {}
+        for name in sorted(set(base_counters) | set(current_counters)):
+            b = base_counters.get(name)
+            c = current_counters.get(name)
+            if b != c:
+                report.violations.append(
+                    f"counter {name} changed {b} -> {c} for an identical "
+                    "scenario digest (determinism break)"
+                )
+    return report

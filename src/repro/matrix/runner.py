@@ -18,6 +18,7 @@ different hardware is skipped, never merged.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
@@ -39,6 +40,8 @@ from repro.runner import (
     RunnerConfig,
     progress_printer,
 )
+from repro.telemetry import trace as ttrace
+from repro.telemetry.trace import span as tspan
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,9 @@ class SweepPointResult:
     #: Canonical ``result.json`` payload — byte-identical to the
     #: equivalent single-config run's document.
     document: bytes
+    #: Wall-clock seconds this grid point took (orchestration-side; never
+    #: part of the deterministic document).
+    duration: float = 0.0
 
 
 @dataclass
@@ -155,8 +161,25 @@ def run_sweep(
                 out, prefix=f"[config {index}/{total} {point.name}] "
             )
         runner = ParallelRunner(runner_config, events=events)
-        result = runner.run(config)
-        verdict = config_verdict(point, config, result, attribute=attribute)
+        started = time.monotonic()
+        with tspan(
+            "matrix.point",
+            point=point.name,
+            index=index,
+            total=total,
+            experiment=sweep.experiment,
+        ) as span:
+            result = runner.run(config)
+            verdict = config_verdict(
+                point, config, result, attribute=attribute
+            )
+            span.set_attr("sound", verdict.sound)
+        duration = time.monotonic() - started
+        if ttrace.enabled():
+            # Keep the closed matrix.point span with its own point: the
+            # next point's first shard_begin flushes the trace buffer, so
+            # anything left here would be silently dropped.
+            result.spans.extend(ttrace.drain())
         document = document_bytes(
             campaign_document(sweep.scenario_name, config, result)
         )
@@ -169,6 +192,7 @@ def run_sweep(
                 result=result,
                 verdict=verdict,
                 document=document,
+                duration=duration,
             )
         )
     return SweepResult(

@@ -303,6 +303,81 @@ def _render_triage(witnesses: Sequence) -> str:
     )
 
 
+def _render_solver(doc: Mapping) -> str:
+    """The solver-observatory section: time by coverage class plus the
+    hardest queries, from a merged query-profile document
+    (:mod:`repro.telemetry.solver`)."""
+    from repro.telemetry.solver import UNATTRIBUTED, attribution, doc_totals
+
+    classes = doc.get("classes") or {}
+    if not classes:
+        return ""
+    totals = doc_totals(doc)
+    total_us = totals["seconds_us"] or 1
+    rows = []
+    for name, tally in sorted(
+        classes.items(), key=lambda item: (-item[1]["seconds_us"], item[0])
+    ):
+        queries = tally["queries"] or 1
+        hits = tally["prepared_hits"]
+        lookups = hits + tally["prepared_misses"]
+        share = 100.0 * tally["seconds_us"] / total_us
+        hit_text = f"{100.0 * hits / lookups:.0f}%" if lookups else "-"
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(name)}</code></td>"
+            f"<td>{tally['queries']}</td><td>{tally['sat']}</td>"
+            f"<td>{tally['seconds_us'] / 1e6:.4f}</td>"
+            f'<td><span class="phasebar" style="width:{share:.1f}%">'
+            f"</span> {share:.1f}%</td>"
+            f"<td>{tally['restarts'] / queries:.2f}</td>"
+            f"<td>{hit_text}</td></tr>"
+        )
+    top_rows = []
+    for entry in doc.get("top") or []:
+        top_rows.append(
+            "<tr>"
+            f"<td><code>{_esc(entry['class'])}</code></td>"
+            f"<td>{_esc(entry['phase'])}</td>"
+            f"<td>{entry['seconds_us'] / 1e3:.2f}</td>"
+            f"<td>{_esc(entry['outcome'])}</td>"
+            f"<td>{entry['restarts']}</td><td>{entry['repairs']}</td>"
+            f"<td>{entry['conjuncts']}+{entry['extras']}</td>"
+            f"<td>{entry['term_size']}</td>"
+            "</tr>"
+        )
+    named = 100.0 * attribution(doc)
+    parts = [
+        "<h2>Solver observatory</h2>",
+        f'<p class="meta">{totals["queries"]} queries, '
+        f"{total_us / 1e6:.4f}s in smt.solve; {named:.1f}% attributed to "
+        f"named coverage classes"
+        + (
+            f' (fallback class <code>{_esc(UNATTRIBUTED)}</code>)'
+            if UNATTRIBUTED in classes
+            else ""
+        )
+        + "</p>",
+        "<table><tr><th>Coverage class</th><th>Queries</th><th>Sat</th>"
+        "<th>Time (s)</th><th>Time %</th><th>Restarts/q</th>"
+        "<th>Prep hit %</th></tr>",
+        *rows,
+        "</table>",
+    ]
+    if top_rows:
+        parts.extend(
+            [
+                "<h3>Hardest queries</h3>",
+                "<table><tr><th>Class</th><th>Phase</th><th>ms</th>"
+                "<th>Outcome</th><th>Restarts</th><th>Repairs</th>"
+                "<th>Conjuncts</th><th>Terms</th></tr>",
+                *top_rows,
+                "</table>",
+            ]
+        )
+    return "\n".join(parts)
+
+
 def _render_sweep(sweep: Mapping) -> str:
     """The differential-sweep section: per-config verdict table.
 
@@ -385,6 +460,7 @@ def build_dashboard_html(
     health: Iterable = (),
     witnesses: Sequence = (),
     sweep: Optional[Mapping] = None,
+    solver: Optional[Mapping] = None,
     meta: Optional[Mapping] = None,
 ) -> str:
     """Assemble the dashboard from whatever inputs exist."""
@@ -434,6 +510,7 @@ def build_dashboard_html(
         _render_sweep(sweep) if sweep else "",
         _render_coverage(ledger) if ledger else "",
         _render_phases(report) if report is not None else "",
+        _render_solver(solver) if solver else "",
         _render_health(health_docs),
         _render_triage(witnesses),
     ]
@@ -470,6 +547,7 @@ def write_dashboard(
         report=report,
         health=health,
         witnesses=result.witnesses,
+        solver=getattr(result, "solver", None),
         meta=stamp(),
     )
     with open(path, "w", encoding="utf-8") as handle:

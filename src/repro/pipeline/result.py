@@ -141,6 +141,11 @@ class CampaignResult:
     # run the convergence estimator.  None when ``CampaignConfig.monitor``
     # is off; never part of deterministic counters.
     ledger: Optional[Dict] = None
+    # Merged solver-profile aggregate (repro.telemetry.solver doc): per
+    # coverage class query tallies, restart histograms and the top-K
+    # slowest queries.  None unless the telemetry layer was enabled for
+    # the run; never part of deterministic counters.
+    solver: Optional[Dict] = None
 
     def coverage(self) -> Optional[Dict[str, "object"]]:
         """Per-model coverage analyses of the merged ledger, or None.

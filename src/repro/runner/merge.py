@@ -41,6 +41,7 @@ def merge_shard_results(
     result = CampaignResult(stats=stats)
     elapsed = 0.0
     ttc: Optional[float] = None
+    solver_docs: List[dict] = []
     for shard in ordered:
         stats = stats.merge(shard.stats)
         if ttc is None and shard.stats.time_to_counterexample is not None:
@@ -53,7 +54,7 @@ def merge_shard_results(
         result.records.extend(shard.records)
         result.witnesses.extend(shard.witnesses)
         telemetry.absorb_shard_payload(
-            shard.telemetry, result.spans, result.metrics
+            shard.telemetry, result.spans, result.metrics, solver_docs
         )
     stats.name = name
     stats.time_to_counterexample = ttc
@@ -66,6 +67,13 @@ def merge_shard_results(
         # The merge is associative and commutative, so the merged ledger
         # is byte-identical however the shards were grouped or ordered.
         result.ledger = merge_ledger_docs(ledger_docs)
+    if solver_docs:
+        # Same algebra as the ledger: the solver-profile aggregate merge
+        # is a commutative monoid, so worker count and completion order
+        # cannot perturb the merged document.
+        from repro.telemetry.solver import merge_solver_docs
+
+        result.solver = merge_solver_docs(solver_docs)
     return result
 
 

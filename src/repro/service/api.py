@@ -10,6 +10,9 @@ opening sockets.
 Routes (all JSON)::
 
     GET  /api/v1/health               liveness + queue counts
+    GET  /healthz                     alias of /api/v1/health, for probes
+    GET  /metrics                     Prometheus text exposition (text/plain;
+                                      served by the daemon, not this router)
     GET  /api/v1/jobs                 every job (newest last) + counts
     POST /api/v1/jobs                 submit {"spec": {...}, "priority"?: n}
     GET  /api/v1/jobs/<id>            one job document
@@ -68,7 +71,10 @@ class ServiceApi:
         self, method: str, path: str, body: Optional[Dict]
     ) -> Response:
         path = path.rstrip("/") or "/"
-        if path == f"{API_PREFIX}/health" and method == "GET":
+        if (
+            path in (f"{API_PREFIX}/health", "/healthz")
+            and method == "GET"
+        ):
             return self.health()
         if path == f"{API_PREFIX}/jobs":
             if method == "GET":
@@ -100,6 +106,38 @@ class ServiceApi:
             "queue": self.queue.path,
             "counts": self.queue.counts(),
         }
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Service gauges in the telemetry snapshot shape, so the standard
+        Prometheus renderer (:func:`repro.telemetry.export.render_prometheus`)
+        serves ``GET /metrics``."""
+        counts = self.queue.counts()
+        snapshot: Dict[str, Dict[str, object]] = {
+            "scamv_service_uptime_seconds": {
+                "type": "gauge",
+                "value": time.time() - self.started_at,
+            },
+            "scamv_service_workers": {
+                "type": "gauge",
+                "value": self.workers,
+            },
+            "scamv_service_queue_depth": {
+                "type": "gauge",
+                "value": counts.get("queued", 0),
+            },
+        }
+        for state, count in sorted(counts.items()):
+            snapshot[f"scamv_service_jobs_{state}"] = {
+                "type": "gauge",
+                "value": count,
+            }
+        return snapshot
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload (Prometheus text exposition 0.0.4)."""
+        from repro.telemetry.export import render_prometheus
+
+        return render_prometheus(self.metrics_snapshot())
 
     def list_jobs(self) -> Response:
         return 200, {

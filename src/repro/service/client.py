@@ -81,6 +81,27 @@ class ServiceClient:
     def health(self) -> Dict:
         return self._request("GET", "/health")
 
+    def healthz(self) -> Dict:
+        """The probe alias — same document as :meth:`health`."""
+        return self._request("GET", "/health")
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (``GET /metrics``)."""
+        request = urllib.request.Request(
+            f"{self.url}/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(self._error_message(exc)) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+
     def submit(self, spec_doc: Dict, priority: Optional[int] = None) -> Dict:
         body: Dict = {"spec": spec_doc}
         if priority is not None:

@@ -74,6 +74,18 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond(status, doc)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") == "/metrics":
+            # Prometheus scrapes expect text exposition, not JSON — the
+            # one route that bypasses the JSON responder.
+            payload = self.server.api.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
         self._handle("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API

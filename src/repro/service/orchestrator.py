@@ -54,6 +54,8 @@ from repro.runner import (
 )
 from repro.service.queue import Job, JobQueue
 from repro.service.spec import ScenarioSpec, parse_spec
+from repro.telemetry import trace as ttrace
+from repro.telemetry.trace import span as tspan
 
 
 class ShutdownRequested(Exception):
@@ -75,6 +77,10 @@ class OrchestratorConfig:
     dashboards: bool = False
     #: Identity string recorded on claimed jobs (defaults to the pid).
     worker_name: Optional[str] = None
+    #: Record every finished job in the cross-run history store
+    #: (``<artifact_root>/history.sqlite`` unless ``history_path`` is set).
+    history: bool = True
+    history_path: Optional[str] = None
 
 
 def deterministic_record(record: ExperimentRecord) -> Dict:
@@ -215,15 +221,35 @@ class Orchestrator:
         )
         started = time.monotonic()
         try:
-            result = runner.run(config)
+            with tspan(
+                "service.job", job=job.id, scenario=spec.name
+            ) as span:
+                result = runner.run(config)
+                span.set_attr(
+                    "counterexamples", len(result.counterexamples())
+                )
+            if ttrace.enabled():
+                # Keep the closed service.job span with its own job: the
+                # next job's first shard_begin flushes the trace buffer,
+                # so anything left here would be silently dropped.
+                result.spans.extend(ttrace.drain())
         except ShutdownRequested:
             self.queue.requeue(job.id, "requeued by shutdown")
             raise
         except Exception as exc:  # fault-tolerant: one bad job, not the queue
             self.queue.fail(job.id, f"{type(exc).__name__}: {exc}")
             return self._refreshed(job), None
+        duration = time.monotonic() - started
         summary = self._write_artifacts(
-            spec, config, result, artifact_dir, time.monotonic() - started
+            spec, config, result, artifact_dir, duration
+        )
+        self._record_history(
+            "service",
+            spec,
+            duration,
+            stats=result.stats,
+            solver=result.solver,
+            spans=result.spans,
         )
         if not self.queue.finish(job.id, summary):
             # Cancelled (or otherwise moved) while running: the guarded
@@ -287,12 +313,15 @@ class Orchestrator:
 
         started = time.monotonic()
         try:
-            result = run_sweep(
-                sweep,
-                runner_config,
-                out=self.out,
-                events_factory=events_factory,
-            )
+            with tspan(
+                "service.job", job=job.id, scenario=spec.name, sweep=True
+            ):
+                result = run_sweep(
+                    sweep,
+                    runner_config,
+                    out=self.out,
+                    events_factory=events_factory,
+                )
         except ShutdownRequested:
             self.queue.requeue(job.id, "requeued by shutdown")
             raise
@@ -323,9 +352,59 @@ class Orchestrator:
         ) as handle:
             json.dump(summary, handle, sort_keys=True, indent=2)
             handle.write("\n")
+        self._record_history(
+            "service-sweep", spec, summary["duration"], stats=None
+        )
         if not self.queue.finish(job.id, summary):
             return self._refreshed(job), None
         return self._refreshed(job), None
+
+    def _record_history(
+        self,
+        kind: str,
+        spec: ScenarioSpec,
+        duration: float,
+        stats=None,
+        solver=None,
+        spans=None,
+    ) -> None:
+        """Append the finished job to the cross-run history store.
+
+        History is observability, never semantics: any failure to record
+        is reported and swallowed — it must not fail the job.
+        """
+        if not self.config.history:
+            return
+        path = self.config.history_path or os.path.join(
+            self.config.artifact_root, "history.sqlite"
+        )
+        try:
+            from repro.history import (
+                HistoryStore,
+                run_summary,
+                scenario_digest,
+            )
+
+            store = HistoryStore(path)
+            try:
+                store.record(
+                    run_summary(
+                        kind,
+                        spec.name,
+                        wall_seconds=duration,
+                        digest=scenario_digest(spec.to_doc()),
+                        stats=stats,
+                        solver=solver,
+                        spans=spans,
+                    )
+                )
+            finally:
+                store.close()
+        except Exception as exc:  # pragma: no cover - defensive
+            print(
+                f"warning: history store {path} not updated: {exc}",
+                file=self.out,
+            )
 
     def _refreshed(self, job: Job) -> Job:
         refreshed = self.queue.job(job.id)

@@ -29,6 +29,7 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry import metrics as M
+from repro.telemetry import solver as SP
 from repro.telemetry import trace as T
 from repro.telemetry.trace import SpanRecord
 
@@ -44,8 +45,15 @@ __all__ = [
     "stats_metrics",
 ]
 
-#: What one shard contributes: (recording pid, spans, metrics delta).
-ShardTelemetry = Tuple[int, List[SpanRecord], Dict[str, Dict[str, object]]]
+#: What one shard contributes: (recording pid, spans, metrics delta,
+#: solver-profile aggregate).  Older payloads were 3-tuples without the
+#: solver slot; :func:`absorb_shard_payload` accepts both.
+ShardTelemetry = Tuple[
+    int,
+    List[SpanRecord],
+    Dict[str, Dict[str, object]],
+    Optional[Dict[str, object]],
+]
 
 
 def _span_histogram_hook(record: SpanRecord) -> None:
@@ -53,9 +61,11 @@ def _span_histogram_hook(record: SpanRecord) -> None:
 
 
 def enable() -> None:
-    """Switch the whole telemetry layer on (tracer, registry, bridge)."""
+    """Switch the whole telemetry layer on (tracer, registry, solver
+    profiler, span→histogram bridge)."""
     T.set_enabled(True)
     M.set_enabled(True)
+    SP.set_enabled(True)
     T.tracer.on_finish(_span_histogram_hook)
 
 
@@ -64,10 +74,11 @@ def disable() -> None:
     T.tracer.on_finish(None)
     T.set_enabled(False)
     M.set_enabled(False)
+    SP.set_enabled(False)
 
 
 def enabled() -> bool:
-    return T.enabled() or M.enabled()
+    return T.enabled() or M.enabled() or SP.enabled()
 
 
 # -- worker side -------------------------------------------------------------
@@ -79,21 +90,23 @@ def shard_begin() -> Optional[Dict[str, Dict[str, object]]]:
     mechanism then costs two attribute reads per shard)."""
     if not enabled():
         return None
-    # Flush spans of any previous shard in this process so the upcoming
-    # drain is exactly this shard's (the parent absorbed those already).
+    # Flush spans (and any solver-profile residue) of a previous shard in
+    # this process so the upcoming drain is exactly this shard's (the
+    # parent absorbed those already).
     T.drain()
+    SP.drain()
     return M.snapshot()
 
 
 def shard_end(
     marker: Optional[Dict[str, Dict[str, object]]]
 ) -> Optional[ShardTelemetry]:
-    """This shard's spans and metrics delta, or None when disabled."""
+    """This shard's spans, metrics delta and solver aggregate, or None."""
     if marker is None and not enabled():
         return None
     spans = T.drain()
     delta = M.diff_snapshot(M.snapshot(), marker or {})
-    return (os.getpid(), spans, delta)
+    return (os.getpid(), spans, delta, SP.drain())
 
 
 # -- parent side -------------------------------------------------------------
@@ -103,19 +116,25 @@ def absorb_shard_payload(
     payload: Optional[ShardTelemetry],
     spans: List[SpanRecord],
     snapshot: Dict[str, Dict[str, object]],
+    solver_docs: Optional[List[Dict[str, object]]] = None,
 ) -> None:
     """Fold one shard's telemetry into campaign-level accumulators.
 
     Spans were *drained* out of the recording tracer, so they are always
-    taken.  Metric deltas are *snapshots* of a still-live registry: a shard
-    that ran in this very process (inline execution) already left its
-    metrics in the process registry, so only deltas from other pids are
-    merged — otherwise an inline run would count everything twice.
+    taken; the solver aggregate is drained too and appended to
+    ``solver_docs`` (for an order-invariant merge by the caller).  Metric
+    deltas are *snapshots* of a still-live registry: a shard that ran in
+    this very process (inline execution) already left its metrics in the
+    process registry, so only deltas from other pids are merged —
+    otherwise an inline run would count everything twice.
     """
     if not payload:
         return
-    pid, shard_spans, delta = payload
+    pid, shard_spans, delta = payload[:3]
+    solver_doc = payload[3] if len(payload) > 3 else None
     spans.extend(shard_spans)
+    if solver_doc and solver_docs is not None:
+        solver_docs.append(solver_doc)
     if pid != os.getpid():
         M.merge_snapshot(snapshot, delta)
 

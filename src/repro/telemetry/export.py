@@ -42,6 +42,8 @@ __all__ = [
 #: args key that carries the metrics snapshot on the trace's metadata line.
 METRICS_EVENT = "repro_metrics"
 STAMP_EVENT = "repro_stamp"
+#: metadata event carrying the merged solver-profile aggregate.
+SOLVER_EVENT = "repro_solver"
 
 
 def stamp(repo_root: Optional[str] = None) -> Dict[str, object]:
@@ -110,12 +112,15 @@ def write_chrome_trace(
     path: str,
     metrics_snapshot: Optional[Dict] = None,
     meta: Optional[Dict[str, object]] = None,
+    solver: Optional[Dict] = None,
 ) -> None:
     """Write a Perfetto/Chrome-loadable trace file.
 
     ``metrics_snapshot`` (when given) is embedded as a metadata event so
     ``repro report`` can print cache hit rates without a separate metrics
-    file; ``meta`` defaults to :func:`stamp`.
+    file; ``solver`` (a :mod:`repro.telemetry.solver` aggregate) rides the
+    same way so the report's solver section needs only the trace file;
+    ``meta`` defaults to :func:`stamp`.
     """
     with open(path, "w", encoding="utf-8") as handle:
         handle.write("[\n")
@@ -138,6 +143,17 @@ def write_chrome_trace(
                     "pid": 0,
                     "tid": 0,
                     "args": {"snapshot": metrics_snapshot},
+                },
+            )
+        if solver is not None:
+            _write_event(
+                handle,
+                {
+                    "name": SOLVER_EVENT,
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"solver": solver},
                 },
             )
         for event in spans_to_events(spans):

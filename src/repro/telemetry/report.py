@@ -13,13 +13,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.telemetry.export import METRICS_EVENT, STAMP_EVENT, read_trace
+from repro.telemetry.export import (
+    METRICS_EVENT,
+    SOLVER_EVENT,
+    STAMP_EVENT,
+    read_trace,
+)
 
 __all__ = [
     "PhaseStats",
     "TraceReport",
     "analyze_events",
     "analyze_trace",
+    "solver_section_lines",
 ]
 
 
@@ -54,6 +60,9 @@ class TraceReport:
     #: (program label, seconds) slowest-first
     slowest_programs: List[Tuple[str, float]]
     meta: Dict[str, object] = field(default_factory=dict)
+    #: merged solver-profile aggregate (repro.telemetry.solver doc), from
+    #: the trace's repro_solver metadata event; None when profiling was off
+    solver: Optional[Dict[str, object]] = None
 
     def render(self, top: int = 5) -> str:
         lines: List[str] = []
@@ -105,6 +114,15 @@ class TraceReport:
             lines.append(f"Slowest programs (top {top}):")
             for label, seconds in self.slowest_programs[:top]:
                 lines.append(f"  {label}: {seconds:.4f}s")
+        if self.solver:
+            smt_phase = self.phases.get("smt.solve")
+            lines.append("")
+            lines.extend(
+                solver_section_lines(
+                    self.solver,
+                    smt_total=smt_phase.total if smt_phase else None,
+                )
+            )
         return "\n".join(lines)
 
 
@@ -122,6 +140,131 @@ def _table(rows: Sequence[Sequence[str]]) -> List[str]:
     return lines
 
 
+def solver_section_lines(
+    doc: Dict[str, object],
+    smt_total: Optional[float] = None,
+    top: int = 10,
+) -> List[str]:
+    """The ``repro report`` solver-observatory section, as text lines.
+
+    ``smt_total`` is the trace's inclusive ``smt.solve`` phase total; when
+    given, the header states what fraction of that wall time the profiled,
+    class-attributed queries account for.
+    """
+    from repro.telemetry import solver as SP
+
+    if not doc or not doc.get("classes"):
+        return []
+    totals = SP.doc_totals(doc)
+    profiled = totals["seconds_us"] / 1e6
+    named = profiled * SP.attribution(doc)
+    lines = ["Solver observatory:"]
+    header = (
+        f"  {totals['queries']} queries profiled, {profiled:.4f}s total"
+    )
+    if smt_total:
+        header += (
+            f"; {100.0 * min(1.0, named / smt_total):.1f}% of smt.solve "
+            f"wall time ({smt_total:.4f}s) attributed to named classes"
+        )
+    elif profiled:
+        header += (
+            f"; {100.0 * SP.attribution(doc):.1f}% attributed to named "
+            "classes"
+        )
+    lines.append(header)
+
+    classes = doc.get("classes", {})
+    if classes:
+        lines.append("")
+        lines.append("  Time by coverage class:")
+        rows = [
+            [
+                "Class",
+                "Queries",
+                "Sat",
+                "Time (s)",
+                "Time %",
+                "Restarts/q",
+                "Repairs/q",
+                "Prep hit %",
+            ]
+        ]
+        total_us = totals["seconds_us"] or 1
+        ordered = sorted(
+            classes.items(),
+            key=lambda item: (-int(item[1].get("seconds_us", 0)), item[0]),
+        )
+        for klass, stats in ordered:
+            queries = int(stats.get("queries", 0)) or 1
+            prep = int(stats.get("prepared_hits", 0)) + int(
+                stats.get("prepared_misses", 0)
+            )
+            rows.append(
+                [
+                    klass,
+                    str(stats.get("queries", 0)),
+                    str(stats.get("sat", 0)),
+                    f"{int(stats.get('seconds_us', 0)) / 1e6:.4f}",
+                    f"{100.0 * int(stats.get('seconds_us', 0)) / total_us:.1f}",
+                    f"{int(stats.get('restarts', 0)) / queries:.2f}",
+                    f"{int(stats.get('repairs', 0)) / queries:.1f}",
+                    f"{100.0 * int(stats.get('prepared_hits', 0)) / prep:.0f}"
+                    if prep
+                    else "-",
+                ]
+            )
+        lines.extend("  " + line for line in _table(rows))
+
+    hist = totals.get("restart_hist") or {}
+    if hist:
+        buckets = sorted(hist.items(), key=lambda item: int(item[0]))
+        rendered = "  ".join(
+            f"{bucket}x{count}" for bucket, count in buckets
+        )
+        lines.append("")
+        lines.append(f"  Restart distribution (restarts x queries): {rendered}")
+    warm = int(totals.get("warm_sat", 0))
+    cold = int(totals.get("cold_sat", 0))
+    if warm + cold:
+        lines.append(
+            f"  Warm-start efficacy: {warm}/{warm + cold} sat on a warm "
+            f"restart ({100.0 * warm / (warm + cold):.1f}%)"
+        )
+
+    entries = list(doc.get("top", ()))[:top]
+    if entries:
+        lines.append("")
+        lines.append(f"  Hardest queries (top {len(entries)}):")
+        rows = [
+            [
+                "Class",
+                "Phase",
+                "ms",
+                "Outcome",
+                "Restarts",
+                "Repairs",
+                "Conjuncts",
+                "Terms",
+            ]
+        ]
+        for entry in entries:
+            rows.append(
+                [
+                    str(entry.get("class", "?")),
+                    str(entry.get("phase", "?")),
+                    f"{int(entry.get('seconds_us', 0)) / 1e3:.2f}",
+                    str(entry.get("outcome", "?")),
+                    str(entry.get("restarts", 0)),
+                    str(entry.get("repairs", 0)),
+                    f"{entry.get('conjuncts', 0)}+{entry.get('extras', 0)}",
+                    str(entry.get("term_size", 0)),
+                ]
+            )
+        lines.extend("  " + line for line in _table(rows))
+    return lines
+
+
 def analyze_events(
     events: Sequence[Dict[str, object]],
     metrics_snapshot: Optional[Dict] = None,
@@ -134,6 +277,7 @@ def analyze_events(
     """
     meta: Dict[str, object] = {}
     snapshot: Dict = dict(metrics_snapshot or {})
+    solver: Optional[Dict[str, object]] = None
     spans = []
     for event in events:
         name = event.get("name")
@@ -144,6 +288,8 @@ def analyze_events(
                 snapshot = dict(
                     (event.get("args") or {}).get("snapshot") or {}
                 )
+            elif name == SOLVER_EVENT and solver is None:
+                solver = (event.get("args") or {}).get("solver") or None
             continue
         if event.get("ph") != "X":
             continue
@@ -217,6 +363,7 @@ def analyze_events(
         cache_rates=cache_rates,
         slowest_programs=slow,
         meta=meta,
+        solver=solver,
     )
 
 

@@ -1,0 +1,424 @@
+"""Query-level solver profiling: where does ``smt.solve`` time go?
+
+The tracer (:mod:`repro.telemetry.trace`) shows *that* the solver dominates
+a campaign; this module shows *why*.  Every :meth:`ModelFinder.solve_prepared
+<repro.smt.solver.ModelFinder.solve_prepared>` call records one query
+profile — constraint count, term size, prepared-cache hit, restarts
+consumed, warm vs cold success, repair iterations, outcome, wall time —
+attributed to the **coverage class** and **pipeline phase** that issued it.
+Call sites declare the attribution with :func:`query_context`::
+
+    with solver_profile.query_context("testgen.generate", "pair:0-1",
+                                      prepared_hit=True):
+        model = finder.solve_prepared(prepared, extra=coverage)
+
+Profiles are folded immediately into a bounded process-local aggregate
+(per-class tallies, a restart-count histogram, the top-K slowest queries
+with shape signatures) — memory stays O(classes + K) no matter how many
+queries run.  The aggregate travels over the shard telemetry payload and
+merges **order-invariantly** like the coverage ledger: tallies add, the
+top list is the K largest under a total order, so 1-worker and N-worker
+runs of the same campaign produce byte-identical canonical aggregates
+(wall times are stored as integer microseconds precisely so summation is
+exact and associative).
+
+Kill-switch contract (the :mod:`repro.telemetry.trace` pattern): disabled
+by default; :func:`query_context` then returns a shared no-op context
+manager and :func:`record_query` returns after a single module-global
+check — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "SOLVER_DOC_VERSION",
+    "TOP_K",
+    "UNATTRIBUTED",
+    "set_enabled",
+    "enabled",
+    "query_context",
+    "current_context",
+    "record_query",
+    "drain",
+    "snapshot",
+    "empty_doc",
+    "merge_docs",
+    "merge_solver_docs",
+    "doc_totals",
+    "attribution",
+    "deterministic_doc",
+    "canonical",
+]
+
+SOLVER_DOC_VERSION = 1
+
+#: How many slowest queries each aggregate keeps.
+TOP_K = 10
+
+#: Class/phase used for queries issued outside any :func:`query_context`.
+UNATTRIBUTED = "(unattributed)"
+
+#: Query outcomes: model found / contradiction before search / restart
+#: budget spent without a model.
+OUTCOMES = ("sat", "unsat", "exhausted")
+
+_enabled = False
+
+#: The active attribution, or None: (phase, coverage class, prepared_hit).
+_context: Optional[tuple] = None
+
+# Process-local accumulators (the pre-doc form of one aggregate).
+_classes: Dict[str, Dict[str, object]] = {}
+_phases: Dict[str, Dict[str, int]] = {}
+_top: List[Dict[str, object]] = []
+
+# The top list is allowed to overgrow to this many entries before it is
+# re-sorted and truncated back to TOP_K (amortises the sort).
+_TOP_SLACK = 4 * TOP_K
+
+
+# -- switch ------------------------------------------------------------------
+
+
+def set_enabled(value: bool) -> None:
+    """Switch profiling on/off; disabling drops the buffered aggregate."""
+    global _enabled
+    _enabled = bool(value)
+    if not _enabled:
+        _reset()
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def _reset() -> None:
+    global _classes, _phases, _top, _context
+    _classes = {}
+    _phases = {}
+    _top = []
+    _context = None
+
+
+# -- attribution context -----------------------------------------------------
+
+
+class _NullContext:
+    """Shared no-op context manager returned while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _QueryContext:
+    __slots__ = ("_value", "_saved")
+
+    def __init__(self, value: tuple):
+        self._value = value
+
+    def __enter__(self) -> "_QueryContext":
+        global _context
+        self._saved = _context
+        _context = self._value
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _context
+        _context = self._saved
+
+
+def query_context(
+    phase: str, klass: str, prepared_hit: Optional[bool] = None
+):
+    """Attribute solver queries in this block to ``(phase, klass)``.
+
+    ``klass`` is the coverage-class key the query serves (the ledger's
+    naming, e.g. ``pair:0-1``); ``prepared_hit`` records whether the query
+    ran against a prepared-cache hit.  Contexts nest: the innermost wins,
+    and the previous attribution is restored on exit.
+    """
+    if not _enabled:
+        return _NULL_CONTEXT
+    return _QueryContext((phase, klass, prepared_hit))
+
+
+def current_context() -> Optional[tuple]:
+    """The active ``(phase, klass, prepared_hit)`` or None (tests)."""
+    return _context
+
+
+# -- recording ---------------------------------------------------------------
+
+_CLASS_COUNTER_KEYS = (
+    "queries",
+    "sat",
+    "unsat",
+    "exhausted",
+    "seconds_us",
+    "restarts",
+    "repairs",
+    "warm_sat",
+    "cold_sat",
+    "prepared_hits",
+    "prepared_misses",
+)
+
+
+def _empty_class() -> Dict[str, object]:
+    stats: Dict[str, object] = {key: 0 for key in _CLASS_COUNTER_KEYS}
+    stats["restart_hist"] = {}
+    return stats
+
+
+def record_query(
+    *,
+    seconds: float,
+    outcome: str,
+    restarts: int,
+    repairs: int,
+    warm_sat: bool,
+    conjuncts: int,
+    extras: int,
+    term_size: int,
+) -> None:
+    """Fold one finished solver query into the process aggregate.
+
+    A no-op (one flag check) while profiling is disabled.  ``seconds`` is
+    wall time; it is stored as integer microseconds so later summation is
+    exact — merge order can then never perturb the canonical aggregate.
+    """
+    if not _enabled:
+        return
+    ctx = _context
+    if ctx is None:
+        phase, klass, prepared_hit = UNATTRIBUTED, UNATTRIBUTED, None
+    else:
+        phase, klass, prepared_hit = ctx
+    seconds_us = int(round(seconds * 1e6))
+
+    stats = _classes.get(klass)
+    if stats is None:
+        stats = _classes[klass] = _empty_class()
+    stats["queries"] += 1
+    stats[outcome if outcome in OUTCOMES else "exhausted"] += 1
+    stats["seconds_us"] += seconds_us
+    stats["restarts"] += restarts
+    stats["repairs"] += repairs
+    if outcome == "sat":
+        stats["warm_sat" if warm_sat else "cold_sat"] += 1
+    if prepared_hit is not None:
+        stats["prepared_hits" if prepared_hit else "prepared_misses"] += 1
+    hist = stats["restart_hist"]
+    bucket = str(restarts)
+    hist[bucket] = hist.get(bucket, 0) + 1
+
+    phase_stats = _phases.get(phase)
+    if phase_stats is None:
+        phase_stats = _phases[phase] = {"queries": 0, "seconds_us": 0}
+    phase_stats["queries"] += 1
+    phase_stats["seconds_us"] += seconds_us
+
+    _top.append(
+        {
+            "class": klass,
+            "phase": phase,
+            "seconds_us": seconds_us,
+            "outcome": outcome,
+            "restarts": restarts,
+            "repairs": repairs,
+            "conjuncts": conjuncts,
+            "extras": extras,
+            "term_size": term_size,
+            "signature": f"{klass}|{phase}|c{conjuncts}+e{extras}",
+        }
+    )
+    if len(_top) >= _TOP_SLACK:
+        _trim(_top)
+
+
+def _entry_key(entry: Dict[str, object]):
+    """A total order on top-list entries: slowest first, ties broken by
+    every remaining field so top-K selection is deterministic and
+    merge-order-invariant."""
+    return (
+        -int(entry["seconds_us"]),
+        str(entry["class"]),
+        str(entry["phase"]),
+        str(entry["signature"]),
+        str(entry["outcome"]),
+        int(entry["restarts"]),
+        int(entry["repairs"]),
+        int(entry["term_size"]),
+    )
+
+
+def _trim(entries: List[Dict[str, object]], k: int = TOP_K) -> None:
+    entries.sort(key=_entry_key)
+    del entries[k:]
+
+
+# -- aggregate documents -----------------------------------------------------
+
+
+def empty_doc() -> Dict[str, object]:
+    """The merge identity: an aggregate with nothing in it."""
+    return {
+        "version": SOLVER_DOC_VERSION,
+        "classes": {},
+        "phases": {},
+        "top": [],
+    }
+
+
+def _doc() -> Dict[str, object]:
+    top = list(_top)
+    _trim(top)
+    return {
+        "version": SOLVER_DOC_VERSION,
+        "classes": {k: _copy_class(v) for k, v in _classes.items()},
+        "phases": {k: dict(v) for k, v in _phases.items()},
+        "top": top,
+    }
+
+
+def _copy_class(stats: Dict[str, object]) -> Dict[str, object]:
+    out = dict(stats)
+    out["restart_hist"] = dict(stats["restart_hist"])
+    return out
+
+
+def snapshot() -> Optional[Dict[str, object]]:
+    """The current process aggregate as a doc, or None when empty."""
+    if not (_classes or _phases or _top):
+        return None
+    return _doc()
+
+
+def drain() -> Optional[Dict[str, object]]:
+    """Remove and return the process aggregate (None when empty).
+
+    Like the tracer's span drain: the caller takes ownership, so inline
+    and multi-process shards contribute exactly once each.
+    """
+    global _classes, _phases, _top
+    doc = snapshot()
+    _classes = {}
+    _phases = {}
+    _top = []
+    return doc
+
+
+def merge_docs(
+    left: Dict[str, object], right: Dict[str, object]
+) -> Dict[str, object]:
+    """Merge two aggregates; commutative and associative with
+    :func:`empty_doc` as identity (tallies add, histograms add, the top
+    list keeps the K largest under a total order)."""
+    out = empty_doc()
+    for doc in (left, right):
+        classes = out["classes"]
+        for klass, stats in doc.get("classes", {}).items():
+            acc = classes.get(klass)
+            if acc is None:
+                acc = classes[klass] = _empty_class()
+            for key in _CLASS_COUNTER_KEYS:
+                acc[key] += int(stats.get(key, 0))
+            hist = acc["restart_hist"]
+            for bucket, count in stats.get("restart_hist", {}).items():
+                hist[bucket] = hist.get(bucket, 0) + int(count)
+        phases = out["phases"]
+        for phase, stats in doc.get("phases", {}).items():
+            acc = phases.get(phase)
+            if acc is None:
+                acc = phases[phase] = {"queries": 0, "seconds_us": 0}
+            acc["queries"] += int(stats.get("queries", 0))
+            acc["seconds_us"] += int(stats.get("seconds_us", 0))
+        out["top"].extend(dict(e) for e in doc.get("top", ()))
+    _trim(out["top"])
+    return out
+
+
+def merge_solver_docs(
+    docs: Sequence[Optional[Dict[str, object]]]
+) -> Optional[Dict[str, object]]:
+    """Fold any number of (possibly-None) aggregates; None when all empty."""
+    merged: Optional[Dict[str, object]] = None
+    for doc in docs:
+        if not doc:
+            continue
+        merged = doc if merged is None else merge_docs(merged, doc)
+    if merged is None:
+        return None
+    out = merge_docs(merged, empty_doc())  # normalise key sets / copy
+    return out
+
+
+def doc_totals(doc: Dict[str, object]) -> Dict[str, object]:
+    """Campaign-wide totals derived from the per-class tallies."""
+    totals = _empty_class()
+    for stats in doc.get("classes", {}).values():
+        for key in _CLASS_COUNTER_KEYS:
+            totals[key] += int(stats.get(key, 0))
+        hist = totals["restart_hist"]
+        for bucket, count in stats.get("restart_hist", {}).items():
+            hist[bucket] = hist.get(bucket, 0) + int(count)
+    return totals
+
+
+def attribution(doc: Dict[str, object]) -> float:
+    """Fraction of profiled solver time attributed to a named class."""
+    total = 0
+    named = 0
+    for klass, stats in doc.get("classes", {}).items():
+        us = int(stats.get("seconds_us", 0))
+        total += us
+        if klass != UNATTRIBUTED:
+            named += us
+    if total == 0:
+        return 1.0
+    return named / total
+
+
+def deterministic_doc(doc: Dict[str, object]) -> Dict[str, object]:
+    """The timing-free projection of an aggregate.
+
+    Query/outcome/restart/repair tallies are exact reproductions of the
+    search's decisions (the RNG is deterministic), so identical campaigns
+    reproduce this projection bit-for-bit at any worker count and on any
+    machine.  Wall times — and the top-K list, whose membership is chosen
+    *by* wall time — are measurements, not decisions, and are excluded.
+    """
+    out: Dict[str, object] = {
+        "version": doc.get("version", SOLVER_DOC_VERSION),
+        "classes": {},
+        "phases": {},
+    }
+    for klass, stats in doc.get("classes", {}).items():
+        copy = {
+            key: int(stats.get(key, 0))
+            for key in _CLASS_COUNTER_KEYS
+            if key != "seconds_us"
+        }
+        copy["restart_hist"] = dict(stats.get("restart_hist", {}))
+        out["classes"][klass] = copy
+    for phase, stats in doc.get("phases", {}).items():
+        out["phases"][phase] = {"queries": int(stats.get("queries", 0))}
+    return out
+
+
+def canonical(doc: Dict[str, object]) -> bytes:
+    """Canonical JSON bytes: identical aggregates serialise identically."""
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")

@@ -1,0 +1,226 @@
+"""Cross-run performance history: store, summaries, trends, CLI gates.
+
+The ISSUE 10 acceptance path lives here end to end: two consecutive
+``validate`` runs recorded into one store, ``trends`` exiting 0 on the
+identical pair and 1 once a summary is doctored with an over-tolerance
+solver-time regression.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.history import (
+    HistoryStore,
+    compare_summaries,
+    run_summary,
+    scenario_digest,
+)
+
+
+def _summary(label="Mpart", wall=1.0, solver_s=0.4, digest="d0", **over):
+    solver_us = int(round(solver_s * 1e6))
+    doc = run_summary(
+        "validate",
+        label,
+        wall_seconds=wall,
+        digest=digest,
+        solver={
+            "version": 1,
+            "classes": {
+                "pair:0-1": {
+                    "queries": 10,
+                    "sat": 8,
+                    "unsat": 0,
+                    "exhausted": 2,
+                    "seconds_us": solver_us,
+                    "restarts": 12,
+                    "repairs": 40,
+                    "warm_sat": 3,
+                    "cold_sat": 5,
+                    "prepared_hits": 9,
+                    "prepared_misses": 1,
+                    "restart_hist": {"1": 10},
+                }
+            },
+            "phases": {
+                "testgen.generate": {"queries": 10, "seconds_us": solver_us}
+            },
+            "top": [],
+        },
+    )
+    doc.update(over)
+    return doc
+
+
+class TestStore:
+    def test_record_and_get_round_trip(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.sqlite"))
+        run_id = store.record(_summary())
+        row = store.get(run_id)
+        assert row["kind"] == "validate"
+        assert row["label"] == "Mpart"
+        assert row["digest"] == "d0"
+        assert row["summary"]["solver_seconds"] == pytest.approx(0.4)
+        store.close()
+
+    def test_runs_newest_first_with_filters(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.sqlite"))
+        store.record(_summary(label="A"))
+        store.record(_summary(label="B"))
+        store.record(_summary(label="A"))
+        rows = store.runs()
+        assert [row["label"] for row in rows] == ["A", "B", "A"]
+        assert [row["label"] for row in store.runs(label="A")] == ["A", "A"]
+        assert store.latest()["id"] == 3
+        store.close()
+
+    def test_baseline_fallback_chain(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.sqlite"))
+        first = store.record(_summary(label="A", digest="d0"))
+        other = store.record(_summary(label="B", digest="dX"))
+        same = store.record(_summary(label="A", digest="d1"))
+        last = store.record(_summary(label="A", digest="d1"))
+        # exact label+digest match wins
+        assert store.baseline_for(store.get(last))["id"] == same
+        # no digest match: same label
+        assert store.baseline_for(store.get(same))["id"] == first
+        # no label match either: any earlier run
+        assert store.baseline_for(store.get(other))["id"] == first
+        assert store.baseline_for(store.get(first)) is None
+        store.close()
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "h.sqlite")
+        HistoryStore(path).record(_summary())
+        store = HistoryStore(path)
+        assert store.latest() is not None
+        store.close()
+
+
+class TestSummary:
+    def test_digest_is_stable_and_order_independent(self):
+        assert scenario_digest({"a": 1, "b": 2}) == scenario_digest(
+            {"b": 2, "a": 1}
+        )
+        assert scenario_digest("x") != scenario_digest("y")
+
+    def test_summary_shape(self):
+        doc = _summary()
+        assert doc["version"] == 1
+        assert doc["solver_queries"] == 10
+        assert doc["solver_seconds"] == pytest.approx(0.4)
+        assert "git_sha" in doc["meta"]
+
+
+class TestTrends:
+    def test_identical_summaries_are_ok(self):
+        report = compare_summaries(_summary(), _summary())
+        assert report.ok
+        assert report.deltas  # it compared something
+
+    def test_solver_time_regression_gates(self):
+        report = compare_summaries(
+            _summary(solver_s=0.4), _summary(solver_s=0.8, wall=1.5)
+        )
+        names = {d.name for d in report.regressions}
+        assert "solver_seconds" in names
+        assert "wall_seconds" in names
+        assert not report.ok
+
+    def test_small_absolute_deltas_stay_under_the_floor(self):
+        # +300% relative but only 3ms absolute: scheduler noise, not a
+        # regression.
+        report = compare_summaries(
+            _summary(solver_s=0.001, wall=0.01),
+            _summary(solver_s=0.004, wall=0.012),
+        )
+        assert report.ok
+
+    def test_counter_mismatch_on_same_digest_is_a_violation(self):
+        base = _summary(counters={"experiments": 8})
+        current = _summary(counters={"experiments": 9})
+        report = compare_summaries(base, current)
+        assert any("determinism" in v for v in report.violations)
+        assert not report.ok
+
+    def test_counter_mismatch_on_different_digest_is_fine(self):
+        base = _summary(counters={"experiments": 8}, digest="d0")
+        current = _summary(counters={"experiments": 9}, digest="d1")
+        assert compare_summaries(base, current).ok
+
+    def test_cache_rate_drop_gates(self):
+        base = _summary(cache_hit_rates={"prepare": 0.8})
+        current = _summary(cache_hit_rates={"prepare": 0.5})
+        report = compare_summaries(base, current)
+        assert [d.name for d in report.regressions] == [
+            "cache.prepare.hit_rate"
+        ]
+
+    def test_render_mentions_verdict(self):
+        text = compare_summaries(_summary(), _summary()).render()
+        assert "verdict: ok" in text
+
+
+class TestCliGate:
+    """The acceptance criterion, through the real CLI."""
+
+    def _validate(self, db):
+        return main(
+            [
+                "validate",
+                "--experiment",
+                "mpart",
+                "--programs",
+                "2",
+                "--tests",
+                "4",
+                "--history",
+                db,
+            ]
+        )
+
+    def test_two_runs_then_trends_exits_zero(self, tmp_path, capsys):
+        db = str(tmp_path / "h.sqlite")
+        assert self._validate(db) == 0
+        assert self._validate(db) == 0
+        store = HistoryStore(db)
+        assert len(store.runs()) == 2
+        store.close()
+        assert main(["trends", db]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+
+    def test_doctored_regression_exits_one(self, tmp_path, capsys):
+        db = str(tmp_path / "h.sqlite")
+        assert self._validate(db) == 0
+        store = HistoryStore(db)
+        doctored = dict(store.latest()["summary"])
+        doctored["wall_seconds"] = doctored["wall_seconds"] + 30.0
+        doctored["solver_seconds"] = (
+            doctored["solver_seconds"] or 0.0
+        ) + 10.0
+        store.record(doctored)
+        store.close()
+        assert main(["trends", db]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_history_lists_runs_and_compares(self, tmp_path, capsys):
+        db = str(tmp_path / "h.sqlite")
+        assert self._validate(db) == 0
+        assert self._validate(db) == 0
+        assert main(["history", db]) == 0
+        out = capsys.readouterr().out
+        assert "validate" in out and "wall=" in out
+        assert main(["history", db, "--compare", "1", "2"]) == 0
+        assert "trends:" in capsys.readouterr().out
+
+    def test_trends_missing_store_exits_two(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["trends", str(tmp_path / "nope.sqlite")])
+        assert exc.value.code == 2
+
+    def test_first_run_has_no_baseline_and_passes(self, tmp_path, capsys):
+        db = str(tmp_path / "h.sqlite")
+        assert self._validate(db) == 0
+        assert main(["trends", db]) == 0
+        assert "no earlier baseline" in capsys.readouterr().err

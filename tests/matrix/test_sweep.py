@@ -188,3 +188,27 @@ class TestCheckpointIsolation:
         assert [p.document for p in resumed.points] == [
             p.document for p in full.points
         ]
+
+
+class TestSweepTelemetry:
+    def test_each_grid_point_emits_a_matrix_span(self):
+        from repro.telemetry import collect, trace
+
+        collect.enable()
+        try:
+            result = run_sweep(
+                tiny_sweep(), RunnerConfig(workers=1), out=io.StringIO()
+            )
+            # Inline shards drain the whole trace buffer into their shard
+            # payload, so a closed matrix.point span may travel inside the
+            # *next* point's result.spans rather than the final drain.
+            spans = [
+                s for p in result.points for s in p.result.spans
+            ] + list(trace.drain())
+        finally:
+            collect.disable()
+        points = [s for s in spans if s.name == "matrix.point"]
+        assert sorted(s.attrs["point"] for s in points) == ["w0", "w8"]
+        assert all(s.attrs["experiment"] == "mct-a" for s in points)
+        assert all(isinstance(s.attrs["sound"], bool) for s in points)
+        assert sorted(s.attrs["index"] for s in points) == [1, 2]

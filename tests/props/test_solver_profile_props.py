@@ -1,0 +1,159 @@
+"""Property-based tests for the solver query-profile merge algebra.
+
+The solver observatory promises the coverage-ledger contract: shard
+aggregates merge as a **commutative monoid** (``merge_docs`` with
+``empty_doc`` as identity), so any shard arrival order — 1 worker, N
+workers, resumed halves — folds to the byte-identical canonical document.
+Wall times are stored as integer microseconds precisely so summation is
+exact and associative; these properties would fail with float seconds.
+"""
+
+from functools import reduce
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import solver
+
+pytestmark = pytest.mark.usefixtures("profile_disabled")
+
+
+@pytest.fixture
+def profile_disabled():
+    solver.set_enabled(False)
+    yield
+    solver.set_enabled(False)
+
+
+# -- strategies ---------------------------------------------------------------
+
+classes = st.sampled_from(
+    ["pair:0-1", "pair:1-1", "train:0", solver.UNATTRIBUTED]
+)
+phases = st.sampled_from(
+    ["testgen.generate", "testgen.train", solver.UNATTRIBUTED]
+)
+#: One recorded query: everything record_query folds into the aggregate.
+queries = st.fixed_dictionaries(
+    {
+        "klass": classes,
+        "phase": phases,
+        "seconds": st.integers(0, 50_000).map(lambda us: us / 1e6),
+        "outcome": st.sampled_from(solver.OUTCOMES),
+        "restarts": st.integers(0, 8),
+        "repairs": st.integers(0, 40),
+        "warm_sat": st.booleans(),
+        "prepared_hit": st.sampled_from([None, True, False]),
+        "conjuncts": st.integers(1, 40),
+        "extras": st.integers(0, 4),
+        "term_size": st.integers(1, 500),
+    }
+)
+recordings = st.lists(queries, max_size=30)
+
+
+def _doc_of(recs):
+    """Record a shard's worth of queries and drain its aggregate doc."""
+    solver.set_enabled(True)
+    for rec in recs:
+        with solver.query_context(
+            rec["phase"], rec["klass"], prepared_hit=rec["prepared_hit"]
+        ):
+            solver.record_query(
+                seconds=rec["seconds"],
+                outcome=rec["outcome"],
+                restarts=rec["restarts"],
+                repairs=rec["repairs"],
+                warm_sat=rec["warm_sat"],
+                conjuncts=rec["conjuncts"],
+                extras=rec["extras"],
+                term_size=rec["term_size"],
+            )
+    doc = solver.drain() or solver.empty_doc()
+    solver.set_enabled(False)
+    return doc
+
+
+def _canon(doc):
+    return solver.canonical(solver.merge_docs(doc, solver.empty_doc()))
+
+
+# -- merge algebra ------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(recordings, recordings)
+def test_merge_is_commutative(recs_a, recs_b):
+    a, b = _doc_of(recs_a), _doc_of(recs_b)
+    assert solver.canonical(
+        solver.merge_docs(a, b)
+    ) == solver.canonical(solver.merge_docs(b, a))
+
+
+@settings(max_examples=50)
+@given(recordings, recordings, recordings)
+def test_merge_is_associative(recs_a, recs_b, recs_c):
+    a, b, c = _doc_of(recs_a), _doc_of(recs_b), _doc_of(recs_c)
+    left = solver.merge_docs(solver.merge_docs(a, b), c)
+    right = solver.merge_docs(a, solver.merge_docs(b, c))
+    assert solver.canonical(left) == solver.canonical(right)
+
+
+@settings(max_examples=50)
+@given(recordings)
+def test_empty_doc_is_the_identity(recs):
+    doc = _doc_of(recs)
+    empty = solver.empty_doc()
+    assert solver.canonical(solver.merge_docs(doc, empty)) == _canon(doc)
+    assert solver.canonical(solver.merge_docs(empty, doc)) == _canon(doc)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(recordings, min_size=1, max_size=5),
+    st.randoms(use_true_random=False),
+)
+def test_any_shard_arrival_order_yields_one_document(shards, shuffler):
+    """The worker-count-invariance property, in miniature."""
+    docs = [_doc_of(recs) for recs in shards]
+    reference = solver.merge_solver_docs(docs)
+    shuffled = list(docs)
+    shuffler.shuffle(shuffled)
+    merged = solver.merge_solver_docs(shuffled)
+    if reference is None:
+        assert merged is None
+        return
+    assert solver.canonical(merged) == solver.canonical(reference)
+    # pairwise reduction (how the merge layer actually folds shards)
+    folded = reduce(solver.merge_docs, docs[1:], docs[0])
+    assert solver.canonical(
+        solver.merge_docs(folded, solver.empty_doc())
+    ) == solver.canonical(reference)
+
+
+@settings(max_examples=50)
+@given(recordings)
+def test_splitting_one_stream_never_changes_the_aggregate(recs):
+    """Recording a query stream in one shard or split across two shards
+    merges to the same document — the inline-vs-worker contract."""
+    whole = _doc_of(recs)
+    half = len(recs) // 2
+    split = solver.merge_solver_docs(
+        [_doc_of(recs[:half]), _doc_of(recs[half:])]
+    )
+    assert solver.canonical(split) == _canon(whole)
+
+
+@settings(max_examples=50)
+@given(recordings)
+def test_totals_and_top_are_consistent(recs):
+    doc = _doc_of(recs)
+    totals = solver.doc_totals(doc)
+    assert totals["queries"] == len(recs)
+    assert totals["queries"] == sum(
+        s["queries"] for s in doc["phases"].values()
+    )
+    assert len(doc["top"]) == min(len(recs), solver.TOP_K)
+    assert 0.0 <= solver.attribution(doc) <= 1.0
+    times = [entry["seconds_us"] for entry in doc["top"]]
+    assert times == sorted(times, reverse=True)

@@ -1,0 +1,195 @@
+"""Service observability: /healthz, /metrics, job spans, job history."""
+
+import io
+import urllib.request
+
+import pytest
+
+from repro.service.api import ServiceApi
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.orchestrator import Orchestrator, OrchestratorConfig
+from repro.service.queue import JOB_STATES, JobQueue
+from repro.telemetry import trace
+
+SPEC = {
+    "name": "obs",
+    "experiment": "timing",
+    "refined": True,
+    "programs": 2,
+    "tests": 3,
+    "seed": 5,
+}
+
+
+@pytest.fixture
+def queue(tmp_path):
+    queue = JobQueue(str(tmp_path / "queue.sqlite"))
+    yield queue
+    queue.close()
+
+
+class TestApiRoutes:
+    def test_healthz_aliases_health(self, queue):
+        api = ServiceApi(queue)
+        status, doc = api.handle("GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert set(doc["counts"]) == set(JOB_STATES)
+
+    def test_metrics_snapshot_covers_every_state(self, queue):
+        api = ServiceApi(queue, workers=3)
+        queue.submit(SPEC)
+        snapshot = api.metrics_snapshot()
+        assert snapshot["scamv_service_queue_depth"]["value"] == 1
+        assert snapshot["scamv_service_workers"]["value"] == 3
+        for state in JOB_STATES:
+            assert f"scamv_service_jobs_{state}" in snapshot
+
+    def test_metrics_text_is_prometheus_exposition(self, queue):
+        api = ServiceApi(queue)
+        queue.submit(SPEC)
+        text = api.metrics_text()
+        assert "# TYPE repro_scamv_service_queue_depth gauge" in text
+        assert "repro_scamv_service_queue_depth 1" in text
+        assert "repro_scamv_service_jobs_queued 1" in text
+        assert "repro_scamv_service_jobs_done 0" in text
+        assert "repro_scamv_service_uptime_seconds" in text
+
+
+class TestDaemonEndpoints:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        daemon = ServiceDaemon(
+            str(tmp_path / "queue.sqlite"),
+            OrchestratorConfig(
+                workers=1,
+                artifact_root=str(tmp_path / "artifacts"),
+                poll_interval=0.05,
+            ),
+            port=0,
+            out=io.StringIO(),
+        )
+        daemon.start()
+        yield daemon
+        daemon.shutdown()
+
+    def test_healthz_over_http(self, daemon):
+        client = ServiceClient(daemon.address, timeout=10)
+        assert client.healthz()["status"] == "ok"
+
+    def test_metrics_over_http_is_text_plain(self, daemon):
+        with urllib.request.urlopen(
+            f"{daemon.address}/metrics", timeout=10
+        ) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode("utf-8")
+        assert "scamv_service_jobs_queued" in body
+
+    def test_client_metrics_helper(self, daemon):
+        client = ServiceClient(daemon.address, timeout=10)
+        text = client.metrics()
+        assert "scamv_service_queue_depth" in text
+
+    def test_status_metrics_cli(self, daemon, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["status", "--metrics", "--url", daemon.address]) == 0
+        )
+        assert "scamv_service_uptime_seconds" in capsys.readouterr().out
+
+
+class TestJobTelemetry:
+    def test_run_job_emits_service_span_and_history(self, tmp_path):
+        from repro.history import HistoryStore
+        from repro.telemetry import collect
+
+        queue = JobQueue(str(tmp_path / "queue.sqlite"))
+        history_path = str(tmp_path / "history.sqlite")
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(
+                artifact_root=str(tmp_path / "artifacts"),
+                history_path=history_path,
+            ),
+            out=io.StringIO(),
+        )
+        job = queue.submit(SPEC)
+        collect.enable()
+        try:
+            _, result = orchestrator.run_job(queue.claim("w"))
+            trace.drain()
+        finally:
+            collect.disable()
+        spans = result.spans
+        names = {span.name for span in spans}
+        assert "service.job" in names
+        job_span = next(s for s in spans if s.name == "service.job")
+        assert job_span.attrs["job"] == job.id
+        assert job_span.attrs["scenario"] == "obs"
+
+        store = HistoryStore(history_path)
+        row = store.latest()
+        store.close()
+        assert row is not None
+        assert row["kind"] == "service"
+        assert row["label"] == "obs"
+        assert row["summary"]["wall_seconds"] > 0
+        assert row["summary"]["counters"]
+        queue.close()
+
+    def test_consecutive_jobs_each_keep_their_span(self, tmp_path):
+        """The drain loop must not let job N+1's first shard flush job
+        N's closed service.job span out of the trace buffer."""
+        from repro.telemetry import collect
+
+        queue = JobQueue(str(tmp_path / "queue.sqlite"))
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(
+                artifact_root=str(tmp_path / "artifacts"), history=False
+            ),
+            out=io.StringIO(),
+        )
+        queue.submit(SPEC)
+        queue.submit(dict(SPEC, name="obs-2", seed=6))
+        collect.enable()
+        try:
+            finished = orchestrator.drain()
+            trace.drain()
+        finally:
+            collect.disable()
+        assert len(finished) == 2
+        for job, result in finished:
+            job_spans = [
+                s for s in result.spans if s.name == "service.job"
+            ]
+            assert [s.attrs["job"] for s in job_spans] == [job.id]
+        queue.close()
+
+    def test_history_off_records_nothing(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue.sqlite"))
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(
+                artifact_root=str(tmp_path / "artifacts"), history=False
+            ),
+            out=io.StringIO(),
+        )
+        queue.submit(SPEC)
+        orchestrator.run_job(queue.claim("w"))
+        assert not (tmp_path / "artifacts" / "history.sqlite").exists()
+        queue.close()
+
+    def test_history_defaults_into_artifact_root(self, tmp_path):
+        queue = JobQueue(str(tmp_path / "queue.sqlite"))
+        orchestrator = Orchestrator(
+            queue,
+            OrchestratorConfig(artifact_root=str(tmp_path / "artifacts")),
+            out=io.StringIO(),
+        )
+        queue.submit(SPEC)
+        orchestrator.run_job(queue.claim("w"))
+        assert (tmp_path / "artifacts" / "history.sqlite").exists()
+        queue.close()

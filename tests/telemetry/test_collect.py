@@ -31,8 +31,9 @@ class TestShardWindows:
             with trace.span("testgen.generate"):
                 pass
         metrics.counter("pipeline.experiments").inc(3)
-        pid, spans, delta = collect.shard_end(marker)
+        pid, spans, delta, solver_doc = collect.shard_end(marker)
         assert pid == os.getpid()
+        assert solver_doc is None  # no solver queries ran in this window
         assert [s.name for s in spans] == ["testgen.generate", "shard"]
         assert delta["pipeline.experiments"]["value"] == 3
         assert "noise.before" not in delta

@@ -1,0 +1,118 @@
+"""Benchmark-report envelope schema: unit checks + retro-validation of
+every checked-in ``BENCH_*.json`` artifact."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench_schema import (
+    main,
+    validate_bench,
+    validate_bench_file,
+)
+from repro.telemetry.schema import SchemaError
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _doc(**over):
+    doc = {
+        "bench": "solver",
+        "smoke": True,
+        "params": {"programs": 2, "label": "smoke"},
+        "scenarios": {
+            "solve_prepared": {"seconds": 0.12, "per_call": 0.001},
+        },
+        "counters": {"queries": 50, "restarts": 316},
+    }
+    doc.update(over)
+    return doc
+
+
+class TestValidate:
+    def test_minimal_valid_envelope(self):
+        validate_bench({"bench": "x", "scenarios": {}})
+
+    def test_full_envelope(self):
+        validate_bench(_doc())
+
+    def test_missing_bench_fails(self):
+        with pytest.raises(SchemaError):
+            validate_bench({"scenarios": {}})
+
+    def test_missing_scenarios_fails(self):
+        with pytest.raises(SchemaError):
+            validate_bench({"bench": "x"})
+
+    def test_non_object_scenario_row_fails(self):
+        with pytest.raises(SchemaError):
+            validate_bench(_doc(scenarios={"a": 3.0}))
+
+    def test_nested_scenario_field_fails(self):
+        with pytest.raises(SchemaError) as exc:
+            validate_bench(_doc(scenarios={"a": {"times": [1, 2]}}))
+        assert "scalars" in str(exc.value)
+
+    def test_non_integer_counter_fails(self):
+        with pytest.raises(SchemaError):
+            validate_bench(_doc(counters={"queries": "many"}))
+
+    def test_solver_doc_shape_is_checked(self):
+        with pytest.raises(SchemaError):
+            validate_bench(_doc(solver={"version": 1}))
+        validate_bench(
+            _doc(
+                solver={
+                    "version": 1,
+                    "classes": {},
+                    "phases": {},
+                    "top": [],
+                }
+            )
+        )
+
+
+class TestRetroValidation:
+    """The checked-in artifacts must satisfy the schema they predate."""
+
+    @pytest.mark.parametrize(
+        "artifact",
+        [
+            "BENCH_expr_core.json",
+            "BENCH_solver.json",
+            os.path.join("benchmarks", "BENCH_solver_baseline.json"),
+        ],
+    )
+    def test_checked_in_artifact_is_valid(self, artifact):
+        path = os.path.join(REPO_ROOT, artifact)
+        doc = validate_bench_file(path)
+        assert doc["scenarios"]
+
+
+class TestCli:
+    def test_no_args_exits_two(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_ok.json"
+        path.write_text(json.dumps(_doc()))
+        assert main([str(path)]) == 0
+        assert "valid (solver, 1 scenario(s))" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"scenarios": {}}))
+        assert main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file_exits_one(self, tmp_path):
+        assert main([str(tmp_path / "nope.json")]) == 1
+
+    def test_mixed_batch_still_fails(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_doc()))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([str(good), str(bad)]) == 1
